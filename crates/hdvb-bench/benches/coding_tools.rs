@@ -1,0 +1,100 @@
+//! Coding-tool ablations for the design decisions DESIGN.md calls out:
+//! B frames on/off (the paper's fixed I-P-B-B choice), H.264 deblocking
+//! on/off, multi-reference depth, and motion-search range. Prints the
+//! rate-distortion effect of each knob and times the most interesting
+//! configurations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hdvb_bench::{bench_sequence, BENCH_FRAMES};
+use hdvb_core::{measure_rd_point, CodecId, CodingOptions};
+use hdvb_frame::{Frame, Resolution, SequencePsnr};
+use hdvb_h264::{EncoderConfig as H264Config, H264Decoder, H264Encoder};
+use hdvb_seq::SequenceId;
+
+fn rd_h264(frames: &[Frame], config: H264Config) -> (f64, f64) {
+    let mut enc = H264Encoder::new(config).expect("valid config");
+    let mut dec = H264Decoder::new();
+    let mut packets = Vec::new();
+    for f in frames {
+        packets.extend(enc.encode(f).expect("encode"));
+    }
+    packets.extend(enc.flush().expect("flush"));
+    let bits: u64 = packets.iter().map(|p| p.bits()).sum();
+    let mut out = Vec::new();
+    for p in &packets {
+        out.extend(dec.decode(&p.data).expect("decode"));
+    }
+    out.extend(dec.flush());
+    let mut acc = SequencePsnr::new();
+    for (o, d) in frames.iter().zip(&out) {
+        acc.add(o, d);
+    }
+    (acc.y_psnr(), bits as f64 / 1000.0)
+}
+
+fn print_ablations() {
+    let resolution = Resolution::new(192, 160);
+    let seq = bench_sequence(SequenceId::PedestrianArea, resolution);
+    let frames: Vec<Frame> = (0..BENCH_FRAMES + 4).map(|i| seq.frame(i)).collect();
+    let (w, h) = (resolution.width(), resolution.height());
+    let base = H264Config::new(w, h).with_qp(24);
+
+    println!("\n=== Coding-tool ablations (h264-class, pedestrian_area {resolution}) ===");
+    let cases: Vec<(&str, H264Config)> = vec![
+        ("baseline (B=2, deblock, 3 refs, range 24)", base),
+        ("no B frames", base.with_b_frames(0)),
+        ("no deblocking", base.with_deblock(false)),
+        ("single reference", base.with_num_refs(1)),
+        ("search range 8", base.with_search_range(8)),
+    ];
+    let baseline = rd_h264(&frames, base);
+    for (name, config) in cases {
+        let (psnr, kbits) = rd_h264(&frames, config);
+        println!(
+            "{name:<42} {psnr:>6.2} dB {kbits:>8.1} kbit  ({:+.2} dB, {:+.1}% bits)",
+            psnr - baseline.0,
+            100.0 * (kbits / baseline.1 - 1.0)
+        );
+    }
+
+    // The GOP ablation across all codecs (B frames buy bitrate at equal
+    // quantiser).
+    println!("\n=== B-frame ablation across codecs ===");
+    for codec in CodecId::ALL {
+        let with_b = measure_rd_point(codec, seq, BENCH_FRAMES + 4, &CodingOptions::default())
+            .expect("rd");
+        let without =
+            measure_rd_point(codec, seq, BENCH_FRAMES + 4, &CodingOptions::default().with_b_frames(0))
+                .expect("rd");
+        println!(
+            "{codec}: IPBB {:.0} kbps vs IPP {:.0} kbps ({:+.1}%)",
+            with_b.bitrate_kbps,
+            without.bitrate_kbps,
+            100.0 * (with_b.bitrate_kbps / without.bitrate_kbps - 1.0)
+        );
+    }
+}
+
+fn bench_coding_tools(c: &mut Criterion) {
+    print_ablations();
+    let resolution = Resolution::new(96, 80);
+    let seq = bench_sequence(SequenceId::PedestrianArea, resolution);
+    let frames: Vec<Frame> = (0..BENCH_FRAMES).map(|i| seq.frame(i)).collect();
+    let (w, h) = (resolution.width(), resolution.height());
+    let mut group = c.benchmark_group("coding_tools");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (name, config) in [
+        ("h264_baseline", H264Config::new(w, h).with_qp(24)),
+        ("h264_no_bframes", H264Config::new(w, h).with_qp(24).with_b_frames(0)),
+        ("h264_no_deblock", H264Config::new(w, h).with_qp(24).with_deblock(false)),
+        ("h264_single_ref", H264Config::new(w, h).with_qp(24).with_num_refs(1)),
+    ] {
+        group.bench_function(name, |b| b.iter(|| rd_h264(&frames, config)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_coding_tools);
+criterion_main!(benches);

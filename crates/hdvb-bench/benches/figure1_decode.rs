@@ -1,0 +1,39 @@
+//! Regenerates **Figure 1 (a) and (b)**: decoding throughput in frames
+//! per second for each codec at each resolution, in the scalar and the
+//! SIMD build. Streams are encoded once outside the timed region; the
+//! same bitstreams are decoded at both SIMD levels (the codecs'
+//! scalar/SIMD outputs are bit-identical, as asserted by the test
+//! suite).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hdvb_bench::{bench_resolutions, bench_sequence, pre_encode, BENCH_FRAMES};
+use hdvb_core::{decode_sequence, CodecId, CodingOptions};
+use hdvb_dsp::SimdLevel;
+use hdvb_seq::SequenceId;
+
+fn bench_decode(c: &mut Criterion) {
+    let options = CodingOptions::default();
+    for resolution in bench_resolutions() {
+        let seq = bench_sequence(SequenceId::BlueSky, resolution);
+        let mut group = c.benchmark_group(format!("figure1_decode/{}", resolution.label()));
+        group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+        group.throughput(Throughput::Elements(u64::from(BENCH_FRAMES)));
+        for codec in CodecId::ALL {
+            let packets = pre_encode(codec, seq, BENCH_FRAMES, &options);
+            for simd in [SimdLevel::Scalar, SimdLevel::Sse2] {
+                let id = format!("{}/{}", codec.name(), simd.label());
+                group.bench_function(&id, |b| {
+                    b.iter(|| {
+                        decode_sequence(codec, &packets, simd).expect("decode cannot fail")
+                    })
+                });
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_decode);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Regenerates **Figure 1 (c) and (d)**: encoding throughput in frames
+//! per second for each codec at each resolution, scalar vs SIMD.
+//! Frame generation happens outside the timed region (the paper's
+//! mencoder reads pre-extracted raw YUV for the same reason).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hdvb_bench::{bench_resolutions, bench_sequence, BENCH_FRAMES};
+use hdvb_core::{create_encoder, CodecId, CodingOptions};
+use hdvb_dsp::SimdLevel;
+use hdvb_frame::Frame;
+use hdvb_seq::SequenceId;
+
+fn bench_encode(c: &mut Criterion) {
+    for resolution in bench_resolutions() {
+        let seq = bench_sequence(SequenceId::BlueSky, resolution);
+        let frames: Vec<Frame> = (0..BENCH_FRAMES).map(|i| seq.frame(i)).collect();
+        let mut group = c.benchmark_group(format!("figure1_encode/{}", resolution.label()));
+        group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+        group.throughput(Throughput::Elements(u64::from(BENCH_FRAMES)));
+        for codec in CodecId::ALL {
+            for simd in [SimdLevel::Scalar, SimdLevel::Sse2] {
+                let options = CodingOptions::default().with_simd(simd);
+                let id = format!("{}/{}", codec.name(), simd.label());
+                group.bench_function(&id, |b| {
+                    b.iter(|| {
+                        let mut enc = create_encoder(codec, resolution, &options)
+                            .expect("encoder config is valid");
+                        let mut packets = Vec::new();
+                        for f in &frames {
+                            packets.extend(enc.encode_frame(f).expect("encode cannot fail"));
+                        }
+                        packets.extend(enc.finish().expect("flush cannot fail"));
+                        packets
+                    })
+                });
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_encode);
+criterion_main!(benches);

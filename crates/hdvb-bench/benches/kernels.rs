@@ -1,0 +1,137 @@
+//! Kernel-level scalar-vs-SSE2 ablation: the per-kernel speed-ups that
+//! explain the Figure 1 gaps (SAD/SATD dominate encoding; IDCT,
+//! interpolation and deblocking dominate decoding).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hdvb_dsp::{Block8, Dsp, SimdLevel, MPEG_DEFAULT_INTRA};
+
+fn pixels(seed: u32, len: usize) -> Vec<u8> {
+    let mut state = seed;
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            (state >> 24) as u8
+        })
+        .collect()
+}
+
+fn coeff_block(seed: u32) -> Block8 {
+    let mut state = seed;
+    let mut b = [0i16; 64];
+    for v in &mut b {
+        state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+        *v = ((state >> 20) as i16 % 256) - 128;
+    }
+    b
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let a = pixels(1, 64 * 64);
+    let b = pixels(2, 64 * 64);
+    let levels = [SimdLevel::Scalar, SimdLevel::Sse2];
+
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for level in levels {
+        let dsp = Dsp::new(level);
+        let tag = level.label();
+        group.bench_function(format!("sad_16x16/{tag}"), |bch| {
+            bch.iter(|| {
+                let mut acc = 0u64;
+                for off in 0..16 {
+                    acc += u64::from(dsp.sad(&a[off..], 64, &b, 64, 16, 16));
+                }
+                acc
+            })
+        });
+        group.bench_function(format!("satd_16x16/{tag}"), |bch| {
+            bch.iter(|| {
+                let mut acc = 0u64;
+                for off in 0..8 {
+                    acc += u64::from(dsp.satd(&a[off..], 64, &b, 64, 16, 16));
+                }
+                acc
+            })
+        });
+        group.bench_function(format!("fdct8/{tag}"), |bch| {
+            bch.iter(|| {
+                let mut blk = coeff_block(7);
+                for _ in 0..16 {
+                    dsp.fdct8(&mut blk);
+                }
+                blk
+            })
+        });
+        group.bench_function(format!("idct8/{tag}"), |bch| {
+            bch.iter(|| {
+                let mut blk = coeff_block(9);
+                for _ in 0..16 {
+                    dsp.idct8(&mut blk);
+                }
+                blk
+            })
+        });
+        group.bench_function(format!("dequant8/{tag}"), |bch| {
+            bch.iter(|| {
+                let mut blk = coeff_block(11);
+                for _ in 0..16 {
+                    dsp.dequant8(&mut blk, &MPEG_DEFAULT_INTRA, 5, true);
+                }
+                blk
+            })
+        });
+        group.bench_function(format!("hpel_interp/{tag}"), |bch| {
+            let mut dst = vec![0u8; 16 * 16];
+            bch.iter(|| {
+                for (fx, fy) in [(0u8, 0u8), (1, 0), (0, 1), (1, 1)] {
+                    dsp.hpel_interp(&mut dst, 16, &a[8 * 64 + 8..], 64, fx, fy, 16, 16);
+                }
+                dst[0]
+            })
+        });
+        group.bench_function(format!("sixtap_hv/{tag}"), |bch| {
+            let mut dst = vec![0u8; 16 * 16];
+            bch.iter(|| {
+                dsp.sixtap_h(&mut dst, 16, &a[8 * 64 + 6..], 64, 16, 16);
+                dsp.sixtap_v(&mut dst, 16, &a[6 * 64 + 8..], 64, 16, 16);
+                dsp.sixtap_hv(&mut dst, 16, &a[6 * 64 + 6..], 64, 16, 16);
+                dst[0]
+            })
+        });
+        group.bench_function(format!("qpel_luma/{tag}"), |bch| {
+            let mut dst = vec![0u8; 16 * 16];
+            bch.iter(|| {
+                for fx in 0..4u8 {
+                    for fy in 0..4u8 {
+                        dsp.qpel_luma(&mut dst, 16, &a[8 * 64 + 8..], 64, fx, fy, 16, 16);
+                    }
+                }
+                dst[0]
+            })
+        });
+        group.bench_function(format!("avg_block/{tag}"), |bch| {
+            let mut dst = vec![0u8; 16 * 16];
+            bch.iter(|| {
+                for off in 0..16 {
+                    dsp.avg_block(&mut dst, 16, &a[off..], 64, &b[off..], 64, 16, 16);
+                }
+                dst[0]
+            })
+        });
+        group.bench_function(format!("deblock_edge/{tag}"), |bch| {
+            let mut data = pixels(3, 64 * 16);
+            bch.iter(|| {
+                for y in (4..12).step_by(4) {
+                    dsp.deblock_horiz_edge(&mut data, 64, y * 64, 64, 15, 6, 1);
+                }
+                data[0]
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Motion-search ablation: the paper (Section IV) chooses EPZS for the
+//! MPEG encoders and hexagon search for x264. This bench compares those
+//! against diamond and exhaustive full search on a realistic P-frame
+//! workload, reporting both speed (Criterion) and quality/SAD-evaluation
+//! statistics (printed once).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hdvb_dsp::Dsp;
+use hdvb_frame::{PaddedPlane, Resolution};
+use hdvb_me::{
+    diamond_search, epzs_search, full_search, hexagon_search, BlockRef, EpzsThresholds, Mv,
+    MvField, Predictors, SearchParams,
+};
+use hdvb_seq::{Sequence, SequenceId};
+
+struct Workload {
+    cur: hdvb_frame::Frame,
+    reference: PaddedPlane,
+    mbs_x: usize,
+    mbs_y: usize,
+}
+
+fn workload() -> Workload {
+    let seq = Sequence::new(SequenceId::RushHour, Resolution::new(320, 256));
+    let reference = seq.frame(10);
+    let cur = seq.frame(11);
+    Workload {
+        reference: PaddedPlane::from_plane(reference.y(), 32),
+        mbs_x: cur.width() / 16,
+        mbs_y: cur.height() / 16,
+        cur,
+    }
+}
+
+/// Runs one algorithm over every macroblock; returns (total SAD, total
+/// evaluations).
+fn sweep(w: &Workload, dsp: &Dsp, algo: &str) -> (u64, u64) {
+    let params = SearchParams::new(24, 4);
+    let mut field = MvField::new(w.mbs_x, w.mbs_y);
+    let prev = MvField::new(w.mbs_x, w.mbs_y);
+    let mut sad = 0u64;
+    let mut evals = 0u64;
+    for mby in 0..w.mbs_y {
+        for mbx in 0..w.mbs_x {
+            let block = BlockRef {
+                plane: w.cur.y(),
+                x: mbx * 16,
+                y: mby * 16,
+                w: 16,
+                h: 16,
+            };
+            let r = match algo {
+                "full" => full_search(dsp, block, &w.reference, Mv::ZERO, &params),
+                "diamond" => diamond_search(dsp, block, &w.reference, Mv::ZERO, &params),
+                "hexagon" => hexagon_search(dsp, block, &w.reference, Mv::ZERO, &params),
+                _ => {
+                    let preds = Predictors::gather(&field, &prev, mbx, mby);
+                    epzs_search(
+                        dsp,
+                        block,
+                        &w.reference,
+                        &preds,
+                        &EpzsThresholds::default(),
+                        &params.with_pred(preds.median()),
+                    )
+                }
+            };
+            field.set(mbx, mby, r.mv);
+            sad += u64::from(r.sad);
+            evals += u64::from(r.evaluations);
+        }
+    }
+    (sad, evals)
+}
+
+fn bench_motion_search(c: &mut Criterion) {
+    let w = workload();
+    let dsp = Dsp::default();
+
+    // Quality/effort summary (the ablation table).
+    println!("\n=== Motion-search ablation (rush_hour 320x256, P frame) ===");
+    println!("{:<9} {:>12} {:>14}", "algorithm", "total SAD", "evaluations");
+    let full = sweep(&w, &dsp, "full");
+    for algo in ["full", "diamond", "hexagon", "epzs"] {
+        let (sad, evals) = sweep(&w, &dsp, algo);
+        println!(
+            "{algo:<9} {sad:>12} {evals:>14}  (sad +{:.1}% vs full, {:.1}% of full's evals)",
+            100.0 * (sad as f64 / full.0 as f64 - 1.0),
+            100.0 * evals as f64 / full.1 as f64
+        );
+    }
+
+    let mut group = c.benchmark_group("motion_search");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for algo in ["diamond", "hexagon", "epzs"] {
+        group.bench_function(algo, |b| b.iter(|| sweep(&w, &dsp, algo)));
+    }
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("full", |b| b.iter(|| sweep(&w, &dsp, "full")));
+    group.finish();
+}
+
+criterion_group!(benches, bench_motion_search);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Regenerates **Table V** (rate-distortion comparison): PSNR and
+//! bitrate per codec × sequence × resolution at the paper's operating
+//! point (qscale 5 / Eq.-1 H.264 QP), and times the full
+//! encode→decode→PSNR pipeline per codec.
+//!
+//! The table itself is printed once at startup; Criterion then measures
+//! the pipeline time of one representative cell per codec.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hdvb_bench::{bench_resolutions, bench_sequence, BENCH_FRAMES};
+use hdvb_core::{measure_rd_point, table5_markdown, CodecId, CodingOptions, Table5Row};
+use hdvb_seq::SequenceId;
+
+fn print_table5() {
+    let options = CodingOptions::default();
+    let mut rows = Vec::new();
+    for resolution in bench_resolutions() {
+        for sid in SequenceId::ALL {
+            let seq = bench_sequence(sid, resolution);
+            let mut points = [(0.0, 0.0); 3];
+            for (ci, codec) in CodecId::ALL.iter().enumerate() {
+                let rd = measure_rd_point(*codec, seq, BENCH_FRAMES, &options)
+                    .expect("rd measurement");
+                points[ci] = (rd.psnr_y, rd.bitrate_kbps);
+            }
+            rows.push(Table5Row {
+                resolution,
+                sequence: sid,
+                points,
+            });
+        }
+    }
+    println!("\n=== Table V (reduced geometry, {BENCH_FRAMES} frames) ===");
+    println!("{}", table5_markdown(&rows));
+}
+
+fn bench_rd_pipeline(c: &mut Criterion) {
+    print_table5();
+    let options = CodingOptions::default();
+    let resolution = bench_resolutions()[0];
+    let seq = bench_sequence(SequenceId::RushHour, resolution);
+    let mut group = c.benchmark_group("table5_rd_pipeline");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for codec in CodecId::ALL {
+        group.bench_function(codec.name(), |b| {
+            b.iter(|| {
+                measure_rd_point(codec, seq, BENCH_FRAMES, &options).expect("rd measurement")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rd_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Shared helpers for the HD-VideoBench Criterion benches.
+//!
+//! Each bench target regenerates one of the paper's evaluation
+//! artifacts (see DESIGN.md's experiment index):
+//!
+//! * `table5_rd` — Table V (rate-distortion per codec/sequence/resolution)
+//! * `figure1_decode` — Figure 1 (a)/(b): decode fps, scalar and SIMD
+//! * `figure1_encode` — Figure 1 (c)/(d): encode fps, scalar and SIMD
+//! * `kernels` — per-kernel scalar-vs-SSE2 ablation (explains the
+//!   Figure 1 speed-ups)
+//! * `motion_search` — EPZS / hexagon / diamond / full-search ablation
+//!   (the paper's Section IV algorithm choices)
+//!
+//! The benches default to reduced geometry (`BENCH_SCALE`, `BENCH_FRAMES`)
+//! so a full `cargo bench` completes on a laptop; the `hdvb` CLI runs
+//! the same measurements at the paper's full HD settings.
+
+use hdvb_core::{encode_sequence, CodecId, CodingOptions, Packet};
+use hdvb_frame::Resolution;
+use hdvb_seq::{Sequence, SequenceId};
+
+/// Resolution divisor applied to the paper's three resolutions for the
+/// criterion runs (keeps a full sweep tractable on one core).
+pub const BENCH_SCALE: u32 = 6;
+/// Frames per measured clip.
+pub const BENCH_FRAMES: u32 = 6;
+
+/// The paper's three resolutions, scaled for bench runs.
+pub fn bench_resolutions() -> Vec<Resolution> {
+    Resolution::ALL
+        .iter()
+        .map(|r| r.scaled_down(BENCH_SCALE))
+        .collect()
+}
+
+/// A deterministic benchmark clip (sequence × scaled resolution).
+pub fn bench_sequence(id: SequenceId, resolution: Resolution) -> Sequence {
+    Sequence::new(id, resolution)
+}
+
+/// Encodes a clip once (outside the timed region) so decode benches can
+/// reuse the packets.
+pub fn pre_encode(
+    codec: CodecId,
+    seq: Sequence,
+    frames: u32,
+    options: &CodingOptions,
+) -> Vec<Packet> {
+    encode_sequence(codec, seq, frames, options)
+        .expect("bench pre-encode cannot fail")
+        .packets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_resolutions_are_small_and_even() {
+        for r in bench_resolutions() {
+            assert!(r.width() <= 400);
+            assert_eq!(r.width() % 2, 0);
+            assert_eq!(r.height() % 2, 0);
+        }
+    }
+
+    #[test]
+    fn pre_encode_produces_packets() {
+        let seq = bench_sequence(SequenceId::RushHour, Resolution::new(48, 48));
+        let p = pre_encode(CodecId::Mpeg2, seq, 3, &CodingOptions::default());
+        assert_eq!(p.len(), 3);
+    }
+}

@@ -1,0 +1,49 @@
+use std::fmt;
+
+/// Errors produced while parsing a bitstream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BitsError {
+    /// The reader ran past the end of the buffer.
+    Eof,
+    /// A variable-length code did not match any table entry.
+    InvalidCode {
+        /// Name of the VLC table that failed to match.
+        table: &'static str,
+    },
+    /// An Exp-Golomb code exceeded the supported length.
+    Overlong,
+}
+
+impl fmt::Display for BitsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BitsError::Eof => write!(f, "unexpected end of bitstream"),
+            BitsError::InvalidCode { table } => {
+                write!(f, "invalid variable-length code in table {table}")
+            }
+            BitsError::Overlong => write!(f, "overlong exp-golomb code"),
+        }
+    }
+}
+
+impl std::error::Error for BitsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(BitsError::Eof.to_string(), "unexpected end of bitstream");
+        assert!(BitsError::InvalidCode { table: "dct" }
+            .to_string()
+            .contains("dct"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync + std::error::Error>() {}
+        check::<BitsError>();
+    }
+}

@@ -1,0 +1,106 @@
+//! Bit-level I/O and entropy-coding primitives for the HD-VideoBench
+//! codecs.
+//!
+//! All three codecs in the benchmark are VLC-based (MPEG-2/-4 run-level
+//! tables, H.264 Exp-Golomb + CAVLC), so they share this crate's
+//! MSB-first [`BitWriter`] / [`BitReader`], Exp-Golomb codes and a generic
+//! canonical [`VlcTable`].
+//!
+//! # Example
+//!
+//! ```
+//! use hdvb_bits::{BitReader, BitWriter};
+//!
+//! let mut w = BitWriter::new();
+//! w.put_bits(0b101, 3);
+//! w.put_ue(17);
+//! let bytes = w.finish();
+//!
+//! let mut r = BitReader::new(&bytes);
+//! assert_eq!(r.get_bits(3)?, 0b101);
+//! assert_eq!(r.get_ue()?, 17);
+//! # Ok::<(), hdvb_bits::BitsError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod error;
+mod reader;
+mod vlc;
+mod writer;
+
+pub use error::BitsError;
+pub use reader::BitReader;
+pub use vlc::{BuildVlcError, VlcEntry, VlcTable};
+pub use writer::BitWriter;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn bits_roundtrip(values in proptest::collection::vec((0u32..=u32::MAX, 1u32..=32), 0..64)) {
+            let mut w = BitWriter::new();
+            for &(v, n) in &values {
+                let masked = if n == 32 { v } else { v & ((1 << n) - 1) };
+                w.put_bits(masked, n);
+            }
+            let bytes = w.finish();
+            let mut r = BitReader::new(&bytes);
+            for &(v, n) in &values {
+                let masked = if n == 32 { v } else { v & ((1 << n) - 1) };
+                prop_assert_eq!(r.get_bits(n).unwrap(), masked);
+            }
+        }
+
+        #[test]
+        fn ue_roundtrip(values in proptest::collection::vec(0u32..=100_000, 0..64)) {
+            let mut w = BitWriter::new();
+            for &v in &values {
+                w.put_ue(v);
+            }
+            let bytes = w.finish();
+            let mut r = BitReader::new(&bytes);
+            for &v in &values {
+                prop_assert_eq!(r.get_ue().unwrap(), v);
+            }
+        }
+
+        #[test]
+        fn se_roundtrip(values in proptest::collection::vec(-50_000i32..=50_000, 0..64)) {
+            let mut w = BitWriter::new();
+            for &v in &values {
+                w.put_se(v);
+            }
+            let bytes = w.finish();
+            let mut r = BitReader::new(&bytes);
+            for &v in &values {
+                prop_assert_eq!(r.get_se().unwrap(), v);
+            }
+        }
+
+        #[test]
+        fn mixed_roundtrip(ops in proptest::collection::vec((0u8..3, 0u32..1000, 1u32..17), 0..100)) {
+            let mut w = BitWriter::new();
+            for &(kind, v, n) in &ops {
+                match kind {
+                    0 => w.put_bits(v & ((1 << n) - 1), n),
+                    1 => w.put_ue(v),
+                    _ => w.put_se(v as i32 - 500),
+                }
+            }
+            let bytes = w.finish();
+            let mut r = BitReader::new(&bytes);
+            for &(kind, v, n) in &ops {
+                match kind {
+                    0 => prop_assert_eq!(r.get_bits(n).unwrap(), v & ((1 << n) - 1)),
+                    1 => prop_assert_eq!(r.get_ue().unwrap(), v),
+                    _ => prop_assert_eq!(r.get_se().unwrap(), v as i32 - 500),
+                }
+            }
+        }
+    }
+}

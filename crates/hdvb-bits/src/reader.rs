@@ -1,0 +1,263 @@
+use crate::BitsError;
+
+/// An MSB-first bit parser over a byte slice.
+///
+/// The mirror of [`BitWriter`](crate::BitWriter): every `get_*` method
+/// consumes the exact bits the corresponding `put_*` produced. Reading
+/// past the end returns [`BitsError::Eof`] instead of panicking, so a
+/// truncated stream is always a recoverable error for the decoders.
+///
+/// # Example
+///
+/// ```
+/// use hdvb_bits::BitReader;
+///
+/// let mut r = BitReader::new(&[0b1011_0000]);
+/// assert!(r.get_bit()?);
+/// assert_eq!(r.get_bits(3)?, 0b011);
+/// # Ok::<(), hdvb_bits::BitsError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    /// Next bit position from the start of `data`.
+    pos: u64,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        BitReader { data, pos: 0 }
+    }
+
+    /// Bits consumed so far.
+    pub fn bit_pos(&self) -> u64 {
+        self.pos
+    }
+
+    /// Bits remaining.
+    pub fn bits_left(&self) -> u64 {
+        self.data.len() as u64 * 8 - self.pos
+    }
+
+    /// Reads one bit.
+    ///
+    /// # Errors
+    ///
+    /// [`BitsError::Eof`] at end of data.
+    #[inline]
+    pub fn get_bit(&mut self) -> Result<bool, BitsError> {
+        let byte = self.data.get((self.pos / 8) as usize).ok_or(BitsError::Eof)?;
+        let bit = (byte >> (7 - (self.pos % 8))) & 1;
+        self.pos += 1;
+        Ok(bit == 1)
+    }
+
+    /// Reads `n` bits MSB-first.
+    ///
+    /// # Errors
+    ///
+    /// [`BitsError::Eof`] if fewer than `n` bits remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 32`.
+    #[inline]
+    pub fn get_bits(&mut self, n: u32) -> Result<u32, BitsError> {
+        assert!(n <= 32, "cannot read more than 32 bits at once");
+        if self.bits_left() < u64::from(n) {
+            self.pos = self.data.len() as u64 * 8;
+            return Err(BitsError::Eof);
+        }
+        let mut v = 0u32;
+        for _ in 0..n {
+            v = (v << 1) | u32::from(self.get_bit()?);
+        }
+        Ok(v)
+    }
+
+    /// Peeks at the next `n` bits without consuming them; missing bits
+    /// beyond the end of data read as zero (standard VLC-lookahead
+    /// behaviour).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 32`.
+    pub fn peek_bits(&self, n: u32) -> u32 {
+        assert!(n <= 32, "cannot peek more than 32 bits at once");
+        let mut clone = self.clone();
+        let mut v = 0u32;
+        for _ in 0..n {
+            v = (v << 1) | u32::from(clone.get_bit().unwrap_or(false));
+        }
+        v
+    }
+
+    /// Consumes `n` bits without interpreting them.
+    ///
+    /// # Errors
+    ///
+    /// [`BitsError::Eof`] if fewer than `n` bits remain.
+    pub fn skip_bits(&mut self, n: u32) -> Result<(), BitsError> {
+        if self.bits_left() < u64::from(n) {
+            self.pos = self.data.len() as u64 * 8;
+            return Err(BitsError::Eof);
+        }
+        self.pos += u64::from(n);
+        Ok(())
+    }
+
+    /// Reads an unsigned Exp-Golomb code (H.264 `ue(v)`).
+    ///
+    /// # Errors
+    ///
+    /// [`BitsError::Eof`] on truncation, [`BitsError::Overlong`] if the
+    /// code has more than 32 leading zeros (corrupt stream).
+    pub fn get_ue(&mut self) -> Result<u32, BitsError> {
+        let mut zeros = 0u32;
+        while !self.get_bit()? {
+            zeros += 1;
+            if zeros > 32 {
+                return Err(BitsError::Overlong);
+            }
+        }
+        if zeros == 0 {
+            return Ok(0);
+        }
+        let rest = self.get_bits(zeros)?;
+        let code = (1u64 << zeros) | u64::from(rest);
+        Ok((code - 1) as u32)
+    }
+
+    /// Reads a signed Exp-Golomb code (H.264 `se(v)`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`get_ue`](Self::get_ue).
+    pub fn get_se(&mut self) -> Result<i32, BitsError> {
+        let v = self.get_ue()?;
+        Ok(if v % 2 == 1 {
+            ((v / 2) + 1) as i32
+        } else {
+            -((v / 2) as i32)
+        })
+    }
+
+    /// Skips forward to the next byte boundary (no-op when aligned).
+    pub fn byte_align(&mut self) {
+        self.pos = (self.pos + 7) / 8 * 8;
+    }
+
+    /// Reads `len` raw bytes; the reader must be byte-aligned.
+    ///
+    /// # Errors
+    ///
+    /// [`BitsError::Eof`] if fewer than `len` bytes remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reader is not at a byte boundary.
+    pub fn get_bytes(&mut self, len: usize) -> Result<&'a [u8], BitsError> {
+        assert_eq!(self.pos % 8, 0, "get_bytes requires byte alignment");
+        let start = (self.pos / 8) as usize;
+        let end = start.checked_add(len).ok_or(BitsError::Eof)?;
+        if end > self.data.len() {
+            return Err(BitsError::Eof);
+        }
+        self.pos += len as u64 * 8;
+        Ok(&self.data[start..end])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BitWriter;
+
+    #[test]
+    fn reads_what_writer_wrote() {
+        let mut w = BitWriter::new();
+        w.put_bits(0b1101, 4);
+        w.put_bits(0x3FF, 10);
+        w.put_bit(false);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.get_bits(4).unwrap(), 0b1101);
+        assert_eq!(r.get_bits(10).unwrap(), 0x3FF);
+        assert!(!r.get_bit().unwrap());
+    }
+
+    #[test]
+    fn eof_is_error_not_panic() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(r.get_bits(8).unwrap(), 0xFF);
+        assert_eq!(r.get_bit(), Err(BitsError::Eof));
+        assert_eq!(r.get_bits(4), Err(BitsError::Eof));
+        assert_eq!(r.get_ue(), Err(BitsError::Eof));
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut r = BitReader::new(&[0b1010_1010]);
+        assert_eq!(r.peek_bits(4), 0b1010);
+        assert_eq!(r.bit_pos(), 0);
+        assert_eq!(r.get_bits(4).unwrap(), 0b1010);
+        // Peeking past the end pads with zeros.
+        assert_eq!(r.peek_bits(8), 0b1010_0000);
+    }
+
+    #[test]
+    fn ue_known_values() {
+        // "1 010 011 00100" = ue 0,1,2,3
+        let mut w = BitWriter::new();
+        for v in 0..4 {
+            w.put_ue(v);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for v in 0..4 {
+            assert_eq!(r.get_ue().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn overlong_ue_detected() {
+        // 40 zero bits: an impossible exp-golomb prefix.
+        let data = [0u8; 5];
+        let mut r = BitReader::new(&data);
+        assert_eq!(r.get_ue(), Err(BitsError::Overlong));
+    }
+
+    #[test]
+    fn byte_align_and_bytes() {
+        let mut w = BitWriter::new();
+        w.put_bits(0b101, 3);
+        w.byte_align();
+        w.put_bytes(b"hi");
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        r.skip_bits(3).unwrap();
+        r.byte_align();
+        assert_eq!(r.get_bytes(2).unwrap(), b"hi");
+        assert!(r.get_bytes(1).is_err());
+    }
+
+    #[test]
+    fn skip_past_end_is_eof() {
+        let mut r = BitReader::new(&[0, 0]);
+        assert!(r.skip_bits(17).is_err());
+    }
+
+    #[test]
+    fn large_ue_values_roundtrip() {
+        let mut w = BitWriter::new();
+        for v in [u32::MAX / 2, 1 << 20, 65535, 12345678] {
+            w.put_ue(v);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for v in [u32::MAX / 2, 1 << 20, 65535, 12345678] {
+            assert_eq!(r.get_ue().unwrap(), v);
+        }
+    }
+}

@@ -1,0 +1,383 @@
+use crate::{BitReader, BitWriter, BitsError};
+
+/// One codeword of a variable-length-code table: `len` bits whose
+/// MSB-first value is `code`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VlcEntry {
+    /// Codeword bits, right-aligned.
+    pub code: u32,
+    /// Codeword length in bits (1..=24).
+    pub len: u8,
+}
+
+impl VlcEntry {
+    /// Convenience constructor.
+    pub const fn new(code: u32, len: u8) -> Self {
+        VlcEntry { code, len }
+    }
+}
+
+/// A prefix-free variable-length code over symbols `0..n`.
+///
+/// Encoding is a direct table lookup; decoding peeks
+/// `max_len` bits and resolves the symbol through a dense lookup table,
+/// the same technique the optimised codecs in the original benchmark use.
+///
+/// # Example
+///
+/// ```
+/// use hdvb_bits::{BitReader, BitWriter, VlcEntry, VlcTable};
+///
+/// // Symbols 0,1,2 with codes "0", "10", "11".
+/// let table = VlcTable::new("demo", &[
+///     VlcEntry::new(0b0, 1),
+///     VlcEntry::new(0b10, 2),
+///     VlcEntry::new(0b11, 2),
+/// ])?;
+/// let mut w = BitWriter::new();
+/// table.encode(2, &mut w);
+/// table.encode(0, &mut w);
+/// let bytes = w.finish();
+/// let mut r = BitReader::new(&bytes);
+/// assert_eq!(table.decode(&mut r)?, 2);
+/// assert_eq!(table.decode(&mut r)?, 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct VlcTable {
+    name: &'static str,
+    entries: Vec<VlcEntry>,
+    max_len: u8,
+    /// `lookup[prefix]` = `(symbol, len)`, or `(u32::MAX, 0)` for invalid.
+    lookup: Vec<(u32, u8)>,
+}
+
+/// Error building a [`VlcTable`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildVlcError {
+    /// Two codewords overlap (one is a prefix of the other, or they are
+    /// equal).
+    NotPrefixFree {
+        /// First conflicting symbol.
+        a: u32,
+        /// Second conflicting symbol.
+        b: u32,
+    },
+    /// A codeword length was zero or above 24 bits.
+    BadLength {
+        /// The offending symbol.
+        symbol: u32,
+    },
+    /// A codeword value does not fit in its declared length.
+    BadCode {
+        /// The offending symbol.
+        symbol: u32,
+    },
+}
+
+impl std::fmt::Display for BuildVlcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildVlcError::NotPrefixFree { a, b } => {
+                write!(f, "codes for symbols {a} and {b} are not prefix-free")
+            }
+            BuildVlcError::BadLength { symbol } => {
+                write!(f, "symbol {symbol} has an unsupported code length")
+            }
+            BuildVlcError::BadCode { symbol } => {
+                write!(f, "symbol {symbol} has a code wider than its length")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildVlcError {}
+
+impl VlcTable {
+    /// Builds a canonical prefix code from per-symbol code *lengths*
+    /// (`lengths[i]` is the codeword length of symbol `i`). Symbols with
+    /// shorter lengths receive numerically smaller codes, exactly like a
+    /// canonical Huffman code; this is how the codec crates define their
+    /// MPEG-style coefficient tables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildVlcError`] if a length is out of range or the
+    /// lengths overflow the Kraft inequality (no prefix-free code
+    /// exists).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hdvb_bits::VlcTable;
+    ///
+    /// let t = VlcTable::from_lengths("demo", &[1, 2, 3, 3])?;
+    /// assert_eq!(t.code_len(0), 1);
+    /// assert_eq!(t.max_len(), 3);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn from_lengths(name: &'static str, lengths: &[u8]) -> Result<Self, BuildVlcError> {
+        for (i, &len) in lengths.iter().enumerate() {
+            if len == 0 || len > 24 {
+                return Err(BuildVlcError::BadLength { symbol: i as u32 });
+            }
+        }
+        // Kraft check before assigning codes.
+        let kraft: u64 = lengths.iter().map(|&l| 1u64 << (24 - l)).sum();
+        if kraft > 1 << 24 {
+            return Err(BuildVlcError::BadLength {
+                symbol: lengths
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, &l)| l)
+                    .map(|(i, _)| i as u32)
+                    .unwrap_or(0),
+            });
+        }
+        // Canonical assignment: stable order by (length, symbol).
+        let mut order: Vec<usize> = (0..lengths.len()).collect();
+        order.sort_by_key(|&i| (lengths[i], i));
+        let mut entries = vec![VlcEntry::new(0, 1); lengths.len()];
+        let mut code = 0u32;
+        let mut prev_len = 0u8;
+        for &i in &order {
+            let len = lengths[i];
+            code <<= len - prev_len;
+            entries[i] = VlcEntry::new(code, len);
+            code += 1;
+            prev_len = len;
+        }
+        Self::new(name, &entries)
+    }
+
+    /// Builds a table from per-symbol codewords (`entries[i]` codes
+    /// symbol `i`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildVlcError`] if any codeword is malformed or the code
+    /// is not prefix-free.
+    pub fn new(name: &'static str, entries: &[VlcEntry]) -> Result<Self, BuildVlcError> {
+        let mut max_len = 0u8;
+        for (i, e) in entries.iter().enumerate() {
+            if e.len == 0 || e.len > 24 {
+                return Err(BuildVlcError::BadLength { symbol: i as u32 });
+            }
+            if e.len < 32 && e.code >= (1u32 << e.len) {
+                return Err(BuildVlcError::BadCode { symbol: i as u32 });
+            }
+            max_len = max_len.max(e.len);
+        }
+        let size = 1usize << max_len;
+        let mut lookup = vec![(u32::MAX, 0u8); size];
+        for (i, e) in entries.iter().enumerate() {
+            let shift = max_len - e.len;
+            let base = (e.code as usize) << shift;
+            for slot in &mut lookup[base..base + (1usize << shift)] {
+                if slot.0 != u32::MAX {
+                    return Err(BuildVlcError::NotPrefixFree {
+                        a: slot.0,
+                        b: i as u32,
+                    });
+                }
+                *slot = (i as u32, e.len);
+            }
+        }
+        Ok(VlcTable {
+            name,
+            entries: entries.to_vec(),
+            max_len,
+            lookup,
+        })
+    }
+
+    /// The table's diagnostic name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table has no symbols.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Longest codeword in bits.
+    pub fn max_len(&self) -> u8 {
+        self.max_len
+    }
+
+    /// Codeword length in bits for `symbol` (for rate estimation without
+    /// serialising).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `symbol` is out of range.
+    pub fn code_len(&self, symbol: u32) -> u32 {
+        u32::from(self.entries[symbol as usize].len)
+    }
+
+    /// Appends the codeword for `symbol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `symbol` is out of range.
+    #[inline]
+    pub fn encode(&self, symbol: u32, w: &mut BitWriter) {
+        let e = self.entries[symbol as usize];
+        w.put_bits(e.code, u32::from(e.len));
+    }
+
+    /// Decodes the next symbol.
+    ///
+    /// # Errors
+    ///
+    /// [`BitsError::InvalidCode`] if the upcoming bits match no codeword,
+    /// [`BitsError::Eof`] if the stream ends inside a codeword.
+    #[inline]
+    pub fn decode(&self, r: &mut BitReader<'_>) -> Result<u32, BitsError> {
+        let prefix = r.peek_bits(u32::from(self.max_len)) as usize;
+        let (symbol, len) = self.lookup[prefix];
+        if symbol == u32::MAX {
+            return Err(BitsError::InvalidCode { table: self.name });
+        }
+        r.skip_bits(u32::from(len))?;
+        Ok(symbol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_table() -> VlcTable {
+        VlcTable::new(
+            "test",
+            &[
+                VlcEntry::new(0b1, 1),
+                VlcEntry::new(0b01, 2),
+                VlcEntry::new(0b001, 3),
+                VlcEntry::new(0b000, 3),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_all_symbols() {
+        let t = simple_table();
+        let mut w = BitWriter::new();
+        for s in 0..4 {
+            t.encode(s, &mut w);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for s in 0..4 {
+            assert_eq!(t.decode(&mut r).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn rejects_non_prefix_free() {
+        let err = VlcTable::new(
+            "bad",
+            &[VlcEntry::new(0b1, 1), VlcEntry::new(0b11, 2)],
+        )
+        .unwrap_err();
+        assert!(matches!(err, BuildVlcError::NotPrefixFree { .. }));
+    }
+
+    #[test]
+    fn rejects_bad_lengths_and_codes() {
+        assert!(matches!(
+            VlcTable::new("bad", &[VlcEntry::new(0, 0)]),
+            Err(BuildVlcError::BadLength { .. })
+        ));
+        assert!(matches!(
+            VlcTable::new("bad", &[VlcEntry::new(0b100, 2)]),
+            Err(BuildVlcError::BadCode { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_bits_report_table_name() {
+        // Only "1" and "01" are valid; "00" prefix is invalid.
+        let t = VlcTable::new("named", &[VlcEntry::new(0b1, 1), VlcEntry::new(0b01, 2)]).unwrap();
+        let bytes = [0b0010_0000u8];
+        let mut r = BitReader::new(&bytes);
+        match t.decode(&mut r) {
+            Err(BitsError::InvalidCode { table }) => assert_eq!(table, "named"),
+            other => panic!("expected invalid code, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_codeword_is_eof() {
+        let t = simple_table();
+        let mut w = BitWriter::new();
+        t.encode(0, &mut w); // "1" -> one bit, padded to 0b1000_0000
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(t.decode(&mut r).unwrap(), 0);
+        // Padding zeros decode as symbol 3 ("000") twice then hit EOF mid-code.
+        assert_eq!(t.decode(&mut r).unwrap(), 3);
+        assert_eq!(t.decode(&mut r).unwrap(), 3);
+        assert_eq!(t.decode(&mut r), Err(BitsError::Eof));
+    }
+
+    #[test]
+    fn code_len_matches_encoding_cost() {
+        let t = simple_table();
+        for s in 0..4u32 {
+            let mut w = BitWriter::new();
+            t.encode(s, &mut w);
+            assert_eq!(u64::from(t.code_len(s)), w.bit_len());
+        }
+    }
+
+    #[test]
+    fn max_len_reported() {
+        assert_eq!(simple_table().max_len(), 3);
+        assert_eq!(simple_table().len(), 4);
+        assert!(!simple_table().is_empty());
+    }
+
+    #[test]
+    fn from_lengths_builds_decodable_canonical_code() {
+        let lengths = [2u8, 2, 3, 4, 4, 3];
+        let t = VlcTable::from_lengths("canon", &lengths).unwrap();
+        let mut w = BitWriter::new();
+        for s in 0..lengths.len() as u32 {
+            t.encode(s, &mut w);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for s in 0..lengths.len() as u32 {
+            assert_eq!(t.decode(&mut r).unwrap(), s);
+        }
+        for (i, &l) in lengths.iter().enumerate() {
+            assert_eq!(t.code_len(i as u32), u32::from(l));
+        }
+    }
+
+    #[test]
+    fn from_lengths_rejects_kraft_violation() {
+        // Three 1-bit codes cannot coexist.
+        assert!(VlcTable::from_lengths("bad", &[1, 1, 1]).is_err());
+    }
+
+    #[test]
+    fn from_lengths_single_symbol() {
+        let t = VlcTable::from_lengths("one", &[1]).unwrap();
+        let mut w = BitWriter::new();
+        t.encode(0, &mut w);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(t.decode(&mut r).unwrap(), 0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Tiny hand-rolled option parser (no external dependencies, like the
+//! rest of the workspace).
+
+use hdvb_core::CodecId;
+use hdvb_dsp::SimdLevel;
+use hdvb_frame::Resolution;
+use hdvb_seq::SequenceId;
+use std::collections::HashMap;
+
+/// Parsed `--key value` options.
+pub struct Parsed {
+    values: HashMap<String, String>,
+}
+
+impl Parsed {
+    pub fn parse(args: &[String]) -> Result<Parsed, String> {
+        let mut values = HashMap::new();
+        let mut it = args.iter().peekable();
+        while let Some(arg) = it.next() {
+            let key = match arg.as_str() {
+                "-i" => "input".to_string(),
+                "-o" => "output".to_string(),
+                s if s.starts_with("--") => s[2..].to_string(),
+                other => return Err(format!("unexpected argument {other:?}")),
+            };
+            let value = it
+                .next()
+                .ok_or_else(|| format!("option --{key} needs a value"))?;
+            values.insert(key, value.clone());
+        }
+        Ok(Parsed { values })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    pub fn codec(&self) -> Result<CodecId, String> {
+        let name = self.get("codec").ok_or("missing --codec")?;
+        CodecId::from_name(name).ok_or_else(|| format!("unknown codec {name:?}"))
+    }
+
+    pub fn sequence(&self) -> Result<SequenceId, String> {
+        let name = self.get("sequence").ok_or("missing --sequence")?;
+        SequenceId::from_name(name).ok_or_else(|| format!("unknown sequence {name:?}"))
+    }
+
+    pub fn resolution(&self) -> Result<Resolution, String> {
+        parse_resolution(self.get("resolution").unwrap_or("576p25"))
+    }
+
+    pub fn frames(&self) -> Result<u32, String> {
+        match self.get("frames") {
+            None => Ok(100),
+            Some(v) => v
+                .parse::<u32>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| format!("bad --frames {v:?}")),
+        }
+    }
+
+    pub fn qscale(&self) -> Result<u16, String> {
+        match self.get("qscale") {
+            None => Ok(5),
+            Some(v) => v
+                .parse::<u16>()
+                .ok()
+                .filter(|&q| (1..=62).contains(&q))
+                .ok_or_else(|| format!("bad --qscale {v:?} (1..=62)")),
+        }
+    }
+
+    pub fn simd(&self) -> Result<SimdLevel, String> {
+        match self.get("simd") {
+            None => Ok(SimdLevel::detect()),
+            Some("scalar") => Ok(SimdLevel::Scalar),
+            Some("simd") | Some("sse2") => Ok(SimdLevel::Sse2),
+            Some(v) => Err(format!("bad --simd {v:?} (scalar|simd)")),
+        }
+    }
+
+    pub fn b_frames(&self) -> Result<u8, String> {
+        match self.get("b-frames") {
+            None => Ok(2),
+            Some(v) => v
+                .parse::<u8>()
+                .ok()
+                .filter(|&b| b <= 4)
+                .ok_or_else(|| format!("bad --b-frames {v:?} (0..=4)")),
+        }
+    }
+
+    pub fn scale(&self) -> Result<u32, String> {
+        match self.get("scale") {
+            None => Ok(1),
+            Some(v) => v
+                .parse::<u32>()
+                .ok()
+                .filter(|&s| s >= 1)
+                .ok_or_else(|| format!("bad --scale {v:?}")),
+        }
+    }
+
+    pub fn input(&self) -> Option<&str> {
+        self.get("input")
+    }
+
+    pub fn output(&self) -> Option<&str> {
+        self.get("output")
+    }
+
+    pub fn part(&self) -> Result<&str, String> {
+        let p = self.get("part").unwrap_or("all");
+        if ["a", "b", "c", "d", "all"].contains(&p) {
+            Ok(p)
+        } else {
+            Err(format!("bad --part {p:?} (a|b|c|d|all)"))
+        }
+    }
+}
+
+/// Parses `"576p25"`, `"720p25"`, `"1088p25"` or `"<W>x<H>"`.
+pub fn parse_resolution(s: &str) -> Result<Resolution, String> {
+    match s {
+        "576p25" | "dvd" => Ok(Resolution::DVD_576),
+        "720p25" | "hd720" => Ok(Resolution::HD_720),
+        "1088p25" | "1080p25" | "hd1088" => Ok(Resolution::HD_1088),
+        custom => {
+            let (w, h) = custom
+                .split_once('x')
+                .ok_or_else(|| format!("bad resolution {custom:?}"))?;
+            let w: u32 = w.parse().map_err(|_| format!("bad width in {custom:?}"))?;
+            let h: u32 = h.parse().map_err(|_| format!("bad height in {custom:?}"))?;
+            if w < 16 || h < 16 || w % 2 != 0 || h % 2 != 0 || w > 16384 || h > 16384 {
+                return Err(format!("unsupported resolution {custom:?}"));
+            }
+            Ok(Resolution::new(w, h))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parsed(args: &[&str]) -> Parsed {
+        Parsed::parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn parses_named_resolutions() {
+        assert_eq!(parse_resolution("576p25").unwrap(), Resolution::DVD_576);
+        assert_eq!(parse_resolution("720p25").unwrap(), Resolution::HD_720);
+        assert_eq!(parse_resolution("1088p25").unwrap(), Resolution::HD_1088);
+        assert_eq!(
+            parse_resolution("320x240").unwrap(),
+            Resolution::new(320, 240)
+        );
+        assert!(parse_resolution("bogus").is_err());
+        assert!(parse_resolution("15x20").is_err());
+    }
+
+    #[test]
+    fn defaults() {
+        let p = parsed(&[]);
+        assert_eq!(p.frames().unwrap(), 100);
+        assert_eq!(p.qscale().unwrap(), 5);
+        assert_eq!(p.b_frames().unwrap(), 2);
+        assert_eq!(p.scale().unwrap(), 1);
+    }
+
+    #[test]
+    fn option_values() {
+        let p = parsed(&["--codec", "h264", "--frames", "12", "--simd", "scalar", "-o", "out.hvb"]);
+        assert_eq!(p.codec().unwrap(), CodecId::H264);
+        assert_eq!(p.frames().unwrap(), 12);
+        assert_eq!(p.simd().unwrap(), SimdLevel::Scalar);
+        assert_eq!(p.output(), Some("out.hvb"));
+    }
+
+    #[test]
+    fn bad_values_are_reported() {
+        let p = parsed(&["--codec", "vp9"]);
+        assert!(p.codec().is_err());
+        let p = parsed(&["--qscale", "0"]);
+        assert!(p.qscale().is_err());
+        assert!(Parsed::parse(&["--frames".to_string()]).is_err());
+        assert!(Parsed::parse(&["stray".to_string()]).is_err());
+    }
+}

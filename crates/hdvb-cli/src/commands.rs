@@ -1,0 +1,319 @@
+//! The `hdvb` subcommand implementations.
+
+use crate::args::Parsed;
+use hdvb_core::{
+    create_encoder, decode_sequence, encode_sequence, figure1_markdown,
+    measure_figure1_row, measure_rd_point, read_stream, table5_markdown, write_stream, CodecId,
+    CodingOptions, Figure1Row, Packet, StreamHeader, Table5Row,
+};
+use hdvb_dsp::SimdLevel;
+use hdvb_frame::{Frame, Resolution, SequencePsnr, VideoFormat, Y4mReader, Y4mWriter};
+use hdvb_seq::{Sequence, SequenceId};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::time::Instant;
+
+type CmdResult = Result<(), String>;
+
+fn options_from(p: &Parsed) -> Result<CodingOptions, String> {
+    Ok(CodingOptions::default()
+        .with_qscale(p.qscale()?)
+        .with_b_frames(p.b_frames()?)
+        .with_simd(p.simd()?))
+}
+
+pub fn list_codecs() -> CmdResult {
+    println!("codec   paper encoder   paper decoder");
+    for c in CodecId::ALL {
+        println!("{:<7} {:<15} {}", c.name(), c.paper_encoder(), c.paper_decoder());
+    }
+    Ok(())
+}
+
+pub fn list_sequences() -> CmdResult {
+    println!("HD-VideoBench input sequences (paper Table III), 25 fps, 100 frames:");
+    for s in SequenceId::ALL {
+        println!("  {:<16} {}", s.name(), s.description());
+    }
+    println!("resolutions: 576p25 (720x576), 720p25 (1280x720), 1088p25 (1920x1088)");
+    Ok(())
+}
+
+pub fn generate(p: &Parsed) -> CmdResult {
+    let seq = Sequence::new(p.sequence()?, p.resolution()?);
+    let frames = p.frames()?;
+    let path = p.output().ok_or("missing --output for generate")?;
+    let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    let mut writer = Y4mWriter::new(
+        BufWriter::new(file),
+        seq.resolution(),
+        seq.format().frame_rate,
+    );
+    for i in 0..frames {
+        writer
+            .write_frame(&seq.frame(i))
+            .map_err(|e| format!("write failed: {e}"))?;
+    }
+    writer.into_inner().map_err(|e| format!("flush failed: {e}"))?;
+    println!("wrote {frames} frames of {} to {path}", seq.id());
+    Ok(())
+}
+
+/// Reads every frame of a Y4M file.
+fn read_y4m(path: &str) -> Result<(VideoFormat, Vec<Frame>), String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let mut reader =
+        Y4mReader::new(BufReader::new(file)).map_err(|e| format!("bad y4m {path}: {e}"))?;
+    let format = VideoFormat {
+        resolution: reader.resolution(),
+        frame_rate: reader.frame_rate(),
+    };
+    let mut frames = Vec::new();
+    while let Some(f) = reader.read_frame().map_err(|e| format!("read failed: {e}"))? {
+        frames.push(f);
+    }
+    Ok((format, frames))
+}
+
+pub fn encode(p: &Parsed) -> CmdResult {
+    let codec = p.codec()?;
+    let options = options_from(p)?;
+    let out_path = p.output().ok_or("missing --output for encode")?;
+
+    let (format, packets, frames, elapsed) = if let Some(input) = p.input() {
+        // Encode an external .y4m file.
+        let (format, frames_in) = read_y4m(input)?;
+        let mut enc = create_encoder(codec, format.resolution, &options)
+            .map_err(|e| e.to_string())?;
+        let mut packets: Vec<Packet> = Vec::new();
+        let t0 = Instant::now();
+        for f in &frames_in {
+            packets.extend(enc.encode_frame(f).map_err(|e| e.to_string())?);
+        }
+        packets.extend(enc.finish().map_err(|e| e.to_string())?);
+        (format, packets, frames_in.len() as u32, t0.elapsed())
+    } else {
+        // Encode a synthetic benchmark sequence.
+        let seq = Sequence::new(p.sequence()?, p.resolution()?);
+        let result =
+            encode_sequence(codec, seq, p.frames()?, &options).map_err(|e| e.to_string())?;
+        (seq.format(), result.packets, result.frames, result.elapsed)
+    };
+
+    let bits: u64 = packets.iter().map(Packet::bits).sum();
+    let header = StreamHeader { codec, format };
+    let file = File::create(out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?;
+    write_stream(BufWriter::new(file), &header, &packets).map_err(|e| e.to_string())?;
+    let fps = f64::from(frames) / elapsed.as_secs_f64().max(1e-9);
+    let kbps = bits as f64 * format.frame_rate.as_f64() / f64::from(frames.max(1)) / 1000.0;
+    println!(
+        "{codec}: encoded {frames} frames in {:.2}s ({fps:.2} fps), {kbps:.0} kbit/s -> {out_path}",
+        elapsed.as_secs_f64()
+    );
+    Ok(())
+}
+
+pub fn decode(p: &Parsed) -> CmdResult {
+    let in_path = p.input().ok_or("missing --input for decode")?;
+    let file = File::open(in_path).map_err(|e| format!("cannot open {in_path}: {e}"))?;
+    let (header, packets) = read_stream(BufReader::new(file)).map_err(|e| e.to_string())?;
+    let simd = p.simd()?;
+    let result = decode_sequence(header.codec, &packets, simd).map_err(|e| e.to_string())?;
+    println!(
+        "{}: decoded {} frames in {:.3}s ({:.2} fps, {})",
+        header.codec,
+        result.frames.len(),
+        result.elapsed.as_secs_f64(),
+        result.decode_fps(),
+        simd.label(),
+    );
+    if let Some(out_path) = p.output() {
+        let file = File::create(out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?;
+        let mut writer = Y4mWriter::new(
+            BufWriter::new(file),
+            header.format.resolution,
+            header.format.frame_rate,
+        );
+        for f in &result.frames {
+            writer
+                .write_frame(f)
+                .map_err(|e| format!("write failed: {e}"))?;
+        }
+        writer.into_inner().map_err(|e| format!("flush failed: {e}"))?;
+        println!("wrote {out_path}");
+    }
+    Ok(())
+}
+
+/// PSNR between a decoded `.y4m` (via `--input`) and either a second
+/// `.y4m` (via `--output` used as the reference path) or a regenerated
+/// synthetic sequence (via `--sequence`).
+pub fn psnr(p: &Parsed) -> CmdResult {
+    let in_path = p.input().ok_or("missing --input for psnr")?;
+    let (format, distorted) = read_y4m(in_path)?;
+    let mut acc = SequencePsnr::new();
+    if let Some(ref_path) = p.output() {
+        let (_, reference) = read_y4m(ref_path)?;
+        if reference.len() < distorted.len() {
+            return Err(format!(
+                "reference has {} frames, distorted has {}",
+                reference.len(),
+                distorted.len()
+            ));
+        }
+        for (r, d) in reference.iter().zip(&distorted) {
+            acc.add(r, d);
+        }
+    } else {
+        let seq = Sequence::new(p.sequence()?, format.resolution);
+        for (i, d) in distorted.iter().enumerate() {
+            acc.add(&seq.frame(i as u32), d);
+        }
+    }
+    println!(
+        "{} frames: Y {:.3} dB  Cb {:.3} dB  Cr {:.3} dB  combined {:.3} dB",
+        acc.frames(),
+        acc.y_psnr(),
+        acc.cb_psnr(),
+        acc.cr_psnr(),
+        acc.combined_psnr()
+    );
+    Ok(())
+}
+
+pub fn bench(p: &Parsed) -> CmdResult {
+    let codec = p.codec()?;
+    let seq = Sequence::new(p.sequence()?, p.resolution()?);
+    let options = options_from(p)?;
+    let frames = p.frames()?;
+    let t = measure_figure1_row(codec, seq, frames, &options).map_err(|e| e.to_string())?;
+    let rd = measure_rd_point(codec, seq, frames, &options).map_err(|e| e.to_string())?;
+    println!(
+        "{codec} {} {} {} frames ({}): encode {:.2} fps, decode {:.2} fps, \
+         {:.2} dB (ssim {:.4}), {:.0} kbit/s",
+        seq.id(),
+        seq.resolution().label(),
+        frames,
+        options.simd.label(),
+        t.encode_fps,
+        t.decode_fps,
+        rd.psnr_y,
+        rd.ssim_y,
+        rd.bitrate_kbps,
+    );
+    Ok(())
+}
+
+fn benchmark_resolutions(scale: u32) -> Vec<Resolution> {
+    Resolution::ALL
+        .iter()
+        .map(|r| if scale == 1 { *r } else { r.scaled_down(scale) })
+        .collect()
+}
+
+pub fn table5(p: &Parsed) -> CmdResult {
+    let options = options_from(p)?;
+    let frames = p.frames()?;
+    let scale = p.scale()?;
+    let mut rows = Vec::new();
+    for resolution in benchmark_resolutions(scale) {
+        for sid in SequenceId::ALL {
+            let seq = Sequence::new(sid, resolution);
+            let mut points = [(0.0, 0.0); 3];
+            for (ci, codec) in CodecId::ALL.iter().enumerate() {
+                eprintln!("measuring {codec} on {sid} at {resolution} ...");
+                let rd = measure_rd_point(*codec, seq, frames, &options)
+                    .map_err(|e| e.to_string())?;
+                points[ci] = (rd.psnr_y, rd.bitrate_kbps);
+            }
+            rows.push(Table5Row {
+                resolution,
+                sequence: sid,
+                points,
+            });
+        }
+    }
+    println!("# Table V — rate-distortion comparison ({frames} frames, qscale {}, scale 1/{scale})", options.mpeg_qscale);
+    println!();
+    print!("{}", table5_markdown(&rows));
+    Ok(())
+}
+
+pub fn figure1(p: &Parsed) -> CmdResult {
+    let frames = p.frames()?;
+    let scale = p.scale()?;
+    let part = p.part()?.to_string();
+    let wanted = |decode: bool, simd: bool| -> bool {
+        match part.as_str() {
+            "a" => decode && !simd,
+            "b" => decode && simd,
+            "c" => !decode && !simd,
+            "d" => !decode && simd,
+            _ => true,
+        }
+    };
+    let mut rows = Vec::new();
+    for resolution in benchmark_resolutions(scale) {
+        for simd in [SimdLevel::Scalar, SimdLevel::Sse2] {
+            if !wanted(true, simd == SimdLevel::Sse2) && !wanted(false, simd == SimdLevel::Sse2) {
+                continue;
+            }
+            let options = options_from(p)?.with_simd(simd);
+            let mut enc_fps = [0.0; 3];
+            let mut dec_fps = [0.0; 3];
+            for (ci, codec) in CodecId::ALL.iter().enumerate() {
+                // Average over the four input sequences, like the figure.
+                let mut enc_sum = 0.0;
+                let mut dec_sum = 0.0;
+                for sid in SequenceId::ALL {
+                    eprintln!(
+                        "measuring {codec} on {sid} at {resolution} ({}) ...",
+                        simd.label()
+                    );
+                    let seq = Sequence::new(sid, resolution);
+                    let t = measure_figure1_row(*codec, seq, frames, &options)
+                        .map_err(|e| e.to_string())?;
+                    enc_sum += t.encode_fps;
+                    dec_sum += t.decode_fps;
+                }
+                enc_fps[ci] = enc_sum / SequenceId::ALL.len() as f64;
+                dec_fps[ci] = dec_sum / SequenceId::ALL.len() as f64;
+            }
+            let is_simd = simd == SimdLevel::Sse2;
+            if wanted(true, is_simd) {
+                rows.push(Figure1Row {
+                    resolution,
+                    decode: true,
+                    simd: is_simd,
+                    fps: dec_fps,
+                });
+            }
+            if wanted(false, is_simd) {
+                rows.push(Figure1Row {
+                    resolution,
+                    decode: false,
+                    simd: is_simd,
+                    fps: enc_fps,
+                });
+            }
+        }
+    }
+    println!("# Figure 1 — HD-VideoBench performance ({frames} frames, scale 1/{scale})");
+    println!();
+    print!("{}", figure1_markdown(&rows));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_resolutions_scaling() {
+        let full = benchmark_resolutions(1);
+        assert_eq!(full, vec![Resolution::DVD_576, Resolution::HD_720, Resolution::HD_1088]);
+        let quarter = benchmark_resolutions(4);
+        assert_eq!(quarter[0], Resolution::DVD_576.scaled_down(4));
+        assert!(quarter[2].width() < 500);
+    }
+}

@@ -1,0 +1,89 @@
+//! `hdvb` — the HD-VideoBench command-line front end.
+//!
+//! Plays the role MPlayer/MEncoder play in the original benchmark
+//! (paper Table IV): a single driver that selects a codec, runs encode
+//! or decode with video output disabled, and reports benchmark numbers.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+hdvb — HD-VideoBench: a benchmark for HD digital video applications
+
+USAGE:
+    hdvb <COMMAND> [OPTIONS]
+
+COMMANDS:
+    list-codecs                     the benchmark applications (paper Table II)
+    list-sequences                  the input sequences (paper Table III)
+    generate                        render a synthetic sequence to .y4m
+    encode                          encode a sequence (or .y4m) to an .hvb stream
+    decode                          decode an .hvb stream (optionally to .y4m)
+    psnr                            PSNR between a .y4m file and its reference
+    bench                           encode+decode throughput for one configuration
+    table5                          reproduce Table V (rate-distortion comparison)
+    figure1                         reproduce Figure 1 (decode/encode fps, scalar+SIMD)
+
+COMMON OPTIONS:
+    --codec <mpeg2|mpeg4|h264>      codec under test
+    --sequence <name>               blue_sky | pedestrian_area | riverbed | rush_hour
+    --resolution <r>                576p25 | 720p25 | 1088p25 | <W>x<H>   [default: 576p25]
+    --frames <n>                    frames to process                     [default: 100]
+    --qscale <q>                    MPEG quantiser scale (H.264 QP via Eq. 1) [default: 5]
+    --simd <scalar|simd>            kernel dispatch level                 [default: simd]
+    --b-frames <n>                  B pictures between anchors            [default: 2]
+    -i, --input <file>              input file (.y4m for encode, .hvb for decode)
+    -o, --output <file>             output file
+    --scale <d>                     divide benchmark resolutions by d (quick runs)
+
+EXAMPLES:
+    hdvb encode --codec h264 --sequence blue_sky --resolution 720p25 -o out.hvb
+    hdvb decode -i out.hvb --simd scalar -o out.y4m
+    hdvb psnr -i out.y4m --sequence blue_sky
+    hdvb table5 --frames 24 --scale 2
+    hdvb figure1 --frames 24 --scale 2
+";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first().map(String::as_str) else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    if command == "--help" || command == "-h" || command == "help" {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let parsed = match args::Parsed::parse(&argv[1..]) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command {
+        "list-codecs" => commands::list_codecs(),
+        "list-sequences" => commands::list_sequences(),
+        "generate" => commands::generate(&parsed),
+        "encode" => commands::encode(&parsed),
+        "decode" => commands::decode(&parsed),
+        "psnr" => commands::psnr(&parsed),
+        "bench" => commands::bench(&parsed),
+        "table5" => commands::table5(&parsed),
+        "figure1" => commands::figure1(&parsed),
+        other => {
+            eprintln!("error: unknown command {other:?}\n");
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

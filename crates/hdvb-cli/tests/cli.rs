@@ -1,0 +1,155 @@
+//! End-to-end tests of the `hdvb` binary: the Table IV-style driver
+//! commands must work from the command line.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn hdvb() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hdvb"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("hdvb-cli-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn help_lists_commands() {
+    let out = hdvb().arg("--help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for cmd in ["encode", "decode", "table5", "figure1", "list-codecs"] {
+        assert!(text.contains(cmd), "help missing {cmd}");
+    }
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = hdvb().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn list_commands_run() {
+    for cmd in ["list-codecs", "list-sequences"] {
+        let out = hdvb().arg(cmd).output().unwrap();
+        assert!(out.status.success(), "{cmd}");
+        assert!(!out.stdout.is_empty());
+    }
+}
+
+#[test]
+fn encode_decode_generate_pipeline() {
+    let stream = tmp("stream.hvb");
+    let video = tmp("decoded.y4m");
+    let raw = tmp("raw.y4m");
+
+    // Encode a tiny synthetic clip.
+    let out = hdvb()
+        .args([
+            "encode", "--codec", "mpeg2", "--sequence", "rush_hour", "--resolution", "96x80",
+            "--frames", "5", "-o",
+        ])
+        .arg(&stream)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "encode failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stream.exists());
+
+    // Decode it back to y4m, scalar decoder.
+    let out = hdvb()
+        .args(["decode", "--simd", "scalar", "-i"])
+        .arg(&stream)
+        .arg("-o")
+        .arg(&video)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "decode failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let decoded = std::fs::read(&video).unwrap();
+    assert!(decoded.starts_with(b"YUV4MPEG2"));
+
+    // Generate the raw original too.
+    let out = hdvb()
+        .args([
+            "generate", "--sequence", "rush_hour", "--resolution", "96x80", "--frames", "5",
+            "-o",
+        ])
+        .arg(&raw)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    // Same frame count (both y4m files have 5 FRAME markers).
+    let raw_bytes = std::fs::read(&raw).unwrap();
+    let count = |b: &[u8]| b.windows(5).filter(|w| w == b"FRAME").count();
+    assert_eq!(count(&decoded), 5);
+    assert_eq!(count(&raw_bytes), 5);
+
+    // Re-encode the decoded y4m through a different codec.
+    let stream2 = tmp("stream2.hvb");
+    let out = hdvb()
+        .args(["encode", "--codec", "h264", "-i"])
+        .arg(&video)
+        .arg("-o")
+        .arg(&stream2)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "transcode failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    for f in [stream, video, raw, stream2] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+#[test]
+fn bench_command_reports_fps() {
+    let out = hdvb()
+        .args([
+            "bench", "--codec", "mpeg4", "--sequence", "blue_sky", "--resolution", "96x80",
+            "--frames", "4",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("encode"), "{text}");
+    assert!(text.contains("fps"), "{text}");
+}
+
+#[test]
+fn table5_small_run_produces_markdown() {
+    let out = hdvb()
+        .args(["table5", "--frames", "2", "--scale", "16"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Table V"));
+    assert!(text.contains("blue_sky"));
+    assert!(text.contains("compression gain"));
+}
+
+#[test]
+fn decode_rejects_garbage() {
+    let bad = tmp("garbage.hvb");
+    std::fs::write(&bad, b"this is not a stream").unwrap();
+    let out = hdvb().args(["decode", "-i"]).arg(&bad).output().unwrap();
+    assert!(!out.status.success());
+    let _ = std::fs::remove_file(bad);
+}

@@ -1,0 +1,343 @@
+//! The codec registry: one entry per application of the paper's Table II,
+//! unified behind object-safe encoder/decoder traits.
+
+use crate::{BenchError, CodingOptions};
+use hdvb_dsp::SimdLevel;
+use hdvb_frame::{Frame, Resolution};
+use std::fmt;
+
+/// The video standards covered by HD-VideoBench (paper Table II).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CodecId {
+    /// MPEG-2 (paper applications: FFmpeg encoder, libmpeg2 decoder).
+    Mpeg2,
+    /// MPEG-4 ASP (paper application: Xvid).
+    Mpeg4,
+    /// H.264/AVC (paper applications: x264 encoder, FFmpeg decoder).
+    H264,
+}
+
+impl CodecId {
+    /// All codecs in the paper's order.
+    pub const ALL: [CodecId; 3] = [CodecId::Mpeg2, CodecId::Mpeg4, CodecId::H264];
+
+    /// Short name used in reports and the CLI.
+    pub fn name(self) -> &'static str {
+        match self {
+            CodecId::Mpeg2 => "mpeg2",
+            CodecId::Mpeg4 => "mpeg4",
+            CodecId::H264 => "h264",
+        }
+    }
+
+    /// The original benchmark's encoder application for this codec.
+    pub fn paper_encoder(self) -> &'static str {
+        match self {
+            CodecId::Mpeg2 => "ffmpeg-mpeg2",
+            CodecId::Mpeg4 => "xvid",
+            CodecId::H264 => "x264",
+        }
+    }
+
+    /// The original benchmark's decoder application for this codec.
+    pub fn paper_decoder(self) -> &'static str {
+        match self {
+            CodecId::Mpeg2 => "libmpeg2",
+            CodecId::Mpeg4 => "xvid",
+            CodecId::H264 => "ffmpeg-h264",
+        }
+    }
+
+    /// Parses a codec from its short name.
+    pub fn from_name(name: &str) -> Option<CodecId> {
+        CodecId::ALL.into_iter().find(|c| c.name() == name)
+    }
+}
+
+impl fmt::Display for CodecId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Picture type of a coded packet, unified across codecs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PacketKind {
+    /// Intra picture.
+    I,
+    /// Forward-predicted picture.
+    P,
+    /// Bidirectionally predicted picture.
+    B,
+}
+
+impl fmt::Display for PacketKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PacketKind::I => "I",
+            PacketKind::P => "P",
+            PacketKind::B => "B",
+        })
+    }
+}
+
+/// One coded picture, codec-agnostic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Packet {
+    /// Serialised picture.
+    pub data: Vec<u8>,
+    /// Picture type.
+    pub kind: PacketKind,
+    /// Display-order index.
+    pub display_index: u32,
+}
+
+impl Packet {
+    /// Coded size in bits.
+    pub fn bits(&self) -> u64 {
+        self.data.len() as u64 * 8
+    }
+}
+
+/// An object-safe encoder: display-order frames in, coding-order packets
+/// out.
+pub trait VideoEncoder {
+    /// Encodes the next display-order frame.
+    ///
+    /// # Errors
+    ///
+    /// Codec-specific configuration or geometry errors.
+    fn encode_frame(&mut self, frame: &Frame) -> Result<Vec<Packet>, BenchError>;
+
+    /// Flushes buffered frames at end of stream.
+    ///
+    /// # Errors
+    ///
+    /// Codec-specific errors.
+    fn finish(&mut self) -> Result<Vec<Packet>, BenchError>;
+}
+
+/// An object-safe decoder: coding-order packets in, display-order frames
+/// out.
+pub trait VideoDecoder {
+    /// Decodes one packet.
+    ///
+    /// # Errors
+    ///
+    /// [`BenchError::Bitstream`] on malformed input.
+    fn decode_packet(&mut self, data: &[u8]) -> Result<Vec<Frame>, BenchError>;
+
+    /// Returns the final buffered frames at end of stream.
+    fn finish(&mut self) -> Vec<Frame>;
+}
+
+/// Creates an encoder for `codec` at the benchmark's coding options.
+///
+/// # Errors
+///
+/// [`BenchError::Codec`] if the options are invalid for the codec.
+pub fn create_encoder(
+    codec: CodecId,
+    resolution: Resolution,
+    options: &CodingOptions,
+) -> Result<Box<dyn VideoEncoder>, BenchError> {
+    let (w, h) = (resolution.width(), resolution.height());
+    match codec {
+        CodecId::Mpeg2 => {
+            let config = hdvb_mpeg2::EncoderConfig::new(w, h)
+                .with_qscale(options.mpeg_qscale)
+                .with_b_frames(options.b_frames)
+                .with_search_range(options.search_range)
+                .with_intra_period(options.intra_period)
+                .with_simd(options.simd);
+            Ok(Box::new(Mpeg2Enc(hdvb_mpeg2::Mpeg2Encoder::new(config)?)))
+        }
+        CodecId::Mpeg4 => {
+            let config = hdvb_mpeg4::EncoderConfig::new(w, h)
+                .with_qscale(options.mpeg_qscale)
+                .with_b_frames(options.b_frames)
+                .with_search_range(options.search_range)
+                .with_intra_period(options.intra_period)
+                .with_simd(options.simd);
+            Ok(Box::new(Mpeg4Enc(hdvb_mpeg4::Mpeg4Encoder::new(config)?)))
+        }
+        CodecId::H264 => {
+            let config = hdvb_h264::EncoderConfig::new(w, h)
+                .with_qp(options.h264_qp())
+                .with_b_frames(options.b_frames)
+                .with_search_range(options.search_range)
+                .with_intra_period(options.intra_period)
+                .with_num_refs(options.h264_refs)
+                .with_simd(options.simd);
+            Ok(Box::new(H264Enc(hdvb_h264::H264Encoder::new(config)?)))
+        }
+    }
+}
+
+/// Creates a decoder for `codec` at the given SIMD level.
+pub fn create_decoder(codec: CodecId, simd: SimdLevel) -> Box<dyn VideoDecoder> {
+    match codec {
+        CodecId::Mpeg2 => Box::new(Mpeg2Dec(hdvb_mpeg2::Mpeg2Decoder::with_simd(simd))),
+        CodecId::Mpeg4 => Box::new(Mpeg4Dec(hdvb_mpeg4::Mpeg4Decoder::with_simd(simd))),
+        CodecId::H264 => Box::new(H264Dec(hdvb_h264::H264Decoder::with_simd(simd))),
+    }
+}
+
+macro_rules! impl_adapters {
+    ($enc:ident, $dec:ident, $enc_ty:ty, $dec_ty:ty, $ft:path) => {
+        struct $enc($enc_ty);
+
+        impl VideoEncoder for $enc {
+            fn encode_frame(&mut self, frame: &Frame) -> Result<Vec<Packet>, BenchError> {
+                Ok(self.0.encode(frame)?.into_iter().map(convert_packet).collect())
+            }
+
+            fn finish(&mut self) -> Result<Vec<Packet>, BenchError> {
+                Ok(self.0.flush()?.into_iter().map(convert_packet).collect())
+            }
+        }
+
+        struct $dec($dec_ty);
+
+        impl VideoDecoder for $dec {
+            fn decode_packet(&mut self, data: &[u8]) -> Result<Vec<Frame>, BenchError> {
+                self.0
+                    .decode(data)
+                    .map_err(|e| BenchError::Bitstream(e.to_string()))
+            }
+
+            fn finish(&mut self) -> Vec<Frame> {
+                self.0.flush()
+            }
+        }
+    };
+}
+
+fn kind_of<T: Into<PacketKind>>(t: T) -> PacketKind {
+    t.into()
+}
+
+impl From<hdvb_mpeg2::FrameType> for PacketKind {
+    fn from(t: hdvb_mpeg2::FrameType) -> Self {
+        match t {
+            hdvb_mpeg2::FrameType::I => PacketKind::I,
+            hdvb_mpeg2::FrameType::P => PacketKind::P,
+            hdvb_mpeg2::FrameType::B => PacketKind::B,
+        }
+    }
+}
+
+impl From<hdvb_mpeg4::FrameType> for PacketKind {
+    fn from(t: hdvb_mpeg4::FrameType) -> Self {
+        match t {
+            hdvb_mpeg4::FrameType::I => PacketKind::I,
+            hdvb_mpeg4::FrameType::P => PacketKind::P,
+            hdvb_mpeg4::FrameType::B => PacketKind::B,
+        }
+    }
+}
+
+impl From<hdvb_h264::FrameType> for PacketKind {
+    fn from(t: hdvb_h264::FrameType) -> Self {
+        match t {
+            hdvb_h264::FrameType::I => PacketKind::I,
+            hdvb_h264::FrameType::P => PacketKind::P,
+            hdvb_h264::FrameType::B => PacketKind::B,
+        }
+    }
+}
+
+trait IntoUnifiedPacket {
+    fn into_unified(self) -> Packet;
+}
+
+impl IntoUnifiedPacket for hdvb_mpeg2::Packet {
+    fn into_unified(self) -> Packet {
+        Packet {
+            kind: kind_of(self.frame_type),
+            display_index: self.display_index,
+            data: self.data,
+        }
+    }
+}
+
+impl IntoUnifiedPacket for hdvb_mpeg4::Packet {
+    fn into_unified(self) -> Packet {
+        Packet {
+            kind: kind_of(self.frame_type),
+            display_index: self.display_index,
+            data: self.data,
+        }
+    }
+}
+
+impl IntoUnifiedPacket for hdvb_h264::Packet {
+    fn into_unified(self) -> Packet {
+        Packet {
+            kind: kind_of(self.frame_type),
+            display_index: self.display_index,
+            data: self.data,
+        }
+    }
+}
+
+fn convert_packet<P: IntoUnifiedPacket>(p: P) -> Packet {
+    p.into_unified()
+}
+
+impl_adapters!(Mpeg2Enc, Mpeg2Dec, hdvb_mpeg2::Mpeg2Encoder, hdvb_mpeg2::Mpeg2Decoder, hdvb_mpeg2::FrameType);
+impl_adapters!(Mpeg4Enc, Mpeg4Dec, hdvb_mpeg4::Mpeg4Encoder, hdvb_mpeg4::Mpeg4Decoder, hdvb_mpeg4::FrameType);
+impl_adapters!(H264Enc, H264Dec, hdvb_h264::H264Encoder, hdvb_h264::H264Decoder, hdvb_h264::FrameType);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codec_names_roundtrip() {
+        for c in CodecId::ALL {
+            assert_eq!(CodecId::from_name(c.name()), Some(c));
+        }
+        assert_eq!(CodecId::from_name("vc1"), None);
+    }
+
+    #[test]
+    fn paper_applications_match_table_ii() {
+        assert_eq!(CodecId::Mpeg2.paper_decoder(), "libmpeg2");
+        assert_eq!(CodecId::Mpeg2.paper_encoder(), "ffmpeg-mpeg2");
+        assert_eq!(CodecId::Mpeg4.paper_encoder(), "xvid");
+        assert_eq!(CodecId::H264.paper_encoder(), "x264");
+        assert_eq!(CodecId::H264.paper_decoder(), "ffmpeg-h264");
+    }
+
+    #[test]
+    fn every_codec_roundtrips_through_the_trait_objects() {
+        let res = Resolution::new(48, 32);
+        let options = CodingOptions::default();
+        for codec in CodecId::ALL {
+            let mut enc = create_encoder(codec, res, &options).unwrap();
+            let mut dec = create_decoder(codec, options.simd);
+            let frame = Frame::new(48, 32);
+            let mut packets = enc.encode_frame(&frame).unwrap();
+            packets.extend(enc.finish().unwrap());
+            let mut out = Vec::new();
+            for p in &packets {
+                out.extend(dec.decode_packet(&p.data).unwrap());
+            }
+            out.extend(dec.finish());
+            assert_eq!(out.len(), 1, "{codec}");
+            assert_eq!(packets[0].kind, PacketKind::I);
+        }
+    }
+
+    #[test]
+    fn decoders_reject_cross_codec_streams() {
+        let res = Resolution::new(48, 32);
+        let options = CodingOptions::default();
+        let mut enc = create_encoder(CodecId::Mpeg2, res, &options).unwrap();
+        let mut packets = enc.encode_frame(&Frame::new(48, 32)).unwrap();
+        packets.extend(enc.finish().unwrap());
+        let mut dec = create_decoder(CodecId::H264, options.simd);
+        assert!(dec.decode_packet(&packets[0].data).is_err());
+    }
+}

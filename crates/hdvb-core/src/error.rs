@@ -1,0 +1,61 @@
+use std::fmt;
+
+/// Errors surfaced by the benchmark harness.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum BenchError {
+    /// A codec rejected its configuration or input.
+    Codec(String),
+    /// The bitstream under measurement is invalid.
+    Bitstream(String),
+    /// The requested measurement is impossible (e.g. zero frames).
+    BadRequest(&'static str),
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchError::Codec(msg) => write!(f, "codec error: {msg}"),
+            BenchError::Bitstream(msg) => write!(f, "bitstream error: {msg}"),
+            BenchError::BadRequest(msg) => write!(f, "bad benchmark request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {}
+
+impl From<hdvb_mpeg2::CodecError> for BenchError {
+    fn from(e: hdvb_mpeg2::CodecError) -> Self {
+        BenchError::Codec(e.to_string())
+    }
+}
+
+impl From<hdvb_mpeg4::CodecError> for BenchError {
+    fn from(e: hdvb_mpeg4::CodecError) -> Self {
+        BenchError::Codec(e.to_string())
+    }
+}
+
+impl From<hdvb_h264::CodecError> for BenchError {
+    fn from(e: hdvb_h264::CodecError) -> Self {
+        BenchError::Codec(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: std::error::Error + Send + Sync>() {}
+        check::<BenchError>();
+    }
+
+    #[test]
+    fn display_messages() {
+        assert!(BenchError::BadRequest("zero frames")
+            .to_string()
+            .contains("zero frames"));
+    }
+}

@@ -1,0 +1,43 @@
+//! The HD-VideoBench benchmark harness.
+//!
+//! This crate is the paper's actual contribution: a curated set of video
+//! codecs ([`CodecId`]), input sequences (re-exported from `hdvb-seq`),
+//! tuned coding options ([`CodingOptions`], Section IV of the paper) and
+//! a measurement runner that produces the paper's evaluation
+//! artifacts — the rate-distortion comparison of Table V and the
+//! decode/encode throughput bars of Figure 1.
+//!
+//! # Example
+//!
+//! ```
+//! use hdvb_core::{encode_sequence, decode_sequence, CodecId, CodingOptions};
+//! use hdvb_frame::Resolution;
+//! use hdvb_seq::{Sequence, SequenceId};
+//!
+//! let seq = Sequence::new(SequenceId::RushHour, Resolution::new(64, 48));
+//! let options = CodingOptions::default();
+//! let encoded = encode_sequence(CodecId::Mpeg2, seq, 3, &options)?;
+//! let decoded = decode_sequence(CodecId::Mpeg2, &encoded.packets, options.simd)?;
+//! assert_eq!(decoded.frames.len(), 3);
+//! # Ok::<(), hdvb_core::BenchError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod codec;
+mod error;
+mod options;
+mod report;
+mod runner;
+mod stream;
+
+pub use codec::{create_decoder, create_encoder, CodecId, Packet, PacketKind, VideoDecoder, VideoEncoder};
+pub use error::BenchError;
+pub use options::{h264_qp_for_mpeg_qscale, CodingOptions};
+pub use report::{figure1_markdown, table5_markdown, Figure1Row, Table5Row};
+pub use stream::{read_stream, write_stream, StreamHeader};
+pub use runner::{
+    decode_sequence, encode_sequence, measure_figure1_row, measure_rd_point, DecodeResult,
+    EncodeResult, RdPoint, Throughput,
+};

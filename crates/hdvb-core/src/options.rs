@@ -1,0 +1,129 @@
+use hdvb_dsp::SimdLevel;
+
+/// Maps an MPEG-2/MPEG-4 quantiser scale to the equivalent H.264 QP via
+/// the paper's empirically derived Equation 1:
+/// `H264_QP = 12 + 6·log2(MPEG_QP)`, rounded to the nearest integer.
+///
+/// # Example
+///
+/// ```
+/// use hdvb_core::h264_qp_for_mpeg_qscale;
+///
+/// // The paper's operating point: vqscale 5 → x264 --qp 26.
+/// assert_eq!(h264_qp_for_mpeg_qscale(5), 26);
+/// assert_eq!(h264_qp_for_mpeg_qscale(1), 12);
+/// assert_eq!(h264_qp_for_mpeg_qscale(4), 24);
+/// ```
+pub fn h264_qp_for_mpeg_qscale(qscale: u16) -> u8 {
+    let q = f64::from(qscale.max(1));
+    let qp = 12.0 + 6.0 * q.log2();
+    qp.round().clamp(0.0, 51.0) as u8
+}
+
+/// The benchmark's coding options (paper Section IV): one-pass constant
+/// quantiser, fixed I-P-B-B GOP with only the first frame intra, and the
+/// per-codec motion-search settings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CodingOptions {
+    /// MPEG-2/MPEG-4 quantiser scale (the paper uses `vqscale=5`); the
+    /// H.264 QP is derived through Equation 1.
+    pub mpeg_qscale: u16,
+    /// B pictures between anchors (paper: 2, adaptive placement off).
+    pub b_frames: u8,
+    /// Motion search range in full pels (paper: `--merange 24`).
+    pub search_range: u16,
+    /// `None` = only the first frame intra (the paper's setting).
+    pub intra_period: Option<u32>,
+    /// Kernel dispatch level — the Figure-1 scalar/SIMD axis.
+    pub simd: SimdLevel,
+    /// H.264 reference-picture count (paper command `--ref 16`, capped
+    /// at this implementation's maximum of 4; see DESIGN.md).
+    pub h264_refs: u8,
+    /// Calibration offset added to the Equation-1 QP. The paper derived
+    /// Equation 1 *empirically* for its codecs; re-deriving the constant
+    /// for these implementations gives `H264_QP = 7 + 6·log2(q)`
+    /// (offset −5), which aligns the codecs' mean PSNR over the four
+    /// input sequences at the default operating point (see
+    /// EXPERIMENTS.md).
+    pub h264_qp_offset: i8,
+}
+
+impl Default for CodingOptions {
+    fn default() -> Self {
+        CodingOptions {
+            mpeg_qscale: 5,
+            b_frames: 2,
+            search_range: 24,
+            intra_period: None,
+            simd: SimdLevel::detect(),
+            h264_refs: 3,
+            h264_qp_offset: -5,
+        }
+    }
+}
+
+impl CodingOptions {
+    /// The equivalent H.264 QP for this operating point: Equation 1
+    /// plus the implementation-calibration offset.
+    pub fn h264_qp(&self) -> u8 {
+        let qp = i16::from(h264_qp_for_mpeg_qscale(self.mpeg_qscale))
+            + i16::from(self.h264_qp_offset);
+        qp.clamp(0, 51) as u8
+    }
+
+    /// Returns a copy at a different quantiser scale.
+    pub fn with_qscale(mut self, qscale: u16) -> Self {
+        self.mpeg_qscale = qscale;
+        self
+    }
+
+    /// Returns a copy at a different SIMD level.
+    pub fn with_simd(mut self, simd: SimdLevel) -> Self {
+        self.simd = simd;
+        self
+    }
+
+    /// Returns a copy with a different B-frame count.
+    pub fn with_b_frames(mut self, b: u8) -> Self {
+        self.b_frames = b;
+        self
+    }
+
+    /// Returns a copy with a different search range.
+    pub fn with_search_range(mut self, range: u16) -> Self {
+        self.search_range = range;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equation_one_reference_points() {
+        // Doubling the MPEG quantiser adds 6 to the H.264 QP.
+        assert_eq!(h264_qp_for_mpeg_qscale(2), 18);
+        assert_eq!(h264_qp_for_mpeg_qscale(8), 30);
+        assert_eq!(h264_qp_for_mpeg_qscale(16), 36);
+        assert_eq!(h264_qp_for_mpeg_qscale(32), 42);
+    }
+
+    #[test]
+    fn equation_one_clamps() {
+        assert_eq!(h264_qp_for_mpeg_qscale(0), 12); // treated as 1
+        assert!(h264_qp_for_mpeg_qscale(10_000) <= 51);
+    }
+
+    #[test]
+    fn defaults_match_paper() {
+        let o = CodingOptions::default();
+        assert_eq!(o.mpeg_qscale, 5);
+        assert_eq!(o.b_frames, 2);
+        assert_eq!(o.search_range, 24);
+        // Equation 1 gives 26; the re-derived constant for these codecs
+        // shifts it to 21 (see EXPERIMENTS.md).
+        assert_eq!(o.h264_qp(), 21);
+        assert!(o.intra_period.is_none());
+    }
+}

@@ -1,0 +1,211 @@
+//! Report formatting: the paper's Table V (rate-distortion) and
+//! Figure 1 (throughput) as markdown/CSV-friendly tables.
+
+use crate::CodecId;
+use hdvb_frame::Resolution;
+use hdvb_seq::SequenceId;
+use std::fmt::Write as _;
+
+/// One row of Table V: a (resolution, sequence) pair with PSNR and
+/// bitrate for each codec.
+#[derive(Clone, Debug)]
+pub struct Table5Row {
+    /// Resolution of this row's block.
+    pub resolution: Resolution,
+    /// Input sequence.
+    pub sequence: SequenceId,
+    /// `(psnr_y_db, bitrate_kbps)` per codec, in [`CodecId::ALL`] order.
+    pub points: [(f64, f64); 3],
+}
+
+/// Renders Table V in the paper's layout.
+pub fn table5_markdown(rows: &[Table5Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "| Resolution | Input | MPEG-2 PSNR | MPEG-2 kbps | MPEG-4 PSNR | MPEG-4 kbps | H.264 PSNR | H.264 kbps |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|");
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {:.2} | {:.0} | {:.2} | {:.0} | {:.2} | {:.0} |",
+            row.resolution.label(),
+            row.sequence.name(),
+            row.points[0].0,
+            row.points[0].1,
+            row.points[1].0,
+            row.points[1].1,
+            row.points[2].0,
+            row.points[2].1,
+        );
+    }
+    // Compression-gain summary (the paper quotes these percentages in
+    // Section VI).
+    if !rows.is_empty() {
+        let gain = |target: usize, base: usize| -> f64 {
+            let ratios: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.points[base].1 > 0.0)
+                .map(|r| 1.0 - r.points[target].1 / r.points[base].1)
+                .collect();
+            100.0 * ratios.iter().sum::<f64>() / ratios.len().max(1) as f64
+        };
+        let m4 = gain(1, 0);
+        let h264_vs_m2 = gain(2, 0);
+        let h264_vs_m4 = gain(2, 1);
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "Average compression gain vs MPEG-2: MPEG-4 {m4:.1}%, H.264 {h264_vs_m2:.1}% (H.264 vs MPEG-4: {h264_vs_m4:.1}%)."
+        );
+    }
+    out
+}
+
+/// One bar group of Figure 1: fps per codec for one (resolution,
+/// direction, SIMD level) combination, averaged over the input
+/// sequences.
+#[derive(Clone, Debug)]
+pub struct Figure1Row {
+    /// Resolution of the bar group.
+    pub resolution: Resolution,
+    /// `true` = decoding (Figure 1 a/b), `false` = encoding (c/d).
+    pub decode: bool,
+    /// `true` = SIMD kernels (Figure 1 b/d), `false` = scalar (a/c).
+    pub simd: bool,
+    /// Frames per second per codec, in [`CodecId::ALL`] order.
+    pub fps: [f64; 3],
+}
+
+/// Renders Figure 1's data as a table (one subfigure per
+/// direction × SIMD combination), with the paper's 25-fps real-time
+/// marker column.
+pub fn figure1_markdown(rows: &[Figure1Row]) -> String {
+    let mut out = String::new();
+    for (decode, simd, label) in [
+        (true, false, "(a) Decoding, scalar"),
+        (true, true, "(b) Decoding, SIMD"),
+        (false, false, "(c) Encoding, scalar"),
+        (false, true, "(d) Encoding, SIMD"),
+    ] {
+        let part: Vec<&Figure1Row> = rows
+            .iter()
+            .filter(|r| r.decode == decode && r.simd == simd)
+            .collect();
+        if part.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "### Figure 1{label}");
+        let _ = writeln!(out, "| Resolution | MPEG-2 fps | MPEG-4 fps | H.264 fps | real-time (25 fps)? |");
+        let _ = writeln!(out, "|---|---|---|---|---|");
+        for r in part {
+            let rt: Vec<&str> = r
+                .fps
+                .iter()
+                .map(|&f| if f >= 25.0 { "yes" } else { "no" })
+                .collect();
+            let _ = writeln!(
+                out,
+                "| {} | {:.2} | {:.2} | {:.2} | {} |",
+                r.resolution.label(),
+                r.fps[0],
+                r.fps[1],
+                r.fps[2],
+                rt.join("/"),
+            );
+        }
+        let _ = writeln!(out);
+    }
+    // Speed-up summary between matching scalar/SIMD rows.
+    let mut speedups = String::new();
+    for decode in [true, false] {
+        for (ci, codec) in CodecId::ALL.iter().enumerate() {
+            let collect = |simd: bool| -> Vec<f64> {
+                rows.iter()
+                    .filter(|r| r.decode == decode && r.simd == simd)
+                    .map(|r| r.fps[ci])
+                    .collect()
+            };
+            let scalar = collect(false);
+            let simd = collect(true);
+            if scalar.is_empty() || scalar.len() != simd.len() {
+                continue;
+            }
+            let ratio: f64 = simd
+                .iter()
+                .zip(&scalar)
+                .map(|(s, c)| s / c.max(1e-9))
+                .sum::<f64>()
+                / scalar.len() as f64;
+            let dir = if decode { "decode" } else { "encode" };
+            let _ = writeln!(speedups, "- {codec} {dir} SIMD speed-up: {ratio:.2}x");
+        }
+    }
+    if !speedups.is_empty() {
+        let _ = writeln!(out, "### SIMD speed-ups");
+        out.push_str(&speedups);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_rows() -> Vec<Table5Row> {
+        vec![Table5Row {
+            resolution: Resolution::DVD_576,
+            sequence: SequenceId::BlueSky,
+            points: [(39.8, 3504.0), (38.7, 1146.0), (39.2, 1095.0)],
+        }]
+    }
+
+    #[test]
+    fn table5_contains_all_cells_and_gains() {
+        let md = table5_markdown(&sample_rows());
+        assert!(md.contains("576p25"));
+        assert!(md.contains("blue_sky"));
+        assert!(md.contains("3504"));
+        assert!(md.contains("compression gain"));
+        // MPEG-4 gain = 1 - 1146/3504 = 67.3%.
+        assert!(md.contains("67.3%"));
+    }
+
+    #[test]
+    fn figure1_groups_and_speedups() {
+        let rows = vec![
+            Figure1Row {
+                resolution: Resolution::DVD_576,
+                decode: true,
+                simd: false,
+                fps: [88.0, 40.0, 30.0],
+            },
+            Figure1Row {
+                resolution: Resolution::DVD_576,
+                decode: true,
+                simd: true,
+                fps: [176.0, 80.0, 45.0],
+            },
+        ];
+        let md = figure1_markdown(&rows);
+        assert!(md.contains("(a) Decoding, scalar"));
+        assert!(md.contains("(b) Decoding, SIMD"));
+        assert!(!md.contains("(c) Encoding"));
+        assert!(md.contains("mpeg2 decode SIMD speed-up: 2.00x"));
+        assert!(md.contains("h264 decode SIMD speed-up: 1.50x"));
+        assert!(md.contains("yes/yes/yes"));
+    }
+
+    #[test]
+    fn real_time_marker() {
+        let rows = vec![Figure1Row {
+            resolution: Resolution::HD_1088,
+            decode: false,
+            simd: false,
+            fps: [3.8, 0.5, 0.3],
+        }];
+        let md = figure1_markdown(&rows);
+        assert!(md.contains("no/no/no"));
+    }
+}

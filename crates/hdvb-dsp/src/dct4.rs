@@ -1,0 +1,196 @@
+//! The H.264 4×4 integer core transform and the chroma-DC Hadamard
+//! transform, implemented bit-exactly as in the standard (and therefore
+//! in x264 / FFmpeg, the paper's H.264 applications).
+
+use crate::Block4;
+
+/// Forward 4×4 core transform (`Cf · X · Cfᵀ`), in place.
+///
+/// Exact integer arithmetic; the inverse is [`icore4`]. Scaling is folded
+/// into quantisation as in the standard.
+pub(crate) fn fcore4(block: &mut Block4) {
+    // Rows.
+    for y in 0..4 {
+        let r = &mut block[y * 4..y * 4 + 4];
+        let s0 = r[0] + r[3];
+        let s3 = r[0] - r[3];
+        let s1 = r[1] + r[2];
+        let s2 = r[1] - r[2];
+        r[0] = s0 + s1;
+        r[2] = s0 - s1;
+        r[1] = 2 * s3 + s2;
+        r[3] = s3 - 2 * s2;
+    }
+    // Columns.
+    for x in 0..4 {
+        let a0 = block[x];
+        let a1 = block[4 + x];
+        let a2 = block[8 + x];
+        let a3 = block[12 + x];
+        let s0 = a0 + a3;
+        let s3 = a0 - a3;
+        let s1 = a1 + a2;
+        let s2 = a1 - a2;
+        block[x] = s0 + s1;
+        block[8 + x] = s0 - s1;
+        block[4 + x] = 2 * s3 + s2;
+        block[12 + x] = s3 - 2 * s2;
+    }
+}
+
+/// Inverse 4×4 core transform with the standard final `(x + 32) >> 6`
+/// normalisation, in place.
+pub(crate) fn icore4(block: &mut Block4) {
+    // Rows.
+    for y in 0..4 {
+        let r = &mut block[y * 4..y * 4 + 4];
+        let e0 = i32::from(r[0]) + i32::from(r[2]);
+        let e1 = i32::from(r[0]) - i32::from(r[2]);
+        let e2 = (i32::from(r[1]) >> 1) - i32::from(r[3]);
+        let e3 = i32::from(r[1]) + (i32::from(r[3]) >> 1);
+        r[0] = (e0 + e3) as i16;
+        r[3] = (e0 - e3) as i16;
+        r[1] = (e1 + e2) as i16;
+        r[2] = (e1 - e2) as i16;
+    }
+    // Columns with final rounding.
+    for x in 0..4 {
+        let a0 = i32::from(block[x]);
+        let a1 = i32::from(block[4 + x]);
+        let a2 = i32::from(block[8 + x]);
+        let a3 = i32::from(block[12 + x]);
+        let e0 = a0 + a2;
+        let e1 = a0 - a2;
+        let e2 = (a1 >> 1) - a3;
+        let e3 = a1 + (a3 >> 1);
+        block[x] = ((e0 + e3 + 32) >> 6) as i16;
+        block[12 + x] = ((e0 - e3 + 32) >> 6) as i16;
+        block[4 + x] = ((e1 + e2 + 32) >> 6) as i16;
+        block[8 + x] = ((e1 - e2 + 32) >> 6) as i16;
+    }
+}
+
+/// Forward 2×2 Hadamard for the four chroma DC coefficients of a
+/// macroblock, in place (`[dc00, dc01, dc10, dc11]`).
+pub fn chroma_dc_hadamard_2x2(dc: &mut [i16; 4]) {
+    let a = dc[0] + dc[1];
+    let b = dc[0] - dc[1];
+    let c = dc[2] + dc[3];
+    let d = dc[2] - dc[3];
+    dc[0] = a + c;
+    dc[1] = b + d;
+    dc[2] = a - c;
+    dc[3] = b - d;
+}
+
+/// Inverse 2×2 Hadamard (same butterfly; the overall `/4` gain is folded
+/// into chroma-DC dequantisation by the codec).
+pub fn chroma_dc_ihadamard_2x2(dc: &mut [i16; 4]) {
+    chroma_dc_hadamard_2x2(dc);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `Cf` rows of the forward core transform.
+    const CF: [[i32; 4]; 4] = [[1, 1, 1, 1], [2, 1, -1, -2], [1, -1, -1, 1], [1, -2, 2, -1]];
+
+    fn reference_forward(x: &[i16; 16]) -> [i32; 16] {
+        // W = Cf · X · Cfᵀ evaluated directly.
+        let mut out = [0i32; 16];
+        for u in 0..4 {
+            for v in 0..4 {
+                let mut acc = 0i32;
+                for i in 0..4 {
+                    for j in 0..4 {
+                        acc += CF[u][i] * i32::from(x[i * 4 + j]) * CF[v][j];
+                    }
+                }
+                out[u * 4 + v] = acc;
+            }
+        }
+        out
+    }
+
+    fn random_block(state: &mut u32, range: i16) -> [i16; 16] {
+        let mut b = [0i16; 16];
+        for v in &mut b {
+            *state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            *v = ((*state >> 20) as i16 % (2 * range + 1)) - range;
+        }
+        b
+    }
+
+    #[test]
+    fn forward_matches_matrix_reference() {
+        let mut state = 77u32;
+        for _ in 0..200 {
+            let input = random_block(&mut state, 256);
+            let mut b = input;
+            fcore4(&mut b);
+            let reference = reference_forward(&input);
+            for i in 0..16 {
+                assert_eq!(i32::from(b[i]), reference[i], "coef {i}");
+            }
+        }
+    }
+
+    /// The inverse transform is only the inverse of the forward through
+    /// the position-dependent dequant weights β = (1, 4/5, 1, 4/5) per
+    /// dimension — the reason H.264 carries its V/MF tables. Verify the
+    /// identity `icore4(β_u β_v · 64 · W) == 4·X` using float weighting
+    /// before rounding back to integers small enough to avoid the
+    /// intermediate `>> 1` truncation.
+    #[test]
+    fn inverse_is_weighted_inverse_of_forward() {
+        let beta = [1.0, 0.8, 1.0, 0.8];
+        let mut state = 3u32;
+        for _ in 0..200 {
+            let input = random_block(&mut state, 64);
+            let w = reference_forward(&input);
+            let mut scaled = [0i16; 16];
+            for u in 0..4 {
+                for v in 0..4 {
+                    let s = w[u * 4 + v] as f64 * beta[u] * beta[v] * 16.0;
+                    // Round to a multiple of 4 so the >>1 taps stay exact.
+                    scaled[u * 4 + v] = ((s / 4.0).round() * 4.0) as i16;
+                }
+            }
+            let mut b = scaled;
+            icore4(&mut b);
+            // icore4 computes (Aᵀ·scaled·A + 32) >> 6; the identity gives
+            // 4·4·16·X / 64 = 4·X up to the rounding of `scaled`.
+            for i in 0..16 {
+                let err = (i32::from(b[i]) - 4 * i32::from(input[i])).abs();
+                assert!(err <= 2, "sample {i}: {} vs {}", b[i], 4 * input[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn forward_dc_gain_is_16() {
+        let mut b = [10i16; 16];
+        fcore4(&mut b);
+        assert_eq!(b[0], 160);
+        assert!(b.iter().skip(1).all(|&v| v == 0));
+    }
+
+    #[test]
+    fn hadamard_2x2_involution_with_gain_4() {
+        let mut dc = [7i16, -3, 12, 5];
+        let orig = dc;
+        chroma_dc_hadamard_2x2(&mut dc);
+        chroma_dc_ihadamard_2x2(&mut dc);
+        for i in 0..4 {
+            assert_eq!(dc[i], orig[i] * 4);
+        }
+    }
+
+    #[test]
+    fn icore4_of_zero_is_zero() {
+        let mut b = [0i16; 16];
+        icore4(&mut b);
+        assert_eq!(b, [0i16; 16]);
+    }
+}

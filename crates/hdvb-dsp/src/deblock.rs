@@ -1,0 +1,121 @@
+//! The deblocking edge kernel (H.264-style p0/q0 update), dispatched
+//! like every other hot kernel. Horizontal edges vectorise naturally
+//! (neighbouring samples are a stride apart); vertical edges would need
+//! transposes and stay scalar at both levels, like early SIMD decoders.
+
+use crate::Dsp;
+
+/// Scalar reference for one horizontal edge of `width` samples:
+/// `data[q0_off + x]` is q0, rows p1/p0 sit one and two strides above,
+/// q1 one below.
+pub(crate) fn deblock_horiz_edge_scalar(
+    data: &mut [u8],
+    stride: usize,
+    q0_off: usize,
+    width: usize,
+    alpha: i32,
+    beta: i32,
+    tc: i32,
+) {
+    for x in 0..width {
+        let i = q0_off + x;
+        let p1 = i32::from(data[i - 2 * stride]);
+        let p0 = i32::from(data[i - stride]);
+        let q0 = i32::from(data[i]);
+        let q1 = i32::from(data[i + stride]);
+        if (p0 - q0).abs() < alpha && (p1 - p0).abs() < beta && (q1 - q0).abs() < beta {
+            let delta = (((q0 - p0) * 4 + (p1 - q1) + 4) >> 3).clamp(-tc, tc);
+            data[i - stride] = (p0 + delta).clamp(0, 255) as u8;
+            data[i] = (q0 - delta).clamp(0, 255) as u8;
+        }
+    }
+}
+
+impl Dsp {
+    /// Filters one horizontal block edge in place: `data[q0_off + x]`
+    /// is the q0 row, p1/p0 sit one and two strides above, q1 one
+    /// below. Both SIMD levels produce identical output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is too short for the row geometry.
+    #[allow(clippy::too_many_arguments)]
+    pub fn deblock_horiz_edge(
+        &self,
+        data: &mut [u8],
+        stride: usize,
+        q0_off: usize,
+        width: usize,
+        alpha: i32,
+        beta: i32,
+        tc: i32,
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        if self.level() == crate::SimdLevel::Sse2 {
+            // SAFETY: sse2 is architecturally guaranteed on x86_64.
+            unsafe {
+                crate::sse2::deblock_horiz_edge_sse2(data, stride, q0_off, width, alpha, beta, tc)
+            };
+            return;
+        }
+        deblock_horiz_edge_scalar(data, stride, q0_off, width, alpha, beta, tc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimdLevel;
+
+    fn test_buffer(seed: u32) -> Vec<u8> {
+        let mut state = seed;
+        (0..24 * 8)
+            .map(|_| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                (state >> 24) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn scalar_and_simd_agree() {
+        for seed in 0..20 {
+            let base = test_buffer(seed);
+            let mut a = base.clone();
+            let mut b = base.clone();
+            let scalar = Dsp::new(SimdLevel::Scalar);
+            let simd = Dsp::new(SimdLevel::Sse2);
+            scalar.deblock_horiz_edge(&mut a, 24, 4 * 24, 24, 15, 6, 1);
+            simd.deblock_horiz_edge(&mut b, 24, 4 * 24, 24, 15, 6, 1);
+            assert_eq!(a, b, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn small_step_is_smoothed_large_step_kept() {
+        let mut data = vec![0u8; 24 * 8];
+        for y in 0..8 {
+            for x in 0..24 {
+                // Columns 0..12: small step of 4 across row 4; columns
+                // 12..: step of 100.
+                let step = if x < 12 { 4 } else { 100 };
+                data[y * 24 + x] = if y < 4 { 100 } else { 100 + step };
+            }
+        }
+        let dsp = Dsp::default();
+        dsp.deblock_horiz_edge(&mut data, 24, 4 * 24, 24, 15, 6, 2);
+        // Small step shrank.
+        assert!(data[4 * 24 + 3] < 104 || data[3 * 24 + 3] > 100);
+        // Large (real) edge untouched.
+        assert_eq!(data[4 * 24 + 20], 200);
+        assert_eq!(data[3 * 24 + 20], 100);
+    }
+
+    #[test]
+    fn flat_region_unchanged() {
+        let mut data = vec![77u8; 24 * 8];
+        let before = data.clone();
+        Dsp::default().deblock_horiz_edge(&mut data, 24, 4 * 24, 24, 40, 10, 4);
+        assert_eq!(data, before);
+    }
+}

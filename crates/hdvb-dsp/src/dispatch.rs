@@ -1,0 +1,327 @@
+use crate::{Block4, Block8, QuantMatrix};
+use std::fmt;
+
+/// Which kernel implementations a [`Dsp`] instance uses.
+///
+/// The benchmark's Figure 1 compares "scalar" codec builds against
+/// "SIMD" builds; selecting the level at runtime lets one binary run both
+/// halves of the experiment.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SimdLevel {
+    /// Portable scalar code only (the paper's "plain C" variant).
+    Scalar,
+    /// SSE2 vector kernels (the paper's "SIMD" variant).
+    #[default]
+    Sse2,
+}
+
+impl SimdLevel {
+    /// The best level supported by the current CPU: [`SimdLevel::Sse2`] on
+    /// x86-64 (where SSE2 is architecturally guaranteed), otherwise
+    /// [`SimdLevel::Scalar`].
+    pub fn detect() -> SimdLevel {
+        #[cfg(target_arch = "x86_64")]
+        {
+            SimdLevel::Sse2
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            SimdLevel::Scalar
+        }
+    }
+
+    /// Whether vector kernels will actually run at this level on this CPU.
+    pub fn is_accelerated(self) -> bool {
+        self == SimdLevel::Sse2 && cfg!(target_arch = "x86_64")
+    }
+
+    /// Short label used in reports ("scalar" / "simd"), mirroring the
+    /// paper's legend.
+    pub fn label(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Sse2 => "simd",
+        }
+    }
+}
+
+impl fmt::Display for SimdLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Dispatch table for all DSP kernels at a chosen [`SimdLevel`].
+///
+/// Codecs hold one `Dsp` and route every hot-loop operation through it;
+/// the level is fixed at construction so the branch predictor sees a
+/// constant.
+#[derive(Clone, Copy, Debug)]
+pub struct Dsp {
+    level: SimdLevel,
+}
+
+impl Default for Dsp {
+    fn default() -> Self {
+        Dsp::new(SimdLevel::detect())
+    }
+}
+
+impl Dsp {
+    /// Creates a dispatcher at the given level. Requesting
+    /// [`SimdLevel::Sse2`] on a non-x86-64 build silently degrades to
+    /// scalar.
+    pub fn new(level: SimdLevel) -> Self {
+        let level = if level.is_accelerated() {
+            level
+        } else {
+            SimdLevel::Scalar
+        };
+        Dsp { level }
+    }
+
+    /// The active level.
+    pub fn level(&self) -> SimdLevel {
+        self.level
+    }
+
+    #[inline]
+    fn use_sse2(&self) -> bool {
+        #[cfg(target_arch = "x86_64")]
+        {
+            self.level == SimdLevel::Sse2
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    }
+
+    /// Sum of absolute differences between a `w`×`h` block at the start of
+    /// `a` (row stride `a_stride`) and one at the start of `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the slices are too short for the
+    /// requested geometry.
+    #[inline]
+    pub fn sad(&self, a: &[u8], a_stride: usize, b: &[u8], b_stride: usize, w: usize, h: usize) -> u32 {
+        #[cfg(target_arch = "x86_64")]
+        if self.use_sse2() && w % 8 == 0 {
+            // SAFETY: sse2 is architecturally guaranteed on x86_64.
+            return unsafe { crate::sse2::sad_sse2(a, a_stride, b, b_stride, w, h) };
+        }
+        crate::pixel::sad_scalar(a, a_stride, b, b_stride, w, h)
+    }
+
+    /// Sum of absolute transformed differences (4×4 Hadamard) over a
+    /// `w`×`h` block; `w` and `h` must be multiples of 4.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` or `h` is not a multiple of 4.
+    #[inline]
+    pub fn satd(&self, a: &[u8], a_stride: usize, b: &[u8], b_stride: usize, w: usize, h: usize) -> u32 {
+        assert!(w % 4 == 0 && h % 4 == 0, "satd blocks must be 4-aligned");
+        #[cfg(target_arch = "x86_64")]
+        if self.use_sse2() {
+            // SAFETY: sse2 is architecturally guaranteed on x86_64.
+            return unsafe { crate::sse2::satd_sse2(a, a_stride, b, b_stride, w, h) };
+        }
+        crate::satd::satd_scalar(a, a_stride, b, b_stride, w, h)
+    }
+
+    /// Sum of squared differences over a `w`×`h` block.
+    #[inline]
+    pub fn ssd(&self, a: &[u8], a_stride: usize, b: &[u8], b_stride: usize, w: usize, h: usize) -> u64 {
+        // SSD is off the hot path (used for PSNR-style decisions only);
+        // a single scalar implementation keeps both levels identical.
+        crate::pixel::ssd_scalar(a, a_stride, b, b_stride, w, h)
+    }
+
+    /// Forward 8×8 DCT (fixed-point, MPEG-class codecs). Input residuals
+    /// must lie in `[-256, 255]`.
+    #[inline]
+    pub fn fdct8(&self, block: &mut Block8) {
+        #[cfg(target_arch = "x86_64")]
+        if self.use_sse2() {
+            // SAFETY: sse2 is architecturally guaranteed on x86_64.
+            unsafe { crate::sse2::fdct8_sse2(block) };
+            return;
+        }
+        crate::dct8::fdct8_scalar(block);
+    }
+
+    /// Inverse 8×8 DCT matching [`fdct8`](Self::fdct8). Dequantised
+    /// coefficients must be clamped to `[-4095, 4095]` first.
+    #[inline]
+    pub fn idct8(&self, block: &mut Block8) {
+        #[cfg(target_arch = "x86_64")]
+        if self.use_sse2() {
+            // SAFETY: sse2 is architecturally guaranteed on x86_64.
+            unsafe { crate::sse2::idct8_sse2(block) };
+            return;
+        }
+        crate::dct8::idct8_scalar(block);
+    }
+
+    /// H.264 4×4 forward core transform (bit-exact, integer).
+    #[inline]
+    pub fn fcore4(&self, block: &mut Block4) {
+        // The 4x4 core transform is exact in both variants; scalar is
+        // already a handful of adds, so only the quantisation around it is
+        // dispatched.
+        crate::dct4::fcore4(block);
+    }
+
+    /// H.264 4×4 inverse core transform (bit-exact, includes the final
+    /// `>> 6` normalisation).
+    #[inline]
+    pub fn icore4(&self, block: &mut Block4) {
+        crate::dct4::icore4(block);
+    }
+
+    /// MPEG-style quantisation of an 8×8 coefficient block with a weight
+    /// matrix and quantiser scale. Returns the number of nonzero levels.
+    ///
+    /// Forward quantisation is division-based and encoder-only; it stays
+    /// scalar at every level (its cost is negligible next to motion
+    /// search and the forward DCT), which also guarantees identical
+    /// levels regardless of the SIMD setting.
+    #[inline]
+    pub fn quant8(&self, block: &mut Block8, matrix: &QuantMatrix, qscale: u16, intra: bool) -> u32 {
+        crate::quant::quant8_scalar(block, matrix, qscale, intra)
+    }
+
+    /// Inverse of [`quant8`](Self::quant8); output clamped to
+    /// `[-4095, 4095]`.
+    #[inline]
+    pub fn dequant8(&self, block: &mut Block8, matrix: &QuantMatrix, qscale: u16, intra: bool) {
+        #[cfg(target_arch = "x86_64")]
+        if self.use_sse2() {
+            // SAFETY: sse2 is architecturally guaranteed on x86_64.
+            unsafe { crate::sse2::dequant8_sse2(block, matrix, qscale, intra) };
+            return;
+        }
+        crate::quant::dequant8_scalar(block, matrix, qscale, intra)
+    }
+
+    /// Copies a `w`×`h` block.
+    #[inline]
+    pub fn copy_block(&self, dst: &mut [u8], dst_stride: usize, src: &[u8], src_stride: usize, w: usize, h: usize) {
+        crate::pixel::copy_block(dst, dst_stride, src, src_stride, w, h);
+    }
+
+    /// Rounded average of two blocks (`(a + b + 1) >> 1`), the kernel for
+    /// bi-prediction and half-pel averaging.
+    #[inline]
+    pub fn avg_block(&self, dst: &mut [u8], dst_stride: usize, a: &[u8], a_stride: usize, b: &[u8], b_stride: usize, w: usize, h: usize) {
+        #[cfg(target_arch = "x86_64")]
+        if self.use_sse2() && w % 8 == 0 {
+            // SAFETY: sse2 is architecturally guaranteed on x86_64.
+            unsafe {
+                crate::sse2::avg_block_sse2(dst, dst_stride, a, a_stride, b, b_stride, w, h)
+            };
+            return;
+        }
+        crate::pixel::avg_block_scalar(dst, dst_stride, a, a_stride, b, b_stride, w, h)
+    }
+
+    /// Bilinear half-pel interpolation with fractional offsets
+    /// `(fx, fy) ∈ {0, 1}²` in half-pel units (MPEG-2/MPEG-4 motion
+    /// compensation).
+    #[inline]
+    pub fn hpel_interp(&self, dst: &mut [u8], dst_stride: usize, src: &[u8], src_stride: usize, fx: u8, fy: u8, w: usize, h: usize) {
+        #[cfg(target_arch = "x86_64")]
+        if self.use_sse2() && w % 8 == 0 {
+            // SAFETY: sse2 is architecturally guaranteed on x86_64.
+            unsafe {
+                crate::sse2::hpel_interp_sse2(dst, dst_stride, src, src_stride, fx, fy, w, h)
+            };
+            return;
+        }
+        crate::interp::hpel_interp_scalar(dst, dst_stride, src, src_stride, fx, fy, w, h)
+    }
+
+    /// H.264-style 6-tap half-pel filter `(1,-5,20,20,-5,1)/32` in the
+    /// horizontal direction; `src[0]` must be 2 samples left of the block
+    /// origin.
+    #[inline]
+    pub fn sixtap_h(&self, dst: &mut [u8], dst_stride: usize, src: &[u8], src_stride: usize, w: usize, h: usize) {
+        #[cfg(target_arch = "x86_64")]
+        if self.use_sse2() && w % 8 == 0 {
+            // SAFETY: sse2 is architecturally guaranteed on x86_64.
+            unsafe { crate::sse2::sixtap_h_sse2(dst, dst_stride, src, src_stride, w, h) };
+            return;
+        }
+        crate::interp::sixtap_h_scalar(dst, dst_stride, src, src_stride, w, h)
+    }
+
+    /// H.264-style 6-tap half-pel filter in the vertical direction;
+    /// `src[0]` must be 2 rows above the block origin.
+    #[inline]
+    pub fn sixtap_v(&self, dst: &mut [u8], dst_stride: usize, src: &[u8], src_stride: usize, w: usize, h: usize) {
+        #[cfg(target_arch = "x86_64")]
+        if self.use_sse2() && w % 8 == 0 {
+            // SAFETY: sse2 is architecturally guaranteed on x86_64.
+            unsafe { crate::sse2::sixtap_v_sse2(dst, dst_stride, src, src_stride, w, h) };
+            return;
+        }
+        crate::interp::sixtap_v_scalar(dst, dst_stride, src, src_stride, w, h)
+    }
+
+    /// 6-tap filter applied in both directions (the H.264 "j" position):
+    /// horizontal first at intermediate precision, then vertical;
+    /// `src[0]` must be 2 samples left and 2 rows above the block origin.
+    #[inline]
+    pub fn sixtap_hv(&self, dst: &mut [u8], dst_stride: usize, src: &[u8], src_stride: usize, w: usize, h: usize) {
+        // The two-dimensional position reuses the scalar intermediate
+        // buffer logic at both levels; its inner loops call the dispatched
+        // one-dimensional kernels.
+        crate::interp::sixtap_hv(dst, dst_stride, src, src_stride, w, h)
+    }
+
+    /// Adds a residual block to a prediction with saturation:
+    /// `dst = clamp(pred + res)`.
+    #[inline]
+    pub fn add_residual8(&self, dst: &mut [u8], dst_stride: usize, pred: &[u8], pred_stride: usize, res: &Block8) {
+        #[cfg(target_arch = "x86_64")]
+        if self.use_sse2() {
+            // SAFETY: sse2 is architecturally guaranteed on x86_64.
+            unsafe {
+                crate::sse2::add_residual8_sse2(dst, dst_stride, pred, pred_stride, res)
+            };
+            return;
+        }
+        crate::pixel::add_residual8_scalar(dst, dst_stride, pred, pred_stride, res)
+    }
+
+    /// Computes the residual `res = cur - pred` for an 8×8 block.
+    #[inline]
+    pub fn diff_block8(&self, res: &mut Block8, cur: &[u8], cur_stride: usize, pred: &[u8], pred_stride: usize) {
+        crate::pixel::diff_block8(res, cur, cur_stride, pred, pred_stride)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detect_is_sse2_on_x86_64() {
+        #[cfg(target_arch = "x86_64")]
+        assert_eq!(SimdLevel::detect(), SimdLevel::Sse2);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(SimdLevel::Scalar.label(), "scalar");
+        assert_eq!(SimdLevel::Sse2.to_string(), "simd");
+    }
+
+    #[test]
+    fn dsp_default_uses_detected_level() {
+        let d = Dsp::default();
+        assert_eq!(d.level(), SimdLevel::detect());
+    }
+}

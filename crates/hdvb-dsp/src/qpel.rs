@@ -1,0 +1,177 @@
+//! Quarter-pel luma interpolation composed from the 6-tap half-pel
+//! kernels, following the H.264 position rules (also used by the
+//! MPEG-4-class codec: its standard's 8-tap filter is replaced by the
+//! same-class 6-tap, see DESIGN.md).
+//!
+//! The source convention matches the 6-tap kernels: `src[0]` must be the
+//! sample **2 left and 2 above** the block origin, with at least
+//! `w + 5` readable columns and `h + 6` readable rows (one extra row and
+//! column beyond the filter support for the `+1`-shifted quarter
+//! positions).
+
+use crate::Dsp;
+
+impl Dsp {
+    /// Interpolates a `w`×`h` luma block at quarter-pel fraction
+    /// `(fx, fy) ∈ {0..3}²`.
+    ///
+    /// `src` points 2 samples left and 2 rows above the block origin
+    /// (see module docs); `w` must be a multiple of 4 for the SATD-based
+    /// callers, and `h ≥ 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fx` or `fy` exceeds 3 or the destination is too small.
+    #[allow(clippy::too_many_arguments)]
+    pub fn qpel_luma(
+        &self,
+        dst: &mut [u8],
+        dst_stride: usize,
+        src: &[u8],
+        src_stride: usize,
+        fx: u8,
+        fy: u8,
+        w: usize,
+        h: usize,
+    ) {
+        assert!(fx < 4 && fy < 4, "quarter-pel fractions are 0..4");
+        assert!(w * h <= 256, "qpel blocks are at most 16x16");
+        let origin = 2 * src_stride + 2; // integer sample G
+        match (fx, fy) {
+            (0, 0) => self.copy_block(dst, dst_stride, &src[origin..], src_stride, w, h),
+            (2, 0) => self.sixtap_h(dst, dst_stride, &src[2 * src_stride..], src_stride, w, h),
+            (0, 2) => self.sixtap_v(dst, dst_stride, &src[2..], src_stride, w, h),
+            (2, 2) => self.sixtap_hv(dst, dst_stride, src, src_stride, w, h),
+            (1, 0) | (3, 0) => {
+                // avg(integer, horizontal half); the 3/4 position uses the
+                // next integer sample.
+                let mut half = [0u8; 256];
+                self.sixtap_h(&mut half, w, &src[2 * src_stride..], src_stride, w, h);
+                let int_off = origin + usize::from(fx == 3);
+                self.avg_block(dst, dst_stride, &src[int_off..], src_stride, &half, w, w, h);
+            }
+            (0, 1) | (0, 3) => {
+                let mut half = [0u8; 256];
+                self.sixtap_v(&mut half, w, &src[2..], src_stride, w, h);
+                let int_off = origin + if fy == 3 { src_stride } else { 0 };
+                self.avg_block(dst, dst_stride, &src[int_off..], src_stride, &half, w, w, h);
+            }
+            (1, 2) | (3, 2) => {
+                // avg(vertical half, centre j), right-shifted for 3/4.
+                let mut j = [0u8; 256];
+                self.sixtap_hv(&mut j, w, src, src_stride, w, h);
+                let mut v = [0u8; 256];
+                let shift = usize::from(fx == 3);
+                self.sixtap_v(&mut v, w, &src[2 + shift..], src_stride, w, h);
+                self.avg_block(dst, dst_stride, &v, w, &j, w, w, h);
+            }
+            (2, 1) | (2, 3) => {
+                let mut j = [0u8; 256];
+                self.sixtap_hv(&mut j, w, src, src_stride, w, h);
+                let mut hbuf = [0u8; 256];
+                let shift = if fy == 3 { src_stride } else { 0 };
+                self.sixtap_h(&mut hbuf, w, &src[2 * src_stride + shift..], src_stride, w, h);
+                self.avg_block(dst, dst_stride, &hbuf, w, &j, w, w, h);
+            }
+            _ => {
+                // Diagonal quarters: avg(horizontal half, vertical half),
+                // each shifted toward the quarter position.
+                let hshift = if fy == 3 { src_stride } else { 0 };
+                let vshift = usize::from(fx == 3);
+                let mut hbuf = [0u8; 256];
+                self.sixtap_h(&mut hbuf, w, &src[2 * src_stride + hshift..], src_stride, w, h);
+                let mut vbuf = [0u8; 256];
+                self.sixtap_v(&mut vbuf, w, &src[2 + vshift..], src_stride, w, h);
+                self.avg_block(dst, dst_stride, &hbuf, w, &vbuf, w, w, h);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimdLevel;
+
+    fn gradient_src(stride: usize, rows: usize) -> Vec<u8> {
+        let mut v = vec![0u8; stride * rows];
+        for y in 0..rows {
+            for x in 0..stride {
+                v[y * stride + x] = ((x * 4 + y * 4) % 250) as u8;
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn integer_position_is_copy() {
+        let dsp = Dsp::default();
+        let src = gradient_src(32, 32);
+        let mut dst = vec![0u8; 64];
+        dsp.qpel_luma(&mut dst, 8, &src[4 * 32 + 4..], 32, 0, 0, 8, 8);
+        for y in 0..8 {
+            for x in 0..8 {
+                assert_eq!(dst[y * 8 + x], src[(y + 6) * 32 + x + 6]);
+            }
+        }
+    }
+
+    #[test]
+    fn quarter_positions_interpolate_linear_ramp() {
+        // On the linear ramp f(x,y) = 4x + 4y every sub-pel position has
+        // an exact value; all 16 fractions must land within ±1.
+        let dsp = Dsp::default();
+        let src = gradient_src(64, 64);
+        for fy in 0..4u8 {
+            for fx in 0..4u8 {
+                let mut dst = vec![0u8; 64];
+                dsp.qpel_luma(&mut dst, 8, &src[16 * 64 + 16..], 64, fx, fy, 8, 8);
+                for y in 0..8 {
+                    for x in 0..8 {
+                        let exact = 4.0 * (18.0 + x as f64 + f64::from(fx) * 0.25)
+                            + 4.0 * (18.0 + y as f64 + f64::from(fy) * 0.25);
+                        let got = f64::from(dst[y * 8 + x]);
+                        assert!(
+                            (got - exact).abs() <= 1.5,
+                            "({fx},{fy}) at ({x},{y}): {got} vs {exact}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_and_simd_agree_on_all_fractions() {
+        let scalar = Dsp::new(SimdLevel::Scalar);
+        let simd = Dsp::new(SimdLevel::Sse2);
+        let mut src = vec![0u8; 64 * 64];
+        let mut state = 11u32;
+        for v in &mut src {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            *v = (state >> 24) as u8;
+        }
+        for fy in 0..4u8 {
+            for fx in 0..4u8 {
+                let mut a = vec![0u8; 16 * 16];
+                let mut b = vec![0u8; 16 * 16];
+                scalar.qpel_luma(&mut a, 16, &src[8 * 64 + 8..], 64, fx, fy, 16, 16);
+                simd.qpel_luma(&mut b, 16, &src[8 * 64 + 8..], 64, fx, fy, 16, 16);
+                assert_eq!(a, b, "fraction ({fx},{fy})");
+            }
+        }
+    }
+
+    #[test]
+    fn flat_source_is_invariant_for_every_fraction() {
+        let dsp = Dsp::default();
+        let src = vec![99u8; 48 * 48];
+        for fy in 0..4u8 {
+            for fx in 0..4u8 {
+                let mut dst = vec![0u8; 64];
+                dsp.qpel_luma(&mut dst, 8, &src[8 * 48 + 8..], 48, fx, fy, 8, 8);
+                assert!(dst.iter().all(|&v| v == 99), "fraction ({fx},{fy})");
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! MPEG-style 8×8 quantisation with weighting matrices.
+//!
+//! Both MPEG-class codecs quantise DCT coefficients as
+//! `level = coef * 16 / (matrix[i] * qscale)` (with dead-zone handling for
+//! non-intra blocks) and dequantise as
+//! `coef = level * matrix[i] * qscale / 16`, the scheme of
+//! MPEG-2 / MPEG-4 with a quantiser scale (`vqscale` in the paper's
+//! encoder commands).
+
+use crate::Block8;
+
+/// An 8×8 quantisation weighting matrix (row-major, entries 1..=255).
+pub type QuantMatrix = [u16; 64];
+
+/// The MPEG default intra matrix (stronger weighting of high
+/// frequencies, matching human contrast sensitivity).
+pub const MPEG_DEFAULT_INTRA: QuantMatrix = [
+    8, 16, 19, 22, 26, 27, 29, 34, //
+    16, 16, 22, 24, 27, 29, 34, 37, //
+    19, 22, 26, 27, 29, 34, 34, 38, //
+    22, 22, 26, 27, 29, 34, 37, 40, //
+    22, 26, 27, 29, 32, 35, 40, 48, //
+    26, 27, 29, 32, 35, 40, 48, 58, //
+    26, 27, 29, 34, 38, 46, 56, 69, //
+    27, 29, 35, 38, 46, 56, 69, 83,
+];
+
+/// The MPEG default non-intra (flat 16) matrix.
+pub const MPEG_DEFAULT_NONINTRA: QuantMatrix = [16; 64];
+
+/// A flat matrix of 16s, useful where unweighted quantisation is wanted.
+pub const QUANT_FLAT_16: QuantMatrix = [16; 64];
+
+/// Quantises `block` in place; returns the number of nonzero levels.
+///
+/// Intra blocks use rounding-to-nearest (except the DC coefficient, which
+/// is quantised separately by the codecs and passed through here
+/// untouched at index 0 only when `intra` — see codec layers); non-intra
+/// blocks use a dead zone as in the MPEG reference rate-control-free
+/// path.
+pub(crate) fn quant8_scalar(
+    block: &mut Block8,
+    matrix: &QuantMatrix,
+    qscale: u16,
+    intra: bool,
+) -> u32 {
+    debug_assert!(qscale >= 1);
+    let mut nonzero = 0u32;
+    for (i, v) in block.iter_mut().enumerate() {
+        if intra && i == 0 {
+            // Intra DC handled by the codec's DC predictor; keep raw here.
+            if *v != 0 {
+                nonzero += 1;
+            }
+            continue;
+        }
+        let div = i32::from(matrix[i]) * i32::from(qscale);
+        let c = i32::from(*v);
+        let level = if intra {
+            // round to nearest
+            let scaled = c.unsigned_abs() as i32 * 32 + div;
+            (scaled / (2 * div)) * c.signum()
+        } else {
+            // dead zone: truncate toward zero
+            (c.unsigned_abs() as i32 * 16 / div) * c.signum()
+        };
+        let level = level.clamp(-2047, 2047);
+        *v = level as i16;
+        if level != 0 {
+            nonzero += 1;
+        }
+    }
+    nonzero
+}
+
+/// Dequantises `block` in place, clamping output to `[-4095, 4095]` (the
+/// IDCT input range, kept sign-symmetric so the SSE2 path — which works
+/// on magnitudes — matches bit for bit).
+pub(crate) fn dequant8_scalar(block: &mut Block8, matrix: &QuantMatrix, qscale: u16, intra: bool) {
+    for (i, v) in block.iter_mut().enumerate() {
+        if intra && i == 0 {
+            continue;
+        }
+        let level = i32::from(*v);
+        if level == 0 {
+            continue;
+        }
+        let mut coef = if intra {
+            level * i32::from(matrix[i]) * i32::from(qscale) / 16
+        } else {
+            // Non-intra reconstruction offsets by half a step toward the
+            // dead-zone centre, as MPEG does.
+            (2 * level + level.signum()) * i32::from(matrix[i]) * i32::from(qscale) / 32
+        };
+        coef = coef.clamp(-4095, 4095);
+        *v = coef as i16;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_block(seed: u32, range: i16) -> Block8 {
+        let mut state = seed;
+        let mut b = [0i16; 64];
+        for v in &mut b {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            *v = ((state >> 18) as i16 % (2 * range + 1)) - range;
+        }
+        b
+    }
+
+    #[test]
+    fn quant_zero_block_stays_zero() {
+        let mut b = [0i16; 64];
+        assert_eq!(quant8_scalar(&mut b, &MPEG_DEFAULT_INTRA, 5, true), 0);
+        assert_eq!(b, [0i16; 64]);
+    }
+
+    #[test]
+    fn quant_dequant_error_bounded_by_step() {
+        for seed in 0..20 {
+            let orig = random_block(seed, 1500);
+            for qscale in [1u16, 2, 5, 12, 31] {
+                for intra in [true, false] {
+                    let mut b = orig;
+                    quant8_scalar(&mut b, &MPEG_DEFAULT_NONINTRA, qscale, intra);
+                    dequant8_scalar(&mut b, &MPEG_DEFAULT_NONINTRA, qscale, intra);
+                    for i in 1..64 {
+                        let step = i32::from(MPEG_DEFAULT_NONINTRA[i]) * i32::from(qscale) / 16;
+                        let err = (i32::from(orig[i]) - i32::from(b[i])).abs();
+                        // Reconstruction error bounded by one quant step
+                        // (clamping can add more only beyond IDCT range).
+                        if orig[i].abs() < 4000 {
+                            assert!(
+                                err <= step + 1,
+                                "seed {seed} q {qscale} intra {intra} i {i}: err {err} step {step}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn higher_qscale_zeroes_more_coefficients() {
+        let orig = random_block(3, 200);
+        let mut low = orig;
+        let mut high = orig;
+        let nz_low = quant8_scalar(&mut low, &MPEG_DEFAULT_INTRA, 2, true);
+        let nz_high = quant8_scalar(&mut high, &MPEG_DEFAULT_INTRA, 24, true);
+        assert!(nz_high < nz_low, "{nz_high} vs {nz_low}");
+    }
+
+    #[test]
+    fn nonintra_dead_zone_zeroes_small_values() {
+        let mut b = [0i16; 64];
+        b[5] = 7; // below 16*5/16 = 5? level = 7*16/(16*5)=1 -> wait
+        b[6] = 2;
+        quant8_scalar(&mut b, &MPEG_DEFAULT_NONINTRA, 5, false);
+        assert_eq!(b[5], 1); // 7*16/80 = 1 (truncated)
+        assert_eq!(b[6], 0); // 2*16/80 = 0
+    }
+
+    #[test]
+    fn intra_dc_passthrough() {
+        let mut b = [0i16; 64];
+        b[0] = 123;
+        quant8_scalar(&mut b, &MPEG_DEFAULT_INTRA, 10, true);
+        assert_eq!(b[0], 123);
+        dequant8_scalar(&mut b, &MPEG_DEFAULT_INTRA, 10, true);
+        assert_eq!(b[0], 123);
+    }
+
+    #[test]
+    fn dequant_clamps_to_idct_range() {
+        let mut b = [0i16; 64];
+        b[10] = 2047;
+        dequant8_scalar(&mut b, &MPEG_DEFAULT_INTRA, 31, true);
+        assert!(b[10] <= 4095);
+    }
+}

@@ -1,0 +1,79 @@
+//! Validates the fixed-point 8×8 DCT against a double-precision
+//! orthonormal DCT-II reference — correctness beyond round-tripping.
+
+use hdvb_dsp::{Block8, Dsp, SimdLevel};
+
+fn reference_dct(block: &Block8) -> [f64; 64] {
+    let mut out = [0.0f64; 64];
+    let c = |u: usize| -> f64 {
+        if u == 0 {
+            (1.0f64 / 8.0).sqrt()
+        } else {
+            0.5
+        }
+    };
+    for v in 0..8 {
+        for u in 0..8 {
+            let mut acc = 0.0;
+            for y in 0..8 {
+                for x in 0..8 {
+                    acc += f64::from(block[y * 8 + x])
+                        * ((2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0).cos()
+                        * ((2.0 * y as f64 + 1.0) * v as f64 * std::f64::consts::PI / 16.0).cos();
+                }
+            }
+            out[v * 8 + u] = c(u) * c(v) * acc;
+        }
+    }
+    out
+}
+
+fn random_block(seed: u32, range: i16) -> Block8 {
+    let mut state = seed;
+    let mut b = [0i16; 64];
+    for v in &mut b {
+        state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+        *v = ((state >> 20) as i16 % (2 * range + 1)) - range;
+    }
+    b
+}
+
+#[test]
+fn fixed_point_dct_tracks_the_float_reference() {
+    for level in [SimdLevel::Scalar, SimdLevel::Sse2] {
+        let dsp = Dsp::new(level);
+        for seed in 0..40 {
+            let input = random_block(seed, 255);
+            let mut b = input;
+            dsp.fdct8(&mut b);
+            let reference = reference_dct(&input);
+            for i in 0..64 {
+                let err = (f64::from(b[i]) - reference[i]).abs();
+                // Two fixed-point passes at 11-bit precision: allow a few
+                // units of rounding error on coefficients up to ~2040.
+                assert!(
+                    err <= 3.0,
+                    "{level}: coef {i}: {} vs {:.2} (err {err:.2})",
+                    b[i],
+                    reference[i]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parseval_energy_is_preserved() {
+    // An orthonormal transform preserves L2 energy; the fixed-point
+    // version must track it within rounding.
+    let dsp = Dsp::default();
+    for seed in 100..110 {
+        let input = random_block(seed, 200);
+        let in_energy: f64 = input.iter().map(|&v| f64::from(v) * f64::from(v)).sum();
+        let mut b = input;
+        dsp.fdct8(&mut b);
+        let out_energy: f64 = b.iter().map(|&v| f64::from(v) * f64::from(v)).sum();
+        let ratio = out_energy / in_energy.max(1.0);
+        assert!((0.98..=1.02).contains(&ratio), "energy ratio {ratio:.4}");
+    }
+}

@@ -1,0 +1,78 @@
+use std::fmt;
+
+/// Errors produced by frame construction and raw video I/O.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FrameError {
+    /// A dimension was zero or not a multiple of the required alignment.
+    BadDimensions {
+        /// Requested width in pixels.
+        width: usize,
+        /// Requested height in pixels.
+        height: usize,
+        /// Human-readable constraint that was violated.
+        constraint: &'static str,
+    },
+    /// The input ended before a complete frame could be read.
+    UnexpectedEof,
+    /// A stream header (e.g. Y4M) could not be parsed.
+    BadHeader(String),
+    /// An underlying I/O error.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::BadDimensions {
+                width,
+                height,
+                constraint,
+            } => write!(f, "bad frame dimensions {width}x{height}: {constraint}"),
+            FrameError::UnexpectedEof => write!(f, "unexpected end of stream"),
+            FrameError::BadHeader(msg) => write!(f, "bad stream header: {msg}"),
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let e = FrameError::UnexpectedEof;
+        let s = e.to_string();
+        assert!(s.starts_with(char::is_lowercase));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FrameError>();
+    }
+
+    #[test]
+    fn io_error_source_is_preserved() {
+        use std::error::Error;
+        let e = FrameError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        assert!(e.source().is_some());
+    }
+}

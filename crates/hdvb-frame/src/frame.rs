@@ -1,0 +1,181 @@
+use crate::{FrameError, Plane};
+
+/// A progressive YUV 4:2:0 video frame.
+///
+/// The luma plane has the frame's full resolution; the two chroma planes
+/// (Cb, Cr) are subsampled by two in each dimension, so frame dimensions
+/// must be even. All HD-VideoBench content is 4:2:0 progressive, matching
+/// the paper's input sequences.
+///
+/// # Example
+///
+/// ```
+/// use hdvb_frame::Frame;
+///
+/// let f = Frame::new(176, 144);
+/// assert_eq!((f.y().width(), f.y().height()), (176, 144));
+/// assert_eq!((f.cb().width(), f.cr().height()), (88, 72));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    y: Plane,
+    cb: Plane,
+    cr: Plane,
+}
+
+impl Frame {
+    /// Creates a mid-grey frame of the given luma dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or odd (4:2:0 requires even
+    /// dimensions).
+    pub fn new(width: usize, height: usize) -> Self {
+        Self::try_new(width, height).expect("invalid frame dimensions")
+    }
+
+    /// Fallible variant of [`Frame::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::BadDimensions`] if either dimension is zero or
+    /// odd.
+    pub fn try_new(width: usize, height: usize) -> Result<Self, FrameError> {
+        if width == 0 || height == 0 || width % 2 != 0 || height % 2 != 0 {
+            return Err(FrameError::BadDimensions {
+                width,
+                height,
+                constraint: "4:2:0 frames need even, nonzero dimensions",
+            });
+        }
+        Ok(Frame {
+            y: Plane::new(width, height),
+            cb: Plane::new(width / 2, height / 2),
+            cr: Plane::new(width / 2, height / 2),
+        })
+    }
+
+    /// Builds a frame from three existing planes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::BadDimensions`] if the chroma planes are not
+    /// exactly half the luma dimensions.
+    pub fn from_planes(y: Plane, cb: Plane, cr: Plane) -> Result<Self, FrameError> {
+        let ok = cb.width() == y.width() / 2
+            && cb.height() == y.height() / 2
+            && cr.width() == cb.width()
+            && cr.height() == cb.height()
+            && y.width() % 2 == 0
+            && y.height() % 2 == 0;
+        if !ok {
+            return Err(FrameError::BadDimensions {
+                width: y.width(),
+                height: y.height(),
+                constraint: "chroma planes must be half the luma dimensions",
+            });
+        }
+        Ok(Frame { y, cb, cr })
+    }
+
+    /// Luma width in pixels.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.y.width()
+    }
+
+    /// Luma height in pixels.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.y.height()
+    }
+
+    /// The luma plane.
+    #[inline]
+    pub fn y(&self) -> &Plane {
+        &self.y
+    }
+
+    /// The blue-difference chroma plane.
+    #[inline]
+    pub fn cb(&self) -> &Plane {
+        &self.cb
+    }
+
+    /// The red-difference chroma plane.
+    #[inline]
+    pub fn cr(&self) -> &Plane {
+        &self.cr
+    }
+
+    /// Mutable luma plane.
+    #[inline]
+    pub fn y_mut(&mut self) -> &mut Plane {
+        &mut self.y
+    }
+
+    /// Mutable blue-difference chroma plane.
+    #[inline]
+    pub fn cb_mut(&mut self) -> &mut Plane {
+        &mut self.cb
+    }
+
+    /// Mutable red-difference chroma plane.
+    #[inline]
+    pub fn cr_mut(&mut self) -> &mut Plane {
+        &mut self.cr
+    }
+
+    /// Returns `(y, cb, cr)` planes as mutable references simultaneously.
+    pub fn planes_mut(&mut self) -> (&mut Plane, &mut Plane, &mut Plane) {
+        (&mut self.y, &mut self.cb, &mut self.cr)
+    }
+
+    /// Total number of samples across all three planes (the figure used to
+    /// convert throughput to "pixels per second").
+    pub fn sample_count(&self) -> usize {
+        self.y.data().len() + self.cb.data().len() + self.cr.data().len()
+    }
+
+    /// Number of luma pixels (`width * height`).
+    pub fn pixel_count(&self) -> usize {
+        self.width() * self.height()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chroma_is_half_resolution() {
+        let f = Frame::new(64, 48);
+        assert_eq!(f.cb().width(), 32);
+        assert_eq!(f.cb().height(), 24);
+        assert_eq!(f.cr().width(), 32);
+    }
+
+    #[test]
+    fn odd_dimensions_rejected() {
+        assert!(Frame::try_new(63, 48).is_err());
+        assert!(Frame::try_new(64, 47).is_err());
+        assert!(Frame::try_new(0, 48).is_err());
+    }
+
+    #[test]
+    fn sample_count_is_1_5x_pixels() {
+        let f = Frame::new(32, 32);
+        assert_eq!(f.sample_count(), 32 * 32 * 3 / 2);
+        assert_eq!(f.pixel_count(), 1024);
+    }
+
+    #[test]
+    fn from_planes_validates_chroma() {
+        let y = Plane::new(16, 16);
+        let cb = Plane::new(8, 8);
+        let cr = Plane::new(8, 8);
+        assert!(Frame::from_planes(y.clone(), cb.clone(), cr.clone()).is_ok());
+        let bad_cr = Plane::new(4, 8);
+        assert!(Frame::from_planes(y, cb, bad_cr).is_err());
+    }
+}

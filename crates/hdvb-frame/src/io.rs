@@ -1,0 +1,356 @@
+//! Raw planar video I/O: bare I420 and the YUV4MPEG2 ("Y4M") container.
+//!
+//! The original benchmark feeds the encoders raw `.yuv` files; these
+//! helpers let the Rust harness and the `hdvb` CLI exchange the same raw
+//! formats with external tools.
+
+use std::io::{Read, Write};
+
+use crate::{Frame, FrameError, FrameRate, Plane, Resolution};
+
+/// Reads one I420 frame (`w*h` luma bytes then two quarter-size chroma
+/// planes) from `reader`.
+///
+/// Returns `Ok(None)` on a clean end-of-stream (zero bytes available) and
+/// an error if the stream ends mid-frame.
+///
+/// Note that a `&mut R` reader also works, per the standard `Read` blanket
+/// impl.
+///
+/// # Errors
+///
+/// [`FrameError::UnexpectedEof`] on a truncated frame, or
+/// [`FrameError::Io`] for transport errors.
+pub fn read_i420<R: Read>(
+    mut reader: R,
+    resolution: Resolution,
+) -> Result<Option<Frame>, FrameError> {
+    let (w, h) = (resolution.width(), resolution.height());
+    let mut y = vec![0u8; w * h];
+    match read_exact_or_eof(&mut reader, &mut y)? {
+        ReadOutcome::Eof => return Ok(None),
+        ReadOutcome::Full => {}
+        ReadOutcome::Partial => return Err(FrameError::UnexpectedEof),
+    }
+    let mut cb = vec![0u8; w * h / 4];
+    let mut cr = vec![0u8; w * h / 4];
+    reader
+        .read_exact(&mut cb)
+        .map_err(map_eof)?;
+    reader
+        .read_exact(&mut cr)
+        .map_err(map_eof)?;
+    let frame = Frame::from_planes(
+        Plane::from_vec(w, h, y),
+        Plane::from_vec(w / 2, h / 2, cb),
+        Plane::from_vec(w / 2, h / 2, cr),
+    )?;
+    Ok(Some(frame))
+}
+
+/// Writes one frame as raw I420 bytes.
+///
+/// # Errors
+///
+/// Propagates any I/O error from `writer`.
+pub fn write_i420<W: Write>(mut writer: W, frame: &Frame) -> Result<(), FrameError> {
+    writer.write_all(frame.y().data())?;
+    writer.write_all(frame.cb().data())?;
+    writer.write_all(frame.cr().data())?;
+    Ok(())
+}
+
+fn map_eof(e: std::io::Error) -> FrameError {
+    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+        FrameError::UnexpectedEof
+    } else {
+        FrameError::Io(e)
+    }
+}
+
+enum ReadOutcome {
+    Full,
+    Partial,
+    Eof,
+}
+
+fn read_exact_or_eof<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<ReadOutcome, FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 {
+                    ReadOutcome::Eof
+                } else {
+                    ReadOutcome::Partial
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+/// Writes a YUV4MPEG2 stream (the format produced by
+/// `mplayer -vo yuv4mpeg` in the original benchmark's tool chain).
+#[derive(Debug)]
+pub struct Y4mWriter<W: Write> {
+    inner: W,
+    wrote_header: bool,
+    resolution: Resolution,
+    frame_rate: FrameRate,
+}
+
+impl<W: Write> Y4mWriter<W> {
+    /// Creates a writer for the given geometry; the stream header is
+    /// emitted lazily with the first frame.
+    pub fn new(inner: W, resolution: Resolution, frame_rate: FrameRate) -> Self {
+        Y4mWriter {
+            inner,
+            wrote_header: false,
+            resolution,
+            frame_rate,
+        }
+    }
+
+    /// Appends one frame.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::BadDimensions`] if the frame size differs from the
+    /// stream geometry, otherwise any underlying I/O error.
+    pub fn write_frame(&mut self, frame: &Frame) -> Result<(), FrameError> {
+        if frame.width() != self.resolution.width() || frame.height() != self.resolution.height()
+        {
+            return Err(FrameError::BadDimensions {
+                width: frame.width(),
+                height: frame.height(),
+                constraint: "frame size must match the y4m stream header",
+            });
+        }
+        if !self.wrote_header {
+            writeln!(
+                self.inner,
+                "YUV4MPEG2 W{} H{} F{}:{} Ip A1:1 C420jpeg",
+                self.resolution.width(),
+                self.resolution.height(),
+                self.frame_rate.num(),
+                self.frame_rate.den()
+            )?;
+            self.wrote_header = true;
+        }
+        writeln!(self.inner, "FRAME")?;
+        write_i420(&mut self.inner, frame)
+    }
+
+    /// Flushes and returns the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the flush error.
+    pub fn into_inner(mut self) -> Result<W, FrameError> {
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
+/// Reads a YUV4MPEG2 stream.
+#[derive(Debug)]
+pub struct Y4mReader<R: Read> {
+    inner: R,
+    resolution: Resolution,
+    frame_rate: FrameRate,
+}
+
+impl<R: Read> Y4mReader<R> {
+    /// Parses the stream header.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::BadHeader`] if the signature or geometry is missing
+    /// or malformed.
+    pub fn new(mut inner: R) -> Result<Self, FrameError> {
+        let header = read_line(&mut inner)?;
+        let mut parts = header.split(' ');
+        if parts.next() != Some("YUV4MPEG2") {
+            return Err(FrameError::BadHeader("missing YUV4MPEG2 signature".into()));
+        }
+        let (mut w, mut h, mut num, mut den) = (0u32, 0u32, 25u32, 1u32);
+        for p in parts {
+            let (tag, val) = p.split_at(1);
+            match tag {
+                "W" => w = parse_u32(val)?,
+                "H" => h = parse_u32(val)?,
+                "F" => {
+                    let mut it = val.split(':');
+                    num = parse_u32(it.next().unwrap_or(""))?;
+                    den = parse_u32(it.next().unwrap_or("1"))?;
+                }
+                "C" => {
+                    if !val.starts_with("420") {
+                        return Err(FrameError::BadHeader(format!(
+                            "unsupported chroma format C{val}"
+                        )));
+                    }
+                }
+                _ => {} // interlacing / aspect tags ignored
+            }
+        }
+        if w == 0 || h == 0 || w % 2 != 0 || h % 2 != 0 {
+            return Err(FrameError::BadHeader(format!("bad geometry {w}x{h}")));
+        }
+        Ok(Y4mReader {
+            inner,
+            resolution: Resolution::new(w, h),
+            frame_rate: FrameRate::new(num.max(1), den.max(1)),
+        })
+    }
+
+    /// Stream resolution from the header.
+    pub fn resolution(&self) -> Resolution {
+        self.resolution
+    }
+
+    /// Stream frame rate from the header.
+    pub fn frame_rate(&self) -> FrameRate {
+        self.frame_rate
+    }
+
+    /// Reads the next frame; `Ok(None)` at end of stream.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::BadHeader`] on a malformed FRAME marker,
+    /// [`FrameError::UnexpectedEof`] on truncation.
+    pub fn read_frame(&mut self) -> Result<Option<Frame>, FrameError> {
+        let line = match read_line_or_eof(&mut self.inner)? {
+            None => return Ok(None),
+            Some(l) => l,
+        };
+        if !line.starts_with("FRAME") {
+            return Err(FrameError::BadHeader(format!(
+                "expected FRAME marker, found {line:?}"
+            )));
+        }
+        match read_i420(&mut self.inner, self.resolution)? {
+            Some(f) => Ok(Some(f)),
+            None => Err(FrameError::UnexpectedEof),
+        }
+    }
+}
+
+fn parse_u32(s: &str) -> Result<u32, FrameError> {
+    s.parse()
+        .map_err(|_| FrameError::BadHeader(format!("bad integer {s:?}")))
+}
+
+fn read_line<R: Read>(r: &mut R) -> Result<String, FrameError> {
+    read_line_or_eof(r)?.ok_or(FrameError::UnexpectedEof)
+}
+
+fn read_line_or_eof<R: Read>(r: &mut R) -> Result<Option<String>, FrameError> {
+    let mut out = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match r.read(&mut byte) {
+            Ok(0) => {
+                return if out.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(FrameError::UnexpectedEof)
+                }
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    return Ok(Some(String::from_utf8_lossy(&out).into_owned()));
+                }
+                if out.len() > 256 {
+                    return Err(FrameError::BadHeader("header line too long".into()));
+                }
+                out.push(byte[0]);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_frame(seed: u8) -> Frame {
+        let mut f = Frame::new(32, 16);
+        for (i, v) in f.y_mut().data_mut().iter_mut().enumerate() {
+            *v = (i as u8).wrapping_mul(3).wrapping_add(seed);
+        }
+        for v in f.cb_mut().data_mut() {
+            *v = seed.wrapping_add(50);
+        }
+        f
+    }
+
+    #[test]
+    fn i420_roundtrip() {
+        let f = test_frame(7);
+        let mut buf = Vec::new();
+        write_i420(&mut buf, &f).unwrap();
+        assert_eq!(buf.len(), 32 * 16 * 3 / 2);
+        let back = read_i420(&buf[..], Resolution::new(32, 16)).unwrap().unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn i420_eof_and_truncation() {
+        let r = Resolution::new(32, 16);
+        assert!(read_i420(&[][..], r).unwrap().is_none());
+        let half = vec![0u8; 100];
+        assert!(matches!(
+            read_i420(&half[..], r),
+            Err(FrameError::UnexpectedEof)
+        ));
+    }
+
+    #[test]
+    fn y4m_roundtrip_two_frames() {
+        let f1 = test_frame(1);
+        let f2 = test_frame(200);
+        let mut w = Y4mWriter::new(Vec::new(), Resolution::new(32, 16), FrameRate::FPS_25);
+        w.write_frame(&f1).unwrap();
+        w.write_frame(&f2).unwrap();
+        let bytes = w.into_inner().unwrap();
+        let mut r = Y4mReader::new(&bytes[..]).unwrap();
+        assert_eq!(r.resolution(), Resolution::new(32, 16));
+        assert_eq!(r.frame_rate(), FrameRate::FPS_25);
+        assert_eq!(r.read_frame().unwrap().unwrap(), f1);
+        assert_eq!(r.read_frame().unwrap().unwrap(), f2);
+        assert!(r.read_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn y4m_rejects_wrong_size_frame() {
+        let mut w = Y4mWriter::new(Vec::new(), Resolution::new(32, 16), FrameRate::FPS_25);
+        let wrong = Frame::new(16, 16);
+        assert!(w.write_frame(&wrong).is_err());
+    }
+
+    #[test]
+    fn y4m_rejects_garbage_header() {
+        assert!(Y4mReader::new(&b"RIFFxxxx"[..]).is_err());
+        assert!(Y4mReader::new(&b"YUV4MPEG2 W0 H16\n"[..]).is_err());
+        assert!(Y4mReader::new(&b"YUV4MPEG2 W32 H16 C444\n"[..]).is_err());
+    }
+
+    #[test]
+    fn y4m_truncated_frame_errors() {
+        let mut bytes = Vec::new();
+        let mut w = Y4mWriter::new(&mut bytes, Resolution::new(32, 16), FrameRate::FPS_25);
+        w.write_frame(&test_frame(9)).unwrap();
+        drop(w);
+        bytes.truncate(bytes.len() - 10);
+        let mut r = Y4mReader::new(&bytes[..]).unwrap();
+        assert!(r.read_frame().is_err());
+    }
+}

@@ -1,0 +1,318 @@
+//! Objective quality metrics: PSNR (the paper's Table V metric) and a
+//! luma SSIM used by the extended analyses.
+
+use crate::{Frame, Plane};
+
+/// Converts a mean-squared error into PSNR in decibels for 8-bit content.
+///
+/// Returns `f64::INFINITY` for `mse == 0` (identical pictures).
+///
+/// # Example
+///
+/// ```
+/// use hdvb_frame::psnr_from_mse;
+///
+/// assert!(psnr_from_mse(0.0).is_infinite());
+/// assert!((psnr_from_mse(1.0) - 48.13).abs() < 0.01);
+/// ```
+pub fn psnr_from_mse(mse: f64) -> f64 {
+    if mse <= 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (255.0f64 * 255.0 / mse).log10()
+    }
+}
+
+/// PSNR of one plane pair.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PlanePsnr {
+    /// Mean squared error.
+    pub mse: f64,
+    /// PSNR in dB (infinite when `mse == 0`).
+    pub psnr: f64,
+}
+
+impl PlanePsnr {
+    /// Measures the PSNR between a reference plane and a distorted plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plane dimensions differ.
+    pub fn measure(reference: &Plane, distorted: &Plane) -> Self {
+        let ssd = reference.ssd(distorted);
+        let mse = ssd as f64 / reference.data().len() as f64;
+        PlanePsnr {
+            mse,
+            psnr: psnr_from_mse(mse),
+        }
+    }
+}
+
+/// Per-plane and combined PSNR of one frame pair.
+///
+/// The combined value uses the conventional 4:2:0 weighting
+/// `(4·Y + Cb + Cr) / 6`, which matches how the encoders in the original
+/// benchmark (x264, FFmpeg with `psnr` enabled) report a global number.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FramePsnr {
+    /// Luma PSNR.
+    pub y: PlanePsnr,
+    /// Cb PSNR.
+    pub cb: PlanePsnr,
+    /// Cr PSNR.
+    pub cr: PlanePsnr,
+}
+
+impl FramePsnr {
+    /// Measures PSNR between a reference frame and a distorted frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame dimensions differ.
+    pub fn measure(reference: &Frame, distorted: &Frame) -> Self {
+        FramePsnr {
+            y: PlanePsnr::measure(reference.y(), distorted.y()),
+            cb: PlanePsnr::measure(reference.cb(), distorted.cb()),
+            cr: PlanePsnr::measure(reference.cr(), distorted.cr()),
+        }
+    }
+
+    /// Combined PSNR computed from the 4:2:0-weighted MSE.
+    pub fn combined(&self) -> f64 {
+        let mse = (4.0 * self.y.mse + self.cb.mse + self.cr.mse) / 6.0;
+        psnr_from_mse(mse)
+    }
+}
+
+/// Accumulates per-frame PSNR into a sequence average.
+///
+/// Averaging is done in the MSE domain (then converted to dB), which is the
+/// statistically meaningful way to average PSNR over frames.
+///
+/// # Example
+///
+/// ```
+/// use hdvb_frame::{Frame, SequencePsnr};
+///
+/// let a = Frame::new(32, 32);
+/// let mut acc = SequencePsnr::new();
+/// acc.add(&a, &a);
+/// assert!(acc.y_psnr().is_infinite());
+/// assert_eq!(acc.frames(), 1);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SequencePsnr {
+    frames: u64,
+    y_mse: f64,
+    cb_mse: f64,
+    cr_mse: f64,
+}
+
+impl SequencePsnr {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one reference/distorted frame pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame dimensions differ.
+    pub fn add(&mut self, reference: &Frame, distorted: &Frame) {
+        let p = FramePsnr::measure(reference, distorted);
+        self.add_frame_psnr(&p);
+    }
+
+    /// Adds an already-measured frame PSNR.
+    pub fn add_frame_psnr(&mut self, p: &FramePsnr) {
+        self.frames += 1;
+        self.y_mse += p.y.mse;
+        self.cb_mse += p.cb.mse;
+        self.cr_mse += p.cr.mse;
+    }
+
+    /// Number of accumulated frames.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Average luma PSNR in dB.
+    pub fn y_psnr(&self) -> f64 {
+        psnr_from_mse(self.mean(self.y_mse))
+    }
+
+    /// Average Cb PSNR in dB.
+    pub fn cb_psnr(&self) -> f64 {
+        psnr_from_mse(self.mean(self.cb_mse))
+    }
+
+    /// Average Cr PSNR in dB.
+    pub fn cr_psnr(&self) -> f64 {
+        psnr_from_mse(self.mean(self.cr_mse))
+    }
+
+    /// Average combined (4:2:0-weighted) PSNR in dB.
+    pub fn combined_psnr(&self) -> f64 {
+        let mse = (4.0 * self.mean(self.y_mse) + self.mean(self.cb_mse) + self.mean(self.cr_mse))
+            / 6.0;
+        psnr_from_mse(mse)
+    }
+
+    fn mean(&self, total: f64) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            total / self.frames as f64
+        }
+    }
+}
+
+/// Structural similarity (SSIM) over the luma plane, computed on 8×8
+/// windows with the standard `K1 = 0.01`, `K2 = 0.03` constants.
+///
+/// Returns values in `(0, 1]`; 1 means identical.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Ssim {
+    /// Mean SSIM over all windows.
+    pub value: f64,
+}
+
+impl Ssim {
+    /// Measures luma SSIM between two frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame dimensions differ or are smaller than 8×8.
+    pub fn measure(reference: &Frame, distorted: &Frame) -> Self {
+        Self::measure_planes(reference.y(), distorted.y())
+    }
+
+    /// Measures SSIM between two planes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plane dimensions differ or are smaller than 8×8.
+    pub fn measure_planes(a: &Plane, b: &Plane) -> Self {
+        assert_eq!((a.width(), a.height()), (b.width(), b.height()));
+        assert!(a.width() >= 8 && a.height() >= 8, "ssim needs at least 8x8");
+        const C1: f64 = (0.01 * 255.0) * (0.01 * 255.0);
+        const C2: f64 = (0.03 * 255.0) * (0.03 * 255.0);
+        let mut total = 0.0;
+        let mut windows = 0u64;
+        let mut ay = 0;
+        while ay + 8 <= a.height() {
+            let mut ax = 0;
+            while ax + 8 <= a.width() {
+                let (mut sa, mut sb, mut saa, mut sbb, mut sab) = (0f64, 0f64, 0f64, 0f64, 0f64);
+                for dy in 0..8 {
+                    for dx in 0..8 {
+                        let va = f64::from(a.get(ax + dx, ay + dy));
+                        let vb = f64::from(b.get(ax + dx, ay + dy));
+                        sa += va;
+                        sb += vb;
+                        saa += va * va;
+                        sbb += vb * vb;
+                        sab += va * vb;
+                    }
+                }
+                let n = 64.0;
+                let mu_a = sa / n;
+                let mu_b = sb / n;
+                let var_a = saa / n - mu_a * mu_a;
+                let var_b = sbb / n - mu_b * mu_b;
+                let cov = sab / n - mu_a * mu_b;
+                let ssim = ((2.0 * mu_a * mu_b + C1) * (2.0 * cov + C2))
+                    / ((mu_a * mu_a + mu_b * mu_b + C1) * (var_a + var_b + C2));
+                total += ssim;
+                windows += 1;
+                ax += 8;
+            }
+            ay += 8;
+        }
+        Ssim {
+            value: total / windows as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_pair(w: usize, h: usize, noise: i32) -> (Frame, Frame) {
+        let mut a = Frame::new(w, h);
+        let mut b = Frame::new(w, h);
+        let mut state = 12345u32;
+        for y in 0..h {
+            for x in 0..w {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                let v = (state >> 24) as u8;
+                a.y_mut().set(x, y, v);
+                let n = ((state >> 16) as i32 % (2 * noise + 1)) - noise;
+                b.y_mut().set(x, y, (i32::from(v) + n).clamp(0, 255) as u8);
+            }
+        }
+        (a, b)
+    }
+
+    #[test]
+    fn identical_frames_are_infinite_psnr_and_unit_ssim() {
+        let f = Frame::new(32, 32);
+        let p = FramePsnr::measure(&f, &f);
+        assert!(p.y.psnr.is_infinite());
+        assert!(p.combined().is_infinite());
+        let s = Ssim::measure(&f, &f);
+        assert!((s.value - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn psnr_decreases_with_noise() {
+        let (a, b1) = noisy_pair(64, 64, 2);
+        let (c, b2) = noisy_pair(64, 64, 20);
+        let low_noise = FramePsnr::measure(&a, &b1).y.psnr;
+        let high_noise = FramePsnr::measure(&c, &b2).y.psnr;
+        assert!(low_noise > high_noise + 5.0, "{low_noise} vs {high_noise}");
+    }
+
+    #[test]
+    fn known_mse_value() {
+        // Every pixel differs by exactly 5 => MSE 25 => PSNR ~34.15 dB.
+        let mut a = Frame::new(16, 16);
+        let mut b = Frame::new(16, 16);
+        a.y_mut().fill(100);
+        b.y_mut().fill(105);
+        let p = PlanePsnr::measure(a.y(), b.y());
+        assert!((p.mse - 25.0).abs() < 1e-9);
+        assert!((p.psnr - 34.1514).abs() < 0.001);
+    }
+
+    #[test]
+    fn sequence_average_is_mse_domain() {
+        let mut a = Frame::new(16, 16);
+        let mut b = Frame::new(16, 16);
+        a.y_mut().fill(100);
+        b.y_mut().fill(110); // MSE 100
+        let mut acc = SequencePsnr::new();
+        acc.add(&a, &b);
+        acc.add(&a, &a); // MSE 0
+        // Mean MSE = 50 -> PSNR ~31.14 (not the dB average, which would be inf).
+        assert!((acc.y_psnr() - psnr_from_mse(50.0)).abs() < 1e-9);
+        assert_eq!(acc.frames(), 2);
+    }
+
+    #[test]
+    fn ssim_penalises_structure_loss_more_than_bias() {
+        let (a, _) = noisy_pair(64, 64, 0);
+        // Uniform bias of +3: structure preserved.
+        let mut biased = a.clone();
+        for v in biased.y_mut().data_mut() {
+            *v = v.saturating_add(3);
+        }
+        // Heavy noise: structure destroyed.
+        let (_, noisy) = noisy_pair(64, 64, 60);
+        let s_bias = Ssim::measure(&a, &biased).value;
+        let s_noise = Ssim::measure(&a, &noisy).value;
+        assert!(s_bias > s_noise);
+    }
+}

@@ -1,0 +1,176 @@
+use crate::Plane;
+
+/// An edge-extended copy of a [`Plane`] for unchecked motion-compensated
+/// access.
+///
+/// Motion vectors routinely point outside the picture; every real codec
+/// extends the reference picture by replicating its border pixels so that
+/// interpolation kernels can read out-of-frame positions without branching.
+/// `PaddedPlane` materialises that extension once per reference frame.
+///
+/// # Example
+///
+/// ```
+/// use hdvb_frame::{PaddedPlane, Plane};
+///
+/// let mut p = Plane::new(16, 16);
+/// p.set(0, 0, 42);
+/// let padded = PaddedPlane::from_plane(&p, 8);
+/// assert_eq!(padded.pixel(-5, -3), 42); // border replication
+/// assert_eq!(padded.pixel(0, 0), 42);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PaddedPlane {
+    width: usize,
+    height: usize,
+    pad: usize,
+    stride: usize,
+    data: Vec<u8>,
+}
+
+impl PaddedPlane {
+    /// Builds a padded copy of `plane` with `pad` pixels of border
+    /// replication on every side.
+    pub fn from_plane(plane: &Plane, pad: usize) -> Self {
+        let width = plane.width();
+        let height = plane.height();
+        let stride = width + 2 * pad;
+        let padded_h = height + 2 * pad;
+        let mut data = vec![0u8; stride * padded_h];
+        // Interior rows with horizontal extension.
+        for y in 0..height {
+            let src = plane.row(y);
+            let dst = &mut data[(y + pad) * stride..(y + pad + 1) * stride];
+            dst[..pad].fill(src[0]);
+            dst[pad..pad + width].copy_from_slice(src);
+            dst[pad + width..].fill(src[width - 1]);
+        }
+        // Vertical extension: replicate first/last interior rows.
+        let (top, rest) = data.split_at_mut(pad * stride);
+        let first_row = rest[..stride].to_vec();
+        for r in top.chunks_mut(stride) {
+            r.copy_from_slice(&first_row);
+        }
+        let last_interior_start = (pad + height - 1) * stride;
+        let last_row = data[last_interior_start..last_interior_start + stride].to_vec();
+        for y in pad + height..padded_h {
+            data[y * stride..(y + 1) * stride].copy_from_slice(&last_row);
+        }
+        PaddedPlane {
+            width,
+            height,
+            pad,
+            stride,
+            data,
+        }
+    }
+
+    /// Width of the unpadded picture.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height of the unpadded picture.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Border size in pixels.
+    #[inline]
+    pub fn pad(&self) -> usize {
+        self.pad
+    }
+
+    /// Row stride of the padded buffer.
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Reads pixel `(x, y)` in picture coordinates; positions up to
+    /// `pad` pixels outside the picture are valid and return the
+    /// replicated border.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds, via slice indexing) if the coordinate lies
+    /// beyond the padded area.
+    #[inline]
+    pub fn pixel(&self, x: isize, y: isize) -> u8 {
+        let xi = (x + self.pad as isize) as usize;
+        let yi = (y + self.pad as isize) as usize;
+        self.data[yi * self.stride + xi]
+    }
+
+    /// Returns a slice starting at picture coordinate `(x, y)` and running
+    /// to the end of the padded buffer; the caller may read `len` bytes of
+    /// one row plus use [`stride`](Self::stride) to walk rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(x, y)` lies beyond the padded area.
+    #[inline]
+    pub fn row_from(&self, x: isize, y: isize) -> &[u8] {
+        let xi = (x + self.pad as isize) as usize;
+        let yi = (y + self.pad as isize) as usize;
+        &self.data[yi * self.stride + xi..]
+    }
+
+    /// Copies a `bw`×`bh` block whose top-left corner is at picture
+    /// coordinate `(x, y)` (may be negative / beyond the edge up to the
+    /// padding) into `dst`.
+    pub fn copy_block_to(&self, x: isize, y: isize, bw: usize, bh: usize, dst: &mut [u8]) {
+        for by in 0..bh {
+            let src = self.row_from(x, y + by as isize);
+            dst[by * bw..(by + 1) * bw].copy_from_slice(&src[..bw]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gradient_plane(w: usize, h: usize) -> Plane {
+        let mut p = Plane::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                p.set(x, y, (x * 3 + y * 7) as u8);
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn interior_matches_source() {
+        let p = gradient_plane(12, 10);
+        let pp = PaddedPlane::from_plane(&p, 4);
+        for y in 0..10 {
+            for x in 0..12 {
+                assert_eq!(pp.pixel(x as isize, y as isize), p.get(x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn corners_replicate() {
+        let p = gradient_plane(8, 8);
+        let pp = PaddedPlane::from_plane(&p, 3);
+        assert_eq!(pp.pixel(-3, -3), p.get(0, 0));
+        assert_eq!(pp.pixel(10, -1), p.get(7, 0));
+        assert_eq!(pp.pixel(-1, 10), p.get(0, 7));
+        assert_eq!(pp.pixel(10, 10), p.get(7, 7));
+    }
+
+    #[test]
+    fn block_copy_spanning_edge() {
+        let p = gradient_plane(8, 8);
+        let pp = PaddedPlane::from_plane(&p, 4);
+        let mut out = vec![0u8; 4 * 4];
+        pp.copy_block_to(-2, -2, 4, 4, &mut out);
+        // First row: two border-replicated pixels then the first two real.
+        assert_eq!(&out[..4], &[p.get(0, 0), p.get(0, 0), p.get(0, 0), p.get(1, 0)]);
+    }
+}

@@ -1,0 +1,225 @@
+use std::fmt;
+
+/// A video frame size in pixels.
+///
+/// The three named constants are the paper's evaluation resolutions
+/// (Section IV): DVD 720×576, HD-720 1280×720 and HD-1088 1920×1088.
+///
+/// # Example
+///
+/// ```
+/// use hdvb_frame::Resolution;
+///
+/// assert_eq!(Resolution::HD_1088.pixel_count(), 1920 * 1088);
+/// assert_eq!(Resolution::DVD_576.label(), "576p25");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Resolution {
+    width: u32,
+    height: u32,
+}
+
+impl Resolution {
+    /// DVD resolution, 720×576 ("576p25" in the paper).
+    pub const DVD_576: Resolution = Resolution {
+        width: 720,
+        height: 576,
+    };
+    /// HD-720 resolution, 1280×720 ("720p25").
+    pub const HD_720: Resolution = Resolution {
+        width: 1280,
+        height: 720,
+    };
+    /// HD-1088 resolution, 1920×1088 ("1088p25"; 1080 rounded up to a
+    /// macroblock multiple, exactly as the paper's input set does).
+    pub const HD_1088: Resolution = Resolution {
+        width: 1920,
+        height: 1088,
+    };
+
+    /// The three paper resolutions, smallest first.
+    pub const ALL: [Resolution; 3] = [Self::DVD_576, Self::HD_720, Self::HD_1088];
+
+    /// Creates a custom resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or odd.
+    pub fn new(width: u32, height: u32) -> Self {
+        assert!(
+            width > 0 && height > 0 && width % 2 == 0 && height % 2 == 0,
+            "resolutions must be even and nonzero"
+        );
+        Resolution { width, height }
+    }
+
+    /// Width in pixels.
+    #[inline]
+    pub fn width(self) -> usize {
+        self.width as usize
+    }
+
+    /// Height in pixels.
+    #[inline]
+    pub fn height(self) -> usize {
+        self.height as usize
+    }
+
+    /// Total luma pixels per frame.
+    #[inline]
+    pub fn pixel_count(self) -> usize {
+        self.width() * self.height()
+    }
+
+    /// The paper's short label for this resolution at 25 fps
+    /// (`"576p25"`, `"720p25"`, `"1088p25"`), or `"<w>x<h>"` for custom
+    /// sizes.
+    pub fn label(self) -> String {
+        match self {
+            Self::DVD_576 => "576p25".to_owned(),
+            Self::HD_720 => "720p25".to_owned(),
+            Self::HD_1088 => "1088p25".to_owned(),
+            _ => format!("{}x{}", self.width, self.height),
+        }
+    }
+
+    /// A proportionally scaled-down resolution with both dimensions kept
+    /// even and at least 16; used by tests and quick benchmark modes.
+    pub fn scaled_down(self, divisor: u32) -> Resolution {
+        assert!(divisor > 0, "divisor must be nonzero");
+        let even_min16 = |v: u32| ((v / divisor).max(16) + 1) & !1;
+        Resolution::new(even_min16(self.width), even_min16(self.height))
+    }
+}
+
+impl fmt::Display for Resolution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.width, self.height)
+    }
+}
+
+/// A frame rate expressed as a rational number of frames per second.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FrameRate {
+    num: u32,
+    den: u32,
+}
+
+impl FrameRate {
+    /// 25 frames per second — the rate of every HD-VideoBench sequence.
+    pub const FPS_25: FrameRate = FrameRate { num: 25, den: 1 };
+
+    /// Creates a frame rate of `num/den` frames per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either term is zero.
+    pub fn new(num: u32, den: u32) -> Self {
+        assert!(num > 0 && den > 0, "frame rate terms must be nonzero");
+        FrameRate { num, den }
+    }
+
+    /// Numerator.
+    #[inline]
+    pub fn num(self) -> u32 {
+        self.num
+    }
+
+    /// Denominator.
+    #[inline]
+    pub fn den(self) -> u32 {
+        self.den
+    }
+
+    /// Frames per second as a float.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        f64::from(self.num) / f64::from(self.den)
+    }
+}
+
+impl Default for FrameRate {
+    fn default() -> Self {
+        Self::FPS_25
+    }
+}
+
+impl fmt::Display for FrameRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{} fps", self.num)
+        } else {
+            write!(f, "{}/{} fps", self.num, self.den)
+        }
+    }
+}
+
+/// Resolution plus frame rate: everything a codec needs to know about the
+/// raw video format (chroma is always 4:2:0 progressive).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct VideoFormat {
+    /// Frame size.
+    pub resolution: Resolution,
+    /// Frames per second.
+    pub frame_rate: FrameRate,
+}
+
+impl VideoFormat {
+    /// Creates a format at the benchmark's standard 25 fps.
+    pub fn at_25fps(resolution: Resolution) -> Self {
+        VideoFormat {
+            resolution,
+            frame_rate: FrameRate::FPS_25,
+        }
+    }
+
+    /// Raw bytes per 4:2:0 frame.
+    pub fn frame_bytes(self) -> usize {
+        self.resolution.pixel_count() * 3 / 2
+    }
+}
+
+impl fmt::Display for VideoFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} @ {}", self.resolution, self.frame_rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_resolutions() {
+        assert_eq!(Resolution::DVD_576.to_string(), "720x576");
+        assert_eq!(Resolution::HD_720.to_string(), "1280x720");
+        assert_eq!(Resolution::HD_1088.to_string(), "1920x1088");
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(Resolution::HD_720.label(), "720p25");
+        assert_eq!(Resolution::new(100, 80).label(), "100x80");
+    }
+
+    #[test]
+    fn scaled_down_stays_even_and_large_enough() {
+        let r = Resolution::HD_1088.scaled_down(10);
+        assert!(r.width() % 2 == 0 && r.height() % 2 == 0);
+        assert!(r.width() >= 16 && r.height() >= 16);
+        let tiny = Resolution::DVD_576.scaled_down(1000);
+        assert_eq!((tiny.width(), tiny.height()), (16, 16));
+    }
+
+    #[test]
+    fn frame_rate_display_and_value() {
+        assert_eq!(FrameRate::FPS_25.to_string(), "25 fps");
+        assert!((FrameRate::new(30000, 1001).as_f64() - 29.97).abs() < 0.01);
+    }
+
+    #[test]
+    fn format_frame_bytes() {
+        let f = VideoFormat::at_25fps(Resolution::DVD_576);
+        assert_eq!(f.frame_bytes(), 720 * 576 * 3 / 2);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests of the raw-video I/O layer: arbitrary frames must
+//! survive I420 and Y4M round trips exactly, and malformed inputs must
+//! fail cleanly.
+
+use hdvb_frame::{read_i420, write_i420, Frame, FrameRate, Plane, Resolution, Y4mReader, Y4mWriter};
+use proptest::prelude::*;
+
+fn frame_strategy() -> impl Strategy<Value = Frame> {
+    // Even dimensions from 2 to 64.
+    (1usize..=32, 1usize..=32).prop_flat_map(|(hw, hh)| {
+        let (w, h) = (hw * 2, hh * 2);
+        (
+            proptest::collection::vec(any::<u8>(), w * h),
+            proptest::collection::vec(any::<u8>(), w * h / 4),
+            proptest::collection::vec(any::<u8>(), w * h / 4),
+        )
+            .prop_map(move |(y, cb, cr)| {
+                Frame::from_planes(
+                    Plane::from_vec(w, h, y),
+                    Plane::from_vec(w / 2, h / 2, cb),
+                    Plane::from_vec(w / 2, h / 2, cr),
+                )
+                .expect("valid 4:2:0 geometry")
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn i420_roundtrip_any_frame(frame in frame_strategy()) {
+        let mut buf = Vec::new();
+        write_i420(&mut buf, &frame).unwrap();
+        prop_assert_eq!(buf.len(), frame.sample_count());
+        let res = Resolution::new(frame.width() as u32, frame.height() as u32);
+        let back = read_i420(&buf[..], res).unwrap().unwrap();
+        prop_assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn y4m_roundtrip_any_clip(frames in proptest::collection::vec(frame_strategy(), 1..4)) {
+        // All frames in a stream share the first frame's geometry.
+        let res = Resolution::new(frames[0].width() as u32, frames[0].height() as u32);
+        let mut w = Y4mWriter::new(Vec::new(), res, FrameRate::FPS_25);
+        let mut expected = Vec::new();
+        for f in &frames {
+            if f.width() == res.width() && f.height() == res.height() {
+                w.write_frame(f).unwrap();
+                expected.push(f.clone());
+            } else {
+                prop_assert!(w.write_frame(f).is_err());
+            }
+        }
+        let bytes = w.into_inner().unwrap();
+        let mut r = Y4mReader::new(&bytes[..]).unwrap();
+        prop_assert_eq!(r.resolution(), res);
+        for f in &expected {
+            prop_assert_eq!(&r.read_frame().unwrap().unwrap(), f);
+        }
+        prop_assert!(r.read_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_y4m_never_panics(frame in frame_strategy(), cut_fraction in 0.0f64..1.0) {
+        let res = Resolution::new(frame.width() as u32, frame.height() as u32);
+        let mut w = Y4mWriter::new(Vec::new(), res, FrameRate::FPS_25);
+        w.write_frame(&frame).unwrap();
+        let bytes = w.into_inner().unwrap();
+        let cut = (bytes.len() as f64 * cut_fraction) as usize;
+        match Y4mReader::new(&bytes[..cut]) {
+            Ok(mut r) => {
+                let _ = r.read_frame(); // error or None, never panic
+            }
+            Err(_) => {} // header itself truncated
+        }
+    }
+
+    #[test]
+    fn random_bytes_never_panic_y4m_reader(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        if let Ok(mut r) = Y4mReader::new(&data[..]) {
+            let _ = r.read_frame();
+        }
+    }
+}

@@ -1,0 +1,819 @@
+use crate::deblock::deblock_frame;
+use crate::gop::{GopScheduler, Scheduled};
+use crate::intra::{predict16, predict4, predict_chroma8, ChromaMode, Intra16Mode, Intra4Mode};
+use crate::mc::{align_frame, predict_partition, Partitioning, RefPicture};
+use crate::resid::{
+    recon_chroma_plane, recon_luma_mb, transform_chroma_plane, transform_luma_mb,
+    write_chroma_residual, write_luma_residual,
+};
+use crate::blocks4::write_coeffs4;
+use crate::quant4::{dequant4, quant4};
+use crate::tables::lambda;
+use crate::types::{CodecError, EncoderConfig, FrameType, Packet};
+use hdvb_bits::BitWriter;
+use hdvb_dsp::Dsp;
+use hdvb_frame::{align_up, Frame};
+use hdvb_me::{hexagon_search, median3, mv_bits, subpel_refine, BlockRef, Mv, MvField, SearchParams, SubpelStep};
+use std::collections::VecDeque;
+
+/// Magic number opening every coded picture.
+pub(crate) const MAGIC: u32 = 0x4834; // "H4"
+
+/// Per-picture coding context mirrored by the decoder: the quarter-pel
+/// motion field (median predictors, skip vectors) and the 4×4 intra-mode
+/// grid (most-probable-mode predictors).
+pub(crate) struct PicCtx {
+    pub qfield: MvField,
+    pub mode4: Vec<u8>,
+    pub mode4_w: usize,
+}
+
+impl PicCtx {
+    pub(crate) fn new(mbs_x: usize, mbs_y: usize) -> Self {
+        PicCtx {
+            qfield: MvField::new(mbs_x, mbs_y),
+            mode4: vec![2; mbs_x * 4 * mbs_y * 4], // DC everywhere
+            mode4_w: mbs_x * 4,
+        }
+    }
+
+    pub(crate) fn mode_at(&self, gx: isize, gy: isize) -> u8 {
+        if gx < 0 || gy < 0 || gx as usize >= self.mode4_w {
+            return 2;
+        }
+        let idx = gy as usize * self.mode4_w + gx as usize;
+        self.mode4.get(idx).copied().unwrap_or(2)
+    }
+
+    pub(crate) fn set_mode(&mut self, gx: usize, gy: usize, mode: u8) {
+        let idx = gy * self.mode4_w + gx;
+        if idx < self.mode4.len() {
+            self.mode4[idx] = mode;
+        }
+    }
+
+    /// Most probable 4×4 mode: min of left and top neighbour modes.
+    pub(crate) fn most_probable(&self, gx: usize, gy: usize) -> u8 {
+        let (x, y) = (gx as isize, gy as isize);
+        self.mode_at(x - 1, y).min(self.mode_at(x, y - 1))
+    }
+
+    /// Marks a whole macroblock's 4×4 cells as non-intra (DC for mpm).
+    pub(crate) fn clear_mb_modes(&mut self, mbx: usize, mby: usize) {
+        for j in 0..4 {
+            for i in 0..4 {
+                self.set_mode(mbx * 4 + i, mby * 4 + j, 2);
+            }
+        }
+    }
+}
+
+/// Median MV predictor from the left, top and top-right macroblocks.
+pub(crate) fn median_pred(qfield: &MvField, mbx: usize, mby: usize) -> Mv {
+    let (x, y) = (mbx as isize, mby as isize);
+    median3(
+        qfield.get(x - 1, y),
+        qfield.get(x, y - 1),
+        qfield.get(x + 1, y - 1),
+    )
+}
+
+/// The H.264-class encoder. See the crate docs for the toolset.
+pub struct H264Encoder {
+    config: EncoderConfig,
+    dsp: Dsp,
+    gop: GopScheduler,
+    aw: usize,
+    ah: usize,
+    mbs_x: usize,
+    mbs_y: usize,
+    /// Reference pictures, newest first.
+    refs: VecDeque<RefPicture>,
+    lambda: u32,
+}
+
+impl H264Encoder {
+    /// Creates an encoder.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::BadConfig`] for invalid parameters.
+    pub fn new(config: EncoderConfig) -> Result<Self, CodecError> {
+        config.validate()?;
+        let aw = align_up(config.width, 16);
+        let ah = align_up(config.height, 16);
+        Ok(H264Encoder {
+            config,
+            dsp: Dsp::new(config.simd),
+            gop: GopScheduler::new(config.b_frames, config.intra_period),
+            aw,
+            ah,
+            mbs_x: aw / 16,
+            mbs_y: ah / 16,
+            refs: VecDeque::new(),
+            lambda: lambda(config.qp),
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EncoderConfig {
+        &self.config
+    }
+
+    /// Submits the next display-order frame.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::FrameMismatch`] on geometry mismatch.
+    pub fn encode(&mut self, frame: &Frame) -> Result<Vec<Packet>, CodecError> {
+        if frame.width() != self.config.width || frame.height() != self.config.height {
+            return Err(CodecError::FrameMismatch {
+                expected: (self.config.width, self.config.height),
+                actual: (frame.width(), frame.height()),
+            });
+        }
+        let scheduled = self.gop.push(frame.clone());
+        self.encode_scheduled(scheduled)
+    }
+
+    /// Flushes buffered frames.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding errors (none in normal operation).
+    pub fn flush(&mut self) -> Result<Vec<Packet>, CodecError> {
+        let scheduled = self.gop.finish();
+        self.encode_scheduled(scheduled)
+    }
+
+    fn encode_scheduled(&mut self, scheduled: Vec<Scheduled>) -> Result<Vec<Packet>, CodecError> {
+        scheduled
+            .into_iter()
+            .map(|s| self.encode_picture(&s.frame, s.frame_type, s.display_index))
+            .collect()
+    }
+
+    fn encode_picture(
+        &mut self,
+        frame: &Frame,
+        frame_type: FrameType,
+        display_index: u32,
+    ) -> Result<Packet, CodecError> {
+        let cur = align_frame(frame, self.aw, self.ah);
+        let mut w = BitWriter::with_capacity(self.aw * self.ah / 6);
+        w.put_bits(MAGIC, 16);
+        w.put_bits(frame_type.to_bits(), 2);
+        w.put_bits(display_index, 32);
+        w.put_ue(self.config.width as u32);
+        w.put_ue(self.config.height as u32);
+        w.put_ue(u32::from(self.config.qp));
+        w.put_ue(u32::from(self.config.num_refs));
+        w.put_bit(self.config.deblock);
+
+        let mut recon = Frame::new(self.aw, self.ah);
+        let mut ctx = PicCtx::new(self.mbs_x, self.mbs_y);
+        match frame_type {
+            FrameType::I => self.encode_i(&mut w, &cur, &mut recon, &mut ctx),
+            FrameType::P => self.encode_p(&mut w, &cur, &mut recon, &mut ctx),
+            FrameType::B => self.encode_b(&mut w, &cur, &mut recon, &mut ctx),
+        }
+        if self.config.deblock {
+            deblock_frame(&self.dsp, &mut recon, self.config.qp);
+        }
+        if frame_type != FrameType::B {
+            self.refs.push_front(RefPicture::from_frame(&recon));
+            let keep = usize::from(self.config.num_refs).max(2);
+            self.refs.truncate(keep);
+        }
+        Ok(Packet {
+            data: w.finish(),
+            frame_type,
+            display_index,
+        })
+    }
+
+    // ------------------------------------------------------------ intra --
+
+    fn encode_i(&self, w: &mut BitWriter, cur: &Frame, recon: &mut Frame, ctx: &mut PicCtx) {
+        for mby in 0..self.mbs_y {
+            for mbx in 0..self.mbs_x {
+                let (c16, mode16) = self.intra16_cost(cur, recon, mbx, mby);
+                let c4 = self.intra4_cost_estimate(cur, ctx, mbx, mby);
+                if c4 < c16 {
+                    w.put_ue(0);
+                    self.code_intra4x4_mb(w, cur, recon, ctx, mbx, mby);
+                } else {
+                    w.put_ue(1);
+                    self.code_intra16_mb(w, cur, recon, ctx, mbx, mby, mode16);
+                }
+            }
+            w.byte_align();
+        }
+    }
+
+    /// SATD cost and best mode for intra 16×16.
+    fn intra16_cost(&self, cur: &Frame, recon: &Frame, mbx: usize, mby: usize) -> (u32, Intra16Mode) {
+        let src = &cur.y().data()[mby * 16 * self.aw + mbx * 16..];
+        let mut best = (u32::MAX, Intra16Mode::Dc);
+        for mode in Intra16Mode::ALL {
+            let mut pred = [0u8; 256];
+            predict16(recon.y(), mbx * 16, mby * 16, mode, &mut pred);
+            let satd = self.dsp.satd(src, self.aw, &pred, 16, 16, 16);
+            let cost = satd + self.lambda * 4;
+            if cost < best.0 {
+                best = (cost, mode);
+            }
+        }
+        best
+    }
+
+    /// Quick SATD estimate for intra 4×4 (source-neighbour prediction;
+    /// the actual coding pass uses reconstruction-based prediction).
+    fn intra4_cost_estimate(&self, cur: &Frame, ctx: &PicCtx, mbx: usize, mby: usize) -> u32 {
+        let mut total = self.lambda * 8;
+        for k in 0..16 {
+            let bx = mbx * 16 + (k % 4) * 4;
+            let by = mby * 16 + (k / 4) * 4;
+            let src = &cur.y().data()[by * self.aw + bx..];
+            let mut best = u32::MAX;
+            for mode in Intra4Mode::ALL {
+                let mut pred = [0u8; 16];
+                predict4(cur.y(), bx, by, mode, &mut pred);
+                let satd = self.dsp.satd(src, self.aw, &pred, 4, 4, 4);
+                best = best.min(satd + self.lambda * 2);
+            }
+            total = total.saturating_add(best);
+            let _ = ctx;
+        }
+        total
+    }
+
+    /// Codes an I4x4 macroblock: per-block mode + residual, interleaved
+    /// with reconstruction, then intra chroma.
+    fn code_intra4x4_mb(
+        &self,
+        w: &mut BitWriter,
+        cur: &Frame,
+        recon: &mut Frame,
+        ctx: &mut PicCtx,
+        mbx: usize,
+        mby: usize,
+    ) {
+        for k in 0..16 {
+            let gx = mbx * 4 + k % 4;
+            let gy = mby * 4 + k / 4;
+            let bx = mbx * 16 + (k % 4) * 4;
+            let by = mby * 16 + (k / 4) * 4;
+            let src = &cur.y().data()[by * self.aw + bx..];
+            // Decision against reconstructed neighbours.
+            let mut best = (u32::MAX, Intra4Mode::Dc);
+            let mpm = ctx.most_probable(gx, gy);
+            for mode in Intra4Mode::ALL {
+                let mut pred = [0u8; 16];
+                predict4(recon.y(), bx, by, mode, &mut pred);
+                let satd = self.dsp.satd(src, self.aw, &pred, 4, 4, 4);
+                let mode_bits = if mode.index() == u32::from(mpm) { 1 } else { 3 };
+                let cost = satd + self.lambda * mode_bits;
+                if cost < best.0 {
+                    best = (cost, mode);
+                }
+            }
+            let mode = best.1;
+            write_intra4_mode(w, mode, mpm);
+            ctx.set_mode(gx, gy, mode.index() as u8);
+            // Residual against the recon-based prediction.
+            let mut pred = [0u8; 16];
+            predict4(recon.y(), bx, by, mode, &mut pred);
+            let mut block = [0i16; 16];
+            crate::mc::diff4(&mut block, src, self.aw, &pred, 4);
+            self.dsp.fcore4(&mut block);
+            let nz = quant4(&mut block, self.config.qp, true);
+            w.put_bit(nz > 0);
+            if nz > 0 {
+                write_coeffs4(w, &block);
+                dequant4(&mut block, self.config.qp);
+                self.dsp.icore4(&mut block);
+                let stride = recon.y().stride();
+                let off = by * stride + bx;
+                crate::mc::add4(&mut recon.y_mut().data_mut()[off..], stride, &pred, 4, &block);
+            } else {
+                let stride = recon.y().stride();
+                let off = by * stride + bx;
+                crate::mc::copy4(&mut recon.y_mut().data_mut()[off..], stride, &pred, 4);
+            }
+        }
+        self.code_intra_chroma(w, cur, recon, mbx, mby);
+    }
+
+    /// Codes an I16x16 macroblock with the pre-selected luma mode.
+    fn code_intra16_mb(
+        &self,
+        w: &mut BitWriter,
+        cur: &Frame,
+        recon: &mut Frame,
+        ctx: &mut PicCtx,
+        mbx: usize,
+        mby: usize,
+        mode: Intra16Mode,
+    ) {
+        w.put_ue(mode.index());
+        ctx.clear_mb_modes(mbx, mby);
+        let mut pred = [0u8; 256];
+        predict16(recon.y(), mbx * 16, mby * 16, mode, &mut pred);
+        let (blocks, flags) =
+            transform_luma_mb(&self.dsp, self.config.qp, true, cur.y(), mbx, mby, &pred);
+        write_luma_residual(w, &blocks, flags);
+        recon_luma_mb(&self.dsp, self.config.qp, recon.y_mut(), mbx, mby, &pred, &blocks, flags);
+        self.code_intra_chroma(w, cur, recon, mbx, mby);
+    }
+
+    /// Chroma intra mode decision + coding + reconstruction.
+    fn code_intra_chroma(&self, w: &mut BitWriter, cur: &Frame, recon: &mut Frame, mbx: usize, mby: usize) {
+        let cw = self.aw / 2;
+        let src_cb = &cur.cb().data()[mby * 8 * cw + mbx * 8..];
+        let src_cr = &cur.cr().data()[mby * 8 * cw + mbx * 8..];
+        let mut best = (u32::MAX, ChromaMode::Dc);
+        for mode in ChromaMode::ALL {
+            let mut pb = [0u8; 64];
+            let mut pr = [0u8; 64];
+            predict_chroma8(recon.cb(), mbx * 8, mby * 8, mode, &mut pb);
+            predict_chroma8(recon.cr(), mbx * 8, mby * 8, mode, &mut pr);
+            let satd = self.dsp.satd(src_cb, cw, &pb, 8, 8, 8)
+                + self.dsp.satd(src_cr, cw, &pr, 8, 8, 8);
+            if satd < best.0 {
+                best = (satd, mode);
+            }
+        }
+        let mode = best.1;
+        w.put_ue(mode.index());
+        let mut pb = [0u8; 64];
+        let mut pr = [0u8; 64];
+        predict_chroma8(recon.cb(), mbx * 8, mby * 8, mode, &mut pb);
+        predict_chroma8(recon.cr(), mbx * 8, mby * 8, mode, &mut pr);
+        let (bb, fb) =
+            transform_chroma_plane(&self.dsp, self.config.qp, true, cur.cb(), mbx, mby, &pb);
+        let (br, fr) =
+            transform_chroma_plane(&self.dsp, self.config.qp, true, cur.cr(), mbx, mby, &pr);
+        write_chroma_residual(w, &bb, fb);
+        write_chroma_residual(w, &br, fr);
+        recon_chroma_plane(&self.dsp, self.config.qp, recon.cb_mut(), mbx, mby, &pb, &bb, fb);
+        recon_chroma_plane(&self.dsp, self.config.qp, recon.cr_mut(), mbx, mby, &pr, &br, fr);
+    }
+
+    // ------------------------------------------------------------ inter --
+
+    /// SATD-based quarter-pel refinement for one luma block.
+    #[allow(clippy::too_many_arguments)]
+    fn refine_qpel_satd(
+        &self,
+        cur: &Frame,
+        r: &RefPicture,
+        bx: usize,
+        by: usize,
+        bw: usize,
+        bh: usize,
+        fullpel: Mv,
+        pred_qpel: Mv,
+    ) -> (Mv, u32) {
+        let mut tmp = [0u8; 256];
+        let src = &cur.y().data()[by * self.aw + bx..];
+        let mut cost_at = |qmv: Mv| -> u32 {
+            let ix = bx as isize + isize::from(qmv.x >> 2) - 2;
+            let iy = by as isize + isize::from(qmv.y >> 2) - 2;
+            self.dsp.qpel_luma(
+                &mut tmp,
+                bw,
+                r.y.row_from(ix, iy),
+                r.y.stride(),
+                (qmv.x & 3) as u8,
+                (qmv.y & 3) as u8,
+                bw,
+                bh,
+            );
+            self.dsp.satd(src, self.aw, &tmp, bw, bw, bh)
+                + self.lambda * mv_bits(qmv, pred_qpel)
+        };
+        let center_h = fullpel.scaled(2);
+        let initial = cost_at(center_h.scaled(2));
+        let (best_h, cost_h) = subpel_refine(center_h, initial, SubpelStep::Half, |hmv| {
+            cost_at(hmv.scaled(2))
+        });
+        let center_q = best_h.scaled(2);
+        subpel_refine(center_q, cost_h, SubpelStep::Quarter, cost_at)
+    }
+
+    fn encode_p(&self, w: &mut BitWriter, cur: &Frame, recon: &mut Frame, ctx: &mut PicCtx) {
+        let nrefs = usize::from(self.config.num_refs).min(self.refs.len()).max(1);
+        for mby in 0..self.mbs_y {
+            for mbx in 0..self.mbs_x {
+                let median = median_pred(&ctx.qfield, mbx, mby);
+                // 16x16 search over the reference list.
+                let block16 = BlockRef {
+                    plane: cur.y(),
+                    x: mbx * 16,
+                    y: mby * 16,
+                    w: 16,
+                    h: 16,
+                };
+                let mut best16: Option<(usize, Mv, u32)> = None;
+                for (ri, r) in self.refs.iter().take(nrefs).enumerate() {
+                    let params = SearchParams::new(self.config.search_range, self.lambda)
+                        .with_pred(Mv::new(median.x >> 2, median.y >> 2));
+                    let fp = hexagon_search(
+                        &self.dsp,
+                        block16,
+                        &r.y,
+                        Mv::new(median.x >> 2, median.y >> 2),
+                        &params,
+                    );
+                    let (qmv, qcost) =
+                        self.refine_qpel_satd(cur, r, mbx * 16, mby * 16, 16, 16, fp.mv, median);
+                    let ref_bits = 2 * (32 - (ri as u32 + 1).leading_zeros()) - 1;
+                    let total = qcost + self.lambda * ref_bits;
+                    if best16.map_or(true, |(_, _, c)| total < c) {
+                        best16 = Some((ri, qmv, total));
+                    }
+                }
+                let (ref_idx, mv16, cost16) =
+                    best16.expect("P picture requires at least one reference");
+                let rp = &self.refs[ref_idx];
+
+                // Skip test: 16x16, reference 0, motion equal to the
+                // median predictor, empty residual.
+                if ref_idx == 0 && mv16 == median {
+                    let (py, pcb, pcr) = self.build_inter_pred(rp, mbx, mby, Partitioning::P16x16, &[mv16; 4]);
+                    let (lb, lf) = transform_luma_mb(&self.dsp, self.config.qp, false, cur.y(), mbx, mby, &py);
+                    let (cbb, cbf) = transform_chroma_plane(&self.dsp, self.config.qp, false, cur.cb(), mbx, mby, &pcb);
+                    let (crb, crf) = transform_chroma_plane(&self.dsp, self.config.qp, false, cur.cr(), mbx, mby, &pcr);
+                    if lf == 0 && cbf == 0 && crf == 0 {
+                        w.put_bit(true);
+                        recon_luma_mb(&self.dsp, self.config.qp, recon.y_mut(), mbx, mby, &py, &lb, 0);
+                        recon_chroma_plane(&self.dsp, self.config.qp, recon.cb_mut(), mbx, mby, &pcb, &cbb, 0);
+                        recon_chroma_plane(&self.dsp, self.config.qp, recon.cr_mut(), mbx, mby, &pcr, &crb, 0);
+                        ctx.qfield.set(mbx, mby, median);
+                        ctx.clear_mb_modes(mbx, mby);
+                        continue;
+                    }
+                }
+
+                // Partition trials on the chosen reference.
+                let mut best_part = (Partitioning::P16x16, [mv16; 4], cost16 + self.lambda);
+                for part in [Partitioning::P16x8, Partitioning::P8x16, Partitioning::P8x8] {
+                    let mut mvs = [Mv::ZERO; 4];
+                    let mut total = self.lambda * (2 * part.index() + 1); // type bits
+                    for (pi, &(ox, oy, pw, ph)) in part.rects().iter().enumerate() {
+                        let pred_mv = if pi == 0 { median } else { mvs[pi - 1] };
+                        let sub = BlockRef {
+                            plane: cur.y(),
+                            x: mbx * 16 + ox,
+                            y: mby * 16 + oy,
+                            w: pw,
+                            h: ph,
+                        };
+                        let params = SearchParams::new(self.config.search_range, self.lambda)
+                            .with_pred(Mv::new(pred_mv.x >> 2, pred_mv.y >> 2));
+                        let fp = hexagon_search(
+                            &self.dsp,
+                            sub,
+                            &rp.y,
+                            Mv::new(mv16.x >> 2, mv16.y >> 2),
+                            &params,
+                        );
+                        let (qmv, qcost) = self.refine_qpel_satd(
+                            cur,
+                            rp,
+                            mbx * 16 + ox,
+                            mby * 16 + oy,
+                            pw,
+                            ph,
+                            fp.mv,
+                            pred_mv,
+                        );
+                        mvs[pi] = qmv;
+                        total = total.saturating_add(qcost);
+                    }
+                    if total < best_part.2 {
+                        best_part = (part, mvs, total);
+                    }
+                }
+                let (part, mvs, inter_cost) = best_part;
+
+                // Intra alternatives.
+                let (c16, mode16) = self.intra16_cost(cur, recon, mbx, mby);
+                let c4 = self.intra4_cost_estimate(cur, ctx, mbx, mby);
+                w.put_bit(false); // not skipped
+                if c4 < inter_cost && c4 <= c16 {
+                    w.put_ue(4);
+                    self.code_intra4x4_mb(w, cur, recon, ctx, mbx, mby);
+                    ctx.qfield.set(mbx, mby, Mv::ZERO);
+                    continue;
+                }
+                if c16 < inter_cost {
+                    w.put_ue(5);
+                    self.code_intra16_mb(w, cur, recon, ctx, mbx, mby, mode16);
+                    ctx.qfield.set(mbx, mby, Mv::ZERO);
+                    continue;
+                }
+
+                // Inter macroblock.
+                w.put_ue(part.index());
+                if self.config.num_refs > 1 {
+                    w.put_ue(ref_idx as u32);
+                }
+                let mut pred_mv = median;
+                for (pi, &(_, _, _, _)) in part.rects().iter().enumerate() {
+                    w.put_se(i32::from(mvs[pi].x - pred_mv.x));
+                    w.put_se(i32::from(mvs[pi].y - pred_mv.y));
+                    pred_mv = mvs[pi];
+                }
+                let (py, pcb, pcr) = self.build_inter_pred(rp, mbx, mby, part, &mvs);
+                let (lb, lf) = transform_luma_mb(&self.dsp, self.config.qp, false, cur.y(), mbx, mby, &py);
+                let (cbb, cbf) = transform_chroma_plane(&self.dsp, self.config.qp, false, cur.cb(), mbx, mby, &pcb);
+                let (crb, crf) = transform_chroma_plane(&self.dsp, self.config.qp, false, cur.cr(), mbx, mby, &pcr);
+                write_luma_residual(w, &lb, lf);
+                write_chroma_residual(w, &cbb, cbf);
+                write_chroma_residual(w, &crb, crf);
+                recon_luma_mb(&self.dsp, self.config.qp, recon.y_mut(), mbx, mby, &py, &lb, lf);
+                recon_chroma_plane(&self.dsp, self.config.qp, recon.cb_mut(), mbx, mby, &pcb, &cbb, cbf);
+                recon_chroma_plane(&self.dsp, self.config.qp, recon.cr_mut(), mbx, mby, &pcr, &crb, crf);
+                ctx.qfield.set(mbx, mby, mvs[0]);
+                ctx.clear_mb_modes(mbx, mby);
+            }
+            w.byte_align();
+        }
+    }
+
+    /// Builds the full inter prediction buffers for a partitioned MB.
+    pub(crate) fn build_inter_pred(
+        &self,
+        r: &RefPicture,
+        mbx: usize,
+        mby: usize,
+        part: Partitioning,
+        mvs: &[Mv; 4],
+    ) -> ([u8; 256], [u8; 64], [u8; 64]) {
+        let (mut py, mut pcb, mut pcr) = ([0u8; 256], [0u8; 64], [0u8; 64]);
+        for (pi, &(ox, oy, pw, ph)) in part.rects().iter().enumerate() {
+            predict_partition(
+                &self.dsp,
+                r,
+                mbx * 16 + ox,
+                mby * 16 + oy,
+                ox,
+                oy,
+                pw,
+                ph,
+                mvs[pi],
+                &mut py,
+                &mut pcb,
+                &mut pcr,
+            );
+        }
+        (py, pcb, pcr)
+    }
+
+    fn encode_b(&self, w: &mut BitWriter, cur: &Frame, recon: &mut Frame, ctx: &mut PicCtx) {
+        // Coding order guarantees: refs[0] = future anchor (backward),
+        // refs[1] = past anchor (forward).
+        let bwd = &self.refs[0];
+        let fwd = &self.refs[1];
+        for mby in 0..self.mbs_y {
+            let mut row = BState::new();
+            for mbx in 0..self.mbs_x {
+                let block16 = BlockRef {
+                    plane: cur.y(),
+                    x: mbx * 16,
+                    y: mby * 16,
+                    w: 16,
+                    h: 16,
+                };
+                let pf = SearchParams::new(self.config.search_range, self.lambda)
+                    .with_pred(Mv::new(row.mv_pred.x >> 2, row.mv_pred.y >> 2));
+                let f = hexagon_search(&self.dsp, block16, &fwd.y, Mv::new(row.mv_pred.x >> 2, row.mv_pred.y >> 2), &pf);
+                let pb = SearchParams::new(self.config.search_range, self.lambda)
+                    .with_pred(Mv::new(row.mv_pred_bwd.x >> 2, row.mv_pred_bwd.y >> 2));
+                let b = hexagon_search(&self.dsp, block16, &bwd.y, Mv::new(row.mv_pred_bwd.x >> 2, row.mv_pred_bwd.y >> 2), &pb);
+                let (mv_f, cost_f) =
+                    self.refine_qpel_satd(cur, fwd, mbx * 16, mby * 16, 16, 16, f.mv, row.mv_pred);
+                let (mv_b, cost_b) =
+                    self.refine_qpel_satd(cur, bwd, mbx * 16, mby * 16, 16, 16, b.mv, row.mv_pred_bwd);
+
+                let (fy, _, _) = self.build_inter_pred(fwd, mbx, mby, Partitioning::P16x16, &[mv_f; 4]);
+                let (by_, _, _) = self.build_inter_pred(bwd, mbx, mby, Partitioning::P16x16, &[mv_b; 4]);
+                let mut bi = [0u8; 256];
+                self.dsp.avg_block(&mut bi, 16, &fy, 16, &by_, 16, 16, 16);
+                let src = &cur.y().data()[mby * 16 * self.aw + mbx * 16..];
+                let bi_cost = self.dsp.satd(src, self.aw, &bi, 16, 16, 16)
+                    + self.lambda * (mv_bits(mv_f, row.mv_pred) + mv_bits(mv_b, row.mv_pred_bwd));
+
+                let (c16, mode16) = self.intra16_cost(cur, recon, mbx, mby);
+                let c4 = self.intra4_cost_estimate(cur, ctx, mbx, mby);
+                let (mode, best_cost) = [cost_f, cost_b, bi_cost]
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .min_by_key(|&(_, c)| c)
+                    .map(|(i, c)| (i as u8, c))
+                    .unwrap_or((0, u32::MAX));
+
+                if c4.min(c16) < best_cost {
+                    w.put_bit(false);
+                    if c4 < c16 {
+                        w.put_ue(3);
+                        self.code_intra4x4_mb(w, cur, recon, ctx, mbx, mby);
+                    } else {
+                        w.put_ue(4);
+                        self.code_intra16_mb(w, cur, recon, ctx, mbx, mby, mode16);
+                    }
+                    row.reset_mv();
+                    continue;
+                }
+
+                let (py, pcb, pcr) =
+                    self.build_b_pred(fwd, bwd, mbx, mby, mode, mv_f, mv_b);
+                let (lb, lf) = transform_luma_mb(&self.dsp, self.config.qp, false, cur.y(), mbx, mby, &py);
+                let (cbb, cbf) = transform_chroma_plane(&self.dsp, self.config.qp, false, cur.cb(), mbx, mby, &pcb);
+                let (crb, crf) = transform_chroma_plane(&self.dsp, self.config.qp, false, cur.cr(), mbx, mby, &pcr);
+
+                let same_as_last = (mode, mv_f, mv_b) == row.last_b
+                    || (mode == 0 && row.last_b.0 == 0 && mv_f == row.last_b.1)
+                    || (mode == 1 && row.last_b.0 == 1 && mv_b == row.last_b.2);
+                if lf == 0 && cbf == 0 && crf == 0 && same_as_last {
+                    w.put_bit(true);
+                    recon_luma_mb(&self.dsp, self.config.qp, recon.y_mut(), mbx, mby, &py, &lb, 0);
+                    recon_chroma_plane(&self.dsp, self.config.qp, recon.cb_mut(), mbx, mby, &pcb, &cbb, 0);
+                    recon_chroma_plane(&self.dsp, self.config.qp, recon.cr_mut(), mbx, mby, &pcr, &crb, 0);
+                    ctx.clear_mb_modes(mbx, mby);
+                    continue;
+                }
+                w.put_bit(false);
+                w.put_ue(u32::from(mode));
+                if mode == 0 || mode == 2 {
+                    w.put_se(i32::from(mv_f.x - row.mv_pred.x));
+                    w.put_se(i32::from(mv_f.y - row.mv_pred.y));
+                    row.mv_pred = mv_f;
+                }
+                if mode == 1 || mode == 2 {
+                    w.put_se(i32::from(mv_b.x - row.mv_pred_bwd.x));
+                    w.put_se(i32::from(mv_b.y - row.mv_pred_bwd.y));
+                    row.mv_pred_bwd = mv_b;
+                }
+                row.last_b = (mode, mv_f, mv_b);
+                write_luma_residual(w, &lb, lf);
+                write_chroma_residual(w, &cbb, cbf);
+                write_chroma_residual(w, &crb, crf);
+                recon_luma_mb(&self.dsp, self.config.qp, recon.y_mut(), mbx, mby, &py, &lb, lf);
+                recon_chroma_plane(&self.dsp, self.config.qp, recon.cb_mut(), mbx, mby, &pcb, &cbb, cbf);
+                recon_chroma_plane(&self.dsp, self.config.qp, recon.cr_mut(), mbx, mby, &pcr, &crb, crf);
+                ctx.clear_mb_modes(mbx, mby);
+            }
+            w.byte_align();
+        }
+    }
+
+    /// Builds a B prediction (16×16: forward, backward or bi).
+    pub(crate) fn build_b_pred(
+        &self,
+        fwd: &RefPicture,
+        bwd: &RefPicture,
+        mbx: usize,
+        mby: usize,
+        mode: u8,
+        mv_f: Mv,
+        mv_b: Mv,
+    ) -> ([u8; 256], [u8; 64], [u8; 64]) {
+        match mode {
+            0 => self.build_inter_pred(fwd, mbx, mby, Partitioning::P16x16, &[mv_f; 4]),
+            1 => self.build_inter_pred(bwd, mbx, mby, Partitioning::P16x16, &[mv_b; 4]),
+            _ => {
+                let (fy, fcb, fcr) =
+                    self.build_inter_pred(fwd, mbx, mby, Partitioning::P16x16, &[mv_f; 4]);
+                let (by_, bcb, bcr) =
+                    self.build_inter_pred(bwd, mbx, mby, Partitioning::P16x16, &[mv_b; 4]);
+                let (mut py, mut pcb, mut pcr) = ([0u8; 256], [0u8; 64], [0u8; 64]);
+                self.dsp.avg_block(&mut py, 16, &fy, 16, &by_, 16, 16, 16);
+                self.dsp.avg_block(&mut pcb, 8, &fcb, 8, &bcb, 8, 8, 8);
+                self.dsp.avg_block(&mut pcr, 8, &fcr, 8, &bcr, 8, 8, 8);
+                (py, pcb, pcr)
+            }
+        }
+    }
+}
+
+/// Writes a 4×4 intra mode with most-probable-mode prediction.
+pub(crate) fn write_intra4_mode(w: &mut BitWriter, mode: Intra4Mode, mpm: u8) {
+    if mode.index() == u32::from(mpm) {
+        w.put_bit(true);
+    } else {
+        w.put_bit(false);
+        // Index among the remaining 4 modes (ascending, skipping mpm).
+        let mut idx = mode.index();
+        if idx > u32::from(mpm) {
+            idx -= 1;
+        }
+        w.put_bits(idx, 2);
+    }
+}
+
+/// B-picture row state (mirrored by the decoder).
+pub(crate) struct BState {
+    pub mv_pred: Mv,
+    pub mv_pred_bwd: Mv,
+    pub last_b: (u8, Mv, Mv),
+}
+
+impl BState {
+    pub(crate) fn new() -> Self {
+        BState {
+            mv_pred: Mv::ZERO,
+            mv_pred_bwd: Mv::ZERO,
+            last_b: (0, Mv::ZERO, Mv::ZERO),
+        }
+    }
+
+    pub(crate) fn reset_mv(&mut self) {
+        self.mv_pred = Mv::ZERO;
+        self.mv_pred_bwd = Mv::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdvb_dsp::SimdLevel;
+
+    fn textured_frame(w: usize, h: usize, phase: f64) -> Frame {
+        let mut f = Frame::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                let v = 128.0
+                    + 55.0 * ((x as f64 + phase) * 0.2 + y as f64 * 0.1).sin()
+                    + 40.0 * (y as f64 * 0.15 - (x as f64 + phase) * 0.05).cos();
+                f.y_mut().set(x, y, v.clamp(0.0, 255.0) as u8);
+            }
+        }
+        for y in 0..h / 2 {
+            for x in 0..w / 2 {
+                f.cb_mut().set(x, y, 120 + ((x + y) % 16) as u8);
+                f.cr_mut().set(x, y, 130 - ((x * 2 + y) % 16) as u8);
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn gop_pattern_matches_paper() {
+        let mut enc = H264Encoder::new(EncoderConfig::new(64, 48)).unwrap();
+        let mut all = Vec::new();
+        for i in 0..7 {
+            all.extend(enc.encode(&textured_frame(64, 48, i as f64)).unwrap());
+        }
+        all.extend(enc.flush().unwrap());
+        let types: Vec<FrameType> = all.iter().map(|p| p.frame_type).collect();
+        assert_eq!(
+            types,
+            vec![
+                FrameType::I,
+                FrameType::P,
+                FrameType::B,
+                FrameType::B,
+                FrameType::P,
+                FrameType::B,
+                FrameType::B
+            ]
+        );
+    }
+
+    #[test]
+    fn higher_qp_fewer_bits() {
+        let frame = textured_frame(64, 48, 0.0);
+        let bits = |qp: u8| {
+            let mut enc = H264Encoder::new(EncoderConfig::new(64, 48).with_qp(qp)).unwrap();
+            enc.encode(&frame).unwrap()[0].bits()
+        };
+        assert!(bits(40) < bits(15));
+    }
+
+    #[test]
+    fn scalar_and_simd_streams_identical() {
+        let mut a =
+            H264Encoder::new(EncoderConfig::new(64, 48).with_simd(SimdLevel::Scalar)).unwrap();
+        let mut b =
+            H264Encoder::new(EncoderConfig::new(64, 48).with_simd(SimdLevel::Sse2)).unwrap();
+        for i in 0..5 {
+            let f = textured_frame(64, 48, i as f64 * 1.1);
+            assert_eq!(a.encode(&f).unwrap(), b.encode(&f).unwrap(), "frame {i}");
+        }
+        assert_eq!(a.flush().unwrap(), b.flush().unwrap());
+    }
+
+    #[test]
+    fn intra4_mode_coding_layout() {
+        let mut w = BitWriter::new();
+        write_intra4_mode(&mut w, Intra4Mode::Dc, 2); // mpm hit: 1 bit
+        assert_eq!(w.bit_len(), 1);
+        let mut w = BitWriter::new();
+        write_intra4_mode(&mut w, Intra4Mode::Vertical, 2); // miss: 3 bits
+        assert_eq!(w.bit_len(), 3);
+    }
+}

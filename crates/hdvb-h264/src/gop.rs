@@ -1,0 +1,176 @@
+//! Display-order → coding-order scheduling for the I-P-B-B GOP structure
+//! the paper prescribes (fixed B placement, only the first frame intra
+//! unless a periodic intra interval is configured).
+
+use crate::types::FrameType;
+use hdvb_frame::Frame;
+
+/// A frame scheduled for coding, in coding order.
+#[derive(Debug)]
+pub(crate) struct Scheduled {
+    pub frame: Frame,
+    pub frame_type: FrameType,
+    pub display_index: u32,
+}
+
+/// Buffers incoming display-order frames and releases them in coding
+/// order: anchors first, then the B frames that precede them in display
+/// order.
+#[derive(Debug)]
+pub(crate) struct GopScheduler {
+    b_frames: usize,
+    intra_period: Option<u32>,
+    next_display: u32,
+    anchors_coded: u32,
+    pending: Vec<(Frame, u32)>,
+}
+
+impl GopScheduler {
+    pub(crate) fn new(b_frames: u8, intra_period: Option<u32>) -> Self {
+        GopScheduler {
+            b_frames: usize::from(b_frames),
+            intra_period,
+            next_display: 0,
+            anchors_coded: 0,
+            pending: Vec::new(),
+        }
+    }
+
+    fn anchor_type(&mut self) -> FrameType {
+        let is_intra = match (self.anchors_coded, self.intra_period) {
+            (0, _) => true,
+            (n, Some(p)) if p > 0 => n % p == 0,
+            _ => false,
+        };
+        self.anchors_coded += 1;
+        if is_intra {
+            FrameType::I
+        } else {
+            FrameType::P
+        }
+    }
+
+    /// Accepts the next display-order frame; returns the frames that can
+    /// now be coded, in coding order.
+    pub(crate) fn push(&mut self, frame: Frame) -> Vec<Scheduled> {
+        let idx = self.next_display;
+        self.next_display += 1;
+        // The very first frame is always an immediate anchor.
+        if idx == 0 {
+            return vec![Scheduled {
+                frame,
+                frame_type: self.anchor_type(),
+                display_index: 0,
+            }];
+        }
+        self.pending.push((frame, idx));
+        if self.pending.len() == self.b_frames + 1 {
+            self.release(true)
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Flushes remaining buffered frames (end of stream): the last
+    /// pending frame becomes a P anchor and the rest are coded as B.
+    pub(crate) fn finish(&mut self) -> Vec<Scheduled> {
+        if self.pending.is_empty() {
+            Vec::new()
+        } else {
+            self.release(false)
+        }
+    }
+
+    fn release(&mut self, _full: bool) -> Vec<Scheduled> {
+        let mut group: Vec<(Frame, u32)> = self.pending.drain(..).collect();
+        let (anchor, anchor_idx) = group.pop().expect("release called with pending frames");
+        let mut out = Vec::with_capacity(group.len() + 1);
+        out.push(Scheduled {
+            frame: anchor,
+            frame_type: self.anchor_type(),
+            display_index: anchor_idx,
+        });
+        for (frame, idx) in group {
+            out.push(Scheduled {
+                frame,
+                frame_type: FrameType::B,
+                display_index: idx,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame() -> Frame {
+        Frame::new(16, 16)
+    }
+
+    fn types_of(s: &[Scheduled]) -> Vec<(FrameType, u32)> {
+        s.iter().map(|x| (x.frame_type, x.display_index)).collect()
+    }
+
+    #[test]
+    fn ipbb_coding_order() {
+        let mut g = GopScheduler::new(2, None);
+        assert_eq!(types_of(&g.push(frame())), vec![(FrameType::I, 0)]);
+        assert!(g.push(frame()).is_empty()); // display 1 buffered
+        assert!(g.push(frame()).is_empty()); // display 2 buffered
+        assert_eq!(
+            types_of(&g.push(frame())),
+            vec![(FrameType::P, 3), (FrameType::B, 1), (FrameType::B, 2)]
+        );
+        assert!(g.push(frame()).is_empty());
+        assert!(g.push(frame()).is_empty());
+        assert_eq!(
+            types_of(&g.push(frame())),
+            vec![(FrameType::P, 6), (FrameType::B, 4), (FrameType::B, 5)]
+        );
+        assert!(g.finish().is_empty());
+    }
+
+    #[test]
+    fn flush_promotes_trailing_frames() {
+        let mut g = GopScheduler::new(2, None);
+        let _ = g.push(frame()); // I0
+        let _ = g.push(frame()); // buffered
+        let _ = g.push(frame()); // buffered
+        assert_eq!(
+            types_of(&g.finish()),
+            vec![(FrameType::P, 2), (FrameType::B, 1)]
+        );
+        assert!(g.finish().is_empty());
+    }
+
+    #[test]
+    fn no_b_frames_is_ipp() {
+        let mut g = GopScheduler::new(0, None);
+        assert_eq!(types_of(&g.push(frame())), vec![(FrameType::I, 0)]);
+        assert_eq!(types_of(&g.push(frame())), vec![(FrameType::P, 1)]);
+        assert_eq!(types_of(&g.push(frame())), vec![(FrameType::P, 2)]);
+    }
+
+    #[test]
+    fn periodic_intra() {
+        let mut g = GopScheduler::new(0, Some(2));
+        assert_eq!(types_of(&g.push(frame())), vec![(FrameType::I, 0)]);
+        assert_eq!(types_of(&g.push(frame())), vec![(FrameType::P, 1)]);
+        assert_eq!(types_of(&g.push(frame())), vec![(FrameType::I, 2)]);
+        assert_eq!(types_of(&g.push(frame())), vec![(FrameType::P, 3)]);
+    }
+
+    #[test]
+    fn only_first_frame_is_intra_by_default() {
+        let mut g = GopScheduler::new(2, None);
+        let mut types = Vec::new();
+        for _ in 0..16 {
+            types.extend(g.push(frame()).iter().map(|s| s.frame_type).collect::<Vec<_>>());
+        }
+        types.extend(g.finish().iter().map(|s| s.frame_type).collect::<Vec<_>>());
+        assert_eq!(types.iter().filter(|&&t| t == FrameType::I).count(), 1);
+        assert_eq!(types[0], FrameType::I);
+    }
+}

@@ -1,0 +1,266 @@
+//! Motion compensation and shared pixel helpers for the H.264-class
+//! codec.
+
+use hdvb_dsp::{Block4, Dsp};
+use hdvb_frame::{Frame, PaddedPlane, Plane};
+use hdvb_me::Mv;
+
+/// Luma padding of reference pictures.
+pub(crate) const LUMA_PAD: usize = 40;
+/// Chroma padding of reference pictures.
+pub(crate) const CHROMA_PAD: usize = 20;
+
+/// A reconstructed, deblocked reference picture.
+pub(crate) struct RefPicture {
+    pub y: PaddedPlane,
+    pub cb: PaddedPlane,
+    pub cr: PaddedPlane,
+}
+
+impl RefPicture {
+    pub(crate) fn from_frame(frame: &Frame) -> Self {
+        RefPicture {
+            y: PaddedPlane::from_plane(frame.y(), LUMA_PAD),
+            cb: PaddedPlane::from_plane(frame.cb(), CHROMA_PAD),
+            cr: PaddedPlane::from_plane(frame.cr(), CHROMA_PAD),
+        }
+    }
+}
+
+/// Motion-compensates one partition (luma + both chroma planes) from `r`
+/// at quarter-pel vector `mv`. `(px, py)` is the partition's absolute
+/// luma pixel origin; the destination buffers are macroblock-sized
+/// (16×16 luma / 8×8 chroma) and `(ox, oy)` is the partition offset
+/// within the macroblock.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn predict_partition(
+    dsp: &Dsp,
+    r: &RefPicture,
+    px: usize,
+    py: usize,
+    ox: usize,
+    oy: usize,
+    w: usize,
+    h: usize,
+    mv: Mv,
+    luma: &mut [u8; 256],
+    cb: &mut [u8; 64],
+    cr: &mut [u8; 64],
+) {
+    let ix = px as isize + isize::from(mv.x >> 2) - 2;
+    let iy = py as isize + isize::from(mv.y >> 2) - 2;
+    dsp.qpel_luma(
+        &mut luma[oy * 16 + ox..],
+        16,
+        r.y.row_from(ix, iy),
+        r.y.stride(),
+        (mv.x & 3) as u8,
+        (mv.y & 3) as u8,
+        w,
+        h,
+    );
+    // Chroma: vector scaled to chroma half-pel (floor), as in the other
+    // codecs (1/8-pel chroma approximated at half-pel; see DESIGN.md).
+    let cmx = mv.x >> 2;
+    let cmy = mv.y >> 2;
+    let cx = (px / 2) as isize + isize::from(cmx >> 1);
+    let cy = (py / 2) as isize + isize::from(cmy >> 1);
+    let (cfx, cfy) = ((cmx & 1) as u8, (cmy & 1) as u8);
+    dsp.hpel_interp(
+        &mut cb[(oy / 2) * 8 + ox / 2..],
+        8,
+        r.cb.row_from(cx, cy),
+        r.cb.stride(),
+        cfx,
+        cfy,
+        w / 2,
+        h / 2,
+    );
+    dsp.hpel_interp(
+        &mut cr[(oy / 2) * 8 + ox / 2..],
+        8,
+        r.cr.row_from(cx, cy),
+        r.cr.stride(),
+        cfx,
+        cfy,
+        w / 2,
+        h / 2,
+    );
+}
+
+/// The four inter partition shapes (paper-era x264 `--analyse all` minus
+/// sub-8×8).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Partitioning {
+    P16x16,
+    P16x8,
+    P8x16,
+    P8x8,
+}
+
+impl Partitioning {
+    pub(crate) const ALL: [Partitioning; 4] = [
+        Partitioning::P16x16,
+        Partitioning::P16x8,
+        Partitioning::P8x16,
+        Partitioning::P8x8,
+    ];
+
+    pub(crate) fn index(self) -> u32 {
+        match self {
+            Partitioning::P16x16 => 0,
+            Partitioning::P16x8 => 1,
+            Partitioning::P8x16 => 2,
+            Partitioning::P8x8 => 3,
+        }
+    }
+
+    pub(crate) fn from_index(i: u32) -> Option<Partitioning> {
+        Self::ALL.get(i as usize).copied()
+    }
+
+    /// Partition rectangles as `(ox, oy, w, h)` within the macroblock.
+    pub(crate) fn rects(self) -> &'static [(usize, usize, usize, usize)] {
+        match self {
+            Partitioning::P16x16 => &[(0, 0, 16, 16)],
+            Partitioning::P16x8 => &[(0, 0, 16, 8), (0, 8, 16, 8)],
+            Partitioning::P8x16 => &[(0, 0, 8, 16), (8, 0, 8, 16)],
+            Partitioning::P8x8 => &[(0, 0, 8, 8), (8, 0, 8, 8), (0, 8, 8, 8), (8, 8, 8, 8)],
+        }
+    }
+}
+
+// ------------------------------------------------------- 4x4 helpers --
+
+/// Loads residual `cur - pred` for a 4×4 block.
+pub(crate) fn diff4(
+    res: &mut Block4,
+    cur: &[u8],
+    cur_stride: usize,
+    pred: &[u8],
+    pred_stride: usize,
+) {
+    for y in 0..4 {
+        for x in 0..4 {
+            res[y * 4 + x] =
+                i16::from(cur[y * cur_stride + x]) - i16::from(pred[y * pred_stride + x]);
+        }
+    }
+}
+
+/// Adds a residual onto a prediction with clamping, writing into a
+/// plane-backed destination.
+pub(crate) fn add4(
+    dst: &mut [u8],
+    dst_stride: usize,
+    pred: &[u8],
+    pred_stride: usize,
+    res: &Block4,
+) {
+    for y in 0..4 {
+        for x in 0..4 {
+            let v = i32::from(pred[y * pred_stride + x]) + i32::from(res[y * 4 + x]);
+            dst[y * dst_stride + x] = v.clamp(0, 255) as u8;
+        }
+    }
+}
+
+/// Copies a 4×4 block.
+pub(crate) fn copy4(dst: &mut [u8], dst_stride: usize, src: &[u8], src_stride: usize) {
+    for y in 0..4 {
+        dst[y * dst_stride..y * dst_stride + 4]
+            .copy_from_slice(&src[y * src_stride..y * src_stride + 4]);
+    }
+}
+
+fn replicate_into(src: &Plane, dst: &mut Plane) {
+    for y in 0..dst.height() {
+        let sy = y.min(src.height() - 1);
+        for x in 0..dst.width() {
+            let sx = x.min(src.width() - 1);
+            dst.set(x, y, src.get(sx, sy));
+        }
+    }
+}
+
+/// Expands a frame to MB-aligned dimensions with edge replication.
+pub(crate) fn align_frame(frame: &Frame, aw: usize, ah: usize) -> Frame {
+    if frame.width() == aw && frame.height() == ah {
+        return frame.clone();
+    }
+    let mut out = Frame::new(aw, ah);
+    replicate_into(frame.y(), out.y_mut());
+    replicate_into(frame.cb(), out.cb_mut());
+    replicate_into(frame.cr(), out.cr_mut());
+    out
+}
+
+/// Crops an aligned frame back to picture dimensions.
+pub(crate) fn crop_frame(frame: &Frame, w: usize, h: usize) -> Frame {
+    if frame.width() == w && frame.height() == h {
+        return frame.clone();
+    }
+    let mut out = Frame::new(w, h);
+    replicate_into(frame.y(), out.y_mut());
+    replicate_into(frame.cb(), out.cb_mut());
+    replicate_into(frame.cr(), out.cr_mut());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_rects_tile_the_macroblock() {
+        for p in Partitioning::ALL {
+            let area: usize = p.rects().iter().map(|&(_, _, w, h)| w * h).sum();
+            assert_eq!(area, 256, "{p:?}");
+            assert_eq!(Partitioning::from_index(p.index()), Some(p));
+        }
+        assert_eq!(Partitioning::from_index(9), None);
+    }
+
+    #[test]
+    fn diff_add_roundtrip() {
+        let cur: Vec<u8> = (0..16).map(|i| (i * 13) as u8).collect();
+        let pred: Vec<u8> = (0..16).map(|i| (200 - i * 3) as u8).collect();
+        let mut res = [0i16; 16];
+        diff4(&mut res, &cur, 4, &pred, 4);
+        let mut out = vec![0u8; 16];
+        add4(&mut out, 4, &pred, 4, &res);
+        assert_eq!(out, cur);
+    }
+
+    #[test]
+    fn predict_partition_zero_mv_is_copy() {
+        let mut f = Frame::new(32, 32);
+        for y in 0..32 {
+            for x in 0..32 {
+                f.y_mut().set(x, y, (x * 5 + y * 3) as u8);
+            }
+        }
+        let r = RefPicture::from_frame(&f);
+        let dsp = Dsp::default();
+        let (mut luma, mut cb, mut cr) = ([0u8; 256], [0u8; 64], [0u8; 64]);
+        predict_partition(&dsp, &r, 16, 16, 0, 0, 16, 16, Mv::ZERO, &mut luma, &mut cb, &mut cr);
+        for y in 0..16 {
+            for x in 0..16 {
+                assert_eq!(luma[y * 16 + x], f.y().get(16 + x, 16 + y));
+            }
+        }
+    }
+
+    #[test]
+    fn predict_partition_at_sub_offsets() {
+        let f = Frame::new(32, 32);
+        let r = RefPicture::from_frame(&f);
+        let dsp = Dsp::default();
+        let (mut luma, mut cb, mut cr) = ([0u8; 256], [1u8; 64], [1u8; 64]);
+        // Bottom 16x8 partition with a quarter-pel vector: must not panic
+        // and must fill its half of the buffers.
+        predict_partition(&dsp, &r, 0, 8, 0, 8, 16, 8, Mv::new(5, -3), &mut luma, &mut cb, &mut cr);
+        assert!(luma[8 * 16..].iter().all(|&v| v == 128));
+        assert!(cb[4 * 8..].iter().all(|&v| v == 128));
+    }
+}

@@ -1,0 +1,130 @@
+//! Bit-exact H.264 4×4 quantisation (the MF/V derivation of the
+//! standard), wrapped around the core transform in `hdvb-dsp`.
+
+use crate::tables::{position_class, MF, V};
+use hdvb_dsp::Block4;
+
+/// Quantises transformed coefficients in place; returns the number of
+/// nonzero levels. `intra` selects the standard's larger rounding offset
+/// (f = 2^qbits/3 vs /6).
+pub(crate) fn quant4(block: &mut Block4, qp: u8, intra: bool) -> u32 {
+    let qbits = 15 + u32::from(qp) / 6;
+    let f: i64 = if intra {
+        (1i64 << qbits) / 3
+    } else {
+        (1i64 << qbits) / 6
+    };
+    let mf = &MF[usize::from(qp) % 6];
+    let mut nonzero = 0;
+    for (i, v) in block.iter_mut().enumerate() {
+        let w = i64::from(*v);
+        let m = i64::from(mf[position_class(i)]);
+        let z = ((w.abs() * m + f) >> qbits) as i32;
+        let z = z.clamp(0, 2047);
+        let signed = if w < 0 { -z } else { z };
+        *v = signed as i16;
+        if signed != 0 {
+            nonzero += 1;
+        }
+    }
+    nonzero
+}
+
+/// Dequantises levels in place (`W' = Z · V · 2^(qp/6)`), clamped to a
+/// safe inverse-transform input range.
+pub(crate) fn dequant4(block: &mut Block4, qp: u8) {
+    let shift = u32::from(qp) / 6;
+    let v = &V[usize::from(qp) % 6];
+    for (i, z) in block.iter_mut().enumerate() {
+        if *z == 0 {
+            continue;
+        }
+        let w = (i32::from(*z) * v[position_class(i)]) << shift;
+        *z = w.clamp(-15000, 15000) as i16;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdvb_dsp::Dsp;
+
+    fn random_residual(seed: u32) -> Block4 {
+        let mut state = seed;
+        let mut b = [0i16; 16];
+        for v in &mut b {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            *v = ((state >> 20) as i16 % 511) - 255;
+        }
+        b
+    }
+
+    /// Full transform→quant→dequant→inverse pipeline error must be
+    /// bounded by the quantisation step for the QP.
+    #[test]
+    fn pipeline_error_scales_with_qp() {
+        let dsp = Dsp::default();
+        let mut worst_low = 0i32;
+        let mut worst_high = 0i32;
+        for seed in 0..50 {
+            let orig = random_residual(seed);
+            for (qp, worst) in [(4u8, &mut worst_low), (40u8, &mut worst_high)] {
+                let mut b = orig;
+                dsp.fcore4(&mut b);
+                quant4(&mut b, qp, true);
+                dequant4(&mut b, qp);
+                dsp.icore4(&mut b);
+                for i in 0..16 {
+                    *worst = (*worst).max((i32::from(b[i]) - i32::from(orig[i])).abs());
+                }
+            }
+        }
+        assert!(worst_low <= 2, "qp4 worst error {worst_low}");
+        assert!(worst_high > worst_low, "high qp must be lossier");
+        assert!(worst_high < 120, "qp40 worst error {worst_high}");
+    }
+
+    #[test]
+    fn zero_block_stays_zero() {
+        let mut b = [0i16; 16];
+        assert_eq!(quant4(&mut b, 26, false), 0);
+        dequant4(&mut b, 26);
+        assert_eq!(b, [0i16; 16]);
+    }
+
+    #[test]
+    fn higher_qp_zeroes_more() {
+        let dsp = Dsp::default();
+        let orig = random_residual(7);
+        let nz = |qp: u8| {
+            let mut b = orig;
+            dsp.fcore4(&mut b);
+            quant4(&mut b, qp, false)
+        };
+        assert!(nz(40) < nz(10));
+    }
+
+    #[test]
+    fn intra_offset_rounds_more_generously() {
+        // With the larger intra offset, borderline coefficients survive.
+        let mut intra_block = [0i16; 16];
+        let mut inter_block = [0i16; 16];
+        // A coefficient right at the dead-zone boundary for qp 26.
+        intra_block[1] = 60;
+        inter_block[1] = 60;
+        let a = quant4(&mut intra_block, 30, true);
+        let b = quant4(&mut inter_block, 30, false);
+        assert!(a >= b);
+    }
+
+    #[test]
+    fn qp_steps_of_six_double_the_step() {
+        // Reconstruction of a fixed level doubles when qp increases by 6.
+        let mut b1 = [0i16; 16];
+        b1[0] = 10;
+        let mut b2 = b1;
+        dequant4(&mut b1, 20);
+        dequant4(&mut b2, 26);
+        assert_eq!(i32::from(b2[0]), 2 * i32::from(b1[0]));
+    }
+}

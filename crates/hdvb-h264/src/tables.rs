@@ -1,0 +1,179 @@
+//! Static tables: the 4×4 zigzag, the standard quantisation multipliers
+//! (MF forward / V inverse), deblocking thresholds (α, β, t_c0) and the
+//! per-QP Lagrange multiplier.
+
+use hdvb_bits::VlcTable;
+use std::sync::OnceLock;
+
+/// 4×4 zigzag scan.
+pub(crate) const ZIGZAG4: [usize; 16] = [0, 1, 4, 8, 5, 2, 3, 6, 9, 12, 13, 10, 7, 11, 14, 15];
+
+/// Per-position class of the 4×4 quant tables: 0 for (even,even)
+/// positions, 1 for (odd,odd), 2 for the mixed positions.
+pub(crate) fn position_class(idx: usize) -> usize {
+    let (r, c) = (idx / 4, idx % 4);
+    match (r % 2, c % 2) {
+        (0, 0) => 0,
+        (1, 1) => 1,
+        _ => 2,
+    }
+}
+
+/// Forward multipliers MF(qp%6, class) from the H.264 derivation.
+pub(crate) const MF: [[i32; 3]; 6] = [
+    [13107, 5243, 8066],
+    [11916, 4660, 7490],
+    [10082, 4194, 6554],
+    [9362, 3647, 5825],
+    [8192, 3355, 5243],
+    [7282, 2893, 4559],
+];
+
+/// Inverse (dequant) multipliers V(qp%6, class).
+pub(crate) const V: [[i32; 3]; 6] = [
+    [10, 16, 13],
+    [11, 18, 14],
+    [13, 20, 16],
+    [14, 23, 18],
+    [16, 25, 20],
+    [18, 29, 23],
+];
+
+/// Deblocking α threshold per indexed QP (H.264 Table 8-16).
+pub(crate) const ALPHA: [u8; 52] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 4, 4, 5, 6, 7, 8, 9, 10, 12, 13, 15, 17, 20,
+    22, 25, 28, 32, 36, 40, 45, 50, 56, 63, 71, 80, 90, 101, 113, 127, 144, 162, 182, 203, 226,
+    255, 255,
+];
+
+/// Deblocking β threshold per indexed QP.
+pub(crate) const BETA: [u8; 52] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 6, 6, 7, 7, 8,
+    8, 9, 9, 10, 10, 11, 11, 12, 12, 13, 13, 14, 14, 15, 15, 16, 16, 17, 17, 18, 18,
+];
+
+/// Clipping value t_c0 for boundary strength 1 (H.264 Table 8-17 row 1).
+pub(crate) const TC0: [u8; 52] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1,
+    1, 1, 2, 2, 2, 2, 3, 3, 3, 4, 4, 4, 5, 6, 6, 7, 8, 9, 10, 11, 13,
+];
+
+/// Lagrange multiplier λ ≈ 0.85·2^((QP−12)/3), rounded, min 1 — the
+/// x264-style motion/mode cost weight.
+pub(crate) fn lambda(qp: u8) -> u32 {
+    let l = 0.85f64 * 2f64.powf((f64::from(qp) - 12.0) / 3.0);
+    (l.round() as u32).max(1)
+}
+
+/// Run-level event symbols for 4×4 coefficient coding:
+/// `(last, run 0..=2, |level| 1..=4)` = 24 symbols + escape.
+pub(crate) const MAX_RUN4: u32 = 2;
+pub(crate) const MAX_LEVEL4: u32 = 4;
+pub(crate) const SYM_ESCAPE4: u32 = 24;
+
+pub(crate) fn event_symbol4(last: bool, run: u32, level_abs: u32) -> u32 {
+    debug_assert!(run <= MAX_RUN4 && (1..=MAX_LEVEL4).contains(&level_abs));
+    u32::from(last) * 12 + run * MAX_LEVEL4 + (level_abs - 1)
+}
+
+pub(crate) fn symbol_event4(symbol: u32) -> (bool, u32, u32) {
+    debug_assert!(symbol < SYM_ESCAPE4);
+    let last = symbol >= 12;
+    let idx = symbol % 12;
+    (last, idx / MAX_LEVEL4, idx % MAX_LEVEL4 + 1)
+}
+
+/// Code lengths tuned for sparse 4×4 blocks.
+const EVENT4_LENGTHS: [u8; 25] = [
+    // last = 0: runs 0..=2 × |level| 1..=4
+    2, 4, 6, 7, //
+    4, 6, 8, 9, //
+    5, 7, 9, 10, //
+    // last = 1
+    3, 5, 7, 8, //
+    5, 7, 9, 10, //
+    6, 8, 10, 11, //
+    // escape
+    6,
+];
+
+/// The shared 4×4 event table.
+pub(crate) fn event_table4() -> &'static VlcTable {
+    static TABLE: OnceLock<VlcTable> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        VlcTable::from_lengths("h264-event4", &EVENT4_LENGTHS)
+            .expect("static table lengths are valid")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag4_is_permutation() {
+        let mut seen = [false; 16];
+        for &i in &ZIGZAG4 {
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&v| v));
+    }
+
+    #[test]
+    fn position_classes_cover_standard_pattern() {
+        // Four class-0, four class-1, eight class-2 positions.
+        let counts = (0..16).fold([0; 3], |mut acc, i| {
+            acc[position_class(i)] += 1;
+            acc
+        });
+        assert_eq!(counts, [4, 4, 8]);
+        assert_eq!(position_class(0), 0); // DC
+        assert_eq!(position_class(5), 1); // (1,1)
+        assert_eq!(position_class(1), 2);
+    }
+
+    #[test]
+    fn mf_v_product_matches_transform_gain() {
+        // The standard guarantees MF·V·G ≈ 2^21 per class, where G is the
+        // combined 2-D gain of the integer transform pair: 16 for
+        // (even,even) positions, 25 for (odd,odd) and 20 for mixed.
+        const GAIN: [i64; 3] = [16, 25, 20];
+        for r in 0..6 {
+            for c in 0..3 {
+                let prod = MF[r][c] as i64 * V[r][c] as i64 * GAIN[c];
+                let ratio = prod as f64 / (1i64 << 21) as f64;
+                assert!((0.93..=1.07).contains(&ratio), "row {r} class {c}: {ratio}");
+            }
+        }
+    }
+
+    #[test]
+    fn lambda_grows_with_qp() {
+        assert!(lambda(12) <= 2);
+        assert!(lambda(26) > lambda(20));
+        assert!(lambda(51) > lambda(26));
+    }
+
+    #[test]
+    fn deblock_tables_are_monotonic() {
+        for i in 17..52 {
+            assert!(ALPHA[i] >= ALPHA[i - 1]);
+            assert!(BETA[i] >= BETA[i - 1]);
+            assert!(TC0[i] >= TC0[i - 1]);
+        }
+    }
+
+    #[test]
+    fn event4_symbols_roundtrip_and_table_builds() {
+        for last in [false, true] {
+            for run in 0..=MAX_RUN4 {
+                for level in 1..=MAX_LEVEL4 {
+                    let s = event_symbol4(last, run, level);
+                    assert_eq!(symbol_event4(s), (last, run, level));
+                }
+            }
+        }
+        assert_eq!(event_table4().len(), 25);
+    }
+}

@@ -1,0 +1,240 @@
+use hdvb_dsp::SimdLevel;
+use std::fmt;
+
+/// Picture coding type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FrameType {
+    /// Intra picture.
+    I,
+    /// Forward-predicted picture.
+    P,
+    /// Bidirectionally predicted picture.
+    B,
+}
+
+impl FrameType {
+    pub(crate) fn to_bits(self) -> u32 {
+        match self {
+            FrameType::I => 0,
+            FrameType::P => 1,
+            FrameType::B => 2,
+        }
+    }
+
+    pub(crate) fn from_bits(v: u32) -> Option<FrameType> {
+        match v {
+            0 => Some(FrameType::I),
+            1 => Some(FrameType::P),
+            2 => Some(FrameType::B),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for FrameType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FrameType::I => "I",
+            FrameType::P => "P",
+            FrameType::B => "B",
+        })
+    }
+}
+
+/// One coded picture.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Packet {
+    /// Serialised picture data.
+    pub data: Vec<u8>,
+    /// Picture type.
+    pub frame_type: FrameType,
+    /// Display-order index.
+    pub display_index: u32,
+}
+
+impl Packet {
+    /// Coded size in bits.
+    pub fn bits(&self) -> u64 {
+        self.data.len() as u64 * 8
+    }
+}
+
+/// Encoder configuration. Defaults mirror the paper's x264 command:
+/// constant QP 26, two B frames, hexagon search with range 24, only the
+/// first picture intra.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EncoderConfig {
+    /// Picture width (even, ≥ 16).
+    pub width: usize,
+    /// Picture height (even, ≥ 16).
+    pub height: usize,
+    /// Quantisation parameter, 0..=51 (paper: 26 via Eq. 1).
+    pub qp: u8,
+    /// Number of B pictures between anchors.
+    pub b_frames: u8,
+    /// `None` = only the first picture intra (paper setting).
+    pub intra_period: Option<u32>,
+    /// Motion search range in full pels (paper: `--merange 24`).
+    pub search_range: u16,
+    /// Number of reference pictures for P motion search (1..=4; the
+    /// paper's `--ref 16` is capped — see DESIGN.md).
+    pub num_refs: u8,
+    /// Kernel dispatch level.
+    pub simd: SimdLevel,
+    /// Whether the in-loop deblocking filter runs (ablation knob;
+    /// signalled in the stream so encoder and decoder always agree).
+    pub deblock: bool,
+}
+
+impl EncoderConfig {
+    /// Creates a configuration with the paper's coding options.
+    pub fn new(width: usize, height: usize) -> Self {
+        EncoderConfig {
+            width,
+            height,
+            qp: 26,
+            b_frames: 2,
+            intra_period: None,
+            search_range: 24,
+            num_refs: 3,
+            simd: SimdLevel::detect(),
+            deblock: true,
+        }
+    }
+
+    /// Sets the quantisation parameter.
+    pub fn with_qp(mut self, qp: u8) -> Self {
+        self.qp = qp;
+        self
+    }
+
+    /// Sets the number of B frames between anchors.
+    pub fn with_b_frames(mut self, b: u8) -> Self {
+        self.b_frames = b;
+        self
+    }
+
+    /// Sets the SIMD dispatch level.
+    pub fn with_simd(mut self, simd: SimdLevel) -> Self {
+        self.simd = simd;
+        self
+    }
+
+    /// Sets the motion search range.
+    pub fn with_search_range(mut self, range: u16) -> Self {
+        self.search_range = range;
+        self
+    }
+
+    /// Sets the number of reference pictures.
+    pub fn with_num_refs(mut self, n: u8) -> Self {
+        self.num_refs = n;
+        self
+    }
+
+    /// Sets the periodic intra interval.
+    pub fn with_intra_period(mut self, period: Option<u32>) -> Self {
+        self.intra_period = period;
+        self
+    }
+
+    /// Enables or disables the in-loop deblocking filter.
+    pub fn with_deblock(mut self, deblock: bool) -> Self {
+        self.deblock = deblock;
+        self
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), CodecError> {
+        if self.width < 16
+            || self.height < 16
+            || self.width % 2 != 0
+            || self.height % 2 != 0
+            || self.width > 16384
+            || self.height > 16384
+        {
+            return Err(CodecError::BadConfig(
+                "dimensions must be even, between 16 and 16384",
+            ));
+        }
+        if self.qp > 51 {
+            return Err(CodecError::BadConfig("qp must be in 0..=51"));
+        }
+        if self.b_frames > 4 {
+            return Err(CodecError::BadConfig("at most 4 b-frames supported"));
+        }
+        if self.num_refs == 0 || self.num_refs > 4 {
+            return Err(CodecError::BadConfig("num_refs must be in 1..=4"));
+        }
+        Ok(())
+    }
+}
+
+/// Errors from encoding or decoding.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// Invalid encoder configuration.
+    BadConfig(&'static str),
+    /// A frame did not match the configured geometry.
+    FrameMismatch {
+        /// Expected dimensions.
+        expected: (usize, usize),
+        /// Received dimensions.
+        actual: (usize, usize),
+    },
+    /// The bitstream is malformed or truncated.
+    InvalidBitstream(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::BadConfig(msg) => write!(f, "bad encoder configuration: {msg}"),
+            CodecError::FrameMismatch { expected, actual } => write!(
+                f,
+                "frame is {}x{} but encoder is configured for {}x{}",
+                actual.0, actual.1, expected.0, expected.1
+            ),
+            CodecError::InvalidBitstream(msg) => write!(f, "invalid bitstream: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<hdvb_bits::BitsError> for CodecError {
+    fn from(e: hdvb_bits::BitsError) -> Self {
+        CodecError::InvalidBitstream(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation() {
+        assert!(EncoderConfig::new(64, 48).validate().is_ok());
+        assert!(EncoderConfig::new(64, 48).with_qp(52).validate().is_err());
+        assert!(EncoderConfig::new(64, 48).with_num_refs(0).validate().is_err());
+        assert!(EncoderConfig::new(64, 48).with_num_refs(5).validate().is_err());
+        assert!(EncoderConfig::new(14, 48).validate().is_err());
+    }
+
+    #[test]
+    fn frame_type_roundtrip() {
+        for t in [FrameType::I, FrameType::P, FrameType::B] {
+            assert_eq!(FrameType::from_bits(t.to_bits()), Some(t));
+        }
+        assert_eq!(FrameType::from_bits(7), None);
+    }
+
+    #[test]
+    fn defaults_follow_paper_command() {
+        let c = EncoderConfig::new(1280, 720);
+        assert_eq!(c.qp, 26);
+        assert_eq!(c.b_frames, 2);
+        assert_eq!(c.search_range, 24);
+        assert!(c.intra_period.is_none());
+    }
+}

@@ -1,0 +1,163 @@
+use std::fmt;
+use std::ops::{Add, Neg, Sub};
+
+/// A motion vector. Units are context-dependent: full-pel during search,
+/// half- or quarter-pel once a codec has refined it.
+///
+/// # Example
+///
+/// ```
+/// use hdvb_me::Mv;
+///
+/// let a = Mv::new(3, -2);
+/// let b = Mv::new(-1, 4);
+/// assert_eq!(a + b, Mv::new(2, 2));
+/// assert_eq!(-a, Mv::new(-3, 2));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Mv {
+    /// Horizontal displacement (positive = rightward).
+    pub x: i16,
+    /// Vertical displacement (positive = downward).
+    pub y: i16,
+}
+
+impl Mv {
+    /// The zero vector.
+    pub const ZERO: Mv = Mv { x: 0, y: 0 };
+
+    /// Creates a vector from its components.
+    pub const fn new(x: i16, y: i16) -> Self {
+        Mv { x, y }
+    }
+
+    /// Component-wise clamp into `[min_x, max_x] × [min_y, max_y]`.
+    pub fn clamped(self, min_x: i16, max_x: i16, min_y: i16, max_y: i16) -> Mv {
+        Mv {
+            x: self.x.clamp(min_x, max_x),
+            y: self.y.clamp(min_y, max_y),
+        }
+    }
+
+    /// Scales both components by `s` (e.g. full-pel → half-pel units).
+    pub fn scaled(self, s: i16) -> Mv {
+        Mv {
+            x: self.x * s,
+            y: self.y * s,
+        }
+    }
+
+    /// Sum of component magnitudes (city-block length).
+    pub fn abs_sum(self) -> u32 {
+        self.x.unsigned_abs() as u32 + self.y.unsigned_abs() as u32
+    }
+}
+
+impl Add for Mv {
+    type Output = Mv;
+    fn add(self, rhs: Mv) -> Mv {
+        Mv::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Mv {
+    type Output = Mv;
+    fn sub(self, rhs: Mv) -> Mv {
+        Mv::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Neg for Mv {
+    type Output = Mv;
+    fn neg(self) -> Mv {
+        Mv::new(-self.x, -self.y)
+    }
+}
+
+impl fmt::Display for Mv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.x, self.y)
+    }
+}
+
+/// Number of bits a signed Exp-Golomb code would spend on each component
+/// of `mv - pred` — the rate term of the motion cost function
+/// `J = SAD + λ·R(mv)` used by all searches.
+pub fn mv_bits(mv: Mv, pred: Mv) -> u32 {
+    fn se_len(v: i32) -> u32 {
+        let mapped = if v > 0 { 2 * v as u32 - 1 } else { 2 * (-v) as u32 };
+        let code = u64::from(mapped) + 1;
+        2 * (64 - code.leading_zeros()) - 1
+    }
+    se_len(i32::from(mv.x - pred.x)) + se_len(i32::from(mv.y - pred.y))
+}
+
+/// Component-wise median of three vectors — the MPEG-4/H.264 motion
+/// vector predictor.
+pub fn median3(a: Mv, b: Mv, c: Mv) -> Mv {
+    fn med(a: i16, b: i16, c: i16) -> i16 {
+        a.max(b).min(a.min(b).max(c))
+    }
+    Mv::new(med(a.x, b.x, c.x), med(a.y, b.y, c.y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Mv::new(5, -3);
+        assert_eq!(a - Mv::new(2, 2), Mv::new(3, -5));
+        assert_eq!(a.scaled(4), Mv::new(20, -12));
+        assert_eq!(a.abs_sum(), 8);
+    }
+
+    #[test]
+    fn clamping() {
+        assert_eq!(Mv::new(100, -100).clamped(-16, 16, -8, 8), Mv::new(16, -8));
+    }
+
+    #[test]
+    fn median_is_order_free() {
+        let (a, b, c) = (Mv::new(1, 9), Mv::new(5, 3), Mv::new(2, 7));
+        let m = median3(a, b, c);
+        assert_eq!(m, Mv::new(2, 7));
+        assert_eq!(median3(c, a, b), m);
+        assert_eq!(median3(b, c, a), m);
+    }
+
+    #[test]
+    fn mv_bits_zero_residual_is_cheapest() {
+        let p = Mv::new(4, -2);
+        let base = mv_bits(p, p);
+        assert_eq!(base, 2); // two one-bit ue(0) codes
+        assert!(mv_bits(Mv::new(5, -2), p) > base);
+        assert!(mv_bits(Mv::new(20, 20), p) > mv_bits(Mv::new(5, 1), p));
+    }
+
+    #[test]
+    fn mv_bits_matches_actual_exp_golomb_cost() {
+        use hdvb_bits::BitWriter;
+        for dx in [-300i16, -17, -1, 0, 1, 9, 250] {
+            for dy in [-45i16, 0, 3, 1000] {
+                let mv = Mv::new(dx, dy);
+                let mut w = BitWriter::new();
+                w.put_se(i32::from(dx));
+                w.put_se(i32::from(dy));
+                assert_eq!(
+                    u64::from(mv_bits(mv, Mv::ZERO)),
+                    w.bit_len(),
+                    "({dx},{dy})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mv_bits_symmetry() {
+        let p = Mv::ZERO;
+        assert_eq!(mv_bits(Mv::new(3, 0), p), mv_bits(Mv::new(-3, 0), p));
+        assert_eq!(mv_bits(Mv::new(0, 7), p), mv_bits(Mv::new(0, -7), p));
+    }
+}

@@ -1,0 +1,94 @@
+//! Generic sub-pel refinement.
+//!
+//! Each codec interpolates differently (bilinear half-pel for MPEG-2,
+//! quarter-pel for MPEG-4, 6-tap quarter-pel for H.264), so the ME crate
+//! exposes refinement as a pattern loop over a caller-supplied cost
+//! closure; the codecs plug in their own interpolation + SAD/SATD.
+
+use crate::Mv;
+
+/// One refinement stage: the sub-pel step size being tested.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubpelStep {
+    /// ±1 in half-pel units around a full-pel centre.
+    Half,
+    /// ±1 in quarter-pel units around a half-pel centre.
+    Quarter,
+}
+
+/// Refines `center` (in the target sub-pel units) by testing the 8
+/// neighbours at `step` distance, returning the best vector and cost.
+///
+/// `cost` receives candidate vectors in the same units as `center` and
+/// must return the full rate-distortion cost; `initial_cost` is the
+/// already-known cost of `center` so it is not re-evaluated.
+///
+/// # Example
+///
+/// ```
+/// use hdvb_me::{subpel_refine, Mv, SubpelStep};
+///
+/// // A synthetic cost bowl with its minimum at (3, -1).
+/// let cost = |mv: Mv| {
+///     let dx = i32::from(mv.x) - 3;
+///     let dy = i32::from(mv.y) + 1;
+///     (dx * dx + dy * dy) as u32
+/// };
+/// let (best, c) = subpel_refine(Mv::new(2, 0), cost(Mv::new(2, 0)), SubpelStep::Half, cost);
+/// assert_eq!(best, Mv::new(3, -1));
+/// assert_eq!(c, 0);
+/// ```
+pub fn subpel_refine<F>(center: Mv, initial_cost: u32, step: SubpelStep, mut cost: F) -> (Mv, u32)
+where
+    F: FnMut(Mv) -> u32,
+{
+    let _ = step; // step distance is always 1 in the caller's units
+    let mut best = center;
+    let mut best_cost = initial_cost;
+    for dy in -1i16..=1 {
+        for dx in -1i16..=1 {
+            if dx == 0 && dy == 0 {
+                continue;
+            }
+            let mv = center + Mv::new(dx, dy);
+            let c = cost(mv);
+            if c < best_cost {
+                best = mv;
+                best_cost = c;
+            }
+        }
+    }
+    (best, best_cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_center_when_already_best() {
+        let calls = std::cell::Cell::new(0u32);
+        let (best, c) = subpel_refine(Mv::ZERO, 5, SubpelStep::Half, |_| {
+            calls.set(calls.get() + 1);
+            10
+        });
+        assert_eq!(best, Mv::ZERO);
+        assert_eq!(c, 5);
+        assert_eq!(calls.get(), 8);
+    }
+
+    #[test]
+    fn moves_to_cheaper_neighbour() {
+        let cost = |mv: Mv| if mv == Mv::new(1, 1) { 1 } else { 9 };
+        let (best, c) = subpel_refine(Mv::ZERO, 9, SubpelStep::Quarter, cost);
+        assert_eq!(best, Mv::new(1, 1));
+        assert_eq!(c, 1);
+    }
+
+    #[test]
+    fn ties_prefer_center_then_scan_order() {
+        // Equal costs everywhere: strict < keeps the centre.
+        let (best, _) = subpel_refine(Mv::new(4, 4), 7, SubpelStep::Half, |_| 7);
+        assert_eq!(best, Mv::new(4, 4));
+    }
+}

@@ -1,0 +1,257 @@
+//! The 5/3 reversible integer wavelet (LeGall lifting), as used by
+//! JPEG 2000's lossless path, in a separable multi-level 2-D form.
+
+/// Subband geometry of a multi-level decomposition of a `w`×`h` plane.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Subbands {
+    /// Plane width.
+    pub w: usize,
+    /// Plane height.
+    pub h: usize,
+    /// Decomposition levels (≥ 1).
+    pub levels: u32,
+}
+
+impl Subbands {
+    /// Low-band dimensions after `l` splits (ceil division per split).
+    pub fn low_dims(&self, l: u32) -> (usize, usize) {
+        let mut w = self.w;
+        let mut h = self.h;
+        for _ in 0..l {
+            w = w.div_ceil(2);
+            h = h.div_ceil(2);
+        }
+        (w, h)
+    }
+}
+
+fn mirror(idx: isize, n: usize) -> usize {
+    // Whole-sample symmetric extension: ... 2 1 | 0 1 2 ... n-1 | n-2 ...
+    let n = n as isize;
+    let mut i = idx;
+    if i < 0 {
+        i = -i;
+    }
+    if i >= n {
+        i = 2 * (n - 1) - i;
+    }
+    i.clamp(0, n - 1) as usize
+}
+
+/// One forward 1-D 5/3 lifting pass over `x[0..n]`, writing low
+/// coefficients to `out[0..ceil(n/2)]` and highs after them.
+fn fwd_1d(x: &[i32], out: &mut [i32]) {
+    let n = x.len();
+    if n == 1 {
+        out[0] = x[0];
+        return;
+    }
+    let nl = n.div_ceil(2);
+    let nh = n / 2;
+    // Predict: d[i] = x[2i+1] - floor((x[2i] + x[2i+2]) / 2)
+    for i in 0..nh {
+        let a = x[2 * i];
+        let b = x[mirror(2 * i as isize + 2, n)];
+        out[nl + i] = x[2 * i + 1] - ((a + b) >> 1);
+    }
+    // Update: s[i] = x[2i] + floor((d[i-1] + d[i] + 2) / 4)
+    for i in 0..nl {
+        let dm1 = out[nl + mirror(i as isize - 1, nh.max(1))];
+        let d0 = out[nl + mirror(i as isize, nh.max(1))];
+        let (dm1, d0) = if nh == 0 { (0, 0) } else { (dm1, d0) };
+        out[i] = x[2 * i] + ((dm1 + d0 + 2) >> 2);
+    }
+}
+
+/// Exact inverse of [`fwd_1d`].
+fn inv_1d(coeffs: &[i32], out: &mut [i32]) {
+    let n = coeffs.len();
+    if n == 1 {
+        out[0] = coeffs[0];
+        return;
+    }
+    let nl = n.div_ceil(2);
+    let nh = n / 2;
+    // Even samples: x[2i] = s[i] - floor((d[i-1] + d[i] + 2) / 4)
+    for i in 0..nl {
+        let (dm1, d0) = if nh == 0 {
+            (0, 0)
+        } else {
+            (
+                coeffs[nl + mirror(i as isize - 1, nh)],
+                coeffs[nl + mirror(i as isize, nh)],
+            )
+        };
+        out[2 * i] = coeffs[i] - ((dm1 + d0 + 2) >> 2);
+    }
+    // Odd samples: x[2i+1] = d[i] + floor((x[2i] + x[2i+2]) / 2)
+    for i in 0..nh {
+        let a = out[2 * i];
+        let b = out[mirror(2 * i as isize + 2, n)];
+        out[2 * i + 1] = coeffs[nl + i] + ((a + b) >> 1);
+    }
+}
+
+/// In-place multi-level forward 2-D transform of a row-major `w`×`h`
+/// buffer; after the call, subbands are laid out recursively with the
+/// low band in the top-left corner.
+///
+/// # Panics
+///
+/// Panics if `data.len() != w * h` or `levels` exceeds what the plane
+/// supports.
+pub fn dwt53_forward(data: &mut [i32], sb: Subbands) {
+    assert_eq!(data.len(), sb.w * sb.h, "buffer geometry mismatch");
+    let mut scratch = vec![0i32; sb.w.max(sb.h)];
+    let mut line = vec![0i32; sb.w.max(sb.h)];
+    for l in 0..sb.levels {
+        let (lw, lh) = sb.low_dims(l);
+        assert!(lw >= 2 && lh >= 2, "too many decomposition levels");
+        // Rows.
+        for y in 0..lh {
+            line[..lw].copy_from_slice(&data[y * sb.w..y * sb.w + lw]);
+            fwd_1d(&line[..lw], &mut scratch[..lw]);
+            data[y * sb.w..y * sb.w + lw].copy_from_slice(&scratch[..lw]);
+        }
+        // Columns.
+        for x in 0..lw {
+            for y in 0..lh {
+                line[y] = data[y * sb.w + x];
+            }
+            fwd_1d(&line[..lh], &mut scratch[..lh]);
+            for y in 0..lh {
+                data[y * sb.w + x] = scratch[y];
+            }
+        }
+    }
+}
+
+/// Exact inverse of [`dwt53_forward`].
+///
+/// # Panics
+///
+/// Panics on buffer geometry mismatch.
+pub fn dwt53_inverse(data: &mut [i32], sb: Subbands) {
+    assert_eq!(data.len(), sb.w * sb.h, "buffer geometry mismatch");
+    let mut scratch = vec![0i32; sb.w.max(sb.h)];
+    let mut line = vec![0i32; sb.w.max(sb.h)];
+    for l in (0..sb.levels).rev() {
+        let (lw, lh) = sb.low_dims(l);
+        // Columns first (mirror of forward order).
+        for x in 0..lw {
+            for y in 0..lh {
+                line[y] = data[y * sb.w + x];
+            }
+            inv_1d(&line[..lh], &mut scratch[..lh]);
+            for y in 0..lh {
+                data[y * sb.w + x] = scratch[y];
+            }
+        }
+        // Rows.
+        for y in 0..lh {
+            line[..lw].copy_from_slice(&data[y * sb.w..y * sb.w + lw]);
+            inv_1d(&line[..lw], &mut scratch[..lw]);
+            data[y * sb.w..y * sb.w + lw].copy_from_slice(&scratch[..lw]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_buffer(w: usize, h: usize, seed: u32) -> Vec<i32> {
+        let mut state = seed;
+        (0..w * h)
+            .map(|_| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                ((state >> 24) & 0xFF) as i32
+            })
+            .collect()
+    }
+
+    #[test]
+    fn one_level_roundtrip_is_lossless() {
+        for (w, h) in [(8, 8), (16, 12), (17, 9), (5, 7), (2, 2)] {
+            let sb = Subbands { w, h, levels: 1 };
+            let orig = random_buffer(w, h, 42);
+            let mut data = orig.clone();
+            dwt53_forward(&mut data, sb);
+            dwt53_inverse(&mut data, sb);
+            assert_eq!(data, orig, "{w}x{h}");
+        }
+    }
+
+    #[test]
+    fn multi_level_roundtrip_is_lossless() {
+        for levels in 1..=3 {
+            let sb = Subbands {
+                w: 48,
+                h: 40,
+                levels,
+            };
+            let orig = random_buffer(48, 40, levels);
+            let mut data = orig.clone();
+            dwt53_forward(&mut data, sb);
+            dwt53_inverse(&mut data, sb);
+            assert_eq!(data, orig, "levels {levels}");
+        }
+    }
+
+    #[test]
+    fn flat_signal_concentrates_in_the_low_band() {
+        let sb = Subbands {
+            w: 16,
+            h: 16,
+            levels: 2,
+        };
+        let mut data = vec![100i32; 16 * 16];
+        dwt53_forward(&mut data, sb);
+        let (lw, lh) = sb.low_dims(2);
+        // All detail coefficients are zero; the 5/3 low band has unit DC
+        // gain, so the low band equals the constant input.
+        for y in 0..16 {
+            for x in 0..16 {
+                let v = data[y * 16 + x];
+                if x < lw && y < lh {
+                    assert_eq!(v, 100, "LL({x},{y})");
+                } else {
+                    assert_eq!(v, 0, "detail({x},{y})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn high_bands_catch_edges() {
+        let sb = Subbands {
+            w: 16,
+            h: 16,
+            levels: 1,
+        };
+        let mut data = vec![0i32; 256];
+        for y in 0..16 {
+            for x in 8..16 {
+                data[y * 16 + x] = 200;
+            }
+        }
+        dwt53_forward(&mut data, sb);
+        // Horizontal detail (right half of each row) is nonzero near the
+        // edge column.
+        let hl: i32 = (0..8).map(|y| data[y * 16 + 8 + 3].abs()).sum();
+        assert!(hl > 0, "edge produced no horizontal detail");
+    }
+
+    #[test]
+    fn low_dims_follow_ceil_halving() {
+        let sb = Subbands {
+            w: 100,
+            h: 50,
+            levels: 3,
+        };
+        assert_eq!(sb.low_dims(0), (100, 50));
+        assert_eq!(sb.low_dims(1), (50, 25));
+        assert_eq!(sb.low_dims(2), (25, 13));
+        assert_eq!(sb.low_dims(3), (13, 7));
+    }
+}

@@ -1,0 +1,98 @@
+//! Subband entropy coding: per-subband significance counts with
+//! gap/value coding (the documented EBCOT substitution).
+
+use hdvb_bits::{BitReader, BitWriter, BitsError};
+
+/// Writes one subband's quantised coefficients (any iteration order,
+/// chosen by the caller) as `ue(count)` followed by `(ue(gap), se(value))`
+/// pairs.
+pub(crate) fn write_subband(w: &mut BitWriter, coeffs: &[i32]) {
+    let nonzero = coeffs.iter().filter(|&&c| c != 0).count() as u32;
+    w.put_ue(nonzero);
+    let mut prev = 0usize;
+    for (i, &c) in coeffs.iter().enumerate() {
+        if c != 0 {
+            w.put_ue((i - prev) as u32);
+            w.put_se(c);
+            prev = i + 1;
+        }
+    }
+}
+
+/// Reads a subband written by [`write_subband`] into `coeffs` (which the
+/// caller zeroes).
+pub(crate) fn read_subband(r: &mut BitReader<'_>, coeffs: &mut [i32]) -> Result<(), BitsError> {
+    let nonzero = r.get_ue()?;
+    if nonzero as usize > coeffs.len() {
+        return Err(BitsError::InvalidCode { table: "mj2k-subband" });
+    }
+    let mut pos = 0usize;
+    for _ in 0..nonzero {
+        let gap = r.get_ue()? as usize;
+        pos = pos.checked_add(gap).ok_or(BitsError::Eof)?;
+        if pos >= coeffs.len() {
+            return Err(BitsError::InvalidCode { table: "mj2k-subband" });
+        }
+        let v = r.get_se()?;
+        if v == 0 {
+            return Err(BitsError::InvalidCode { table: "mj2k-subband" });
+        }
+        coeffs[pos] = v;
+        pos += 1;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(coeffs: &[i32]) -> Vec<i32> {
+        let mut w = BitWriter::new();
+        write_subband(&mut w, coeffs);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        let mut out = vec![0i32; coeffs.len()];
+        read_subband(&mut r, &mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn empty_and_dense_subbands() {
+        assert_eq!(roundtrip(&[0; 32]), vec![0; 32]);
+        let dense: Vec<i32> = (1..=32).map(|i| if i % 2 == 0 { i } else { -i }).collect();
+        assert_eq!(roundtrip(&dense), dense);
+    }
+
+    #[test]
+    fn sparse_subband() {
+        let mut c = vec![0i32; 100];
+        c[0] = 5;
+        c[57] = -1200;
+        c[99] = 1;
+        assert_eq!(roundtrip(&c), c);
+    }
+
+    #[test]
+    fn corrupt_counts_are_rejected() {
+        let mut w = BitWriter::new();
+        w.put_ue(1000); // count larger than the subband
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        let mut out = vec![0i32; 16];
+        assert!(read_subband(&mut r, &mut out).is_err());
+    }
+
+    #[test]
+    fn truncation_is_an_error() {
+        let mut c = vec![0i32; 64];
+        c[10] = 99;
+        c[40] = -5;
+        let mut w = BitWriter::new();
+        write_subband(&mut w, &c);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes[..1]);
+        let mut out = vec![0i32; 64];
+        assert!(read_subband(&mut r, &mut out).is_err());
+    }
+}

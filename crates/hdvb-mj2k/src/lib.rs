@@ -1,0 +1,44 @@
+//! A Motion-JPEG-2000-class intra-only wavelet codec.
+//!
+//! The paper's conclusion (Section VII) announces Motion-JPEG-2000 as a
+//! planned extension of HD-VideoBench; this crate implements that
+//! extension. It carries the computational profile that sets
+//! Motion JPEG 2000 apart from the block-DCT codecs:
+//!
+//! * every frame is coded **independently** (intra-only — the editing /
+//!   digital-cinema use case),
+//! * each plane goes through a multi-level **5/3 reversible integer
+//!   wavelet transform** (the LeGall lifting scheme of JPEG 2000's
+//!   lossless path),
+//! * subbands are quantised with per-subband dead-zone steps and entropy
+//!   coded (run-level VLC in place of EBCOT — a documented substitution
+//!   that preserves the wavelet-dominated workload, not JPEG 2000's
+//!   exact rate efficiency).
+//!
+//! Lossless operation (`qscale == 1`) reconstructs frames **bit
+//! exactly**, the signature property of the reversible 5/3 path.
+//!
+//! # Example
+//!
+//! ```
+//! use hdvb_frame::Frame;
+//! use hdvb_mj2k::{Mj2kDecoder, Mj2kEncoder};
+//!
+//! let mut enc = Mj2kEncoder::new(64, 48, 1)?; // qscale 1 = lossless
+//! let mut dec = Mj2kDecoder::new();
+//! let frame = Frame::new(64, 48);
+//! let packet = enc.encode(&frame)?;
+//! let back = dec.decode(&packet)?;
+//! assert_eq!(back, frame);
+//! # Ok::<(), hdvb_mj2k::Mj2kError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod codec;
+mod dwt;
+mod entropy;
+
+pub use codec::{Mj2kDecoder, Mj2kEncoder, Mj2kError};
+pub use dwt::{dwt53_forward, dwt53_inverse, Subbands};

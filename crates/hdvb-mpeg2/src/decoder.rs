@@ -1,0 +1,489 @@
+use crate::blocks::read_coeffs;
+use crate::encoder::{
+    build_b_prediction, crop_frame, predict_mb, reconstruct_inter, store_block_clamped, RefPicture,
+    RowState, MAGIC,
+};
+use crate::types::{CodecError, FrameType};
+use hdvb_bits::BitReader;
+use hdvb_dsp::{Dsp, SimdLevel, MPEG_DEFAULT_INTRA};
+use hdvb_frame::{align_up, Frame};
+use hdvb_me::{Mv, MvField};
+
+/// The MPEG-2-class decoder.
+///
+/// Packets must be fed in coding order (as produced by
+/// [`Mpeg2Encoder`](crate::Mpeg2Encoder)); frames come out in display
+/// order. Call [`flush`](Self::flush) after the last packet to obtain the
+/// final anchor.
+pub struct Mpeg2Decoder {
+    dsp: Dsp,
+    prev_anchor: Option<RefPicture>,
+    last_anchor: Option<RefPicture>,
+    /// The newest anchor's displayable frame, held until the next anchor
+    /// arrives (display reordering).
+    pending: Option<Frame>,
+}
+
+impl Default for Mpeg2Decoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Mpeg2Decoder {
+    /// Creates a decoder at the CPU's best SIMD level.
+    pub fn new() -> Self {
+        Self::with_simd(SimdLevel::detect())
+    }
+
+    /// Creates a decoder at an explicit SIMD level (the Figure-1 axis).
+    pub fn with_simd(simd: SimdLevel) -> Self {
+        Mpeg2Decoder {
+            dsp: Dsp::new(simd),
+            prev_anchor: None,
+            last_anchor: None,
+            pending: None,
+        }
+    }
+
+    /// Decodes one packet; returns zero or more display-order frames.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::InvalidBitstream`] on malformed or truncated input.
+    pub fn decode(&mut self, data: &[u8]) -> Result<Vec<Frame>, CodecError> {
+        let mut r = BitReader::new(data);
+        if r.get_bits(16)? != MAGIC {
+            return Err(CodecError::InvalidBitstream("bad picture magic".into()));
+        }
+        let frame_type = FrameType::from_bits(r.get_bits(2)?)
+            .ok_or_else(|| CodecError::InvalidBitstream("bad frame type".into()))?;
+        let _display_index = r.get_bits(32)?;
+        let width = r.get_ue()? as usize;
+        let height = r.get_ue()? as usize;
+        let qscale = r.get_ue()?;
+        if width < 16 || height < 16 || width > 16384 || height > 16384 {
+            return Err(CodecError::InvalidBitstream(format!(
+                "implausible dimensions {width}x{height}"
+            )));
+        }
+        if !(1..=62).contains(&qscale) {
+            return Err(CodecError::InvalidBitstream("qscale out of range".into()));
+        }
+        let qscale = qscale as u16;
+        let aw = align_up(width, 16);
+        let ah = align_up(height, 16);
+        let (mbs_x, mbs_y) = (aw / 16, ah / 16);
+
+        let mut recon = Frame::new(aw, ah);
+        let mut mvs = MvField::new(mbs_x, mbs_y);
+        match frame_type {
+            FrameType::I => self.decode_i(&mut r, &mut recon, qscale, mbs_x, mbs_y)?,
+            FrameType::P => self.decode_p(&mut r, &mut recon, &mut mvs, qscale, mbs_x, mbs_y)?,
+            FrameType::B => self.decode_b(&mut r, &mut recon, qscale, mbs_x, mbs_y)?,
+        }
+
+        let display = crop_frame(&recon, width, height);
+        let mut out = Vec::new();
+        if frame_type == FrameType::B {
+            out.push(display);
+        } else {
+            if let Some(prev) = self.pending.take() {
+                out.push(prev);
+            }
+            self.pending = Some(display);
+            self.prev_anchor = self.last_anchor.take();
+            self.last_anchor = Some(RefPicture::from_frame(&recon, mvs));
+        }
+        Ok(out)
+    }
+
+    /// Returns the final buffered anchor at end of stream.
+    pub fn flush(&mut self) -> Vec<Frame> {
+        self.pending.take().into_iter().collect()
+    }
+
+    fn decode_i(
+        &mut self,
+        r: &mut BitReader<'_>,
+        recon: &mut Frame,
+        qscale: u16,
+        mbs_x: usize,
+        mbs_y: usize,
+    ) -> Result<(), CodecError> {
+        for mby in 0..mbs_y {
+            let mut row = RowState::new();
+            for mbx in 0..mbs_x {
+                self.decode_intra_mb(r, recon, qscale, mbx, mby, &mut row.dc_pred)?;
+            }
+            r.byte_align();
+        }
+        Ok(())
+    }
+
+    fn decode_intra_mb(
+        &mut self,
+        r: &mut BitReader<'_>,
+        recon: &mut Frame,
+        qscale: u16,
+        mbx: usize,
+        mby: usize,
+        dc_pred: &mut [i32; 3],
+    ) -> Result<(), CodecError> {
+        for b in 0..6 {
+            let dc_diff = r.get_se()?;
+            let comp = match b {
+                0..=3 => 0,
+                4 => 1,
+                _ => 2,
+            };
+            let dc_level = (dc_pred[comp] + dc_diff).clamp(0, 255);
+            dc_pred[comp] = dc_level;
+            let mut block = [0i16; 64];
+            read_coeffs(r, &mut block, 1)?;
+            self.dsp.dequant8(&mut block, &MPEG_DEFAULT_INTRA, qscale, true);
+            block[0] = (dc_level * 8) as i16;
+            self.dsp.idct8(&mut block);
+            let (plane, bx, by) = match b {
+                0..=3 => (
+                    recon.y_mut(),
+                    mbx * 16 + (b % 2) * 8,
+                    mby * 16 + (b / 2) * 8,
+                ),
+                4 => (recon.cb_mut(), mbx * 8, mby * 8),
+                _ => (recon.cr_mut(), mbx * 8, mby * 8),
+            };
+            store_block_clamped(plane, bx, by, &block);
+        }
+        Ok(())
+    }
+
+    fn decode_p(
+        &mut self,
+        r: &mut BitReader<'_>,
+        recon: &mut Frame,
+        mvs: &mut MvField,
+        qscale: u16,
+        mbs_x: usize,
+        mbs_y: usize,
+    ) -> Result<(), CodecError> {
+        // Take the reference out to avoid aliasing self borrows.
+        let reference = self
+            .last_anchor
+            .take()
+            .ok_or_else(|| CodecError::InvalidBitstream("P picture without reference".into()))?;
+        let result = (|| -> Result<(), CodecError> {
+            for mby in 0..mbs_y {
+                let mut row = RowState::new();
+                for mbx in 0..mbs_x {
+                    let skip = r.get_bit()?;
+                    if skip {
+                        let (mut py, mut pcb, mut pcr) = ([0u8; 256], [0u8; 64], [0u8; 64]);
+                        predict_mb(&self.dsp, &reference, mbx, mby, Mv::ZERO, &mut py, &mut pcb, &mut pcr);
+                        reconstruct_inter(&self.dsp, recon, mbx, mby, &py, &pcb, &pcr, &[[0i16; 64]; 6], 0, qscale);
+                        row.dc_pred = [128; 3];
+                        row.reset_mv();
+                        continue;
+                    }
+                    let intra = r.get_bit()?;
+                    if intra {
+                        self.decode_intra_mb(r, recon, qscale, mbx, mby, &mut row.dc_pred)?;
+                        row.reset_mv();
+                        continue;
+                    }
+                    let mvd_x = r.get_se()?;
+                    let mvd_y = r.get_se()?;
+                    let mv = Mv::new(
+                        clamp_mv(i32::from(row.mv_pred.x) + mvd_x)?,
+                        clamp_mv(i32::from(row.mv_pred.y) + mvd_y)?,
+                    );
+                    row.mv_pred = mv;
+                    mvs.set(mbx, mby, Mv::new(mv.x >> 1, mv.y >> 1));
+                    let cbp = r.get_bits(6)? as u8;
+                    let mut blocks = [[0i16; 64]; 6];
+                    for (i, b) in blocks.iter_mut().enumerate() {
+                        if cbp & (1 << (5 - i)) != 0 {
+                            read_coeffs(r, b, 0)?;
+                        }
+                    }
+                    let (mut py, mut pcb, mut pcr) = ([0u8; 256], [0u8; 64], [0u8; 64]);
+                    predict_mb(&self.dsp, &reference, mbx, mby, mv, &mut py, &mut pcb, &mut pcr);
+                    reconstruct_inter(&self.dsp, recon, mbx, mby, &py, &pcb, &pcr, &blocks, cbp, qscale);
+                    row.dc_pred = [128; 3];
+                }
+                r.byte_align();
+            }
+            Ok(())
+        })();
+        self.last_anchor = Some(reference);
+        result
+    }
+
+    fn decode_b(
+        &mut self,
+        r: &mut BitReader<'_>,
+        recon: &mut Frame,
+        qscale: u16,
+        mbs_x: usize,
+        mbs_y: usize,
+    ) -> Result<(), CodecError> {
+        let fwd = self
+            .prev_anchor
+            .take()
+            .ok_or_else(|| CodecError::InvalidBitstream("B picture without anchors".into()))?;
+        let bwd = match self.last_anchor.take() {
+            Some(b) => b,
+            None => {
+                self.prev_anchor = Some(fwd);
+                return Err(CodecError::InvalidBitstream("B picture without anchors".into()));
+            }
+        };
+        let result = (|| -> Result<(), CodecError> {
+            for mby in 0..mbs_y {
+                let mut row = RowState::new();
+                for mbx in 0..mbs_x {
+                    let skip = r.get_bit()?;
+                    let (mut py, mut pcb, mut pcr) = ([0u8; 256], [0u8; 64], [0u8; 64]);
+                    if skip {
+                        let (mode, mv_f, mv_b) = row.last_b;
+                        build_b_prediction(&self.dsp, &fwd, &bwd, mbx, mby, mode, mv_f, mv_b, &mut py, &mut pcb, &mut pcr);
+                        reconstruct_inter(&self.dsp, recon, mbx, mby, &py, &pcb, &pcr, &[[0i16; 64]; 6], 0, qscale);
+                        continue;
+                    }
+                    let mode = r.get_bits(2)? as u8;
+                    if mode == 3 {
+                        self.decode_intra_mb(r, recon, qscale, mbx, mby, &mut row.dc_pred)?;
+                        row.reset_mv();
+                        continue;
+                    }
+                    let mut mv_f = row.last_b.1;
+                    let mut mv_b = row.last_b.2;
+                    if mode == 0 || mode == 2 {
+                        let dx = r.get_se()?;
+                        let dy = r.get_se()?;
+                        mv_f = Mv::new(
+                            clamp_mv(i32::from(row.mv_pred.x) + dx)?,
+                            clamp_mv(i32::from(row.mv_pred.y) + dy)?,
+                        );
+                        row.mv_pred = mv_f;
+                    }
+                    if mode == 1 || mode == 2 {
+                        let dx = r.get_se()?;
+                        let dy = r.get_se()?;
+                        mv_b = Mv::new(
+                            clamp_mv(i32::from(row.mv_pred_bwd.x) + dx)?,
+                            clamp_mv(i32::from(row.mv_pred_bwd.y) + dy)?,
+                        );
+                        row.mv_pred_bwd = mv_b;
+                    }
+                    row.last_b = (mode, mv_f, mv_b);
+                    let cbp = r.get_bits(6)? as u8;
+                    let mut blocks = [[0i16; 64]; 6];
+                    for (i, b) in blocks.iter_mut().enumerate() {
+                        if cbp & (1 << (5 - i)) != 0 {
+                            read_coeffs(r, b, 0)?;
+                        }
+                    }
+                    build_b_prediction(&self.dsp, &fwd, &bwd, mbx, mby, mode, mv_f, mv_b, &mut py, &mut pcb, &mut pcr);
+                    reconstruct_inter(&self.dsp, recon, mbx, mby, &py, &pcb, &pcr, &blocks, cbp, qscale);
+                    row.dc_pred = [128; 3];
+                }
+                r.byte_align();
+            }
+            Ok(())
+        })();
+        self.prev_anchor = Some(fwd);
+        self.last_anchor = Some(bwd);
+        result
+    }
+}
+
+/// Validates a decoded motion component against the padded reference
+/// bounds (half-pel units).
+fn clamp_mv(v: i32) -> Result<i16, CodecError> {
+    if (-2048..=2047).contains(&v) {
+        Ok(v as i16)
+    } else {
+        Err(CodecError::InvalidBitstream(format!(
+            "motion vector component {v} out of range"
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::Mpeg2Encoder;
+    use crate::types::EncoderConfig;
+    use hdvb_frame::SequencePsnr;
+
+    fn moving_frame(w: usize, h: usize, t: f64) -> Frame {
+        let mut f = Frame::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                let v = 128.0
+                    + 50.0 * ((x as f64 - 2.0 * t) * 0.17 + y as f64 * 0.06).sin()
+                    + 45.0 * ((y as f64 + t) * 0.11).cos();
+                f.y_mut().set(x, y, v.clamp(0.0, 255.0) as u8);
+            }
+        }
+        for y in 0..h / 2 {
+            for x in 0..w / 2 {
+                f.cb_mut().set(x, y, (118 + (x + y + t as usize) % 20) as u8);
+                f.cr_mut().set(x, y, (134 - (x + 2 * y) % 18) as u8);
+            }
+        }
+        f
+    }
+
+    fn roundtrip(qscale: u16, frames: usize, b_frames: u8) -> (Vec<Frame>, Vec<Frame>) {
+        let (w, h) = (64, 48);
+        let config = EncoderConfig::new(w, h)
+            .with_qscale(qscale)
+            .with_b_frames(b_frames);
+        let mut enc = Mpeg2Encoder::new(config).unwrap();
+        let mut dec = Mpeg2Decoder::new();
+        let originals: Vec<Frame> = (0..frames).map(|i| moving_frame(w, h, i as f64)).collect();
+        let mut packets = Vec::new();
+        for f in &originals {
+            packets.extend(enc.encode(f).unwrap());
+        }
+        packets.extend(enc.flush().unwrap());
+        let mut decoded = Vec::new();
+        for p in &packets {
+            decoded.extend(dec.decode(&p.data).unwrap());
+        }
+        decoded.extend(dec.flush());
+        (originals, decoded)
+    }
+
+    #[test]
+    fn single_intra_roundtrip_quality() {
+        let (orig, dec) = roundtrip(4, 1, 2);
+        assert_eq!(dec.len(), 1);
+        let mut acc = SequencePsnr::new();
+        acc.add(&orig[0], &dec[0]);
+        assert!(acc.y_psnr() > 30.0, "I-frame PSNR {}", acc.y_psnr());
+    }
+
+    #[test]
+    fn ipbb_stream_roundtrips_in_display_order() {
+        let (orig, dec) = roundtrip(4, 7, 2);
+        assert_eq!(dec.len(), 7);
+        for (i, (o, d)) in orig.iter().zip(&dec).enumerate() {
+            let mut acc = SequencePsnr::new();
+            acc.add(o, d);
+            assert!(
+                acc.y_psnr() > 27.0,
+                "frame {i} psnr {:.2} too low",
+                acc.y_psnr()
+            );
+        }
+    }
+
+    #[test]
+    fn ipp_stream_roundtrips() {
+        let (orig, dec) = roundtrip(6, 5, 0);
+        assert_eq!(dec.len(), 5);
+        for (o, d) in orig.iter().zip(&dec) {
+            let mut acc = SequencePsnr::new();
+            acc.add(o, d);
+            assert!(acc.y_psnr() > 26.0);
+        }
+    }
+
+    #[test]
+    fn lower_qscale_gives_higher_quality() {
+        let quality = |q: u16| {
+            let (orig, dec) = roundtrip(q, 4, 2);
+            let mut acc = SequencePsnr::new();
+            for (o, d) in orig.iter().zip(&dec) {
+                acc.add(o, d);
+            }
+            acc.y_psnr()
+        };
+        let hi = quality(2);
+        let lo = quality(24);
+        assert!(hi > lo + 3.0, "q2 {hi:.1} vs q24 {lo:.1}");
+    }
+
+    #[test]
+    fn non_aligned_dimensions_roundtrip() {
+        let (w, h) = (60, 44);
+        let mut enc = Mpeg2Encoder::new(EncoderConfig::new(w, h)).unwrap();
+        let mut dec = Mpeg2Decoder::new();
+        let f = moving_frame(w, h, 0.0);
+        let mut packets = enc.encode(&f).unwrap();
+        packets.extend(enc.flush().unwrap());
+        let mut out = Vec::new();
+        for p in &packets {
+            out.extend(dec.decode(&p.data).unwrap());
+        }
+        out.extend(dec.flush());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].width(), w);
+        assert_eq!(out[0].height(), h);
+    }
+
+    #[test]
+    fn decode_cross_simd_levels_is_identical() {
+        // Encode once, decode with scalar and with SIMD: outputs must be
+        // bit-identical (the property the Figure-1 harness relies on).
+        let (w, h) = (64, 48);
+        let mut enc = Mpeg2Encoder::new(EncoderConfig::new(w, h)).unwrap();
+        let mut packets = Vec::new();
+        for i in 0..5 {
+            packets.extend(enc.encode(&moving_frame(w, h, i as f64)).unwrap());
+        }
+        packets.extend(enc.flush().unwrap());
+        let mut d_scalar = Mpeg2Decoder::with_simd(SimdLevel::Scalar);
+        let mut d_simd = Mpeg2Decoder::with_simd(SimdLevel::Sse2);
+        let mut out_a = Vec::new();
+        let mut out_b = Vec::new();
+        for p in &packets {
+            out_a.extend(d_scalar.decode(&p.data).unwrap());
+            out_b.extend(d_simd.decode(&p.data).unwrap());
+        }
+        out_a.extend(d_scalar.flush());
+        out_b.extend(d_simd.flush());
+        assert_eq!(out_a, out_b);
+    }
+
+    #[test]
+    fn truncated_and_corrupt_packets_error_not_panic() {
+        let (w, h) = (64, 48);
+        let mut enc = Mpeg2Encoder::new(EncoderConfig::new(w, h)).unwrap();
+        let packets = enc.encode(&moving_frame(w, h, 0.0)).unwrap();
+        let data = &packets[0].data;
+        for cut in [0, 1, 2, 5, data.len() / 2] {
+            let mut dec = Mpeg2Decoder::new();
+            let _ = dec.decode(&data[..cut]); // must not panic
+        }
+        let mut corrupt = data.clone();
+        if corrupt.len() > 8 {
+            corrupt[6] ^= 0xFF;
+            corrupt[7] ^= 0xA5;
+        }
+        let mut dec = Mpeg2Decoder::new();
+        let _ = dec.decode(&corrupt); // error or garbage frame, no panic
+    }
+
+    #[test]
+    fn p_without_reference_is_an_error() {
+        // Build a stream then feed the P packet to a fresh decoder.
+        let (w, h) = (64, 48);
+        let mut enc =
+            Mpeg2Encoder::new(EncoderConfig::new(w, h).with_b_frames(0)).unwrap();
+        let _ = enc.encode(&moving_frame(w, h, 0.0)).unwrap();
+        let p = enc.encode(&moving_frame(w, h, 1.0)).unwrap();
+        let mut dec = Mpeg2Decoder::new();
+        assert!(dec.decode(&p[0].data).is_err());
+    }
+
+    #[test]
+    fn garbage_input_is_rejected() {
+        let mut dec = Mpeg2Decoder::new();
+        assert!(dec.decode(&[0xFF; 100]).is_err());
+        assert!(dec.decode(&[]).is_err());
+    }
+}

@@ -1,0 +1,842 @@
+use crate::blocks::write_coeffs;
+use crate::gop::{GopScheduler, Scheduled};
+use crate::types::{CodecError, EncoderConfig, FrameType, Packet};
+use hdvb_bits::BitWriter;
+use hdvb_dsp::{Block8, Dsp, MPEG_DEFAULT_INTRA, MPEG_DEFAULT_NONINTRA};
+use hdvb_frame::{align_up, Frame, PaddedPlane, Plane};
+use hdvb_me::{epzs_search, mv_bits, subpel_refine, BlockRef, EpzsThresholds, Mv, MvField, Predictors, SearchParams, SubpelStep};
+
+/// Magic number opening every coded picture.
+pub(crate) const MAGIC: u32 = 0x4D32; // "M2"
+/// Luma padding of reference pictures (search range + interpolation).
+pub(crate) const LUMA_PAD: usize = 32;
+/// Chroma padding of reference pictures.
+pub(crate) const CHROMA_PAD: usize = 16;
+
+/// A reconstructed reference picture with padded planes and the motion
+/// field that was chosen while coding it (EPZS temporal predictors).
+pub(crate) struct RefPicture {
+    pub y: PaddedPlane,
+    pub cb: PaddedPlane,
+    pub cr: PaddedPlane,
+    pub mvs: MvField,
+}
+
+impl RefPicture {
+    pub(crate) fn from_frame(frame: &Frame, mvs: MvField) -> Self {
+        RefPicture {
+            y: PaddedPlane::from_plane(frame.y(), LUMA_PAD),
+            cb: PaddedPlane::from_plane(frame.cb(), CHROMA_PAD),
+            cr: PaddedPlane::from_plane(frame.cr(), CHROMA_PAD),
+            mvs,
+        }
+    }
+}
+
+/// Motion-compensates one macroblock (luma 16×16 + two chroma 8×8) from
+/// `r` at half-pel vector `mv` into the three destination buffers.
+/// Shared by the encoder's reconstruction loop and (via re-export) the
+/// decoder, so prediction can never diverge.
+pub(crate) fn predict_mb(
+    dsp: &Dsp,
+    r: &RefPicture,
+    mb_x: usize,
+    mb_y: usize,
+    mv: Mv,
+    luma: &mut [u8; 256],
+    cb: &mut [u8; 64],
+    cr: &mut [u8; 64],
+) {
+    let lx = (mb_x * 16) as isize + isize::from(mv.x >> 1);
+    let ly = (mb_y * 16) as isize + isize::from(mv.y >> 1);
+    let (fx, fy) = ((mv.x & 1) as u8, (mv.y & 1) as u8);
+    dsp.hpel_interp(luma, 16, r.y.row_from(lx, ly), r.y.stride(), fx, fy, 16, 16);
+    // Chroma vector: half the luma vector (floor), still in half-pel
+    // units of the chroma grid.
+    let cmx = mv.x >> 1;
+    let cmy = mv.y >> 1;
+    let cx = (mb_x * 8) as isize + isize::from(cmx >> 1);
+    let cy = (mb_y * 8) as isize + isize::from(cmy >> 1);
+    let (cfx, cfy) = ((cmx & 1) as u8, (cmy & 1) as u8);
+    dsp.hpel_interp(cb, 8, r.cb.row_from(cx, cy), r.cb.stride(), cfx, cfy, 8, 8);
+    dsp.hpel_interp(cr, 8, r.cr.row_from(cx, cy), r.cr.stride(), cfx, cfy, 8, 8);
+}
+
+fn replicate_into(src: &Plane, dst: &mut Plane) {
+    for y in 0..dst.height() {
+        let sy = y.min(src.height() - 1);
+        for x in 0..dst.width() {
+            let sx = x.min(src.width() - 1);
+            dst.set(x, y, src.get(sx, sy));
+        }
+    }
+}
+
+/// Expands `frame` to macroblock-aligned dimensions with edge
+/// replication.
+pub(crate) fn align_frame(frame: &Frame, aw: usize, ah: usize) -> Frame {
+    if frame.width() == aw && frame.height() == ah {
+        return frame.clone();
+    }
+    let mut out = Frame::new(aw, ah);
+    replicate_into(frame.y(), out.y_mut());
+    replicate_into(frame.cb(), out.cb_mut());
+    replicate_into(frame.cr(), out.cr_mut());
+    out
+}
+
+/// Crops an aligned frame back to picture dimensions.
+pub(crate) fn crop_frame(frame: &Frame, w: usize, h: usize) -> Frame {
+    if frame.width() == w && frame.height() == h {
+        return frame.clone();
+    }
+    let mut out = Frame::new(w, h);
+    replicate_into(frame.y(), out.y_mut());
+    replicate_into(frame.cb(), out.cb_mut());
+    replicate_into(frame.cr(), out.cr_mut());
+    out
+}
+
+/// Per-row entropy-coding state shared between encoder and decoder: DC
+/// predictors (in DC-level units) and motion-vector predictors.
+pub(crate) struct RowState {
+    pub dc_pred: [i32; 3],
+    pub mv_pred: Mv,
+    pub mv_pred_bwd: Mv,
+    /// Last prediction used, for B-skip repetition: (mode, fwd, bwd).
+    pub last_b: (u8, Mv, Mv),
+}
+
+impl RowState {
+    pub(crate) fn new() -> Self {
+        RowState {
+            dc_pred: [128; 3],
+            mv_pred: Mv::ZERO,
+            mv_pred_bwd: Mv::ZERO,
+            last_b: (0, Mv::ZERO, Mv::ZERO),
+        }
+    }
+
+    pub(crate) fn reset_mv(&mut self) {
+        self.mv_pred = Mv::ZERO;
+        self.mv_pred_bwd = Mv::ZERO;
+    }
+}
+
+/// The MPEG-2-class encoder.
+///
+/// Frames are submitted in display order via [`encode`](Self::encode);
+/// packets come back in coding order. Call [`flush`](Self::flush) after
+/// the last frame.
+pub struct Mpeg2Encoder {
+    config: EncoderConfig,
+    dsp: Dsp,
+    gop: GopScheduler,
+    aw: usize,
+    ah: usize,
+    mbs_x: usize,
+    mbs_y: usize,
+    /// Older anchor (forward reference for B pictures).
+    prev_anchor: Option<RefPicture>,
+    /// Newest anchor (reference for P; backward reference for B).
+    last_anchor: Option<RefPicture>,
+}
+
+impl Mpeg2Encoder {
+    /// Creates an encoder.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::BadConfig`] for invalid geometry or quantiser.
+    pub fn new(config: EncoderConfig) -> Result<Self, CodecError> {
+        config.validate()?;
+        let aw = align_up(config.width, 16);
+        let ah = align_up(config.height, 16);
+        Ok(Mpeg2Encoder {
+            config,
+            dsp: Dsp::new(config.simd),
+            gop: GopScheduler::new(config.b_frames, config.intra_period),
+            aw,
+            ah,
+            mbs_x: aw / 16,
+            mbs_y: ah / 16,
+            prev_anchor: None,
+            last_anchor: None,
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EncoderConfig {
+        &self.config
+    }
+
+    /// Submits the next display-order frame; returns zero or more coded
+    /// packets (coding order).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::FrameMismatch`] if the frame geometry differs from
+    /// the configuration.
+    pub fn encode(&mut self, frame: &Frame) -> Result<Vec<Packet>, CodecError> {
+        if frame.width() != self.config.width || frame.height() != self.config.height {
+            return Err(CodecError::FrameMismatch {
+                expected: (self.config.width, self.config.height),
+                actual: (frame.width(), frame.height()),
+            });
+        }
+        let scheduled = self.gop.push(frame.clone());
+        self.encode_scheduled(scheduled)
+    }
+
+    /// Flushes buffered frames at end of stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding errors (none in normal operation).
+    pub fn flush(&mut self) -> Result<Vec<Packet>, CodecError> {
+        let scheduled = self.gop.finish();
+        self.encode_scheduled(scheduled)
+    }
+
+    fn encode_scheduled(&mut self, scheduled: Vec<Scheduled>) -> Result<Vec<Packet>, CodecError> {
+        scheduled
+            .into_iter()
+            .map(|s| self.encode_picture(&s.frame, s.frame_type, s.display_index))
+            .collect()
+    }
+
+    fn encode_picture(
+        &mut self,
+        frame: &Frame,
+        frame_type: FrameType,
+        display_index: u32,
+    ) -> Result<Packet, CodecError> {
+        let cur = align_frame(frame, self.aw, self.ah);
+        let mut w = BitWriter::with_capacity(self.aw * self.ah / 4);
+        w.put_bits(MAGIC, 16);
+        w.put_bits(frame_type.to_bits(), 2);
+        w.put_bits(display_index, 32);
+        w.put_ue(self.config.width as u32);
+        w.put_ue(self.config.height as u32);
+        w.put_ue(u32::from(self.config.qscale));
+
+        let mut recon = Frame::new(self.aw, self.ah);
+        let mut mvs = MvField::new(self.mbs_x, self.mbs_y);
+        match frame_type {
+            FrameType::I => self.encode_i(&mut w, &cur, &mut recon),
+            FrameType::P => self.encode_p(&mut w, &cur, &mut recon, &mut mvs),
+            FrameType::B => self.encode_b(&mut w, &cur, &mut recon),
+        }
+
+        if frame_type != FrameType::B {
+            let reference = RefPicture::from_frame(&recon, mvs);
+            self.prev_anchor = self.last_anchor.take();
+            self.last_anchor = Some(reference);
+        }
+        Ok(Packet {
+            data: w.finish(),
+            frame_type,
+            display_index,
+        })
+    }
+
+    // ----------------------------------------------------------- intra --
+
+    fn encode_i(&self, w: &mut BitWriter, cur: &Frame, recon: &mut Frame) {
+        for mby in 0..self.mbs_y {
+            let mut row = RowState::new();
+            for mbx in 0..self.mbs_x {
+                self.code_intra_mb(w, cur, recon, mbx, mby, &mut row.dc_pred);
+            }
+            w.byte_align();
+        }
+    }
+
+    /// Codes one intra macroblock and reconstructs it.
+    fn code_intra_mb(
+        &self,
+        w: &mut BitWriter,
+        cur: &Frame,
+        recon: &mut Frame,
+        mbx: usize,
+        mby: usize,
+        dc_pred: &mut [i32; 3],
+    ) {
+        for b in 0..6 {
+            let (plane, rplane, comp, bx, by) = block_geometry(cur, recon, mbx, mby, b);
+            let mut block = load_block(plane, bx, by);
+            self.dsp.fdct8(&mut block);
+            let dc_level = (i32::from(block[0]) + 4) >> 3;
+            let dc_level = dc_level.clamp(0, 255);
+            w.put_se(dc_level - dc_pred[comp]);
+            dc_pred[comp] = dc_level;
+            block[0] = 0;
+            self.dsp
+                .quant8(&mut block, &MPEG_DEFAULT_INTRA, self.config.qscale, true);
+            write_coeffs(w, &block, 1);
+            // Reconstruction (must mirror the decoder exactly).
+            self.dsp
+                .dequant8(&mut block, &MPEG_DEFAULT_INTRA, self.config.qscale, true);
+            block[0] = (dc_level * 8) as i16;
+            self.dsp.idct8(&mut block);
+            store_block_clamped(rplane, bx, by, &block);
+        }
+    }
+
+    // ------------------------------------------------------------ inter --
+
+    fn encode_p(&self, w: &mut BitWriter, cur: &Frame, recon: &mut Frame, mvs: &mut MvField) {
+        let reference = self
+            .last_anchor
+            .as_ref()
+            .expect("P picture requires a previous anchor");
+        let lambda = u32::from(self.config.qscale).max(1);
+        for mby in 0..self.mbs_y {
+            let mut row = RowState::new();
+            for mbx in 0..self.mbs_x {
+                // Full-pel EPZS (paper Section IV) with temporal
+                // predictors from the reference's own motion field.
+                let preds = Predictors::gather(mvs, &reference.mvs, mbx, mby);
+                let block = BlockRef {
+                    plane: cur.y(),
+                    x: mbx * 16,
+                    y: mby * 16,
+                    w: 16,
+                    h: 16,
+                };
+                let fullpel = epzs_search(
+                    &self.dsp,
+                    block,
+                    &reference.y,
+                    &preds,
+                    &EpzsThresholds::default(),
+                    &SearchParams::new(self.config.search_range, lambda)
+                        .with_pred(Mv::new(row.mv_pred.x >> 1, row.mv_pred.y >> 1)),
+                );
+                // Half-pel refinement against the coding predictor.
+                let hpel_pred = row.mv_pred;
+                let mut luma_pred = [0u8; 256];
+                let mut cost_at = |mv: Mv| {
+                    self.mb_luma_pred_sad(cur, reference, mbx, mby, mv, &mut luma_pred)
+                        + lambda * mv_bits(mv, hpel_pred)
+                };
+                let center = fullpel.mv.scaled(2);
+                let (mv, inter_cost) =
+                    subpel_refine(center, cost_at(center), SubpelStep::Half, &mut cost_at);
+                mvs.set(mbx, mby, Mv::new(mv.x >> 1, mv.y >> 1));
+
+                // Intra/inter decision: mean-removed SAD as intra
+                // activity, biased toward inter.
+                let intra_cost = self.mb_intra_activity(cur, mbx, mby);
+                if intra_cost + 2048 < inter_cost {
+                    w.put_bit(false); // not skipped
+                    w.put_bit(true); // intra
+                    self.code_intra_mb(w, cur, recon, mbx, mby, &mut row.dc_pred);
+                    row.reset_mv();
+                    continue;
+                }
+
+                // Build the full prediction and quantise the residual.
+                let (mut py, mut pcb, mut pcr) = ([0u8; 256], [0u8; 64], [0u8; 64]);
+                predict_mb(&self.dsp, reference, mbx, mby, mv, &mut py, &mut pcb, &mut pcr);
+                let (blocks, cbp) = self.transform_mb(cur, mbx, mby, &py, &pcb, &pcr);
+
+                if mv == Mv::ZERO && cbp == 0 {
+                    w.put_bit(true); // skip: zero vector, no residual
+                    reconstruct_inter(&self.dsp, recon, mbx, mby, &py, &pcb, &pcr, &blocks, 0, self.config.qscale);
+                    row.dc_pred = [128; 3];
+                    row.reset_mv();
+                    continue;
+                }
+                w.put_bit(false);
+                w.put_bit(false); // inter
+                w.put_se(i32::from(mv.x - row.mv_pred.x));
+                w.put_se(i32::from(mv.y - row.mv_pred.y));
+                row.mv_pred = mv;
+                w.put_bits(u32::from(cbp), 6);
+                for (i, b) in blocks.iter().enumerate() {
+                    if cbp & (1 << (5 - i)) != 0 {
+                        write_coeffs(w, b, 0);
+                    }
+                }
+                reconstruct_inter(&self.dsp, recon, mbx, mby, &py, &pcb, &pcr, &blocks, cbp, self.config.qscale);
+                row.dc_pred = [128; 3];
+            }
+            w.byte_align();
+        }
+    }
+
+    fn encode_b(&self, w: &mut BitWriter, cur: &Frame, recon: &mut Frame) {
+        let fwd = self
+            .prev_anchor
+            .as_ref()
+            .expect("B picture requires two anchors");
+        let bwd = self
+            .last_anchor
+            .as_ref()
+            .expect("B picture requires two anchors");
+        let lambda = u32::from(self.config.qscale).max(1);
+        let mut cur_mvs = MvField::new(self.mbs_x, self.mbs_y);
+        for mby in 0..self.mbs_y {
+            let mut row = RowState::new();
+            for mbx in 0..self.mbs_x {
+                let block = BlockRef {
+                    plane: cur.y(),
+                    x: mbx * 16,
+                    y: mby * 16,
+                    w: 16,
+                    h: 16,
+                };
+                // Forward and backward searches (EPZS, spatial predictors
+                // from this frame's forward field plus collocated from the
+                // backward anchor's field).
+                let preds = Predictors::gather(&cur_mvs, &bwd.mvs, mbx, mby);
+                let params = SearchParams::new(self.config.search_range, lambda)
+                    .with_pred(Mv::new(row.mv_pred.x >> 1, row.mv_pred.y >> 1));
+                let f = epzs_search(&self.dsp, block, &fwd.y, &preds, &EpzsThresholds::default(), &params);
+                let params_b = SearchParams::new(self.config.search_range, lambda)
+                    .with_pred(Mv::new(row.mv_pred_bwd.x >> 1, row.mv_pred_bwd.y >> 1));
+                let b = epzs_search(&self.dsp, block, &bwd.y, &preds, &EpzsThresholds::default(), &params_b);
+                cur_mvs.set(mbx, mby, f.mv);
+
+                // Half-pel refinement per direction.
+                let mut tmp = [0u8; 256];
+                let fwd_pred_mv = row.mv_pred;
+                let mut cost_f = |mv: Mv| {
+                    self.mb_luma_pred_sad(cur, fwd, mbx, mby, mv, &mut tmp)
+                        + lambda * mv_bits(mv, fwd_pred_mv)
+                };
+                let fc = f.mv.scaled(2);
+                let (mv_f, cost_fh) = subpel_refine(fc, cost_f(fc), SubpelStep::Half, &mut cost_f);
+                let bwd_pred_mv = row.mv_pred_bwd;
+                let mut tmp2 = [0u8; 256];
+                let mut cost_b = |mv: Mv| {
+                    self.mb_luma_pred_sad(cur, bwd, mbx, mby, mv, &mut tmp2)
+                        + lambda * mv_bits(mv, bwd_pred_mv)
+                };
+                let bc = b.mv.scaled(2);
+                let (mv_b, cost_bh) = subpel_refine(bc, cost_b(bc), SubpelStep::Half, &mut cost_b);
+
+                // Bi-prediction cost with both refined vectors.
+                let (mut fy_buf, mut by_buf) = ([0u8; 256], [0u8; 256]);
+                let mut pcb = [0u8; 64];
+                let mut pcr = [0u8; 64];
+                predict_mb(&self.dsp, fwd, mbx, mby, mv_f, &mut fy_buf, &mut pcb, &mut pcr);
+                predict_mb(&self.dsp, bwd, mbx, mby, mv_b, &mut by_buf, &mut pcb, &mut pcr);
+                let mut bi_buf = [0u8; 256];
+                self.dsp.avg_block(&mut bi_buf, 16, &fy_buf, 16, &by_buf, 16, 16, 16);
+                let cur_y = &cur.y().data()[mby * 16 * self.aw + mbx * 16..];
+                let bi_sad = self.dsp.sad(cur_y, self.aw, &bi_buf, 16, 16, 16);
+                let bi_cost = bi_sad
+                    + lambda * (mv_bits(mv_f, fwd_pred_mv) + mv_bits(mv_b, bwd_pred_mv));
+
+                let intra_cost = self.mb_intra_activity(cur, mbx, mby);
+                let best = [cost_fh, cost_bh, bi_cost]
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .min_by_key(|&(_, c)| c)
+                    .map(|(i, c)| (i as u8, c))
+                    .unwrap_or((0, u32::MAX));
+                if intra_cost + 2048 < best.1 {
+                    w.put_bit(false);
+                    w.put_bits(3, 2); // intra mode
+                    self.code_intra_mb(w, cur, recon, mbx, mby, &mut row.dc_pred);
+                    row.reset_mv();
+                    continue;
+                }
+                let (mode, _) = best;
+                // Assemble the chosen prediction.
+                let (mut py, mut pcb, mut pcr) = ([0u8; 256], [0u8; 64], [0u8; 64]);
+                build_b_prediction(
+                    &self.dsp, fwd, bwd, mbx, mby, mode, mv_f, mv_b, &mut py, &mut pcb, &mut pcr,
+                );
+                let (blocks, cbp) = self.transform_mb(cur, mbx, mby, &py, &pcb, &pcr);
+
+                let same_as_last = (mode, mv_f, mv_b) == row.last_b
+                    || (mode == 0 && row.last_b.0 == 0 && mv_f == row.last_b.1)
+                    || (mode == 1 && row.last_b.0 == 1 && mv_b == row.last_b.2);
+                if cbp == 0 && same_as_last {
+                    w.put_bit(true); // B-skip: repeat previous prediction
+                    reconstruct_inter(&self.dsp, recon, mbx, mby, &py, &pcb, &pcr, &blocks, 0, self.config.qscale);
+                    continue;
+                }
+                w.put_bit(false);
+                w.put_bits(u32::from(mode), 2);
+                if mode == 0 || mode == 2 {
+                    w.put_se(i32::from(mv_f.x - row.mv_pred.x));
+                    w.put_se(i32::from(mv_f.y - row.mv_pred.y));
+                    row.mv_pred = mv_f;
+                }
+                if mode == 1 || mode == 2 {
+                    w.put_se(i32::from(mv_b.x - row.mv_pred_bwd.x));
+                    w.put_se(i32::from(mv_b.y - row.mv_pred_bwd.y));
+                    row.mv_pred_bwd = mv_b;
+                }
+                row.last_b = (mode, mv_f, mv_b);
+                w.put_bits(u32::from(cbp), 6);
+                for (i, bl) in blocks.iter().enumerate() {
+                    if cbp & (1 << (5 - i)) != 0 {
+                        write_coeffs(w, bl, 0);
+                    }
+                }
+                reconstruct_inter(&self.dsp, recon, mbx, mby, &py, &pcb, &pcr, &blocks, cbp, self.config.qscale);
+                row.dc_pred = [128; 3];
+            }
+            w.byte_align();
+        }
+    }
+
+    /// SAD of the luma prediction at half-pel vector `mv` for macroblock
+    /// `(mbx, mby)`.
+    fn mb_luma_pred_sad(
+        &self,
+        cur: &Frame,
+        r: &RefPicture,
+        mbx: usize,
+        mby: usize,
+        mv: Mv,
+        tmp: &mut [u8; 256],
+    ) -> u32 {
+        let lx = (mbx * 16) as isize + isize::from(mv.x >> 1);
+        let ly = (mby * 16) as isize + isize::from(mv.y >> 1);
+        self.dsp.hpel_interp(
+            tmp,
+            16,
+            r.y.row_from(lx, ly),
+            r.y.stride(),
+            (mv.x & 1) as u8,
+            (mv.y & 1) as u8,
+            16,
+            16,
+        );
+        let cur_y = &cur.y().data()[mby * 16 * self.aw + mbx * 16..];
+        self.dsp.sad(cur_y, self.aw, tmp, 16, 16, 16)
+    }
+
+    /// Mean-removed SAD of the luma macroblock — the intra-cost estimate.
+    fn mb_intra_activity(&self, cur: &Frame, mbx: usize, mby: usize) -> u32 {
+        let data = cur.y().data();
+        let base = mby * 16 * self.aw + mbx * 16;
+        let mut sum = 0u32;
+        for y in 0..16 {
+            for x in 0..16 {
+                sum += u32::from(data[base + y * self.aw + x]);
+            }
+        }
+        let mean = (sum / 256) as i32;
+        let mut act = 0u32;
+        for y in 0..16 {
+            for x in 0..16 {
+                act += (i32::from(data[base + y * self.aw + x]) - mean).unsigned_abs();
+            }
+        }
+        act
+    }
+
+    /// Transforms and quantises the six residual blocks of one
+    /// macroblock; returns the blocks and the coded-block pattern.
+    fn transform_mb(
+        &self,
+        cur: &Frame,
+        mbx: usize,
+        mby: usize,
+        py: &[u8; 256],
+        pcb: &[u8; 64],
+        pcr: &[u8; 64],
+    ) -> ([Block8; 6], u8) {
+        let mut blocks = [[0i16; 64]; 6];
+        let mut cbp = 0u8;
+        for b in 0..6 {
+            let (cur_slice, cur_stride, pred_slice, pred_stride) =
+                residual_geometry(cur, mbx, mby, b, py, pcb, pcr);
+            let mut block = [0i16; 64];
+            self.dsp
+                .diff_block8(&mut block, cur_slice, cur_stride, pred_slice, pred_stride);
+            self.dsp.fdct8(&mut block);
+            let nz = self
+                .dsp
+                .quant8(&mut block, &MPEG_DEFAULT_NONINTRA, self.config.qscale, false);
+            if nz > 0 {
+                cbp |= 1 << (5 - b);
+            }
+            blocks[b] = block;
+        }
+        (blocks, cbp)
+    }
+}
+
+/// Geometry of coded block `b` (0–3 luma, 4 Cb, 5 Cr) inside a
+/// macroblock: returns source plane, recon plane, DC component index and
+/// block pixel origin.
+fn block_geometry<'a>(
+    cur: &'a Frame,
+    recon: &'a mut Frame,
+    mbx: usize,
+    mby: usize,
+    b: usize,
+) -> (&'a Plane, &'a mut Plane, usize, usize, usize) {
+    match b {
+        0..=3 => {
+            let bx = mbx * 16 + (b % 2) * 8;
+            let by = mby * 16 + (b / 2) * 8;
+            (cur.y(), recon.y_mut(), 0, bx, by)
+        }
+        4 => (cur.cb(), recon.cb_mut(), 1, mbx * 8, mby * 8),
+        _ => (cur.cr(), recon.cr_mut(), 2, mbx * 8, mby * 8),
+    }
+}
+
+/// Residual geometry: current-frame slice and prediction slice for block
+/// `b` of a macroblock.
+fn residual_geometry<'a>(
+    cur: &'a Frame,
+    mbx: usize,
+    mby: usize,
+    b: usize,
+    py: &'a [u8; 256],
+    pcb: &'a [u8; 64],
+    pcr: &'a [u8; 64],
+) -> (&'a [u8], usize, &'a [u8], usize) {
+    let aw = cur.width();
+    match b {
+        0..=3 => {
+            let bx = mbx * 16 + (b % 2) * 8;
+            let by = mby * 16 + (b / 2) * 8;
+            (
+                &cur.y().data()[by * aw + bx..],
+                aw,
+                &py[(b / 2) * 8 * 16 + (b % 2) * 8..],
+                16,
+            )
+        }
+        4 => (
+            &cur.cb().data()[mby * 8 * (aw / 2) + mbx * 8..],
+            aw / 2,
+            &pcb[..],
+            8,
+        ),
+        _ => (
+            &cur.cr().data()[mby * 8 * (aw / 2) + mbx * 8..],
+            aw / 2,
+            &pcr[..],
+            8,
+        ),
+    }
+}
+
+/// Loads an 8×8 pixel block as i16.
+pub(crate) fn load_block(plane: &Plane, bx: usize, by: usize) -> Block8 {
+    let mut out = [0i16; 64];
+    for y in 0..8 {
+        for x in 0..8 {
+            out[y * 8 + x] = i16::from(plane.get(bx + x, by + y));
+        }
+    }
+    out
+}
+
+/// Stores an 8×8 i16 block, clamping to pixel range.
+pub(crate) fn store_block_clamped(plane: &mut Plane, bx: usize, by: usize, block: &Block8) {
+    for y in 0..8 {
+        for x in 0..8 {
+            plane.set(bx + x, by + y, block[y * 8 + x].clamp(0, 255) as u8);
+        }
+    }
+}
+
+/// Builds the B prediction for `mode` (0 fwd, 1 bwd, 2 bi).
+pub(crate) fn build_b_prediction(
+    dsp: &Dsp,
+    fwd: &RefPicture,
+    bwd: &RefPicture,
+    mbx: usize,
+    mby: usize,
+    mode: u8,
+    mv_f: Mv,
+    mv_b: Mv,
+    py: &mut [u8; 256],
+    pcb: &mut [u8; 64],
+    pcr: &mut [u8; 64],
+) {
+    match mode {
+        0 => predict_mb(dsp, fwd, mbx, mby, mv_f, py, pcb, pcr),
+        1 => predict_mb(dsp, bwd, mbx, mby, mv_b, py, pcb, pcr),
+        _ => {
+            let (mut fy, mut fcb, mut fcr) = ([0u8; 256], [0u8; 64], [0u8; 64]);
+            let (mut by, mut bcb, mut bcr) = ([0u8; 256], [0u8; 64], [0u8; 64]);
+            predict_mb(dsp, fwd, mbx, mby, mv_f, &mut fy, &mut fcb, &mut fcr);
+            predict_mb(dsp, bwd, mbx, mby, mv_b, &mut by, &mut bcb, &mut bcr);
+            dsp.avg_block(py, 16, &fy, 16, &by, 16, 16, 16);
+            dsp.avg_block(pcb, 8, &fcb, 8, &bcb, 8, 8, 8);
+            dsp.avg_block(pcr, 8, &fcr, 8, &bcr, 8, 8, 8);
+        }
+    }
+}
+
+/// Adds the dequantised residual blocks onto the prediction and stores
+/// the macroblock into `recon`. Blocks whose cbp bit is clear contribute
+/// pure prediction. Shared with the decoder.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn reconstruct_inter(
+    dsp: &Dsp,
+    recon: &mut Frame,
+    mbx: usize,
+    mby: usize,
+    py: &[u8; 256],
+    pcb: &[u8; 64],
+    pcr: &[u8; 64],
+    blocks: &[Block8; 6],
+    cbp: u8,
+    qscale: u16,
+) {
+    let aw = recon.width();
+    for b in 0..6 {
+        let coded = cbp & (1 << (5 - b)) != 0;
+        let (pred_slice, pred_stride): (&[u8], usize) = match b {
+            0..=3 => (&py[(b / 2) * 8 * 16 + (b % 2) * 8..], 16),
+            4 => (&pcb[..], 8),
+            _ => (&pcr[..], 8),
+        };
+        let (plane, bx, by) = match b {
+            0..=3 => (
+                recon.y_mut(),
+                mbx * 16 + (b % 2) * 8,
+                mby * 16 + (b / 2) * 8,
+            ),
+            4 => (recon.cb_mut(), mbx * 8, mby * 8),
+            _ => (recon.cr_mut(), mbx * 8, mby * 8),
+        };
+        if coded {
+            let mut res = blocks[b];
+            dsp.dequant8(&mut res, &MPEG_DEFAULT_NONINTRA, qscale, false);
+            dsp.idct8(&mut res);
+            let stride = plane.stride();
+            let base = by * stride + bx;
+            dsp.add_residual8(&mut plane.data_mut()[base..], stride, pred_slice, pred_stride, &res);
+        } else {
+            let stride = plane.stride();
+            let base = by * stride + bx;
+            dsp.copy_block(&mut plane.data_mut()[base..], stride, pred_slice, pred_stride, 8, 8);
+        }
+        let _ = aw;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdvb_dsp::SimdLevel;
+
+    fn textured_frame(w: usize, h: usize, phase: f64) -> Frame {
+        let mut f = Frame::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                let v = 128.0
+                    + 55.0 * ((x as f64 + phase) * 0.2 + y as f64 * 0.1).sin()
+                    + 40.0 * (y as f64 * 0.15 - (x as f64 + phase) * 0.05).cos();
+                f.y_mut().set(x, y, v.clamp(0.0, 255.0) as u8);
+            }
+        }
+        for y in 0..h / 2 {
+            for x in 0..w / 2 {
+                f.cb_mut().set(x, y, 120 + ((x + y) % 16) as u8);
+                f.cr_mut().set(x, y, 130 - ((x * 2 + y) % 16) as u8);
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn first_packet_is_intra() {
+        let mut enc = Mpeg2Encoder::new(EncoderConfig::new(64, 48)).unwrap();
+        let packets = enc.encode(&textured_frame(64, 48, 0.0)).unwrap();
+        assert_eq!(packets.len(), 1);
+        assert_eq!(packets[0].frame_type, FrameType::I);
+        assert_eq!(packets[0].display_index, 0);
+        assert!(!packets[0].data.is_empty());
+    }
+
+    #[test]
+    fn gop_pattern_in_packet_stream() {
+        let mut enc = Mpeg2Encoder::new(EncoderConfig::new(64, 48)).unwrap();
+        let mut all = Vec::new();
+        for i in 0..7 {
+            all.extend(enc.encode(&textured_frame(64, 48, i as f64)).unwrap());
+        }
+        all.extend(enc.flush().unwrap());
+        let types: Vec<FrameType> = all.iter().map(|p| p.frame_type).collect();
+        assert_eq!(
+            types,
+            vec![
+                FrameType::I,
+                FrameType::P,
+                FrameType::B,
+                FrameType::B,
+                FrameType::P,
+                FrameType::B,
+                FrameType::B
+            ]
+        );
+        let display: Vec<u32> = all.iter().map(|p| p.display_index).collect();
+        assert_eq!(display, vec![0, 3, 1, 2, 6, 4, 5]);
+    }
+
+    #[test]
+    fn higher_qscale_produces_fewer_bits() {
+        let frame = textured_frame(64, 48, 0.0);
+        let bits = |q: u16| {
+            let mut enc =
+                Mpeg2Encoder::new(EncoderConfig::new(64, 48).with_qscale(q)).unwrap();
+            let p = enc.encode(&frame).unwrap();
+            p[0].bits()
+        };
+        assert!(bits(20) < bits(2), "{} !< {}", bits(20), bits(2));
+    }
+
+    #[test]
+    fn wrong_frame_size_is_rejected() {
+        let mut enc = Mpeg2Encoder::new(EncoderConfig::new(64, 48)).unwrap();
+        assert!(matches!(
+            enc.encode(&Frame::new(32, 32)),
+            Err(CodecError::FrameMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn scalar_and_simd_encoders_produce_identical_streams() {
+        let mut scalar = Mpeg2Encoder::new(
+            EncoderConfig::new(64, 48).with_simd(SimdLevel::Scalar),
+        )
+        .unwrap();
+        let mut simd =
+            Mpeg2Encoder::new(EncoderConfig::new(64, 48).with_simd(SimdLevel::Sse2)).unwrap();
+        for i in 0..5 {
+            let f = textured_frame(64, 48, i as f64 * 1.7);
+            let a = scalar.encode(&f).unwrap();
+            let b = simd.encode(&f).unwrap();
+            assert_eq!(a, b, "frame {i}");
+        }
+        assert_eq!(scalar.flush().unwrap(), simd.flush().unwrap());
+    }
+
+    #[test]
+    fn static_scene_p_frames_are_tiny() {
+        let mut enc = Mpeg2Encoder::new(EncoderConfig::new(64, 48).with_b_frames(0)).unwrap();
+        let f = textured_frame(64, 48, 0.0);
+        let i_bits = enc.encode(&f).unwrap()[0].bits();
+        let p_bits = enc.encode(&f).unwrap()[0].bits();
+        // An identical frame codes as skips plus small refinements of the
+        // lossy I reconstruction.
+        assert!(p_bits * 5 < i_bits, "P {p_bits} vs I {i_bits}");
+    }
+
+    #[test]
+    fn align_and_crop_are_inverse() {
+        let f = textured_frame(60, 44, 0.0);
+        let aligned = align_frame(&f, 64, 48);
+        assert_eq!(aligned.width(), 64);
+        let back = crop_frame(&aligned, 60, 44);
+        assert_eq!(back, f);
+    }
+}

@@ -1,0 +1,102 @@
+//! Entropy-coding tables: the zigzag scan and the run-level VLC.
+
+use hdvb_bits::VlcTable;
+use std::sync::OnceLock;
+
+/// The classic 8×8 zigzag scan order.
+pub(crate) const ZIGZAG: [usize; 64] = [
+    0, 1, 8, 16, 9, 2, 3, 10, //
+    17, 24, 32, 25, 18, 11, 4, 5, //
+    12, 19, 26, 33, 40, 48, 41, 34, //
+    27, 20, 13, 6, 7, 14, 21, 28, //
+    35, 42, 49, 56, 57, 50, 43, 36, //
+    29, 22, 15, 23, 30, 37, 44, 51, //
+    58, 59, 52, 45, 38, 31, 39, 46, //
+    53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// Symbol index of the end-of-block marker.
+pub(crate) const SYM_EOB: u32 = 0;
+/// Symbol index of the escape marker (arbitrary run/level follows).
+pub(crate) const SYM_ESCAPE: u32 = 31;
+/// Run range covered by the table (0..=MAX_RUN).
+pub(crate) const MAX_RUN: u32 = 4;
+/// Level magnitude range covered by the table (1..=MAX_LEVEL).
+pub(crate) const MAX_LEVEL: u32 = 6;
+
+/// Symbol for a (run, |level|) pair inside the table range.
+pub(crate) fn pair_symbol(run: u32, level_abs: u32) -> u32 {
+    debug_assert!(run <= MAX_RUN && (1..=MAX_LEVEL).contains(&level_abs));
+    1 + run * MAX_LEVEL + (level_abs - 1)
+}
+
+/// Decomposes a pair symbol back into (run, |level|).
+pub(crate) fn symbol_pair(symbol: u32) -> (u32, u32) {
+    debug_assert!((1..SYM_ESCAPE).contains(&symbol));
+    let idx = symbol - 1;
+    (idx / MAX_LEVEL, idx % MAX_LEVEL + 1)
+}
+
+/// Code lengths mirroring the statistics of MPEG-2's table B.14: short
+/// codes for EOB and small run/level events, six-bit escape.
+const COEF_LENGTHS: [u8; 32] = [
+    2, // EOB
+    2, 4, 5, 6, 7, 8, // run 0, |level| 1..=6
+    3, 6, 8, 9, 10, 10, // run 1
+    4, 7, 9, 10, 11, 11, // run 2
+    5, 8, 10, 11, 12, 12, // run 3
+    6, 9, 11, 12, 13, 13, // run 4
+    6, // ESCAPE
+];
+
+/// The shared run-level table (canonical code built once).
+pub(crate) fn coef_table() -> &'static VlcTable {
+    static TABLE: OnceLock<VlcTable> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        VlcTable::from_lengths("mpeg2-coef", &COEF_LENGTHS)
+            .expect("static table lengths are valid")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let mut seen = [false; 64];
+        for &i in &ZIGZAG {
+            assert!(!seen[i], "duplicate {i}");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn zigzag_starts_at_dc_and_walks_antidiagonals() {
+        assert_eq!(ZIGZAG[0], 0);
+        assert_eq!(ZIGZAG[1], 1);
+        assert_eq!(ZIGZAG[2], 8);
+        assert_eq!(ZIGZAG[63], 63);
+    }
+
+    #[test]
+    fn pair_symbols_roundtrip() {
+        for run in 0..=MAX_RUN {
+            for level in 1..=MAX_LEVEL {
+                let s = pair_symbol(run, level);
+                assert!(s >= 1 && s < SYM_ESCAPE);
+                assert_eq!(symbol_pair(s), (run, level));
+            }
+        }
+    }
+
+    #[test]
+    fn table_builds_and_eob_is_short() {
+        let t = coef_table();
+        assert_eq!(t.len(), 32);
+        assert_eq!(t.code_len(SYM_EOB), 2);
+        assert_eq!(t.code_len(pair_symbol(0, 1)), 2);
+        assert_eq!(t.code_len(SYM_ESCAPE), 6);
+    }
+}

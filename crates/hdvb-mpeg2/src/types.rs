@@ -1,0 +1,230 @@
+use hdvb_dsp::SimdLevel;
+use std::fmt;
+
+/// Picture coding type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FrameType {
+    /// Intra-coded picture (no prediction).
+    I,
+    /// Forward-predicted picture.
+    P,
+    /// Bidirectionally predicted picture (never used as a reference).
+    B,
+}
+
+impl FrameType {
+    pub(crate) fn to_bits(self) -> u32 {
+        match self {
+            FrameType::I => 0,
+            FrameType::P => 1,
+            FrameType::B => 2,
+        }
+    }
+
+    pub(crate) fn from_bits(v: u32) -> Option<FrameType> {
+        match v {
+            0 => Some(FrameType::I),
+            1 => Some(FrameType::P),
+            2 => Some(FrameType::B),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for FrameType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FrameType::I => "I",
+            FrameType::P => "P",
+            FrameType::B => "B",
+        })
+    }
+}
+
+/// One coded picture produced by the encoder.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Packet {
+    /// The serialised picture, self-contained and decodable in stream
+    /// order.
+    pub data: Vec<u8>,
+    /// Picture type.
+    pub frame_type: FrameType,
+    /// Index of the picture in *display* order.
+    pub display_index: u32,
+}
+
+impl Packet {
+    /// Coded size in bits (the unit Table V's bitrates are computed
+    /// from).
+    pub fn bits(&self) -> u64 {
+        self.data.len() as u64 * 8
+    }
+}
+
+/// Encoder configuration.
+///
+/// Defaults follow the paper's coding options (Section IV): constant
+/// quantiser, two B frames between anchors, only the first picture intra,
+/// EPZS motion search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EncoderConfig {
+    /// Picture width in pixels (even, ≥ 16).
+    pub width: usize,
+    /// Picture height in pixels (even, ≥ 16).
+    pub height: usize,
+    /// Constant quantiser scale, 1..=62 (the paper uses `vqscale=5`).
+    pub qscale: u16,
+    /// Number of B pictures between anchors (paper: 2, fixed placement).
+    pub b_frames: u8,
+    /// Insert an I picture every `n` anchors; `None` = only the first
+    /// picture is intra (the paper's setting).
+    pub intra_period: Option<u32>,
+    /// Motion search range in full pels.
+    pub search_range: u16,
+    /// Kernel dispatch level (the Figure-1 scalar/SIMD axis).
+    pub simd: SimdLevel,
+}
+
+impl EncoderConfig {
+    /// Creates a configuration with the paper's default coding options.
+    pub fn new(width: usize, height: usize) -> Self {
+        EncoderConfig {
+            width,
+            height,
+            qscale: 5,
+            b_frames: 2,
+            intra_period: None,
+            search_range: 24,
+            simd: SimdLevel::detect(),
+        }
+    }
+
+    /// Sets the quantiser scale.
+    pub fn with_qscale(mut self, qscale: u16) -> Self {
+        self.qscale = qscale;
+        self
+    }
+
+    /// Sets the number of B frames between anchors.
+    pub fn with_b_frames(mut self, b: u8) -> Self {
+        self.b_frames = b;
+        self
+    }
+
+    /// Sets the SIMD dispatch level.
+    pub fn with_simd(mut self, simd: SimdLevel) -> Self {
+        self.simd = simd;
+        self
+    }
+
+    /// Sets the motion search range.
+    pub fn with_search_range(mut self, range: u16) -> Self {
+        self.search_range = range;
+        self
+    }
+
+    /// Sets the periodic intra interval.
+    pub fn with_intra_period(mut self, period: Option<u32>) -> Self {
+        self.intra_period = period;
+        self
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), CodecError> {
+        if self.width < 16
+            || self.height < 16
+            || self.width % 2 != 0
+            || self.height % 2 != 0
+            || self.width > 16384
+            || self.height > 16384
+        {
+            return Err(CodecError::BadConfig(
+                "dimensions must be even, between 16 and 16384",
+            ));
+        }
+        if self.qscale == 0 || self.qscale > 62 {
+            return Err(CodecError::BadConfig("qscale must be in 1..=62"));
+        }
+        if self.b_frames > 4 {
+            return Err(CodecError::BadConfig("at most 4 b-frames supported"));
+        }
+        Ok(())
+    }
+}
+
+/// Errors from encoding or decoding.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// Invalid encoder configuration.
+    BadConfig(&'static str),
+    /// A frame did not match the configured geometry.
+    FrameMismatch {
+        /// Expected dimensions.
+        expected: (usize, usize),
+        /// Received dimensions.
+        actual: (usize, usize),
+    },
+    /// The bitstream is malformed or truncated.
+    InvalidBitstream(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::BadConfig(msg) => write!(f, "bad encoder configuration: {msg}"),
+            CodecError::FrameMismatch { expected, actual } => write!(
+                f,
+                "frame is {}x{} but encoder is configured for {}x{}",
+                actual.0, actual.1, expected.0, expected.1
+            ),
+            CodecError::InvalidBitstream(msg) => write!(f, "invalid bitstream: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<hdvb_bits::BitsError> for CodecError {
+    fn from(e: hdvb_bits::BitsError) -> Self {
+        CodecError::InvalidBitstream(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_type_bits_roundtrip() {
+        for t in [FrameType::I, FrameType::P, FrameType::B] {
+            assert_eq!(FrameType::from_bits(t.to_bits()), Some(t));
+        }
+        assert_eq!(FrameType::from_bits(3), None);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(EncoderConfig::new(64, 48).validate().is_ok());
+        assert!(EncoderConfig::new(15, 48).validate().is_err());
+        assert!(EncoderConfig::new(64, 47).validate().is_err());
+        assert!(EncoderConfig::new(64, 48).with_qscale(0).validate().is_err());
+        assert!(EncoderConfig::new(64, 48).with_qscale(63).validate().is_err());
+        assert!(EncoderConfig::new(64, 48).with_b_frames(5).validate().is_err());
+    }
+
+    #[test]
+    fn packet_bits() {
+        let p = Packet {
+            data: vec![0; 10],
+            frame_type: FrameType::I,
+            display_index: 0,
+        };
+        assert_eq!(p.bits(), 80);
+    }
+
+    #[test]
+    fn errors_are_send_sync_error() {
+        fn check<T: std::error::Error + Send + Sync>() {}
+        check::<CodecError>();
+    }
+}

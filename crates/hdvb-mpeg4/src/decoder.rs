@@ -1,0 +1,528 @@
+use crate::blocks::read_coeffs;
+use crate::encoder::{
+    build_b_prediction, crop_frame, dc_coords, direct_mvs, median_pred, predict_mb,
+    reconstruct_inter, store_block_clamped, BRowState, DcStores, RefPicture, MAGIC,
+};
+use crate::types::{CodecError, FrameType};
+use hdvb_bits::BitReader;
+use hdvb_dsp::{Dsp, SimdLevel, MPEG_DEFAULT_INTRA};
+use hdvb_frame::{align_up, Frame};
+use hdvb_me::{Mv, MvField};
+
+/// The MPEG-4-ASP-class decoder (mirror of
+/// [`Mpeg4Encoder`](crate::Mpeg4Encoder)).
+pub struct Mpeg4Decoder {
+    dsp: Dsp,
+    prev_anchor: Option<RefPicture>,
+    last_anchor: Option<RefPicture>,
+    pending: Option<Frame>,
+}
+
+impl Default for Mpeg4Decoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Mpeg4Decoder {
+    /// Creates a decoder at the CPU's best SIMD level.
+    pub fn new() -> Self {
+        Self::with_simd(SimdLevel::detect())
+    }
+
+    /// Creates a decoder at an explicit SIMD level.
+    pub fn with_simd(simd: SimdLevel) -> Self {
+        Mpeg4Decoder {
+            dsp: Dsp::new(simd),
+            prev_anchor: None,
+            last_anchor: None,
+            pending: None,
+        }
+    }
+
+    /// Decodes one packet; returns display-order frames.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::InvalidBitstream`] on malformed input.
+    pub fn decode(&mut self, data: &[u8]) -> Result<Vec<Frame>, CodecError> {
+        let mut r = BitReader::new(data);
+        if r.get_bits(16)? != MAGIC {
+            return Err(CodecError::InvalidBitstream("bad picture magic".into()));
+        }
+        let frame_type = FrameType::from_bits(r.get_bits(2)?)
+            .ok_or_else(|| CodecError::InvalidBitstream("bad frame type".into()))?;
+        let display_index = r.get_bits(32)?;
+        let width = r.get_ue()? as usize;
+        let height = r.get_ue()? as usize;
+        let qscale = r.get_ue()?;
+        if width < 16 || height < 16 || width > 16384 || height > 16384 {
+            return Err(CodecError::InvalidBitstream(format!(
+                "implausible dimensions {width}x{height}"
+            )));
+        }
+        if !(1..=62).contains(&qscale) {
+            return Err(CodecError::InvalidBitstream("qscale out of range".into()));
+        }
+        let qscale = qscale as u16;
+        let aw = align_up(width, 16);
+        let ah = align_up(height, 16);
+        let (mbs_x, mbs_y) = (aw / 16, ah / 16);
+
+        let mut recon = Frame::new(aw, ah);
+        let mut mvs_full = MvField::new(mbs_x, mbs_y);
+        let mut mvs_qpel = MvField::new(mbs_x, mbs_y);
+        match frame_type {
+            FrameType::I => self.decode_i(&mut r, &mut recon, qscale, mbs_x, mbs_y)?,
+            FrameType::P => self.decode_p(
+                &mut r,
+                &mut recon,
+                &mut mvs_full,
+                &mut mvs_qpel,
+                qscale,
+                mbs_x,
+                mbs_y,
+            )?,
+            FrameType::B => self.decode_b(&mut r, &mut recon, display_index, qscale, mbs_x, mbs_y)?,
+        }
+
+        let display = crop_frame(&recon, width, height);
+        let mut out = Vec::new();
+        if frame_type == FrameType::B {
+            out.push(display);
+        } else {
+            if let Some(prev) = self.pending.take() {
+                out.push(prev);
+            }
+            self.pending = Some(display);
+            self.prev_anchor = self.last_anchor.take();
+            self.last_anchor = Some(RefPicture::from_frame(
+                &recon,
+                mvs_full,
+                mvs_qpel,
+                display_index,
+            ));
+        }
+        Ok(out)
+    }
+
+    /// Returns the final buffered anchor at end of stream.
+    pub fn flush(&mut self) -> Vec<Frame> {
+        self.pending.take().into_iter().collect()
+    }
+
+    fn decode_i(
+        &mut self,
+        r: &mut BitReader<'_>,
+        recon: &mut Frame,
+        qscale: u16,
+        mbs_x: usize,
+        mbs_y: usize,
+    ) -> Result<(), CodecError> {
+        let mut dc = DcStores::new(mbs_x, mbs_y);
+        for mby in 0..mbs_y {
+            for mbx in 0..mbs_x {
+                self.decode_intra_mb(r, recon, qscale, mbx, mby, &mut dc)?;
+            }
+            r.byte_align();
+        }
+        Ok(())
+    }
+
+    fn decode_intra_mb(
+        &mut self,
+        r: &mut BitReader<'_>,
+        recon: &mut Frame,
+        qscale: u16,
+        mbx: usize,
+        mby: usize,
+        dc: &mut DcStores,
+    ) -> Result<(), CodecError> {
+        let cbp = r.get_bits(6)? as u8;
+        for b in 0..6 {
+            let store = match b {
+                0..=3 => &mut dc.y,
+                4 => &mut dc.cb,
+                _ => &mut dc.cr,
+            };
+            let (gx, gy) = dc_coords(mbx, mby, b);
+            let pred = store.predict(gx, gy);
+            let dc_level = (pred + r.get_se()?).clamp(0, 255);
+            store.set(gx, gy, dc_level);
+            let mut block = [0i16; 64];
+            if cbp & (1 << (5 - b)) != 0 {
+                read_coeffs(r, &mut block, 1)?;
+            }
+            self.dsp.dequant8(&mut block, &MPEG_DEFAULT_INTRA, qscale, true);
+            block[0] = (dc_level * 8) as i16;
+            self.dsp.idct8(&mut block);
+            let (plane, bx, by) = match b {
+                0..=3 => (
+                    recon.y_mut(),
+                    mbx * 16 + (b % 2) * 8,
+                    mby * 16 + (b / 2) * 8,
+                ),
+                4 => (recon.cb_mut(), mbx * 8, mby * 8),
+                _ => (recon.cr_mut(), mbx * 8, mby * 8),
+            };
+            store_block_clamped(plane, bx, by, &block);
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn decode_p(
+        &mut self,
+        r: &mut BitReader<'_>,
+        recon: &mut Frame,
+        mvs_full: &mut MvField,
+        qfield: &mut MvField,
+        qscale: u16,
+        mbs_x: usize,
+        mbs_y: usize,
+    ) -> Result<(), CodecError> {
+        let reference = self
+            .last_anchor
+            .take()
+            .ok_or_else(|| CodecError::InvalidBitstream("P picture without reference".into()))?;
+        let mut dc = DcStores::new(mbs_x, mbs_y);
+        let result = (|| -> Result<(), CodecError> {
+            for mby in 0..mbs_y {
+                for mbx in 0..mbs_x {
+                    let skip = r.get_bit()?;
+                    if skip {
+                        let (mut py, mut pcb, mut pcr) = ([0u8; 256], [0u8; 64], [0u8; 64]);
+                        predict_mb(&self.dsp, &reference, mbx, mby, &[Mv::ZERO; 4], false, &mut py, &mut pcb, &mut pcr);
+                        reconstruct_inter(&self.dsp, recon, mbx, mby, &py, &pcb, &pcr, &[[0i16; 64]; 6], 0, qscale);
+                        qfield.set(mbx, mby, Mv::ZERO);
+                        continue;
+                    }
+                    let mode = r.get_bits(2)?;
+                    match mode {
+                        2 => {
+                            self.decode_intra_mb(r, recon, qscale, mbx, mby, &mut dc)?;
+                            qfield.set(mbx, mby, Mv::ZERO);
+                        }
+                        0 => {
+                            let median = median_pred(qfield, mbx, mby);
+                            let mv = Mv::new(
+                                read_mv_component(r, median.x)?,
+                                read_mv_component(r, median.y)?,
+                            );
+                            qfield.set(mbx, mby, mv);
+                            mvs_full.set(mbx, mby, Mv::new(mv.x >> 2, mv.y >> 2));
+                            self.decode_inter_residual(r, recon, &reference, mbx, mby, &[mv; 4], false, qscale)?;
+                        }
+                        1 => {
+                            let median = median_pred(qfield, mbx, mby);
+                            let mut mvs = [Mv::ZERO; 4];
+                            let mut pred = median;
+                            for m in &mut mvs {
+                                *m = Mv::new(
+                                    read_mv_component(r, pred.x)?,
+                                    read_mv_component(r, pred.y)?,
+                                );
+                                pred = *m;
+                            }
+                            let ax = (mvs.iter().map(|m| i32::from(m.x)).sum::<i32>() >> 2) as i16;
+                            let ay = (mvs.iter().map(|m| i32::from(m.y)).sum::<i32>() >> 2) as i16;
+                            qfield.set(mbx, mby, Mv::new(ax, ay));
+                            mvs_full.set(mbx, mby, Mv::new(ax >> 2, ay >> 2));
+                            self.decode_inter_residual(r, recon, &reference, mbx, mby, &mvs, true, qscale)?;
+                        }
+                        _ => {
+                            return Err(CodecError::InvalidBitstream(
+                                "reserved P macroblock mode".into(),
+                            ))
+                        }
+                    }
+                }
+                r.byte_align();
+            }
+            Ok(())
+        })();
+        self.last_anchor = Some(reference);
+        result
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn decode_inter_residual(
+        &mut self,
+        r: &mut BitReader<'_>,
+        recon: &mut Frame,
+        reference: &RefPicture,
+        mbx: usize,
+        mby: usize,
+        mvs: &[Mv; 4],
+        four_mv: bool,
+        qscale: u16,
+    ) -> Result<(), CodecError> {
+        let cbp = r.get_bits(6)? as u8;
+        let mut blocks = [[0i16; 64]; 6];
+        for (i, b) in blocks.iter_mut().enumerate() {
+            if cbp & (1 << (5 - i)) != 0 {
+                read_coeffs(r, b, 0)?;
+            }
+        }
+        let (mut py, mut pcb, mut pcr) = ([0u8; 256], [0u8; 64], [0u8; 64]);
+        predict_mb(&self.dsp, reference, mbx, mby, mvs, four_mv, &mut py, &mut pcb, &mut pcr);
+        reconstruct_inter(&self.dsp, recon, mbx, mby, &py, &pcb, &pcr, &blocks, cbp, qscale);
+        Ok(())
+    }
+
+    fn decode_b(
+        &mut self,
+        r: &mut BitReader<'_>,
+        recon: &mut Frame,
+        display_index: u32,
+        qscale: u16,
+        mbs_x: usize,
+        mbs_y: usize,
+    ) -> Result<(), CodecError> {
+        let fwd = self
+            .prev_anchor
+            .take()
+            .ok_or_else(|| CodecError::InvalidBitstream("B picture without anchors".into()))?;
+        let bwd = match self.last_anchor.take() {
+            Some(b) => b,
+            None => {
+                self.prev_anchor = Some(fwd);
+                return Err(CodecError::InvalidBitstream("B picture without anchors".into()));
+            }
+        };
+        let mut dc = DcStores::new(mbs_x, mbs_y);
+        let result = (|| -> Result<(), CodecError> {
+            for mby in 0..mbs_y {
+                let mut row = BRowState::new();
+                for mbx in 0..mbs_x {
+                    let skip = r.get_bit()?;
+                    let (mut py, mut pcb, mut pcr) = ([0u8; 256], [0u8; 64], [0u8; 64]);
+                    if skip {
+                        // Direct-mode skip: vectors from the collocated
+                        // anchor motion, bidirectional prediction.
+                        let (mv_f, mv_b) = direct_mvs(&fwd, &bwd, display_index, mbx, mby);
+                        build_b_prediction(&self.dsp, &fwd, &bwd, mbx, mby, 2, mv_f, mv_b, &mut py, &mut pcb, &mut pcr);
+                        reconstruct_inter(&self.dsp, recon, mbx, mby, &py, &pcb, &pcr, &[[0i16; 64]; 6], 0, qscale);
+                        continue;
+                    }
+                    let mode = r.get_bits(2)? as u8;
+                    if mode == 3 {
+                        self.decode_intra_mb(r, recon, qscale, mbx, mby, &mut dc)?;
+                        row.reset_mv();
+                        continue;
+                    }
+                    let mut mv_f = row.last_b.1;
+                    let mut mv_b = row.last_b.2;
+                    if mode == 0 || mode == 2 {
+                        mv_f = Mv::new(
+                            read_mv_component(r, row.mv_pred.x)?,
+                            read_mv_component(r, row.mv_pred.y)?,
+                        );
+                        row.mv_pred = mv_f;
+                    }
+                    if mode == 1 || mode == 2 {
+                        mv_b = Mv::new(
+                            read_mv_component(r, row.mv_pred_bwd.x)?,
+                            read_mv_component(r, row.mv_pred_bwd.y)?,
+                        );
+                        row.mv_pred_bwd = mv_b;
+                    }
+                    row.last_b = (mode, mv_f, mv_b);
+                    let cbp = r.get_bits(6)? as u8;
+                    let mut blocks = [[0i16; 64]; 6];
+                    for (i, b) in blocks.iter_mut().enumerate() {
+                        if cbp & (1 << (5 - i)) != 0 {
+                            read_coeffs(r, b, 0)?;
+                        }
+                    }
+                    build_b_prediction(&self.dsp, &fwd, &bwd, mbx, mby, mode, mv_f, mv_b, &mut py, &mut pcb, &mut pcr);
+                    reconstruct_inter(&self.dsp, recon, mbx, mby, &py, &pcb, &pcr, &blocks, cbp, qscale);
+                }
+                r.byte_align();
+            }
+            Ok(())
+        })();
+        self.prev_anchor = Some(fwd);
+        self.last_anchor = Some(bwd);
+        result
+    }
+}
+
+fn read_mv_component(r: &mut BitReader<'_>, pred: i16) -> Result<i16, CodecError> {
+    let v = i32::from(pred) + r.get_se()?;
+    if (-4096..=4095).contains(&v) {
+        Ok(v as i16)
+    } else {
+        Err(CodecError::InvalidBitstream(format!(
+            "motion vector component {v} out of range"
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::Mpeg4Encoder;
+    use crate::types::EncoderConfig;
+    use hdvb_frame::SequencePsnr;
+
+    fn moving_frame(w: usize, h: usize, t: f64) -> Frame {
+        let mut f = Frame::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                let v = 128.0
+                    + 50.0 * ((x as f64 - 1.5 * t) * 0.17 + y as f64 * 0.06).sin()
+                    + 45.0 * ((y as f64 + 0.5 * t) * 0.11).cos();
+                f.y_mut().set(x, y, v.clamp(0.0, 255.0) as u8);
+            }
+        }
+        for y in 0..h / 2 {
+            for x in 0..w / 2 {
+                f.cb_mut().set(x, y, (118 + (x + y + t as usize) % 20) as u8);
+                f.cr_mut().set(x, y, (134 - (x + 2 * y) % 18) as u8);
+            }
+        }
+        f
+    }
+
+    fn roundtrip(qscale: u16, frames: usize, b_frames: u8) -> (Vec<Frame>, Vec<Frame>) {
+        let (w, h) = (64, 48);
+        let config = EncoderConfig::new(w, h)
+            .with_qscale(qscale)
+            .with_b_frames(b_frames);
+        let mut enc = Mpeg4Encoder::new(config).unwrap();
+        let mut dec = Mpeg4Decoder::new();
+        let originals: Vec<Frame> = (0..frames).map(|i| moving_frame(w, h, i as f64)).collect();
+        let mut packets = Vec::new();
+        for f in &originals {
+            packets.extend(enc.encode(f).unwrap());
+        }
+        packets.extend(enc.flush().unwrap());
+        let mut decoded = Vec::new();
+        for p in &packets {
+            decoded.extend(dec.decode(&p.data).unwrap());
+        }
+        decoded.extend(dec.flush());
+        (originals, decoded)
+    }
+
+    #[test]
+    fn intra_roundtrip_quality() {
+        let (orig, dec) = roundtrip(4, 1, 2);
+        assert_eq!(dec.len(), 1);
+        let mut acc = SequencePsnr::new();
+        acc.add(&orig[0], &dec[0]);
+        assert!(acc.y_psnr() > 30.0, "psnr {}", acc.y_psnr());
+    }
+
+    #[test]
+    fn ipbb_roundtrip_in_display_order() {
+        let (orig, dec) = roundtrip(4, 7, 2);
+        assert_eq!(dec.len(), 7);
+        for (i, (o, d)) in orig.iter().zip(&dec).enumerate() {
+            let mut acc = SequencePsnr::new();
+            acc.add(o, d);
+            assert!(acc.y_psnr() > 27.0, "frame {i}: {:.2}", acc.y_psnr());
+        }
+    }
+
+    #[test]
+    fn ipp_roundtrip() {
+        let (orig, dec) = roundtrip(6, 5, 0);
+        assert_eq!(dec.len(), 5);
+        for (o, d) in orig.iter().zip(&dec) {
+            let mut acc = SequencePsnr::new();
+            acc.add(o, d);
+            assert!(acc.y_psnr() > 26.0);
+        }
+    }
+
+    #[test]
+    fn direct_mode_makes_b_frames_cheap_on_steady_motion() {
+        // On a constant pan the collocated anchor vectors predict the B
+        // frames well (bidirectional averaging + direct-mode skips), so
+        // B pictures must be clearly cheaper than P pictures.
+        let (w, h) = (96, 80);
+        let mut enc = Mpeg4Encoder::new(EncoderConfig::new(w, h)).unwrap();
+        let mut p_bits = 0u64;
+        let mut p_count = 0u64;
+        let mut b_bits = 0u64;
+        let mut b_count = 0u64;
+        let mut tally = |packets: Vec<crate::types::Packet>| {
+            for p in packets {
+                match p.frame_type {
+                    FrameType::P => {
+                        p_bits += p.bits();
+                        p_count += 1;
+                    }
+                    FrameType::B => {
+                        b_bits += p.bits();
+                        b_count += 1;
+                    }
+                    FrameType::I => {}
+                }
+            }
+        };
+        for t in 0..13 {
+            tally(enc.encode(&moving_frame(w, h, t as f64)).unwrap());
+        }
+        tally(enc.flush().unwrap());
+        assert!(p_count >= 3 && b_count >= 6);
+        let p_avg = p_bits / p_count;
+        let b_avg = b_bits / b_count;
+        assert!(
+            b_avg * 10 < p_avg * 9,
+            "B average {b_avg} not clearly below P average {p_avg}"
+        );
+    }
+
+    #[test]
+    fn decode_is_simd_level_independent() {
+        let (w, h) = (64, 48);
+        let mut enc = Mpeg4Encoder::new(EncoderConfig::new(w, h)).unwrap();
+        let mut packets = Vec::new();
+        for i in 0..5 {
+            packets.extend(enc.encode(&moving_frame(w, h, i as f64)).unwrap());
+        }
+        packets.extend(enc.flush().unwrap());
+        let mut a = Mpeg4Decoder::with_simd(SimdLevel::Scalar);
+        let mut b = Mpeg4Decoder::with_simd(SimdLevel::Sse2);
+        let mut oa = Vec::new();
+        let mut ob = Vec::new();
+        for p in &packets {
+            oa.extend(a.decode(&p.data).unwrap());
+            ob.extend(b.decode(&p.data).unwrap());
+        }
+        oa.extend(a.flush());
+        ob.extend(b.flush());
+        assert_eq!(oa, ob);
+    }
+
+    #[test]
+    fn corrupt_and_truncated_inputs_error_not_panic() {
+        let (w, h) = (64, 48);
+        let mut enc = Mpeg4Encoder::new(EncoderConfig::new(w, h)).unwrap();
+        let packets = enc.encode(&moving_frame(w, h, 0.0)).unwrap();
+        let data = &packets[0].data;
+        for cut in [0, 3, 7, data.len() / 3, data.len() - 1] {
+            let mut dec = Mpeg4Decoder::new();
+            let _ = dec.decode(&data[..cut]);
+        }
+        let mut dec = Mpeg4Decoder::new();
+        assert!(dec.decode(&[0u8; 64]).is_err());
+    }
+
+    #[test]
+    fn b_without_anchors_is_error() {
+        let (w, h) = (64, 48);
+        let mut enc = Mpeg4Encoder::new(EncoderConfig::new(w, h)).unwrap();
+        let mut packets = Vec::new();
+        for i in 0..4 {
+            packets.extend(enc.encode(&moving_frame(w, h, i as f64)).unwrap());
+        }
+        packets.extend(enc.flush().unwrap());
+        let b_packet = packets.iter().find(|p| p.frame_type == FrameType::B).unwrap();
+        let mut dec = Mpeg4Decoder::new();
+        assert!(dec.decode(&b_packet.data).is_err());
+    }
+}

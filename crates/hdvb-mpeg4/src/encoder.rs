@@ -1,0 +1,1014 @@
+use crate::blocks::write_coeffs;
+use crate::gop::{GopScheduler, Scheduled};
+use crate::types::{CodecError, EncoderConfig, FrameType, Packet};
+use hdvb_bits::BitWriter;
+use hdvb_dsp::{Block8, Dsp, MPEG_DEFAULT_INTRA, MPEG_DEFAULT_NONINTRA};
+use hdvb_frame::{align_up, Frame, PaddedPlane, Plane};
+use hdvb_me::{diamond_search, epzs_search, median3, mv_bits, subpel_refine, BlockRef, EpzsThresholds, Mv, MvField, Predictors, SearchParams, SubpelStep};
+
+/// Magic number opening every coded picture.
+pub(crate) const MAGIC: u32 = 0x4D34; // "M4"
+/// Luma padding of reference pictures.
+pub(crate) const LUMA_PAD: usize = 32;
+/// Chroma padding of reference pictures.
+pub(crate) const CHROMA_PAD: usize = 16;
+
+/// A reconstructed reference picture.
+pub(crate) struct RefPicture {
+    pub y: PaddedPlane,
+    pub cb: PaddedPlane,
+    pub cr: PaddedPlane,
+    /// Full-pel field for EPZS temporal predictors.
+    pub mvs_fullpel: MvField,
+    /// Quarter-pel field of the anchor's chosen vectors (B direct mode).
+    pub mvs_qpel: MvField,
+    /// Display index of the anchor (temporal distances of direct mode).
+    pub display_index: u32,
+}
+
+impl RefPicture {
+    pub(crate) fn from_frame(
+        frame: &Frame,
+        mvs_fullpel: MvField,
+        mvs_qpel: MvField,
+        display_index: u32,
+    ) -> Self {
+        RefPicture {
+            y: PaddedPlane::from_plane(frame.y(), LUMA_PAD),
+            cb: PaddedPlane::from_plane(frame.cb(), CHROMA_PAD),
+            cr: PaddedPlane::from_plane(frame.cr(), CHROMA_PAD),
+            mvs_fullpel,
+            mvs_qpel,
+            display_index,
+        }
+    }
+}
+
+/// MPEG-4 temporal direct-mode vectors for one macroblock of a B picture
+/// at display time `d_cur` between anchors `fwd`/`bwd`:
+/// `MVf = MVcol·TRB/TRD`, `MVb = MVf − MVcol` (the collocated vector is
+/// the backward anchor's motion toward the forward anchor).
+pub(crate) fn direct_mvs(
+    fwd: &RefPicture,
+    bwd: &RefPicture,
+    d_cur: u32,
+    mbx: usize,
+    mby: usize,
+) -> (Mv, Mv) {
+    let trd = i32::from(bwd.display_index as i32 - fwd.display_index as i32);
+    let trb = i32::from(d_cur as i32 - fwd.display_index as i32);
+    if trd <= 0 || trb <= 0 || trb >= trd {
+        return (Mv::ZERO, Mv::ZERO);
+    }
+    let col = bwd.mvs_qpel.get(mbx as isize, mby as isize);
+    // The collocated vector points from the backward anchor to the
+    // forward anchor; the forward direct vector is its fraction, the
+    // backward vector the remainder (negated direction).
+    let fx = (i32::from(col.x) * trb).div_euclid(trd) as i16;
+    let fy = (i32::from(col.y) * trb).div_euclid(trd) as i16;
+    let mv_f = Mv::new(fx, fy);
+    let mv_b = Mv::new(mv_f.x - col.x, mv_f.y - col.y);
+    (mv_f, mv_b)
+}
+
+/// Per-frame adaptive DC-prediction store (MPEG-4 gradient rule).
+pub(crate) struct DcStore {
+    w: usize,
+    vals: Vec<i32>,
+    avail: Vec<bool>,
+}
+
+impl DcStore {
+    pub(crate) fn new(w: usize, h: usize) -> Self {
+        DcStore {
+            w,
+            vals: vec![0; w * h],
+            avail: vec![false; w * h],
+        }
+    }
+
+    fn get(&self, x: isize, y: isize) -> i32 {
+        if x < 0 || y < 0 || x as usize >= self.w {
+            return 128; // default predictor outside the picture
+        }
+        let idx = y as usize * self.w + x as usize;
+        if idx < self.vals.len() && self.avail[idx] {
+            self.vals[idx]
+        } else {
+            128
+        }
+    }
+
+    pub(crate) fn set(&mut self, x: usize, y: usize, v: i32) {
+        let idx = y * self.w + x;
+        self.vals[idx] = v;
+        self.avail[idx] = true;
+    }
+
+    /// MPEG-4 gradient predictor: compare the horizontal and vertical DC
+    /// gradients among the left (A), top-left (B) and top (C) blocks.
+    pub(crate) fn predict(&self, x: usize, y: usize) -> i32 {
+        let (xi, yi) = (x as isize, y as isize);
+        let a = self.get(xi - 1, yi);
+        let b = self.get(xi - 1, yi - 1);
+        let c = self.get(xi, yi - 1);
+        if (a - b).abs() < (b - c).abs() {
+            c
+        } else {
+            a
+        }
+    }
+}
+
+/// All three components' DC stores for one frame.
+pub(crate) struct DcStores {
+    pub y: DcStore,
+    pub cb: DcStore,
+    pub cr: DcStore,
+}
+
+impl DcStores {
+    pub(crate) fn new(mbs_x: usize, mbs_y: usize) -> Self {
+        DcStores {
+            y: DcStore::new(mbs_x * 2, mbs_y * 2),
+            cb: DcStore::new(mbs_x, mbs_y),
+            cr: DcStore::new(mbs_x, mbs_y),
+        }
+    }
+}
+
+/// Motion-compensates one macroblock from `r`; `mvs` holds the four
+/// quarter-pel luma vectors (all equal when `four_mv` is false). Shared
+/// with the decoder.
+pub(crate) fn predict_mb(
+    dsp: &Dsp,
+    r: &RefPicture,
+    mb_x: usize,
+    mb_y: usize,
+    mvs: &[Mv; 4],
+    four_mv: bool,
+    luma: &mut [u8; 256],
+    cb: &mut [u8; 64],
+    cr: &mut [u8; 64],
+) {
+    if four_mv {
+        for k in 0..4 {
+            let bx = mb_x * 16 + (k % 2) * 8;
+            let by = mb_y * 16 + (k / 2) * 8;
+            let mv = mvs[k];
+            let ix = bx as isize + isize::from(mv.x >> 2) - 2;
+            let iy = by as isize + isize::from(mv.y >> 2) - 2;
+            let dst = &mut luma[(k / 2) * 8 * 16 + (k % 2) * 8..];
+            dsp.qpel_luma(
+                dst,
+                16,
+                r.y.row_from(ix, iy),
+                r.y.stride(),
+                (mv.x & 3) as u8,
+                (mv.y & 3) as u8,
+                8,
+                8,
+            );
+        }
+    } else {
+        let mv = mvs[0];
+        let ix = (mb_x * 16) as isize + isize::from(mv.x >> 2) - 2;
+        let iy = (mb_y * 16) as isize + isize::from(mv.y >> 2) - 2;
+        dsp.qpel_luma(
+            luma,
+            16,
+            r.y.row_from(ix, iy),
+            r.y.stride(),
+            (mv.x & 3) as u8,
+            (mv.y & 3) as u8,
+            16,
+            16,
+        );
+    }
+    // Chroma: derived from the sum of the four luma vectors (all equal in
+    // 16x16 mode), floor-divided to chroma half-pel units.
+    let sx = mvs.iter().map(|m| i32::from(m.x)).sum::<i32>() >> 4;
+    let sy = mvs.iter().map(|m| i32::from(m.y)).sum::<i32>() >> 4;
+    let cx = (mb_x * 8) as isize + (sx >> 1) as isize;
+    let cy = (mb_y * 8) as isize + (sy >> 1) as isize;
+    let (cfx, cfy) = ((sx & 1) as u8, (sy & 1) as u8);
+    dsp.hpel_interp(cb, 8, r.cb.row_from(cx, cy), r.cb.stride(), cfx, cfy, 8, 8);
+    dsp.hpel_interp(cr, 8, r.cr.row_from(cx, cy), r.cr.stride(), cfx, cfy, 8, 8);
+}
+
+fn replicate_into(src: &Plane, dst: &mut Plane) {
+    for y in 0..dst.height() {
+        let sy = y.min(src.height() - 1);
+        for x in 0..dst.width() {
+            let sx = x.min(src.width() - 1);
+            dst.set(x, y, src.get(sx, sy));
+        }
+    }
+}
+
+/// Expands a frame to macroblock-aligned dimensions with edge
+/// replication.
+pub(crate) fn align_frame(frame: &Frame, aw: usize, ah: usize) -> Frame {
+    if frame.width() == aw && frame.height() == ah {
+        return frame.clone();
+    }
+    let mut out = Frame::new(aw, ah);
+    replicate_into(frame.y(), out.y_mut());
+    replicate_into(frame.cb(), out.cb_mut());
+    replicate_into(frame.cr(), out.cr_mut());
+    out
+}
+
+/// Crops an aligned frame back to picture dimensions.
+pub(crate) fn crop_frame(frame: &Frame, w: usize, h: usize) -> Frame {
+    if frame.width() == w && frame.height() == h {
+        return frame.clone();
+    }
+    let mut out = Frame::new(w, h);
+    replicate_into(frame.y(), out.y_mut());
+    replicate_into(frame.cb(), out.cb_mut());
+    replicate_into(frame.cr(), out.cr_mut());
+    out
+}
+
+/// Loads an 8×8 pixel block as i16.
+pub(crate) fn load_block(plane: &Plane, bx: usize, by: usize) -> Block8 {
+    let mut out = [0i16; 64];
+    for y in 0..8 {
+        for x in 0..8 {
+            out[y * 8 + x] = i16::from(plane.get(bx + x, by + y));
+        }
+    }
+    out
+}
+
+/// Stores an 8×8 i16 block with pixel clamping.
+pub(crate) fn store_block_clamped(plane: &mut Plane, bx: usize, by: usize, block: &Block8) {
+    for y in 0..8 {
+        for x in 0..8 {
+            plane.set(bx + x, by + y, block[y * 8 + x].clamp(0, 255) as u8);
+        }
+    }
+}
+
+/// B-picture per-row prediction state (left-neighbour MV predictors).
+pub(crate) struct BRowState {
+    pub mv_pred: Mv,
+    pub mv_pred_bwd: Mv,
+    pub last_b: (u8, Mv, Mv),
+}
+
+impl BRowState {
+    pub(crate) fn new() -> Self {
+        BRowState {
+            mv_pred: Mv::ZERO,
+            mv_pred_bwd: Mv::ZERO,
+            last_b: (0, Mv::ZERO, Mv::ZERO),
+        }
+    }
+
+    pub(crate) fn reset_mv(&mut self) {
+        self.mv_pred = Mv::ZERO;
+        self.mv_pred_bwd = Mv::ZERO;
+    }
+}
+
+/// Builds the B prediction for `mode` (0 fwd, 1 bwd, 2 bi); 16×16 only.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn build_b_prediction(
+    dsp: &Dsp,
+    fwd: &RefPicture,
+    bwd: &RefPicture,
+    mbx: usize,
+    mby: usize,
+    mode: u8,
+    mv_f: Mv,
+    mv_b: Mv,
+    py: &mut [u8; 256],
+    pcb: &mut [u8; 64],
+    pcr: &mut [u8; 64],
+) {
+    match mode {
+        0 => predict_mb(dsp, fwd, mbx, mby, &[mv_f; 4], false, py, pcb, pcr),
+        1 => predict_mb(dsp, bwd, mbx, mby, &[mv_b; 4], false, py, pcb, pcr),
+        _ => {
+            let (mut fy, mut fcb, mut fcr) = ([0u8; 256], [0u8; 64], [0u8; 64]);
+            let (mut by, mut bcb, mut bcr) = ([0u8; 256], [0u8; 64], [0u8; 64]);
+            predict_mb(dsp, fwd, mbx, mby, &[mv_f; 4], false, &mut fy, &mut fcb, &mut fcr);
+            predict_mb(dsp, bwd, mbx, mby, &[mv_b; 4], false, &mut by, &mut bcb, &mut bcr);
+            dsp.avg_block(py, 16, &fy, 16, &by, 16, 16, 16);
+            dsp.avg_block(pcb, 8, &fcb, 8, &bcb, 8, 8, 8);
+            dsp.avg_block(pcr, 8, &fcr, 8, &bcr, 8, 8, 8);
+        }
+    }
+}
+
+/// Adds dequantised residuals onto a prediction. Shared with the decoder.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn reconstruct_inter(
+    dsp: &Dsp,
+    recon: &mut Frame,
+    mbx: usize,
+    mby: usize,
+    py: &[u8; 256],
+    pcb: &[u8; 64],
+    pcr: &[u8; 64],
+    blocks: &[Block8; 6],
+    cbp: u8,
+    qscale: u16,
+) {
+    for b in 0..6 {
+        let coded = cbp & (1 << (5 - b)) != 0;
+        let (pred_slice, pred_stride): (&[u8], usize) = match b {
+            0..=3 => (&py[(b / 2) * 8 * 16 + (b % 2) * 8..], 16),
+            4 => (&pcb[..], 8),
+            _ => (&pcr[..], 8),
+        };
+        let (plane, bx, by) = match b {
+            0..=3 => (
+                recon.y_mut(),
+                mbx * 16 + (b % 2) * 8,
+                mby * 16 + (b / 2) * 8,
+            ),
+            4 => (recon.cb_mut(), mbx * 8, mby * 8),
+            _ => (recon.cr_mut(), mbx * 8, mby * 8),
+        };
+        let stride = plane.stride();
+        let base = by * stride + bx;
+        if coded {
+            let mut res = blocks[b];
+            dsp.dequant8(&mut res, &MPEG_DEFAULT_NONINTRA, qscale, false);
+            dsp.idct8(&mut res);
+            dsp.add_residual8(&mut plane.data_mut()[base..], stride, pred_slice, pred_stride, &res);
+        } else {
+            dsp.copy_block(&mut plane.data_mut()[base..], stride, pred_slice, pred_stride, 8, 8);
+        }
+    }
+}
+
+/// DC-store grid coordinates for coded block `b` of macroblock
+/// `(mbx, mby)`.
+pub(crate) fn dc_coords(mbx: usize, mby: usize, b: usize) -> (usize, usize) {
+    match b {
+        0..=3 => (mbx * 2 + b % 2, mby * 2 + b / 2),
+        _ => (mbx, mby),
+    }
+}
+
+/// The MPEG-4-ASP-class encoder. See the crate docs for the toolset.
+pub struct Mpeg4Encoder {
+    config: EncoderConfig,
+    dsp: Dsp,
+    gop: GopScheduler,
+    aw: usize,
+    ah: usize,
+    mbs_x: usize,
+    mbs_y: usize,
+    prev_anchor: Option<RefPicture>,
+    last_anchor: Option<RefPicture>,
+}
+
+impl Mpeg4Encoder {
+    /// Creates an encoder.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::BadConfig`] for invalid geometry or quantiser.
+    pub fn new(config: EncoderConfig) -> Result<Self, CodecError> {
+        config.validate()?;
+        let aw = align_up(config.width, 16);
+        let ah = align_up(config.height, 16);
+        Ok(Mpeg4Encoder {
+            config,
+            dsp: Dsp::new(config.simd),
+            gop: GopScheduler::new(config.b_frames, config.intra_period),
+            aw,
+            ah,
+            mbs_x: aw / 16,
+            mbs_y: ah / 16,
+            prev_anchor: None,
+            last_anchor: None,
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EncoderConfig {
+        &self.config
+    }
+
+    /// Submits the next display-order frame.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::FrameMismatch`] on geometry mismatch.
+    pub fn encode(&mut self, frame: &Frame) -> Result<Vec<Packet>, CodecError> {
+        if frame.width() != self.config.width || frame.height() != self.config.height {
+            return Err(CodecError::FrameMismatch {
+                expected: (self.config.width, self.config.height),
+                actual: (frame.width(), frame.height()),
+            });
+        }
+        let scheduled = self.gop.push(frame.clone());
+        self.encode_scheduled(scheduled)
+    }
+
+    /// Flushes buffered frames.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding errors (none in normal operation).
+    pub fn flush(&mut self) -> Result<Vec<Packet>, CodecError> {
+        let scheduled = self.gop.finish();
+        self.encode_scheduled(scheduled)
+    }
+
+    fn encode_scheduled(&mut self, scheduled: Vec<Scheduled>) -> Result<Vec<Packet>, CodecError> {
+        scheduled
+            .into_iter()
+            .map(|s| self.encode_picture(&s.frame, s.frame_type, s.display_index))
+            .collect()
+    }
+
+    fn encode_picture(
+        &mut self,
+        frame: &Frame,
+        frame_type: FrameType,
+        display_index: u32,
+    ) -> Result<Packet, CodecError> {
+        let cur = align_frame(frame, self.aw, self.ah);
+        let mut w = BitWriter::with_capacity(self.aw * self.ah / 4);
+        w.put_bits(MAGIC, 16);
+        w.put_bits(frame_type.to_bits(), 2);
+        w.put_bits(display_index, 32);
+        w.put_ue(self.config.width as u32);
+        w.put_ue(self.config.height as u32);
+        w.put_ue(u32::from(self.config.qscale));
+
+        let mut recon = Frame::new(self.aw, self.ah);
+        let mut mvs_full = MvField::new(self.mbs_x, self.mbs_y);
+        let mut mvs_qpel = MvField::new(self.mbs_x, self.mbs_y);
+        match frame_type {
+            FrameType::I => self.encode_i(&mut w, &cur, &mut recon),
+            FrameType::P => self.encode_p(&mut w, &cur, &mut recon, &mut mvs_full, &mut mvs_qpel),
+            FrameType::B => self.encode_b(&mut w, &cur, &mut recon, display_index),
+        }
+
+        if frame_type != FrameType::B {
+            let reference =
+                RefPicture::from_frame(&recon, mvs_full, mvs_qpel, display_index);
+            self.prev_anchor = self.last_anchor.take();
+            self.last_anchor = Some(reference);
+        }
+        Ok(Packet {
+            data: w.finish(),
+            frame_type,
+            display_index,
+        })
+    }
+
+    fn encode_i(&self, w: &mut BitWriter, cur: &Frame, recon: &mut Frame) {
+        let mut dc = DcStores::new(self.mbs_x, self.mbs_y);
+        for mby in 0..self.mbs_y {
+            for mbx in 0..self.mbs_x {
+                self.code_intra_mb(w, cur, recon, mbx, mby, &mut dc);
+            }
+            w.byte_align();
+        }
+    }
+
+    /// Codes one intra macroblock (cbp + per-block DC and AC) and
+    /// reconstructs it.
+    fn code_intra_mb(
+        &self,
+        w: &mut BitWriter,
+        cur: &Frame,
+        recon: &mut Frame,
+        mbx: usize,
+        mby: usize,
+        dc: &mut DcStores,
+    ) {
+        // First pass: transform + quantise all six blocks to learn cbp.
+        let mut coded = [[0i16; 64]; 6];
+        let mut dcs = [0i32; 6];
+        let mut cbp = 0u8;
+        for b in 0..6 {
+            let (plane, _, _, bx, by) = intra_geometry(cur, mbx, mby, b);
+            let mut block = load_block(plane, bx, by);
+            self.dsp.fdct8(&mut block);
+            dcs[b] = ((i32::from(block[0]) + 4) >> 3).clamp(0, 255);
+            block[0] = 0;
+            let nz = self
+                .dsp
+                .quant8(&mut block, &MPEG_DEFAULT_INTRA, self.config.qscale, true);
+            if nz > 0 {
+                cbp |= 1 << (5 - b);
+            }
+            coded[b] = block;
+        }
+        w.put_bits(u32::from(cbp), 6);
+        for b in 0..6 {
+            let store = match b {
+                0..=3 => &mut dc.y,
+                4 => &mut dc.cb,
+                _ => &mut dc.cr,
+            };
+            let (gx, gy) = dc_coords(mbx, mby, b);
+            let pred = store.predict(gx, gy);
+            w.put_se(dcs[b] - pred);
+            store.set(gx, gy, dcs[b]);
+            if cbp & (1 << (5 - b)) != 0 {
+                write_coeffs(w, &coded[b], 1);
+            }
+            // Reconstruction.
+            let mut block = coded[b];
+            self.dsp
+                .dequant8(&mut block, &MPEG_DEFAULT_INTRA, self.config.qscale, true);
+            block[0] = (dcs[b] * 8) as i16;
+            self.dsp.idct8(&mut block);
+            let (_, rplane, bx, by) = intra_recon_geometry(recon, mbx, mby, b);
+            store_block_clamped(rplane, bx, by, &block);
+        }
+    }
+
+    fn encode_p(
+        &self,
+        w: &mut BitWriter,
+        cur: &Frame,
+        recon: &mut Frame,
+        mvs_full: &mut MvField,
+        qfield: &mut MvField,
+    ) {
+        let reference = self
+            .last_anchor
+            .as_ref()
+            .expect("P picture requires a previous anchor");
+        let lambda = u32::from(self.config.qscale).max(1);
+        let mut dc = DcStores::new(self.mbs_x, self.mbs_y);
+        for mby in 0..self.mbs_y {
+            for mbx in 0..self.mbs_x {
+                let median = median_pred(qfield, mbx, mby);
+                // Full-pel EPZS.
+                let preds = Predictors::gather(mvs_full, &reference.mvs_fullpel, mbx, mby);
+                let block16 = BlockRef {
+                    plane: cur.y(),
+                    x: mbx * 16,
+                    y: mby * 16,
+                    w: 16,
+                    h: 16,
+                };
+                let fullpel = epzs_search(
+                    &self.dsp,
+                    block16,
+                    &reference.y,
+                    &preds,
+                    &EpzsThresholds::default(),
+                    &SearchParams::new(self.config.search_range, lambda)
+                        .with_pred(Mv::new(median.x >> 2, median.y >> 2)),
+                );
+                // Quarter-pel refinement (half-pel lattice, then quarter).
+                let (mv16, cost16) =
+                    self.refine_qpel(cur, reference, mbx, mby, 0, fullpel.mv, median, lambda);
+                mvs_full.set(mbx, mby, Mv::new(mv16.x >> 2, mv16.y >> 2));
+
+                // Four-MV candidate: refine each 8x8 around the 16x16
+                // winner.
+                let mut mv4 = [mv16; 4];
+                let mut cost4 = 2 * lambda; // mode-signalling overhead
+                for k in 0..4 {
+                    let sub = BlockRef {
+                        plane: cur.y(),
+                        x: mbx * 16 + (k % 2) * 8,
+                        y: mby * 16 + (k / 2) * 8,
+                        w: 8,
+                        h: 8,
+                    };
+                    let sub_pred = if k == 0 { median } else { mv4[k - 1] };
+                    let sub_full = diamond_search(
+                        &self.dsp,
+                        sub,
+                        &reference.y,
+                        Mv::new(mv16.x >> 2, mv16.y >> 2),
+                        &SearchParams::new(self.config.search_range, lambda)
+                            .with_pred(Mv::new(sub_pred.x >> 2, sub_pred.y >> 2)),
+                    );
+                    let (smv, scost) =
+                        self.refine_qpel(cur, reference, mbx, mby, k + 1, sub_full.mv, sub_pred, lambda);
+                    mv4[k] = smv;
+                    cost4 += scost;
+                }
+                let four_mv = cost4 < cost16;
+                let (sel_mvs, inter_cost) = if four_mv {
+                    (mv4, cost4)
+                } else {
+                    ([mv16; 4], cost16)
+                };
+
+                let intra_cost = self.mb_intra_activity(cur, mbx, mby);
+                if intra_cost + 2048 < inter_cost {
+                    w.put_bit(false);
+                    w.put_bits(2, 2); // intra mode
+                    self.code_intra_mb(w, cur, recon, mbx, mby, &mut dc);
+                    qfield.set(mbx, mby, Mv::ZERO);
+                    mvs_full.set(mbx, mby, Mv::ZERO);
+                    continue;
+                }
+
+                let (mut py, mut pcb, mut pcr) = ([0u8; 256], [0u8; 64], [0u8; 64]);
+                predict_mb(&self.dsp, reference, mbx, mby, &sel_mvs, four_mv, &mut py, &mut pcb, &mut pcr);
+                let (blocks, cbp) = self.transform_mb(cur, mbx, mby, &py, &pcb, &pcr);
+
+                if !four_mv && sel_mvs[0] == Mv::ZERO && cbp == 0 {
+                    w.put_bit(true); // skip
+                    reconstruct_inter(&self.dsp, recon, mbx, mby, &py, &pcb, &pcr, &blocks, 0, self.config.qscale);
+                    qfield.set(mbx, mby, Mv::ZERO);
+                    continue;
+                }
+                w.put_bit(false);
+                if four_mv {
+                    w.put_bits(1, 2);
+                    let mut pred = median;
+                    for k in 0..4 {
+                        w.put_se(i32::from(sel_mvs[k].x - pred.x));
+                        w.put_se(i32::from(sel_mvs[k].y - pred.y));
+                        pred = sel_mvs[k];
+                    }
+                    // Field entry: component-wise mean of the four.
+                    let ax = (sel_mvs.iter().map(|m| i32::from(m.x)).sum::<i32>() >> 2) as i16;
+                    let ay = (sel_mvs.iter().map(|m| i32::from(m.y)).sum::<i32>() >> 2) as i16;
+                    qfield.set(mbx, mby, Mv::new(ax, ay));
+                } else {
+                    w.put_bits(0, 2);
+                    w.put_se(i32::from(sel_mvs[0].x - median.x));
+                    w.put_se(i32::from(sel_mvs[0].y - median.y));
+                    qfield.set(mbx, mby, sel_mvs[0]);
+                }
+                w.put_bits(u32::from(cbp), 6);
+                for (i, b) in blocks.iter().enumerate() {
+                    if cbp & (1 << (5 - i)) != 0 {
+                        write_coeffs(w, b, 0);
+                    }
+                }
+                reconstruct_inter(&self.dsp, recon, mbx, mby, &py, &pcb, &pcr, &blocks, cbp, self.config.qscale);
+            }
+            w.byte_align();
+        }
+    }
+
+    fn encode_b(&self, w: &mut BitWriter, cur: &Frame, recon: &mut Frame, display_index: u32) {
+        let fwd = self
+            .prev_anchor
+            .as_ref()
+            .expect("B picture requires two anchors");
+        let bwd = self
+            .last_anchor
+            .as_ref()
+            .expect("B picture requires two anchors");
+        let lambda = u32::from(self.config.qscale).max(1);
+        let mut dc = DcStores::new(self.mbs_x, self.mbs_y);
+        let mut cur_full = MvField::new(self.mbs_x, self.mbs_y);
+        for mby in 0..self.mbs_y {
+            let mut row = BRowState::new();
+            for mbx in 0..self.mbs_x {
+                let block16 = BlockRef {
+                    plane: cur.y(),
+                    x: mbx * 16,
+                    y: mby * 16,
+                    w: 16,
+                    h: 16,
+                };
+                let preds = Predictors::gather(&cur_full, &bwd.mvs_fullpel, mbx, mby);
+                let pf = SearchParams::new(self.config.search_range, lambda)
+                    .with_pred(Mv::new(row.mv_pred.x >> 2, row.mv_pred.y >> 2));
+                let f = epzs_search(&self.dsp, block16, &fwd.y, &preds, &EpzsThresholds::default(), &pf);
+                let pb = SearchParams::new(self.config.search_range, lambda)
+                    .with_pred(Mv::new(row.mv_pred_bwd.x >> 2, row.mv_pred_bwd.y >> 2));
+                let b = epzs_search(&self.dsp, block16, &bwd.y, &preds, &EpzsThresholds::default(), &pb);
+                cur_full.set(mbx, mby, f.mv);
+
+                let (mv_f, cost_f) =
+                    self.refine_qpel(cur, fwd, mbx, mby, 0, f.mv, row.mv_pred, lambda);
+                let (mv_b, cost_b) =
+                    self.refine_qpel(cur, bwd, mbx, mby, 0, b.mv, row.mv_pred_bwd, lambda);
+
+                let (mut fy_buf, mut s1, mut s2) = ([0u8; 256], [0u8; 64], [0u8; 64]);
+                let mut by_buf = [0u8; 256];
+                predict_mb(&self.dsp, fwd, mbx, mby, &[mv_f; 4], false, &mut fy_buf, &mut s1, &mut s2);
+                predict_mb(&self.dsp, bwd, mbx, mby, &[mv_b; 4], false, &mut by_buf, &mut s1, &mut s2);
+                let mut bi_buf = [0u8; 256];
+                self.dsp.avg_block(&mut bi_buf, 16, &fy_buf, 16, &by_buf, 16, 16, 16);
+                let cur_y = &cur.y().data()[mby * 16 * self.aw + mbx * 16..];
+                let bi_sad = self.dsp.sad(cur_y, self.aw, &bi_buf, 16, 16, 16);
+                let bi_cost = bi_sad
+                    + lambda * (mv_bits(mv_f, row.mv_pred) + mv_bits(mv_b, row.mv_pred_bwd));
+
+                let intra_cost = self.mb_intra_activity(cur, mbx, mby);
+                let (mode, best_cost) = [cost_f, cost_b, bi_cost]
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .min_by_key(|&(_, c)| c)
+                    .map(|(i, c)| (i as u8, c))
+                    .unwrap_or((0, u32::MAX));
+                if intra_cost + 2048 < best_cost {
+                    w.put_bit(false);
+                    w.put_bits(3, 2);
+                    self.code_intra_mb(w, cur, recon, mbx, mby, &mut dc);
+                    row.reset_mv();
+                    continue;
+                }
+                let (mut py, mut pcb, mut pcr) = ([0u8; 256], [0u8; 64], [0u8; 64]);
+                build_b_prediction(&self.dsp, fwd, bwd, mbx, mby, mode, mv_f, mv_b, &mut py, &mut pcb, &mut pcr);
+                let (blocks, cbp) = self.transform_mb(cur, mbx, mby, &py, &pcb, &pcr);
+
+                // Direct-mode skip (MPEG-4 B direct): prediction from the
+                // collocated anchor vectors costs a single bit.
+                let (dir_f, dir_b) = direct_mvs(fwd, bwd, display_index, mbx, mby);
+                let (mut dy_, mut dcb, mut dcr) = ([0u8; 256], [0u8; 64], [0u8; 64]);
+                build_b_prediction(&self.dsp, fwd, bwd, mbx, mby, 2, dir_f, dir_b, &mut dy_, &mut dcb, &mut dcr);
+                let (dblocks, dcbp) = self.transform_mb(cur, mbx, mby, &dy_, &dcb, &dcr);
+                if dcbp == 0 {
+                    w.put_bit(true);
+                    reconstruct_inter(&self.dsp, recon, mbx, mby, &dy_, &dcb, &dcr, &dblocks, 0, self.config.qscale);
+                    continue;
+                }
+                w.put_bit(false);
+                w.put_bits(u32::from(mode), 2);
+                if mode == 0 || mode == 2 {
+                    w.put_se(i32::from(mv_f.x - row.mv_pred.x));
+                    w.put_se(i32::from(mv_f.y - row.mv_pred.y));
+                    row.mv_pred = mv_f;
+                }
+                if mode == 1 || mode == 2 {
+                    w.put_se(i32::from(mv_b.x - row.mv_pred_bwd.x));
+                    w.put_se(i32::from(mv_b.y - row.mv_pred_bwd.y));
+                    row.mv_pred_bwd = mv_b;
+                }
+                w.put_bits(u32::from(cbp), 6);
+                for (i, bl) in blocks.iter().enumerate() {
+                    if cbp & (1 << (5 - i)) != 0 {
+                        write_coeffs(w, bl, 0);
+                    }
+                }
+                reconstruct_inter(&self.dsp, recon, mbx, mby, &py, &pcb, &pcr, &blocks, cbp, self.config.qscale);
+            }
+            w.byte_align();
+        }
+    }
+
+    /// Two-stage sub-pel refinement: half-pel lattice then quarter-pel,
+    /// for luma block `sub` (0 = whole 16×16, 1..=4 = 8×8 sub-block).
+    /// Vectors are quarter-pel; returns (mv, cost).
+    #[allow(clippy::too_many_arguments)]
+    fn refine_qpel(
+        &self,
+        cur: &Frame,
+        r: &RefPicture,
+        mbx: usize,
+        mby: usize,
+        sub: usize,
+        fullpel: Mv,
+        pred_qpel: Mv,
+        lambda: u32,
+    ) -> (Mv, u32) {
+        let (bx, by, bw, bh) = if sub == 0 {
+            (mbx * 16, mby * 16, 16, 16)
+        } else {
+            let k = sub - 1;
+            (mbx * 16 + (k % 2) * 8, mby * 16 + (k / 2) * 8, 8, 8)
+        };
+        let mut tmp = [0u8; 256];
+        let cur_y = &cur.y().data()[by * self.aw + bx..];
+        let mut cost_at = |qmv: Mv| -> u32 {
+            let ix = bx as isize + isize::from(qmv.x >> 2) - 2;
+            let iy = by as isize + isize::from(qmv.y >> 2) - 2;
+            self.dsp.qpel_luma(
+                &mut tmp,
+                bw,
+                r.y.row_from(ix, iy),
+                r.y.stride(),
+                (qmv.x & 3) as u8,
+                (qmv.y & 3) as u8,
+                bw,
+                bh,
+            );
+            self.dsp.sad(cur_y, self.aw, &tmp, bw, bw, bh) + lambda * mv_bits(qmv, pred_qpel)
+        };
+        // Half-pel stage on the half-pel lattice (even quarter values).
+        let center_h = fullpel.scaled(2);
+        let initial = cost_at(center_h.scaled(2));
+        let (best_h, cost_h) = subpel_refine(center_h, initial, SubpelStep::Half, |hmv| {
+            cost_at(hmv.scaled(2))
+        });
+        // Quarter-pel stage.
+        let center_q = best_h.scaled(2);
+        subpel_refine(center_q, cost_h, SubpelStep::Quarter, cost_at)
+    }
+
+    /// Mean-removed SAD of the luma macroblock (intra cost estimate).
+    fn mb_intra_activity(&self, cur: &Frame, mbx: usize, mby: usize) -> u32 {
+        let data = cur.y().data();
+        let base = mby * 16 * self.aw + mbx * 16;
+        let mut sum = 0u32;
+        for y in 0..16 {
+            for x in 0..16 {
+                sum += u32::from(data[base + y * self.aw + x]);
+            }
+        }
+        let mean = (sum / 256) as i32;
+        let mut act = 0u32;
+        for y in 0..16 {
+            for x in 0..16 {
+                act += (i32::from(data[base + y * self.aw + x]) - mean).unsigned_abs();
+            }
+        }
+        act
+    }
+
+    /// Transforms and quantises the six residual blocks; returns blocks
+    /// and coded-block pattern.
+    fn transform_mb(
+        &self,
+        cur: &Frame,
+        mbx: usize,
+        mby: usize,
+        py: &[u8; 256],
+        pcb: &[u8; 64],
+        pcr: &[u8; 64],
+    ) -> ([Block8; 6], u8) {
+        let mut blocks = [[0i16; 64]; 6];
+        let mut cbp = 0u8;
+        let aw = self.aw;
+        for b in 0..6 {
+            let (cur_slice, cur_stride, pred_slice, pred_stride): (&[u8], usize, &[u8], usize) =
+                match b {
+                    0..=3 => {
+                        let bx = mbx * 16 + (b % 2) * 8;
+                        let by = mby * 16 + (b / 2) * 8;
+                        (
+                            &cur.y().data()[by * aw + bx..],
+                            aw,
+                            &py[(b / 2) * 8 * 16 + (b % 2) * 8..],
+                            16,
+                        )
+                    }
+                    4 => (
+                        &cur.cb().data()[mby * 8 * (aw / 2) + mbx * 8..],
+                        aw / 2,
+                        &pcb[..],
+                        8,
+                    ),
+                    _ => (
+                        &cur.cr().data()[mby * 8 * (aw / 2) + mbx * 8..],
+                        aw / 2,
+                        &pcr[..],
+                        8,
+                    ),
+                };
+            let mut block = [0i16; 64];
+            self.dsp
+                .diff_block8(&mut block, cur_slice, cur_stride, pred_slice, pred_stride);
+            self.dsp.fdct8(&mut block);
+            let nz = self
+                .dsp
+                .quant8(&mut block, &MPEG_DEFAULT_NONINTRA, self.config.qscale, false);
+            if nz > 0 {
+                cbp |= 1 << (5 - b);
+            }
+            blocks[b] = block;
+        }
+        (blocks, cbp)
+    }
+}
+
+/// Median motion-vector predictor from the left, top and top-right
+/// macroblocks' quarter-pel vectors.
+pub(crate) fn median_pred(qfield: &MvField, mbx: usize, mby: usize) -> Mv {
+    let (x, y) = (mbx as isize, mby as isize);
+    median3(
+        qfield.get(x - 1, y),
+        qfield.get(x, y - 1),
+        qfield.get(x + 1, y - 1),
+    )
+}
+
+/// Source-plane geometry of intra block `b`.
+fn intra_geometry<'a>(
+    cur: &'a Frame,
+    mbx: usize,
+    mby: usize,
+    b: usize,
+) -> (&'a Plane, usize, usize, usize, usize) {
+    match b {
+        0..=3 => {
+            let bx = mbx * 16 + (b % 2) * 8;
+            let by = mby * 16 + (b / 2) * 8;
+            (cur.y(), 0, 0, bx, by)
+        }
+        4 => (cur.cb(), 0, 0, mbx * 8, mby * 8),
+        _ => (cur.cr(), 0, 0, mbx * 8, mby * 8),
+    }
+}
+
+/// Recon-plane geometry of intra block `b`.
+fn intra_recon_geometry(
+    recon: &mut Frame,
+    mbx: usize,
+    mby: usize,
+    b: usize,
+) -> (usize, &mut Plane, usize, usize) {
+    match b {
+        0..=3 => {
+            let bx = mbx * 16 + (b % 2) * 8;
+            let by = mby * 16 + (b / 2) * 8;
+            (0, recon.y_mut(), bx, by)
+        }
+        4 => (0, recon.cb_mut(), mbx * 8, mby * 8),
+        _ => (0, recon.cr_mut(), mbx * 8, mby * 8),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdvb_dsp::SimdLevel;
+
+    fn textured_frame(w: usize, h: usize, phase: f64) -> Frame {
+        let mut f = Frame::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                let v = 128.0
+                    + 55.0 * ((x as f64 + phase) * 0.2 + y as f64 * 0.1).sin()
+                    + 40.0 * (y as f64 * 0.15 - (x as f64 + phase) * 0.05).cos();
+                f.y_mut().set(x, y, v.clamp(0.0, 255.0) as u8);
+            }
+        }
+        for y in 0..h / 2 {
+            for x in 0..w / 2 {
+                f.cb_mut().set(x, y, 120 + ((x + y) % 16) as u8);
+                f.cr_mut().set(x, y, 130 - ((x * 2 + y) % 16) as u8);
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn gop_pattern_matches_paper() {
+        let mut enc = Mpeg4Encoder::new(EncoderConfig::new(64, 48)).unwrap();
+        let mut all = Vec::new();
+        for i in 0..7 {
+            all.extend(enc.encode(&textured_frame(64, 48, i as f64)).unwrap());
+        }
+        all.extend(enc.flush().unwrap());
+        let types: Vec<FrameType> = all.iter().map(|p| p.frame_type).collect();
+        assert_eq!(
+            types,
+            vec![
+                FrameType::I,
+                FrameType::P,
+                FrameType::B,
+                FrameType::B,
+                FrameType::P,
+                FrameType::B,
+                FrameType::B
+            ]
+        );
+    }
+
+    #[test]
+    fn dc_store_gradient_rule() {
+        let mut s = DcStore::new(4, 4);
+        // No neighbours: default.
+        assert_eq!(s.predict(0, 0), 128);
+        s.set(0, 0, 100); // B for (1,1)
+        s.set(1, 0, 110); // C for (1,1)
+        s.set(0, 1, 104); // A for (1,1)
+        // |A-B| = 4 < |B-C| = 10 -> predict from C.
+        assert_eq!(s.predict(1, 1), 110);
+        s.set(0, 1, 150);
+        // |A-B| = 50 >= 10 -> predict from A.
+        assert_eq!(s.predict(1, 1), 150);
+    }
+
+    #[test]
+    fn higher_qscale_means_fewer_bits() {
+        let frame = textured_frame(64, 48, 0.0);
+        let bits = |q: u16| {
+            let mut enc = Mpeg4Encoder::new(EncoderConfig::new(64, 48).with_qscale(q)).unwrap();
+            enc.encode(&frame).unwrap()[0].bits()
+        };
+        assert!(bits(20) < bits(2));
+    }
+
+    #[test]
+    fn scalar_and_simd_streams_are_identical() {
+        let mut scalar =
+            Mpeg4Encoder::new(EncoderConfig::new(64, 48).with_simd(SimdLevel::Scalar)).unwrap();
+        let mut simd =
+            Mpeg4Encoder::new(EncoderConfig::new(64, 48).with_simd(SimdLevel::Sse2)).unwrap();
+        for i in 0..5 {
+            let f = textured_frame(64, 48, i as f64 * 1.3);
+            assert_eq!(scalar.encode(&f).unwrap(), simd.encode(&f).unwrap());
+        }
+        assert_eq!(scalar.flush().unwrap(), simd.flush().unwrap());
+    }
+}

@@ -1,0 +1,104 @@
+//! Entropy-coding tables: zigzag scan and the MPEG-4-style 3-D
+//! `(last, run, level)` VLC.
+
+use hdvb_bits::VlcTable;
+use std::sync::OnceLock;
+
+/// The classic 8×8 zigzag scan order.
+pub(crate) const ZIGZAG: [usize; 64] = [
+    0, 1, 8, 16, 9, 2, 3, 10, //
+    17, 24, 32, 25, 18, 11, 4, 5, //
+    12, 19, 26, 33, 40, 48, 41, 34, //
+    27, 20, 13, 6, 7, 14, 21, 28, //
+    35, 42, 49, 56, 57, 50, 43, 36, //
+    29, 22, 15, 23, 30, 37, 44, 51, //
+    58, 59, 52, 45, 38, 31, 39, 46, //
+    53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// Run range covered by the table (0..=MAX_RUN).
+pub(crate) const MAX_RUN: u32 = 4;
+/// Level magnitude range covered by the table (1..=MAX_LEVEL).
+pub(crate) const MAX_LEVEL: u32 = 6;
+/// Symbol index of the escape marker.
+pub(crate) const SYM_ESCAPE: u32 = 60;
+
+/// Symbol for a `(last, run, |level|)` event within the table range.
+pub(crate) fn event_symbol(last: bool, run: u32, level_abs: u32) -> u32 {
+    debug_assert!(run <= MAX_RUN && (1..=MAX_LEVEL).contains(&level_abs));
+    u32::from(last) * 30 + run * MAX_LEVEL + (level_abs - 1)
+}
+
+/// Decomposes an event symbol into `(last, run, |level|)`.
+pub(crate) fn symbol_event(symbol: u32) -> (bool, u32, u32) {
+    debug_assert!(symbol < SYM_ESCAPE);
+    let last = symbol >= 30;
+    let idx = symbol % 30;
+    (last, idx / MAX_LEVEL, idx % MAX_LEVEL + 1)
+}
+
+/// Code lengths in the spirit of MPEG-4's intra/inter B-tables: common
+/// non-last events short, last events a little longer, 6-bit escape.
+const EVENT_LENGTHS: [u8; 61] = [
+    // last = 0, runs 0..=4 × |level| 1..=6
+    2, 4, 5, 6, 7, 8, //
+    3, 6, 8, 9, 10, 10, //
+    4, 7, 9, 10, 11, 11, //
+    5, 8, 10, 11, 12, 12, //
+    6, 9, 11, 12, 13, 13, //
+    // last = 1
+    4, 6, 8, 9, 10, 10, //
+    5, 8, 10, 11, 12, 12, //
+    6, 9, 11, 12, 13, 13, //
+    7, 10, 12, 13, 14, 14, //
+    7, 10, 12, 13, 14, 14, //
+    // escape
+    6,
+];
+
+/// The shared 3-D event table.
+pub(crate) fn event_table() -> &'static VlcTable {
+    static TABLE: OnceLock<VlcTable> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        VlcTable::from_lengths("mpeg4-event", &EVENT_LENGTHS)
+            .expect("static table lengths are valid")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_symbols_roundtrip() {
+        for last in [false, true] {
+            for run in 0..=MAX_RUN {
+                for level in 1..=MAX_LEVEL {
+                    let s = event_symbol(last, run, level);
+                    assert!(s < SYM_ESCAPE);
+                    assert_eq!(symbol_event(s), (last, run, level));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table_builds_and_is_biased_toward_non_last() {
+        let t = event_table();
+        assert_eq!(t.len(), 61);
+        assert!(
+            t.code_len(event_symbol(false, 0, 1)) < t.code_len(event_symbol(true, 0, 1))
+        );
+        assert_eq!(t.code_len(SYM_ESCAPE), 6);
+    }
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let mut seen = [false; 64];
+        for &i in &ZIGZAG {
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

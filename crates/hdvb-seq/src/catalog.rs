@@ -1,0 +1,207 @@
+use crate::{blue_sky, pedestrian, riverbed, rush_hour};
+use hdvb_frame::{Frame, FrameRate, Resolution, VideoFormat};
+use std::fmt;
+
+/// Number of frames per sequence in the benchmark (paper Table III).
+pub const FRAME_COUNT: u32 = 100;
+
+/// The four HD-VideoBench test sequences (paper Table III).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SequenceId {
+    /// Tops of two trees against a blue sky; camera rotation.
+    BlueSky,
+    /// Pedestrian area with large movers close to a static camera.
+    PedestrianArea,
+    /// Riverbed seen through water; very hard to code.
+    Riverbed,
+    /// Munich rush hour; many slowly moving cars, fixed camera.
+    RushHour,
+}
+
+impl SequenceId {
+    /// All four sequences, in the paper's table order.
+    pub const ALL: [SequenceId; 4] = [
+        SequenceId::BlueSky,
+        SequenceId::PedestrianArea,
+        SequenceId::Riverbed,
+        SequenceId::RushHour,
+    ];
+
+    /// Snake-case name used in file names and reports
+    /// (e.g. `"blue_sky"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SequenceId::BlueSky => "blue_sky",
+            SequenceId::PedestrianArea => "pedestrian_area",
+            SequenceId::Riverbed => "riverbed",
+            SequenceId::RushHour => "rush_hour",
+        }
+    }
+
+    /// The paper's description of the sequence (Table III).
+    pub fn description(self) -> &'static str {
+        match self {
+            SequenceId::BlueSky => {
+                "top of two trees against blue sky; high contrast, small colour \
+                 differences in the sky, many details, camera rotation"
+            }
+            SequenceId::PedestrianArea => {
+                "shot of a pedestrian area; low camera position, people pass very \
+                 close to the camera, high depth of field, static camera"
+            }
+            SequenceId::Riverbed => "riverbed seen through the water; very hard to code",
+            SequenceId::RushHour => {
+                "rush hour in Munich; many cars moving slowly, high depth of \
+                 focus, fixed camera"
+            }
+        }
+    }
+
+    /// Parses a sequence from its snake-case name.
+    pub fn from_name(name: &str) -> Option<SequenceId> {
+        SequenceId::ALL.into_iter().find(|s| s.name() == name)
+    }
+}
+
+impl fmt::Display for SequenceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A renderable test sequence: a [`SequenceId`] at a concrete resolution.
+///
+/// Frames are pure functions of the index, so a `Sequence` is `Copy` and
+/// never buffers pixel data.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Sequence {
+    id: SequenceId,
+    resolution: Resolution,
+}
+
+impl Sequence {
+    /// Creates a sequence at the given resolution.
+    pub fn new(id: SequenceId, resolution: Resolution) -> Self {
+        Sequence { id, resolution }
+    }
+
+    /// Which of the four clips this is.
+    pub fn id(&self) -> SequenceId {
+        self.id
+    }
+
+    /// The sequence's resolution.
+    pub fn resolution(&self) -> Resolution {
+        self.resolution
+    }
+
+    /// The raw video format (always 25 fps, 4:2:0 progressive).
+    pub fn format(&self) -> VideoFormat {
+        VideoFormat {
+            resolution: self.resolution,
+            frame_rate: FrameRate::FPS_25,
+        }
+    }
+
+    /// Renders frame `index` (0-based; the benchmark uses
+    /// `0..`[`FRAME_COUNT`]).
+    pub fn frame(&self, index: u32) -> Frame {
+        match self.id {
+            SequenceId::BlueSky => blue_sky::render(self.resolution, index),
+            SequenceId::PedestrianArea => pedestrian::render(self.resolution, index),
+            SequenceId::Riverbed => riverbed::render(self.resolution, index),
+            SequenceId::RushHour => rush_hour::render(self.resolution, index),
+        }
+    }
+
+    /// Iterator over the standard 100 frames.
+    pub fn frames(&self) -> impl Iterator<Item = Frame> + '_ {
+        (0..FRAME_COUNT).map(move |i| self.frame(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for id in SequenceId::ALL {
+            assert_eq!(SequenceId::from_name(id.name()), Some(id));
+        }
+        assert_eq!(SequenceId::from_name("nope"), None);
+    }
+
+    #[test]
+    fn all_sequences_render_at_all_test_resolutions() {
+        for id in SequenceId::ALL {
+            for res in [Resolution::new(64, 48), Resolution::new(96, 80)] {
+                let seq = Sequence::new(id, res);
+                let f = seq.frame(0);
+                assert_eq!(f.width(), res.width());
+                assert_eq!(f.height(), res.height());
+            }
+        }
+    }
+
+    #[test]
+    fn sequences_have_distinct_content() {
+        let res = Resolution::new(96, 64);
+        let frames: Vec<Frame> = SequenceId::ALL
+            .iter()
+            .map(|&id| Sequence::new(id, res).frame(0))
+            .collect();
+        for i in 0..frames.len() {
+            for j in i + 1..frames.len() {
+                assert_ne!(frames[i], frames[j], "{i} vs {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_sequence_has_motion() {
+        let res = Resolution::new(96, 64);
+        for id in SequenceId::ALL {
+            let seq = Sequence::new(id, res);
+            assert!(
+                seq.frame(0).y().sad(seq.frame(3).y()) > 0,
+                "{id} is static"
+            );
+        }
+    }
+
+    #[test]
+    fn riverbed_is_the_least_temporally_predictable() {
+        // The property that makes it "very hard to code" must hold
+        // relative to every other sequence.
+        let res = Resolution::new(96, 64);
+        let diff = |id: SequenceId| {
+            let s = Sequence::new(id, res);
+            s.frame(10).y().sad(s.frame(11).y())
+        };
+        let river = diff(SequenceId::Riverbed);
+        for other in [
+            SequenceId::BlueSky,
+            SequenceId::PedestrianArea,
+            SequenceId::RushHour,
+        ] {
+            assert!(
+                river > diff(other),
+                "riverbed ({river}) not harder than {other} ({})",
+                diff(other)
+            );
+        }
+    }
+
+    #[test]
+    fn format_is_25fps() {
+        let s = Sequence::new(SequenceId::BlueSky, Resolution::new(64, 64));
+        assert_eq!(s.format().frame_rate, FrameRate::FPS_25);
+    }
+
+    #[test]
+    fn frames_iterator_yields_100() {
+        let s = Sequence::new(SequenceId::RushHour, Resolution::new(16, 16));
+        assert_eq!(s.frames().count(), 100);
+    }
+}

@@ -1,0 +1,133 @@
+use crate::SplitMix;
+
+/// Seeded value noise over a 2-D lattice with smooth interpolation and
+/// octave stacking — the texture primitive behind all four generators.
+///
+/// Sampling is stateless: `sample(x, y)` is a pure function of the seed
+/// and coordinates, so generators can evaluate any frame independently.
+///
+/// # Example
+///
+/// ```
+/// use hdvb_seq::ValueNoise;
+///
+/// let n = ValueNoise::new(7);
+/// let v = n.fbm(1.5, 2.25, 3);
+/// assert!((-1.0..=1.0).contains(&v));
+/// assert_eq!(v, ValueNoise::new(7).fbm(1.5, 2.25, 3));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct ValueNoise {
+    seed: u64,
+}
+
+impl ValueNoise {
+    /// Creates a noise field from a seed.
+    pub fn new(seed: u64) -> Self {
+        ValueNoise { seed }
+    }
+
+    /// Lattice value in `[-1, 1]` at integer coordinates.
+    fn lattice(&self, ix: i64, iy: i64) -> f64 {
+        let h = SplitMix::hash3(self.seed, ix as u64, iy as u64);
+        (h >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+    }
+
+    /// Smoothly interpolated noise in `[-1, 1]` at continuous
+    /// coordinates.
+    pub fn sample(&self, x: f64, y: f64) -> f64 {
+        let ix = x.floor();
+        let iy = y.floor();
+        let fx = x - ix;
+        let fy = y - iy;
+        let sx = fx * fx * (3.0 - 2.0 * fx); // smoothstep
+        let sy = fy * fy * (3.0 - 2.0 * fy);
+        let (ix, iy) = (ix as i64, iy as i64);
+        let v00 = self.lattice(ix, iy);
+        let v10 = self.lattice(ix + 1, iy);
+        let v01 = self.lattice(ix, iy + 1);
+        let v11 = self.lattice(ix + 1, iy + 1);
+        let top = v00 + (v10 - v00) * sx;
+        let bot = v01 + (v11 - v01) * sx;
+        top + (bot - top) * sy
+    }
+
+    /// Fractal Brownian motion: `octaves` noise layers at doubling
+    /// frequency and halving amplitude, normalised to `[-1, 1]`.
+    pub fn fbm(&self, x: f64, y: f64, octaves: u32) -> f64 {
+        let mut sum = 0.0;
+        let mut amp = 1.0;
+        let mut freq = 1.0;
+        let mut norm = 0.0;
+        for o in 0..octaves.max(1) {
+            // Offset each octave so they do not share lattice points.
+            let off = o as f64 * 17.137;
+            sum += amp * self.sample(x * freq + off, y * freq + off);
+            norm += amp;
+            amp *= 0.5;
+            freq *= 2.0;
+        }
+        sum / norm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_is_continuous() {
+        let n = ValueNoise::new(3);
+        // Adjacent samples differ by a bounded amount.
+        let mut prev = n.sample(0.0, 0.5);
+        for i in 1..200 {
+            let v = n.sample(i as f64 * 0.05, 0.5);
+            assert!((v - prev).abs() < 0.35, "jump at {i}: {prev} -> {v}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn range_is_bounded() {
+        let n = ValueNoise::new(11);
+        for i in 0..500 {
+            let v = n.fbm(i as f64 * 0.173, i as f64 * 0.091, 4);
+            assert!((-1.0..=1.0).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let a = ValueNoise::new(1);
+        let b = ValueNoise::new(2);
+        let mut same = 0;
+        for i in 0..100 {
+            let x = i as f64 * 0.37;
+            if (a.sample(x, 0.0) - b.sample(x, 0.0)).abs() < 1e-6 {
+                same += 1;
+            }
+        }
+        assert!(same < 5);
+    }
+
+    #[test]
+    fn matches_lattice_at_integers() {
+        let n = ValueNoise::new(5);
+        // At integer coordinates interpolation weight is zero.
+        let direct = n.sample(3.0, 4.0);
+        assert!((-1.0..=1.0).contains(&direct));
+        // Moving a full cell changes the governing lattice point.
+        assert_ne!(n.sample(3.0, 4.0), n.sample(4.0, 4.0));
+    }
+
+    #[test]
+    fn variance_is_nontrivial() {
+        let n = ValueNoise::new(21);
+        let vals: Vec<f64> = (0..1000)
+            .map(|i| n.fbm((i % 40) as f64 * 0.31, (i / 40) as f64 * 0.29, 3))
+            .collect();
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64;
+        assert!(var > 0.01, "variance {var} too small");
+    }
+}

@@ -1,0 +1,28 @@
+//! Quickstart: encode one synthetic HD-VideoBench sequence with all
+//! three codecs at the paper's operating point and print the
+//! rate-distortion comparison.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use hd_videobench::bench::{measure_rd_point, CodecId, CodingOptions};
+use hd_videobench::frame::Resolution;
+use hd_videobench::seq::{Sequence, SequenceId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A reduced-size run so the quickstart finishes in seconds; the full
+    // benchmark (720x576 and up, 100 frames) lives in the `hdvb` CLI.
+    let resolution = Resolution::new(320, 256);
+    let frames = 10;
+    let options = CodingOptions::default(); // vqscale 5 / H.264 QP 26
+    let seq = Sequence::new(SequenceId::RushHour, resolution);
+
+    println!("sequence: {} at {}x{}, {frames} frames, qscale {} (H.264 QP {})",
+        seq.id(), resolution.width(), resolution.height(),
+        options.mpeg_qscale, options.h264_qp());
+    println!("{:<8} {:>10} {:>14}", "codec", "psnr (dB)", "bitrate (kbps)");
+    for codec in CodecId::ALL {
+        let rd = measure_rd_point(codec, seq, frames, &options)?;
+        println!("{:<8} {:>10.2} {:>14.0}", codec.name(), rd.psnr_y, rd.bitrate_kbps);
+    }
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! Sequence gallery: renders each HD-VideoBench input sequence
+//! (paper Table III) and prints the content statistics that justify the
+//! selection — spatial detail, temporal predictability and colour
+//! character. Optionally writes each clip to a `.y4m` file for viewing.
+//!
+//! Run with: `cargo run --release --example sequence_gallery [-- --write]`
+
+use hd_videobench::frame::{Resolution, Y4mWriter};
+use hd_videobench::seq::{Sequence, SequenceId};
+use std::fs::File;
+use std::io::BufWriter;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let write_files = std::env::args().any(|a| a == "--write");
+    let resolution = Resolution::new(320, 256);
+    let frames = 25;
+
+    println!("HD-VideoBench input sequences at {resolution}, {frames} frames\n");
+    println!(
+        "{:<16} {:>10} {:>12} {:>10} {:>10}",
+        "sequence", "mean luma", "spatial det.", "temp. diff", "mean cb"
+    );
+
+    for id in SequenceId::ALL {
+        let seq = Sequence::new(id, resolution);
+
+        // Spatial detail: mean horizontal gradient of frame 0.
+        let f0 = seq.frame(0);
+        let (w, h) = (f0.width(), f0.height());
+        let mut grad = 0u64;
+        for y in 0..h {
+            for x in 0..w - 1 {
+                grad += u64::from(f0.y().get(x, y).abs_diff(f0.y().get(x + 1, y)));
+            }
+        }
+        let spatial = grad as f64 / ((w - 1) * h) as f64;
+
+        // Temporal predictability: mean |frame(t) - frame(t+1)|.
+        let mut temporal = 0.0;
+        for t in 0..4 {
+            let a = seq.frame(t);
+            let b = seq.frame(t + 1);
+            temporal += a.y().sad(b.y()) as f64 / (w * h) as f64 / 4.0;
+        }
+
+        let mean_luma = f0.y().data().iter().map(|&v| f64::from(v)).sum::<f64>()
+            / f0.y().data().len() as f64;
+        let mean_cb = f0.cb().data().iter().map(|&v| f64::from(v)).sum::<f64>()
+            / f0.cb().data().len() as f64;
+
+        println!(
+            "{:<16} {:>10.1} {:>12.2} {:>10.2} {:>10.1}",
+            id.name(),
+            mean_luma,
+            spatial,
+            temporal,
+            mean_cb
+        );
+
+        if write_files {
+            let path = format!("{}_{}x{}.y4m", id.name(), w, h);
+            let mut writer = Y4mWriter::new(
+                BufWriter::new(File::create(&path)?),
+                resolution,
+                seq.format().frame_rate,
+            );
+            for i in 0..frames {
+                writer.write_frame(&seq.frame(i))?;
+            }
+            writer.into_inner()?;
+            println!("    -> wrote {path}");
+        }
+    }
+
+    println!(
+        "\nNote how riverbed has by far the largest temporal difference — the\n\
+         property the paper summarises as \"very hard to code\" — while\n\
+         blue_sky pairs high spatial contrast with smooth rotational motion."
+    );
+    Ok(())
+}

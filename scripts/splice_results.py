@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Splices the measured Table V / Figure 1 sweeps into EXPERIMENTS.md.
+
+Usage: python3 scripts/splice_results.py
+Reads results_table5.md and results_figure1.md from the repository root
+and replaces the TABLE5_MEASURED / FIGURE1_MEASURED markers.
+"""
+
+import pathlib
+import re
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def indent_block(path: pathlib.Path) -> str:
+    text = path.read_text().strip()
+    # Drop the leading title line the CLI prints; keep the tables.
+    lines = text.splitlines()
+    if lines and lines[0].startswith("# "):
+        lines = lines[1:]
+    return "\n".join(lines).strip()
+
+
+def main() -> None:
+    exp = ROOT / "EXPERIMENTS.md"
+    content = exp.read_text()
+    for marker, source in [
+        ("<!-- TABLE5_MEASURED -->", ROOT / "results_table5.md"),
+        ("<!-- FIGURE1_MEASURED -->", ROOT / "results_figure1.md"),
+    ]:
+        if not source.exists() or source.stat().st_size == 0:
+            print(f"skipping {source.name}: not ready")
+            continue
+        block = indent_block(source)
+        if marker in content:
+            content = content.replace(marker, block)
+            print(f"spliced {source.name}")
+        else:
+            # Already spliced once: refresh between the heading and the
+            # next '**Shape' marker is too fragile; just report.
+            print(f"marker for {source.name} already replaced")
+    exp.write_text(content)
+
+
+if __name__ == "__main__":
+    main()

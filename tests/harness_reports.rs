@@ -1,0 +1,118 @@
+//! Integration tests of the benchmark harness itself: report
+//! generation, the stream container, and Equation-1 behaviour across
+//! the full pipeline.
+
+use hd_videobench::bench::{
+    encode_sequence, figure1_markdown, measure_figure1_row, measure_rd_point, read_stream,
+    table5_markdown, write_stream, CodecId, CodingOptions, Figure1Row, StreamHeader, Table5Row,
+};
+use hd_videobench::dsp::SimdLevel;
+use hd_videobench::frame::Resolution;
+use hd_videobench::seq::{Sequence, SequenceId};
+
+#[test]
+fn table5_report_from_live_measurements() {
+    let options = CodingOptions::default();
+    let resolution = Resolution::new(96, 80);
+    let mut rows = Vec::new();
+    for sid in [SequenceId::BlueSky, SequenceId::RushHour] {
+        let seq = Sequence::new(sid, resolution);
+        let mut points = [(0.0, 0.0); 3];
+        for (ci, codec) in CodecId::ALL.iter().enumerate() {
+            let rd = measure_rd_point(*codec, seq, 4, &options).unwrap();
+            points[ci] = (rd.psnr_y, rd.bitrate_kbps);
+        }
+        rows.push(Table5Row {
+            resolution,
+            sequence: sid,
+            points,
+        });
+    }
+    let md = table5_markdown(&rows);
+    assert!(md.contains("blue_sky"));
+    assert!(md.contains("rush_hour"));
+    assert!(md.contains("compression gain"));
+    // Every cell is a finite positive number (format sanity).
+    for row in &rows {
+        for (psnr, kbps) in row.points {
+            assert!(psnr.is_finite() && psnr > 0.0);
+            assert!(kbps.is_finite() && kbps > 0.0);
+        }
+    }
+}
+
+#[test]
+fn figure1_report_from_live_measurements() {
+    let resolution = Resolution::new(96, 80);
+    let seq = Sequence::new(SequenceId::RushHour, resolution);
+    let mut rows = Vec::new();
+    for simd in [SimdLevel::Scalar, SimdLevel::Sse2] {
+        let options = CodingOptions::default().with_simd(simd);
+        let mut enc = [0.0; 3];
+        let mut dec = [0.0; 3];
+        for (ci, codec) in CodecId::ALL.iter().enumerate() {
+            let t = measure_figure1_row(*codec, seq, 4, &options).unwrap();
+            enc[ci] = t.encode_fps;
+            dec[ci] = t.decode_fps;
+        }
+        rows.push(Figure1Row {
+            resolution,
+            decode: true,
+            simd: simd == SimdLevel::Sse2,
+            fps: dec,
+        });
+        rows.push(Figure1Row {
+            resolution,
+            decode: false,
+            simd: simd == SimdLevel::Sse2,
+            fps: enc,
+        });
+    }
+    let md = figure1_markdown(&rows);
+    for part in ["(a)", "(b)", "(c)", "(d)"] {
+        assert!(md.contains(part), "missing subfigure {part}:\n{md}");
+    }
+    assert!(md.contains("SIMD speed-up"));
+}
+
+#[test]
+fn container_roundtrips_real_streams() {
+    let options = CodingOptions::default();
+    for codec in CodecId::ALL {
+        let seq = Sequence::new(SequenceId::PedestrianArea, Resolution::new(96, 80));
+        let enc = encode_sequence(codec, seq, 4, &options).unwrap();
+        let header = StreamHeader {
+            codec,
+            format: seq.format(),
+        };
+        let mut buf = Vec::new();
+        write_stream(&mut buf, &header, &enc.packets).unwrap();
+        let (h2, p2) = read_stream(&buf[..]).unwrap();
+        assert_eq!(h2.codec, codec);
+        assert_eq!(h2.format, seq.format());
+        assert_eq!(p2, enc.packets);
+    }
+}
+
+#[test]
+fn equation_one_scaling_preserves_equal_quality_protocol() {
+    // Moving the MPEG quantiser and mapping through Eq. 1 must move all
+    // codecs in the same quality direction.
+    let seq = Sequence::new(SequenceId::RushHour, Resolution::new(96, 80));
+    for codec in CodecId::ALL {
+        let fine = measure_rd_point(codec, seq, 4, &CodingOptions::default().with_qscale(3))
+            .unwrap();
+        let coarse = measure_rd_point(codec, seq, 4, &CodingOptions::default().with_qscale(16))
+            .unwrap();
+        assert!(
+            fine.psnr_y > coarse.psnr_y + 2.0,
+            "{codec}: qscale 3 ({:.1} dB) should beat qscale 16 ({:.1} dB)",
+            fine.psnr_y,
+            coarse.psnr_y
+        );
+        assert!(
+            fine.bitrate_kbps > coarse.bitrate_kbps,
+            "{codec}: finer quantiser must cost more bits"
+        );
+    }
+}
