@@ -61,11 +61,15 @@ fn print_ablations() {
     // quantiser).
     println!("\n=== B-frame ablation across codecs ===");
     for codec in CodecId::ALL {
-        let with_b = measure_rd_point(codec, seq, BENCH_FRAMES + 4, &CodingOptions::default())
-            .expect("rd");
-        let without =
-            measure_rd_point(codec, seq, BENCH_FRAMES + 4, &CodingOptions::default().with_b_frames(0))
-                .expect("rd");
+        let with_b =
+            measure_rd_point(codec, seq, BENCH_FRAMES + 4, &CodingOptions::default()).expect("rd");
+        let without = measure_rd_point(
+            codec,
+            seq,
+            BENCH_FRAMES + 4,
+            &CodingOptions::default().with_b_frames(0),
+        )
+        .expect("rd");
         println!(
             "{codec}: IPBB {:.0} kbps vs IPP {:.0} kbps ({:+.1}%)",
             with_b.bitrate_kbps,
@@ -87,9 +91,18 @@ fn bench_coding_tools(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     for (name, config) in [
         ("h264_baseline", H264Config::new(w, h).with_qp(24)),
-        ("h264_no_bframes", H264Config::new(w, h).with_qp(24).with_b_frames(0)),
-        ("h264_no_deblock", H264Config::new(w, h).with_qp(24).with_deblock(false)),
-        ("h264_single_ref", H264Config::new(w, h).with_qp(24).with_num_refs(1)),
+        (
+            "h264_no_bframes",
+            H264Config::new(w, h).with_qp(24).with_b_frames(0),
+        ),
+        (
+            "h264_no_deblock",
+            H264Config::new(w, h).with_qp(24).with_deblock(false),
+        ),
+        (
+            "h264_single_ref",
+            H264Config::new(w, h).with_qp(24).with_num_refs(1),
+        ),
     ] {
         group.bench_function(name, |b| b.iter(|| rd_h264(&frames, config)));
     }

@@ -17,17 +17,15 @@ fn bench_decode(c: &mut Criterion) {
         let seq = bench_sequence(SequenceId::BlueSky, resolution);
         let mut group = c.benchmark_group(format!("figure1_decode/{}", resolution.label()));
         group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
+        group.warm_up_time(std::time::Duration::from_millis(500));
+        group.measurement_time(std::time::Duration::from_secs(2));
         group.throughput(Throughput::Elements(u64::from(BENCH_FRAMES)));
         for codec in CodecId::ALL {
             let packets = pre_encode(codec, seq, BENCH_FRAMES, &options);
             for simd in [SimdLevel::Scalar, SimdLevel::Sse2] {
                 let id = format!("{}/{}", codec.name(), simd.label());
                 group.bench_function(&id, |b| {
-                    b.iter(|| {
-                        decode_sequence(codec, &packets, simd).expect("decode cannot fail")
-                    })
+                    b.iter(|| decode_sequence(codec, &packets, simd).expect("decode cannot fail"))
                 });
             }
         }

@@ -16,8 +16,8 @@ fn bench_encode(c: &mut Criterion) {
         let frames: Vec<Frame> = (0..BENCH_FRAMES).map(|i| seq.frame(i)).collect();
         let mut group = c.benchmark_group(format!("figure1_encode/{}", resolution.label()));
         group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
+        group.warm_up_time(std::time::Duration::from_millis(500));
+        group.measurement_time(std::time::Duration::from_secs(2));
         group.throughput(Throughput::Elements(u64::from(BENCH_FRAMES)));
         for codec in CodecId::ALL {
             for simd in [SimdLevel::Scalar, SimdLevel::Sse2] {

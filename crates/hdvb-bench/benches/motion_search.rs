@@ -79,7 +79,10 @@ fn bench_motion_search(c: &mut Criterion) {
 
     // Quality/effort summary (the ablation table).
     println!("\n=== Motion-search ablation (rush_hour 320x256, P frame) ===");
-    println!("{:<9} {:>12} {:>14}", "algorithm", "total SAD", "evaluations");
+    println!(
+        "{:<9} {:>12} {:>14}",
+        "algorithm", "total SAD", "evaluations"
+    );
     let full = sweep(&w, &dsp, "full");
     for algo in ["full", "diamond", "hexagon", "epzs"] {
         let (sad, evals) = sweep(&w, &dsp, algo);

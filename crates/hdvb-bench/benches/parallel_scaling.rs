@@ -1,0 +1,83 @@
+//! Encode-throughput scaling of the GOP-parallel encoder.
+//!
+//! Encodes `pedestrian_area` at 720p with 1, 2, 4 and 8 worker threads
+//! and reports fps, speed-up over the single-thread serial reference
+//! and parallel efficiency (speed-up / threads). The serial reference
+//! uses `encode_sequence` (the exact paper pipeline); the parallel runs
+//! use `encode_sequence_parallel` with one GOP-aligned chunk per
+//! thread.
+//!
+//! Environment overrides for quick runs:
+//! `HDVB_SCALING_FRAMES` (default 12), `HDVB_SCALING_SCALE` (resolution
+//! divisor, default 1 = full 720p).
+
+use hdvb_core::{encode_sequence, encode_sequence_parallel, CodecId, CodingOptions};
+use hdvb_frame::Resolution;
+use hdvb_par::ThreadPool;
+use hdvb_seq::{Sequence, SequenceId};
+use std::time::Instant;
+
+fn env_u32(name: &str, default: u32) -> u32 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(default)
+}
+
+fn main() {
+    let frames = env_u32("HDVB_SCALING_FRAMES", 12);
+    let scale = env_u32("HDVB_SCALING_SCALE", 1);
+    let resolution = Resolution::HD_720.scaled_down(scale);
+    let seq = Sequence::new(SequenceId::PedestrianArea, resolution);
+    let options = CodingOptions::default();
+    let machine = ThreadPool::default_threads();
+
+    println!(
+        "# GOP-parallel encode scaling — {} {} x {frames} frames (machine has {machine} hardware thread{})",
+        seq.id(),
+        resolution.label(),
+        if machine == 1 { "" } else { "s" },
+    );
+    println!();
+    println!("| codec | threads | chunks | wall s | cpu s | fps | speedup | efficiency |");
+    println!("|---|---|---|---|---|---|---|---|");
+
+    for codec in CodecId::ALL {
+        let mut serial_fps = 0.0;
+        for threads in [1usize, 2, 4, 8] {
+            let (fps, chunks, wall, cpu) = if threads == 1 {
+                let t0 = Instant::now();
+                let enc = encode_sequence(codec, seq, frames, &options)
+                    .expect("bench encode cannot fail");
+                let wall = t0.elapsed().as_secs_f64();
+                (enc.encode_fps(), 1, wall, enc.elapsed.as_secs_f64())
+            } else {
+                let pool = ThreadPool::new(threads);
+                let (enc, stats) =
+                    encode_sequence_parallel(codec, seq, frames, &options, &pool, threads)
+                        .expect("bench encode cannot fail");
+                (
+                    enc.encode_fps(),
+                    stats.chunks,
+                    stats.wall.as_secs_f64(),
+                    stats.cpu.as_secs_f64(),
+                )
+            };
+            if threads == 1 {
+                serial_fps = fps;
+            }
+            let speedup = fps / serial_fps.max(1e-9);
+            println!(
+                "| {} | {threads} | {chunks} | {wall:.2} | {cpu:.2} | {fps:.2} | {speedup:.2}x | {:.0}% |",
+                codec.name(),
+                100.0 * speedup / threads as f64,
+            );
+        }
+    }
+    println!();
+    println!(
+        "Speed-up is bounded by the machine's hardware threads ({machine}); \
+         efficiency = speedup / threads."
+    );
+}

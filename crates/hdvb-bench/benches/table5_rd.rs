@@ -19,8 +19,8 @@ fn print_table5() {
             let seq = bench_sequence(sid, resolution);
             let mut points = [(0.0, 0.0); 3];
             for (ci, codec) in CodecId::ALL.iter().enumerate() {
-                let rd = measure_rd_point(*codec, seq, BENCH_FRAMES, &options)
-                    .expect("rd measurement");
+                let rd =
+                    measure_rd_point(*codec, seq, BENCH_FRAMES, &options).expect("rd measurement");
                 points[ci] = (rd.psnr_y, rd.bitrate_kbps);
             }
             rows.push(Table5Row {
@@ -45,9 +45,7 @@ fn bench_rd_pipeline(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     for codec in CodecId::ALL {
         group.bench_function(codec.name(), |b| {
-            b.iter(|| {
-                measure_rd_point(codec, seq, BENCH_FRAMES, &options).expect("rd measurement")
-            })
+            b.iter(|| measure_rd_point(codec, seq, BENCH_FRAMES, &options).expect("rd measurement"))
         });
     }
     group.finish();

@@ -47,7 +47,10 @@ impl<'a> BitReader<'a> {
     /// [`BitsError::Eof`] at end of data.
     #[inline]
     pub fn get_bit(&mut self) -> Result<bool, BitsError> {
-        let byte = self.data.get((self.pos / 8) as usize).ok_or(BitsError::Eof)?;
+        let byte = self
+            .data
+            .get((self.pos / 8) as usize)
+            .ok_or(BitsError::Eof)?;
         let bit = (byte >> (7 - (self.pos % 8))) & 1;
         self.pos += 1;
         Ok(bit == 1)
@@ -145,7 +148,7 @@ impl<'a> BitReader<'a> {
 
     /// Skips forward to the next byte boundary (no-op when aligned).
     pub fn byte_align(&mut self) {
-        self.pos = (self.pos + 7) / 8 * 8;
+        self.pos = self.pos.div_ceil(8) * 8;
     }
 
     /// Reads `len` raw bytes; the reader must be byte-aligned.

@@ -284,11 +284,8 @@ mod tests {
 
     #[test]
     fn rejects_non_prefix_free() {
-        let err = VlcTable::new(
-            "bad",
-            &[VlcEntry::new(0b1, 1), VlcEntry::new(0b11, 2)],
-        )
-        .unwrap_err();
+        let err =
+            VlcTable::new("bad", &[VlcEntry::new(0b1, 1), VlcEntry::new(0b11, 2)]).unwrap_err();
         assert!(matches!(err, BuildVlcError::NotPrefixFree { .. }));
     }
 

@@ -102,6 +102,19 @@ impl Parsed {
         }
     }
 
+    /// Worker threads for the parallel runner; `0` (or `auto`, the
+    /// default) means the machine's available parallelism.
+    pub fn threads(&self) -> Result<usize, String> {
+        match self.get("threads") {
+            None | Some("auto") => Ok(0),
+            Some(v) => v
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| (1..=512).contains(&n))
+                .ok_or_else(|| format!("bad --threads {v:?} (1..=512 or auto)")),
+        }
+    }
+
     pub fn input(&self) -> Option<&str> {
         self.get("input")
     }
@@ -132,7 +145,13 @@ pub fn parse_resolution(s: &str) -> Result<Resolution, String> {
                 .ok_or_else(|| format!("bad resolution {custom:?}"))?;
             let w: u32 = w.parse().map_err(|_| format!("bad width in {custom:?}"))?;
             let h: u32 = h.parse().map_err(|_| format!("bad height in {custom:?}"))?;
-            if w < 16 || h < 16 || w % 2 != 0 || h % 2 != 0 || w > 16384 || h > 16384 {
+            if w < 16
+                || h < 16
+                || !w.is_multiple_of(2)
+                || !h.is_multiple_of(2)
+                || w > 16384
+                || h > 16384
+            {
                 return Err(format!("unsupported resolution {custom:?}"));
             }
             Ok(Resolution::new(w, h))
@@ -168,11 +187,22 @@ mod tests {
         assert_eq!(p.qscale().unwrap(), 5);
         assert_eq!(p.b_frames().unwrap(), 2);
         assert_eq!(p.scale().unwrap(), 1);
+        assert_eq!(p.threads().unwrap(), 0);
+    }
+
+    #[test]
+    fn threads_option() {
+        assert_eq!(parsed(&["--threads", "4"]).threads().unwrap(), 4);
+        assert_eq!(parsed(&["--threads", "auto"]).threads().unwrap(), 0);
+        assert!(parsed(&["--threads", "0"]).threads().is_err());
+        assert!(parsed(&["--threads", "lots"]).threads().is_err());
     }
 
     #[test]
     fn option_values() {
-        let p = parsed(&["--codec", "h264", "--frames", "12", "--simd", "scalar", "-o", "out.hvb"]);
+        let p = parsed(&[
+            "--codec", "h264", "--frames", "12", "--simd", "scalar", "-o", "out.hvb",
+        ]);
         assert_eq!(p.codec().unwrap(), CodecId::H264);
         assert_eq!(p.frames().unwrap(), 12);
         assert_eq!(p.simd().unwrap(), SimdLevel::Scalar);

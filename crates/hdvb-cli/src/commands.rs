@@ -2,12 +2,12 @@
 
 use crate::args::Parsed;
 use hdvb_core::{
-    create_encoder, decode_sequence, encode_sequence, figure1_markdown,
+    create_encoder, decode_sequence, encode_sequence, encode_sequence_parallel, figure1_markdown,
     measure_figure1_row, measure_rd_point, read_stream, table5_markdown, write_stream, CodecId,
-    CodingOptions, Figure1Row, Packet, StreamHeader, Table5Row,
+    CodingOptions, Figure1Part, Packet, ParallelRunner, StreamHeader,
 };
-use hdvb_dsp::SimdLevel;
 use hdvb_frame::{Frame, Resolution, SequencePsnr, VideoFormat, Y4mReader, Y4mWriter};
+use hdvb_par::ThreadPool;
 use hdvb_seq::{Sequence, SequenceId};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -25,7 +25,12 @@ fn options_from(p: &Parsed) -> Result<CodingOptions, String> {
 pub fn list_codecs() -> CmdResult {
     println!("codec   paper encoder   paper decoder");
     for c in CodecId::ALL {
-        println!("{:<7} {:<15} {}", c.name(), c.paper_encoder(), c.paper_decoder());
+        println!(
+            "{:<7} {:<15} {}",
+            c.name(),
+            c.paper_encoder(),
+            c.paper_decoder()
+        );
     }
     Ok(())
 }
@@ -54,7 +59,9 @@ pub fn generate(p: &Parsed) -> CmdResult {
             .write_frame(&seq.frame(i))
             .map_err(|e| format!("write failed: {e}"))?;
     }
-    writer.into_inner().map_err(|e| format!("flush failed: {e}"))?;
+    writer
+        .into_inner()
+        .map_err(|e| format!("flush failed: {e}"))?;
     println!("wrote {frames} frames of {} to {path}", seq.id());
     Ok(())
 }
@@ -69,7 +76,10 @@ fn read_y4m(path: &str) -> Result<(VideoFormat, Vec<Frame>), String> {
         frame_rate: reader.frame_rate(),
     };
     let mut frames = Vec::new();
-    while let Some(f) = reader.read_frame().map_err(|e| format!("read failed: {e}"))? {
+    while let Some(f) = reader
+        .read_frame()
+        .map_err(|e| format!("read failed: {e}"))?
+    {
         frames.push(f);
     }
     Ok((format, frames))
@@ -83,8 +93,8 @@ pub fn encode(p: &Parsed) -> CmdResult {
     let (format, packets, frames, elapsed) = if let Some(input) = p.input() {
         // Encode an external .y4m file.
         let (format, frames_in) = read_y4m(input)?;
-        let mut enc = create_encoder(codec, format.resolution, &options)
-            .map_err(|e| e.to_string())?;
+        let mut enc =
+            create_encoder(codec, format.resolution, &options).map_err(|e| e.to_string())?;
         let mut packets: Vec<Packet> = Vec::new();
         let t0 = Instant::now();
         for f in &frames_in {
@@ -93,10 +103,25 @@ pub fn encode(p: &Parsed) -> CmdResult {
         packets.extend(enc.finish().map_err(|e| e.to_string())?);
         (format, packets, frames_in.len() as u32, t0.elapsed())
     } else {
-        // Encode a synthetic benchmark sequence.
+        // Encode a synthetic benchmark sequence, GOP-parallel when more
+        // than one thread is requested.
         let seq = Sequence::new(p.sequence()?, p.resolution()?);
-        let result =
-            encode_sequence(codec, seq, p.frames()?, &options).map_err(|e| e.to_string())?;
+        let threads = resolve_threads(p)?;
+        let result = if threads > 1 {
+            let pool = ThreadPool::new(threads);
+            let (result, stats) =
+                encode_sequence_parallel(codec, seq, p.frames()?, &options, &pool, threads)
+                    .map_err(|e| e.to_string())?;
+            eprintln!(
+                "GOP-parallel encode: {} chunks on {threads} threads, wall {:.2}s, cpu {:.2}s",
+                stats.chunks,
+                stats.wall.as_secs_f64(),
+                stats.cpu.as_secs_f64()
+            );
+            result
+        } else {
+            encode_sequence(codec, seq, p.frames()?, &options).map_err(|e| e.to_string())?
+        };
         (seq.format(), result.packets, result.frames, result.elapsed)
     };
 
@@ -139,7 +164,9 @@ pub fn decode(p: &Parsed) -> CmdResult {
                 .write_frame(f)
                 .map_err(|e| format!("write failed: {e}"))?;
         }
-        writer.into_inner().map_err(|e| format!("flush failed: {e}"))?;
+        writer
+            .into_inner()
+            .map_err(|e| format!("flush failed: {e}"))?;
         println!("wrote {out_path}");
     }
     Ok(())
@@ -181,11 +208,50 @@ pub fn psnr(p: &Parsed) -> CmdResult {
     Ok(())
 }
 
+/// Resolves `--threads` to a concrete worker count (`0` = machine).
+fn resolve_threads(p: &Parsed) -> Result<usize, String> {
+    Ok(match p.threads()? {
+        0 => ThreadPool::default_threads(),
+        n => n,
+    })
+}
+
 pub fn bench(p: &Parsed) -> CmdResult {
     let codec = p.codec()?;
     let seq = Sequence::new(p.sequence()?, p.resolution()?);
     let options = options_from(p)?;
     let frames = p.frames()?;
+    let threads = resolve_threads(p)?;
+    if threads > 1 {
+        // GOP-parallel encode: N concurrent encoder instances on
+        // GOP-aligned chunks, spliced into one stream.
+        let pool = ThreadPool::new(threads);
+        let (enc, stats) = encode_sequence_parallel(codec, seq, frames, &options, &pool, threads)
+            .map_err(|e| e.to_string())?;
+        let dec = decode_sequence(codec, &enc.packets, options.simd).map_err(|e| e.to_string())?;
+        let mut acc = SequencePsnr::new();
+        for (i, d) in dec.frames.iter().enumerate() {
+            acc.add(&seq.frame(i as u32), d);
+        }
+        println!(
+            "{codec} {} {} {} frames ({}): encode {:.2} fps on {threads} threads \
+             ({} chunks, wall {:.2}s, cpu {:.2}s, speedup {:.2}x), decode {:.2} fps, \
+             {:.2} dB, {:.0} kbit/s",
+            seq.id(),
+            seq.resolution().label(),
+            frames,
+            options.simd.label(),
+            enc.encode_fps(),
+            stats.chunks,
+            stats.wall.as_secs_f64(),
+            stats.cpu.as_secs_f64(),
+            stats.cpu.as_secs_f64() / stats.wall.as_secs_f64().max(1e-9),
+            dec.decode_fps(),
+            acc.y_psnr(),
+            enc.bitrate_kbps(),
+        );
+        return Ok(());
+    }
     let t = measure_figure1_row(codec, seq, frames, &options).map_err(|e| e.to_string())?;
     let rd = measure_rd_point(codec, seq, frames, &options).map_err(|e| e.to_string())?;
     println!(
@@ -215,92 +281,51 @@ pub fn table5(p: &Parsed) -> CmdResult {
     let options = options_from(p)?;
     let frames = p.frames()?;
     let scale = p.scale()?;
-    let mut rows = Vec::new();
-    for resolution in benchmark_resolutions(scale) {
-        for sid in SequenceId::ALL {
-            let seq = Sequence::new(sid, resolution);
-            let mut points = [(0.0, 0.0); 3];
-            for (ci, codec) in CodecId::ALL.iter().enumerate() {
-                eprintln!("measuring {codec} on {sid} at {resolution} ...");
-                let rd = measure_rd_point(*codec, seq, frames, &options)
-                    .map_err(|e| e.to_string())?;
-                points[ci] = (rd.psnr_y, rd.bitrate_kbps);
-            }
-            rows.push(Table5Row {
-                resolution,
-                sequence: sid,
-                points,
-            });
-        }
-    }
-    println!("# Table V — rate-distortion comparison ({frames} frames, qscale {}, scale 1/{scale})", options.mpeg_qscale);
+    let runner = ParallelRunner::new(p.threads()?);
+    let resolutions = benchmark_resolutions(scale);
+    eprintln!(
+        "measuring {} rate-distortion cells on {} thread(s) ...",
+        resolutions.len() * SequenceId::ALL.len() * CodecId::ALL.len(),
+        runner.threads()
+    );
+    let (rows, report) = runner
+        .table5_rows(&resolutions, frames, &options)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "# Table V — rate-distortion comparison ({frames} frames, qscale {}, scale 1/{scale})",
+        options.mpeg_qscale
+    );
     println!();
     print!("{}", table5_markdown(&rows));
+    eprintln!("{}", report.summary());
     Ok(())
 }
 
 pub fn figure1(p: &Parsed) -> CmdResult {
+    let options = options_from(p)?;
     let frames = p.frames()?;
     let scale = p.scale()?;
-    let part = p.part()?.to_string();
-    let wanted = |decode: bool, simd: bool| -> bool {
-        match part.as_str() {
-            "a" => decode && !simd,
-            "b" => decode && simd,
-            "c" => !decode && !simd,
-            "d" => !decode && simd,
-            _ => true,
-        }
-    };
-    let mut rows = Vec::new();
-    for resolution in benchmark_resolutions(scale) {
-        for simd in [SimdLevel::Scalar, SimdLevel::Sse2] {
-            if !wanted(true, simd == SimdLevel::Sse2) && !wanted(false, simd == SimdLevel::Sse2) {
-                continue;
-            }
-            let options = options_from(p)?.with_simd(simd);
-            let mut enc_fps = [0.0; 3];
-            let mut dec_fps = [0.0; 3];
-            for (ci, codec) in CodecId::ALL.iter().enumerate() {
-                // Average over the four input sequences, like the figure.
-                let mut enc_sum = 0.0;
-                let mut dec_sum = 0.0;
-                for sid in SequenceId::ALL {
-                    eprintln!(
-                        "measuring {codec} on {sid} at {resolution} ({}) ...",
-                        simd.label()
-                    );
-                    let seq = Sequence::new(sid, resolution);
-                    let t = measure_figure1_row(*codec, seq, frames, &options)
-                        .map_err(|e| e.to_string())?;
-                    enc_sum += t.encode_fps;
-                    dec_sum += t.decode_fps;
-                }
-                enc_fps[ci] = enc_sum / SequenceId::ALL.len() as f64;
-                dec_fps[ci] = dec_sum / SequenceId::ALL.len() as f64;
-            }
-            let is_simd = simd == SimdLevel::Sse2;
-            if wanted(true, is_simd) {
-                rows.push(Figure1Row {
-                    resolution,
-                    decode: true,
-                    simd: is_simd,
-                    fps: dec_fps,
-                });
-            }
-            if wanted(false, is_simd) {
-                rows.push(Figure1Row {
-                    resolution,
-                    decode: false,
-                    simd: is_simd,
-                    fps: enc_fps,
-                });
-            }
-        }
+    let part = Figure1Part::from_name(p.part()?).expect("part already validated");
+    let runner = ParallelRunner::new(p.threads()?);
+    let resolutions = benchmark_resolutions(scale);
+    eprintln!(
+        "measuring figure 1 ({:?}) on {} thread(s) ...",
+        part,
+        runner.threads()
+    );
+    if runner.threads() > 1 {
+        eprintln!(
+            "note: fps columns are wall-clock; concurrent cells contend, \
+             use --threads 1 for reference timings"
+        );
     }
+    let (rows, report) = runner
+        .figure1_rows(&resolutions, frames, &options, part)
+        .map_err(|e| e.to_string())?;
     println!("# Figure 1 — HD-VideoBench performance ({frames} frames, scale 1/{scale})");
     println!();
     print!("{}", figure1_markdown(&rows));
+    eprintln!("{}", report.summary());
     Ok(())
 }
 
@@ -311,7 +336,10 @@ mod tests {
     #[test]
     fn benchmark_resolutions_scaling() {
         let full = benchmark_resolutions(1);
-        assert_eq!(full, vec![Resolution::DVD_576, Resolution::HD_720, Resolution::HD_1088]);
+        assert_eq!(
+            full,
+            vec![Resolution::DVD_576, Resolution::HD_720, Resolution::HD_1088]
+        );
         let quarter = benchmark_resolutions(4);
         assert_eq!(quarter[0], Resolution::DVD_576.scaled_down(4));
         assert!(quarter[2].width() < 500);

@@ -37,13 +37,19 @@ COMMON OPTIONS:
     -i, --input <file>              input file (.y4m for encode, .hvb for decode)
     -o, --output <file>             output file
     --scale <d>                     divide benchmark resolutions by d (quick runs)
+    --threads <n|auto>              worker threads                        [default: auto]
+                                    table5/figure1 fan independent grid cells over
+                                    the pool (table5 numbers identical to
+                                    --threads 1; figure1 fps are wall-clock, so
+                                    use --threads 1 for reference timings);
+                                    bench/encode use GOP-parallel encoding
 
 EXAMPLES:
     hdvb encode --codec h264 --sequence blue_sky --resolution 720p25 -o out.hvb
     hdvb decode -i out.hvb --simd scalar -o out.y4m
     hdvb psnr -i out.y4m --sequence blue_sky
-    hdvb table5 --frames 24 --scale 2
-    hdvb figure1 --frames 24 --scale 2
+    hdvb table5 --frames 24 --scale 2 --threads 4
+    hdvb figure1 --frames 24 --scale 2 --threads 4
 ";
 
 fn main() -> ExitCode {

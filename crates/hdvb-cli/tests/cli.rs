@@ -48,8 +48,16 @@ fn encode_decode_generate_pipeline() {
     // Encode a tiny synthetic clip.
     let out = hdvb()
         .args([
-            "encode", "--codec", "mpeg2", "--sequence", "rush_hour", "--resolution", "96x80",
-            "--frames", "5", "-o",
+            "encode",
+            "--codec",
+            "mpeg2",
+            "--sequence",
+            "rush_hour",
+            "--resolution",
+            "96x80",
+            "--frames",
+            "5",
+            "-o",
         ])
         .arg(&stream)
         .output()
@@ -80,7 +88,13 @@ fn encode_decode_generate_pipeline() {
     // Generate the raw original too.
     let out = hdvb()
         .args([
-            "generate", "--sequence", "rush_hour", "--resolution", "96x80", "--frames", "5",
+            "generate",
+            "--sequence",
+            "rush_hour",
+            "--resolution",
+            "96x80",
+            "--frames",
+            "5",
             "-o",
         ])
         .arg(&raw)
@@ -117,8 +131,15 @@ fn encode_decode_generate_pipeline() {
 fn bench_command_reports_fps() {
     let out = hdvb()
         .args([
-            "bench", "--codec", "mpeg4", "--sequence", "blue_sky", "--resolution", "96x80",
-            "--frames", "4",
+            "bench",
+            "--codec",
+            "mpeg4",
+            "--sequence",
+            "blue_sky",
+            "--resolution",
+            "96x80",
+            "--frames",
+            "4",
         ])
         .output()
         .unwrap();

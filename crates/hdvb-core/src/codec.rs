@@ -189,7 +189,12 @@ macro_rules! impl_adapters {
 
         impl VideoEncoder for $enc {
             fn encode_frame(&mut self, frame: &Frame) -> Result<Vec<Packet>, BenchError> {
-                Ok(self.0.encode(frame)?.into_iter().map(convert_packet).collect())
+                Ok(self
+                    .0
+                    .encode(frame)?
+                    .into_iter()
+                    .map(convert_packet)
+                    .collect())
             }
 
             fn finish(&mut self) -> Result<Vec<Packet>, BenchError> {
@@ -285,9 +290,27 @@ fn convert_packet<P: IntoUnifiedPacket>(p: P) -> Packet {
     p.into_unified()
 }
 
-impl_adapters!(Mpeg2Enc, Mpeg2Dec, hdvb_mpeg2::Mpeg2Encoder, hdvb_mpeg2::Mpeg2Decoder, hdvb_mpeg2::FrameType);
-impl_adapters!(Mpeg4Enc, Mpeg4Dec, hdvb_mpeg4::Mpeg4Encoder, hdvb_mpeg4::Mpeg4Decoder, hdvb_mpeg4::FrameType);
-impl_adapters!(H264Enc, H264Dec, hdvb_h264::H264Encoder, hdvb_h264::H264Decoder, hdvb_h264::FrameType);
+impl_adapters!(
+    Mpeg2Enc,
+    Mpeg2Dec,
+    hdvb_mpeg2::Mpeg2Encoder,
+    hdvb_mpeg2::Mpeg2Decoder,
+    hdvb_mpeg2::FrameType
+);
+impl_adapters!(
+    Mpeg4Enc,
+    Mpeg4Dec,
+    hdvb_mpeg4::Mpeg4Encoder,
+    hdvb_mpeg4::Mpeg4Decoder,
+    hdvb_mpeg4::FrameType
+);
+impl_adapters!(
+    H264Enc,
+    H264Dec,
+    hdvb_h264::H264Encoder,
+    hdvb_h264::H264Decoder,
+    hdvb_h264::FrameType
+);
 
 #[cfg(test)]
 mod tests {

@@ -28,16 +28,22 @@
 mod codec;
 mod error;
 mod options;
+mod parallel;
 mod report;
 mod runner;
 mod stream;
 
-pub use codec::{create_decoder, create_encoder, CodecId, Packet, PacketKind, VideoDecoder, VideoEncoder};
+pub use codec::{
+    create_decoder, create_encoder, CodecId, Packet, PacketKind, VideoDecoder, VideoEncoder,
+};
 pub use error::BenchError;
 pub use options::{h264_qp_for_mpeg_qscale, CodingOptions};
+pub use parallel::{
+    encode_sequence_parallel, ExecutionReport, Figure1Part, ParallelEncodeStats, ParallelRunner,
+};
 pub use report::{figure1_markdown, table5_markdown, Figure1Row, Table5Row};
-pub use stream::{read_stream, write_stream, StreamHeader};
 pub use runner::{
     decode_sequence, encode_sequence, measure_figure1_row, measure_rd_point, DecodeResult,
     EncodeResult, RdPoint, Throughput,
 };
+pub use stream::{read_stream, write_stream, StreamHeader};

@@ -66,8 +66,8 @@ impl CodingOptions {
     /// The equivalent H.264 QP for this operating point: Equation 1
     /// plus the implementation-calibration offset.
     pub fn h264_qp(&self) -> u8 {
-        let qp = i16::from(h264_qp_for_mpeg_qscale(self.mpeg_qscale))
-            + i16::from(self.h264_qp_offset);
+        let qp =
+            i16::from(h264_qp_for_mpeg_qscale(self.mpeg_qscale)) + i16::from(self.h264_qp_offset);
         qp.clamp(0, 51) as u8
     }
 

@@ -97,7 +97,10 @@ pub fn figure1_markdown(rows: &[Figure1Row]) -> String {
             continue;
         }
         let _ = writeln!(out, "### Figure 1{label}");
-        let _ = writeln!(out, "| Resolution | MPEG-2 fps | MPEG-4 fps | H.264 fps | real-time (25 fps)? |");
+        let _ = writeln!(
+            out,
+            "| Resolution | MPEG-2 fps | MPEG-4 fps | H.264 fps | real-time (25 fps)? |"
+        );
         let _ = writeln!(out, "|---|---|---|---|---|");
         for r in part {
             let rt: Vec<&str> = r

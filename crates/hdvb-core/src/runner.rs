@@ -243,7 +243,11 @@ mod tests {
                 "{codec}: psnr {:.1}",
                 rd.psnr_y
             );
-            assert!(rd.ssim_y > 0.7 && rd.ssim_y <= 1.0, "{codec}: ssim {}", rd.ssim_y);
+            assert!(
+                rd.ssim_y > 0.7 && rd.ssim_y <= 1.0,
+                "{codec}: ssim {}",
+                rd.ssim_y
+            );
             assert!(rd.bitrate_kbps > 0.0);
         }
     }

@@ -90,7 +90,9 @@ pub fn write_stream<W: Write>(
         .map_err(io)?;
     for p in packets {
         writer.write_all(&[kind_byte(p.kind)]).map_err(io)?;
-        writer.write_all(&p.display_index.to_le_bytes()).map_err(io)?;
+        writer
+            .write_all(&p.display_index.to_le_bytes())
+            .map_err(io)?;
         writer
             .write_all(&(p.data.len() as u32).to_le_bytes())
             .map_err(io)?;
@@ -114,7 +116,9 @@ pub fn read_stream<R: Read>(mut reader: R) -> Result<(StreamHeader, Vec<Packet>)
     if &buf4 != MAGIC {
         return Err(bad("not an HVB1 stream"));
     }
-    reader.read_exact(&mut buf1).map_err(|_| bad("truncated header"))?;
+    reader
+        .read_exact(&mut buf1)
+        .map_err(|_| bad("truncated header"))?;
     let codec = codec_from_byte(buf1[0]).ok_or_else(|| bad("unknown codec id"))?;
     let read_u32 = |r: &mut R| -> Result<u32, BenchError> {
         let mut b = [0u8; 4];
@@ -123,7 +127,13 @@ pub fn read_stream<R: Read>(mut reader: R) -> Result<(StreamHeader, Vec<Packet>)
     };
     let width = read_u32(&mut reader)?;
     let height = read_u32(&mut reader)?;
-    if width < 16 || height < 16 || width > 16384 || height > 16384 || width % 2 != 0 || height % 2 != 0 {
+    if width < 16
+        || height < 16
+        || width > 16384
+        || height > 16384
+        || width % 2 != 0
+        || height % 2 != 0
+    {
         return Err(bad("implausible stream geometry"));
     }
     let num = read_u32(&mut reader)?.max(1);

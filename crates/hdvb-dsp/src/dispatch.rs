@@ -105,9 +105,17 @@ impl Dsp {
     /// Panics (in debug builds) if the slices are too short for the
     /// requested geometry.
     #[inline]
-    pub fn sad(&self, a: &[u8], a_stride: usize, b: &[u8], b_stride: usize, w: usize, h: usize) -> u32 {
+    pub fn sad(
+        &self,
+        a: &[u8],
+        a_stride: usize,
+        b: &[u8],
+        b_stride: usize,
+        w: usize,
+        h: usize,
+    ) -> u32 {
         #[cfg(target_arch = "x86_64")]
-        if self.use_sse2() && w % 8 == 0 {
+        if self.use_sse2() && w.is_multiple_of(8) {
             // SAFETY: sse2 is architecturally guaranteed on x86_64.
             return unsafe { crate::sse2::sad_sse2(a, a_stride, b, b_stride, w, h) };
         }
@@ -121,8 +129,19 @@ impl Dsp {
     ///
     /// Panics if `w` or `h` is not a multiple of 4.
     #[inline]
-    pub fn satd(&self, a: &[u8], a_stride: usize, b: &[u8], b_stride: usize, w: usize, h: usize) -> u32 {
-        assert!(w % 4 == 0 && h % 4 == 0, "satd blocks must be 4-aligned");
+    pub fn satd(
+        &self,
+        a: &[u8],
+        a_stride: usize,
+        b: &[u8],
+        b_stride: usize,
+        w: usize,
+        h: usize,
+    ) -> u32 {
+        assert!(
+            w.is_multiple_of(4) && h.is_multiple_of(4),
+            "satd blocks must be 4-aligned"
+        );
         #[cfg(target_arch = "x86_64")]
         if self.use_sse2() {
             // SAFETY: sse2 is architecturally guaranteed on x86_64.
@@ -133,7 +152,15 @@ impl Dsp {
 
     /// Sum of squared differences over a `w`×`h` block.
     #[inline]
-    pub fn ssd(&self, a: &[u8], a_stride: usize, b: &[u8], b_stride: usize, w: usize, h: usize) -> u64 {
+    pub fn ssd(
+        &self,
+        a: &[u8],
+        a_stride: usize,
+        b: &[u8],
+        b_stride: usize,
+        w: usize,
+        h: usize,
+    ) -> u64 {
         // SSD is off the hot path (used for PSNR-style decisions only);
         // a single scalar implementation keeps both levels identical.
         crate::pixel::ssd_scalar(a, a_stride, b, b_stride, w, h)
@@ -189,7 +216,13 @@ impl Dsp {
     /// search and the forward DCT), which also guarantees identical
     /// levels regardless of the SIMD setting.
     #[inline]
-    pub fn quant8(&self, block: &mut Block8, matrix: &QuantMatrix, qscale: u16, intra: bool) -> u32 {
+    pub fn quant8(
+        &self,
+        block: &mut Block8,
+        matrix: &QuantMatrix,
+        qscale: u16,
+        intra: bool,
+    ) -> u32 {
         crate::quant::quant8_scalar(block, matrix, qscale, intra)
     }
 
@@ -208,20 +241,37 @@ impl Dsp {
 
     /// Copies a `w`×`h` block.
     #[inline]
-    pub fn copy_block(&self, dst: &mut [u8], dst_stride: usize, src: &[u8], src_stride: usize, w: usize, h: usize) {
+    pub fn copy_block(
+        &self,
+        dst: &mut [u8],
+        dst_stride: usize,
+        src: &[u8],
+        src_stride: usize,
+        w: usize,
+        h: usize,
+    ) {
         crate::pixel::copy_block(dst, dst_stride, src, src_stride, w, h);
     }
 
     /// Rounded average of two blocks (`(a + b + 1) >> 1`), the kernel for
     /// bi-prediction and half-pel averaging.
     #[inline]
-    pub fn avg_block(&self, dst: &mut [u8], dst_stride: usize, a: &[u8], a_stride: usize, b: &[u8], b_stride: usize, w: usize, h: usize) {
+    #[allow(clippy::too_many_arguments)]
+    pub fn avg_block(
+        &self,
+        dst: &mut [u8],
+        dst_stride: usize,
+        a: &[u8],
+        a_stride: usize,
+        b: &[u8],
+        b_stride: usize,
+        w: usize,
+        h: usize,
+    ) {
         #[cfg(target_arch = "x86_64")]
-        if self.use_sse2() && w % 8 == 0 {
+        if self.use_sse2() && w.is_multiple_of(8) {
             // SAFETY: sse2 is architecturally guaranteed on x86_64.
-            unsafe {
-                crate::sse2::avg_block_sse2(dst, dst_stride, a, a_stride, b, b_stride, w, h)
-            };
+            unsafe { crate::sse2::avg_block_sse2(dst, dst_stride, a, a_stride, b, b_stride, w, h) };
             return;
         }
         crate::pixel::avg_block_scalar(dst, dst_stride, a, a_stride, b, b_stride, w, h)
@@ -231,9 +281,20 @@ impl Dsp {
     /// `(fx, fy) ∈ {0, 1}²` in half-pel units (MPEG-2/MPEG-4 motion
     /// compensation).
     #[inline]
-    pub fn hpel_interp(&self, dst: &mut [u8], dst_stride: usize, src: &[u8], src_stride: usize, fx: u8, fy: u8, w: usize, h: usize) {
+    #[allow(clippy::too_many_arguments)]
+    pub fn hpel_interp(
+        &self,
+        dst: &mut [u8],
+        dst_stride: usize,
+        src: &[u8],
+        src_stride: usize,
+        fx: u8,
+        fy: u8,
+        w: usize,
+        h: usize,
+    ) {
         #[cfg(target_arch = "x86_64")]
-        if self.use_sse2() && w % 8 == 0 {
+        if self.use_sse2() && w.is_multiple_of(8) {
             // SAFETY: sse2 is architecturally guaranteed on x86_64.
             unsafe {
                 crate::sse2::hpel_interp_sse2(dst, dst_stride, src, src_stride, fx, fy, w, h)
@@ -247,9 +308,17 @@ impl Dsp {
     /// horizontal direction; `src[0]` must be 2 samples left of the block
     /// origin.
     #[inline]
-    pub fn sixtap_h(&self, dst: &mut [u8], dst_stride: usize, src: &[u8], src_stride: usize, w: usize, h: usize) {
+    pub fn sixtap_h(
+        &self,
+        dst: &mut [u8],
+        dst_stride: usize,
+        src: &[u8],
+        src_stride: usize,
+        w: usize,
+        h: usize,
+    ) {
         #[cfg(target_arch = "x86_64")]
-        if self.use_sse2() && w % 8 == 0 {
+        if self.use_sse2() && w.is_multiple_of(8) {
             // SAFETY: sse2 is architecturally guaranteed on x86_64.
             unsafe { crate::sse2::sixtap_h_sse2(dst, dst_stride, src, src_stride, w, h) };
             return;
@@ -260,9 +329,17 @@ impl Dsp {
     /// H.264-style 6-tap half-pel filter in the vertical direction;
     /// `src[0]` must be 2 rows above the block origin.
     #[inline]
-    pub fn sixtap_v(&self, dst: &mut [u8], dst_stride: usize, src: &[u8], src_stride: usize, w: usize, h: usize) {
+    pub fn sixtap_v(
+        &self,
+        dst: &mut [u8],
+        dst_stride: usize,
+        src: &[u8],
+        src_stride: usize,
+        w: usize,
+        h: usize,
+    ) {
         #[cfg(target_arch = "x86_64")]
-        if self.use_sse2() && w % 8 == 0 {
+        if self.use_sse2() && w.is_multiple_of(8) {
             // SAFETY: sse2 is architecturally guaranteed on x86_64.
             unsafe { crate::sse2::sixtap_v_sse2(dst, dst_stride, src, src_stride, w, h) };
             return;
@@ -274,7 +351,15 @@ impl Dsp {
     /// horizontal first at intermediate precision, then vertical;
     /// `src[0]` must be 2 samples left and 2 rows above the block origin.
     #[inline]
-    pub fn sixtap_hv(&self, dst: &mut [u8], dst_stride: usize, src: &[u8], src_stride: usize, w: usize, h: usize) {
+    pub fn sixtap_hv(
+        &self,
+        dst: &mut [u8],
+        dst_stride: usize,
+        src: &[u8],
+        src_stride: usize,
+        w: usize,
+        h: usize,
+    ) {
         // The two-dimensional position reuses the scalar intermediate
         // buffer logic at both levels; its inner loops call the dispatched
         // one-dimensional kernels.
@@ -284,13 +369,18 @@ impl Dsp {
     /// Adds a residual block to a prediction with saturation:
     /// `dst = clamp(pred + res)`.
     #[inline]
-    pub fn add_residual8(&self, dst: &mut [u8], dst_stride: usize, pred: &[u8], pred_stride: usize, res: &Block8) {
+    pub fn add_residual8(
+        &self,
+        dst: &mut [u8],
+        dst_stride: usize,
+        pred: &[u8],
+        pred_stride: usize,
+        res: &Block8,
+    ) {
         #[cfg(target_arch = "x86_64")]
         if self.use_sse2() {
             // SAFETY: sse2 is architecturally guaranteed on x86_64.
-            unsafe {
-                crate::sse2::add_residual8_sse2(dst, dst_stride, pred, pred_stride, res)
-            };
+            unsafe { crate::sse2::add_residual8_sse2(dst, dst_stride, pred, pred_stride, res) };
             return;
         }
         crate::pixel::add_residual8_scalar(dst, dst_stride, pred, pred_stride, res)
@@ -298,7 +388,14 @@ impl Dsp {
 
     /// Computes the residual `res = cur - pred` for an 8×8 block.
     #[inline]
-    pub fn diff_block8(&self, res: &mut Block8, cur: &[u8], cur_stride: usize, pred: &[u8], pred_stride: usize) {
+    pub fn diff_block8(
+        &self,
+        res: &mut Block8,
+        cur: &[u8],
+        cur_stride: usize,
+        pred: &[u8],
+        pred_stride: usize,
+    ) {
         crate::pixel::diff_block8(res, cur, cur_stride, pred, pred_stride)
     }
 }

@@ -12,6 +12,7 @@
 //! * `sixtap_v`:  `src[0]` is **2 rows above** the block origin.
 //! * `sixtap_hv`: `src[0]` is 2 samples left *and* 2 rows above.
 
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn hpel_interp_scalar(
     dst: &mut [u8],
     dst_stride: usize,

@@ -70,7 +70,14 @@ impl Dsp {
                 self.sixtap_hv(&mut j, w, src, src_stride, w, h);
                 let mut hbuf = [0u8; 256];
                 let shift = if fy == 3 { src_stride } else { 0 };
-                self.sixtap_h(&mut hbuf, w, &src[2 * src_stride + shift..], src_stride, w, h);
+                self.sixtap_h(
+                    &mut hbuf,
+                    w,
+                    &src[2 * src_stride + shift..],
+                    src_stride,
+                    w,
+                    h,
+                );
                 self.avg_block(dst, dst_stride, &hbuf, w, &j, w, w, h);
             }
             _ => {
@@ -79,7 +86,14 @@ impl Dsp {
                 let hshift = if fy == 3 { src_stride } else { 0 };
                 let vshift = usize::from(fx == 3);
                 let mut hbuf = [0u8; 256];
-                self.sixtap_h(&mut hbuf, w, &src[2 * src_stride + hshift..], src_stride, w, h);
+                self.sixtap_h(
+                    &mut hbuf,
+                    w,
+                    &src[2 * src_stride + hshift..],
+                    src_stride,
+                    w,
+                    h,
+                );
                 let mut vbuf = [0u8; 256];
                 self.sixtap_v(&mut vbuf, w, &src[2 + vshift..], src_stride, w, h);
                 self.avg_block(dst, dst_stride, &hbuf, w, &vbuf, w, w, h);

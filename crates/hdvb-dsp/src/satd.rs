@@ -3,12 +3,7 @@
 //! mode decision (x264's `--subme 7` relies on it heavily).
 
 /// 4×4 Hadamard SATD of the difference between two blocks.
-pub(crate) fn satd4x4_scalar(
-    a: &[u8],
-    a_stride: usize,
-    b: &[u8],
-    b_stride: usize,
-) -> u32 {
+pub(crate) fn satd4x4_scalar(a: &[u8], a_stride: usize, b: &[u8], b_stride: usize) -> u32 {
     let mut d = [0i32; 16];
     for y in 0..4 {
         for x in 0..4 {

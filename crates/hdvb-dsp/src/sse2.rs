@@ -29,7 +29,7 @@ pub(crate) unsafe fn sad_sse2(
     w: usize,
     h: usize,
 ) -> u32 {
-    debug_assert!(w % 8 == 0);
+    debug_assert!(w.is_multiple_of(8));
     let mut acc = _mm_setzero_si128();
     for y in 0..h {
         let ra = &a[y * a_stride..];
@@ -91,7 +91,11 @@ unsafe fn hstage(v: __m128i, dist1: bool) -> __m128i {
 #[target_feature(enable = "sse2")]
 unsafe fn load_row_pair(p: &[u8], stride: usize, y: usize) -> __m128i {
     let r0 = u32::from_le_bytes(p[y * stride..y * stride + 4].try_into().unwrap());
-    let r1 = u32::from_le_bytes(p[(y + 1) * stride..(y + 1) * stride + 4].try_into().unwrap());
+    let r1 = u32::from_le_bytes(
+        p[(y + 1) * stride..(y + 1) * stride + 4]
+            .try_into()
+            .unwrap(),
+    );
     let packed = _mm_set_epi32(0, 0, r1 as i32, r0 as i32);
     _mm_unpacklo_epi8(packed, _mm_setzero_si128())
 }
@@ -360,6 +364,7 @@ unsafe fn clamp_epi32(v: __m128i, lo: __m128i, hi: __m128i) -> __m128i {
 /// # Safety
 /// Requires SSE2; `w % 8 == 0`.
 #[target_feature(enable = "sse2")]
+#[allow(clippy::too_many_arguments)]
 pub(crate) unsafe fn avg_block_sse2(
     dst: &mut [u8],
     dst_stride: usize,
@@ -397,6 +402,7 @@ pub(crate) unsafe fn avg_block_sse2(
 /// Requires SSE2; `w % 8 == 0`; source readable one row/column beyond the
 /// block for the interpolated positions.
 #[target_feature(enable = "sse2")]
+#[allow(clippy::too_many_arguments)]
 pub(crate) unsafe fn hpel_interp_sse2(
     dst: &mut [u8],
     dst_stride: usize,
@@ -409,7 +415,16 @@ pub(crate) unsafe fn hpel_interp_sse2(
 ) {
     match (fx, fy) {
         (0, 0) => crate::pixel::copy_block(dst, dst_stride, src, src_stride, w, h),
-        (1, 0) => avg_block_sse2(dst, dst_stride, src, src_stride, &src[1..], src_stride, w, h),
+        (1, 0) => avg_block_sse2(
+            dst,
+            dst_stride,
+            src,
+            src_stride,
+            &src[1..],
+            src_stride,
+            w,
+            h,
+        ),
         (0, 1) => avg_block_sse2(
             dst,
             dst_stride,

@@ -182,7 +182,14 @@ fn satd_tiling_consistency() {
     let mut tile_sum = 0;
     for ty in 0..4 {
         for tx in 0..4 {
-            tile_sum += s.satd(&a[ty * 4 * 32 + tx * 4..], 32, &b[ty * 4 * 32 + tx * 4..], 32, 4, 4);
+            tile_sum += s.satd(
+                &a[ty * 4 * 32 + tx * 4..],
+                32,
+                &b[ty * 4 * 32 + tx * 4..],
+                32,
+                4,
+                4,
+            );
         }
     }
     assert_eq!(s.satd(&a, 32, &b, 32, 16, 16), tile_sum);

@@ -72,7 +72,7 @@ mod tests {
     #[test]
     fn io_error_source_is_preserved() {
         use std::error::Error;
-        let e = FrameError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        let e = FrameError::from(std::io::Error::other("boom"));
         assert!(e.source().is_some());
     }
 }

@@ -41,7 +41,7 @@ impl Frame {
     /// Returns [`FrameError::BadDimensions`] if either dimension is zero or
     /// odd.
     pub fn try_new(width: usize, height: usize) -> Result<Self, FrameError> {
-        if width == 0 || height == 0 || width % 2 != 0 || height % 2 != 0 {
+        if width == 0 || height == 0 || !width.is_multiple_of(2) || !height.is_multiple_of(2) {
             return Err(FrameError::BadDimensions {
                 width,
                 height,
@@ -66,8 +66,8 @@ impl Frame {
             && cb.height() == y.height() / 2
             && cr.width() == cb.width()
             && cr.height() == cb.height()
-            && y.width() % 2 == 0
-            && y.height() % 2 == 0;
+            && y.width().is_multiple_of(2)
+            && y.height().is_multiple_of(2);
         if !ok {
             return Err(FrameError::BadDimensions {
                 width: y.width(),

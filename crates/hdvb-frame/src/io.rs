@@ -34,12 +34,8 @@ pub fn read_i420<R: Read>(
     }
     let mut cb = vec![0u8; w * h / 4];
     let mut cr = vec![0u8; w * h / 4];
-    reader
-        .read_exact(&mut cb)
-        .map_err(map_eof)?;
-    reader
-        .read_exact(&mut cr)
-        .map_err(map_eof)?;
+    reader.read_exact(&mut cb).map_err(map_eof)?;
+    reader.read_exact(&mut cr).map_err(map_eof)?;
     let frame = Frame::from_planes(
         Plane::from_vec(w, h, y),
         Plane::from_vec(w / 2, h / 2, cb),
@@ -122,8 +118,7 @@ impl<W: Write> Y4mWriter<W> {
     /// [`FrameError::BadDimensions`] if the frame size differs from the
     /// stream geometry, otherwise any underlying I/O error.
     pub fn write_frame(&mut self, frame: &Frame) -> Result<(), FrameError> {
-        if frame.width() != self.resolution.width() || frame.height() != self.resolution.height()
-        {
+        if frame.width() != self.resolution.width() || frame.height() != self.resolution.height() {
             return Err(FrameError::BadDimensions {
                 width: frame.width(),
                 height: frame.height(),
@@ -188,17 +183,15 @@ impl<R: Read> Y4mReader<R> {
                     num = parse_u32(it.next().unwrap_or(""))?;
                     den = parse_u32(it.next().unwrap_or("1"))?;
                 }
-                "C" => {
-                    if !val.starts_with("420") {
-                        return Err(FrameError::BadHeader(format!(
-                            "unsupported chroma format C{val}"
-                        )));
-                    }
+                "C" if !val.starts_with("420") => {
+                    return Err(FrameError::BadHeader(format!(
+                        "unsupported chroma format C{val}"
+                    )));
                 }
                 _ => {} // interlacing / aspect tags ignored
             }
         }
-        if w == 0 || h == 0 || w % 2 != 0 || h % 2 != 0 {
+        if w == 0 || h == 0 || !w.is_multiple_of(2) || !h.is_multiple_of(2) {
             return Err(FrameError::BadHeader(format!("bad geometry {w}x{h}")));
         }
         Ok(Y4mReader {
@@ -298,7 +291,9 @@ mod tests {
         let mut buf = Vec::new();
         write_i420(&mut buf, &f).unwrap();
         assert_eq!(buf.len(), 32 * 16 * 3 / 2);
-        let back = read_i420(&buf[..], Resolution::new(32, 16)).unwrap().unwrap();
+        let back = read_i420(&buf[..], Resolution::new(32, 16))
+            .unwrap()
+            .unwrap();
         assert_eq!(back, f);
     }
 
@@ -306,7 +301,7 @@ mod tests {
     fn i420_eof_and_truncation() {
         let r = Resolution::new(32, 16);
         assert!(read_i420(&[][..], r).unwrap().is_none());
-        let half = vec![0u8; 100];
+        let half = [0u8; 100];
         assert!(matches!(
             read_i420(&half[..], r),
             Err(FrameError::UnexpectedEof)
@@ -346,9 +341,10 @@ mod tests {
     #[test]
     fn y4m_truncated_frame_errors() {
         let mut bytes = Vec::new();
-        let mut w = Y4mWriter::new(&mut bytes, Resolution::new(32, 16), FrameRate::FPS_25);
-        w.write_frame(&test_frame(9)).unwrap();
-        drop(w);
+        {
+            let mut w = Y4mWriter::new(&mut bytes, Resolution::new(32, 16), FrameRate::FPS_25);
+            w.write_frame(&test_frame(9)).unwrap();
+        }
         bytes.truncate(bytes.len() - 10);
         let mut r = Y4mReader::new(&bytes[..]).unwrap();
         assert!(r.read_frame().is_err());

@@ -154,8 +154,8 @@ impl SequencePsnr {
 
     /// Average combined (4:2:0-weighted) PSNR in dB.
     pub fn combined_psnr(&self) -> f64 {
-        let mse = (4.0 * self.mean(self.y_mse) + self.mean(self.cb_mse) + self.mean(self.cr_mse))
-            / 6.0;
+        let mse =
+            (4.0 * self.mean(self.y_mse) + self.mean(self.cb_mse) + self.mean(self.cr_mse)) / 6.0;
         psnr_from_mse(mse)
     }
 
@@ -296,7 +296,7 @@ mod tests {
         let mut acc = SequencePsnr::new();
         acc.add(&a, &b);
         acc.add(&a, &a); // MSE 0
-        // Mean MSE = 50 -> PSNR ~31.14 (not the dB average, which would be inf).
+                         // Mean MSE = 50 -> PSNR ~31.14 (not the dB average, which would be inf).
         assert!((acc.y_psnr() - psnr_from_mse(50.0)).abs() < 1e-9);
         assert_eq!(acc.frames(), 2);
     }

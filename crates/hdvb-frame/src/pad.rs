@@ -171,6 +171,9 @@ mod tests {
         let mut out = vec![0u8; 4 * 4];
         pp.copy_block_to(-2, -2, 4, 4, &mut out);
         // First row: two border-replicated pixels then the first two real.
-        assert_eq!(&out[..4], &[p.get(0, 0), p.get(0, 0), p.get(0, 0), p.get(1, 0)]);
+        assert_eq!(
+            &out[..4],
+            &[p.get(0, 0), p.get(0, 0), p.get(0, 0), p.get(1, 0)]
+        );
     }
 }

@@ -138,7 +138,10 @@ impl Plane {
     ///
     /// Panics if the block exceeds the plane bounds or `dst` is too small.
     pub fn copy_block_to(&self, x: usize, y: usize, bw: usize, bh: usize, dst: &mut [u8]) {
-        assert!(x + bw <= self.width && y + bh <= self.height, "block out of bounds");
+        assert!(
+            x + bw <= self.width && y + bh <= self.height,
+            "block out of bounds"
+        );
         for by in 0..bh {
             let src = &self.data[(y + by) * self.width + x..(y + by) * self.width + x + bw];
             dst[by * bw..(by + 1) * bw].copy_from_slice(src);
@@ -151,10 +154,12 @@ impl Plane {
     ///
     /// Panics if the block exceeds the plane bounds or `src` is too small.
     pub fn put_block(&mut self, x: usize, y: usize, bw: usize, bh: usize, src: &[u8]) {
-        assert!(x + bw <= self.width && y + bh <= self.height, "block out of bounds");
+        assert!(
+            x + bw <= self.width && y + bh <= self.height,
+            "block out of bounds"
+        );
         for by in 0..bh {
-            let dst =
-                &mut self.data[(y + by) * self.width + x..(y + by) * self.width + x + bw];
+            let dst = &mut self.data[(y + by) * self.width + x..(y + by) * self.width + x + bw];
             dst.copy_from_slice(&src[by * bw..(by + 1) * bw]);
         }
     }

@@ -47,7 +47,7 @@ impl Resolution {
     /// Panics if either dimension is zero or odd.
     pub fn new(width: u32, height: u32) -> Self {
         assert!(
-            width > 0 && height > 0 && width % 2 == 0 && height % 2 == 0,
+            width > 0 && height > 0 && width.is_multiple_of(2) && height.is_multiple_of(2),
             "resolutions must be even and nonzero"
         );
         Resolution { width, height }
@@ -205,7 +205,7 @@ mod tests {
     #[test]
     fn scaled_down_stays_even_and_large_enough() {
         let r = Resolution::HD_1088.scaled_down(10);
-        assert!(r.width() % 2 == 0 && r.height() % 2 == 0);
+        assert!(r.width().is_multiple_of(2) && r.height().is_multiple_of(2));
         assert!(r.width() >= 16 && r.height() >= 16);
         let tiny = Resolution::DVD_576.scaled_down(1000);
         assert_eq!((tiny.width(), tiny.height()), (16, 16));

@@ -2,7 +2,9 @@
 //! survive I420 and Y4M round trips exactly, and malformed inputs must
 //! fail cleanly.
 
-use hdvb_frame::{read_i420, write_i420, Frame, FrameRate, Plane, Resolution, Y4mReader, Y4mWriter};
+use hdvb_frame::{
+    read_i420, write_i420, Frame, FrameRate, Plane, Resolution, Y4mReader, Y4mWriter,
+};
 use proptest::prelude::*;
 
 fn frame_strategy() -> impl Strategy<Value = Frame> {
@@ -68,11 +70,10 @@ proptest! {
         w.write_frame(&frame).unwrap();
         let bytes = w.into_inner().unwrap();
         let cut = (bytes.len() as f64 * cut_fraction) as usize;
-        match Y4mReader::new(&bytes[..cut]) {
-            Ok(mut r) => {
-                let _ = r.read_frame(); // error or None, never panic
-            }
-            Err(_) => {} // header itself truncated
+        // A truncated header is a plain Err; a truncated body must be an
+        // error or None from read_frame, never a panic.
+        if let Ok(mut r) = Y4mReader::new(&bytes[..cut]) {
+            let _ = r.read_frame();
         }
     }
 

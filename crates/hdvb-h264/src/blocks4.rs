@@ -127,7 +127,7 @@ mod tests {
             let mut b = [0i16; 16];
             for v in &mut b {
                 state = state.wrapping_mul(1664525).wrapping_add(1013904223);
-                if state % 3 == 0 {
+                if state.is_multiple_of(3) {
                     *v = ((state >> 22) as i16 % 401) - 200;
                 }
             }
@@ -168,7 +168,7 @@ mod tests {
             let mut b = [0i16; 16];
             for v in &mut b {
                 state = state.wrapping_mul(1664525).wrapping_add(1013904223);
-                if state % 2 == 0 {
+                if state.is_multiple_of(2) {
                     *v = ((state >> 24) as i16 % 21) - 10;
                 }
             }

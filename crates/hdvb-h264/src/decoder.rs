@@ -1,12 +1,10 @@
+use crate::blocks4::read_coeffs4;
 use crate::deblock::deblock_frame;
 use crate::encoder::{median_pred, BState, PicCtx, MAGIC};
 use crate::intra::{predict16, predict4, predict_chroma8, ChromaMode, Intra16Mode, Intra4Mode};
 use crate::mc::{add4, copy4, crop_frame, Partitioning, RefPicture};
-use crate::blocks4::read_coeffs4;
 use crate::quant4::dequant4;
-use crate::resid::{
-    read_chroma_residual, read_luma_residual, recon_chroma_plane, recon_luma_mb,
-};
+use crate::resid::{read_chroma_residual, read_luma_residual, recon_chroma_plane, recon_luma_mb};
 use crate::types::{CodecError, FrameType};
 use hdvb_bits::BitReader;
 use hdvb_dsp::{Dsp, SimdLevel};
@@ -161,7 +159,13 @@ impl H264Decoder {
                 read_coeffs4(r, &mut block)?;
                 dequant4(&mut block, qp);
                 self.dsp.icore4(&mut block);
-                add4(&mut recon.y_mut().data_mut()[off..], stride, &pred, 4, &block);
+                add4(
+                    &mut recon.y_mut().data_mut()[off..],
+                    stride,
+                    &pred,
+                    4,
+                    &block,
+                );
             } else {
                 copy4(&mut recon.y_mut().data_mut()[off..], stride, &pred, 4);
             }
@@ -184,7 +188,16 @@ impl H264Decoder {
         let mut pred = [0u8; 256];
         predict16(recon.y(), mbx * 16, mby * 16, mode, &mut pred);
         let (blocks, flags) = read_luma_residual(r)?;
-        recon_luma_mb(&self.dsp, qp, recon.y_mut(), mbx, mby, &pred, &blocks, flags);
+        recon_luma_mb(
+            &self.dsp,
+            qp,
+            recon.y_mut(),
+            mbx,
+            mby,
+            &pred,
+            &blocks,
+            flags,
+        );
         self.decode_intra_chroma(r, recon, qp, mbx, mby)
     }
 
@@ -241,9 +254,36 @@ impl H264Decoder {
                             Partitioning::P16x16,
                             &[median; 4],
                         );
-                        recon_luma_mb(&self.dsp, qp, recon.y_mut(), mbx, mby, &py, &[[0i16; 16]; 16], 0);
-                        recon_chroma_plane(&self.dsp, qp, recon.cb_mut(), mbx, mby, &pcb, &[[0i16; 16]; 4], 0);
-                        recon_chroma_plane(&self.dsp, qp, recon.cr_mut(), mbx, mby, &pcr, &[[0i16; 16]; 4], 0);
+                        recon_luma_mb(
+                            &self.dsp,
+                            qp,
+                            recon.y_mut(),
+                            mbx,
+                            mby,
+                            &py,
+                            &[[0i16; 16]; 16],
+                            0,
+                        );
+                        recon_chroma_plane(
+                            &self.dsp,
+                            qp,
+                            recon.cb_mut(),
+                            mbx,
+                            mby,
+                            &pcb,
+                            &[[0i16; 16]; 4],
+                            0,
+                        );
+                        recon_chroma_plane(
+                            &self.dsp,
+                            qp,
+                            recon.cr_mut(),
+                            mbx,
+                            mby,
+                            &pcr,
+                            &[[0i16; 16]; 4],
+                            0,
+                        );
                         ctx.qfield.set(mbx, mby, median);
                         ctx.clear_mb_modes(mbx, mby);
                         continue;
@@ -261,7 +301,11 @@ impl H264Decoder {
                         t @ 0..=3 => {
                             let part = Partitioning::from_index(t)
                                 .expect("index 0..=3 is a valid partitioning");
-                            let ref_idx = if num_refs > 1 { r.get_ue()? as usize } else { 0 };
+                            let ref_idx = if num_refs > 1 {
+                                r.get_ue()? as usize
+                            } else {
+                                0
+                            };
                             let rp = refs.get(ref_idx).ok_or_else(|| {
                                 CodecError::InvalidBitstream(format!(
                                     "reference index {ref_idx} out of range"
@@ -269,6 +313,7 @@ impl H264Decoder {
                             })?;
                             let mut mvs = [Mv::ZERO; 4];
                             let mut pred_mv = median;
+                            #[allow(clippy::needless_range_loop)]
                             for pi in 0..part.rects().len() {
                                 let mv = Mv::new(
                                     read_mv_component(r, pred_mv.x)?,
@@ -283,8 +328,26 @@ impl H264Decoder {
                             let (cbb, cbf) = read_chroma_residual(r)?;
                             let (crb, crf) = read_chroma_residual(r)?;
                             recon_luma_mb(&self.dsp, qp, recon.y_mut(), mbx, mby, &py, &lb, lf);
-                            recon_chroma_plane(&self.dsp, qp, recon.cb_mut(), mbx, mby, &pcb, &cbb, cbf);
-                            recon_chroma_plane(&self.dsp, qp, recon.cr_mut(), mbx, mby, &pcr, &crb, crf);
+                            recon_chroma_plane(
+                                &self.dsp,
+                                qp,
+                                recon.cb_mut(),
+                                mbx,
+                                mby,
+                                &pcb,
+                                &cbb,
+                                cbf,
+                            );
+                            recon_chroma_plane(
+                                &self.dsp,
+                                qp,
+                                recon.cr_mut(),
+                                mbx,
+                                mby,
+                                &pcr,
+                                &crb,
+                                crf,
+                            );
                             ctx.qfield.set(mbx, mby, mvs[0]);
                             ctx.clear_mb_modes(mbx, mby);
                         }
@@ -328,9 +391,36 @@ impl H264Decoder {
                         let (mode, mv_f, mv_b) = row.last_b;
                         let (py, pcb, pcr) =
                             build_b_pred_dec(&self.dsp, fwd, bwd, mbx, mby, mode, mv_f, mv_b);
-                        recon_luma_mb(&self.dsp, qp, recon.y_mut(), mbx, mby, &py, &[[0i16; 16]; 16], 0);
-                        recon_chroma_plane(&self.dsp, qp, recon.cb_mut(), mbx, mby, &pcb, &[[0i16; 16]; 4], 0);
-                        recon_chroma_plane(&self.dsp, qp, recon.cr_mut(), mbx, mby, &pcr, &[[0i16; 16]; 4], 0);
+                        recon_luma_mb(
+                            &self.dsp,
+                            qp,
+                            recon.y_mut(),
+                            mbx,
+                            mby,
+                            &py,
+                            &[[0i16; 16]; 16],
+                            0,
+                        );
+                        recon_chroma_plane(
+                            &self.dsp,
+                            qp,
+                            recon.cb_mut(),
+                            mbx,
+                            mby,
+                            &pcb,
+                            &[[0i16; 16]; 4],
+                            0,
+                        );
+                        recon_chroma_plane(
+                            &self.dsp,
+                            qp,
+                            recon.cr_mut(),
+                            mbx,
+                            mby,
+                            &pcr,
+                            &[[0i16; 16]; 4],
+                            0,
+                        );
                         ctx.clear_mb_modes(mbx, mby);
                         continue;
                     }
@@ -369,8 +459,26 @@ impl H264Decoder {
                             let (cbb, cbf) = read_chroma_residual(r)?;
                             let (crb, crf) = read_chroma_residual(r)?;
                             recon_luma_mb(&self.dsp, qp, recon.y_mut(), mbx, mby, &py, &lb, lf);
-                            recon_chroma_plane(&self.dsp, qp, recon.cb_mut(), mbx, mby, &pcb, &cbb, cbf);
-                            recon_chroma_plane(&self.dsp, qp, recon.cr_mut(), mbx, mby, &pcr, &crb, crf);
+                            recon_chroma_plane(
+                                &self.dsp,
+                                qp,
+                                recon.cb_mut(),
+                                mbx,
+                                mby,
+                                &pcb,
+                                &cbb,
+                                cbf,
+                            );
+                            recon_chroma_plane(
+                                &self.dsp,
+                                qp,
+                                recon.cr_mut(),
+                                mbx,
+                                mby,
+                                &pcr,
+                                &crb,
+                                crf,
+                            );
                             ctx.clear_mb_modes(mbx, mby);
                         }
                         t => {
@@ -476,8 +584,8 @@ fn build_b_pred_dec(
 mod tests {
     use super::*;
     use crate::encoder::{write_intra4_mode, H264Encoder};
-    use hdvb_bits::BitWriter;
     use crate::types::EncoderConfig;
+    use hdvb_bits::BitWriter;
     use hdvb_frame::SequencePsnr;
 
     fn moving_frame(w: usize, h: usize, t: f64) -> Frame {
@@ -492,7 +600,8 @@ mod tests {
         }
         for y in 0..h / 2 {
             for x in 0..w / 2 {
-                f.cb_mut().set(x, y, (118 + (x + y + t as usize) % 20) as u8);
+                f.cb_mut()
+                    .set(x, y, (118 + (x + y + t as usize) % 20) as u8);
                 f.cr_mut().set(x, y, (134 - (x + 2 * y) % 18) as u8);
             }
         }
@@ -672,8 +781,7 @@ mod tests {
         let mut dec = H264Decoder::new();
         assert!(dec.decode(&[0xABu8; 80]).is_err());
         // P without reference.
-        let mut enc2 =
-            H264Encoder::new(EncoderConfig::new(w, h).with_b_frames(0)).unwrap();
+        let mut enc2 = H264Encoder::new(EncoderConfig::new(w, h).with_b_frames(0)).unwrap();
         let _ = enc2.encode(&moving_frame(w, h, 0.0)).unwrap();
         let p = enc2.encode(&moving_frame(w, h, 1.0)).unwrap();
         let mut dec2 = H264Decoder::new();

@@ -1,19 +1,22 @@
+use crate::blocks4::write_coeffs4;
 use crate::deblock::deblock_frame;
 use crate::gop::{GopScheduler, Scheduled};
 use crate::intra::{predict16, predict4, predict_chroma8, ChromaMode, Intra16Mode, Intra4Mode};
 use crate::mc::{align_frame, predict_partition, Partitioning, RefPicture};
+use crate::quant4::{dequant4, quant4};
 use crate::resid::{
     recon_chroma_plane, recon_luma_mb, transform_chroma_plane, transform_luma_mb,
     write_chroma_residual, write_luma_residual,
 };
-use crate::blocks4::write_coeffs4;
-use crate::quant4::{dequant4, quant4};
 use crate::tables::lambda;
 use crate::types::{CodecError, EncoderConfig, FrameType, Packet};
 use hdvb_bits::BitWriter;
 use hdvb_dsp::Dsp;
 use hdvb_frame::{align_up, Frame};
-use hdvb_me::{hexagon_search, median3, mv_bits, subpel_refine, BlockRef, Mv, MvField, SearchParams, SubpelStep};
+use hdvb_me::{
+    hexagon_search, median3, mv_bits, subpel_refine, BlockRef, Mv, MvField, SearchParams,
+    SubpelStep,
+};
 use std::collections::VecDeque;
 
 /// Magic number opening every coded picture.
@@ -212,7 +215,13 @@ impl H264Encoder {
     }
 
     /// SATD cost and best mode for intra 16×16.
-    fn intra16_cost(&self, cur: &Frame, recon: &Frame, mbx: usize, mby: usize) -> (u32, Intra16Mode) {
+    fn intra16_cost(
+        &self,
+        cur: &Frame,
+        recon: &Frame,
+        mbx: usize,
+        mby: usize,
+    ) -> (u32, Intra16Mode) {
         let src = &cur.y().data()[mby * 16 * self.aw + mbx * 16..];
         let mut best = (u32::MAX, Intra16Mode::Dc);
         for mode in Intra16Mode::ALL {
@@ -295,7 +304,13 @@ impl H264Encoder {
                 self.dsp.icore4(&mut block);
                 let stride = recon.y().stride();
                 let off = by * stride + bx;
-                crate::mc::add4(&mut recon.y_mut().data_mut()[off..], stride, &pred, 4, &block);
+                crate::mc::add4(
+                    &mut recon.y_mut().data_mut()[off..],
+                    stride,
+                    &pred,
+                    4,
+                    &block,
+                );
             } else {
                 let stride = recon.y().stride();
                 let off = by * stride + bx;
@@ -306,6 +321,7 @@ impl H264Encoder {
     }
 
     /// Codes an I16x16 macroblock with the pre-selected luma mode.
+    #[allow(clippy::too_many_arguments)]
     fn code_intra16_mb(
         &self,
         w: &mut BitWriter,
@@ -323,12 +339,28 @@ impl H264Encoder {
         let (blocks, flags) =
             transform_luma_mb(&self.dsp, self.config.qp, true, cur.y(), mbx, mby, &pred);
         write_luma_residual(w, &blocks, flags);
-        recon_luma_mb(&self.dsp, self.config.qp, recon.y_mut(), mbx, mby, &pred, &blocks, flags);
+        recon_luma_mb(
+            &self.dsp,
+            self.config.qp,
+            recon.y_mut(),
+            mbx,
+            mby,
+            &pred,
+            &blocks,
+            flags,
+        );
         self.code_intra_chroma(w, cur, recon, mbx, mby);
     }
 
     /// Chroma intra mode decision + coding + reconstruction.
-    fn code_intra_chroma(&self, w: &mut BitWriter, cur: &Frame, recon: &mut Frame, mbx: usize, mby: usize) {
+    fn code_intra_chroma(
+        &self,
+        w: &mut BitWriter,
+        cur: &Frame,
+        recon: &mut Frame,
+        mbx: usize,
+        mby: usize,
+    ) {
         let cw = self.aw / 2;
         let src_cb = &cur.cb().data()[mby * 8 * cw + mbx * 8..];
         let src_cr = &cur.cr().data()[mby * 8 * cw + mbx * 8..];
@@ -338,8 +370,8 @@ impl H264Encoder {
             let mut pr = [0u8; 64];
             predict_chroma8(recon.cb(), mbx * 8, mby * 8, mode, &mut pb);
             predict_chroma8(recon.cr(), mbx * 8, mby * 8, mode, &mut pr);
-            let satd = self.dsp.satd(src_cb, cw, &pb, 8, 8, 8)
-                + self.dsp.satd(src_cr, cw, &pr, 8, 8, 8);
+            let satd =
+                self.dsp.satd(src_cb, cw, &pb, 8, 8, 8) + self.dsp.satd(src_cr, cw, &pr, 8, 8, 8);
             if satd < best.0 {
                 best = (satd, mode);
             }
@@ -356,8 +388,26 @@ impl H264Encoder {
             transform_chroma_plane(&self.dsp, self.config.qp, true, cur.cr(), mbx, mby, &pr);
         write_chroma_residual(w, &bb, fb);
         write_chroma_residual(w, &br, fr);
-        recon_chroma_plane(&self.dsp, self.config.qp, recon.cb_mut(), mbx, mby, &pb, &bb, fb);
-        recon_chroma_plane(&self.dsp, self.config.qp, recon.cr_mut(), mbx, mby, &pr, &br, fr);
+        recon_chroma_plane(
+            &self.dsp,
+            self.config.qp,
+            recon.cb_mut(),
+            mbx,
+            mby,
+            &pb,
+            &bb,
+            fb,
+        );
+        recon_chroma_plane(
+            &self.dsp,
+            self.config.qp,
+            recon.cr_mut(),
+            mbx,
+            mby,
+            &pr,
+            &br,
+            fr,
+        );
     }
 
     // ------------------------------------------------------------ inter --
@@ -390,8 +440,7 @@ impl H264Encoder {
                 bw,
                 bh,
             );
-            self.dsp.satd(src, self.aw, &tmp, bw, bw, bh)
-                + self.lambda * mv_bits(qmv, pred_qpel)
+            self.dsp.satd(src, self.aw, &tmp, bw, bw, bh) + self.lambda * mv_bits(qmv, pred_qpel)
         };
         let center_h = fullpel.scaled(2);
         let initial = cost_at(center_h.scaled(2));
@@ -403,7 +452,9 @@ impl H264Encoder {
     }
 
     fn encode_p(&self, w: &mut BitWriter, cur: &Frame, recon: &mut Frame, ctx: &mut PicCtx) {
-        let nrefs = usize::from(self.config.num_refs).min(self.refs.len()).max(1);
+        let nrefs = usize::from(self.config.num_refs)
+            .min(self.refs.len())
+            .max(1);
         for mby in 0..self.mbs_y {
             for mbx in 0..self.mbs_x {
                 let median = median_pred(&ctx.qfield, mbx, mby);
@@ -430,7 +481,7 @@ impl H264Encoder {
                         self.refine_qpel_satd(cur, r, mbx * 16, mby * 16, 16, 16, fp.mv, median);
                     let ref_bits = 2 * (32 - (ri as u32 + 1).leading_zeros()) - 1;
                     let total = qcost + self.lambda * ref_bits;
-                    if best16.map_or(true, |(_, _, c)| total < c) {
+                    if best16.is_none_or(|(_, _, c)| total < c) {
                         best16 = Some((ri, qmv, total));
                     }
                 }
@@ -441,15 +492,60 @@ impl H264Encoder {
                 // Skip test: 16x16, reference 0, motion equal to the
                 // median predictor, empty residual.
                 if ref_idx == 0 && mv16 == median {
-                    let (py, pcb, pcr) = self.build_inter_pred(rp, mbx, mby, Partitioning::P16x16, &[mv16; 4]);
-                    let (lb, lf) = transform_luma_mb(&self.dsp, self.config.qp, false, cur.y(), mbx, mby, &py);
-                    let (cbb, cbf) = transform_chroma_plane(&self.dsp, self.config.qp, false, cur.cb(), mbx, mby, &pcb);
-                    let (crb, crf) = transform_chroma_plane(&self.dsp, self.config.qp, false, cur.cr(), mbx, mby, &pcr);
+                    let (py, pcb, pcr) =
+                        self.build_inter_pred(rp, mbx, mby, Partitioning::P16x16, &[mv16; 4]);
+                    let (lb, lf) =
+                        transform_luma_mb(&self.dsp, self.config.qp, false, cur.y(), mbx, mby, &py);
+                    let (cbb, cbf) = transform_chroma_plane(
+                        &self.dsp,
+                        self.config.qp,
+                        false,
+                        cur.cb(),
+                        mbx,
+                        mby,
+                        &pcb,
+                    );
+                    let (crb, crf) = transform_chroma_plane(
+                        &self.dsp,
+                        self.config.qp,
+                        false,
+                        cur.cr(),
+                        mbx,
+                        mby,
+                        &pcr,
+                    );
                     if lf == 0 && cbf == 0 && crf == 0 {
                         w.put_bit(true);
-                        recon_luma_mb(&self.dsp, self.config.qp, recon.y_mut(), mbx, mby, &py, &lb, 0);
-                        recon_chroma_plane(&self.dsp, self.config.qp, recon.cb_mut(), mbx, mby, &pcb, &cbb, 0);
-                        recon_chroma_plane(&self.dsp, self.config.qp, recon.cr_mut(), mbx, mby, &pcr, &crb, 0);
+                        recon_luma_mb(
+                            &self.dsp,
+                            self.config.qp,
+                            recon.y_mut(),
+                            mbx,
+                            mby,
+                            &py,
+                            &lb,
+                            0,
+                        );
+                        recon_chroma_plane(
+                            &self.dsp,
+                            self.config.qp,
+                            recon.cb_mut(),
+                            mbx,
+                            mby,
+                            &pcb,
+                            &cbb,
+                            0,
+                        );
+                        recon_chroma_plane(
+                            &self.dsp,
+                            self.config.qp,
+                            recon.cr_mut(),
+                            mbx,
+                            mby,
+                            &pcr,
+                            &crb,
+                            0,
+                        );
                         ctx.qfield.set(mbx, mby, median);
                         ctx.clear_mb_modes(mbx, mby);
                         continue;
@@ -527,15 +623,59 @@ impl H264Encoder {
                     pred_mv = mvs[pi];
                 }
                 let (py, pcb, pcr) = self.build_inter_pred(rp, mbx, mby, part, &mvs);
-                let (lb, lf) = transform_luma_mb(&self.dsp, self.config.qp, false, cur.y(), mbx, mby, &py);
-                let (cbb, cbf) = transform_chroma_plane(&self.dsp, self.config.qp, false, cur.cb(), mbx, mby, &pcb);
-                let (crb, crf) = transform_chroma_plane(&self.dsp, self.config.qp, false, cur.cr(), mbx, mby, &pcr);
+                let (lb, lf) =
+                    transform_luma_mb(&self.dsp, self.config.qp, false, cur.y(), mbx, mby, &py);
+                let (cbb, cbf) = transform_chroma_plane(
+                    &self.dsp,
+                    self.config.qp,
+                    false,
+                    cur.cb(),
+                    mbx,
+                    mby,
+                    &pcb,
+                );
+                let (crb, crf) = transform_chroma_plane(
+                    &self.dsp,
+                    self.config.qp,
+                    false,
+                    cur.cr(),
+                    mbx,
+                    mby,
+                    &pcr,
+                );
                 write_luma_residual(w, &lb, lf);
                 write_chroma_residual(w, &cbb, cbf);
                 write_chroma_residual(w, &crb, crf);
-                recon_luma_mb(&self.dsp, self.config.qp, recon.y_mut(), mbx, mby, &py, &lb, lf);
-                recon_chroma_plane(&self.dsp, self.config.qp, recon.cb_mut(), mbx, mby, &pcb, &cbb, cbf);
-                recon_chroma_plane(&self.dsp, self.config.qp, recon.cr_mut(), mbx, mby, &pcr, &crb, crf);
+                recon_luma_mb(
+                    &self.dsp,
+                    self.config.qp,
+                    recon.y_mut(),
+                    mbx,
+                    mby,
+                    &py,
+                    &lb,
+                    lf,
+                );
+                recon_chroma_plane(
+                    &self.dsp,
+                    self.config.qp,
+                    recon.cb_mut(),
+                    mbx,
+                    mby,
+                    &pcb,
+                    &cbb,
+                    cbf,
+                );
+                recon_chroma_plane(
+                    &self.dsp,
+                    self.config.qp,
+                    recon.cr_mut(),
+                    mbx,
+                    mby,
+                    &pcr,
+                    &crb,
+                    crf,
+                );
                 ctx.qfield.set(mbx, mby, mvs[0]);
                 ctx.clear_mb_modes(mbx, mby);
             }
@@ -589,17 +729,39 @@ impl H264Encoder {
                 };
                 let pf = SearchParams::new(self.config.search_range, self.lambda)
                     .with_pred(Mv::new(row.mv_pred.x >> 2, row.mv_pred.y >> 2));
-                let f = hexagon_search(&self.dsp, block16, &fwd.y, Mv::new(row.mv_pred.x >> 2, row.mv_pred.y >> 2), &pf);
+                let f = hexagon_search(
+                    &self.dsp,
+                    block16,
+                    &fwd.y,
+                    Mv::new(row.mv_pred.x >> 2, row.mv_pred.y >> 2),
+                    &pf,
+                );
                 let pb = SearchParams::new(self.config.search_range, self.lambda)
                     .with_pred(Mv::new(row.mv_pred_bwd.x >> 2, row.mv_pred_bwd.y >> 2));
-                let b = hexagon_search(&self.dsp, block16, &bwd.y, Mv::new(row.mv_pred_bwd.x >> 2, row.mv_pred_bwd.y >> 2), &pb);
+                let b = hexagon_search(
+                    &self.dsp,
+                    block16,
+                    &bwd.y,
+                    Mv::new(row.mv_pred_bwd.x >> 2, row.mv_pred_bwd.y >> 2),
+                    &pb,
+                );
                 let (mv_f, cost_f) =
                     self.refine_qpel_satd(cur, fwd, mbx * 16, mby * 16, 16, 16, f.mv, row.mv_pred);
-                let (mv_b, cost_b) =
-                    self.refine_qpel_satd(cur, bwd, mbx * 16, mby * 16, 16, 16, b.mv, row.mv_pred_bwd);
+                let (mv_b, cost_b) = self.refine_qpel_satd(
+                    cur,
+                    bwd,
+                    mbx * 16,
+                    mby * 16,
+                    16,
+                    16,
+                    b.mv,
+                    row.mv_pred_bwd,
+                );
 
-                let (fy, _, _) = self.build_inter_pred(fwd, mbx, mby, Partitioning::P16x16, &[mv_f; 4]);
-                let (by_, _, _) = self.build_inter_pred(bwd, mbx, mby, Partitioning::P16x16, &[mv_b; 4]);
+                let (fy, _, _) =
+                    self.build_inter_pred(fwd, mbx, mby, Partitioning::P16x16, &[mv_f; 4]);
+                let (by_, _, _) =
+                    self.build_inter_pred(bwd, mbx, mby, Partitioning::P16x16, &[mv_b; 4]);
                 let mut bi = [0u8; 256];
                 self.dsp.avg_block(&mut bi, 16, &fy, 16, &by_, 16, 16, 16);
                 let src = &cur.y().data()[mby * 16 * self.aw + mbx * 16..];
@@ -629,20 +791,63 @@ impl H264Encoder {
                     continue;
                 }
 
-                let (py, pcb, pcr) =
-                    self.build_b_pred(fwd, bwd, mbx, mby, mode, mv_f, mv_b);
-                let (lb, lf) = transform_luma_mb(&self.dsp, self.config.qp, false, cur.y(), mbx, mby, &py);
-                let (cbb, cbf) = transform_chroma_plane(&self.dsp, self.config.qp, false, cur.cb(), mbx, mby, &pcb);
-                let (crb, crf) = transform_chroma_plane(&self.dsp, self.config.qp, false, cur.cr(), mbx, mby, &pcr);
+                let (py, pcb, pcr) = self.build_b_pred(fwd, bwd, mbx, mby, mode, mv_f, mv_b);
+                let (lb, lf) =
+                    transform_luma_mb(&self.dsp, self.config.qp, false, cur.y(), mbx, mby, &py);
+                let (cbb, cbf) = transform_chroma_plane(
+                    &self.dsp,
+                    self.config.qp,
+                    false,
+                    cur.cb(),
+                    mbx,
+                    mby,
+                    &pcb,
+                );
+                let (crb, crf) = transform_chroma_plane(
+                    &self.dsp,
+                    self.config.qp,
+                    false,
+                    cur.cr(),
+                    mbx,
+                    mby,
+                    &pcr,
+                );
 
                 let same_as_last = (mode, mv_f, mv_b) == row.last_b
                     || (mode == 0 && row.last_b.0 == 0 && mv_f == row.last_b.1)
                     || (mode == 1 && row.last_b.0 == 1 && mv_b == row.last_b.2);
                 if lf == 0 && cbf == 0 && crf == 0 && same_as_last {
                     w.put_bit(true);
-                    recon_luma_mb(&self.dsp, self.config.qp, recon.y_mut(), mbx, mby, &py, &lb, 0);
-                    recon_chroma_plane(&self.dsp, self.config.qp, recon.cb_mut(), mbx, mby, &pcb, &cbb, 0);
-                    recon_chroma_plane(&self.dsp, self.config.qp, recon.cr_mut(), mbx, mby, &pcr, &crb, 0);
+                    recon_luma_mb(
+                        &self.dsp,
+                        self.config.qp,
+                        recon.y_mut(),
+                        mbx,
+                        mby,
+                        &py,
+                        &lb,
+                        0,
+                    );
+                    recon_chroma_plane(
+                        &self.dsp,
+                        self.config.qp,
+                        recon.cb_mut(),
+                        mbx,
+                        mby,
+                        &pcb,
+                        &cbb,
+                        0,
+                    );
+                    recon_chroma_plane(
+                        &self.dsp,
+                        self.config.qp,
+                        recon.cr_mut(),
+                        mbx,
+                        mby,
+                        &pcr,
+                        &crb,
+                        0,
+                    );
                     ctx.clear_mb_modes(mbx, mby);
                     continue;
                 }
@@ -662,9 +867,36 @@ impl H264Encoder {
                 write_luma_residual(w, &lb, lf);
                 write_chroma_residual(w, &cbb, cbf);
                 write_chroma_residual(w, &crb, crf);
-                recon_luma_mb(&self.dsp, self.config.qp, recon.y_mut(), mbx, mby, &py, &lb, lf);
-                recon_chroma_plane(&self.dsp, self.config.qp, recon.cb_mut(), mbx, mby, &pcb, &cbb, cbf);
-                recon_chroma_plane(&self.dsp, self.config.qp, recon.cr_mut(), mbx, mby, &pcr, &crb, crf);
+                recon_luma_mb(
+                    &self.dsp,
+                    self.config.qp,
+                    recon.y_mut(),
+                    mbx,
+                    mby,
+                    &py,
+                    &lb,
+                    lf,
+                );
+                recon_chroma_plane(
+                    &self.dsp,
+                    self.config.qp,
+                    recon.cb_mut(),
+                    mbx,
+                    mby,
+                    &pcb,
+                    &cbb,
+                    cbf,
+                );
+                recon_chroma_plane(
+                    &self.dsp,
+                    self.config.qp,
+                    recon.cr_mut(),
+                    mbx,
+                    mby,
+                    &pcr,
+                    &crb,
+                    crf,
+                );
                 ctx.clear_mb_modes(mbx, mby);
             }
             w.byte_align();
@@ -672,6 +904,7 @@ impl H264Encoder {
     }
 
     /// Builds a B prediction (16×16: forward, backward or bi).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn build_b_pred(
         &self,
         fwd: &RefPicture,

@@ -167,7 +167,12 @@ mod tests {
         let mut g = GopScheduler::new(2, None);
         let mut types = Vec::new();
         for _ in 0..16 {
-            types.extend(g.push(frame()).iter().map(|s| s.frame_type).collect::<Vec<_>>());
+            types.extend(
+                g.push(frame())
+                    .iter()
+                    .map(|s| s.frame_type)
+                    .collect::<Vec<_>>(),
+            );
         }
         types.extend(g.finish().iter().map(|s| s.frame_type).collect::<Vec<_>>());
         assert_eq!(types.iter().filter(|&&t| t == FrameType::I).count(), 1);

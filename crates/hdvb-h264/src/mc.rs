@@ -243,7 +243,20 @@ mod tests {
         let r = RefPicture::from_frame(&f);
         let dsp = Dsp::default();
         let (mut luma, mut cb, mut cr) = ([0u8; 256], [0u8; 64], [0u8; 64]);
-        predict_partition(&dsp, &r, 16, 16, 0, 0, 16, 16, Mv::ZERO, &mut luma, &mut cb, &mut cr);
+        predict_partition(
+            &dsp,
+            &r,
+            16,
+            16,
+            0,
+            0,
+            16,
+            16,
+            Mv::ZERO,
+            &mut luma,
+            &mut cb,
+            &mut cr,
+        );
         for y in 0..16 {
             for x in 0..16 {
                 assert_eq!(luma[y * 16 + x], f.y().get(16 + x, 16 + y));
@@ -259,7 +272,20 @@ mod tests {
         let (mut luma, mut cb, mut cr) = ([0u8; 256], [1u8; 64], [1u8; 64]);
         // Bottom 16x8 partition with a quarter-pel vector: must not panic
         // and must fill its half of the buffers.
-        predict_partition(&dsp, &r, 0, 8, 0, 8, 16, 8, Mv::new(5, -3), &mut luma, &mut cb, &mut cr);
+        predict_partition(
+            &dsp,
+            &r,
+            0,
+            8,
+            0,
+            8,
+            16,
+            8,
+            Mv::new(5, -3),
+            &mut luma,
+            &mut cb,
+            &mut cr,
+        );
         assert!(luma[8 * 16..].iter().all(|&v| v == 128));
         assert!(cb[4 * 8..].iter().all(|&v| v == 128));
     }

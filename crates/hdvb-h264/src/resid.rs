@@ -24,11 +24,18 @@ pub(crate) fn transform_luma_mb(
     let mut blocks = [[0i16; 16]; 16];
     let mut flags = 0u16;
     let stride = cur.stride();
+    #[allow(clippy::needless_range_loop)]
     for k in 0..16 {
         let (ox, oy) = ((k % 4) * 4, (k / 4) * 4);
         let cur_off = (mby * 16 + oy) * stride + mbx * 16 + ox;
         let mut b = [0i16; 16];
-        diff4(&mut b, &cur.data()[cur_off..], stride, &pred[oy * 16 + ox..], 16);
+        diff4(
+            &mut b,
+            &cur.data()[cur_off..],
+            stride,
+            &pred[oy * 16 + ox..],
+            16,
+        );
         dsp.fcore4(&mut b);
         if quant4(&mut b, qp, intra) > 0 {
             flags |= 1 << (15 - k);
@@ -51,11 +58,18 @@ pub(crate) fn transform_chroma_plane(
     let mut blocks = [[0i16; 16]; 4];
     let mut flags = 0u8;
     let stride = cur.stride();
+    #[allow(clippy::needless_range_loop)]
     for k in 0..4 {
         let (ox, oy) = ((k % 2) * 4, (k / 2) * 4);
         let cur_off = (mby * 8 + oy) * stride + mbx * 8 + ox;
         let mut b = [0i16; 16];
-        diff4(&mut b, &cur.data()[cur_off..], stride, &pred[oy * 8 + ox..], 8);
+        diff4(
+            &mut b,
+            &cur.data()[cur_off..],
+            stride,
+            &pred[oy * 8 + ox..],
+            8,
+        );
         dsp.fcore4(&mut b);
         if quant4(&mut b, qp, intra) > 0 {
             flags |= 1 << (3 - k);
@@ -89,9 +103,7 @@ pub(crate) fn write_luma_residual(w: &mut BitWriter, blocks: &[Block4; 16], flag
 }
 
 /// Parses the luma residual written by [`write_luma_residual`].
-pub(crate) fn read_luma_residual(
-    r: &mut BitReader<'_>,
-) -> Result<([Block4; 16], u16), CodecError> {
+pub(crate) fn read_luma_residual(r: &mut BitReader<'_>) -> Result<([Block4; 16], u16), CodecError> {
     let mut blocks = [[0i16; 16]; 16];
     let mut flags = 0u16;
     let quad = r.get_bits(4)?;
@@ -116,6 +128,7 @@ pub(crate) fn write_chroma_residual(w: &mut BitWriter, blocks: &[Block4; 4], fla
     w.put_bit(flags != 0);
     if flags != 0 {
         w.put_bits(u32::from(flags), 4);
+        #[allow(clippy::needless_range_loop)]
         for k in 0..4 {
             if flags & (1 << (3 - k)) != 0 {
                 write_coeffs4(w, &blocks[k]);
@@ -125,13 +138,12 @@ pub(crate) fn write_chroma_residual(w: &mut BitWriter, blocks: &[Block4; 4], fla
 }
 
 /// Parses one chroma plane's residual.
-pub(crate) fn read_chroma_residual(
-    r: &mut BitReader<'_>,
-) -> Result<([Block4; 4], u8), CodecError> {
+pub(crate) fn read_chroma_residual(r: &mut BitReader<'_>) -> Result<([Block4; 4], u8), CodecError> {
     let mut blocks = [[0i16; 16]; 4];
     let mut flags = 0u8;
     if r.get_bit()? {
         flags = r.get_bits(4)? as u8;
+        #[allow(clippy::needless_range_loop)]
         for k in 0..4 {
             if flags & (1 << (3 - k)) != 0 {
                 read_coeffs4(r, &mut blocks[k])?;
@@ -142,6 +154,7 @@ pub(crate) fn read_chroma_residual(
 }
 
 /// Reconstructs the luma macroblock: `recon = pred (+ residual)`.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn recon_luma_mb(
     dsp: &Dsp,
     qp: u8,
@@ -153,6 +166,7 @@ pub(crate) fn recon_luma_mb(
     flags: u16,
 ) {
     let stride = recon.stride();
+    #[allow(clippy::needless_range_loop)]
     for k in 0..16 {
         let (ox, oy) = ((k % 4) * 4, (k / 4) * 4);
         let off = (mby * 16 + oy) * stride + mbx * 16 + ox;
@@ -160,14 +174,26 @@ pub(crate) fn recon_luma_mb(
             let mut b = blocks[k];
             dequant4(&mut b, qp);
             dsp.icore4(&mut b);
-            add4(&mut recon.data_mut()[off..], stride, &pred[oy * 16 + ox..], 16, &b);
+            add4(
+                &mut recon.data_mut()[off..],
+                stride,
+                &pred[oy * 16 + ox..],
+                16,
+                &b,
+            );
         } else {
-            copy4(&mut recon.data_mut()[off..], stride, &pred[oy * 16 + ox..], 16);
+            copy4(
+                &mut recon.data_mut()[off..],
+                stride,
+                &pred[oy * 16 + ox..],
+                16,
+            );
         }
     }
 }
 
 /// Reconstructs one chroma plane of the macroblock.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn recon_chroma_plane(
     dsp: &Dsp,
     qp: u8,
@@ -179,6 +205,7 @@ pub(crate) fn recon_chroma_plane(
     flags: u8,
 ) {
     let stride = recon.stride();
+    #[allow(clippy::needless_range_loop)]
     for k in 0..4 {
         let (ox, oy) = ((k % 2) * 4, (k / 2) * 4);
         let off = (mby * 8 + oy) * stride + mbx * 8 + ox;
@@ -186,9 +213,20 @@ pub(crate) fn recon_chroma_plane(
             let mut b = blocks[k];
             dequant4(&mut b, qp);
             dsp.icore4(&mut b);
-            add4(&mut recon.data_mut()[off..], stride, &pred[oy * 8 + ox..], 8, &b);
+            add4(
+                &mut recon.data_mut()[off..],
+                stride,
+                &pred[oy * 8 + ox..],
+                8,
+                &b,
+            );
         } else {
-            copy4(&mut recon.data_mut()[off..], stride, &pred[oy * 8 + ox..], 8);
+            copy4(
+                &mut recon.data_mut()[off..],
+                stride,
+                &pred[oy * 8 + ox..],
+                8,
+            );
         }
     }
 }
@@ -291,7 +329,12 @@ mod tests {
         for y in 0..16 {
             for x in 0..16 {
                 let err = (i32::from(cur.get(x, y)) - i32::from(recon.get(x, y))).abs();
-                assert!(err <= 6, "({x},{y}): {} vs {}", cur.get(x, y), recon.get(x, y));
+                assert!(
+                    err <= 6,
+                    "({x},{y}): {} vs {}",
+                    cur.get(x, y),
+                    recon.get(x, y)
+                );
             }
         }
     }

@@ -147,8 +147,8 @@ impl EncoderConfig {
     pub(crate) fn validate(&self) -> Result<(), CodecError> {
         if self.width < 16
             || self.height < 16
-            || self.width % 2 != 0
-            || self.height % 2 != 0
+            || !self.width.is_multiple_of(2)
+            || !self.height.is_multiple_of(2)
             || self.width > 16384
             || self.height > 16384
         {
@@ -216,8 +216,14 @@ mod tests {
     fn config_validation() {
         assert!(EncoderConfig::new(64, 48).validate().is_ok());
         assert!(EncoderConfig::new(64, 48).with_qp(52).validate().is_err());
-        assert!(EncoderConfig::new(64, 48).with_num_refs(0).validate().is_err());
-        assert!(EncoderConfig::new(64, 48).with_num_refs(5).validate().is_err());
+        assert!(EncoderConfig::new(64, 48)
+            .with_num_refs(0)
+            .validate()
+            .is_err());
+        assert!(EncoderConfig::new(64, 48)
+            .with_num_refs(5)
+            .validate()
+            .is_err());
         assert!(EncoderConfig::new(14, 48).validate().is_err());
     }
 

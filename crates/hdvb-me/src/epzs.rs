@@ -56,7 +56,10 @@ impl MvField {
     ///
     /// Panics if the coordinates are outside the grid.
     pub fn set(&mut self, bx: usize, by: usize, mv: Mv) {
-        assert!(bx < self.mbs_x && by < self.mbs_y, "mv field index out of range");
+        assert!(
+            bx < self.mbs_x && by < self.mbs_y,
+            "mv field index out of range"
+        );
         self.mvs[by * self.mbs_x + bx] = mv;
     }
 

@@ -35,5 +35,7 @@ mod subpel;
 
 pub use epzs::{epzs_search, EpzsThresholds, MvField, Predictors};
 pub use mv::{median3, mv_bits, Mv};
-pub use search::{diamond_search, full_search, hexagon_search, BlockRef, SearchParams, SearchResult};
+pub use search::{
+    diamond_search, full_search, hexagon_search, BlockRef, SearchParams, SearchResult,
+};
 pub use subpel::{subpel_refine, SubpelStep};

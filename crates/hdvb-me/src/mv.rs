@@ -85,7 +85,11 @@ impl fmt::Display for Mv {
 /// `J = SAD + λ·R(mv)` used by all searches.
 pub fn mv_bits(mv: Mv, pred: Mv) -> u32 {
     fn se_len(v: i32) -> u32 {
-        let mapped = if v > 0 { 2 * v as u32 - 1 } else { 2 * (-v) as u32 };
+        let mapped = if v > 0 {
+            2 * v as u32 - 1
+        } else {
+            2 * (-v) as u32
+        };
         let code = u64::from(mapped) + 1;
         2 * (64 - code.leading_zeros()) - 1
     }
@@ -145,11 +149,7 @@ mod tests {
                 let mut w = BitWriter::new();
                 w.put_se(i32::from(dx));
                 w.put_se(i32::from(dy));
-                assert_eq!(
-                    u64::from(mv_bits(mv, Mv::ZERO)),
-                    w.bit_len(),
-                    "({dx},{dy})"
-                );
+                assert_eq!(u64::from(mv_bits(mv, Mv::ZERO)), w.bit_len(), "({dx},{dy})");
             }
         }
     }

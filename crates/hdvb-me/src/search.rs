@@ -79,7 +79,12 @@ pub(crate) struct Evaluator<'a> {
 }
 
 impl<'a> Evaluator<'a> {
-    pub(crate) fn new(dsp: &'a Dsp, block: BlockRef<'a>, refp: &'a PaddedPlane, params: &SearchParams) -> Self {
+    pub(crate) fn new(
+        dsp: &'a Dsp,
+        block: BlockRef<'a>,
+        refp: &'a PaddedPlane,
+        params: &SearchParams,
+    ) -> Self {
         assert!(
             block.x + block.w <= block.plane.width() && block.y + block.h <= block.plane.height(),
             "block exceeds plane bounds"
@@ -91,8 +96,8 @@ impl<'a> Evaluator<'a> {
         let pad = refp.pad() as i32 - 8;
         assert!(pad >= 0, "reference padding too small for motion search");
         let min_x = (-(block.x as i32) - pad).max(-i32::from(params.range));
-        let max_x = ((refp.width() as i32 + pad) - (block.x + block.w) as i32)
-            .min(i32::from(params.range));
+        let max_x =
+            ((refp.width() as i32 + pad) - (block.x + block.w) as i32).min(i32::from(params.range));
         let min_y = (-(block.y as i32) - pad).max(-i32::from(params.range));
         let max_y = ((refp.height() as i32 + pad) - (block.y + block.h) as i32)
             .min(i32::from(params.range));
@@ -138,7 +143,13 @@ impl<'a> Evaluator<'a> {
 /// Exhaustive search over the full `±range` window. The quality
 /// reference for the ablation bench; far too slow for the HD encoders
 /// themselves.
-pub fn full_search(dsp: &Dsp, block: BlockRef<'_>, refp: &PaddedPlane, start: Mv, params: &SearchParams) -> SearchResult {
+pub fn full_search(
+    dsp: &Dsp,
+    block: BlockRef<'_>,
+    refp: &PaddedPlane,
+    start: Mv,
+    params: &SearchParams,
+) -> SearchResult {
     let mut ev = Evaluator::new(dsp, block, refp, params);
     let mut best = start.clamped(ev.min.x, ev.max.x, ev.min.y, ev.max.y);
     let (mut best_cost, mut best_sad) = ev.cost(best);
@@ -235,7 +246,13 @@ fn pattern_descent(
 
 /// Diamond search (large diamond descent + small diamond refinement) —
 /// the classic fast search included as an ablation baseline.
-pub fn diamond_search(dsp: &Dsp, block: BlockRef<'_>, refp: &PaddedPlane, start: Mv, params: &SearchParams) -> SearchResult {
+pub fn diamond_search(
+    dsp: &Dsp,
+    block: BlockRef<'_>,
+    refp: &PaddedPlane,
+    start: Mv,
+    params: &SearchParams,
+) -> SearchResult {
     let mut ev = Evaluator::new(dsp, block, refp, params);
     let (mv, cost, sad) = pattern_descent(&mut ev, start, &LARGE_DIAMOND, &SMALL_DIAMOND);
     SearchResult {
@@ -249,7 +266,13 @@ pub fn diamond_search(dsp: &Dsp, block: BlockRef<'_>, refp: &PaddedPlane, start:
 /// Hexagon-based search (Zhu, Lin, Chau 2002) — the H.264 search used by
 /// the benchmark per the paper's `x264 --me hex` command line. Ends with
 /// the 8-point square refinement x264 uses.
-pub fn hexagon_search(dsp: &Dsp, block: BlockRef<'_>, refp: &PaddedPlane, start: Mv, params: &SearchParams) -> SearchResult {
+pub fn hexagon_search(
+    dsp: &Dsp,
+    block: BlockRef<'_>,
+    refp: &PaddedPlane,
+    start: Mv,
+    params: &SearchParams,
+) -> SearchResult {
     let mut ev = Evaluator::new(dsp, block, refp, params);
     let (mv, cost, sad) = pattern_descent(&mut ev, start, &HEXAGON, &SQUARE8);
     SearchResult {
@@ -335,7 +358,13 @@ mod tests {
             w: 16,
             h: 16,
         };
-        let r = full_search(&Dsp::default(), block, &refp, Mv::ZERO, &SearchParams::new(4, 2));
+        let r = full_search(
+            &Dsp::default(),
+            block,
+            &refp,
+            Mv::ZERO,
+            &SearchParams::new(4, 2),
+        );
         assert!(r.mv.x.abs() <= 4 && r.mv.y.abs() <= 4);
     }
 
@@ -412,8 +441,18 @@ mod tests {
             w: 16,
             h: 16,
         };
-        let r = full_search(&Dsp::default(), block, &refp, Mv::ZERO, &SearchParams::new(3, 1));
+        let r = full_search(
+            &Dsp::default(),
+            block,
+            &refp,
+            Mv::ZERO,
+            &SearchParams::new(3, 1),
+        );
         // 7x7 window (+1 for the duplicated start probe).
-        assert!(r.evaluations >= 49 && r.evaluations <= 50, "{}", r.evaluations);
+        assert!(
+            r.evaluations >= 49 && r.evaluations <= 50,
+            "{}",
+            r.evaluations
+        );
     }
 }

@@ -113,7 +113,9 @@ fn decode_plane(r: &mut BitReader<'_>, plane: &mut Plane, qscale: u16) -> Result
     let (pw, ph) = (plane.width(), plane.height());
     let levels = r.get_ue()?;
     if levels == 0 || levels > 8 {
-        return Err(Mj2kError::InvalidBitstream("implausible level count".into()));
+        return Err(Mj2kError::InvalidBitstream(
+            "implausible level count".into(),
+        ));
     }
     let sb = Subbands {
         w: pw,
@@ -154,7 +156,7 @@ impl Mj2kEncoder {
     ///
     /// [`Mj2kError::BadConfig`] for invalid geometry or quantiser.
     pub fn new(width: usize, height: usize, qscale: u16) -> Result<Self, Mj2kError> {
-        if width < 16 || height < 16 || width % 2 != 0 || height % 2 != 0 {
+        if width < 16 || height < 16 || !width.is_multiple_of(2) || !height.is_multiple_of(2) {
             return Err(Mj2kError::BadConfig("dimensions must be even and >= 16"));
         }
         if qscale == 0 || qscale > 256 {
@@ -214,7 +216,13 @@ impl Mj2kDecoder {
         let w = r.get_ue()? as usize;
         let h = r.get_ue()? as usize;
         let qscale = r.get_ue()?;
-        if w < 16 || h < 16 || w > 16384 || h > 16384 || w % 2 != 0 || h % 2 != 0 {
+        if w < 16
+            || h < 16
+            || w > 16384
+            || h > 16384
+            || !w.is_multiple_of(2)
+            || !h.is_multiple_of(2)
+        {
             return Err(Mj2kError::InvalidBitstream("implausible geometry".into()));
         }
         if qscale == 0 || qscale > 256 {

@@ -24,18 +24,24 @@ pub(crate) fn write_subband(w: &mut BitWriter, coeffs: &[i32]) {
 pub(crate) fn read_subband(r: &mut BitReader<'_>, coeffs: &mut [i32]) -> Result<(), BitsError> {
     let nonzero = r.get_ue()?;
     if nonzero as usize > coeffs.len() {
-        return Err(BitsError::InvalidCode { table: "mj2k-subband" });
+        return Err(BitsError::InvalidCode {
+            table: "mj2k-subband",
+        });
     }
     let mut pos = 0usize;
     for _ in 0..nonzero {
         let gap = r.get_ue()? as usize;
         pos = pos.checked_add(gap).ok_or(BitsError::Eof)?;
         if pos >= coeffs.len() {
-            return Err(BitsError::InvalidCode { table: "mj2k-subband" });
+            return Err(BitsError::InvalidCode {
+                table: "mj2k-subband",
+            });
         }
         let v = r.get_se()?;
         if v == 0 {
-            return Err(BitsError::InvalidCode { table: "mj2k-subband" });
+            return Err(BitsError::InvalidCode {
+                table: "mj2k-subband",
+            });
         }
         coeffs[pos] = v;
         pos += 1;

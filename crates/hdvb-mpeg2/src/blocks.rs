@@ -153,7 +153,7 @@ mod tests {
             let mut b = [0i16; 64];
             for v in &mut b {
                 state = state.wrapping_mul(1664525).wrapping_add(1013904223);
-                if state % 3 == 0 {
+                if state.is_multiple_of(3) {
                     *v = ((state >> 20) as i16 % 801) - 400;
                 }
             }
@@ -171,7 +171,7 @@ mod tests {
             let mut b = [0i16; 64];
             for v in &mut b {
                 state = state.wrapping_mul(1664525).wrapping_add(1013904223);
-                if state % 5 == 0 {
+                if state.is_multiple_of(5) {
                     *v = ((state >> 22) as i16 % 41) - 20;
                 }
             }

@@ -141,7 +141,8 @@ impl Mpeg2Decoder {
             dc_pred[comp] = dc_level;
             let mut block = [0i16; 64];
             read_coeffs(r, &mut block, 1)?;
-            self.dsp.dequant8(&mut block, &MPEG_DEFAULT_INTRA, qscale, true);
+            self.dsp
+                .dequant8(&mut block, &MPEG_DEFAULT_INTRA, qscale, true);
             block[0] = (dc_level * 8) as i16;
             self.dsp.idct8(&mut block);
             let (plane, bx, by) = match b {
@@ -179,8 +180,28 @@ impl Mpeg2Decoder {
                     let skip = r.get_bit()?;
                     if skip {
                         let (mut py, mut pcb, mut pcr) = ([0u8; 256], [0u8; 64], [0u8; 64]);
-                        predict_mb(&self.dsp, &reference, mbx, mby, Mv::ZERO, &mut py, &mut pcb, &mut pcr);
-                        reconstruct_inter(&self.dsp, recon, mbx, mby, &py, &pcb, &pcr, &[[0i16; 64]; 6], 0, qscale);
+                        predict_mb(
+                            &self.dsp,
+                            &reference,
+                            mbx,
+                            mby,
+                            Mv::ZERO,
+                            &mut py,
+                            &mut pcb,
+                            &mut pcr,
+                        );
+                        reconstruct_inter(
+                            &self.dsp,
+                            recon,
+                            mbx,
+                            mby,
+                            &py,
+                            &pcb,
+                            &pcr,
+                            &[[0i16; 64]; 6],
+                            0,
+                            qscale,
+                        );
                         row.dc_pred = [128; 3];
                         row.reset_mv();
                         continue;
@@ -207,8 +228,12 @@ impl Mpeg2Decoder {
                         }
                     }
                     let (mut py, mut pcb, mut pcr) = ([0u8; 256], [0u8; 64], [0u8; 64]);
-                    predict_mb(&self.dsp, &reference, mbx, mby, mv, &mut py, &mut pcb, &mut pcr);
-                    reconstruct_inter(&self.dsp, recon, mbx, mby, &py, &pcb, &pcr, &blocks, cbp, qscale);
+                    predict_mb(
+                        &self.dsp, &reference, mbx, mby, mv, &mut py, &mut pcb, &mut pcr,
+                    );
+                    reconstruct_inter(
+                        &self.dsp, recon, mbx, mby, &py, &pcb, &pcr, &blocks, cbp, qscale,
+                    );
                     row.dc_pred = [128; 3];
                 }
                 r.byte_align();
@@ -235,7 +260,9 @@ impl Mpeg2Decoder {
             Some(b) => b,
             None => {
                 self.prev_anchor = Some(fwd);
-                return Err(CodecError::InvalidBitstream("B picture without anchors".into()));
+                return Err(CodecError::InvalidBitstream(
+                    "B picture without anchors".into(),
+                ));
             }
         };
         let result = (|| -> Result<(), CodecError> {
@@ -246,8 +273,22 @@ impl Mpeg2Decoder {
                     let (mut py, mut pcb, mut pcr) = ([0u8; 256], [0u8; 64], [0u8; 64]);
                     if skip {
                         let (mode, mv_f, mv_b) = row.last_b;
-                        build_b_prediction(&self.dsp, &fwd, &bwd, mbx, mby, mode, mv_f, mv_b, &mut py, &mut pcb, &mut pcr);
-                        reconstruct_inter(&self.dsp, recon, mbx, mby, &py, &pcb, &pcr, &[[0i16; 64]; 6], 0, qscale);
+                        build_b_prediction(
+                            &self.dsp, &fwd, &bwd, mbx, mby, mode, mv_f, mv_b, &mut py, &mut pcb,
+                            &mut pcr,
+                        );
+                        reconstruct_inter(
+                            &self.dsp,
+                            recon,
+                            mbx,
+                            mby,
+                            &py,
+                            &pcb,
+                            &pcr,
+                            &[[0i16; 64]; 6],
+                            0,
+                            qscale,
+                        );
                         continue;
                     }
                     let mode = r.get_bits(2)? as u8;
@@ -284,8 +325,13 @@ impl Mpeg2Decoder {
                             read_coeffs(r, b, 0)?;
                         }
                     }
-                    build_b_prediction(&self.dsp, &fwd, &bwd, mbx, mby, mode, mv_f, mv_b, &mut py, &mut pcb, &mut pcr);
-                    reconstruct_inter(&self.dsp, recon, mbx, mby, &py, &pcb, &pcr, &blocks, cbp, qscale);
+                    build_b_prediction(
+                        &self.dsp, &fwd, &bwd, mbx, mby, mode, mv_f, mv_b, &mut py, &mut pcb,
+                        &mut pcr,
+                    );
+                    reconstruct_inter(
+                        &self.dsp, recon, mbx, mby, &py, &pcb, &pcr, &blocks, cbp, qscale,
+                    );
                     row.dc_pred = [128; 3];
                 }
                 r.byte_align();
@@ -329,7 +375,8 @@ mod tests {
         }
         for y in 0..h / 2 {
             for x in 0..w / 2 {
-                f.cb_mut().set(x, y, (118 + (x + y + t as usize) % 20) as u8);
+                f.cb_mut()
+                    .set(x, y, (118 + (x + y + t as usize) % 20) as u8);
                 f.cr_mut().set(x, y, (134 - (x + 2 * y) % 18) as u8);
             }
         }
@@ -472,8 +519,7 @@ mod tests {
     fn p_without_reference_is_an_error() {
         // Build a stream then feed the P packet to a fresh decoder.
         let (w, h) = (64, 48);
-        let mut enc =
-            Mpeg2Encoder::new(EncoderConfig::new(w, h).with_b_frames(0)).unwrap();
+        let mut enc = Mpeg2Encoder::new(EncoderConfig::new(w, h).with_b_frames(0)).unwrap();
         let _ = enc.encode(&moving_frame(w, h, 0.0)).unwrap();
         let p = enc.encode(&moving_frame(w, h, 1.0)).unwrap();
         let mut dec = Mpeg2Decoder::new();

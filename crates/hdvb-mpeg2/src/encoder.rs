@@ -4,7 +4,10 @@ use crate::types::{CodecError, EncoderConfig, FrameType, Packet};
 use hdvb_bits::BitWriter;
 use hdvb_dsp::{Block8, Dsp, MPEG_DEFAULT_INTRA, MPEG_DEFAULT_NONINTRA};
 use hdvb_frame::{align_up, Frame, PaddedPlane, Plane};
-use hdvb_me::{epzs_search, mv_bits, subpel_refine, BlockRef, EpzsThresholds, Mv, MvField, Predictors, SearchParams, SubpelStep};
+use hdvb_me::{
+    epzs_search, mv_bits, subpel_refine, BlockRef, EpzsThresholds, Mv, MvField, Predictors,
+    SearchParams, SubpelStep,
+};
 
 /// Magic number opening every coded picture.
 pub(crate) const MAGIC: u32 = 0x4D32; // "M2"
@@ -37,6 +40,7 @@ impl RefPicture {
 /// `r` at half-pel vector `mv` into the three destination buffers.
 /// Shared by the encoder's reconstruction loop and (via re-export) the
 /// decoder, so prediction can never diverge.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn predict_mb(
     dsp: &Dsp,
     r: &RefPicture,
@@ -338,12 +342,25 @@ impl Mpeg2Encoder {
 
                 // Build the full prediction and quantise the residual.
                 let (mut py, mut pcb, mut pcr) = ([0u8; 256], [0u8; 64], [0u8; 64]);
-                predict_mb(&self.dsp, reference, mbx, mby, mv, &mut py, &mut pcb, &mut pcr);
+                predict_mb(
+                    &self.dsp, reference, mbx, mby, mv, &mut py, &mut pcb, &mut pcr,
+                );
                 let (blocks, cbp) = self.transform_mb(cur, mbx, mby, &py, &pcb, &pcr);
 
                 if mv == Mv::ZERO && cbp == 0 {
                     w.put_bit(true); // skip: zero vector, no residual
-                    reconstruct_inter(&self.dsp, recon, mbx, mby, &py, &pcb, &pcr, &blocks, 0, self.config.qscale);
+                    reconstruct_inter(
+                        &self.dsp,
+                        recon,
+                        mbx,
+                        mby,
+                        &py,
+                        &pcb,
+                        &pcr,
+                        &blocks,
+                        0,
+                        self.config.qscale,
+                    );
                     row.dc_pred = [128; 3];
                     row.reset_mv();
                     continue;
@@ -359,7 +376,18 @@ impl Mpeg2Encoder {
                         write_coeffs(w, b, 0);
                     }
                 }
-                reconstruct_inter(&self.dsp, recon, mbx, mby, &py, &pcb, &pcr, &blocks, cbp, self.config.qscale);
+                reconstruct_inter(
+                    &self.dsp,
+                    recon,
+                    mbx,
+                    mby,
+                    &py,
+                    &pcb,
+                    &pcr,
+                    &blocks,
+                    cbp,
+                    self.config.qscale,
+                );
                 row.dc_pred = [128; 3];
             }
             w.byte_align();
@@ -393,10 +421,24 @@ impl Mpeg2Encoder {
                 let preds = Predictors::gather(&cur_mvs, &bwd.mvs, mbx, mby);
                 let params = SearchParams::new(self.config.search_range, lambda)
                     .with_pred(Mv::new(row.mv_pred.x >> 1, row.mv_pred.y >> 1));
-                let f = epzs_search(&self.dsp, block, &fwd.y, &preds, &EpzsThresholds::default(), &params);
+                let f = epzs_search(
+                    &self.dsp,
+                    block,
+                    &fwd.y,
+                    &preds,
+                    &EpzsThresholds::default(),
+                    &params,
+                );
                 let params_b = SearchParams::new(self.config.search_range, lambda)
                     .with_pred(Mv::new(row.mv_pred_bwd.x >> 1, row.mv_pred_bwd.y >> 1));
-                let b = epzs_search(&self.dsp, block, &bwd.y, &preds, &EpzsThresholds::default(), &params_b);
+                let b = epzs_search(
+                    &self.dsp,
+                    block,
+                    &bwd.y,
+                    &preds,
+                    &EpzsThresholds::default(),
+                    &params_b,
+                );
                 cur_mvs.set(mbx, mby, f.mv);
 
                 // Half-pel refinement per direction.
@@ -421,14 +463,33 @@ impl Mpeg2Encoder {
                 let (mut fy_buf, mut by_buf) = ([0u8; 256], [0u8; 256]);
                 let mut pcb = [0u8; 64];
                 let mut pcr = [0u8; 64];
-                predict_mb(&self.dsp, fwd, mbx, mby, mv_f, &mut fy_buf, &mut pcb, &mut pcr);
-                predict_mb(&self.dsp, bwd, mbx, mby, mv_b, &mut by_buf, &mut pcb, &mut pcr);
+                predict_mb(
+                    &self.dsp,
+                    fwd,
+                    mbx,
+                    mby,
+                    mv_f,
+                    &mut fy_buf,
+                    &mut pcb,
+                    &mut pcr,
+                );
+                predict_mb(
+                    &self.dsp,
+                    bwd,
+                    mbx,
+                    mby,
+                    mv_b,
+                    &mut by_buf,
+                    &mut pcb,
+                    &mut pcr,
+                );
                 let mut bi_buf = [0u8; 256];
-                self.dsp.avg_block(&mut bi_buf, 16, &fy_buf, 16, &by_buf, 16, 16, 16);
+                self.dsp
+                    .avg_block(&mut bi_buf, 16, &fy_buf, 16, &by_buf, 16, 16, 16);
                 let cur_y = &cur.y().data()[mby * 16 * self.aw + mbx * 16..];
                 let bi_sad = self.dsp.sad(cur_y, self.aw, &bi_buf, 16, 16, 16);
-                let bi_cost = bi_sad
-                    + lambda * (mv_bits(mv_f, fwd_pred_mv) + mv_bits(mv_b, bwd_pred_mv));
+                let bi_cost =
+                    bi_sad + lambda * (mv_bits(mv_f, fwd_pred_mv) + mv_bits(mv_b, bwd_pred_mv));
 
                 let intra_cost = self.mb_intra_activity(cur, mbx, mby);
                 let best = [cost_fh, cost_bh, bi_cost]
@@ -458,7 +519,18 @@ impl Mpeg2Encoder {
                     || (mode == 1 && row.last_b.0 == 1 && mv_b == row.last_b.2);
                 if cbp == 0 && same_as_last {
                     w.put_bit(true); // B-skip: repeat previous prediction
-                    reconstruct_inter(&self.dsp, recon, mbx, mby, &py, &pcb, &pcr, &blocks, 0, self.config.qscale);
+                    reconstruct_inter(
+                        &self.dsp,
+                        recon,
+                        mbx,
+                        mby,
+                        &py,
+                        &pcb,
+                        &pcr,
+                        &blocks,
+                        0,
+                        self.config.qscale,
+                    );
                     continue;
                 }
                 w.put_bit(false);
@@ -480,7 +552,18 @@ impl Mpeg2Encoder {
                         write_coeffs(w, bl, 0);
                     }
                 }
-                reconstruct_inter(&self.dsp, recon, mbx, mby, &py, &pcb, &pcr, &blocks, cbp, self.config.qscale);
+                reconstruct_inter(
+                    &self.dsp,
+                    recon,
+                    mbx,
+                    mby,
+                    &py,
+                    &pcb,
+                    &pcr,
+                    &blocks,
+                    cbp,
+                    self.config.qscale,
+                );
                 row.dc_pred = [128; 3];
             }
             w.byte_align();
@@ -547,6 +630,7 @@ impl Mpeg2Encoder {
     ) -> ([Block8; 6], u8) {
         let mut blocks = [[0i16; 64]; 6];
         let mut cbp = 0u8;
+        #[allow(clippy::needless_range_loop)]
         for b in 0..6 {
             let (cur_slice, cur_stride, pred_slice, pred_stride) =
                 residual_geometry(cur, mbx, mby, b, py, pcb, pcr);
@@ -554,9 +638,12 @@ impl Mpeg2Encoder {
             self.dsp
                 .diff_block8(&mut block, cur_slice, cur_stride, pred_slice, pred_stride);
             self.dsp.fdct8(&mut block);
-            let nz = self
-                .dsp
-                .quant8(&mut block, &MPEG_DEFAULT_NONINTRA, self.config.qscale, false);
+            let nz = self.dsp.quant8(
+                &mut block,
+                &MPEG_DEFAULT_NONINTRA,
+                self.config.qscale,
+                false,
+            );
             if nz > 0 {
                 cbp |= 1 << (5 - b);
             }
@@ -646,6 +733,7 @@ pub(crate) fn store_block_clamped(plane: &mut Plane, bx: usize, by: usize, block
 }
 
 /// Builds the B prediction for `mode` (0 fwd, 1 bwd, 2 bi).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn build_b_prediction(
     dsp: &Dsp,
     fwd: &RefPicture,
@@ -713,11 +801,24 @@ pub(crate) fn reconstruct_inter(
             dsp.idct8(&mut res);
             let stride = plane.stride();
             let base = by * stride + bx;
-            dsp.add_residual8(&mut plane.data_mut()[base..], stride, pred_slice, pred_stride, &res);
+            dsp.add_residual8(
+                &mut plane.data_mut()[base..],
+                stride,
+                pred_slice,
+                pred_stride,
+                &res,
+            );
         } else {
             let stride = plane.stride();
             let base = by * stride + bx;
-            dsp.copy_block(&mut plane.data_mut()[base..], stride, pred_slice, pred_stride, 8, 8);
+            dsp.copy_block(
+                &mut plane.data_mut()[base..],
+                stride,
+                pred_slice,
+                pred_stride,
+                8,
+                8,
+            );
         }
         let _ = aw;
     }
@@ -786,8 +887,7 @@ mod tests {
     fn higher_qscale_produces_fewer_bits() {
         let frame = textured_frame(64, 48, 0.0);
         let bits = |q: u16| {
-            let mut enc =
-                Mpeg2Encoder::new(EncoderConfig::new(64, 48).with_qscale(q)).unwrap();
+            let mut enc = Mpeg2Encoder::new(EncoderConfig::new(64, 48).with_qscale(q)).unwrap();
             let p = enc.encode(&frame).unwrap();
             p[0].bits()
         };
@@ -805,10 +905,8 @@ mod tests {
 
     #[test]
     fn scalar_and_simd_encoders_produce_identical_streams() {
-        let mut scalar = Mpeg2Encoder::new(
-            EncoderConfig::new(64, 48).with_simd(SimdLevel::Scalar),
-        )
-        .unwrap();
+        let mut scalar =
+            Mpeg2Encoder::new(EncoderConfig::new(64, 48).with_simd(SimdLevel::Scalar)).unwrap();
         let mut simd =
             Mpeg2Encoder::new(EncoderConfig::new(64, 48).with_simd(SimdLevel::Sse2)).unwrap();
         for i in 0..5 {

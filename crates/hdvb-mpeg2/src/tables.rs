@@ -46,15 +46,14 @@ const COEF_LENGTHS: [u8; 32] = [
     4, 7, 9, 10, 11, 11, // run 2
     5, 8, 10, 11, 12, 12, // run 3
     6, 9, 11, 12, 13, 13, // run 4
-    6, // ESCAPE
+    6,  // ESCAPE
 ];
 
 /// The shared run-level table (canonical code built once).
 pub(crate) fn coef_table() -> &'static VlcTable {
     static TABLE: OnceLock<VlcTable> = OnceLock::new();
     TABLE.get_or_init(|| {
-        VlcTable::from_lengths("mpeg2-coef", &COEF_LENGTHS)
-            .expect("static table lengths are valid")
+        VlcTable::from_lengths("mpeg2-coef", &COEF_LENGTHS).expect("static table lengths are valid")
     })
 }
 
@@ -85,7 +84,7 @@ mod tests {
         for run in 0..=MAX_RUN {
             for level in 1..=MAX_LEVEL {
                 let s = pair_symbol(run, level);
-                assert!(s >= 1 && s < SYM_ESCAPE);
+                assert!((1..SYM_ESCAPE).contains(&s));
                 assert_eq!(symbol_pair(s), (run, level));
             }
         }

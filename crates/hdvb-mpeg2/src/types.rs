@@ -132,8 +132,8 @@ impl EncoderConfig {
     pub(crate) fn validate(&self) -> Result<(), CodecError> {
         if self.width < 16
             || self.height < 16
-            || self.width % 2 != 0
-            || self.height % 2 != 0
+            || !self.width.is_multiple_of(2)
+            || !self.height.is_multiple_of(2)
             || self.width > 16384
             || self.height > 16384
         {
@@ -207,9 +207,18 @@ mod tests {
         assert!(EncoderConfig::new(64, 48).validate().is_ok());
         assert!(EncoderConfig::new(15, 48).validate().is_err());
         assert!(EncoderConfig::new(64, 47).validate().is_err());
-        assert!(EncoderConfig::new(64, 48).with_qscale(0).validate().is_err());
-        assert!(EncoderConfig::new(64, 48).with_qscale(63).validate().is_err());
-        assert!(EncoderConfig::new(64, 48).with_b_frames(5).validate().is_err());
+        assert!(EncoderConfig::new(64, 48)
+            .with_qscale(0)
+            .validate()
+            .is_err());
+        assert!(EncoderConfig::new(64, 48)
+            .with_qscale(63)
+            .validate()
+            .is_err());
+        assert!(EncoderConfig::new(64, 48)
+            .with_b_frames(5)
+            .validate()
+            .is_err());
     }
 
     #[test]

@@ -5,7 +5,9 @@
 //! Blocks with no coefficients at all are signalled by the macroblock's
 //! coded-block pattern, never through this module.
 
-use crate::tables::{event_symbol, event_table, symbol_event, MAX_LEVEL, MAX_RUN, SYM_ESCAPE, ZIGZAG};
+use crate::tables::{
+    event_symbol, event_table, symbol_event, MAX_LEVEL, MAX_RUN, SYM_ESCAPE, ZIGZAG,
+};
 use crate::types::CodecError;
 use hdvb_bits::{BitReader, BitWriter};
 use hdvb_dsp::Block8;
@@ -181,7 +183,7 @@ mod tests {
             let mut b = [0i16; 64];
             for v in &mut b {
                 state = state.wrapping_mul(1664525).wrapping_add(1013904223);
-                if state % 4 == 0 {
+                if state.is_multiple_of(4) {
                     *v = ((state >> 20) as i16 % 901) - 450;
                 }
             }

@@ -83,7 +83,9 @@ impl Mpeg4Decoder {
                 mbs_x,
                 mbs_y,
             )?,
-            FrameType::B => self.decode_b(&mut r, &mut recon, display_index, qscale, mbs_x, mbs_y)?,
+            FrameType::B => {
+                self.decode_b(&mut r, &mut recon, display_index, qscale, mbs_x, mbs_y)?
+            }
         }
 
         let display = crop_frame(&recon, width, height);
@@ -153,7 +155,8 @@ impl Mpeg4Decoder {
             if cbp & (1 << (5 - b)) != 0 {
                 read_coeffs(r, &mut block, 1)?;
             }
-            self.dsp.dequant8(&mut block, &MPEG_DEFAULT_INTRA, qscale, true);
+            self.dsp
+                .dequant8(&mut block, &MPEG_DEFAULT_INTRA, qscale, true);
             block[0] = (dc_level * 8) as i16;
             self.dsp.idct8(&mut block);
             let (plane, bx, by) = match b {
@@ -192,8 +195,29 @@ impl Mpeg4Decoder {
                     let skip = r.get_bit()?;
                     if skip {
                         let (mut py, mut pcb, mut pcr) = ([0u8; 256], [0u8; 64], [0u8; 64]);
-                        predict_mb(&self.dsp, &reference, mbx, mby, &[Mv::ZERO; 4], false, &mut py, &mut pcb, &mut pcr);
-                        reconstruct_inter(&self.dsp, recon, mbx, mby, &py, &pcb, &pcr, &[[0i16; 64]; 6], 0, qscale);
+                        predict_mb(
+                            &self.dsp,
+                            &reference,
+                            mbx,
+                            mby,
+                            &[Mv::ZERO; 4],
+                            false,
+                            &mut py,
+                            &mut pcb,
+                            &mut pcr,
+                        );
+                        reconstruct_inter(
+                            &self.dsp,
+                            recon,
+                            mbx,
+                            mby,
+                            &py,
+                            &pcb,
+                            &pcr,
+                            &[[0i16; 64]; 6],
+                            0,
+                            qscale,
+                        );
                         qfield.set(mbx, mby, Mv::ZERO);
                         continue;
                     }
@@ -211,7 +235,9 @@ impl Mpeg4Decoder {
                             );
                             qfield.set(mbx, mby, mv);
                             mvs_full.set(mbx, mby, Mv::new(mv.x >> 2, mv.y >> 2));
-                            self.decode_inter_residual(r, recon, &reference, mbx, mby, &[mv; 4], false, qscale)?;
+                            self.decode_inter_residual(
+                                r, recon, &reference, mbx, mby, &[mv; 4], false, qscale,
+                            )?;
                         }
                         1 => {
                             let median = median_pred(qfield, mbx, mby);
@@ -228,7 +254,9 @@ impl Mpeg4Decoder {
                             let ay = (mvs.iter().map(|m| i32::from(m.y)).sum::<i32>() >> 2) as i16;
                             qfield.set(mbx, mby, Mv::new(ax, ay));
                             mvs_full.set(mbx, mby, Mv::new(ax >> 2, ay >> 2));
-                            self.decode_inter_residual(r, recon, &reference, mbx, mby, &mvs, true, qscale)?;
+                            self.decode_inter_residual(
+                                r, recon, &reference, mbx, mby, &mvs, true, qscale,
+                            )?;
                         }
                         _ => {
                             return Err(CodecError::InvalidBitstream(
@@ -265,8 +293,12 @@ impl Mpeg4Decoder {
             }
         }
         let (mut py, mut pcb, mut pcr) = ([0u8; 256], [0u8; 64], [0u8; 64]);
-        predict_mb(&self.dsp, reference, mbx, mby, mvs, four_mv, &mut py, &mut pcb, &mut pcr);
-        reconstruct_inter(&self.dsp, recon, mbx, mby, &py, &pcb, &pcr, &blocks, cbp, qscale);
+        predict_mb(
+            &self.dsp, reference, mbx, mby, mvs, four_mv, &mut py, &mut pcb, &mut pcr,
+        );
+        reconstruct_inter(
+            &self.dsp, recon, mbx, mby, &py, &pcb, &pcr, &blocks, cbp, qscale,
+        );
         Ok(())
     }
 
@@ -287,7 +319,9 @@ impl Mpeg4Decoder {
             Some(b) => b,
             None => {
                 self.prev_anchor = Some(fwd);
-                return Err(CodecError::InvalidBitstream("B picture without anchors".into()));
+                return Err(CodecError::InvalidBitstream(
+                    "B picture without anchors".into(),
+                ));
             }
         };
         let mut dc = DcStores::new(mbs_x, mbs_y);
@@ -301,8 +335,22 @@ impl Mpeg4Decoder {
                         // Direct-mode skip: vectors from the collocated
                         // anchor motion, bidirectional prediction.
                         let (mv_f, mv_b) = direct_mvs(&fwd, &bwd, display_index, mbx, mby);
-                        build_b_prediction(&self.dsp, &fwd, &bwd, mbx, mby, 2, mv_f, mv_b, &mut py, &mut pcb, &mut pcr);
-                        reconstruct_inter(&self.dsp, recon, mbx, mby, &py, &pcb, &pcr, &[[0i16; 64]; 6], 0, qscale);
+                        build_b_prediction(
+                            &self.dsp, &fwd, &bwd, mbx, mby, 2, mv_f, mv_b, &mut py, &mut pcb,
+                            &mut pcr,
+                        );
+                        reconstruct_inter(
+                            &self.dsp,
+                            recon,
+                            mbx,
+                            mby,
+                            &py,
+                            &pcb,
+                            &pcr,
+                            &[[0i16; 64]; 6],
+                            0,
+                            qscale,
+                        );
                         continue;
                     }
                     let mode = r.get_bits(2)? as u8;
@@ -335,8 +383,13 @@ impl Mpeg4Decoder {
                             read_coeffs(r, b, 0)?;
                         }
                     }
-                    build_b_prediction(&self.dsp, &fwd, &bwd, mbx, mby, mode, mv_f, mv_b, &mut py, &mut pcb, &mut pcr);
-                    reconstruct_inter(&self.dsp, recon, mbx, mby, &py, &pcb, &pcr, &blocks, cbp, qscale);
+                    build_b_prediction(
+                        &self.dsp, &fwd, &bwd, mbx, mby, mode, mv_f, mv_b, &mut py, &mut pcb,
+                        &mut pcr,
+                    );
+                    reconstruct_inter(
+                        &self.dsp, recon, mbx, mby, &py, &pcb, &pcr, &blocks, cbp, qscale,
+                    );
                 }
                 r.byte_align();
             }
@@ -378,7 +431,8 @@ mod tests {
         }
         for y in 0..h / 2 {
             for x in 0..w / 2 {
-                f.cb_mut().set(x, y, (118 + (x + y + t as usize) % 20) as u8);
+                f.cb_mut()
+                    .set(x, y, (118 + (x + y + t as usize) % 20) as u8);
                 f.cr_mut().set(x, y, (134 - (x + 2 * y) % 18) as u8);
             }
         }
@@ -521,7 +575,10 @@ mod tests {
             packets.extend(enc.encode(&moving_frame(w, h, i as f64)).unwrap());
         }
         packets.extend(enc.flush().unwrap());
-        let b_packet = packets.iter().find(|p| p.frame_type == FrameType::B).unwrap();
+        let b_packet = packets
+            .iter()
+            .find(|p| p.frame_type == FrameType::B)
+            .unwrap();
         let mut dec = Mpeg4Decoder::new();
         assert!(dec.decode(&b_packet.data).is_err());
     }

@@ -4,7 +4,10 @@ use crate::types::{CodecError, EncoderConfig, FrameType, Packet};
 use hdvb_bits::BitWriter;
 use hdvb_dsp::{Block8, Dsp, MPEG_DEFAULT_INTRA, MPEG_DEFAULT_NONINTRA};
 use hdvb_frame::{align_up, Frame, PaddedPlane, Plane};
-use hdvb_me::{diamond_search, epzs_search, median3, mv_bits, subpel_refine, BlockRef, EpzsThresholds, Mv, MvField, Predictors, SearchParams, SubpelStep};
+use hdvb_me::{
+    diamond_search, epzs_search, median3, mv_bits, subpel_refine, BlockRef, EpzsThresholds, Mv,
+    MvField, Predictors, SearchParams, SubpelStep,
+};
 
 /// Magic number opening every coded picture.
 pub(crate) const MAGIC: u32 = 0x4D34; // "M4"
@@ -55,8 +58,8 @@ pub(crate) fn direct_mvs(
     mbx: usize,
     mby: usize,
 ) -> (Mv, Mv) {
-    let trd = i32::from(bwd.display_index as i32 - fwd.display_index as i32);
-    let trb = i32::from(d_cur as i32 - fwd.display_index as i32);
+    let trd = bwd.display_index as i32 - fwd.display_index as i32;
+    let trb = d_cur as i32 - fwd.display_index as i32;
     if trd <= 0 || trb <= 0 || trb >= trd {
         return (Mv::ZERO, Mv::ZERO);
     }
@@ -140,6 +143,7 @@ impl DcStores {
 /// Motion-compensates one macroblock from `r`; `mvs` holds the four
 /// quarter-pel luma vectors (all equal when `four_mv` is false). Shared
 /// with the decoder.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn predict_mb(
     dsp: &Dsp,
     r: &RefPicture,
@@ -294,8 +298,12 @@ pub(crate) fn build_b_prediction(
         _ => {
             let (mut fy, mut fcb, mut fcr) = ([0u8; 256], [0u8; 64], [0u8; 64]);
             let (mut by, mut bcb, mut bcr) = ([0u8; 256], [0u8; 64], [0u8; 64]);
-            predict_mb(dsp, fwd, mbx, mby, &[mv_f; 4], false, &mut fy, &mut fcb, &mut fcr);
-            predict_mb(dsp, bwd, mbx, mby, &[mv_b; 4], false, &mut by, &mut bcb, &mut bcr);
+            predict_mb(
+                dsp, fwd, mbx, mby, &[mv_f; 4], false, &mut fy, &mut fcb, &mut fcr,
+            );
+            predict_mb(
+                dsp, bwd, mbx, mby, &[mv_b; 4], false, &mut by, &mut bcb, &mut bcr,
+            );
             dsp.avg_block(py, 16, &fy, 16, &by, 16, 16, 16);
             dsp.avg_block(pcb, 8, &fcb, 8, &bcb, 8, 8, 8);
             dsp.avg_block(pcr, 8, &fcr, 8, &bcr, 8, 8, 8);
@@ -339,9 +347,22 @@ pub(crate) fn reconstruct_inter(
             let mut res = blocks[b];
             dsp.dequant8(&mut res, &MPEG_DEFAULT_NONINTRA, qscale, false);
             dsp.idct8(&mut res);
-            dsp.add_residual8(&mut plane.data_mut()[base..], stride, pred_slice, pred_stride, &res);
+            dsp.add_residual8(
+                &mut plane.data_mut()[base..],
+                stride,
+                pred_slice,
+                pred_stride,
+                &res,
+            );
         } else {
-            dsp.copy_block(&mut plane.data_mut()[base..], stride, pred_slice, pred_stride, 8, 8);
+            dsp.copy_block(
+                &mut plane.data_mut()[base..],
+                stride,
+                pred_slice,
+                pred_stride,
+                8,
+                8,
+            );
         }
     }
 }
@@ -454,8 +475,7 @@ impl Mpeg4Encoder {
         }
 
         if frame_type != FrameType::B {
-            let reference =
-                RefPicture::from_frame(&recon, mvs_full, mvs_qpel, display_index);
+            let reference = RefPicture::from_frame(&recon, mvs_full, mvs_qpel, display_index);
             self.prev_anchor = self.last_anchor.take();
             self.last_anchor = Some(reference);
         }
@@ -591,8 +611,16 @@ impl Mpeg4Encoder {
                         &SearchParams::new(self.config.search_range, lambda)
                             .with_pred(Mv::new(sub_pred.x >> 2, sub_pred.y >> 2)),
                     );
-                    let (smv, scost) =
-                        self.refine_qpel(cur, reference, mbx, mby, k + 1, sub_full.mv, sub_pred, lambda);
+                    let (smv, scost) = self.refine_qpel(
+                        cur,
+                        reference,
+                        mbx,
+                        mby,
+                        k + 1,
+                        sub_full.mv,
+                        sub_pred,
+                        lambda,
+                    );
                     mv4[k] = smv;
                     cost4 += scost;
                 }
@@ -614,12 +642,25 @@ impl Mpeg4Encoder {
                 }
 
                 let (mut py, mut pcb, mut pcr) = ([0u8; 256], [0u8; 64], [0u8; 64]);
-                predict_mb(&self.dsp, reference, mbx, mby, &sel_mvs, four_mv, &mut py, &mut pcb, &mut pcr);
+                predict_mb(
+                    &self.dsp, reference, mbx, mby, &sel_mvs, four_mv, &mut py, &mut pcb, &mut pcr,
+                );
                 let (blocks, cbp) = self.transform_mb(cur, mbx, mby, &py, &pcb, &pcr);
 
                 if !four_mv && sel_mvs[0] == Mv::ZERO && cbp == 0 {
                     w.put_bit(true); // skip
-                    reconstruct_inter(&self.dsp, recon, mbx, mby, &py, &pcb, &pcr, &blocks, 0, self.config.qscale);
+                    reconstruct_inter(
+                        &self.dsp,
+                        recon,
+                        mbx,
+                        mby,
+                        &py,
+                        &pcb,
+                        &pcr,
+                        &blocks,
+                        0,
+                        self.config.qscale,
+                    );
                     qfield.set(mbx, mby, Mv::ZERO);
                     continue;
                 }
@@ -627,6 +668,7 @@ impl Mpeg4Encoder {
                 if four_mv {
                     w.put_bits(1, 2);
                     let mut pred = median;
+                    #[allow(clippy::needless_range_loop)]
                     for k in 0..4 {
                         w.put_se(i32::from(sel_mvs[k].x - pred.x));
                         w.put_se(i32::from(sel_mvs[k].y - pred.y));
@@ -648,7 +690,18 @@ impl Mpeg4Encoder {
                         write_coeffs(w, b, 0);
                     }
                 }
-                reconstruct_inter(&self.dsp, recon, mbx, mby, &py, &pcb, &pcr, &blocks, cbp, self.config.qscale);
+                reconstruct_inter(
+                    &self.dsp,
+                    recon,
+                    mbx,
+                    mby,
+                    &py,
+                    &pcb,
+                    &pcr,
+                    &blocks,
+                    cbp,
+                    self.config.qscale,
+                );
             }
             w.byte_align();
         }
@@ -679,10 +732,24 @@ impl Mpeg4Encoder {
                 let preds = Predictors::gather(&cur_full, &bwd.mvs_fullpel, mbx, mby);
                 let pf = SearchParams::new(self.config.search_range, lambda)
                     .with_pred(Mv::new(row.mv_pred.x >> 2, row.mv_pred.y >> 2));
-                let f = epzs_search(&self.dsp, block16, &fwd.y, &preds, &EpzsThresholds::default(), &pf);
+                let f = epzs_search(
+                    &self.dsp,
+                    block16,
+                    &fwd.y,
+                    &preds,
+                    &EpzsThresholds::default(),
+                    &pf,
+                );
                 let pb = SearchParams::new(self.config.search_range, lambda)
                     .with_pred(Mv::new(row.mv_pred_bwd.x >> 2, row.mv_pred_bwd.y >> 2));
-                let b = epzs_search(&self.dsp, block16, &bwd.y, &preds, &EpzsThresholds::default(), &pb);
+                let b = epzs_search(
+                    &self.dsp,
+                    block16,
+                    &bwd.y,
+                    &preds,
+                    &EpzsThresholds::default(),
+                    &pb,
+                );
                 cur_full.set(mbx, mby, f.mv);
 
                 let (mv_f, cost_f) =
@@ -692,14 +759,35 @@ impl Mpeg4Encoder {
 
                 let (mut fy_buf, mut s1, mut s2) = ([0u8; 256], [0u8; 64], [0u8; 64]);
                 let mut by_buf = [0u8; 256];
-                predict_mb(&self.dsp, fwd, mbx, mby, &[mv_f; 4], false, &mut fy_buf, &mut s1, &mut s2);
-                predict_mb(&self.dsp, bwd, mbx, mby, &[mv_b; 4], false, &mut by_buf, &mut s1, &mut s2);
+                predict_mb(
+                    &self.dsp,
+                    fwd,
+                    mbx,
+                    mby,
+                    &[mv_f; 4],
+                    false,
+                    &mut fy_buf,
+                    &mut s1,
+                    &mut s2,
+                );
+                predict_mb(
+                    &self.dsp,
+                    bwd,
+                    mbx,
+                    mby,
+                    &[mv_b; 4],
+                    false,
+                    &mut by_buf,
+                    &mut s1,
+                    &mut s2,
+                );
                 let mut bi_buf = [0u8; 256];
-                self.dsp.avg_block(&mut bi_buf, 16, &fy_buf, 16, &by_buf, 16, 16, 16);
+                self.dsp
+                    .avg_block(&mut bi_buf, 16, &fy_buf, 16, &by_buf, 16, 16, 16);
                 let cur_y = &cur.y().data()[mby * 16 * self.aw + mbx * 16..];
                 let bi_sad = self.dsp.sad(cur_y, self.aw, &bi_buf, 16, 16, 16);
-                let bi_cost = bi_sad
-                    + lambda * (mv_bits(mv_f, row.mv_pred) + mv_bits(mv_b, row.mv_pred_bwd));
+                let bi_cost =
+                    bi_sad + lambda * (mv_bits(mv_f, row.mv_pred) + mv_bits(mv_b, row.mv_pred_bwd));
 
                 let intra_cost = self.mb_intra_activity(cur, mbx, mby);
                 let (mode, best_cost) = [cost_f, cost_b, bi_cost]
@@ -717,18 +805,33 @@ impl Mpeg4Encoder {
                     continue;
                 }
                 let (mut py, mut pcb, mut pcr) = ([0u8; 256], [0u8; 64], [0u8; 64]);
-                build_b_prediction(&self.dsp, fwd, bwd, mbx, mby, mode, mv_f, mv_b, &mut py, &mut pcb, &mut pcr);
+                build_b_prediction(
+                    &self.dsp, fwd, bwd, mbx, mby, mode, mv_f, mv_b, &mut py, &mut pcb, &mut pcr,
+                );
                 let (blocks, cbp) = self.transform_mb(cur, mbx, mby, &py, &pcb, &pcr);
 
                 // Direct-mode skip (MPEG-4 B direct): prediction from the
                 // collocated anchor vectors costs a single bit.
                 let (dir_f, dir_b) = direct_mvs(fwd, bwd, display_index, mbx, mby);
                 let (mut dy_, mut dcb, mut dcr) = ([0u8; 256], [0u8; 64], [0u8; 64]);
-                build_b_prediction(&self.dsp, fwd, bwd, mbx, mby, 2, dir_f, dir_b, &mut dy_, &mut dcb, &mut dcr);
+                build_b_prediction(
+                    &self.dsp, fwd, bwd, mbx, mby, 2, dir_f, dir_b, &mut dy_, &mut dcb, &mut dcr,
+                );
                 let (dblocks, dcbp) = self.transform_mb(cur, mbx, mby, &dy_, &dcb, &dcr);
                 if dcbp == 0 {
                     w.put_bit(true);
-                    reconstruct_inter(&self.dsp, recon, mbx, mby, &dy_, &dcb, &dcr, &dblocks, 0, self.config.qscale);
+                    reconstruct_inter(
+                        &self.dsp,
+                        recon,
+                        mbx,
+                        mby,
+                        &dy_,
+                        &dcb,
+                        &dcr,
+                        &dblocks,
+                        0,
+                        self.config.qscale,
+                    );
                     continue;
                 }
                 w.put_bit(false);
@@ -749,7 +852,18 @@ impl Mpeg4Encoder {
                         write_coeffs(w, bl, 0);
                     }
                 }
-                reconstruct_inter(&self.dsp, recon, mbx, mby, &py, &pcb, &pcr, &blocks, cbp, self.config.qscale);
+                reconstruct_inter(
+                    &self.dsp,
+                    recon,
+                    mbx,
+                    mby,
+                    &py,
+                    &pcb,
+                    &pcr,
+                    &blocks,
+                    cbp,
+                    self.config.qscale,
+                );
             }
             w.byte_align();
         }
@@ -868,9 +982,12 @@ impl Mpeg4Encoder {
             self.dsp
                 .diff_block8(&mut block, cur_slice, cur_stride, pred_slice, pred_stride);
             self.dsp.fdct8(&mut block);
-            let nz = self
-                .dsp
-                .quant8(&mut block, &MPEG_DEFAULT_NONINTRA, self.config.qscale, false);
+            let nz = self.dsp.quant8(
+                &mut block,
+                &MPEG_DEFAULT_NONINTRA,
+                self.config.qscale,
+                false,
+            );
             if nz > 0 {
                 cbp |= 1 << (5 - b);
             }
@@ -892,12 +1009,12 @@ pub(crate) fn median_pred(qfield: &MvField, mbx: usize, mby: usize) -> Mv {
 }
 
 /// Source-plane geometry of intra block `b`.
-fn intra_geometry<'a>(
-    cur: &'a Frame,
+fn intra_geometry(
+    cur: &Frame,
     mbx: usize,
     mby: usize,
     b: usize,
-) -> (&'a Plane, usize, usize, usize, usize) {
+) -> (&Plane, usize, usize, usize, usize) {
     match b {
         0..=3 => {
             let bx = mbx * 16 + (b % 2) * 8;
@@ -982,7 +1099,7 @@ mod tests {
         s.set(0, 0, 100); // B for (1,1)
         s.set(1, 0, 110); // C for (1,1)
         s.set(0, 1, 104); // A for (1,1)
-        // |A-B| = 4 < |B-C| = 10 -> predict from C.
+                          // |A-B| = 4 < |B-C| = 10 -> predict from C.
         assert_eq!(s.predict(1, 1), 110);
         s.set(0, 1, 150);
         // |A-B| = 50 >= 10 -> predict from A.

@@ -86,9 +86,7 @@ mod tests {
     fn table_builds_and_is_biased_toward_non_last() {
         let t = event_table();
         assert_eq!(t.len(), 61);
-        assert!(
-            t.code_len(event_symbol(false, 0, 1)) < t.code_len(event_symbol(true, 0, 1))
-        );
+        assert!(t.code_len(event_symbol(false, 0, 1)) < t.code_len(event_symbol(true, 0, 1)));
         assert_eq!(t.code_len(SYM_ESCAPE), 6);
     }
 

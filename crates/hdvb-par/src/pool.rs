@@ -1,0 +1,650 @@
+//! The work-stealing thread pool.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A type-erased unit of work.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+thread_local! {
+    /// `(pool identity, worker index)` of the pool worker running on
+    /// this thread, if any. The identity disambiguates nested pools.
+    static WORKER: Cell<Option<(usize, usize)>> = const { Cell::new(None) };
+}
+
+/// State shared between the pool handle and its workers.
+struct Shared {
+    /// Per-worker deques: owners pop newest-first, thieves steal
+    /// oldest-first.
+    locals: Vec<Mutex<VecDeque<Task>>>,
+    /// Queue for tasks submitted from outside the pool's threads.
+    injector: Mutex<VecDeque<Task>>,
+    /// Shutdown flag; guarded by the mutex the workers park on.
+    shutdown: Mutex<bool>,
+    /// Parking spot for idle workers.
+    wakeup: Condvar,
+    /// Per-worker nanoseconds spent running tasks.
+    busy_nanos: Vec<AtomicU64>,
+    /// Per-worker completed-task counts.
+    tasks_run: Vec<AtomicU64>,
+    /// Busy nanoseconds contributed by scope-waiting caller threads.
+    caller_busy_nanos: AtomicU64,
+    /// Tasks run by scope-waiting caller threads.
+    caller_tasks: AtomicU64,
+}
+
+impl Shared {
+    fn identity(self: &Arc<Self>) -> usize {
+        Arc::as_ptr(self) as usize
+    }
+
+    fn has_work(&self) -> bool {
+        if !self.injector.lock().expect("injector poisoned").is_empty() {
+            return true;
+        }
+        self.locals
+            .iter()
+            .any(|q| !q.lock().expect("local queue poisoned").is_empty())
+    }
+
+    /// Pops a task: own deque first (LIFO), then the injector, then
+    /// steals from the other workers (FIFO).
+    fn find_task(&self, me: Option<usize>) -> Option<Task> {
+        if let Some(i) = me {
+            if let Some(t) = self.locals[i]
+                .lock()
+                .expect("local queue poisoned")
+                .pop_back()
+            {
+                return Some(t);
+            }
+        }
+        if let Some(t) = self.injector.lock().expect("injector poisoned").pop_front() {
+            return Some(t);
+        }
+        let n = self.locals.len();
+        let start = me.map_or(0, |i| i + 1);
+        for k in 0..n {
+            let j = (start + k) % n;
+            if Some(j) == me {
+                continue;
+            }
+            if let Some(t) = self.locals[j]
+                .lock()
+                .expect("local queue poisoned")
+                .pop_front()
+            {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Runs one task with panic isolation, attributing its busy time to
+    /// worker `slot` (or to the caller counters when `None`).
+    fn run_task(&self, slot: Option<usize>, task: Task) {
+        let t0 = Instant::now();
+        // A panicking task must poison only its own job: scope/par_map
+        // wrappers record the payload; this backstop keeps the worker
+        // thread itself alive either way.
+        let _ = catch_unwind(AssertUnwindSafe(task));
+        let nanos = t0.elapsed().as_nanos() as u64;
+        match slot {
+            Some(i) => {
+                self.busy_nanos[i].fetch_add(nanos, Ordering::Relaxed);
+                self.tasks_run[i].fetch_add(1, Ordering::Relaxed);
+            }
+            None => {
+                self.caller_busy_nanos.fetch_add(nanos, Ordering::Relaxed);
+                self.caller_tasks.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, index: usize) {
+    WORKER.set(Some((shared.identity(), index)));
+    loop {
+        if let Some(task) = shared.find_task(Some(index)) {
+            shared.run_task(Some(index), task);
+            continue;
+        }
+        let guard = shared.shutdown.lock().expect("shutdown flag poisoned");
+        // Re-check under the park lock: every submitter pushes first and
+        // only then takes this lock to notify, so a task pushed before
+        // this check is visible, and one pushed after will find us
+        // already waiting.
+        if shared.has_work() {
+            continue;
+        }
+        if *guard {
+            break;
+        }
+        drop(shared.wakeup.wait(guard).expect("worker park poisoned"));
+    }
+}
+
+/// A fixed-size work-stealing thread pool.
+///
+/// Dropping the pool drains all queued tasks, then joins the workers.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawns a pool with `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            locals: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            shutdown: Mutex::new(false),
+            wakeup: Condvar::new(),
+            busy_nanos: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+            tasks_run: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+            caller_busy_nanos: AtomicU64::new(0),
+            caller_tasks: AtomicU64::new(0),
+        });
+        let handles = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("hdvb-par-{i}"))
+                    .spawn(move || worker_loop(shared, i))
+                    .expect("spawning pool worker")
+            })
+            .collect();
+        ThreadPool { shared, handles }
+    }
+
+    /// A pool sized to the machine (`std::thread::available_parallelism`).
+    pub fn with_default_threads() -> Self {
+        Self::new(Self::default_threads())
+    }
+
+    /// The machine's available parallelism (1 if it cannot be queried).
+    pub fn default_threads() -> usize {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    }
+
+    /// Number of worker threads.
+    pub fn thread_count(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Queues a free-standing task.
+    pub fn execute<F: FnOnce() + Send + 'static>(&self, f: F) {
+        self.submit(Box::new(f));
+    }
+
+    fn submit(&self, task: Task) {
+        let id = self.shared.identity();
+        match WORKER.get() {
+            // Tasks spawned from inside a worker go to its own deque
+            // (LIFO for locality); thieves take them oldest-first.
+            Some((pool, index)) if pool == id => {
+                self.shared.locals[index]
+                    .lock()
+                    .expect("local queue poisoned")
+                    .push_back(task);
+            }
+            _ => {
+                self.shared
+                    .injector
+                    .lock()
+                    .expect("injector poisoned")
+                    .push_back(task);
+            }
+        }
+        let _guard = self.shared.shutdown.lock().expect("shutdown flag poisoned");
+        self.shared.wakeup.notify_all();
+    }
+
+    /// Runs `f` with a [`Scope`] on which borrowing tasks can be
+    /// spawned, and returns once every spawned task has finished.
+    ///
+    /// The calling thread helps run pool tasks while it waits, so
+    /// nested scopes cannot deadlock even on a single-worker pool.
+    ///
+    /// # Panics
+    ///
+    /// If `f` or any spawned task panicked, the first such panic is
+    /// resumed on the caller after all tasks have been joined.
+    pub fn scope<'env, F, R>(&self, f: F) -> R
+    where
+        F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> R,
+    {
+        let state = Arc::new(ScopeState {
+            remaining: Mutex::new(0),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        let scope = Scope {
+            pool: self,
+            state: Arc::clone(&state),
+            _scope: PhantomData,
+            _env: PhantomData,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        // Join unconditionally: tasks may borrow locals of f's caller,
+        // so they must finish before we unwind further.
+        self.wait_scope(&state);
+        match result {
+            Err(payload) => resume_unwind(payload),
+            Ok(value) => {
+                if let Some(payload) = state
+                    .panic
+                    .lock()
+                    .expect("scope panic slot poisoned")
+                    .take()
+                {
+                    resume_unwind(payload);
+                }
+                value
+            }
+        }
+    }
+
+    /// Blocks until `state.remaining == 0`, running queued tasks while
+    /// waiting.
+    fn wait_scope(&self, state: &ScopeState) {
+        let me = match WORKER.get() {
+            Some((pool, index)) if pool == self.shared.identity() => Some(index),
+            _ => None,
+        };
+        loop {
+            if *state.remaining.lock().expect("scope counter poisoned") == 0 {
+                return;
+            }
+            if let Some(task) = self.shared.find_task(me) {
+                self.shared.run_task(me, task);
+                continue;
+            }
+            let remaining = state.remaining.lock().expect("scope counter poisoned");
+            if *remaining == 0 {
+                return;
+            }
+            // The timeout is defensive only: completion always notifies
+            // `done` under this lock, so a wakeup cannot be missed.
+            drop(
+                state
+                    .done
+                    .wait_timeout(remaining, Duration::from_millis(50))
+                    .expect("scope wait poisoned"),
+            );
+        }
+    }
+
+    /// Applies `f` to every item, in parallel, returning the results in
+    /// input order.
+    ///
+    /// # Errors
+    ///
+    /// [`TaskPanic`] if any invocation panicked; the pool itself stays
+    /// usable and every other task still runs to completion.
+    pub fn par_map<T, R, F>(&self, items: Vec<T>, f: F) -> Result<Vec<R>, TaskPanic>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let n = items.len();
+        let slots: Vec<Mutex<Option<std::thread::Result<R>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        self.scope(|s| {
+            for (i, item) in items.into_iter().enumerate() {
+                let slot = &slots[i];
+                let f = &f;
+                s.spawn(move || {
+                    let r = catch_unwind(AssertUnwindSafe(|| f(item)));
+                    *slot.lock().expect("result slot poisoned") = Some(r);
+                });
+            }
+        });
+        let mut out = Vec::with_capacity(n);
+        for (i, slot) in slots.into_iter().enumerate() {
+            match slot.into_inner().expect("result slot poisoned") {
+                Some(Ok(v)) => out.push(v),
+                Some(Err(payload)) => return Err(TaskPanic::new(i, payload.as_ref())),
+                None => unreachable!("scope returned with task {i} never run"),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Applies `f` to consecutive chunks of `items` (the last chunk may
+    /// be short), in parallel, returning results in chunk order. `f`
+    /// receives the chunk index and the chunk itself.
+    ///
+    /// # Errors
+    ///
+    /// [`TaskPanic`] if any invocation panicked.
+    pub fn par_chunks<T, R, F>(
+        &self,
+        items: &[T],
+        chunk_len: usize,
+        f: F,
+    ) -> Result<Vec<R>, TaskPanic>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> R + Sync,
+    {
+        let chunks: Vec<(usize, &[T])> = items.chunks(chunk_len.max(1)).enumerate().collect();
+        self.par_map(chunks, |(i, chunk)| f(i, chunk))
+    }
+
+    /// A snapshot of per-worker busy time and task counts.
+    pub fn stats(&self) -> PoolStats {
+        let workers = (0..self.thread_count())
+            .map(|i| WorkerStats {
+                busy: Duration::from_nanos(self.shared.busy_nanos[i].load(Ordering::Relaxed)),
+                tasks: self.shared.tasks_run[i].load(Ordering::Relaxed),
+            })
+            .collect();
+        PoolStats {
+            workers,
+            caller: WorkerStats {
+                busy: Duration::from_nanos(self.shared.caller_busy_nanos.load(Ordering::Relaxed)),
+                tasks: self.shared.caller_tasks.load(Ordering::Relaxed),
+            },
+        }
+    }
+
+    /// Zeroes the statistics counters (e.g. between measurement phases).
+    pub fn reset_stats(&self) {
+        for c in &self.shared.busy_nanos {
+            c.store(0, Ordering::Relaxed);
+        }
+        for c in &self.shared.tasks_run {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.shared.caller_busy_nanos.store(0, Ordering::Relaxed);
+        self.shared.caller_tasks.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        *self.shared.shutdown.lock().expect("shutdown flag poisoned") = true;
+        self.shared.wakeup.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.thread_count())
+            .finish()
+    }
+}
+
+/// Book-keeping for one [`ThreadPool::scope`] invocation.
+struct ScopeState {
+    remaining: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+}
+
+/// Handle for spawning borrowing tasks inside [`ThreadPool::scope`].
+pub struct Scope<'scope, 'env: 'scope> {
+    pool: &'scope ThreadPool,
+    state: Arc<ScopeState>,
+    _scope: PhantomData<&'scope mut &'scope ()>,
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task that may borrow from the enclosing environment.
+    ///
+    /// A panic inside `f` is captured and re-thrown by the enclosing
+    /// [`ThreadPool::scope`] call after all tasks have joined.
+    pub fn spawn<F>(&'scope self, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        *self.state.remaining.lock().expect("scope counter poisoned") += 1;
+        let state = Arc::clone(&self.state);
+        let task: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+                let mut slot = state.panic.lock().expect("scope panic slot poisoned");
+                slot.get_or_insert(payload);
+            }
+            let mut remaining = state.remaining.lock().expect("scope counter poisoned");
+            *remaining -= 1;
+            if *remaining == 0 {
+                state.done.notify_all();
+            }
+        });
+        // SAFETY: lifetime erasure to 'static is sound because
+        // ThreadPool::scope always blocks until `remaining == 0` before
+        // returning (even when the scope closure panics), so the task
+        // cannot outlive any 'env borrow it captured.
+        let task: Task =
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Task>(task) };
+        self.pool.submit(task);
+    }
+}
+
+/// Error returned by the ordered parallel maps when a task panicked.
+///
+/// Only the panicking task is lost; every other task completes and the
+/// pool remains fully usable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// Input index of the task that panicked.
+    pub index: usize,
+    /// Panic payload rendered as text.
+    pub message: String,
+}
+
+impl TaskPanic {
+    fn new(index: usize, payload: &(dyn Any + Send)) -> Self {
+        let message = if let Some(s) = payload.downcast_ref::<&'static str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "<non-string panic payload>".to_string()
+        };
+        TaskPanic { index, message }
+    }
+}
+
+impl fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for TaskPanic {}
+
+/// Per-worker activity counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorkerStats {
+    /// Time the worker spent running tasks.
+    pub busy: Duration,
+    /// Number of tasks the worker completed.
+    pub tasks: u64,
+}
+
+/// Snapshot of the whole pool's activity.
+#[derive(Clone, Debug, Default)]
+pub struct PoolStats {
+    /// One entry per worker thread.
+    pub workers: Vec<WorkerStats>,
+    /// Work executed by caller threads while waiting inside scopes.
+    pub caller: WorkerStats,
+}
+
+impl PoolStats {
+    /// Total busy time across workers and helping callers.
+    pub fn total_busy(&self) -> Duration {
+        self.workers.iter().map(|w| w.busy).sum::<Duration>() + self.caller.busy
+    }
+
+    /// Total tasks executed.
+    pub fn total_tasks(&self) -> u64 {
+        self.workers.iter().map(|w| w.tasks).sum::<u64>() + self.caller.tasks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn execute_runs_tasks() {
+        let pool = ThreadPool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        pool.scope(|s| {
+            for _ in 0..64 {
+                let counter = Arc::clone(&counter);
+                s.spawn(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn scope_tasks_can_borrow() {
+        let pool = ThreadPool::new(3);
+        let mut slots = [0u32; 16];
+        pool.scope(|s| {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                s.spawn(move || *slot = i as u32 * 3);
+            }
+        });
+        for (i, v) in slots.iter().enumerate() {
+            assert_eq!(*v, i as u32 * 3);
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let pool = ThreadPool::new(4);
+        let input: Vec<u64> = (0..200).collect();
+        let out = pool.par_map(input.clone(), |x| x * x).unwrap();
+        let expected: Vec<u64> = input.iter().map(|x| x * x).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn par_chunks_covers_all_items_in_order() {
+        let pool = ThreadPool::new(4);
+        let items: Vec<u32> = (0..103).collect();
+        let sums = pool
+            .par_chunks(&items, 10, |i, chunk| (i, chunk.iter().sum::<u32>()))
+            .unwrap();
+        assert_eq!(sums.len(), 11);
+        for (k, (i, _)) in sums.iter().enumerate() {
+            assert_eq!(k, *i);
+        }
+        let total: u32 = sums.iter().map(|(_, s)| s).sum();
+        assert_eq!(total, items.iter().sum::<u32>());
+    }
+
+    #[test]
+    fn panicking_task_reports_error_and_pool_survives() {
+        let pool = ThreadPool::new(2);
+        let err = pool
+            .par_map(vec![0u32, 1, 2, 3], |x| {
+                if x == 2 {
+                    panic!("boom at {x}");
+                }
+                x
+            })
+            .unwrap_err();
+        assert_eq!(err.index, 2);
+        assert!(err.message.contains("boom"), "message: {}", err.message);
+        // The pool must stay fully usable afterwards.
+        let ok = pool.par_map(vec![1u32, 2, 3], |x| x + 1).unwrap();
+        assert_eq!(ok, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn scope_rethrows_task_panic_after_joining() {
+        let pool = ThreadPool::new(2);
+        let finished = Arc::new(AtomicUsize::new(0));
+        let fin = Arc::clone(&finished);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|| panic!("scope task panic"));
+                for _ in 0..8 {
+                    let fin = Arc::clone(&fin);
+                    s.spawn(move || {
+                        fin.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // All sibling tasks joined before the panic was rethrown.
+        assert_eq!(finished.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock_on_one_worker() {
+        let pool = ThreadPool::new(1);
+        let out = pool
+            .par_map(vec![4u64, 5, 6], |x| {
+                // Inner parallel map on the same single-worker pool:
+                // the waiting task helps run its children.
+                let inner: u64 = std::thread::scope(|_| x); // keep types simple
+                inner * 2
+            })
+            .unwrap();
+        assert_eq!(out, vec![8, 10, 12]);
+    }
+
+    #[test]
+    fn stats_account_for_work() {
+        let pool = ThreadPool::new(2);
+        pool.reset_stats();
+        pool.par_map((0..32).collect::<Vec<u64>>(), |x| {
+            std::hint::black_box((0..2_000).fold(x, |a, b| a.wrapping_mul(31).wrapping_add(b)))
+        })
+        .unwrap();
+        let stats = pool.stats();
+        assert_eq!(stats.workers.len(), 2);
+        assert_eq!(stats.total_tasks(), 32);
+        assert!(stats.total_busy() > Duration::ZERO);
+    }
+
+    #[test]
+    fn empty_par_map() {
+        let pool = ThreadPool::new(2);
+        let out: Vec<u32> = pool.par_map(Vec::<u32>::new(), |x| x).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn drop_drains_pending_tasks() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ThreadPool::new(2);
+            for _ in 0..50 {
+                let counter = Arc::clone(&counter);
+                pool.execute(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 50);
+    }
+}

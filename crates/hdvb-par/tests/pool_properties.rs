@@ -1,0 +1,112 @@
+//! Property and stress tests for the work-stealing pool.
+
+use hdvb_par::ThreadPool;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `par_map` must agree with the serial map for arbitrary inputs,
+    /// arbitrary pool widths and a non-trivial per-item function.
+    #[test]
+    fn par_map_matches_serial_map(
+        items in proptest::collection::vec(0u64..=u64::MAX / 2, 0..200),
+        threads in 1usize..8,
+    ) {
+        let pool = ThreadPool::new(threads);
+        let f = |x: u64| x.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(17) ^ x;
+        let parallel = pool.par_map(items.clone(), f).unwrap();
+        let serial: Vec<u64> = items.into_iter().map(f).collect();
+        prop_assert_eq!(parallel, serial);
+    }
+
+    /// `par_chunks` must visit every chunk exactly once, in order, for
+    /// arbitrary chunk sizes.
+    #[test]
+    fn par_chunks_matches_serial_chunks(
+        items in proptest::collection::vec(0u32..1_000_000, 1..300),
+        chunk_len in 1usize..40,
+        threads in 1usize..6,
+    ) {
+        let pool = ThreadPool::new(threads);
+        let parallel = pool
+            .par_chunks(&items, chunk_len, |i, chunk| (i, chunk.to_vec()))
+            .unwrap();
+        let serial: Vec<(usize, Vec<u32>)> = items
+            .chunks(chunk_len)
+            .enumerate()
+            .map(|(i, c)| (i, c.to_vec()))
+            .collect();
+        prop_assert_eq!(parallel, serial);
+    }
+
+    /// A panicking task yields a `TaskPanic` naming the right index,
+    /// never a deadlock, and all other results would have been correct.
+    #[test]
+    fn panic_is_isolated_to_its_task(
+        len in 1usize..64,
+        seed in 0u64..u64::MAX,
+        threads in 1usize..6,
+    ) {
+        let poison = (seed % len as u64) as usize;
+        let pool = ThreadPool::new(threads);
+        let err = pool
+            .par_map((0..len).collect::<Vec<usize>>(), |i| {
+                if i == poison {
+                    panic!("poisoned item {i}");
+                }
+                i * 2
+            })
+            .unwrap_err();
+        prop_assert_eq!(err.index, poison);
+        prop_assert!(err.message.contains("poisoned item"));
+        // The pool stays usable after the panic.
+        let ok = pool.par_map(vec![1u32, 2, 3], |x| x).unwrap();
+        prop_assert_eq!(ok, vec![1, 2, 3]);
+    }
+}
+
+/// Hammer one pool with repeated panicking maps interleaved with good
+/// work: no hang, no lost results. Guards against worker threads dying
+/// or the scope join leaking counts under panic pressure.
+#[test]
+fn panic_stress_loop_never_hangs() {
+    let pool = ThreadPool::new(4);
+    for round in 0..200 {
+        let poison = round % 7;
+        let result = pool.par_map((0..8usize).collect::<Vec<_>>(), move |i| {
+            if i == poison {
+                panic!("round {round} poison {i}");
+            }
+            i as u64 + round as u64
+        });
+        let err = result.unwrap_err();
+        assert_eq!(err.index, poison);
+
+        let good = pool
+            .par_map((0..16u64).collect::<Vec<_>>(), |x| x * x)
+            .unwrap();
+        assert_eq!(good, (0..16u64).map(|x| x * x).collect::<Vec<_>>());
+    }
+    let stats = pool.stats();
+    assert!(stats.total_tasks() > 0);
+}
+
+/// Nested scopes on a narrow pool: the outer waiting task must help run
+/// the inner tasks rather than deadlock.
+#[test]
+fn nested_par_map_on_narrow_pool() {
+    let pool = ThreadPool::new(2);
+    let outer = pool
+        .par_map((0..6u64).collect::<Vec<_>>(), |x| {
+            pool.par_map((0..5u64).collect::<Vec<_>>(), move |y| x * 10 + y)
+                .unwrap()
+                .into_iter()
+                .sum::<u64>()
+        })
+        .unwrap();
+    let expected: Vec<u64> = (0..6u64)
+        .map(|x| (0..5u64).map(|y| x * 10 + y).sum())
+        .collect();
+    assert_eq!(outer, expected);
+}

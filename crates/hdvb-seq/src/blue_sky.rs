@@ -54,10 +54,10 @@ pub(crate) fn render(resolution: Resolution, index: u32) -> Frame {
             let grad = (0.5 - v).clamp(-0.6, 0.9);
             let y = (150.0 + 70.0 * grad + 6.0 * sky_tint.fbm(u * 3.0, v * 3.0, 2))
                 .clamp(90.0, 245.0) as u8;
-            let cb = (152.0 + 6.0 * sky_tint.fbm(u * 2.0 + 40.0, v * 2.0, 2)).clamp(140.0, 165.0)
-                as u8;
-            let cr = (108.0 + 4.0 * sky_tint.fbm(u * 2.0 - 40.0, v * 2.0, 2)).clamp(100.0, 118.0)
-                as u8;
+            let cb =
+                (152.0 + 6.0 * sky_tint.fbm(u * 2.0 + 40.0, v * 2.0, 2)).clamp(140.0, 165.0) as u8;
+            let cr =
+                (108.0 + 4.0 * sky_tint.fbm(u * 2.0 - 40.0, v * 2.0, 2)).clamp(100.0, 118.0) as u8;
             Ycc::new(y, cb, cr)
         }
     });

@@ -163,10 +163,7 @@ mod tests {
         let res = Resolution::new(96, 64);
         for id in SequenceId::ALL {
             let seq = Sequence::new(id, res);
-            assert!(
-                seq.frame(0).y().sad(seq.frame(3).y()) > 0,
-                "{id} is static"
-            );
+            assert!(seq.frame(0).y().sad(seq.frame(3).y()) > 0, "{id} is static");
         }
     }
 

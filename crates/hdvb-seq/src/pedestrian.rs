@@ -27,11 +27,51 @@ fn walkers() -> Vec<Walker> {
     // Hand-tuned deterministic cast; sizes per the "very close to the
     // camera" description (up to ~70% of frame height).
     vec![
-        Walker { speed: 0.0105, phase: 0.05, cy: 0.62, size: 0.34, luma: 70, cb: 118, cr: 140 },
-        Walker { speed: -0.0085, phase: 0.35, cy: 0.58, size: 0.27, luma: 150, cb: 135, cr: 120 },
-        Walker { speed: 0.0065, phase: 0.55, cy: 0.66, size: 0.22, luma: 105, cb: 125, cr: 125 },
-        Walker { speed: -0.0125, phase: 0.75, cy: 0.70, size: 0.36, luma: 55, cb: 128, cr: 118 },
-        Walker { speed: 0.0045, phase: 0.90, cy: 0.55, size: 0.17, luma: 180, cb: 122, cr: 133 },
+        Walker {
+            speed: 0.0105,
+            phase: 0.05,
+            cy: 0.62,
+            size: 0.34,
+            luma: 70,
+            cb: 118,
+            cr: 140,
+        },
+        Walker {
+            speed: -0.0085,
+            phase: 0.35,
+            cy: 0.58,
+            size: 0.27,
+            luma: 150,
+            cb: 135,
+            cr: 120,
+        },
+        Walker {
+            speed: 0.0065,
+            phase: 0.55,
+            cy: 0.66,
+            size: 0.22,
+            luma: 105,
+            cb: 125,
+            cr: 125,
+        },
+        Walker {
+            speed: -0.0125,
+            phase: 0.75,
+            cy: 0.70,
+            size: 0.36,
+            luma: 55,
+            cb: 128,
+            cr: 118,
+        },
+        Walker {
+            speed: 0.0045,
+            phase: 0.90,
+            cy: 0.55,
+            size: 0.17,
+            luma: 180,
+            cb: 122,
+            cr: 133,
+        },
     ]
 }
 
@@ -61,7 +101,11 @@ pub(crate) fn render(resolution: Resolution, index: u32) -> Frame {
             let cobble = ((u * 24.0 + v * 8.0).sin() * (v * 30.0 - u * 6.0).sin()) * 12.0;
             let tex = 10.0 * pavement.fbm(u * 55.0, v * 55.0, 3);
             let fall = (v - 0.45) * 30.0; // slightly brighter toward camera
-            Ycc::new((120.0 + cobble + tex + fall).clamp(40.0, 220.0) as u8, 127, 129)
+            Ycc::new(
+                (120.0 + cobble + tex + fall).clamp(40.0, 220.0) as u8,
+                127,
+                129,
+            )
         }
     });
 
@@ -123,7 +167,10 @@ mod tests {
             .count();
         let total = a.y().data().len();
         assert!(changed > 0, "nothing moved");
-        assert!(changed < total / 2, "{changed}/{total} changed — background not static");
+        assert!(
+            changed < total / 2,
+            "{changed}/{total} changed — background not static"
+        );
     }
 
     #[test]

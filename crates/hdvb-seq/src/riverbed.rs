@@ -33,7 +33,7 @@ pub(crate) fn render(resolution: Resolution, index: u32) -> Frame {
         let mut luma = 95.0 + 55.0 * stones;
         // Specular sparkle: independent salt noise per frame.
         let hash = SplitMix::hash3(px as u64, py as u64, sparkle_seed);
-        if hash % 97 == 0 {
+        if hash.is_multiple_of(97) {
             luma = 235.0;
         } else {
             luma += ((hash >> 32) % 17) as f64 - 8.0; // fine shimmer

@@ -80,8 +80,8 @@ pub(crate) fn render(resolution: Resolution, index: u32) -> Frame {
         let car_w = (46.0 * scale * (1.0 + car.lane as f64 * 0.18)).max(6.0);
         let car_h = (16.0 * scale * (1.0 + car.lane as f64 * 0.18)).max(4.0);
         let span = w as f64 + 2.0 * car_w;
-        let pos = (car.phase * span + f64::from(index) * car.speed * scale * w as f64
-            / (720.0 * scale))
+        let pos = (car.phase * span
+            + f64::from(index) * car.speed * scale * w as f64 / (720.0 * scale))
             .rem_euclid(span)
             - car_w;
         let cy = road_top + (car.lane as f64 + 0.55) * lane_h;

@@ -16,13 +16,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let options = CodingOptions::default(); // vqscale 5 / H.264 QP 26
     let seq = Sequence::new(SequenceId::RushHour, resolution);
 
-    println!("sequence: {} at {}x{}, {frames} frames, qscale {} (H.264 QP {})",
-        seq.id(), resolution.width(), resolution.height(),
-        options.mpeg_qscale, options.h264_qp());
-    println!("{:<8} {:>10} {:>14}", "codec", "psnr (dB)", "bitrate (kbps)");
+    println!(
+        "sequence: {} at {}x{}, {frames} frames, qscale {} (H.264 QP {})",
+        seq.id(),
+        resolution.width(),
+        resolution.height(),
+        options.mpeg_qscale,
+        options.h264_qp()
+    );
+    println!(
+        "{:<8} {:>10} {:>14}",
+        "codec", "psnr (dB)", "bitrate (kbps)"
+    );
     for codec in CodecId::ALL {
         let rd = measure_rd_point(codec, seq, frames, &options)?;
-        println!("{:<8} {:>10.2} {:>14.0}", codec.name(), rd.psnr_y, rd.bitrate_kbps);
+        println!(
+            "{:<8} {:>10.2} {:>14.0}",
+            codec.name(),
+            rd.psnr_y,
+            rd.bitrate_kbps
+        );
     }
     Ok(())
 }

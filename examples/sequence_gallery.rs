@@ -43,10 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             temporal += a.y().sad(b.y()) as f64 / (w * h) as f64 / 4.0;
         }
 
-        let mean_luma = f0.y().data().iter().map(|&v| f64::from(v)).sum::<f64>()
-            / f0.y().data().len() as f64;
-        let mean_cb = f0.cb().data().iter().map(|&v| f64::from(v)).sum::<f64>()
-            / f0.cb().data().len() as f64;
+        let mean_luma =
+            f0.y().data().iter().map(|&v| f64::from(v)).sum::<f64>() / f0.y().data().len() as f64;
+        let mean_cb =
+            f0.cb().data().iter().map(|&v| f64::from(v)).sum::<f64>() / f0.cb().data().len() as f64;
 
         println!(
             "{:<16} {:>10.1} {:>12.2} {:>10.2} {:>10.1}",

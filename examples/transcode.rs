@@ -5,9 +5,7 @@
 //!
 //! Run with: `cargo run --release --example transcode`
 
-use hd_videobench::bench::{
-    create_decoder, create_encoder, CodecId, CodingOptions, Packet,
-};
+use hd_videobench::bench::{create_decoder, create_encoder, CodecId, CodingOptions, Packet};
 use hd_videobench::frame::{Frame, Resolution, SequencePsnr};
 use hd_videobench::seq::{Sequence, SequenceId};
 

@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# CI gate for the HD-VideoBench workspace: formatting, lints, release
+# build and the full test suite. Run from the repository root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy (all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "CI green."

@@ -13,7 +13,9 @@ fn arbitrary_frame(w: usize, h: usize, seed: u64, noise: u8) -> Frame {
     let mut f = Frame::new(w, h);
     let mut state = seed | 1;
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (state >> 33) as u32
     };
     for y in 0..h {

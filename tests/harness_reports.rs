@@ -100,10 +100,10 @@ fn equation_one_scaling_preserves_equal_quality_protocol() {
     // codecs in the same quality direction.
     let seq = Sequence::new(SequenceId::RushHour, Resolution::new(96, 80));
     for codec in CodecId::ALL {
-        let fine = measure_rd_point(codec, seq, 4, &CodingOptions::default().with_qscale(3))
-            .unwrap();
-        let coarse = measure_rd_point(codec, seq, 4, &CodingOptions::default().with_qscale(16))
-            .unwrap();
+        let fine =
+            measure_rd_point(codec, seq, 4, &CodingOptions::default().with_qscale(3)).unwrap();
+        let coarse =
+            measure_rd_point(codec, seq, 4, &CodingOptions::default().with_qscale(16)).unwrap();
         assert!(
             fine.psnr_y > coarse.psnr_y + 2.0,
             "{codec}: qscale 3 ({:.1} dB) should beat qscale 16 ({:.1} dB)",

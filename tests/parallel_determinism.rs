@@ -1,0 +1,136 @@
+//! Determinism regression: the parallel sweep must be **bit-identical**
+//! to the serial one.
+//!
+//! Each grid cell (resolution × sequence × codec) is an independent
+//! encode→decode→PSNR pipeline, so fanning cells over the work-stealing
+//! pool and merging in grid order may not change a single bit of any
+//! packet, PSNR or bitrate relative to running the cells one after
+//! another on the calling thread. `hdvb table5 --threads N` relies on
+//! this to stay a faithful reproduction of the paper's Table V at any
+//! thread count.
+
+use hd_videobench::bench::{
+    encode_sequence, measure_rd_point, CodecId, CodingOptions, ParallelRunner,
+};
+use hd_videobench::frame::Resolution;
+use hd_videobench::par::ThreadPool;
+use hd_videobench::seq::{Sequence, SequenceId};
+
+const RES: (u32, u32) = (96, 80);
+const FRAMES: u32 = 12;
+
+/// Coded packets from a 4-thread pool are byte-identical to the serial
+/// encoder's, for every codec and sequence of the small grid.
+#[test]
+fn parallel_sweep_packets_are_byte_identical_to_serial() {
+    let resolution = Resolution::new(RES.0, RES.1);
+    let options = CodingOptions::default();
+    let mut cells = Vec::new();
+    for codec in CodecId::ALL {
+        for sid in SequenceId::ALL {
+            cells.push((codec, sid));
+        }
+    }
+
+    let serial: Vec<Vec<Vec<u8>>> = cells
+        .iter()
+        .map(|&(codec, sid)| {
+            let seq = Sequence::new(sid, resolution);
+            encode_sequence(codec, seq, FRAMES, &options)
+                .expect("serial encode")
+                .packets
+                .into_iter()
+                .map(|p| p.data)
+                .collect()
+        })
+        .collect();
+
+    let pool = ThreadPool::new(4);
+    let parallel: Vec<Vec<Vec<u8>>> = pool
+        .par_map(cells, |(codec, sid)| {
+            let seq = Sequence::new(sid, resolution);
+            encode_sequence(codec, seq, FRAMES, &options)
+                .expect("parallel encode")
+                .packets
+                .into_iter()
+                .map(|p| p.data)
+                .collect()
+        })
+        .expect("no task panicked");
+
+    assert_eq!(serial.len(), parallel.len());
+    for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(
+            s, p,
+            "cell {i}: packet bytes differ between serial and parallel"
+        );
+    }
+}
+
+/// The assembled Table V rows (PSNR and bitrate) from a 4-thread
+/// `ParallelRunner` are exactly equal — to the last f64 bit — to the
+/// serial runner's, across all three codecs.
+#[test]
+fn table5_rows_identical_at_any_thread_count() {
+    let resolutions = [Resolution::new(RES.0, RES.1)];
+    let options = CodingOptions::default();
+
+    let (serial_rows, serial_report) = ParallelRunner::new(1)
+        .table5_rows(&resolutions, FRAMES, &options)
+        .expect("serial sweep");
+    let (parallel_rows, parallel_report) = ParallelRunner::new(4)
+        .table5_rows(&resolutions, FRAMES, &options)
+        .expect("parallel sweep");
+
+    assert_eq!(serial_report.threads, 1);
+    assert_eq!(parallel_report.threads, 4);
+    assert_eq!(serial_report.cells, parallel_report.cells);
+    assert_eq!(serial_rows.len(), parallel_rows.len());
+    for (s, p) in serial_rows.iter().zip(&parallel_rows) {
+        assert_eq!(s.resolution, p.resolution);
+        assert_eq!(s.sequence, p.sequence);
+        for (ci, (sp, pp)) in s.points.iter().zip(&p.points).enumerate() {
+            assert_eq!(
+                sp.0.to_bits(),
+                pp.0.to_bits(),
+                "{}/{:?}: PSNR differs",
+                s.sequence.name(),
+                CodecId::ALL[ci]
+            );
+            assert_eq!(
+                sp.1.to_bits(),
+                pp.1.to_bits(),
+                "{}/{:?}: bitrate differs",
+                s.sequence.name(),
+                CodecId::ALL[ci]
+            );
+        }
+    }
+}
+
+/// The rate-distortion measurement itself is a pure function of its
+/// inputs: running the same cell on a pool worker and on the main
+/// thread gives exactly equal PSNR/SSIM/bitrate.
+#[test]
+fn rd_point_is_reproducible_across_threads() {
+    let resolution = Resolution::new(RES.0, RES.1);
+    let options = CodingOptions::default();
+    let pool = ThreadPool::new(2);
+    for codec in CodecId::ALL {
+        let seq = Sequence::new(SequenceId::PedestrianArea, resolution);
+        let direct = measure_rd_point(codec, seq, FRAMES, &options).expect("direct");
+        let pooled = pool
+            .par_map(vec![()], |()| {
+                measure_rd_point(codec, seq, FRAMES, &options).expect("pooled")
+            })
+            .expect("no panic")
+            .remove(0);
+        assert_eq!(direct.psnr_y.to_bits(), pooled.psnr_y.to_bits(), "{codec}");
+        assert_eq!(direct.ssim_y.to_bits(), pooled.ssim_y.to_bits(), "{codec}");
+        assert_eq!(
+            direct.bitrate_kbps.to_bits(),
+            pooled.bitrate_kbps.to_bits(),
+            "{codec}"
+        );
+    }
+}

@@ -5,9 +5,7 @@
 //! benchmark does with FFmpeg/x264, whose assembly is bit-exact with
 //! their C paths).
 
-use hd_videobench::bench::{
-    create_decoder, create_encoder, CodecId, CodingOptions, Packet,
-};
+use hd_videobench::bench::{create_decoder, create_encoder, CodecId, CodingOptions, Packet};
 use hd_videobench::dsp::SimdLevel;
 use hd_videobench::frame::{Frame, Resolution};
 use hd_videobench::seq::{Sequence, SequenceId};
@@ -42,7 +40,10 @@ fn encoders_are_simd_invariant() {
             let simd = encode_all(codec, seq, 5, SimdLevel::Sse2);
             assert_eq!(scalar.len(), simd.len(), "{codec}/{sid}");
             for (i, (a, b)) in scalar.iter().zip(&simd).enumerate() {
-                assert_eq!(a, b, "{codec}/{sid}: packet {i} differs between SIMD levels");
+                assert_eq!(
+                    a, b,
+                    "{codec}/{sid}: packet {i} differs between SIMD levels"
+                );
             }
         }
     }
@@ -57,7 +58,10 @@ fn decoders_are_simd_invariant() {
         let simd = decode_all(codec, &packets, SimdLevel::Sse2);
         assert_eq!(scalar.len(), simd.len(), "{codec}");
         for (i, (a, b)) in scalar.iter().zip(&simd).enumerate() {
-            assert_eq!(a, b, "{codec}: decoded frame {i} differs between SIMD levels");
+            assert_eq!(
+                a, b,
+                "{codec}: decoded frame {i} differs between SIMD levels"
+            );
         }
     }
 }

@@ -1,0 +1,253 @@
+//! A first-party, offline stand-in for the `criterion` benchmark crate.
+//!
+//! The build environment has no crates.io access, so this crate
+//! implements the subset of the criterion API the workspace's bench
+//! targets use: `Criterion::benchmark_group`, group knobs
+//! (`sample_size`, `measurement_time`, `warm_up_time`, `throughput`),
+//! `bench_function` with a `Bencher::iter` body, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: after a warm-up period, each sample times a batch
+//! of iterations sized so one sample lasts roughly
+//! `measurement_time / sample_size`; the per-iteration median, minimum
+//! and maximum over the samples are printed to stdout in a
+//! criterion-like single-line format.
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The measured body processes this many logical elements.
+    Elements(u64),
+    /// The measured body processes this many bytes.
+    Bytes(u64),
+}
+
+/// Prevents the optimiser from discarding a value (best-effort on
+/// stable: `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver handed to each `criterion_group!` target.
+pub struct Criterion {
+    default_sample_size: usize,
+    default_measurement_time: Duration,
+    default_warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+            default_measurement_time: Duration::from_secs(1),
+            default_warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group<S: AsRef<str>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.as_ref().to_string(),
+            sample_size: self.default_sample_size,
+            measurement_time: self.default_measurement_time,
+            warm_up_time: self.default_warm_up_time,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<S: AsRef<str>, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up period per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput unit.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark and prints its timing line.
+    pub fn bench_function<S: AsRef<str>, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = if self.name.is_empty() {
+            id.as_ref().to_string()
+        } else {
+            format!("{}/{}", self.name, id.as_ref())
+        };
+
+        // Warm-up: run the body repeatedly until the warm-up budget is
+        // spent, remembering the per-iteration cost estimate.
+        let warm_start = Instant::now();
+        let mut iters_done: u64 = 0;
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        while warm_start.elapsed() < self.warm_up_time || iters_done == 0 {
+            f(&mut bencher);
+            iters_done += bencher.iters;
+            if warm_start.elapsed() > self.warm_up_time * 4 {
+                break; // a single very slow iteration: stop warming
+            }
+        }
+        let est_iter = warm_start.elapsed().as_secs_f64() / iters_done.max(1) as f64;
+
+        // Sampling: size each sample so the whole run fits the budget.
+        let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((per_sample / est_iter.max(1e-9)) as u64).max(1);
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            bencher.iters = iters_per_sample;
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            samples.push(bencher.elapsed.as_secs_f64() / iters_per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        let (lo, hi) = (samples[0], samples[samples.len() - 1]);
+        let mut line = format!(
+            "{label:<50} time: [{} {} {}]",
+            fmt_time(lo),
+            fmt_time(median),
+            fmt_time(hi)
+        );
+        if let Some(t) = self.throughput {
+            let (count, unit) = match t {
+                Throughput::Elements(n) => (n as f64, "elem/s"),
+                Throughput::Bytes(n) => (n as f64, "B/s"),
+            };
+            line.push_str(&format!("  thrpt: {:.2} {unit}", count / median.max(1e-12)));
+        }
+        println!("{line}");
+        self
+    }
+
+    /// Ends the group (printing nothing extra; retained for API parity).
+    pub fn finish(&mut self) {}
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Times the closure over the batch of iterations criterion chose.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs and times `f` for the current sample's iteration count.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let t0 = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = t0.elapsed();
+    }
+}
+
+/// Bundles benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes harness flags like `--bench`; none are
+            // meaningful to this stand-in, so they are ignored.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body_and_prints() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("unit");
+        group.sample_size(2);
+        group.measurement_time(Duration::from_millis(10));
+        group.warm_up_time(Duration::from_millis(1));
+        group.throughput(Throughput::Elements(4));
+        let mut runs = 0u32;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert!(fmt_time(2.0).ends_with(" s"));
+        assert!(fmt_time(2e-3).ends_with(" ms"));
+        assert!(fmt_time(2e-6).ends_with(" µs"));
+        assert!(fmt_time(2e-9).ends_with(" ns"));
+    }
+}
