@@ -22,8 +22,8 @@ fn bench_decode(c: &mut Criterion) {
         group.throughput(Throughput::Elements(u64::from(BENCH_FRAMES)));
         for codec in CodecId::ALL {
             let packets = pre_encode(codec, seq, BENCH_FRAMES, &options);
-            for simd in [SimdLevel::Scalar, SimdLevel::Sse2] {
-                let id = format!("{}/{}", codec.name(), simd.label());
+            for simd in SimdLevel::supported_tiers() {
+                let id = format!("{}/{}", codec.name(), simd.tier_name());
                 group.bench_function(&id, |b| {
                     b.iter(|| decode_sequence(codec, &packets, simd).expect("decode cannot fail"))
                 });

@@ -20,9 +20,9 @@ fn bench_encode(c: &mut Criterion) {
         group.measurement_time(std::time::Duration::from_secs(2));
         group.throughput(Throughput::Elements(u64::from(BENCH_FRAMES)));
         for codec in CodecId::ALL {
-            for simd in [SimdLevel::Scalar, SimdLevel::Sse2] {
+            for simd in SimdLevel::supported_tiers() {
                 let options = CodingOptions::default().with_simd(simd);
-                let id = format!("{}/{}", codec.name(), simd.label());
+                let id = format!("{}/{}", codec.name(), simd.tier_name());
                 group.bench_function(&id, |b| {
                     b.iter(|| {
                         let mut enc = create_encoder(codec, resolution, &options)

@@ -1,6 +1,7 @@
-//! Kernel-level scalar-vs-SSE2 ablation: the per-kernel speed-ups that
-//! explain the Figure 1 gaps (SAD/SATD dominate encoding; IDCT,
-//! interpolation and deblocking dominate decoding).
+//! Kernel-level tier ablation (scalar vs SSE2 vs AVX2 where supported):
+//! the per-kernel speed-ups that explain the Figure 1 gaps (SAD/SATD
+//! dominate encoding; IDCT, interpolation and deblocking dominate
+//! decoding).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hdvb_dsp::{Block8, Dsp, SimdLevel, MPEG_DEFAULT_INTRA};
@@ -26,9 +27,12 @@ fn coeff_block(seed: u32) -> Block8 {
 }
 
 fn bench_kernels(c: &mut Criterion) {
-    let a = pixels(1, 64 * 64);
+    // Padded-plane source stride (80) distinct from the 64-byte
+    // destination stride: equal power-of-two strides alias src and dst
+    // rows at the same 4 KiB page offsets and stall every tier equally.
+    let a = pixels(1, 80 * 70);
     let b = pixels(2, 64 * 64);
-    let levels = [SimdLevel::Scalar, SimdLevel::Sse2];
+    let levels = SimdLevel::supported_tiers();
 
     let mut group = c.benchmark_group("kernels");
     group.sample_size(20);
@@ -36,21 +40,49 @@ fn bench_kernels(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     for level in levels {
         let dsp = Dsp::new(level);
-        let tag = level.label();
+        let tag = level.tier_name();
         group.bench_function(format!("sad_16x16/{tag}"), |bch| {
             bch.iter(|| {
                 let mut acc = 0u64;
                 for off in 0..16 {
-                    acc += u64::from(dsp.sad(&a[off..], 64, &b, 64, 16, 16));
+                    acc += u64::from(dsp.sad(&a[off..], 80, &b, 64, 16, 16));
                 }
                 acc
+            })
+        });
+        group.bench_function(format!("ssd_16x16/{tag}"), |bch| {
+            bch.iter(|| {
+                let mut acc = 0u64;
+                for off in 0..16 {
+                    acc += dsp.ssd(&a[off..], 80, &b, 64, 16, 16);
+                }
+                acc
+            })
+        });
+        group.bench_function(format!("copy_64x64/{tag}"), |bch| {
+            let mut dst = vec![0u8; 64 * 64];
+            bch.iter(|| {
+                for off in 0..8 {
+                    dsp.copy_block(&mut dst, 64, &a[off..], 80, 64, 64);
+                }
+                dst[0]
+            })
+        });
+        group.bench_function(format!("quant8/{tag}"), |bch| {
+            bch.iter(|| {
+                let mut blk = coeff_block(13);
+                let mut nz = 0;
+                for _ in 0..16 {
+                    nz += dsp.quant8(&mut blk, &MPEG_DEFAULT_INTRA, 5, true);
+                }
+                nz
             })
         });
         group.bench_function(format!("satd_16x16/{tag}"), |bch| {
             bch.iter(|| {
                 let mut acc = 0u64;
                 for off in 0..8 {
-                    acc += u64::from(dsp.satd(&a[off..], 64, &b, 64, 16, 16));
+                    acc += u64::from(dsp.satd(&a[off..], 80, &b, 64, 16, 16));
                 }
                 acc
             })
@@ -86,7 +118,7 @@ fn bench_kernels(c: &mut Criterion) {
             let mut dst = vec![0u8; 16 * 16];
             bch.iter(|| {
                 for (fx, fy) in [(0u8, 0u8), (1, 0), (0, 1), (1, 1)] {
-                    dsp.hpel_interp(&mut dst, 16, &a[8 * 64 + 8..], 64, fx, fy, 16, 16);
+                    dsp.hpel_interp(&mut dst, 16, &a[8 * 80 + 8..], 80, fx, fy, 16, 16);
                 }
                 dst[0]
             })
@@ -94,9 +126,9 @@ fn bench_kernels(c: &mut Criterion) {
         group.bench_function(format!("sixtap_hv/{tag}"), |bch| {
             let mut dst = vec![0u8; 16 * 16];
             bch.iter(|| {
-                dsp.sixtap_h(&mut dst, 16, &a[8 * 64 + 6..], 64, 16, 16);
-                dsp.sixtap_v(&mut dst, 16, &a[6 * 64 + 8..], 64, 16, 16);
-                dsp.sixtap_hv(&mut dst, 16, &a[6 * 64 + 6..], 64, 16, 16);
+                dsp.sixtap_h(&mut dst, 16, &a[8 * 80 + 6..], 80, 16, 16);
+                dsp.sixtap_v(&mut dst, 16, &a[6 * 80 + 8..], 80, 16, 16);
+                dsp.sixtap_hv(&mut dst, 16, &a[6 * 80 + 6..], 80, 16, 16);
                 dst[0]
             })
         });
@@ -105,7 +137,7 @@ fn bench_kernels(c: &mut Criterion) {
             bch.iter(|| {
                 for fx in 0..4u8 {
                     for fy in 0..4u8 {
-                        dsp.qpel_luma(&mut dst, 16, &a[8 * 64 + 8..], 64, fx, fy, 16, 16);
+                        dsp.qpel_luma(&mut dst, 16, &a[8 * 80 + 8..], 80, fx, fy, 16, 16);
                     }
                 }
                 dst[0]
@@ -115,7 +147,7 @@ fn bench_kernels(c: &mut Criterion) {
             let mut dst = vec![0u8; 16 * 16];
             bch.iter(|| {
                 for off in 0..16 {
-                    dsp.avg_block(&mut dst, 16, &a[off..], 64, &b[off..], 64, 16, 16);
+                    dsp.avg_block(&mut dst, 16, &a[off..], 80, &b[off..], 64, 16, 16);
                 }
                 dst[0]
             })

@@ -6,8 +6,10 @@
 //! * `table5_rd` — Table V (rate-distortion per codec/sequence/resolution)
 //! * `figure1_decode` — Figure 1 (a)/(b): decode fps, scalar and SIMD
 //! * `figure1_encode` — Figure 1 (c)/(d): encode fps, scalar and SIMD
-//! * `kernels` — per-kernel scalar-vs-SSE2 ablation (explains the
-//!   Figure 1 speed-ups)
+//! * `kernels` — per-kernel tier ablation, scalar vs SSE2 vs AVX2 where
+//!   supported (explains the Figure 1 speed-ups); the dependency-free
+//!   [`kernelbench`] module runs the same measurement from the CLI and
+//!   emits `BENCH_kernels.json`
 //! * `motion_search` — EPZS / hexagon / diamond / full-search ablation
 //!   (the paper's Section IV algorithm choices)
 //!
@@ -18,6 +20,8 @@
 use hdvb_core::{encode_sequence, CodecId, CodingOptions, Packet};
 use hdvb_frame::Resolution;
 use hdvb_seq::{Sequence, SequenceId};
+
+pub mod kernelbench;
 
 /// Resolution divisor applied to the paper's three resolutions for the
 /// criterion runs (keeps a full sweep tractable on one core).

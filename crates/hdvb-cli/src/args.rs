@@ -13,6 +13,9 @@ pub struct Parsed {
 }
 
 impl Parsed {
+    /// Options that take no value (presence means `true`).
+    const FLAGS: [&'static str; 1] = ["json"];
+
     pub fn parse(args: &[String]) -> Result<Parsed, String> {
         let mut values = HashMap::new();
         let mut it = args.iter().peekable();
@@ -23,6 +26,10 @@ impl Parsed {
                 s if s.starts_with("--") => s[2..].to_string(),
                 other => return Err(format!("unexpected argument {other:?}")),
             };
+            if Self::FLAGS.contains(&key.as_str()) {
+                values.insert(key, "true".to_string());
+                continue;
+            }
             let value = it
                 .next()
                 .ok_or_else(|| format!("option --{key} needs a value"))?;
@@ -73,11 +80,18 @@ impl Parsed {
 
     pub fn simd(&self) -> Result<SimdLevel, String> {
         match self.get("simd") {
-            None => Ok(SimdLevel::detect()),
-            Some("scalar") => Ok(SimdLevel::Scalar),
-            Some("simd") | Some("sse2") => Ok(SimdLevel::Sse2),
-            Some(v) => Err(format!("bad --simd {v:?} (scalar|simd)")),
+            // Default honours the HDVB_SIMD env override, then runtime
+            // CPU detection.
+            None => Ok(SimdLevel::preferred()),
+            Some(v) => SimdLevel::parse(v)
+                .ok_or_else(|| format!("bad --simd {v:?} (scalar|sse2|avx2|auto)")),
         }
+    }
+
+    /// Whether `--json` was passed (machine-readable `BENCH_*.json`
+    /// output for `bench`, `kernels` and `figure1`).
+    pub fn json(&self) -> bool {
+        self.get("json") == Some("true")
     }
 
     pub fn b_frames(&self) -> Result<u8, String> {
@@ -207,6 +221,31 @@ mod tests {
         assert_eq!(p.frames().unwrap(), 12);
         assert_eq!(p.simd().unwrap(), SimdLevel::Scalar);
         assert_eq!(p.output(), Some("out.hvb"));
+        assert!(!p.json());
+    }
+
+    #[test]
+    fn simd_tier_names() {
+        assert_eq!(parsed(&["--simd", "sse2"]).simd().unwrap(), SimdLevel::Sse2);
+        assert_eq!(parsed(&["--simd", "avx2"]).simd().unwrap(), SimdLevel::Avx2);
+        assert_eq!(
+            parsed(&["--simd", "auto"]).simd().unwrap(),
+            SimdLevel::detect()
+        );
+        // "simd" stays accepted as the paper-legend spelling for the
+        // detected accelerated tier.
+        assert_eq!(
+            parsed(&["--simd", "simd"]).simd().unwrap(),
+            SimdLevel::detect()
+        );
+        assert!(parsed(&["--simd", "avx512"]).simd().is_err());
+    }
+
+    #[test]
+    fn json_is_a_bare_flag() {
+        let p = parsed(&["--json", "--frames", "3"]);
+        assert!(p.json());
+        assert_eq!(p.frames().unwrap(), 3);
     }
 
     #[test]

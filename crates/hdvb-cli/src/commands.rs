@@ -1,11 +1,14 @@
 //! The `hdvb` subcommand implementations.
 
 use crate::args::Parsed;
+use hdvb_bench::kernelbench;
 use hdvb_core::{
-    create_encoder, decode_sequence, encode_sequence, encode_sequence_parallel, figure1_markdown,
-    measure_figure1_row, measure_rd_point, read_stream, table5_markdown, write_stream, CodecId,
-    CodingOptions, Figure1Part, Packet, ParallelRunner, StreamHeader,
+    cpu_model, create_encoder, decode_sequence, encode_sequence, encode_sequence_parallel,
+    figure1_markdown, machine_attribution, measure_figure1_row, measure_rd_point, read_stream,
+    table5_markdown, write_stream, CodecId, CodingOptions, Figure1Part, Figure1Row, Packet,
+    ParallelRunner, StreamHeader,
 };
+use hdvb_dsp::SimdLevel;
 use hdvb_frame::{Frame, Resolution, SequencePsnr, VideoFormat, Y4mReader, Y4mWriter};
 use hdvb_par::ThreadPool;
 use hdvb_seq::{Sequence, SequenceId};
@@ -250,7 +253,7 @@ pub fn bench(p: &Parsed) -> CmdResult {
             acc.y_psnr(),
             enc.bitrate_kbps(),
         );
-        return Ok(());
+        return bench_json_outputs(p, codec, seq, frames, &options);
     }
     let t = measure_figure1_row(codec, seq, frames, &options).map_err(|e| e.to_string())?;
     let rd = measure_rd_point(codec, seq, frames, &options).map_err(|e| e.to_string())?;
@@ -267,7 +270,125 @@ pub fn bench(p: &Parsed) -> CmdResult {
         rd.ssim_y,
         rd.bitrate_kbps,
     );
+    bench_json_outputs(p, codec, seq, frames, &options)
+}
+
+/// The `bench --json` side outputs: the kernel microbenchmark to
+/// `BENCH_kernels.json` and the benched codec's encode/decode fps at
+/// every supported tier to `BENCH_figure1.json`.
+fn bench_json_outputs(
+    p: &Parsed,
+    codec: CodecId,
+    seq: Sequence,
+    frames: u32,
+    options: &CodingOptions,
+) -> CmdResult {
+    if !p.json() {
+        return Ok(());
+    }
+    let krows = kernelbench::run_all();
+    write_bench_file(
+        "BENCH_kernels.json",
+        &kernelbench::kernels_json(&krows, &cpu_model()),
+    )?;
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"benchmark\": \"figure1\",\n");
+    out.push_str(&format!(
+        "  \"cpu\": \"{}\",\n",
+        kernelbench::json_escape(&cpu_model())
+    ));
+    out.push_str(&format!(
+        "  \"auto_tier\": \"{}\",\n",
+        SimdLevel::detect().tier_name()
+    ));
+    out.push_str(&format!("  \"frames\": {frames},\n"));
+    out.push_str(&format!("  \"sequence\": \"{}\",\n", seq.id().name()));
+    out.push_str("  \"rows\": [\n");
+    let tiers = SimdLevel::supported_tiers();
+    for (i, &tier) in tiers.iter().enumerate() {
+        let t = measure_figure1_row(codec, seq, frames, &options.with_simd(tier))
+            .map_err(|e| e.to_string())?;
+        for (dir, fps) in [("encode", t.encode_fps), ("decode", t.decode_fps)] {
+            let last = i + 1 == tiers.len() && dir == "decode";
+            out.push_str(&format!(
+                "    {{\"resolution\": \"{}\", \"direction\": \"{dir}\", \"tier\": \"{}\", \
+                 \"codec\": \"{}\", \"fps\": {fps:.3}}}{}\n",
+                seq.resolution().label(),
+                tier.tier_name(),
+                codec.name(),
+                if last { "" } else { "," },
+            ));
+        }
+    }
+    out.push_str("  ]\n}\n");
+    write_bench_file("BENCH_figure1.json", &out)
+}
+
+/// Writes a `BENCH_*.json` trajectory file into the current directory.
+fn write_bench_file(path: &str, content: &str) -> CmdResult {
+    std::fs::write(path, content).map_err(|e| format!("cannot write {path}: {e}"))?;
+    eprintln!("wrote {path}");
     Ok(())
+}
+
+/// Runs the kernel microbenchmark at every supported tier; `--json`
+/// also writes `BENCH_kernels.json`.
+pub fn kernels(p: &Parsed) -> CmdResult {
+    let tiers: Vec<&str> = SimdLevel::supported_tiers()
+        .iter()
+        .map(|t| t.tier_name())
+        .collect();
+    eprintln!("measuring kernels at tiers: {} ...", tiers.join(", "));
+    let rows = kernelbench::run_all();
+    print!("{}", kernelbench::kernels_table(&rows));
+    println!();
+    println!("{}", machine_attribution());
+    if p.json() {
+        write_bench_file(
+            "BENCH_kernels.json",
+            &kernelbench::kernels_json(&rows, &cpu_model()),
+        )?;
+    }
+    Ok(())
+}
+
+/// Renders Figure 1 rows as the `BENCH_figure1.json` document (one
+/// object per codec × row, so the file is trivially diffable between
+/// runs).
+fn figure1_json(rows: &[Figure1Row], frames: u32) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"benchmark\": \"figure1\",\n");
+    out.push_str(&format!(
+        "  \"cpu\": \"{}\",\n",
+        kernelbench::json_escape(&cpu_model())
+    ));
+    out.push_str(&format!(
+        "  \"auto_tier\": \"{}\",\n",
+        SimdLevel::detect().tier_name()
+    ));
+    out.push_str(&format!("  \"frames\": {frames},\n"));
+    out.push_str("  \"rows\": [\n");
+    let total = rows.len() * CodecId::ALL.len();
+    let mut i = 0;
+    for r in rows {
+        for (ci, codec) in CodecId::ALL.iter().enumerate() {
+            i += 1;
+            let comma = if i == total { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"resolution\": \"{}\", \"direction\": \"{}\", \"tier\": \"{}\", \
+                 \"codec\": \"{}\", \"fps\": {:.3}}}{comma}\n",
+                r.resolution.label(),
+                if r.decode { "decode" } else { "encode" },
+                r.tier.tier_name(),
+                codec.name(),
+                r.fps[ci],
+            ));
+        }
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 fn benchmark_resolutions(scale: u32) -> Vec<Resolution> {
@@ -325,7 +446,11 @@ pub fn figure1(p: &Parsed) -> CmdResult {
     println!("# Figure 1 — HD-VideoBench performance ({frames} frames, scale 1/{scale})");
     println!();
     print!("{}", figure1_markdown(&rows));
+    println!("{}", machine_attribution());
     eprintln!("{}", report.summary());
+    if p.json() {
+        write_bench_file("BENCH_figure1.json", &figure1_json(&rows, frames))?;
+    }
     Ok(())
 }
 

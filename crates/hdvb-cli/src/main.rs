@@ -23,6 +23,7 @@ COMMANDS:
     decode                          decode an .hvb stream (optionally to .y4m)
     psnr                            PSNR between a .y4m file and its reference
     bench                           encode+decode throughput for one configuration
+    kernels                         per-kernel ns/call at every supported SIMD tier
     table5                          reproduce Table V (rate-distortion comparison)
     figure1                         reproduce Figure 1 (decode/encode fps, scalar+SIMD)
 
@@ -32,7 +33,9 @@ COMMON OPTIONS:
     --resolution <r>                576p25 | 720p25 | 1088p25 | <W>x<H>   [default: 576p25]
     --frames <n>                    frames to process                     [default: 100]
     --qscale <q>                    MPEG quantiser scale (H.264 QP via Eq. 1) [default: 5]
-    --simd <scalar|simd>            kernel dispatch level                 [default: simd]
+    --simd <scalar|sse2|avx2|auto>  kernel tier (auto = detect best)      [default: auto]
+    --json                          also write BENCH_kernels.json / BENCH_figure1.json
+                                    (bench, kernels and figure1 commands)
     --b-frames <n>                  B pictures between anchors            [default: 2]
     -i, --input <file>              input file (.y4m for encode, .hvb for decode)
     -o, --output <file>             output file
@@ -49,7 +52,8 @@ EXAMPLES:
     hdvb decode -i out.hvb --simd scalar -o out.y4m
     hdvb psnr -i out.y4m --sequence blue_sky
     hdvb table5 --frames 24 --scale 2 --threads 4
-    hdvb figure1 --frames 24 --scale 2 --threads 4
+    hdvb figure1 --frames 24 --scale 2 --threads 4 --json
+    hdvb kernels --json
 ";
 
 fn main() -> ExitCode {
@@ -77,6 +81,7 @@ fn main() -> ExitCode {
         "decode" => commands::decode(&parsed),
         "psnr" => commands::psnr(&parsed),
         "bench" => commands::bench(&parsed),
+        "kernels" => commands::kernels(&parsed),
         "table5" => commands::table5(&parsed),
         "figure1" => commands::figure1(&parsed),
         other => {

@@ -41,7 +41,9 @@ pub use options::{h264_qp_for_mpeg_qscale, CodingOptions};
 pub use parallel::{
     encode_sequence_parallel, ExecutionReport, Figure1Part, ParallelEncodeStats, ParallelRunner,
 };
-pub use report::{figure1_markdown, table5_markdown, Figure1Row, Table5Row};
+pub use report::{
+    cpu_model, figure1_markdown, machine_attribution, table5_markdown, Figure1Row, Table5Row,
+};
 pub use runner::{
     decode_sequence, encode_sequence, measure_figure1_row, measure_rd_point, DecodeResult,
     EncodeResult, RdPoint, Throughput,

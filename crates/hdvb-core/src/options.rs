@@ -55,7 +55,10 @@ impl Default for CodingOptions {
             b_frames: 2,
             search_range: 24,
             intra_period: None,
-            simd: SimdLevel::detect(),
+            // `preferred()` honours the HDVB_SIMD env override (used by
+            // CI to force the scalar tier) and falls back to runtime
+            // feature detection.
+            simd: SimdLevel::preferred(),
             h264_refs: 3,
             h264_qp_offset: -5,
         }

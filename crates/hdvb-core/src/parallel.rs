@@ -280,11 +280,13 @@ impl ParallelRunner {
         options: &CodingOptions,
         part: Figure1Part,
     ) -> Result<(Vec<Figure1Row>, ExecutionReport), BenchError> {
-        let levels = [SimdLevel::Scalar, SimdLevel::Sse2];
+        // Every tier this CPU supports: scalar plus SSE2, plus AVX2 on
+        // capable hardware (three-way columns in the report).
+        let levels = SimdLevel::supported_tiers();
         let mut cells = Vec::new();
         for &resolution in resolutions {
-            for simd in levels {
-                let is_simd = simd == SimdLevel::Sse2;
+            for &simd in &levels {
+                let is_simd = simd.is_accelerated();
                 if !part.includes(true, is_simd) && !part.includes(false, is_simd) {
                     continue;
                 }
@@ -306,8 +308,8 @@ impl ParallelRunner {
         let mut it = throughputs.into_iter();
         let n_seqs = SequenceId::ALL.len() as f64;
         for &resolution in resolutions {
-            for simd in levels {
-                let is_simd = simd == SimdLevel::Sse2;
+            for &simd in &levels {
+                let is_simd = simd.is_accelerated();
                 if !part.includes(true, is_simd) && !part.includes(false, is_simd) {
                     continue;
                 }
@@ -328,7 +330,7 @@ impl ParallelRunner {
                     rows.push(Figure1Row {
                         resolution,
                         decode: true,
-                        simd: is_simd,
+                        tier: simd,
                         fps: dec_fps,
                     });
                 }
@@ -336,7 +338,7 @@ impl ParallelRunner {
                     rows.push(Figure1Row {
                         resolution,
                         decode: false,
-                        simd: is_simd,
+                        tier: simd,
                         fps: enc_fps,
                     });
                 }

@@ -2,6 +2,7 @@
 //! Figure 1 (throughput) as markdown/CSV-friendly tables.
 
 use crate::CodecId;
+use hdvb_dsp::SimdLevel;
 use hdvb_frame::Resolution;
 use hdvb_seq::SequenceId;
 use std::fmt::Write as _;
@@ -64,7 +65,7 @@ pub fn table5_markdown(rows: &[Table5Row]) -> String {
 }
 
 /// One bar group of Figure 1: fps per codec for one (resolution,
-/// direction, SIMD level) combination, averaged over the input
+/// direction, kernel tier) combination, averaged over the input
 /// sequences.
 #[derive(Clone, Debug)]
 pub struct Figure1Row {
@@ -72,15 +73,24 @@ pub struct Figure1Row {
     pub resolution: Resolution,
     /// `true` = decoding (Figure 1 a/b), `false` = encoding (c/d).
     pub decode: bool,
-    /// `true` = SIMD kernels (Figure 1 b/d), `false` = scalar (a/c).
-    pub simd: bool,
+    /// Kernel tier this row was measured at. The paper's scalar/SIMD
+    /// legend maps to `tier.is_accelerated()`; the exact tier keeps the
+    /// result attributable when the CPU supports several.
+    pub tier: SimdLevel,
     /// Frames per second per codec, in [`CodecId::ALL`] order.
     pub fps: [f64; 3],
 }
 
+impl Figure1Row {
+    /// Whether this row belongs to the paper's SIMD bars (b/d).
+    pub fn is_simd(&self) -> bool {
+        self.tier.is_accelerated()
+    }
+}
+
 /// Renders Figure 1's data as a table (one subfigure per
-/// direction × SIMD combination), with the paper's 25-fps real-time
-/// marker column.
+/// direction × scalar/SIMD combination, one row per measured tier),
+/// with the paper's 25-fps real-time marker column.
 pub fn figure1_markdown(rows: &[Figure1Row]) -> String {
     let mut out = String::new();
     for (decode, simd, label) in [
@@ -91,7 +101,7 @@ pub fn figure1_markdown(rows: &[Figure1Row]) -> String {
     ] {
         let part: Vec<&Figure1Row> = rows
             .iter()
-            .filter(|r| r.decode == decode && r.simd == simd)
+            .filter(|r| r.decode == decode && r.is_simd() == simd)
             .collect();
         if part.is_empty() {
             continue;
@@ -99,9 +109,9 @@ pub fn figure1_markdown(rows: &[Figure1Row]) -> String {
         let _ = writeln!(out, "### Figure 1{label}");
         let _ = writeln!(
             out,
-            "| Resolution | MPEG-2 fps | MPEG-4 fps | H.264 fps | real-time (25 fps)? |"
+            "| Resolution | Tier | MPEG-2 fps | MPEG-4 fps | H.264 fps | real-time (25 fps)? |"
         );
-        let _ = writeln!(out, "|---|---|---|---|---|");
+        let _ = writeln!(out, "|---|---|---|---|---|---|");
         for r in part {
             let rt: Vec<&str> = r
                 .fps
@@ -110,8 +120,9 @@ pub fn figure1_markdown(rows: &[Figure1Row]) -> String {
                 .collect();
             let _ = writeln!(
                 out,
-                "| {} | {:.2} | {:.2} | {:.2} | {} |",
+                "| {} | {} | {:.2} | {:.2} | {:.2} | {} |",
                 r.resolution.label(),
+                r.tier.tier_name(),
                 r.fps[0],
                 r.fps[1],
                 r.fps[2],
@@ -120,29 +131,44 @@ pub fn figure1_markdown(rows: &[Figure1Row]) -> String {
         }
         let _ = writeln!(out);
     }
-    // Speed-up summary between matching scalar/SIMD rows.
+    // Speed-up summary: each accelerated tier against the matching
+    // scalar rows.
     let mut speedups = String::new();
+    let mut tiers: Vec<SimdLevel> = rows
+        .iter()
+        .filter(|r| r.is_simd())
+        .map(|r| r.tier)
+        .collect();
+    tiers.sort_unstable();
+    tiers.dedup();
     for decode in [true, false] {
-        for (ci, codec) in CodecId::ALL.iter().enumerate() {
-            let collect = |simd: bool| -> Vec<f64> {
-                rows.iter()
-                    .filter(|r| r.decode == decode && r.simd == simd)
-                    .map(|r| r.fps[ci])
-                    .collect()
-            };
-            let scalar = collect(false);
-            let simd = collect(true);
-            if scalar.is_empty() || scalar.len() != simd.len() {
-                continue;
+        for tier in &tiers {
+            for (ci, codec) in CodecId::ALL.iter().enumerate() {
+                let collect = |want: Option<SimdLevel>| -> Vec<f64> {
+                    rows.iter()
+                        .filter(|r| r.decode == decode && r.tier == want.unwrap_or(r.tier))
+                        .filter(|r| want.is_some() || !r.is_simd())
+                        .map(|r| r.fps[ci])
+                        .collect()
+                };
+                let scalar = collect(None);
+                let simd = collect(Some(*tier));
+                if scalar.is_empty() || scalar.len() != simd.len() {
+                    continue;
+                }
+                let ratio: f64 = simd
+                    .iter()
+                    .zip(&scalar)
+                    .map(|(s, c)| s / c.max(1e-9))
+                    .sum::<f64>()
+                    / scalar.len() as f64;
+                let dir = if decode { "decode" } else { "encode" };
+                let _ = writeln!(
+                    speedups,
+                    "- {codec} {dir} {} speed-up: {ratio:.2}x",
+                    tier.tier_name()
+                );
             }
-            let ratio: f64 = simd
-                .iter()
-                .zip(&scalar)
-                .map(|(s, c)| s / c.max(1e-9))
-                .sum::<f64>()
-                / scalar.len() as f64;
-            let dir = if decode { "decode" } else { "encode" };
-            let _ = writeln!(speedups, "- {codec} {dir} SIMD speed-up: {ratio:.2}x");
         }
     }
     if !speedups.is_empty() {
@@ -150,6 +176,43 @@ pub fn figure1_markdown(rows: &[Figure1Row]) -> String {
         out.push_str(&speedups);
     }
     out
+}
+
+/// One line attributing a measurement run to the machine and kernel
+/// tiers it ran on (CPU model plus every tier the CPU supports and the
+/// tier `auto` resolves to), per the reproducibility argument that
+/// machines are benchmarked by code: numbers without the executed tier
+/// are not comparable across hosts.
+pub fn machine_attribution() -> String {
+    let tiers: Vec<&str> = SimdLevel::supported_tiers()
+        .into_iter()
+        .map(|t| t.tier_name())
+        .collect();
+    format!(
+        "Measured on: {} — simd tiers available: {} (auto = {})",
+        cpu_model(),
+        tiers.join(", "),
+        SimdLevel::detect().tier_name(),
+    )
+}
+
+/// Best-effort CPU model string (`/proc/cpuinfo` on Linux; the target
+/// architecture elsewhere). Used by the attribution line and the
+/// `BENCH_*.json` trajectory files.
+pub fn cpu_model() -> String {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(info) = std::fs::read_to_string("/proc/cpuinfo") {
+            for line in info.lines() {
+                if let Some(rest) = line.strip_prefix("model name") {
+                    if let Some((_, model)) = rest.split_once(':') {
+                        return model.trim().to_string();
+                    }
+                }
+            }
+        }
+    }
+    format!("unknown CPU ({})", std::env::consts::ARCH)
 }
 
 #[cfg(test)]
@@ -181,13 +244,13 @@ mod tests {
             Figure1Row {
                 resolution: Resolution::DVD_576,
                 decode: true,
-                simd: false,
+                tier: SimdLevel::Scalar,
                 fps: [88.0, 40.0, 30.0],
             },
             Figure1Row {
                 resolution: Resolution::DVD_576,
                 decode: true,
-                simd: true,
+                tier: SimdLevel::Sse2,
                 fps: [176.0, 80.0, 45.0],
             },
         ];
@@ -195,9 +258,30 @@ mod tests {
         assert!(md.contains("(a) Decoding, scalar"));
         assert!(md.contains("(b) Decoding, SIMD"));
         assert!(!md.contains("(c) Encoding"));
-        assert!(md.contains("mpeg2 decode SIMD speed-up: 2.00x"));
-        assert!(md.contains("h264 decode SIMD speed-up: 1.50x"));
+        assert!(md.contains("mpeg2 decode sse2 speed-up: 2.00x"));
+        assert!(md.contains("h264 decode sse2 speed-up: 1.50x"));
         assert!(md.contains("yes/yes/yes"));
+    }
+
+    #[test]
+    fn figure1_reports_each_accelerated_tier() {
+        let row = |tier, fps| Figure1Row {
+            resolution: Resolution::DVD_576,
+            decode: true,
+            tier,
+            fps,
+        };
+        let rows = vec![
+            row(SimdLevel::Scalar, [40.0, 40.0, 40.0]),
+            row(SimdLevel::Sse2, [80.0, 80.0, 80.0]),
+            row(SimdLevel::Avx2, [120.0, 120.0, 120.0]),
+        ];
+        let md = figure1_markdown(&rows);
+        // Both accelerated tiers land in the SIMD subfigure, labelled.
+        assert!(md.contains("| sse2 |"));
+        assert!(md.contains("| avx2 |"));
+        assert!(md.contains("mpeg2 decode sse2 speed-up: 2.00x"));
+        assert!(md.contains("mpeg2 decode avx2 speed-up: 3.00x"));
     }
 
     #[test]
@@ -205,10 +289,18 @@ mod tests {
         let rows = vec![Figure1Row {
             resolution: Resolution::HD_1088,
             decode: false,
-            simd: false,
+            tier: SimdLevel::Scalar,
             fps: [3.8, 0.5, 0.3],
         }];
         let md = figure1_markdown(&rows);
         assert!(md.contains("no/no/no"));
+    }
+
+    #[test]
+    fn attribution_names_the_detected_tier() {
+        let line = machine_attribution();
+        assert!(line.contains("Measured on:"));
+        assert!(line.contains(SimdLevel::detect().tier_name()));
+        assert!(line.contains("scalar"));
     }
 }

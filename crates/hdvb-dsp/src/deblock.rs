@@ -50,15 +50,7 @@ impl Dsp {
         beta: i32,
         tc: i32,
     ) {
-        #[cfg(target_arch = "x86_64")]
-        if self.level() == crate::SimdLevel::Sse2 {
-            // SAFETY: sse2 is architecturally guaranteed on x86_64.
-            unsafe {
-                crate::sse2::deblock_horiz_edge_sse2(data, stride, q0_off, width, alpha, beta, tc)
-            };
-            return;
-        }
-        deblock_horiz_edge_scalar(data, stride, q0_off, width, alpha, beta, tc)
+        (self.kernels().deblock_horiz_edge)(data, stride, q0_off, width, alpha, beta, tc)
     }
 }
 

@@ -38,10 +38,12 @@ mod quant;
 mod satd;
 
 #[cfg(target_arch = "x86_64")]
+mod avx2;
+#[cfg(target_arch = "x86_64")]
 mod sse2;
 
 pub use dct4::{chroma_dc_hadamard_2x2, chroma_dc_ihadamard_2x2};
-pub use dispatch::{Dsp, SimdLevel};
+pub use dispatch::{Dsp, SadFn, SatdFn, SimdLevel, SsdFn};
 pub use quant::{QuantMatrix, MPEG_DEFAULT_INTRA, MPEG_DEFAULT_NONINTRA, QUANT_FLAT_16};
 
 /// An 8×8 block of transform coefficients or residuals, row-major.

@@ -30,6 +30,8 @@ pub(crate) unsafe fn sad_sse2(
     h: usize,
 ) -> u32 {
     debug_assert!(w.is_multiple_of(8));
+    debug_assert!(h == 0 || a.len() >= (h - 1) * a_stride + w);
+    debug_assert!(h == 0 || b.len() >= (h - 1) * b_stride + w);
     let mut acc = _mm_setzero_si128();
     for y in 0..h {
         let ra = &a[y * a_stride..];
@@ -148,6 +150,9 @@ pub(crate) unsafe fn satd_sse2(
     w: usize,
     h: usize,
 ) -> u32 {
+    debug_assert!(w.is_multiple_of(4) && h.is_multiple_of(4));
+    debug_assert!(h == 0 || a.len() >= (h - 1) * a_stride + w);
+    debug_assert!(h == 0 || b.len() >= (h - 1) * b_stride + w);
     let mut sum = 0;
     let mut y = 0;
     while y < h {
@@ -375,6 +380,10 @@ pub(crate) unsafe fn avg_block_sse2(
     w: usize,
     h: usize,
 ) {
+    debug_assert!(w.is_multiple_of(8));
+    debug_assert!(h == 0 || dst.len() >= (h - 1) * dst_stride + w);
+    debug_assert!(h == 0 || a.len() >= (h - 1) * a_stride + w);
+    debug_assert!(h == 0 || b.len() >= (h - 1) * b_stride + w);
     for y in 0..h {
         let mut x = 0;
         while x + 16 <= w {
@@ -413,6 +422,12 @@ pub(crate) unsafe fn hpel_interp_sse2(
     w: usize,
     h: usize,
 ) {
+    debug_assert!(fx <= 1 && fy <= 1);
+    debug_assert!(w.is_multiple_of(8));
+    debug_assert!(h == 0 || dst.len() >= (h - 1) * dst_stride + w);
+    debug_assert!(
+        h == 0 || src.len() >= (h - 1 + usize::from(fy)) * src_stride + w + usize::from(fx)
+    );
     match (fx, fy) {
         (0, 0) => crate::pixel::copy_block(dst, dst_stride, src, src_stride, w, h),
         (1, 0) => avg_block_sse2(
@@ -511,6 +526,9 @@ pub(crate) unsafe fn sixtap_h_sse2(
     w: usize,
     h: usize,
 ) {
+    debug_assert!(w.is_multiple_of(8));
+    debug_assert!(h == 0 || dst.len() >= (h - 1) * dst_stride + w);
+    debug_assert!(h == 0 || src.len() >= (h - 1) * src_stride + w + 5);
     let sixteen = _mm_set1_epi16(16);
     for y in 0..h {
         let mut x = 0;
@@ -548,6 +566,9 @@ pub(crate) unsafe fn sixtap_v_sse2(
     w: usize,
     h: usize,
 ) {
+    debug_assert!(w.is_multiple_of(8));
+    debug_assert!(h == 0 || dst.len() >= (h - 1) * dst_stride + w);
+    debug_assert!(h == 0 || src.len() >= (h + 4) * src_stride + w);
     let sixteen = _mm_set1_epi16(16);
     for y in 0..h {
         let mut x = 0;
@@ -581,6 +602,8 @@ pub(crate) unsafe fn add_residual8_sse2(
     pred_stride: usize,
     res: &Block8,
 ) {
+    debug_assert!(dst.len() >= 7 * dst_stride + 8);
+    debug_assert!(pred.len() >= 7 * pred_stride + 8);
     let zero = _mm_setzero_si128();
     for y in 0..8 {
         let p = _mm_unpacklo_epi8(
@@ -615,6 +638,8 @@ pub(crate) unsafe fn deblock_horiz_edge_sse2(
     beta: i32,
     tc: i32,
 ) {
+    debug_assert!(q0_off >= 2 * stride);
+    debug_assert!(width == 0 || data.len() >= q0_off + stride + width);
     let zero = _mm_setzero_si128();
     let valpha = _mm_set1_epi16(alpha as i16);
     let vbeta = _mm_set1_epi16(beta as i16);
@@ -675,3 +700,502 @@ pub(crate) unsafe fn deblock_horiz_edge_sse2(
         );
     }
 }
+
+// ----------------------------------------------------------------- SSD --
+
+/// # Safety
+/// Requires SSE2; `w % 8 == 0` and slices covering the block geometry.
+/// Per-row sums fit i32 (`w * 255² < 2^31` for any `w ≤ 16384`).
+#[target_feature(enable = "sse2")]
+pub(crate) unsafe fn ssd_sse2(
+    a: &[u8],
+    a_stride: usize,
+    b: &[u8],
+    b_stride: usize,
+    w: usize,
+    h: usize,
+) -> u64 {
+    debug_assert!(w.is_multiple_of(8));
+    debug_assert!(h == 0 || a.len() >= (h - 1) * a_stride + w);
+    debug_assert!(h == 0 || b.len() >= (h - 1) * b_stride + w);
+    let zero = _mm_setzero_si128();
+    let mut total = 0u64;
+    for y in 0..h {
+        let ra = a.as_ptr().add(y * a_stride);
+        let rb = b.as_ptr().add(y * b_stride);
+        let mut acc = _mm_setzero_si128();
+        let mut x = 0;
+        while x + 16 <= w {
+            let va = _mm_loadu_si128(ra.add(x) as *const __m128i);
+            let vb = _mm_loadu_si128(rb.add(x) as *const __m128i);
+            let d_lo = _mm_sub_epi16(_mm_unpacklo_epi8(va, zero), _mm_unpacklo_epi8(vb, zero));
+            let d_hi = _mm_sub_epi16(_mm_unpackhi_epi8(va, zero), _mm_unpackhi_epi8(vb, zero));
+            acc = _mm_add_epi32(acc, _mm_madd_epi16(d_lo, d_lo));
+            acc = _mm_add_epi32(acc, _mm_madd_epi16(d_hi, d_hi));
+            x += 16;
+        }
+        while x + 8 <= w {
+            let va = _mm_loadl_epi64(ra.add(x) as *const __m128i);
+            let vb = _mm_loadl_epi64(rb.add(x) as *const __m128i);
+            let d = _mm_sub_epi16(_mm_unpacklo_epi8(va, zero), _mm_unpacklo_epi8(vb, zero));
+            acc = _mm_add_epi32(acc, _mm_madd_epi16(d, d));
+            x += 8;
+        }
+        let s1 = _mm_add_epi32(acc, _mm_shuffle_epi32(acc, 0b0100_1110));
+        let s2 = _mm_add_epi32(s1, _mm_shuffle_epi32(s1, 0b1011_0001));
+        total += u64::from(_mm_cvtsi128_si32(s2) as u32);
+    }
+    total
+}
+
+// ---------------------------------------------------------- copy/diff --
+
+/// # Safety
+/// Requires SSE2 and slices covering the block geometry (any width).
+#[target_feature(enable = "sse2")]
+pub(crate) unsafe fn copy_block_sse2(
+    dst: &mut [u8],
+    dst_stride: usize,
+    src: &[u8],
+    src_stride: usize,
+    w: usize,
+    h: usize,
+) {
+    debug_assert!(h == 0 || dst.len() >= (h - 1) * dst_stride + w);
+    debug_assert!(h == 0 || src.len() >= (h - 1) * src_stride + w);
+    // Width classified once per call so each row loop is a single form
+    // (see the AVX2 variant for the rationale).
+    if w.is_multiple_of(16) {
+        let mut s = src.as_ptr();
+        let mut d = dst.as_mut_ptr();
+        for _ in 0..h {
+            let mut x = 0;
+            while x < w {
+                _mm_storeu_si128(
+                    d.add(x) as *mut __m128i,
+                    _mm_loadu_si128(s.add(x) as *const __m128i),
+                );
+                x += 16;
+            }
+            s = s.add(src_stride);
+            d = d.add(dst_stride);
+        }
+    } else if w == 8 {
+        let mut s = src.as_ptr();
+        let mut d = dst.as_mut_ptr();
+        for _ in 0..h {
+            _mm_storel_epi64(d as *mut __m128i, _mm_loadl_epi64(s as *const __m128i));
+            s = s.add(src_stride);
+            d = d.add(dst_stride);
+        }
+    } else {
+        crate::pixel::copy_block(dst, dst_stride, src, src_stride, w, h);
+    }
+}
+
+/// # Safety
+/// Requires SSE2; standard 8×8 block bounds.
+#[target_feature(enable = "sse2")]
+pub(crate) unsafe fn diff_block8_sse2(
+    res: &mut Block8,
+    cur: &[u8],
+    cur_stride: usize,
+    pred: &[u8],
+    pred_stride: usize,
+) {
+    debug_assert!(cur.len() >= 7 * cur_stride + 8);
+    debug_assert!(pred.len() >= 7 * pred_stride + 8);
+    let zero = _mm_setzero_si128();
+    for y in 0..8 {
+        let c = _mm_unpacklo_epi8(
+            _mm_loadl_epi64(cur.as_ptr().add(y * cur_stride) as *const __m128i),
+            zero,
+        );
+        let p = _mm_unpacklo_epi8(
+            _mm_loadl_epi64(pred.as_ptr().add(y * pred_stride) as *const __m128i),
+            zero,
+        );
+        _mm_storeu_si128(
+            res.as_mut_ptr().add(y * 8) as *mut __m128i,
+            _mm_sub_epi16(c, p),
+        );
+    }
+}
+
+// ------------------------------------------------ forward quantisation --
+
+#[inline]
+#[target_feature(enable = "sse2")]
+unsafe fn abs_epi32(v: __m128i) -> __m128i {
+    let s = _mm_srai_epi32::<31>(v);
+    _mm_sub_epi32(_mm_xor_si128(v, s), s)
+}
+
+/// Exact `trunc(num / den)` for four non-negative i32 lanes via
+/// double-precision division.
+///
+/// Exactness: both operands convert to f64 exactly (they are i32), and
+/// the correctly-rounded quotient differs from the true rational
+/// `num/den` by at most `(num/den)·2⁻⁵³`, while a non-integer quotient
+/// sits at least `1/den` from any integer — so truncation crosses an
+/// integer boundary only if `num ≥ 2⁵³`, which an i32 never is. Exact
+/// integer quotients are reproduced exactly by IEEE division.
+#[inline]
+#[target_feature(enable = "sse2")]
+unsafe fn div_trunc_epi32(num: __m128i, den: __m128i) -> __m128i {
+    let num_hi = _mm_shuffle_epi32::<0b00_00_11_10>(num);
+    let den_hi = _mm_shuffle_epi32::<0b00_00_11_10>(den);
+    let q_lo = _mm_cvttpd_epi32(_mm_div_pd(_mm_cvtepi32_pd(num), _mm_cvtepi32_pd(den)));
+    let q_hi = _mm_cvttpd_epi32(_mm_div_pd(_mm_cvtepi32_pd(num_hi), _mm_cvtepi32_pd(den_hi)));
+    _mm_unpacklo_epi64(q_lo, q_hi)
+}
+
+/// Forward quantiser, bit-exact with `quant8_scalar`.
+///
+/// # Safety
+/// Requires SSE2. `matrix[i] * qscale` must fit i16 (true for the MPEG
+/// ranges: entries ≤ 255, qscale ≤ 62 — the same precondition as the
+/// dequant kernel).
+#[target_feature(enable = "sse2")]
+pub(crate) unsafe fn quant8_sse2(
+    block: &mut Block8,
+    matrix: &QuantMatrix,
+    qscale: u16,
+    intra: bool,
+) -> u32 {
+    debug_assert!(qscale >= 1);
+    let zero = _mm_setzero_si128();
+    let qv = _mm_set1_epi16(qscale as i16);
+    let max_level = _mm_set1_epi32(2047);
+    let saved_dc = block[0];
+    let mut nonzero = 0u32;
+    for chunk in 0..8 {
+        let v = _mm_loadu_si128(block.as_ptr().add(chunk * 8) as *const __m128i);
+        let mrow = _mm_loadu_si128(matrix.as_ptr().add(chunk * 8) as *const __m128i);
+        // div = matrix[i] * qscale, as i32 lanes (madd against (m, 0)).
+        let div_lo = _mm_madd_epi16(_mm_unpacklo_epi16(mrow, zero), qv);
+        let div_hi = _mm_madd_epi16(_mm_unpackhi_epi16(mrow, zero), qv);
+        // Sign-extend the coefficients to i32 and take magnitudes.
+        let c_lo = _mm_srai_epi32::<16>(_mm_unpacklo_epi16(zero, v));
+        let c_hi = _mm_srai_epi32::<16>(_mm_unpackhi_epi16(zero, v));
+        let abs_lo = abs_epi32(c_lo);
+        let abs_hi = abs_epi32(c_hi);
+        // intra: (|c|·32 + div) / (2·div)   non-intra: |c|·16 / div
+        let (num_lo, num_hi, den_lo, den_hi) = if intra {
+            (
+                _mm_add_epi32(_mm_slli_epi32::<5>(abs_lo), div_lo),
+                _mm_add_epi32(_mm_slli_epi32::<5>(abs_hi), div_hi),
+                _mm_slli_epi32::<1>(div_lo),
+                _mm_slli_epi32::<1>(div_hi),
+            )
+        } else {
+            (
+                _mm_slli_epi32::<4>(abs_lo),
+                _mm_slli_epi32::<4>(abs_hi),
+                div_lo,
+                div_hi,
+            )
+        };
+        let q_lo = clamp_epi32(div_trunc_epi32(num_lo, den_lo), zero, max_level);
+        let q_hi = clamp_epi32(div_trunc_epi32(num_hi, den_hi), zero, max_level);
+        // Reapply the sign: (q ^ s) - s with s = c >> 31.
+        let s_lo = _mm_srai_epi32::<31>(c_lo);
+        let s_hi = _mm_srai_epi32::<31>(c_hi);
+        let r_lo = _mm_sub_epi32(_mm_xor_si128(q_lo, s_lo), s_lo);
+        let r_hi = _mm_sub_epi32(_mm_xor_si128(q_hi, s_hi), s_hi);
+        let packed = _mm_packs_epi32(r_lo, r_hi);
+        _mm_storeu_si128(block.as_mut_ptr().add(chunk * 8) as *mut __m128i, packed);
+        // Each zero i16 lane sets two bytes in the movemask.
+        let zmask = _mm_movemask_epi8(_mm_cmpeq_epi16(packed, zero)) as u32;
+        nonzero += 8 - zmask.count_ones() / 2;
+    }
+    if intra {
+        // The codec's DC predictor owns the intra DC: undo the SIMD pass
+        // on index 0 and restore the scalar counting convention.
+        if block[0] != 0 {
+            nonzero -= 1;
+        }
+        block[0] = saved_dc;
+        if saved_dc != 0 {
+            nonzero += 1;
+        }
+    }
+    nonzero
+}
+
+// ------------------------------------------------------ 2-D six-tap ----
+
+const fn pack_taps(even: i16, odd: i16) -> i32 {
+    ((odd as u16 as i32) << 16) | (even as u16 as i32)
+}
+
+/// Combined 6-tap (the H.264 "j" position): horizontal pass stored at
+/// full precision in an i16 buffer (the unrounded 6-tap of u8 inputs
+/// spans [-2550, 10710], which fits), vertical pass via three exact
+/// i16×i16→i32 multiply-adds with tap pairs (1,-5), (20,20), (-5,1).
+///
+/// # Safety
+/// Requires SSE2; `w % 8 == 0`, `w ≤ 16`, `h ≤ 16`; `src` must cover
+/// `h + 5` rows of `w + 5` samples.
+#[target_feature(enable = "sse2")]
+pub(crate) unsafe fn sixtap_hv_sse2(
+    dst: &mut [u8],
+    dst_stride: usize,
+    src: &[u8],
+    src_stride: usize,
+    w: usize,
+    h: usize,
+) {
+    debug_assert!(w.is_multiple_of(8) && w <= 16 && h <= 16);
+    debug_assert!(h == 0 || dst.len() >= (h - 1) * dst_stride + w);
+    debug_assert!(src.len() >= (h + 4) * src_stride + w + 5);
+    let mut tmp = [0i16; 16 * 21];
+    let tmp_h = h + 5;
+    for ty in 0..tmp_h {
+        let mut x = 0;
+        while x + 8 <= w {
+            let base = src.as_ptr().add(ty * src_stride + x);
+            let v = sixtap_epi16(
+                load8_epi16(base),
+                load8_epi16(base.add(1)),
+                load8_epi16(base.add(2)),
+                load8_epi16(base.add(3)),
+                load8_epi16(base.add(4)),
+                load8_epi16(base.add(5)),
+            );
+            _mm_storeu_si128(tmp.as_mut_ptr().add(ty * w + x) as *mut __m128i, v);
+            x += 8;
+        }
+    }
+    let c01 = _mm_set1_epi32(pack_taps(1, -5));
+    let c23 = _mm_set1_epi32(pack_taps(20, 20));
+    let c45 = _mm_set1_epi32(pack_taps(-5, 1));
+    let round = _mm_set1_epi32(512);
+    for y in 0..h {
+        let mut x = 0;
+        while x + 8 <= w {
+            let base = tmp.as_ptr().add(y * w + x);
+            let r0 = _mm_loadu_si128(base as *const __m128i);
+            let r1 = _mm_loadu_si128(base.add(w) as *const __m128i);
+            let r2 = _mm_loadu_si128(base.add(2 * w) as *const __m128i);
+            let r3 = _mm_loadu_si128(base.add(3 * w) as *const __m128i);
+            let r4 = _mm_loadu_si128(base.add(4 * w) as *const __m128i);
+            let r5 = _mm_loadu_si128(base.add(5 * w) as *const __m128i);
+            let acc_lo = _mm_add_epi32(
+                _mm_add_epi32(
+                    _mm_madd_epi16(_mm_unpacklo_epi16(r0, r1), c01),
+                    _mm_madd_epi16(_mm_unpacklo_epi16(r2, r3), c23),
+                ),
+                _mm_add_epi32(_mm_madd_epi16(_mm_unpacklo_epi16(r4, r5), c45), round),
+            );
+            let acc_hi = _mm_add_epi32(
+                _mm_add_epi32(
+                    _mm_madd_epi16(_mm_unpackhi_epi16(r0, r1), c01),
+                    _mm_madd_epi16(_mm_unpackhi_epi16(r2, r3), c23),
+                ),
+                _mm_add_epi32(_mm_madd_epi16(_mm_unpackhi_epi16(r4, r5), c45), round),
+            );
+            let res = _mm_packs_epi32(_mm_srai_epi32::<10>(acc_lo), _mm_srai_epi32::<10>(acc_hi));
+            _mm_storel_epi64(
+                dst.as_mut_ptr().add(y * dst_stride + x) as *mut __m128i,
+                _mm_packus_epi16(res, res),
+            );
+            x += 8;
+        }
+    }
+}
+
+// ----------------------------------------------- dispatch-table entries --
+//
+// Safe, total entry points for the one-time kernel table resolved in
+// `Dsp::new`. Each wrapper falls back to the scalar kernel for
+// geometries the vector kernel does not handle, so a resolved pointer is
+// valid for every input the facade accepts.
+//
+// SAFETY (all entries): SSE2 is part of the x86-64 baseline, so the
+// `target_feature(enable = "sse2")` kernels have no runtime feature
+// precondition on this architecture.
+
+use crate::dispatch::KernelTable;
+
+fn sad_entry(a: &[u8], a_stride: usize, b: &[u8], b_stride: usize, w: usize, h: usize) -> u32 {
+    if w.is_multiple_of(8) {
+        unsafe { sad_sse2(a, a_stride, b, b_stride, w, h) }
+    } else {
+        crate::pixel::sad_scalar(a, a_stride, b, b_stride, w, h)
+    }
+}
+
+fn satd_entry(a: &[u8], a_stride: usize, b: &[u8], b_stride: usize, w: usize, h: usize) -> u32 {
+    unsafe { satd_sse2(a, a_stride, b, b_stride, w, h) }
+}
+
+fn ssd_entry(a: &[u8], a_stride: usize, b: &[u8], b_stride: usize, w: usize, h: usize) -> u64 {
+    if w.is_multiple_of(8) {
+        unsafe { ssd_sse2(a, a_stride, b, b_stride, w, h) }
+    } else {
+        crate::pixel::ssd_scalar(a, a_stride, b, b_stride, w, h)
+    }
+}
+
+fn fdct8_entry(block: &mut Block8) {
+    unsafe { fdct8_sse2(block) }
+}
+
+fn idct8_entry(block: &mut Block8) {
+    unsafe { idct8_sse2(block) }
+}
+
+fn quant8_entry(block: &mut Block8, matrix: &QuantMatrix, qscale: u16, intra: bool) -> u32 {
+    unsafe { quant8_sse2(block, matrix, qscale, intra) }
+}
+
+fn dequant8_entry(block: &mut Block8, matrix: &QuantMatrix, qscale: u16, intra: bool) {
+    unsafe { dequant8_sse2(block, matrix, qscale, intra) }
+}
+
+fn copy_block_entry(
+    dst: &mut [u8],
+    dst_stride: usize,
+    src: &[u8],
+    src_stride: usize,
+    w: usize,
+    h: usize,
+) {
+    unsafe { copy_block_sse2(dst, dst_stride, src, src_stride, w, h) }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn avg_block_entry(
+    dst: &mut [u8],
+    dst_stride: usize,
+    a: &[u8],
+    a_stride: usize,
+    b: &[u8],
+    b_stride: usize,
+    w: usize,
+    h: usize,
+) {
+    if w.is_multiple_of(8) {
+        unsafe { avg_block_sse2(dst, dst_stride, a, a_stride, b, b_stride, w, h) }
+    } else {
+        crate::pixel::avg_block_scalar(dst, dst_stride, a, a_stride, b, b_stride, w, h)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn hpel_interp_entry(
+    dst: &mut [u8],
+    dst_stride: usize,
+    src: &[u8],
+    src_stride: usize,
+    fx: u8,
+    fy: u8,
+    w: usize,
+    h: usize,
+) {
+    if w.is_multiple_of(8) {
+        unsafe { hpel_interp_sse2(dst, dst_stride, src, src_stride, fx, fy, w, h) }
+    } else {
+        crate::interp::hpel_interp_scalar(dst, dst_stride, src, src_stride, fx, fy, w, h)
+    }
+}
+
+fn sixtap_h_entry(
+    dst: &mut [u8],
+    dst_stride: usize,
+    src: &[u8],
+    src_stride: usize,
+    w: usize,
+    h: usize,
+) {
+    if w.is_multiple_of(8) {
+        unsafe { sixtap_h_sse2(dst, dst_stride, src, src_stride, w, h) }
+    } else {
+        crate::interp::sixtap_h_scalar(dst, dst_stride, src, src_stride, w, h)
+    }
+}
+
+fn sixtap_v_entry(
+    dst: &mut [u8],
+    dst_stride: usize,
+    src: &[u8],
+    src_stride: usize,
+    w: usize,
+    h: usize,
+) {
+    if w.is_multiple_of(8) {
+        unsafe { sixtap_v_sse2(dst, dst_stride, src, src_stride, w, h) }
+    } else {
+        crate::interp::sixtap_v_scalar(dst, dst_stride, src, src_stride, w, h)
+    }
+}
+
+fn sixtap_hv_entry(
+    dst: &mut [u8],
+    dst_stride: usize,
+    src: &[u8],
+    src_stride: usize,
+    w: usize,
+    h: usize,
+) {
+    if w.is_multiple_of(8) && w <= 16 && h <= 16 {
+        unsafe { sixtap_hv_sse2(dst, dst_stride, src, src_stride, w, h) }
+    } else {
+        crate::interp::sixtap_hv(dst, dst_stride, src, src_stride, w, h)
+    }
+}
+
+fn add_residual8_entry(
+    dst: &mut [u8],
+    dst_stride: usize,
+    pred: &[u8],
+    pred_stride: usize,
+    res: &Block8,
+) {
+    unsafe { add_residual8_sse2(dst, dst_stride, pred, pred_stride, res) }
+}
+
+fn diff_block8_entry(
+    res: &mut Block8,
+    cur: &[u8],
+    cur_stride: usize,
+    pred: &[u8],
+    pred_stride: usize,
+) {
+    unsafe { diff_block8_sse2(res, cur, cur_stride, pred, pred_stride) }
+}
+
+fn deblock_horiz_edge_entry(
+    data: &mut [u8],
+    stride: usize,
+    q0_off: usize,
+    width: usize,
+    alpha: i32,
+    beta: i32,
+    tc: i32,
+) {
+    unsafe { deblock_horiz_edge_sse2(data, stride, q0_off, width, alpha, beta, tc) }
+}
+
+/// The SSE2 tier's resolved kernel table.
+pub(crate) static SSE2_KERNELS: KernelTable = KernelTable {
+    sad: sad_entry,
+    satd: satd_entry,
+    ssd: ssd_entry,
+    fdct8: fdct8_entry,
+    idct8: idct8_entry,
+    fcore4: crate::dct4::fcore4,
+    icore4: crate::dct4::icore4,
+    quant8: quant8_entry,
+    dequant8: dequant8_entry,
+    copy_block: copy_block_entry,
+    avg_block: avg_block_entry,
+    hpel_interp: hpel_interp_entry,
+    sixtap_h: sixtap_h_entry,
+    sixtap_v: sixtap_v_entry,
+    sixtap_hv: sixtap_hv_entry,
+    add_residual8: add_residual8_entry,
+    diff_block8: diff_block8_entry,
+    deblock_horiz_edge: deblock_horiz_edge_entry,
+};

@@ -1,8 +1,9 @@
 //! Property tests asserting that every dispatched kernel produces
-//! bit-identical results at `SimdLevel::Scalar` and `SimdLevel::Sse2`.
+//! bit-identical results at every supported [`SimdLevel`] — scalar,
+//! SSE2, and (on capable hardware) AVX2.
 //!
 //! This equivalence is what lets the Figure-1 harness encode each stream
-//! once and decode it under both SIMD settings (and vice versa): the two
+//! once and decode it under every SIMD setting (and vice versa): the
 //! codec builds differ in speed only, never in output — the same property
 //! the original benchmark gets from FFmpeg/x264's SIMD being bit-exact
 //! with their C paths.
@@ -10,8 +11,15 @@
 use hdvb_dsp::{Block8, Dsp, SimdLevel, MPEG_DEFAULT_INTRA, MPEG_DEFAULT_NONINTRA};
 use proptest::prelude::*;
 
-fn dsps() -> (Dsp, Dsp) {
-    (Dsp::new(SimdLevel::Scalar), Dsp::new(SimdLevel::Sse2))
+/// The scalar reference plus one `Dsp` per accelerated tier this CPU
+/// supports (SSE2 always on x86-64; AVX2 when detected).
+fn reference_and_tiers() -> (Dsp, Vec<Dsp>) {
+    let tiers: Vec<Dsp> = SimdLevel::supported_tiers()
+        .into_iter()
+        .filter(|l| *l != SimdLevel::Scalar)
+        .map(Dsp::new)
+        .collect();
+    (Dsp::new(SimdLevel::Scalar), tiers)
 }
 
 fn pixels(len: usize) -> impl Strategy<Value = Vec<u8>> {
@@ -23,46 +31,68 @@ proptest! {
 
     #[test]
     fn sad_matches(a in pixels(24 * 24), b in pixels(24 * 24)) {
-        let (s, v) = dsps();
-        for &(w, h) in &[(16usize, 16usize), (8, 8), (16, 8), (8, 16), (8, 4)] {
-            prop_assert_eq!(
-                s.sad(&a, 24, &b, 24, w, h),
-                v.sad(&a, 24, &b, 24, w, h),
-                "{}x{}", w, h
-            );
+        let (s, tiers) = reference_and_tiers();
+        for v in &tiers {
+            for &(w, h) in &[(16usize, 16usize), (8, 8), (16, 8), (8, 16), (8, 4)] {
+                prop_assert_eq!(
+                    s.sad(&a, 24, &b, 24, w, h),
+                    v.sad(&a, 24, &b, 24, w, h),
+                    "{} {}x{}", v.level().tier_name(), w, h
+                );
+            }
         }
     }
 
     #[test]
     fn satd_matches(a in pixels(24 * 24), b in pixels(24 * 24)) {
-        let (s, v) = dsps();
-        for &(w, h) in &[(16usize, 16usize), (8, 8), (4, 4), (16, 8), (4, 8)] {
-            prop_assert_eq!(
-                s.satd(&a, 24, &b, 24, w, h),
-                v.satd(&a, 24, &b, 24, w, h),
-                "{}x{}", w, h
-            );
+        let (s, tiers) = reference_and_tiers();
+        for v in &tiers {
+            for &(w, h) in &[(16usize, 16usize), (8, 8), (4, 4), (16, 8), (4, 8), (12, 4)] {
+                prop_assert_eq!(
+                    s.satd(&a, 24, &b, 24, w, h),
+                    v.satd(&a, 24, &b, 24, w, h),
+                    "{} {}x{}", v.level().tier_name(), w, h
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ssd_matches(a in pixels(24 * 24), b in pixels(24 * 24)) {
+        let (s, tiers) = reference_and_tiers();
+        for v in &tiers {
+            for &(w, h) in &[(16usize, 16usize), (8, 8), (16, 8), (8, 4)] {
+                prop_assert_eq!(
+                    s.ssd(&a, 24, &b, 24, w, h),
+                    v.ssd(&a, 24, &b, 24, w, h),
+                    "{} {}x{}", v.level().tier_name(), w, h
+                );
+            }
         }
     }
 
     #[test]
     fn fdct8_matches(vals in proptest::collection::vec(-256i16..=255, 64)) {
-        let (s, v) = dsps();
-        let mut b1: Block8 = vals.clone().try_into().unwrap();
-        let mut b2: Block8 = vals.try_into().unwrap();
-        s.fdct8(&mut b1);
-        v.fdct8(&mut b2);
-        prop_assert_eq!(b1, b2);
+        let (s, tiers) = reference_and_tiers();
+        let mut expect: Block8 = vals.clone().try_into().unwrap();
+        s.fdct8(&mut expect);
+        for v in &tiers {
+            let mut b: Block8 = vals.clone().try_into().unwrap();
+            v.fdct8(&mut b);
+            prop_assert_eq!(b, expect, "{}", v.level().tier_name());
+        }
     }
 
     #[test]
     fn idct8_matches(vals in proptest::collection::vec(-4095i16..=4095, 64)) {
-        let (s, v) = dsps();
-        let mut b1: Block8 = vals.clone().try_into().unwrap();
-        let mut b2: Block8 = vals.try_into().unwrap();
-        s.idct8(&mut b1);
-        v.idct8(&mut b2);
-        prop_assert_eq!(b1, b2);
+        let (s, tiers) = reference_and_tiers();
+        let mut expect: Block8 = vals.clone().try_into().unwrap();
+        s.idct8(&mut expect);
+        for v in &tiers {
+            let mut b: Block8 = vals.clone().try_into().unwrap();
+            v.idct8(&mut b);
+            prop_assert_eq!(b, expect, "{}", v.level().tier_name());
+        }
     }
 
     #[test]
@@ -78,64 +108,120 @@ proptest! {
     }
 
     #[test]
+    fn quant8_matches(
+        vals in proptest::collection::vec(-2040i16..=2040, 64),
+        qscale in 1u16..=31,
+        intra in any::<bool>(),
+    ) {
+        let (s, tiers) = reference_and_tiers();
+        let matrix = if intra { &MPEG_DEFAULT_INTRA } else { &MPEG_DEFAULT_NONINTRA };
+        let mut expect: Block8 = vals.clone().try_into().unwrap();
+        let n_expect = s.quant8(&mut expect, matrix, qscale, intra);
+        for v in &tiers {
+            let mut b: Block8 = vals.clone().try_into().unwrap();
+            let n = v.quant8(&mut b, matrix, qscale, intra);
+            prop_assert_eq!(n, n_expect, "{}", v.level().tier_name());
+            prop_assert_eq!(b, expect, "{}", v.level().tier_name());
+        }
+    }
+
+    #[test]
     fn dequant8_matches(
         vals in proptest::collection::vec(-2047i16..=2047, 64),
         qscale in 1u16..=62,
         intra in any::<bool>(),
     ) {
-        let (s, v) = dsps();
+        let (s, tiers) = reference_and_tiers();
         let matrix = if intra { &MPEG_DEFAULT_INTRA } else { &MPEG_DEFAULT_NONINTRA };
-        let mut b1: Block8 = vals.clone().try_into().unwrap();
-        let mut b2: Block8 = vals.try_into().unwrap();
-        s.dequant8(&mut b1, matrix, qscale, intra);
-        v.dequant8(&mut b2, matrix, qscale, intra);
-        prop_assert_eq!(b1, b2);
+        let mut expect: Block8 = vals.clone().try_into().unwrap();
+        s.dequant8(&mut expect, matrix, qscale, intra);
+        for v in &tiers {
+            let mut b: Block8 = vals.clone().try_into().unwrap();
+            v.dequant8(&mut b, matrix, qscale, intra);
+            prop_assert_eq!(b, expect, "{}", v.level().tier_name());
+        }
+    }
+
+    #[test]
+    fn copy_block_matches(src in pixels(40 * 36)) {
+        let (s, tiers) = reference_and_tiers();
+        for v in &tiers {
+            for &(w, h) in &[(32usize, 32usize), (16, 16), (8, 8), (12, 4), (5, 3)] {
+                let mut d1 = vec![0u8; 40 * 36];
+                let mut d2 = vec![0u8; 40 * 36];
+                s.copy_block(&mut d1, 40, &src, 40, w, h);
+                v.copy_block(&mut d2, 40, &src, 40, w, h);
+                prop_assert_eq!(&d1, &d2, "{} {}x{}", v.level().tier_name(), w, h);
+            }
+        }
     }
 
     #[test]
     fn avg_block_matches(a in pixels(20 * 16), b in pixels(20 * 16)) {
-        let (s, v) = dsps();
-        for &(w, h) in &[(16usize, 16usize), (8, 8), (16, 4)] {
-            let mut d1 = vec![0u8; 20 * 16];
-            let mut d2 = vec![0u8; 20 * 16];
-            s.avg_block(&mut d1, 20, &a, 20, &b, 20, w, h);
-            v.avg_block(&mut d2, 20, &a, 20, &b, 20, w, h);
-            prop_assert_eq!(&d1, &d2, "{}x{}", w, h);
+        let (s, tiers) = reference_and_tiers();
+        for v in &tiers {
+            for &(w, h) in &[(16usize, 16usize), (8, 8), (16, 4)] {
+                let mut d1 = vec![0u8; 20 * 16];
+                let mut d2 = vec![0u8; 20 * 16];
+                s.avg_block(&mut d1, 20, &a, 20, &b, 20, w, h);
+                v.avg_block(&mut d2, 20, &a, 20, &b, 20, w, h);
+                prop_assert_eq!(&d1, &d2, "{} {}x{}", v.level().tier_name(), w, h);
+            }
         }
     }
 
     #[test]
     fn hpel_interp_matches(src in pixels(40 * 24), fx in 0u8..2, fy in 0u8..2) {
-        let (s, v) = dsps();
-        let mut d1 = vec![0u8; 16 * 16];
-        let mut d2 = vec![0u8; 16 * 16];
-        // Block origin inside the buffer, room for +1 in both directions.
-        s.hpel_interp(&mut d1, 16, &src[4 * 40 + 4..], 40, fx, fy, 16, 16);
-        v.hpel_interp(&mut d2, 16, &src[4 * 40 + 4..], 40, fx, fy, 16, 16);
-        prop_assert_eq!(d1, d2);
+        let (s, tiers) = reference_and_tiers();
+        for v in &tiers {
+            let mut d1 = vec![0u8; 16 * 16];
+            let mut d2 = vec![0u8; 16 * 16];
+            // Block origin inside the buffer, room for +1 in both directions.
+            s.hpel_interp(&mut d1, 16, &src[4 * 40 + 4..], 40, fx, fy, 16, 16);
+            v.hpel_interp(&mut d2, 16, &src[4 * 40 + 4..], 40, fx, fy, 16, 16);
+            prop_assert_eq!(d1, d2, "{} {},{}", v.level().tier_name(), fx, fy);
+        }
     }
 
     #[test]
     fn sixtap_h_matches(src in pixels(48 * 24)) {
-        let (s, v) = dsps();
-        for &(w, h) in &[(16usize, 16usize), (8, 8), (8, 4)] {
-            let mut d1 = vec![0u8; 16 * 16];
-            let mut d2 = vec![0u8; 16 * 16];
-            s.sixtap_h(&mut d1, 16, &src[4 * 48 + 2..], 48, w, h);
-            v.sixtap_h(&mut d2, 16, &src[4 * 48 + 2..], 48, w, h);
-            prop_assert_eq!(&d1, &d2, "{}x{}", w, h);
+        let (s, tiers) = reference_and_tiers();
+        for v in &tiers {
+            for &(w, h) in &[(16usize, 16usize), (8, 8), (8, 4)] {
+                let mut d1 = vec![0u8; 16 * 16];
+                let mut d2 = vec![0u8; 16 * 16];
+                s.sixtap_h(&mut d1, 16, &src[4 * 48 + 2..], 48, w, h);
+                v.sixtap_h(&mut d2, 16, &src[4 * 48 + 2..], 48, w, h);
+                prop_assert_eq!(&d1, &d2, "{} {}x{}", v.level().tier_name(), w, h);
+            }
         }
     }
 
     #[test]
     fn sixtap_v_matches(src in pixels(48 * 28)) {
-        let (s, v) = dsps();
-        for &(w, h) in &[(16usize, 16usize), (8, 8)] {
-            let mut d1 = vec![0u8; 16 * 16];
-            let mut d2 = vec![0u8; 16 * 16];
-            s.sixtap_v(&mut d1, 16, &src[2 * 48 + 4..], 48, w, h);
-            v.sixtap_v(&mut d2, 16, &src[2 * 48 + 4..], 48, w, h);
-            prop_assert_eq!(&d1, &d2, "{}x{}", w, h);
+        let (s, tiers) = reference_and_tiers();
+        for v in &tiers {
+            for &(w, h) in &[(16usize, 16usize), (8, 8)] {
+                let mut d1 = vec![0u8; 16 * 16];
+                let mut d2 = vec![0u8; 16 * 16];
+                s.sixtap_v(&mut d1, 16, &src[2 * 48 + 4..], 48, w, h);
+                v.sixtap_v(&mut d2, 16, &src[2 * 48 + 4..], 48, w, h);
+                prop_assert_eq!(&d1, &d2, "{} {}x{}", v.level().tier_name(), w, h);
+            }
+        }
+    }
+
+    #[test]
+    fn sixtap_hv_matches(src in pixels(48 * 28)) {
+        let (s, tiers) = reference_and_tiers();
+        for v in &tiers {
+            for &(w, h) in &[(16usize, 16usize), (8, 8), (16, 8), (8, 16)] {
+                let mut d1 = vec![0u8; 16 * 16];
+                let mut d2 = vec![0u8; 16 * 16];
+                s.sixtap_hv(&mut d1, 16, &src[2 * 48 + 2..], 48, w, h);
+                v.sixtap_hv(&mut d2, 16, &src[2 * 48 + 2..], 48, w, h);
+                prop_assert_eq!(&d1, &d2, "{} {}x{}", v.level().tier_name(), w, h);
+            }
         }
     }
 
@@ -144,33 +230,51 @@ proptest! {
         pred in pixels(16 * 8),
         res in proptest::collection::vec(-4500i16..=4500, 64),
     ) {
-        let (s, v) = dsps();
+        let (s, tiers) = reference_and_tiers();
         let res: Block8 = res.try_into().unwrap();
-        let mut d1 = vec![0u8; 16 * 8];
-        let mut d2 = vec![0u8; 16 * 8];
-        s.add_residual8(&mut d1, 16, &pred, 16, &res);
-        v.add_residual8(&mut d2, 16, &pred, 16, &res);
-        prop_assert_eq!(d1, d2);
+        for v in &tiers {
+            let mut d1 = vec![0u8; 16 * 8];
+            let mut d2 = vec![0u8; 16 * 8];
+            s.add_residual8(&mut d1, 16, &pred, 16, &res);
+            v.add_residual8(&mut d2, 16, &pred, 16, &res);
+            prop_assert_eq!(d1, d2, "{}", v.level().tier_name());
+        }
     }
 
     #[test]
-    fn quant_is_level_independent(
-        vals in proptest::collection::vec(-2040i16..=2040, 64),
-        qscale in 1u16..=31,
-        intra in any::<bool>(),
+    fn diff_block8_matches(cur in pixels(16 * 8), pred in pixels(16 * 8)) {
+        let (s, tiers) = reference_and_tiers();
+        for v in &tiers {
+            let mut r1: Block8 = [0; 64];
+            let mut r2: Block8 = [0; 64];
+            s.diff_block8(&mut r1, &cur, 16, &pred, 16);
+            v.diff_block8(&mut r2, &cur, 16, &pred, 16);
+            prop_assert_eq!(r1, r2, "{}", v.level().tier_name());
+        }
+    }
+
+    #[test]
+    fn deblock_horiz_edge_matches(
+        data in pixels(48 * 8),
+        alpha in 1i32..=40,
+        beta in 1i32..=12,
+        tc in 0i32..=6,
     ) {
-        let (s, v) = dsps();
-        let mut b1: Block8 = vals.clone().try_into().unwrap();
-        let mut b2: Block8 = vals.try_into().unwrap();
-        let n1 = s.quant8(&mut b1, &MPEG_DEFAULT_INTRA, qscale, intra);
-        let n2 = v.quant8(&mut b2, &MPEG_DEFAULT_INTRA, qscale, intra);
-        prop_assert_eq!(n1, n2);
-        prop_assert_eq!(b1, b2);
+        let (s, tiers) = reference_and_tiers();
+        for v in &tiers {
+            for &width in &[48usize, 40, 24, 7] {
+                let mut d1 = data.clone();
+                let mut d2 = data.clone();
+                s.deblock_horiz_edge(&mut d1, 48, 4 * 48, width, alpha, beta, tc);
+                v.deblock_horiz_edge(&mut d2, 48, 4 * 48, width, alpha, beta, tc);
+                prop_assert_eq!(&d1, &d2, "{} width {}", v.level().tier_name(), width);
+            }
+        }
     }
 }
 
 /// The SATD total must also agree with a direct sum over 4×4 tiles so the
-/// SSE2 tiling cannot silently skip partial tiles.
+/// SIMD tiling cannot silently skip partial tiles.
 #[test]
 fn satd_tiling_consistency() {
     let mut a = vec![0u8; 32 * 32];
@@ -178,7 +282,7 @@ fn satd_tiling_consistency() {
     for (i, v) in a.iter_mut().enumerate() {
         *v = (i * 7 % 251) as u8;
     }
-    let (s, v) = dsps();
+    let (s, tiers) = reference_and_tiers();
     let mut tile_sum = 0;
     for ty in 0..4 {
         for tx in 0..4 {
@@ -193,5 +297,21 @@ fn satd_tiling_consistency() {
         }
     }
     assert_eq!(s.satd(&a, 32, &b, 32, 16, 16), tile_sum);
-    assert_eq!(v.satd(&a, 32, &b, 32, 16, 16), tile_sum);
+    for v in &tiers {
+        assert_eq!(
+            v.satd(&a, 32, &b, 32, 16, 16),
+            tile_sum,
+            "{}",
+            v.level().tier_name()
+        );
+    }
+}
+
+/// Every tier this CPU reports as supported must construct a `Dsp` at
+/// exactly that level (no silent degradation on capable hardware).
+#[test]
+fn supported_tiers_construct_exactly() {
+    for level in SimdLevel::supported_tiers() {
+        assert_eq!(Dsp::new(level).level(), level);
+    }
 }

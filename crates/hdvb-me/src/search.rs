@@ -1,5 +1,5 @@
 use crate::{mv_bits, Mv};
-use hdvb_dsp::Dsp;
+use hdvb_dsp::{Dsp, SadFn};
 use hdvb_frame::{PaddedPlane, Plane};
 
 /// The current-frame block a motion search tries to match.
@@ -65,8 +65,12 @@ pub struct SearchResult {
 
 /// Shared candidate evaluator: clamps displacement bounds once, then
 /// scores candidates.
+///
+/// The SAD kernel pointer is captured from the `Dsp`'s resolved kernel
+/// table at construction, so the per-candidate loop pays one indirect
+/// call with no dispatch lookup.
 pub(crate) struct Evaluator<'a> {
-    dsp: &'a Dsp,
+    sad: SadFn,
     cur: &'a [u8],
     cur_stride: usize,
     refp: &'a PaddedPlane,
@@ -102,7 +106,7 @@ impl<'a> Evaluator<'a> {
         let max_y = ((refp.height() as i32 + pad) - (block.y + block.h) as i32)
             .min(i32::from(params.range));
         Evaluator {
-            dsp,
+            sad: dsp.sad_fn(),
             cur: &block.plane.data()[block.y * block.plane.stride() + block.x..],
             cur_stride: block.plane.stride(),
             refp,
@@ -124,7 +128,7 @@ impl<'a> Evaluator<'a> {
         let rx = self.block.x as isize + isize::from(mv.x);
         let ry = self.block.y as isize + isize::from(mv.y);
         let refrow = self.refp.row_from(rx, ry);
-        self.dsp.sad(
+        (self.sad)(
             self.cur,
             self.cur_stride,
             refrow,

@@ -14,7 +14,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test"
-cargo test -q --workspace
+echo "==> cargo test (HDVB_SIMD=scalar)"
+HDVB_SIMD=scalar cargo test -q --workspace
+
+echo "==> cargo test (HDVB_SIMD=auto)"
+HDVB_SIMD=auto cargo test -q --workspace
 
 echo "CI green."

@@ -1,0 +1,39 @@
+#!/usr/bin/env sh
+# Regenerates the measured result files checked into the repository
+# root: results_table5.md, results_figure1.md and the machine-readable
+# BENCH_kernels.json / BENCH_figure1.json trajectory files.
+#
+# The figure1 output ends with a "Measured on:" attribution line (CPU
+# model, the SIMD tiers the host supports, and the tier `auto` resolves
+# to), and every fps row carries a Tier column — numbers without the
+# executed tier are not comparable across hosts.
+#
+# Usage: scripts/regen_results.sh [frames_table5] [frames_figure1]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+T5_FRAMES="${1:-100}"
+F1_FRAMES="${2:-40}"
+
+echo "==> cargo build --release"
+cargo build --release
+
+HDVB=target/release/hdvb
+
+echo "==> figure1 (${F1_FRAMES} frames, all supported tiers)"
+"$HDVB" figure1 --frames "$F1_FRAMES" --threads 1 --json \
+    >results_figure1.md 2>results_figure1.log
+
+echo "==> table5 (${T5_FRAMES} frames)"
+"$HDVB" table5 --frames "$T5_FRAMES" \
+    >results_table5.md 2>results_table5.log
+
+echo "==> kernels microbenchmark"
+"$HDVB" kernels --json >/dev/null
+
+echo "==> splice into EXPERIMENTS.md"
+python3 scripts/splice_results.py
+
+tail -n 1 results_figure1.md
+echo "done."

@@ -3,16 +3,18 @@
 
 Usage: python3 scripts/splice_results.py
 Reads results_table5.md and results_figure1.md from the repository root
-and replaces the TABLE5_MEASURED / FIGURE1_MEASURED markers.
+and replaces the measured block of the matching EXPERIMENTS.md section:
+everything between the section's "Measured (full output in ...)" line
+and its "**Shape assessment.**" heading. Re-running after a fresh sweep
+refreshes the tables in place; the prose around them is never touched.
 """
 
 import pathlib
-import re
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 
-def indent_block(path: pathlib.Path) -> str:
+def results_body(path: pathlib.Path) -> str:
     text = path.read_text().strip()
     # Drop the leading title line the CLI prints; keep the tables.
     lines = text.splitlines()
@@ -21,24 +23,33 @@ def indent_block(path: pathlib.Path) -> str:
     return "\n".join(lines).strip()
 
 
+def splice_section(content: str, start_marker: str, block: str, name: str) -> str:
+    end_marker = "**Shape assessment.**"
+    start = content.find(start_marker)
+    if start == -1:
+        print(f"skipping {name}: marker line not found in EXPERIMENTS.md")
+        return content
+    body_start = start + len(start_marker)
+    end = content.find(end_marker, body_start)
+    if end == -1:
+        print(f"skipping {name}: no shape-assessment heading after marker")
+        return content
+    print(f"spliced {name}")
+    return content[:body_start] + "\n\n" + block + "\n\n" + content[end:]
+
+
 def main() -> None:
     exp = ROOT / "EXPERIMENTS.md"
     content = exp.read_text()
-    for marker, source in [
-        ("<!-- TABLE5_MEASURED -->", ROOT / "results_table5.md"),
-        ("<!-- FIGURE1_MEASURED -->", ROOT / "results_figure1.md"),
+    for name, source in [
+        ("results_table5.md", ROOT / "results_table5.md"),
+        ("results_figure1.md", ROOT / "results_figure1.md"),
     ]:
         if not source.exists() or source.stat().st_size == 0:
-            print(f"skipping {source.name}: not ready")
+            print(f"skipping {name}: not ready")
             continue
-        block = indent_block(source)
-        if marker in content:
-            content = content.replace(marker, block)
-            print(f"spliced {source.name}")
-        else:
-            # Already spliced once: refresh between the heading and the
-            # next '**Shape' marker is too fragile; just report.
-            print(f"marker for {source.name} already replaced")
+        marker = f"Measured (full output in [`{name}`]({name})):"
+        content = splice_section(content, marker, results_body(source), name)
     exp.write_text(content)
 
 

@@ -58,13 +58,13 @@ fn figure1_report_from_live_measurements() {
         rows.push(Figure1Row {
             resolution,
             decode: true,
-            simd: simd == SimdLevel::Sse2,
+            tier: simd,
             fps: dec,
         });
         rows.push(Figure1Row {
             resolution,
             decode: false,
-            simd: simd == SimdLevel::Sse2,
+            tier: simd,
             fps: enc,
         });
     }
