@@ -1,0 +1,82 @@
+//! Disabled-path overhead guard for the tracing subsystem.
+//!
+//! The `span!`/`zone!` probes live inside codec hot loops, so the cost
+//! of a probe while tracing is **off** must stay a single relaxed
+//! atomic load — within noise (< 1 %) of the same work with no probe
+//! at all. The `sad_16x16` pair below measures exactly that ratio on
+//! the encoder's dominant kernel; `probe_call` isolates the raw probe,
+//! and `enabled_span` gives the recording cost for scale.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hdvb_dsp::{Dsp, SimdLevel};
+
+fn pixels(seed: u32, len: usize) -> Vec<u8> {
+    let mut state = seed;
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            (state >> 24) as u8
+        })
+        .collect()
+}
+
+fn sad_sweep(dsp: &Dsp, a: &[u8], b: &[u8]) -> u64 {
+    let mut acc = 0u64;
+    for off in 0..16 {
+        acc += u64::from(dsp.sad(&a[off..], 80, b, 64, 16, 16));
+    }
+    acc
+}
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let a = pixels(1, 80 * 70);
+    let b = pixels(2, 64 * 64);
+    let dsp = Dsp::new(SimdLevel::Scalar);
+    hdvb_trace::set_enabled(false);
+
+    let mut group = c.benchmark_group("trace_overhead");
+    group.sample_size(30);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    // Baseline: the kernel loop with no probe in sight.
+    group.bench_function("sad_16x16/bare", |bch| bch.iter(|| sad_sweep(&dsp, &a, &b)));
+
+    // The same loop behind a disabled zone probe — the shape every
+    // instrumented codec stage has. The two rows must agree within
+    // noise; anything beyond ~1 % is a regression in `enabled()`.
+    group.bench_function("sad_16x16/probed_disabled", |bch| {
+        bch.iter(|| {
+            let _z = hdvb_trace::zone!(hdvb_trace::Stage::MotionEstimation);
+            sad_sweep(&dsp, &a, &b)
+        })
+    });
+
+    // Raw disabled probe, nothing else: the per-call floor.
+    group.bench_function("probe_call/disabled", |bch| {
+        bch.iter(|| {
+            for _ in 0..64 {
+                let _z = hdvb_trace::zone!(hdvb_trace::Stage::TransformQuant);
+                black_box(());
+            }
+        })
+    });
+
+    // Recording cost while tracing is on, for scale (not a guard).
+    hdvb_trace::reset();
+    hdvb_trace::set_enabled(true);
+    group.bench_function("probe_call/enabled", |bch| {
+        bch.iter(|| {
+            for _ in 0..64 {
+                let _z = hdvb_trace::zone!(hdvb_trace::Stage::TransformQuant);
+                black_box(());
+            }
+        })
+    });
+    hdvb_trace::set_enabled(false);
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_overhead);
+criterion_main!(benches);

@@ -133,6 +133,12 @@ impl Parsed {
         self.get("input")
     }
 
+    /// `--trace <out.json>`: enable the profiling subsystem for the run
+    /// and write a chrome://tracing / Perfetto-loadable trace there.
+    pub fn trace(&self) -> Option<&str> {
+        self.get("trace")
+    }
+
     pub fn output(&self) -> Option<&str> {
         self.get("output")
     }

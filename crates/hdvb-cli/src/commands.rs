@@ -25,6 +25,38 @@ fn options_from(p: &Parsed) -> Result<CodingOptions, String> {
         .with_simd(p.simd()?))
 }
 
+/// Arms the profiling subsystem when `--trace <out.json>` was passed.
+/// Drop writes the chrome trace and prints the stage summary, so every
+/// command exit path (including errors) still produces the artefacts.
+struct TraceSession<'a> {
+    path: Option<&'a str>,
+}
+
+impl<'a> TraceSession<'a> {
+    fn start(p: &'a Parsed) -> TraceSession<'a> {
+        let path = p.trace();
+        if path.is_some() {
+            hdvb_trace::reset();
+            hdvb_trace::set_enabled(true);
+        }
+        TraceSession { path }
+    }
+}
+
+impl Drop for TraceSession<'_> {
+    fn drop(&mut self) {
+        let Some(path) = self.path else { return };
+        hdvb_trace::set_enabled(false);
+        let report = hdvb_trace::collect();
+        eprintln!();
+        eprint!("{}", report.summary_table());
+        match report.write_chrome_trace(path) {
+            Ok(()) => eprintln!("wrote chrome trace to {path} (open in ui.perfetto.dev)"),
+            Err(e) => eprintln!("error: cannot write trace {path}: {e}"),
+        }
+    }
+}
+
 pub fn list_codecs() -> CmdResult {
     println!("codec   paper encoder   paper decoder");
     for c in CodecId::ALL {
@@ -89,6 +121,7 @@ fn read_y4m(path: &str) -> Result<(VideoFormat, Vec<Frame>), String> {
 }
 
 pub fn encode(p: &Parsed) -> CmdResult {
+    let _trace = TraceSession::start(p);
     let codec = p.codec()?;
     let options = options_from(p)?;
     let out_path = p.output().ok_or("missing --output for encode")?;
@@ -142,6 +175,7 @@ pub fn encode(p: &Parsed) -> CmdResult {
 }
 
 pub fn decode(p: &Parsed) -> CmdResult {
+    let _trace = TraceSession::start(p);
     let in_path = p.input().ok_or("missing --input for decode")?;
     let file = File::open(in_path).map_err(|e| format!("cannot open {in_path}: {e}"))?;
     let (header, packets) = read_stream(BufReader::new(file)).map_err(|e| e.to_string())?;
@@ -220,6 +254,7 @@ fn resolve_threads(p: &Parsed) -> Result<usize, String> {
 }
 
 pub fn bench(p: &Parsed) -> CmdResult {
+    let _trace = TraceSession::start(p);
     let codec = p.codec()?;
     let seq = Sequence::new(p.sequence()?, p.resolution()?);
     let options = options_from(p)?;
@@ -399,6 +434,7 @@ fn benchmark_resolutions(scale: u32) -> Vec<Resolution> {
 }
 
 pub fn table5(p: &Parsed) -> CmdResult {
+    let _trace = TraceSession::start(p);
     let options = options_from(p)?;
     let frames = p.frames()?;
     let scale = p.scale()?;
@@ -423,6 +459,7 @@ pub fn table5(p: &Parsed) -> CmdResult {
 }
 
 pub fn figure1(p: &Parsed) -> CmdResult {
+    let _trace = TraceSession::start(p);
     let options = options_from(p)?;
     let frames = p.frames()?;
     let scale = p.scale()?;
@@ -450,6 +487,49 @@ pub fn figure1(p: &Parsed) -> CmdResult {
     eprintln!("{}", report.summary());
     if p.json() {
         write_bench_file("BENCH_figure1.json", &figure1_json(&rows, frames))?;
+    }
+    Ok(())
+}
+
+/// `hdvb profile`: traced encode + decode of one configuration with the
+/// profiling subsystem forced on, printing the per-stage attribution
+/// summary (the paper's codec-phase breakdown). `--trace <out.json>`
+/// additionally writes the chrome://tracing file.
+pub fn profile(p: &Parsed) -> CmdResult {
+    let codec = p.codec()?;
+    let seq = Sequence::new(p.sequence()?, p.resolution()?);
+    let options = options_from(p)?;
+    let frames = p.frames()?;
+    eprintln!(
+        "profiling {codec} {} {} {frames} frames ({}) ...",
+        seq.id(),
+        seq.resolution().label(),
+        options.simd.label()
+    );
+    hdvb_trace::reset();
+    hdvb_trace::set_enabled(true);
+    let t = measure_figure1_row(codec, seq, frames, &options);
+    hdvb_trace::set_enabled(false);
+    let report = hdvb_trace::collect();
+    let t = t.map_err(|e| e.to_string())?;
+    println!(
+        "# hdvb profile — {codec} {} {} ({frames} frames, {})",
+        seq.id(),
+        seq.resolution().label(),
+        options.simd.label()
+    );
+    println!();
+    print!("{}", report.summary_table());
+    println!();
+    println!(
+        "encode {:.2} fps, decode {:.2} fps",
+        t.encode_fps, t.decode_fps
+    );
+    if let Some(path) = p.trace() {
+        report
+            .write_chrome_trace(path)
+            .map_err(|e| format!("cannot write trace {path}: {e}"))?;
+        println!("wrote chrome trace to {path} (open in ui.perfetto.dev)");
     }
     Ok(())
 }

@@ -26,6 +26,7 @@ COMMANDS:
     kernels                         per-kernel ns/call at every supported SIMD tier
     table5                          reproduce Table V (rate-distortion comparison)
     figure1                         reproduce Figure 1 (decode/encode fps, scalar+SIMD)
+    profile                         traced encode+decode with per-stage attribution
 
 COMMON OPTIONS:
     --codec <mpeg2|mpeg4|h264>      codec under test
@@ -46,6 +47,9 @@ COMMON OPTIONS:
                                     --threads 1; figure1 fps are wall-clock, so
                                     use --threads 1 for reference timings);
                                     bench/encode use GOP-parallel encoding
+    --trace <out.json>              write a chrome://tracing trace (Perfetto-loadable)
+                                    and print the per-stage summary on exit
+                                    (encode, decode, bench, table5, figure1, profile)
 
 EXAMPLES:
     hdvb encode --codec h264 --sequence blue_sky --resolution 720p25 -o out.hvb
@@ -54,6 +58,7 @@ EXAMPLES:
     hdvb table5 --frames 24 --scale 2 --threads 4
     hdvb figure1 --frames 24 --scale 2 --threads 4 --json
     hdvb kernels --json
+    hdvb profile --codec h264 --sequence rush_hour --frames 8 --trace trace.json
 ";
 
 fn main() -> ExitCode {
@@ -84,6 +89,7 @@ fn main() -> ExitCode {
         "kernels" => commands::kernels(&parsed),
         "table5" => commands::table5(&parsed),
         "figure1" => commands::figure1(&parsed),
+        "profile" => commands::profile(&parsed),
         other => {
             eprintln!("error: unknown command {other:?}\n");
             eprint!("{USAGE}");

@@ -189,6 +189,7 @@ macro_rules! impl_adapters {
 
         impl VideoEncoder for $enc {
             fn encode_frame(&mut self, frame: &Frame) -> Result<Vec<Packet>, BenchError> {
+                let _span = hdvb_trace::span!(hdvb_trace::Stage::EncodeFrame);
                 Ok(self
                     .0
                     .encode(frame)?
@@ -198,6 +199,7 @@ macro_rules! impl_adapters {
             }
 
             fn finish(&mut self) -> Result<Vec<Packet>, BenchError> {
+                let _span = hdvb_trace::span!(hdvb_trace::Stage::EncodeFrame);
                 Ok(self.0.flush()?.into_iter().map(convert_packet).collect())
             }
         }
@@ -206,6 +208,7 @@ macro_rules! impl_adapters {
 
         impl VideoDecoder for $dec {
             fn decode_packet(&mut self, data: &[u8]) -> Result<Vec<Frame>, BenchError> {
+                let _span = hdvb_trace::span!(hdvb_trace::Stage::DecodeFrame);
                 self.0
                     .decode(data)
                     .map_err(|e| BenchError::Bitstream(e.to_string()))

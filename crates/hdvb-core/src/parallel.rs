@@ -59,23 +59,41 @@ impl ExecutionReport {
         self.cpu.as_secs_f64() / self.wall.as_secs_f64().max(1e-9)
     }
 
-    /// Fraction of the available lane time spent running tasks. The
-    /// submitting thread counts as an extra lane when it helped.
-    pub fn utilisation(&self) -> f64 {
-        let lanes = self.threads + usize::from(self.caller.tasks > 0);
-        if lanes == 0 {
-            return 0.0;
+    /// Lanes that actually ran tasks: the pool's spawned workers plus
+    /// the submitting thread when it helped, or the single calling
+    /// thread on the serial path. This can differ from [`threads`]
+    /// (the *requested* count) when the pool clamps, so utilisation is
+    /// measured against what really existed, not what was asked for.
+    ///
+    /// [`threads`]: ExecutionReport::threads
+    pub fn effective_lanes(&self) -> usize {
+        if self.workers.is_empty() {
+            self.threads.max(1)
+        } else {
+            self.workers.len() + usize::from(self.caller.tasks > 0)
         }
+    }
+
+    /// Fraction of the available lane time spent running tasks,
+    /// measured against [`effective_lanes`] (the submitting thread
+    /// counts as an extra lane when it helped).
+    ///
+    /// [`effective_lanes`]: ExecutionReport::effective_lanes
+    pub fn utilisation(&self) -> f64 {
+        let lanes = self.effective_lanes();
         self.cpu.as_secs_f64() / (lanes as f64 * self.wall.as_secs_f64().max(1e-9))
     }
 
     /// A human-readable multi-line summary for harness output.
     pub fn summary(&self) -> String {
+        let lanes = self.effective_lanes();
         let mut out = format!(
-            "{} cells on {} thread{}: wall {:.2}s, cpu {:.2}s, speedup {:.2}x, utilisation {:.0}%",
+            "{} cells on {} thread{} ({} lane{}): wall {:.2}s, cpu {:.2}s, speedup {:.2}x, utilisation {:.0}%",
             self.cells,
             self.threads,
             if self.threads == 1 { "" } else { "s" },
+            lanes,
+            if lanes == 1 { "" } else { "s" },
             self.wall.as_secs_f64(),
             self.cpu.as_secs_f64(),
             self.speedup(),
@@ -83,18 +101,22 @@ impl ExecutionReport {
         );
         for (i, w) in self.workers.iter().enumerate() {
             out.push_str(&format!(
-                "\n  worker {i}: busy {:.2}s ({:.0}%), {} tasks",
+                "\n  worker {i}: busy {:.2}s ({:.0}%), {} tasks, {} stolen, {} parks, idle {:.2}s",
                 w.busy.as_secs_f64(),
                 100.0 * w.busy.as_secs_f64() / self.wall.as_secs_f64().max(1e-9),
                 w.tasks,
+                w.steals,
+                w.parks,
+                w.idle.as_secs_f64(),
             ));
         }
         if self.caller.tasks > 0 {
             out.push_str(&format!(
-                "\n  caller:   busy {:.2}s ({:.0}%), {} tasks (helped while waiting)",
+                "\n  caller:   busy {:.2}s ({:.0}%), {} tasks, {} stolen (helped while waiting)",
                 self.caller.busy.as_secs_f64(),
                 100.0 * self.caller.busy.as_secs_f64() / self.wall.as_secs_f64().max(1e-9),
                 self.caller.tasks,
+                self.caller.steals,
             ));
         }
         out
@@ -190,6 +212,12 @@ impl ParallelRunner {
     {
         let n = cells.len();
         let t0 = Instant::now();
+        // Each grid cell gets a trace span so the chrome timeline shows
+        // cell boundaries on whichever lane ran it.
+        let f = move |cell: T| {
+            let _cell = hdvb_trace::span!(hdvb_trace::Stage::Cell);
+            f(cell)
+        };
         let (results, cpu, workers, caller) = match &self.pool {
             None => {
                 let results: Vec<Result<R, BenchError>> = cells.into_iter().map(f).collect();
@@ -315,6 +343,8 @@ impl ParallelRunner {
                 }
                 let mut enc_fps = [0.0; 3];
                 let mut dec_fps = [0.0; 3];
+                let mut enc_stages = [[0u64; 6]; 3];
+                let mut dec_stages = [[0u64; 6]; 3];
                 for ci in 0..CodecId::ALL.len() {
                     let mut enc_sum = 0.0;
                     let mut dec_sum = 0.0;
@@ -322,6 +352,12 @@ impl ParallelRunner {
                         let t = it.next().expect("cell count mismatch");
                         enc_sum += t.encode_fps;
                         dec_sum += t.decode_fps;
+                        for (k, (e, d)) in
+                            t.encode_stage_ns.iter().zip(&t.decode_stage_ns).enumerate()
+                        {
+                            enc_stages[ci][k] += e;
+                            dec_stages[ci][k] += d;
+                        }
                     }
                     enc_fps[ci] = enc_sum / n_seqs;
                     dec_fps[ci] = dec_sum / n_seqs;
@@ -332,6 +368,7 @@ impl ParallelRunner {
                         decode: true,
                         tier: simd,
                         fps: dec_fps,
+                        stages: dec_stages,
                     });
                 }
                 if part.includes(false, is_simd) {
@@ -340,6 +377,7 @@ impl ParallelRunner {
                         decode: false,
                         tier: simd,
                         fps: enc_fps,
+                        stages: enc_stages,
                     });
                 }
             }
@@ -417,6 +455,7 @@ pub fn encode_sequence_parallel(
     let t0 = Instant::now();
     let opts = *options;
     let parts = pool.par_map(ranges, move |(start, end)| {
+        let _chunk = hdvb_trace::span!(hdvb_trace::Stage::GopChunk);
         let mut enc = crate::create_encoder(codec, seq.resolution(), &opts)?;
         let mut packets: Vec<Packet> = Vec::new();
         let mut elapsed = Duration::ZERO;

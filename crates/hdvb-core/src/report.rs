@@ -79,12 +79,23 @@ pub struct Figure1Row {
     pub tier: SimdLevel,
     /// Frames per second per codec, in [`CodecId::ALL`] order.
     pub fps: [f64; 3],
+    /// Per-codec stage time in nanoseconds (outer index =
+    /// [`CodecId::ALL`] order, inner = [`hdvb_trace::CODEC_STAGES`]
+    /// order), summed over the averaged sequences. All zeros unless the
+    /// run was traced.
+    pub stages: [[u64; 6]; 3],
 }
 
 impl Figure1Row {
     /// Whether this row belongs to the paper's SIMD bars (b/d).
     pub fn is_simd(&self) -> bool {
         self.tier.is_accelerated()
+    }
+
+    /// Whether any stage time was attributed to this row (i.e. the run
+    /// was traced).
+    pub fn has_stages(&self) -> bool {
+        self.stages.iter().flatten().any(|&ns| ns > 0)
     }
 }
 
@@ -112,7 +123,7 @@ pub fn figure1_markdown(rows: &[Figure1Row]) -> String {
             "| Resolution | Tier | MPEG-2 fps | MPEG-4 fps | H.264 fps | real-time (25 fps)? |"
         );
         let _ = writeln!(out, "|---|---|---|---|---|---|");
-        for r in part {
+        for r in &part {
             let rt: Vec<&str> = r
                 .fps
                 .iter()
@@ -130,6 +141,36 @@ pub fn figure1_markdown(rows: &[Figure1Row]) -> String {
             );
         }
         let _ = writeln!(out);
+        // Stage attribution columns (traced runs only): per codec, the
+        // share of instrumented codec time each stage took.
+        if part.iter().any(|r| r.has_stages()) {
+            let _ = write!(out, "| Resolution | Tier | Codec |");
+            for stage in hdvb_trace::CODEC_STAGES {
+                let _ = write!(out, " {} % |", stage.name());
+            }
+            let _ = writeln!(out);
+            let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|");
+            for r in part.iter().filter(|r| r.has_stages()) {
+                for (ci, codec) in CodecId::ALL.iter().enumerate() {
+                    let total: u64 = r.stages[ci].iter().sum();
+                    if total == 0 {
+                        continue;
+                    }
+                    let _ = write!(
+                        out,
+                        "| {} | {} | {} |",
+                        r.resolution.label(),
+                        r.tier.tier_name(),
+                        codec,
+                    );
+                    for ns in r.stages[ci] {
+                        let _ = write!(out, " {:.1} |", 100.0 * ns as f64 / total as f64);
+                    }
+                    let _ = writeln!(out);
+                }
+            }
+            let _ = writeln!(out);
+        }
     }
     // Speed-up summary: each accelerated tier against the matching
     // scalar rows.
@@ -246,12 +287,14 @@ mod tests {
                 decode: true,
                 tier: SimdLevel::Scalar,
                 fps: [88.0, 40.0, 30.0],
+                stages: [[0; 6]; 3],
             },
             Figure1Row {
                 resolution: Resolution::DVD_576,
                 decode: true,
                 tier: SimdLevel::Sse2,
                 fps: [176.0, 80.0, 45.0],
+                stages: [[0; 6]; 3],
             },
         ];
         let md = figure1_markdown(&rows);
@@ -270,6 +313,7 @@ mod tests {
             decode: true,
             tier,
             fps,
+            stages: [[0; 6]; 3],
         };
         let rows = vec![
             row(SimdLevel::Scalar, [40.0, 40.0, 40.0]),
@@ -291,6 +335,7 @@ mod tests {
             decode: false,
             tier: SimdLevel::Scalar,
             fps: [3.8, 0.5, 0.3],
+            stages: [[0; 6]; 3],
         }];
         let md = figure1_markdown(&rows);
         assert!(md.contains("no/no/no"));

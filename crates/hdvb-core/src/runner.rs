@@ -172,16 +172,34 @@ pub fn measure_rd_point(
 }
 
 /// Throughput of one Figure-1 bar: encode and decode fps for a codec on
-/// a sequence at a SIMD level.
+/// a sequence at a SIMD level, plus per-stage codec time when tracing
+/// is enabled (all zeros otherwise).
 #[derive(Clone, Copy, Debug)]
 pub struct Throughput {
     /// Encoder frames per second.
     pub encode_fps: f64,
     /// Decoder frames per second.
     pub decode_fps: f64,
+    /// Encoder stage time in nanoseconds, in
+    /// [`hdvb_trace::CODEC_STAGES`] order.
+    pub encode_stage_ns: [u64; 6],
+    /// Decoder stage time in nanoseconds, same order.
+    pub decode_stage_ns: [u64; 6],
+}
+
+fn stage_delta(after: [u64; 6], before: [u64; 6]) -> [u64; 6] {
+    let mut out = [0u64; 6];
+    for i in 0..6 {
+        out[i] = after[i].saturating_sub(before[i]);
+    }
+    out
 }
 
 /// Measures one Figure-1 data point (both encode and decode fps).
+///
+/// The cell runs wholly on the calling thread, so deltas of the
+/// thread-local stage accumulators around the encode and decode
+/// attribute stage time to this cell exactly.
 ///
 /// # Errors
 ///
@@ -192,11 +210,16 @@ pub fn measure_figure1_row(
     frames: u32,
     options: &CodingOptions,
 ) -> Result<Throughput, BenchError> {
+    let s0 = hdvb_trace::codec_stage_totals_local();
     let encoded = encode_sequence(codec, seq, frames, options)?;
+    let s1 = hdvb_trace::codec_stage_totals_local();
     let decoded = decode_sequence(codec, &encoded.packets, options.simd)?;
+    let s2 = hdvb_trace::codec_stage_totals_local();
     Ok(Throughput {
         encode_fps: encoded.encode_fps(),
         decode_fps: decoded.decode_fps(),
+        encode_stage_ns: stage_delta(s1, s0),
+        decode_stage_ns: stage_delta(s2, s1),
     })
 }
 

@@ -9,6 +9,7 @@ use hdvb_dsp::Block4;
 
 /// Writes a 4×4 block that has at least one nonzero coefficient.
 pub(crate) fn write_coeffs4(w: &mut BitWriter, block: &Block4) {
+    let _z = hdvb_trace::zone!(hdvb_trace::Stage::EntropyCoding);
     let table = event_table4();
     let last_pos = match ZIGZAG4.iter().rposition(|&p| block[p] != 0) {
         Some(p) => p,
@@ -41,6 +42,7 @@ pub(crate) fn write_coeffs4(w: &mut BitWriter, block: &Block4) {
 
 /// Parses one coded 4×4 block into `block` (zeroed by the caller).
 pub(crate) fn read_coeffs4(r: &mut BitReader<'_>, block: &mut Block4) -> Result<(), CodecError> {
+    let _z = hdvb_trace::zone!(hdvb_trace::Stage::EntropyCoding);
     let table = event_table4();
     let mut pos = 0usize;
     loop {

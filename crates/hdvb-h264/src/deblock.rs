@@ -52,6 +52,7 @@ fn deblock_plane(dsp: &Dsp, plane: &mut Plane, step: usize, qp: u8) {
 
 /// Runs the in-loop filter over a reconstructed frame.
 pub(crate) fn deblock_frame(dsp: &Dsp, frame: &mut Frame, qp: u8) {
+    let _z = hdvb_trace::zone!(hdvb_trace::Stage::Deblock);
     deblock_plane(dsp, frame.y_mut(), 4, qp);
     // Chroma uses the 8x8 luma grid = 4x4 in chroma samples, with the
     // chroma QP (same value here: no chroma QP offset).

@@ -74,7 +74,10 @@ impl H264Decoder {
         let ah = align_up(height, 16);
         let (mbs_x, mbs_y) = (aw / 16, ah / 16);
 
-        let mut recon = Frame::new(aw, ah);
+        let mut recon = {
+            let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
+            Frame::new(aw, ah)
+        };
         let mut ctx = PicCtx::new(mbs_x, mbs_y);
         match frame_type {
             FrameType::I => self.decode_i(&mut r, &mut recon, &mut ctx, qp, mbs_x, mbs_y)?,
@@ -151,12 +154,16 @@ impl H264Decoder {
             let mode = read_intra4_mode(r, mpm)?;
             ctx.set_mode(gx, gy, mode.index() as u8);
             let mut pred = [0u8; 16];
-            predict4(recon.y(), bx, by, mode, &mut pred);
+            {
+                let _z = hdvb_trace::zone!(hdvb_trace::Stage::MotionComp);
+                predict4(recon.y(), bx, by, mode, &mut pred);
+            }
             let stride = recon.y().stride();
             let off = by * stride + bx;
             if r.get_bit()? {
                 let mut block = [0i16; 16];
                 read_coeffs4(r, &mut block)?;
+                let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
                 dequant4(&mut block, qp);
                 self.dsp.icore4(&mut block);
                 add4(
@@ -167,6 +174,7 @@ impl H264Decoder {
                     &block,
                 );
             } else {
+                let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
                 copy4(&mut recon.y_mut().data_mut()[off..], stride, &pred, 4);
             }
         }
@@ -186,7 +194,10 @@ impl H264Decoder {
             .ok_or_else(|| CodecError::InvalidBitstream("bad intra16 mode".into()))?;
         ctx.clear_mb_modes(mbx, mby);
         let mut pred = [0u8; 256];
-        predict16(recon.y(), mbx * 16, mby * 16, mode, &mut pred);
+        {
+            let _z = hdvb_trace::zone!(hdvb_trace::Stage::MotionComp);
+            predict16(recon.y(), mbx * 16, mby * 16, mode, &mut pred);
+        }
         let (blocks, flags) = read_luma_residual(r)?;
         recon_luma_mb(
             &self.dsp,
@@ -213,8 +224,11 @@ impl H264Decoder {
             .ok_or_else(|| CodecError::InvalidBitstream("bad chroma mode".into()))?;
         let mut pb = [0u8; 64];
         let mut pr = [0u8; 64];
-        predict_chroma8(recon.cb(), mbx * 8, mby * 8, mode, &mut pb);
-        predict_chroma8(recon.cr(), mbx * 8, mby * 8, mode, &mut pr);
+        {
+            let _z = hdvb_trace::zone!(hdvb_trace::Stage::MotionComp);
+            predict_chroma8(recon.cb(), mbx * 8, mby * 8, mode, &mut pb);
+            predict_chroma8(recon.cr(), mbx * 8, mby * 8, mode, &mut pr);
+        }
         let (bb, fb) = read_chroma_residual(r)?;
         let (br, fr) = read_chroma_residual(r)?;
         recon_chroma_plane(&self.dsp, qp, recon.cb_mut(), mbx, mby, &pb, &bb, fb);
@@ -532,6 +546,7 @@ fn build_inter_pred_dec(
     mvs: &[Mv; 4],
 ) -> ([u8; 256], [u8; 64], [u8; 64]) {
     let (mut py, mut pcb, mut pcr) = ([0u8; 256], [0u8; 64], [0u8; 64]);
+    let _z = hdvb_trace::zone!(hdvb_trace::Stage::MotionComp);
     for (pi, &(ox, oy, pw, ph)) in part.rects().iter().enumerate() {
         crate::mc::predict_partition(
             dsp,
@@ -563,6 +578,7 @@ fn build_b_pred_dec(
     mv_f: Mv,
     mv_b: Mv,
 ) -> ([u8; 256], [u8; 64], [u8; 64]) {
+    let _z = hdvb_trace::zone!(hdvb_trace::Stage::MotionComp);
     match mode {
         0 => build_inter_pred_dec(dsp, fwd, mbx, mby, Partitioning::P16x16, &[mv_f; 4]),
         1 => build_inter_pred_dec(dsp, bwd, mbx, mby, Partitioning::P16x16, &[mv_b; 4]),

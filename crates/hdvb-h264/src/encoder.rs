@@ -135,7 +135,10 @@ impl H264Encoder {
                 actual: (frame.width(), frame.height()),
             });
         }
-        let scheduled = self.gop.push(frame.clone());
+        let scheduled = {
+            let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
+            self.gop.push(frame.clone())
+        };
         self.encode_scheduled(scheduled)
     }
 
@@ -163,17 +166,24 @@ impl H264Encoder {
         display_index: u32,
     ) -> Result<Packet, CodecError> {
         let cur = align_frame(frame, self.aw, self.ah);
-        let mut w = BitWriter::with_capacity(self.aw * self.ah / 6);
-        w.put_bits(MAGIC, 16);
-        w.put_bits(frame_type.to_bits(), 2);
-        w.put_bits(display_index, 32);
-        w.put_ue(self.config.width as u32);
-        w.put_ue(self.config.height as u32);
-        w.put_ue(u32::from(self.config.qp));
-        w.put_ue(u32::from(self.config.num_refs));
-        w.put_bit(self.config.deblock);
+        let mut w = {
+            let _z = hdvb_trace::zone!(hdvb_trace::Stage::EntropyCoding);
+            let mut w = BitWriter::with_capacity(self.aw * self.ah / 6);
+            w.put_bits(MAGIC, 16);
+            w.put_bits(frame_type.to_bits(), 2);
+            w.put_bits(display_index, 32);
+            w.put_ue(self.config.width as u32);
+            w.put_ue(self.config.height as u32);
+            w.put_ue(u32::from(self.config.qp));
+            w.put_ue(u32::from(self.config.num_refs));
+            w.put_bit(self.config.deblock);
+            w
+        };
 
-        let mut recon = Frame::new(self.aw, self.ah);
+        let mut recon = {
+            let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
+            Frame::new(self.aw, self.ah)
+        };
         let mut ctx = PicCtx::new(self.mbs_x, self.mbs_y);
         match frame_type {
             FrameType::I => self.encode_i(&mut w, &cur, &mut recon, &mut ctx),
@@ -188,8 +198,12 @@ impl H264Encoder {
             let keep = usize::from(self.config.num_refs).max(2);
             self.refs.truncate(keep);
         }
+        let data = {
+            let _z = hdvb_trace::zone!(hdvb_trace::Stage::EntropyCoding);
+            w.finish()
+        };
         Ok(Packet {
-            data: w.finish(),
+            data,
             frame_type,
             display_index,
         })
@@ -222,6 +236,7 @@ impl H264Encoder {
         mbx: usize,
         mby: usize,
     ) -> (u32, Intra16Mode) {
+        let _z = hdvb_trace::zone!(hdvb_trace::Stage::MotionEstimation);
         let src = &cur.y().data()[mby * 16 * self.aw + mbx * 16..];
         let mut best = (u32::MAX, Intra16Mode::Dc);
         for mode in Intra16Mode::ALL {
@@ -239,6 +254,7 @@ impl H264Encoder {
     /// Quick SATD estimate for intra 4×4 (source-neighbour prediction;
     /// the actual coding pass uses reconstruction-based prediction).
     fn intra4_cost_estimate(&self, cur: &Frame, ctx: &PicCtx, mbx: usize, mby: usize) -> u32 {
+        let _z = hdvb_trace::zone!(hdvb_trace::Stage::MotionEstimation);
         let mut total = self.lambda * 8;
         for k in 0..16 {
             let bx = mbx * 16 + (k % 4) * 4;
@@ -274,17 +290,21 @@ impl H264Encoder {
             let bx = mbx * 16 + (k % 4) * 4;
             let by = mby * 16 + (k / 4) * 4;
             let src = &cur.y().data()[by * self.aw + bx..];
-            // Decision against reconstructed neighbours.
+            // Decision against reconstructed neighbours (attributed to
+            // motion estimation: it is the intra analogue of the search).
             let mut best = (u32::MAX, Intra4Mode::Dc);
             let mpm = ctx.most_probable(gx, gy);
-            for mode in Intra4Mode::ALL {
-                let mut pred = [0u8; 16];
-                predict4(recon.y(), bx, by, mode, &mut pred);
-                let satd = self.dsp.satd(src, self.aw, &pred, 4, 4, 4);
-                let mode_bits = if mode.index() == u32::from(mpm) { 1 } else { 3 };
-                let cost = satd + self.lambda * mode_bits;
-                if cost < best.0 {
-                    best = (cost, mode);
+            {
+                let _z = hdvb_trace::zone!(hdvb_trace::Stage::MotionEstimation);
+                for mode in Intra4Mode::ALL {
+                    let mut pred = [0u8; 16];
+                    predict4(recon.y(), bx, by, mode, &mut pred);
+                    let satd = self.dsp.satd(src, self.aw, &pred, 4, 4, 4);
+                    let mode_bits = if mode.index() == u32::from(mpm) { 1 } else { 3 };
+                    let cost = satd + self.lambda * mode_bits;
+                    if cost < best.0 {
+                        best = (cost, mode);
+                    }
                 }
             }
             let mode = best.1;
@@ -292,14 +312,18 @@ impl H264Encoder {
             ctx.set_mode(gx, gy, mode.index() as u8);
             // Residual against the recon-based prediction.
             let mut pred = [0u8; 16];
-            predict4(recon.y(), bx, by, mode, &mut pred);
             let mut block = [0i16; 16];
-            crate::mc::diff4(&mut block, src, self.aw, &pred, 4);
-            self.dsp.fcore4(&mut block);
-            let nz = quant4(&mut block, self.config.qp, true);
+            let nz = {
+                let _z = hdvb_trace::zone!(hdvb_trace::Stage::TransformQuant);
+                predict4(recon.y(), bx, by, mode, &mut pred);
+                crate::mc::diff4(&mut block, src, self.aw, &pred, 4);
+                self.dsp.fcore4(&mut block);
+                quant4(&mut block, self.config.qp, true)
+            };
             w.put_bit(nz > 0);
             if nz > 0 {
                 write_coeffs4(w, &block);
+                let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
                 dequant4(&mut block, self.config.qp);
                 self.dsp.icore4(&mut block);
                 let stride = recon.y().stride();
@@ -312,6 +336,7 @@ impl H264Encoder {
                     &block,
                 );
             } else {
+                let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
                 let stride = recon.y().stride();
                 let off = by * stride + bx;
                 crate::mc::copy4(&mut recon.y_mut().data_mut()[off..], stride, &pred, 4);
@@ -335,7 +360,10 @@ impl H264Encoder {
         w.put_ue(mode.index());
         ctx.clear_mb_modes(mbx, mby);
         let mut pred = [0u8; 256];
-        predict16(recon.y(), mbx * 16, mby * 16, mode, &mut pred);
+        {
+            let _z = hdvb_trace::zone!(hdvb_trace::Stage::MotionComp);
+            predict16(recon.y(), mbx * 16, mby * 16, mode, &mut pred);
+        }
         let (blocks, flags) =
             transform_luma_mb(&self.dsp, self.config.qp, true, cur.y(), mbx, mby, &pred);
         write_luma_residual(w, &blocks, flags);
@@ -365,23 +393,29 @@ impl H264Encoder {
         let src_cb = &cur.cb().data()[mby * 8 * cw + mbx * 8..];
         let src_cr = &cur.cr().data()[mby * 8 * cw + mbx * 8..];
         let mut best = (u32::MAX, ChromaMode::Dc);
-        for mode in ChromaMode::ALL {
-            let mut pb = [0u8; 64];
-            let mut pr = [0u8; 64];
-            predict_chroma8(recon.cb(), mbx * 8, mby * 8, mode, &mut pb);
-            predict_chroma8(recon.cr(), mbx * 8, mby * 8, mode, &mut pr);
-            let satd =
-                self.dsp.satd(src_cb, cw, &pb, 8, 8, 8) + self.dsp.satd(src_cr, cw, &pr, 8, 8, 8);
-            if satd < best.0 {
-                best = (satd, mode);
+        {
+            let _z = hdvb_trace::zone!(hdvb_trace::Stage::MotionEstimation);
+            for mode in ChromaMode::ALL {
+                let mut pb = [0u8; 64];
+                let mut pr = [0u8; 64];
+                predict_chroma8(recon.cb(), mbx * 8, mby * 8, mode, &mut pb);
+                predict_chroma8(recon.cr(), mbx * 8, mby * 8, mode, &mut pr);
+                let satd = self.dsp.satd(src_cb, cw, &pb, 8, 8, 8)
+                    + self.dsp.satd(src_cr, cw, &pr, 8, 8, 8);
+                if satd < best.0 {
+                    best = (satd, mode);
+                }
             }
         }
         let mode = best.1;
         w.put_ue(mode.index());
         let mut pb = [0u8; 64];
         let mut pr = [0u8; 64];
-        predict_chroma8(recon.cb(), mbx * 8, mby * 8, mode, &mut pb);
-        predict_chroma8(recon.cr(), mbx * 8, mby * 8, mode, &mut pr);
+        {
+            let _z = hdvb_trace::zone!(hdvb_trace::Stage::MotionComp);
+            predict_chroma8(recon.cb(), mbx * 8, mby * 8, mode, &mut pb);
+            predict_chroma8(recon.cr(), mbx * 8, mby * 8, mode, &mut pr);
+        }
         let (bb, fb) =
             transform_chroma_plane(&self.dsp, self.config.qp, true, cur.cb(), mbx, mby, &pb);
         let (br, fr) =
@@ -427,6 +461,7 @@ impl H264Encoder {
     ) -> (Mv, u32) {
         let mut tmp = [0u8; 256];
         let src = &cur.y().data()[by * self.aw + bx..];
+        let _z = hdvb_trace::zone!(hdvb_trace::Stage::MotionEstimation);
         let mut cost_at = |qmv: Mv| -> u32 {
             let ix = bx as isize + isize::from(qmv.x >> 2) - 2;
             let iy = by as isize + isize::from(qmv.y >> 2) - 2;
@@ -457,6 +492,9 @@ impl H264Encoder {
             .max(1);
         for mby in 0..self.mbs_y {
             for mbx in 0..self.mbs_x {
+                // One motion-estimation zone spans the 16x16 reference
+                // search; a second covers the partition trials below.
+                let me_zone = hdvb_trace::zone!(hdvb_trace::Stage::MotionEstimation);
                 let median = median_pred(&ctx.qfield, mbx, mby);
                 // 16x16 search over the reference list.
                 let block16 = BlockRef {
@@ -488,6 +526,7 @@ impl H264Encoder {
                 let (ref_idx, mv16, cost16) =
                     best16.expect("P picture requires at least one reference");
                 let rp = &self.refs[ref_idx];
+                drop(me_zone);
 
                 // Skip test: 16x16, reference 0, motion equal to the
                 // median predictor, empty residual.
@@ -553,6 +592,7 @@ impl H264Encoder {
                 }
 
                 // Partition trials on the chosen reference.
+                let me_zone = hdvb_trace::zone!(hdvb_trace::Stage::MotionEstimation);
                 let mut best_part = (Partitioning::P16x16, [mv16; 4], cost16 + self.lambda);
                 for part in [Partitioning::P16x8, Partitioning::P8x16, Partitioning::P8x8] {
                     let mut mvs = [Mv::ZERO; 4];
@@ -597,6 +637,7 @@ impl H264Encoder {
                 // Intra alternatives.
                 let (c16, mode16) = self.intra16_cost(cur, recon, mbx, mby);
                 let c4 = self.intra4_cost_estimate(cur, ctx, mbx, mby);
+                drop(me_zone);
                 w.put_bit(false); // not skipped
                 if c4 < inter_cost && c4 <= c16 {
                     w.put_ue(4);
@@ -612,15 +653,18 @@ impl H264Encoder {
                 }
 
                 // Inter macroblock.
-                w.put_ue(part.index());
-                if self.config.num_refs > 1 {
-                    w.put_ue(ref_idx as u32);
-                }
-                let mut pred_mv = median;
-                for (pi, &(_, _, _, _)) in part.rects().iter().enumerate() {
-                    w.put_se(i32::from(mvs[pi].x - pred_mv.x));
-                    w.put_se(i32::from(mvs[pi].y - pred_mv.y));
-                    pred_mv = mvs[pi];
+                {
+                    let _z = hdvb_trace::zone!(hdvb_trace::Stage::EntropyCoding);
+                    w.put_ue(part.index());
+                    if self.config.num_refs > 1 {
+                        w.put_ue(ref_idx as u32);
+                    }
+                    let mut pred_mv = median;
+                    for (pi, &(_, _, _, _)) in part.rects().iter().enumerate() {
+                        w.put_se(i32::from(mvs[pi].x - pred_mv.x));
+                        w.put_se(i32::from(mvs[pi].y - pred_mv.y));
+                        pred_mv = mvs[pi];
+                    }
                 }
                 let (py, pcb, pcr) = self.build_inter_pred(rp, mbx, mby, part, &mvs);
                 let (lb, lf) =
@@ -693,6 +737,7 @@ impl H264Encoder {
         mvs: &[Mv; 4],
     ) -> ([u8; 256], [u8; 64], [u8; 64]) {
         let (mut py, mut pcb, mut pcr) = ([0u8; 256], [0u8; 64], [0u8; 64]);
+        let _z = hdvb_trace::zone!(hdvb_trace::Stage::MotionComp);
         for (pi, &(ox, oy, pw, ph)) in part.rects().iter().enumerate() {
             predict_partition(
                 &self.dsp,
@@ -720,6 +765,9 @@ impl H264Encoder {
         for mby in 0..self.mbs_y {
             let mut row = BState::new();
             for mbx in 0..self.mbs_x {
+                // Both directions' searches, the bi-prediction trial and
+                // the mode decision are one motion-estimation zone.
+                let me_zone = hdvb_trace::zone!(hdvb_trace::Stage::MotionEstimation);
                 let block16 = BlockRef {
                     plane: cur.y(),
                     x: mbx * 16,
@@ -777,6 +825,7 @@ impl H264Encoder {
                     .min_by_key(|&(_, c)| c)
                     .map(|(i, c)| (i as u8, c))
                     .unwrap_or((0, u32::MAX));
+                drop(me_zone);
 
                 if c4.min(c16) < best_cost {
                     w.put_bit(false);
@@ -851,19 +900,22 @@ impl H264Encoder {
                     ctx.clear_mb_modes(mbx, mby);
                     continue;
                 }
-                w.put_bit(false);
-                w.put_ue(u32::from(mode));
-                if mode == 0 || mode == 2 {
-                    w.put_se(i32::from(mv_f.x - row.mv_pred.x));
-                    w.put_se(i32::from(mv_f.y - row.mv_pred.y));
-                    row.mv_pred = mv_f;
+                {
+                    let _z = hdvb_trace::zone!(hdvb_trace::Stage::EntropyCoding);
+                    w.put_bit(false);
+                    w.put_ue(u32::from(mode));
+                    if mode == 0 || mode == 2 {
+                        w.put_se(i32::from(mv_f.x - row.mv_pred.x));
+                        w.put_se(i32::from(mv_f.y - row.mv_pred.y));
+                        row.mv_pred = mv_f;
+                    }
+                    if mode == 1 || mode == 2 {
+                        w.put_se(i32::from(mv_b.x - row.mv_pred_bwd.x));
+                        w.put_se(i32::from(mv_b.y - row.mv_pred_bwd.y));
+                        row.mv_pred_bwd = mv_b;
+                    }
+                    row.last_b = (mode, mv_f, mv_b);
                 }
-                if mode == 1 || mode == 2 {
-                    w.put_se(i32::from(mv_b.x - row.mv_pred_bwd.x));
-                    w.put_se(i32::from(mv_b.y - row.mv_pred_bwd.y));
-                    row.mv_pred_bwd = mv_b;
-                }
-                row.last_b = (mode, mv_f, mv_b);
                 write_luma_residual(w, &lb, lf);
                 write_chroma_residual(w, &cbb, cbf);
                 write_chroma_residual(w, &crb, crf);
@@ -915,6 +967,7 @@ impl H264Encoder {
         mv_f: Mv,
         mv_b: Mv,
     ) -> ([u8; 256], [u8; 64], [u8; 64]) {
+        let _z = hdvb_trace::zone!(hdvb_trace::Stage::MotionComp);
         match mode {
             0 => self.build_inter_pred(fwd, mbx, mby, Partitioning::P16x16, &[mv_f; 4]),
             1 => self.build_inter_pred(bwd, mbx, mby, Partitioning::P16x16, &[mv_b; 4]),

@@ -19,6 +19,8 @@ pub(crate) struct RefPicture {
 
 impl RefPicture {
     pub(crate) fn from_frame(frame: &Frame) -> Self {
+        // Reference-plane padding is part of motion compensation.
+        let _z = hdvb_trace::zone!(hdvb_trace::Stage::MotionComp);
         RefPicture {
             y: PaddedPlane::from_plane(frame.y(), LUMA_PAD),
             cb: PaddedPlane::from_plane(frame.cb(), CHROMA_PAD),
@@ -48,6 +50,7 @@ pub(crate) fn predict_partition(
     cr: &mut [u8; 64],
 ) {
     let ix = px as isize + isize::from(mv.x >> 2) - 2;
+    let _z = hdvb_trace::zone!(hdvb_trace::Stage::MotionComp);
     let iy = py as isize + isize::from(mv.y >> 2) - 2;
     dsp.qpel_luma(
         &mut luma[oy * 16 + ox..],
@@ -185,6 +188,8 @@ fn replicate_into(src: &Plane, dst: &mut Plane) {
 
 /// Expands a frame to MB-aligned dimensions with edge replication.
 pub(crate) fn align_frame(frame: &Frame, aw: usize, ah: usize) -> Frame {
+    // Sample bookkeeping (copies/padding) counts as reconstruction.
+    let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
     if frame.width() == aw && frame.height() == ah {
         return frame.clone();
     }
@@ -197,6 +202,7 @@ pub(crate) fn align_frame(frame: &Frame, aw: usize, ah: usize) -> Frame {
 
 /// Crops an aligned frame back to picture dimensions.
 pub(crate) fn crop_frame(frame: &Frame, w: usize, h: usize) -> Frame {
+    let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
     if frame.width() == w && frame.height() == h {
         return frame.clone();
     }

@@ -24,6 +24,7 @@ pub(crate) fn transform_luma_mb(
     let mut blocks = [[0i16; 16]; 16];
     let mut flags = 0u16;
     let stride = cur.stride();
+    let _z = hdvb_trace::zone!(hdvb_trace::Stage::TransformQuant);
     #[allow(clippy::needless_range_loop)]
     for k in 0..16 {
         let (ox, oy) = ((k % 4) * 4, (k / 4) * 4);
@@ -56,6 +57,7 @@ pub(crate) fn transform_chroma_plane(
     pred: &[u8; 64],
 ) -> ([Block4; 4], u8) {
     let mut blocks = [[0i16; 16]; 4];
+    let _z = hdvb_trace::zone!(hdvb_trace::Stage::TransformQuant);
     let mut flags = 0u8;
     let stride = cur.stride();
     #[allow(clippy::needless_range_loop)]
@@ -82,6 +84,7 @@ pub(crate) fn transform_chroma_plane(
 /// Serialises the luma residual: 4-bit quadrant pattern, then 4 flag
 /// bits per coded quadrant, then coefficients.
 pub(crate) fn write_luma_residual(w: &mut BitWriter, blocks: &[Block4; 16], flags: u16) {
+    let _z = hdvb_trace::zone!(hdvb_trace::Stage::EntropyCoding);
     let mut quad = 0u32;
     for q in 0..4 {
         if quadrant_flags(flags, q) != 0 {
@@ -104,6 +107,7 @@ pub(crate) fn write_luma_residual(w: &mut BitWriter, blocks: &[Block4; 16], flag
 
 /// Parses the luma residual written by [`write_luma_residual`].
 pub(crate) fn read_luma_residual(r: &mut BitReader<'_>) -> Result<([Block4; 16], u16), CodecError> {
+    let _z = hdvb_trace::zone!(hdvb_trace::Stage::EntropyCoding);
     let mut blocks = [[0i16; 16]; 16];
     let mut flags = 0u16;
     let quad = r.get_bits(4)?;
@@ -125,6 +129,7 @@ pub(crate) fn read_luma_residual(r: &mut BitReader<'_>) -> Result<([Block4; 16],
 /// Serialises one chroma plane's residual: presence bit, then flags and
 /// coefficients.
 pub(crate) fn write_chroma_residual(w: &mut BitWriter, blocks: &[Block4; 4], flags: u8) {
+    let _z = hdvb_trace::zone!(hdvb_trace::Stage::EntropyCoding);
     w.put_bit(flags != 0);
     if flags != 0 {
         w.put_bits(u32::from(flags), 4);
@@ -139,6 +144,7 @@ pub(crate) fn write_chroma_residual(w: &mut BitWriter, blocks: &[Block4; 4], fla
 
 /// Parses one chroma plane's residual.
 pub(crate) fn read_chroma_residual(r: &mut BitReader<'_>) -> Result<([Block4; 4], u8), CodecError> {
+    let _z = hdvb_trace::zone!(hdvb_trace::Stage::EntropyCoding);
     let mut blocks = [[0i16; 16]; 4];
     let mut flags = 0u8;
     if r.get_bit()? {
@@ -166,6 +172,7 @@ pub(crate) fn recon_luma_mb(
     flags: u16,
 ) {
     let stride = recon.stride();
+    let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
     #[allow(clippy::needless_range_loop)]
     for k in 0..16 {
         let (ox, oy) = ((k % 4) * 4, (k / 4) * 4);
@@ -205,6 +212,7 @@ pub(crate) fn recon_chroma_plane(
     flags: u8,
 ) {
     let stride = recon.stride();
+    let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
     #[allow(clippy::needless_range_loop)]
     for k in 0..4 {
         let (ox, oy) = ((k % 2) * 4, (k / 2) * 4);

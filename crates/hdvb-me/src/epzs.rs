@@ -135,6 +135,7 @@ pub fn epzs_search(
     thresholds: &EpzsThresholds,
     params: &SearchParams,
 ) -> SearchResult {
+    let _me = hdvb_trace::zone!(hdvb_trace::Stage::MotionEstimation);
     let mut ev = Evaluator::new(dsp, block, refp, params);
     let scale = (block.w * block.h) as u32;
     let t_good = thresholds.t_good * scale / 256;

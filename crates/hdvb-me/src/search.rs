@@ -257,6 +257,7 @@ pub fn diamond_search(
     start: Mv,
     params: &SearchParams,
 ) -> SearchResult {
+    let _me = hdvb_trace::zone!(hdvb_trace::Stage::MotionEstimation);
     let mut ev = Evaluator::new(dsp, block, refp, params);
     let (mv, cost, sad) = pattern_descent(&mut ev, start, &LARGE_DIAMOND, &SMALL_DIAMOND);
     SearchResult {
@@ -277,6 +278,7 @@ pub fn hexagon_search(
     start: Mv,
     params: &SearchParams,
 ) -> SearchResult {
+    let _me = hdvb_trace::zone!(hdvb_trace::Stage::MotionEstimation);
     let mut ev = Evaluator::new(dsp, block, refp, params);
     let (mv, cost, sad) = pattern_descent(&mut ev, start, &HEXAGON, &SQUARE8);
     SearchResult {

@@ -43,6 +43,7 @@ where
     F: FnMut(Mv) -> u32,
 {
     let _ = step; // step distance is always 1 in the caller's units
+    let _me = hdvb_trace::zone!(hdvb_trace::Stage::MotionEstimation);
     let mut best = center;
     let mut best_cost = initial_cost;
     for dy in -1i16..=1 {

@@ -11,6 +11,7 @@ use hdvb_dsp::Block8;
 /// Writes the quantised coefficients of `block` in zigzag run-level form.
 /// `start` is 1 for intra blocks (DC coded separately) and 0 for inter.
 pub(crate) fn write_coeffs(w: &mut BitWriter, block: &Block8, start: usize) {
+    let _z = hdvb_trace::zone!(hdvb_trace::Stage::EntropyCoding);
     let table = coef_table();
     let mut run = 0u32;
     for &pos in &ZIGZAG[start..] {
@@ -41,6 +42,7 @@ pub(crate) fn read_coeffs(
     start: usize,
 ) -> Result<(), CodecError> {
     let table = coef_table();
+    let _z = hdvb_trace::zone!(hdvb_trace::Stage::EntropyCoding);
     let mut pos = start;
     loop {
         let symbol = table.decode(r)?;

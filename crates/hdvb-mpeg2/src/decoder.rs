@@ -75,7 +75,10 @@ impl Mpeg2Decoder {
         let ah = align_up(height, 16);
         let (mbs_x, mbs_y) = (aw / 16, ah / 16);
 
-        let mut recon = Frame::new(aw, ah);
+        let mut recon = {
+            let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
+            Frame::new(aw, ah)
+        };
         let mut mvs = MvField::new(mbs_x, mbs_y);
         match frame_type {
             FrameType::I => self.decode_i(&mut r, &mut recon, qscale, mbs_x, mbs_y)?,
@@ -130,21 +133,31 @@ impl Mpeg2Decoder {
         mby: usize,
         dc_pred: &mut [i32; 3],
     ) -> Result<(), CodecError> {
-        for b in 0..6 {
-            let dc_diff = r.get_se()?;
-            let comp = match b {
-                0..=3 => 0,
-                4 => 1,
-                _ => 2,
-            };
-            let dc_level = (dc_pred[comp] + dc_diff).clamp(0, 255);
-            dc_pred[comp] = dc_level;
-            let mut block = [0i16; 64];
-            read_coeffs(r, &mut block, 1)?;
-            self.dsp
-                .dequant8(&mut block, &MPEG_DEFAULT_INTRA, qscale, true);
-            block[0] = (dc_level * 8) as i16;
-            self.dsp.idct8(&mut block);
+        // Phase-split (read all six blocks, then reconstruct all six) so
+        // each phase is one trace zone; the bits are consumed in exactly
+        // the same order as the interleaved per-block form.
+        let mut blocks = [[0i16; 64]; 6];
+        let mut dc_levels = [0i32; 6];
+        {
+            let _z = hdvb_trace::zone!(hdvb_trace::Stage::EntropyCoding);
+            for (b, block) in blocks.iter_mut().enumerate() {
+                let dc_diff = r.get_se()?;
+                let comp = match b {
+                    0..=3 => 0,
+                    4 => 1,
+                    _ => 2,
+                };
+                let dc_level = (dc_pred[comp] + dc_diff).clamp(0, 255);
+                dc_pred[comp] = dc_level;
+                dc_levels[b] = dc_level;
+                read_coeffs(r, block, 1)?;
+            }
+        }
+        let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
+        for (b, block) in blocks.iter_mut().enumerate() {
+            self.dsp.dequant8(block, &MPEG_DEFAULT_INTRA, qscale, true);
+            block[0] = (dc_levels[b] * 8) as i16;
+            self.dsp.idct8(block);
             let (plane, bx, by) = match b {
                 0..=3 => (
                     recon.y_mut(),
@@ -154,7 +167,7 @@ impl Mpeg2Decoder {
                 4 => (recon.cb_mut(), mbx * 8, mby * 8),
                 _ => (recon.cr_mut(), mbx * 8, mby * 8),
             };
-            store_block_clamped(plane, bx, by, &block);
+            store_block_clamped(plane, bx, by, block);
         }
         Ok(())
     }
@@ -212,6 +225,7 @@ impl Mpeg2Decoder {
                         row.reset_mv();
                         continue;
                     }
+                    let ec_zone = hdvb_trace::zone!(hdvb_trace::Stage::EntropyCoding);
                     let mvd_x = r.get_se()?;
                     let mvd_y = r.get_se()?;
                     let mv = Mv::new(
@@ -227,6 +241,7 @@ impl Mpeg2Decoder {
                             read_coeffs(r, b, 0)?;
                         }
                     }
+                    drop(ec_zone);
                     let (mut py, mut pcb, mut pcr) = ([0u8; 256], [0u8; 64], [0u8; 64]);
                     predict_mb(
                         &self.dsp, &reference, mbx, mby, mv, &mut py, &mut pcb, &mut pcr,
@@ -318,6 +333,7 @@ impl Mpeg2Decoder {
                         row.mv_pred_bwd = mv_b;
                     }
                     row.last_b = (mode, mv_f, mv_b);
+                    let ec_zone = hdvb_trace::zone!(hdvb_trace::Stage::EntropyCoding);
                     let cbp = r.get_bits(6)? as u8;
                     let mut blocks = [[0i16; 64]; 6];
                     for (i, b) in blocks.iter_mut().enumerate() {
@@ -325,6 +341,7 @@ impl Mpeg2Decoder {
                             read_coeffs(r, b, 0)?;
                         }
                     }
+                    drop(ec_zone);
                     build_b_prediction(
                         &self.dsp, &fwd, &bwd, mbx, mby, mode, mv_f, mv_b, &mut py, &mut pcb,
                         &mut pcr,

@@ -27,6 +27,9 @@ pub(crate) struct RefPicture {
 
 impl RefPicture {
     pub(crate) fn from_frame(frame: &Frame, mvs: MvField) -> Self {
+        // Building the padded planes is reference preparation for the
+        // interpolators, so it bills to motion compensation.
+        let _z = hdvb_trace::zone!(hdvb_trace::Stage::MotionComp);
         RefPicture {
             y: PaddedPlane::from_plane(frame.y(), LUMA_PAD),
             cb: PaddedPlane::from_plane(frame.cb(), CHROMA_PAD),
@@ -51,6 +54,7 @@ pub(crate) fn predict_mb(
     cb: &mut [u8; 64],
     cr: &mut [u8; 64],
 ) {
+    let _z = hdvb_trace::zone!(hdvb_trace::Stage::MotionComp);
     let lx = (mb_x * 16) as isize + isize::from(mv.x >> 1);
     let ly = (mb_y * 16) as isize + isize::from(mv.y >> 1);
     let (fx, fy) = ((mv.x & 1) as u8, (mv.y & 1) as u8);
@@ -77,8 +81,10 @@ fn replicate_into(src: &Plane, dst: &mut Plane) {
 }
 
 /// Expands `frame` to macroblock-aligned dimensions with edge
-/// replication.
+/// replication. The copy is sample bookkeeping around reconstruction,
+/// so it bills to that stage.
 pub(crate) fn align_frame(frame: &Frame, aw: usize, ah: usize) -> Frame {
+    let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
     if frame.width() == aw && frame.height() == ah {
         return frame.clone();
     }
@@ -91,6 +97,7 @@ pub(crate) fn align_frame(frame: &Frame, aw: usize, ah: usize) -> Frame {
 
 /// Crops an aligned frame back to picture dimensions.
 pub(crate) fn crop_frame(frame: &Frame, w: usize, h: usize) -> Frame {
+    let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
     if frame.width() == w && frame.height() == h {
         return frame.clone();
     }
@@ -188,7 +195,11 @@ impl Mpeg2Encoder {
                 actual: (frame.width(), frame.height()),
             });
         }
-        let scheduled = self.gop.push(frame.clone());
+        let cloned = {
+            let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
+            frame.clone()
+        };
+        let scheduled = self.gop.push(cloned);
         self.encode_scheduled(scheduled)
     }
 
@@ -216,15 +227,22 @@ impl Mpeg2Encoder {
         display_index: u32,
     ) -> Result<Packet, CodecError> {
         let cur = align_frame(frame, self.aw, self.ah);
-        let mut w = BitWriter::with_capacity(self.aw * self.ah / 4);
-        w.put_bits(MAGIC, 16);
-        w.put_bits(frame_type.to_bits(), 2);
-        w.put_bits(display_index, 32);
-        w.put_ue(self.config.width as u32);
-        w.put_ue(self.config.height as u32);
-        w.put_ue(u32::from(self.config.qscale));
+        let mut w = {
+            let _z = hdvb_trace::zone!(hdvb_trace::Stage::EntropyCoding);
+            let mut w = BitWriter::with_capacity(self.aw * self.ah / 4);
+            w.put_bits(MAGIC, 16);
+            w.put_bits(frame_type.to_bits(), 2);
+            w.put_bits(display_index, 32);
+            w.put_ue(self.config.width as u32);
+            w.put_ue(self.config.height as u32);
+            w.put_ue(u32::from(self.config.qscale));
+            w
+        };
 
-        let mut recon = Frame::new(self.aw, self.ah);
+        let mut recon = {
+            let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
+            Frame::new(self.aw, self.ah)
+        };
         let mut mvs = MvField::new(self.mbs_x, self.mbs_y);
         match frame_type {
             FrameType::I => self.encode_i(&mut w, &cur, &mut recon),
@@ -237,8 +255,12 @@ impl Mpeg2Encoder {
             self.prev_anchor = self.last_anchor.take();
             self.last_anchor = Some(reference);
         }
+        let data = {
+            let _z = hdvb_trace::zone!(hdvb_trace::Stage::EntropyCoding);
+            w.finish()
+        };
         Ok(Packet {
-            data: w.finish(),
+            data,
             frame_type,
             display_index,
         })
@@ -266,24 +288,43 @@ impl Mpeg2Encoder {
         mby: usize,
         dc_pred: &mut [i32; 3],
     ) {
+        // Phase-split per macroblock (transform all six blocks, then
+        // write, then reconstruct) so each phase is one trace zone; the
+        // emitted bits are identical to the interleaved per-block form.
+        let mut blocks = [[0i16; 64]; 6];
+        let mut dc_levels = [0i32; 6];
+        {
+            let _z = hdvb_trace::zone!(hdvb_trace::Stage::TransformQuant);
+            for b in 0..6 {
+                let (plane, _, _, bx, by) = block_geometry(cur, recon, mbx, mby, b);
+                let block = &mut blocks[b];
+                *block = load_block(plane, bx, by);
+                self.dsp.fdct8(block);
+                dc_levels[b] = ((i32::from(block[0]) + 4) >> 3).clamp(0, 255);
+                block[0] = 0;
+                self.dsp
+                    .quant8(block, &MPEG_DEFAULT_INTRA, self.config.qscale, true);
+            }
+        }
+        {
+            let _z = hdvb_trace::zone!(hdvb_trace::Stage::EntropyCoding);
+            for b in 0..6 {
+                let comp = block_geometry(cur, recon, mbx, mby, b).2;
+                w.put_se(dc_levels[b] - dc_pred[comp]);
+                dc_pred[comp] = dc_levels[b];
+                write_coeffs(w, &blocks[b], 1);
+            }
+        }
+        // Reconstruction (must mirror the decoder exactly).
+        let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
         for b in 0..6 {
-            let (plane, rplane, comp, bx, by) = block_geometry(cur, recon, mbx, mby, b);
-            let mut block = load_block(plane, bx, by);
-            self.dsp.fdct8(&mut block);
-            let dc_level = (i32::from(block[0]) + 4) >> 3;
-            let dc_level = dc_level.clamp(0, 255);
-            w.put_se(dc_level - dc_pred[comp]);
-            dc_pred[comp] = dc_level;
-            block[0] = 0;
+            let (_, rplane, _, bx, by) = block_geometry(cur, recon, mbx, mby, b);
+            let block = &mut blocks[b];
             self.dsp
-                .quant8(&mut block, &MPEG_DEFAULT_INTRA, self.config.qscale, true);
-            write_coeffs(w, &block, 1);
-            // Reconstruction (must mirror the decoder exactly).
-            self.dsp
-                .dequant8(&mut block, &MPEG_DEFAULT_INTRA, self.config.qscale, true);
-            block[0] = (dc_level * 8) as i16;
-            self.dsp.idct8(&mut block);
-            store_block_clamped(rplane, bx, by, &block);
+                .dequant8(block, &MPEG_DEFAULT_INTRA, self.config.qscale, true);
+            block[0] = (dc_levels[b] * 8) as i16;
+            self.dsp.idct8(block);
+            store_block_clamped(rplane, bx, by, block);
         }
     }
 
@@ -298,6 +339,10 @@ impl Mpeg2Encoder {
         for mby in 0..self.mbs_y {
             let mut row = RowState::new();
             for mbx in 0..self.mbs_x {
+                // One zone over the whole search + mode decision
+                // (predictor gather, EPZS, half-pel refinement, intra
+                // activity); the searches' own zones nest and suppress.
+                let me_zone = hdvb_trace::zone!(hdvb_trace::Stage::MotionEstimation);
                 // Full-pel EPZS (paper Section IV) with temporal
                 // predictors from the reference's own motion field.
                 let preds = Predictors::gather(mvs, &reference.mvs, mbx, mby);
@@ -332,6 +377,7 @@ impl Mpeg2Encoder {
                 // Intra/inter decision: mean-removed SAD as intra
                 // activity, biased toward inter.
                 let intra_cost = self.mb_intra_activity(cur, mbx, mby);
+                drop(me_zone);
                 if intra_cost + 2048 < inter_cost {
                     w.put_bit(false); // not skipped
                     w.put_bit(true); // intra
@@ -365,15 +411,18 @@ impl Mpeg2Encoder {
                     row.reset_mv();
                     continue;
                 }
-                w.put_bit(false);
-                w.put_bit(false); // inter
-                w.put_se(i32::from(mv.x - row.mv_pred.x));
-                w.put_se(i32::from(mv.y - row.mv_pred.y));
-                row.mv_pred = mv;
-                w.put_bits(u32::from(cbp), 6);
-                for (i, b) in blocks.iter().enumerate() {
-                    if cbp & (1 << (5 - i)) != 0 {
-                        write_coeffs(w, b, 0);
+                {
+                    let _z = hdvb_trace::zone!(hdvb_trace::Stage::EntropyCoding);
+                    w.put_bit(false);
+                    w.put_bit(false); // inter
+                    w.put_se(i32::from(mv.x - row.mv_pred.x));
+                    w.put_se(i32::from(mv.y - row.mv_pred.y));
+                    row.mv_pred = mv;
+                    w.put_bits(u32::from(cbp), 6);
+                    for (i, b) in blocks.iter().enumerate() {
+                        if cbp & (1 << (5 - i)) != 0 {
+                            write_coeffs(w, b, 0);
+                        }
                     }
                 }
                 reconstruct_inter(
@@ -408,6 +457,9 @@ impl Mpeg2Encoder {
         for mby in 0..self.mbs_y {
             let mut row = RowState::new();
             for mbx in 0..self.mbs_x {
+                // One zone over both searches, bi-prediction costing and
+                // the mode decision; inner search zones suppress.
+                let me_zone = hdvb_trace::zone!(hdvb_trace::Stage::MotionEstimation);
                 let block = BlockRef {
                     plane: cur.y(),
                     x: mbx * 16,
@@ -499,6 +551,7 @@ impl Mpeg2Encoder {
                     .min_by_key(|&(_, c)| c)
                     .map(|(i, c)| (i as u8, c))
                     .unwrap_or((0, u32::MAX));
+                drop(me_zone);
                 if intra_cost + 2048 < best.1 {
                     w.put_bit(false);
                     w.put_bits(3, 2); // intra mode
@@ -533,23 +586,26 @@ impl Mpeg2Encoder {
                     );
                     continue;
                 }
-                w.put_bit(false);
-                w.put_bits(u32::from(mode), 2);
-                if mode == 0 || mode == 2 {
-                    w.put_se(i32::from(mv_f.x - row.mv_pred.x));
-                    w.put_se(i32::from(mv_f.y - row.mv_pred.y));
-                    row.mv_pred = mv_f;
-                }
-                if mode == 1 || mode == 2 {
-                    w.put_se(i32::from(mv_b.x - row.mv_pred_bwd.x));
-                    w.put_se(i32::from(mv_b.y - row.mv_pred_bwd.y));
-                    row.mv_pred_bwd = mv_b;
-                }
-                row.last_b = (mode, mv_f, mv_b);
-                w.put_bits(u32::from(cbp), 6);
-                for (i, bl) in blocks.iter().enumerate() {
-                    if cbp & (1 << (5 - i)) != 0 {
-                        write_coeffs(w, bl, 0);
+                {
+                    let _z = hdvb_trace::zone!(hdvb_trace::Stage::EntropyCoding);
+                    w.put_bit(false);
+                    w.put_bits(u32::from(mode), 2);
+                    if mode == 0 || mode == 2 {
+                        w.put_se(i32::from(mv_f.x - row.mv_pred.x));
+                        w.put_se(i32::from(mv_f.y - row.mv_pred.y));
+                        row.mv_pred = mv_f;
+                    }
+                    if mode == 1 || mode == 2 {
+                        w.put_se(i32::from(mv_b.x - row.mv_pred_bwd.x));
+                        w.put_se(i32::from(mv_b.y - row.mv_pred_bwd.y));
+                        row.mv_pred_bwd = mv_b;
+                    }
+                    row.last_b = (mode, mv_f, mv_b);
+                    w.put_bits(u32::from(cbp), 6);
+                    for (i, bl) in blocks.iter().enumerate() {
+                        if cbp & (1 << (5 - i)) != 0 {
+                            write_coeffs(w, bl, 0);
+                        }
                     }
                 }
                 reconstruct_inter(
@@ -628,6 +684,7 @@ impl Mpeg2Encoder {
         pcb: &[u8; 64],
         pcr: &[u8; 64],
     ) -> ([Block8; 6], u8) {
+        let _z = hdvb_trace::zone!(hdvb_trace::Stage::TransformQuant);
         let mut blocks = [[0i16; 64]; 6];
         let mut cbp = 0u8;
         #[allow(clippy::needless_range_loop)]
@@ -747,6 +804,7 @@ pub(crate) fn build_b_prediction(
     pcb: &mut [u8; 64],
     pcr: &mut [u8; 64],
 ) {
+    let _z = hdvb_trace::zone!(hdvb_trace::Stage::MotionComp);
     match mode {
         0 => predict_mb(dsp, fwd, mbx, mby, mv_f, py, pcb, pcr),
         1 => predict_mb(dsp, bwd, mbx, mby, mv_b, py, pcb, pcr),
@@ -779,6 +837,7 @@ pub(crate) fn reconstruct_inter(
     qscale: u16,
 ) {
     let aw = recon.width();
+    let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
     for b in 0..6 {
         let coded = cbp & (1 << (5 - b)) != 0;
         let (pred_slice, pred_stride): (&[u8], usize) = match b {

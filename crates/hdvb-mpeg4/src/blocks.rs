@@ -20,6 +20,7 @@ use hdvb_dsp::Block8;
 /// Debug-panics if the block is empty in the coded region (the caller
 /// must use the coded-block pattern for that case).
 pub(crate) fn write_coeffs(w: &mut BitWriter, block: &Block8, start: usize) {
+    let _z = hdvb_trace::zone!(hdvb_trace::Stage::EntropyCoding);
     let table = event_table();
     let last_pos = ZIGZAG[start..]
         .iter()
@@ -77,6 +78,7 @@ pub(crate) fn read_coeffs(
     start: usize,
 ) -> Result<(), CodecError> {
     let table = event_table();
+    let _z = hdvb_trace::zone!(hdvb_trace::Stage::EntropyCoding);
     let mut pos = start;
     loop {
         let symbol = table.decode(r)?;

@@ -69,7 +69,10 @@ impl Mpeg4Decoder {
         let ah = align_up(height, 16);
         let (mbs_x, mbs_y) = (aw / 16, ah / 16);
 
-        let mut recon = Frame::new(aw, ah);
+        let mut recon = {
+            let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
+            Frame::new(aw, ah)
+        };
         let mut mvs_full = MvField::new(mbs_x, mbs_y);
         let mut mvs_qpel = MvField::new(mbs_x, mbs_y);
         match frame_type {
@@ -140,25 +143,33 @@ impl Mpeg4Decoder {
         mby: usize,
         dc: &mut DcStores,
     ) -> Result<(), CodecError> {
-        let cbp = r.get_bits(6)? as u8;
-        for b in 0..6 {
-            let store = match b {
-                0..=3 => &mut dc.y,
-                4 => &mut dc.cb,
-                _ => &mut dc.cr,
-            };
-            let (gx, gy) = dc_coords(mbx, mby, b);
-            let pred = store.predict(gx, gy);
-            let dc_level = (pred + r.get_se()?).clamp(0, 255);
-            store.set(gx, gy, dc_level);
-            let mut block = [0i16; 64];
-            if cbp & (1 << (5 - b)) != 0 {
-                read_coeffs(r, &mut block, 1)?;
+        // First pass: entropy decode all six blocks and DC levels.
+        let mut blocks = [[0i16; 64]; 6];
+        let mut dc_levels = [0i32; 6];
+        {
+            let _z = hdvb_trace::zone!(hdvb_trace::Stage::EntropyCoding);
+            let cbp = r.get_bits(6)? as u8;
+            for b in 0..6 {
+                let store = match b {
+                    0..=3 => &mut dc.y,
+                    4 => &mut dc.cb,
+                    _ => &mut dc.cr,
+                };
+                let (gx, gy) = dc_coords(mbx, mby, b);
+                let pred = store.predict(gx, gy);
+                dc_levels[b] = (pred + r.get_se()?).clamp(0, 255);
+                store.set(gx, gy, dc_levels[b]);
+                if cbp & (1 << (5 - b)) != 0 {
+                    read_coeffs(r, &mut blocks[b], 1)?;
+                }
             }
-            self.dsp
-                .dequant8(&mut block, &MPEG_DEFAULT_INTRA, qscale, true);
-            block[0] = (dc_level * 8) as i16;
-            self.dsp.idct8(&mut block);
+        }
+        // Second pass: reconstruction.
+        let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
+        for (b, block) in blocks.iter_mut().enumerate() {
+            self.dsp.dequant8(block, &MPEG_DEFAULT_INTRA, qscale, true);
+            block[0] = (dc_levels[b] * 8) as i16;
+            self.dsp.idct8(block);
             let (plane, bx, by) = match b {
                 0..=3 => (
                     recon.y_mut(),
@@ -168,7 +179,7 @@ impl Mpeg4Decoder {
                 4 => (recon.cb_mut(), mbx * 8, mby * 8),
                 _ => (recon.cr_mut(), mbx * 8, mby * 8),
             };
-            store_block_clamped(plane, bx, by, &block);
+            store_block_clamped(plane, bx, by, block);
         }
         Ok(())
     }
@@ -285,13 +296,17 @@ impl Mpeg4Decoder {
         four_mv: bool,
         qscale: u16,
     ) -> Result<(), CodecError> {
-        let cbp = r.get_bits(6)? as u8;
         let mut blocks = [[0i16; 64]; 6];
-        for (i, b) in blocks.iter_mut().enumerate() {
-            if cbp & (1 << (5 - i)) != 0 {
-                read_coeffs(r, b, 0)?;
+        let cbp = {
+            let _z = hdvb_trace::zone!(hdvb_trace::Stage::EntropyCoding);
+            let cbp = r.get_bits(6)? as u8;
+            for (i, b) in blocks.iter_mut().enumerate() {
+                if cbp & (1 << (5 - i)) != 0 {
+                    read_coeffs(r, b, 0)?;
+                }
             }
-        }
+            cbp
+        };
         let (mut py, mut pcb, mut pcr) = ([0u8; 256], [0u8; 64], [0u8; 64]);
         predict_mb(
             &self.dsp, reference, mbx, mby, mvs, four_mv, &mut py, &mut pcb, &mut pcr,
@@ -376,13 +391,17 @@ impl Mpeg4Decoder {
                         row.mv_pred_bwd = mv_b;
                     }
                     row.last_b = (mode, mv_f, mv_b);
-                    let cbp = r.get_bits(6)? as u8;
                     let mut blocks = [[0i16; 64]; 6];
-                    for (i, b) in blocks.iter_mut().enumerate() {
-                        if cbp & (1 << (5 - i)) != 0 {
-                            read_coeffs(r, b, 0)?;
+                    let cbp = {
+                        let _z = hdvb_trace::zone!(hdvb_trace::Stage::EntropyCoding);
+                        let cbp = r.get_bits(6)? as u8;
+                        for (i, b) in blocks.iter_mut().enumerate() {
+                            if cbp & (1 << (5 - i)) != 0 {
+                                read_coeffs(r, b, 0)?;
+                            }
                         }
-                    }
+                        cbp
+                    };
                     build_b_prediction(
                         &self.dsp, &fwd, &bwd, mbx, mby, mode, mv_f, mv_b, &mut py, &mut pcb,
                         &mut pcr,

@@ -36,6 +36,8 @@ impl RefPicture {
         mvs_qpel: MvField,
         display_index: u32,
     ) -> Self {
+        // Reference-plane padding is part of motion compensation.
+        let _z = hdvb_trace::zone!(hdvb_trace::Stage::MotionComp);
         RefPicture {
             y: PaddedPlane::from_plane(frame.y(), LUMA_PAD),
             cb: PaddedPlane::from_plane(frame.cb(), CHROMA_PAD),
@@ -155,6 +157,7 @@ pub(crate) fn predict_mb(
     cb: &mut [u8; 64],
     cr: &mut [u8; 64],
 ) {
+    let _z = hdvb_trace::zone!(hdvb_trace::Stage::MotionComp);
     if four_mv {
         for k in 0..4 {
             let bx = mb_x * 16 + (k % 2) * 8;
@@ -213,6 +216,8 @@ fn replicate_into(src: &Plane, dst: &mut Plane) {
 /// Expands a frame to macroblock-aligned dimensions with edge
 /// replication.
 pub(crate) fn align_frame(frame: &Frame, aw: usize, ah: usize) -> Frame {
+    // Sample bookkeeping (copies/padding) counts as reconstruction.
+    let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
     if frame.width() == aw && frame.height() == ah {
         return frame.clone();
     }
@@ -225,6 +230,7 @@ pub(crate) fn align_frame(frame: &Frame, aw: usize, ah: usize) -> Frame {
 
 /// Crops an aligned frame back to picture dimensions.
 pub(crate) fn crop_frame(frame: &Frame, w: usize, h: usize) -> Frame {
+    let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
     if frame.width() == w && frame.height() == h {
         return frame.clone();
     }
@@ -292,6 +298,7 @@ pub(crate) fn build_b_prediction(
     pcb: &mut [u8; 64],
     pcr: &mut [u8; 64],
 ) {
+    let _z = hdvb_trace::zone!(hdvb_trace::Stage::MotionComp);
     match mode {
         0 => predict_mb(dsp, fwd, mbx, mby, &[mv_f; 4], false, py, pcb, pcr),
         1 => predict_mb(dsp, bwd, mbx, mby, &[mv_b; 4], false, py, pcb, pcr),
@@ -325,6 +332,7 @@ pub(crate) fn reconstruct_inter(
     cbp: u8,
     qscale: u16,
 ) {
+    let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
     for b in 0..6 {
         let coded = cbp & (1 << (5 - b)) != 0;
         let (pred_slice, pred_stride): (&[u8], usize) = match b {
@@ -429,7 +437,10 @@ impl Mpeg4Encoder {
                 actual: (frame.width(), frame.height()),
             });
         }
-        let scheduled = self.gop.push(frame.clone());
+        let scheduled = {
+            let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
+            self.gop.push(frame.clone())
+        };
         self.encode_scheduled(scheduled)
     }
 
@@ -457,15 +468,22 @@ impl Mpeg4Encoder {
         display_index: u32,
     ) -> Result<Packet, CodecError> {
         let cur = align_frame(frame, self.aw, self.ah);
-        let mut w = BitWriter::with_capacity(self.aw * self.ah / 4);
-        w.put_bits(MAGIC, 16);
-        w.put_bits(frame_type.to_bits(), 2);
-        w.put_bits(display_index, 32);
-        w.put_ue(self.config.width as u32);
-        w.put_ue(self.config.height as u32);
-        w.put_ue(u32::from(self.config.qscale));
+        let mut w = {
+            let _z = hdvb_trace::zone!(hdvb_trace::Stage::EntropyCoding);
+            let mut w = BitWriter::with_capacity(self.aw * self.ah / 4);
+            w.put_bits(MAGIC, 16);
+            w.put_bits(frame_type.to_bits(), 2);
+            w.put_bits(display_index, 32);
+            w.put_ue(self.config.width as u32);
+            w.put_ue(self.config.height as u32);
+            w.put_ue(u32::from(self.config.qscale));
+            w
+        };
 
-        let mut recon = Frame::new(self.aw, self.ah);
+        let mut recon = {
+            let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
+            Frame::new(self.aw, self.ah)
+        };
         let mut mvs_full = MvField::new(self.mbs_x, self.mbs_y);
         let mut mvs_qpel = MvField::new(self.mbs_x, self.mbs_y);
         match frame_type {
@@ -479,8 +497,12 @@ impl Mpeg4Encoder {
             self.prev_anchor = self.last_anchor.take();
             self.last_anchor = Some(reference);
         }
+        let data = {
+            let _z = hdvb_trace::zone!(hdvb_trace::Stage::EntropyCoding);
+            w.finish()
+        };
         Ok(Packet {
-            data: w.finish(),
+            data,
             frame_type,
             display_index,
         })
@@ -511,42 +533,54 @@ impl Mpeg4Encoder {
         let mut coded = [[0i16; 64]; 6];
         let mut dcs = [0i32; 6];
         let mut cbp = 0u8;
-        for b in 0..6 {
-            let (plane, _, _, bx, by) = intra_geometry(cur, mbx, mby, b);
-            let mut block = load_block(plane, bx, by);
-            self.dsp.fdct8(&mut block);
-            dcs[b] = ((i32::from(block[0]) + 4) >> 3).clamp(0, 255);
-            block[0] = 0;
-            let nz = self
-                .dsp
-                .quant8(&mut block, &MPEG_DEFAULT_INTRA, self.config.qscale, true);
-            if nz > 0 {
-                cbp |= 1 << (5 - b);
+        {
+            let _z = hdvb_trace::zone!(hdvb_trace::Stage::TransformQuant);
+            for b in 0..6 {
+                let (plane, _, _, bx, by) = intra_geometry(cur, mbx, mby, b);
+                let mut block = load_block(plane, bx, by);
+                self.dsp.fdct8(&mut block);
+                dcs[b] = ((i32::from(block[0]) + 4) >> 3).clamp(0, 255);
+                block[0] = 0;
+                let nz = self
+                    .dsp
+                    .quant8(&mut block, &MPEG_DEFAULT_INTRA, self.config.qscale, true);
+                if nz > 0 {
+                    cbp |= 1 << (5 - b);
+                }
+                coded[b] = block;
             }
-            coded[b] = block;
         }
-        w.put_bits(u32::from(cbp), 6);
-        for b in 0..6 {
-            let store = match b {
-                0..=3 => &mut dc.y,
-                4 => &mut dc.cb,
-                _ => &mut dc.cr,
-            };
-            let (gx, gy) = dc_coords(mbx, mby, b);
-            let pred = store.predict(gx, gy);
-            w.put_se(dcs[b] - pred);
-            store.set(gx, gy, dcs[b]);
-            if cbp & (1 << (5 - b)) != 0 {
-                write_coeffs(w, &coded[b], 1);
+        // Second pass: DC prediction and bitstream writes.
+        {
+            let _z = hdvb_trace::zone!(hdvb_trace::Stage::EntropyCoding);
+            w.put_bits(u32::from(cbp), 6);
+            for b in 0..6 {
+                let store = match b {
+                    0..=3 => &mut dc.y,
+                    4 => &mut dc.cb,
+                    _ => &mut dc.cr,
+                };
+                let (gx, gy) = dc_coords(mbx, mby, b);
+                let pred = store.predict(gx, gy);
+                w.put_se(dcs[b] - pred);
+                store.set(gx, gy, dcs[b]);
+                if cbp & (1 << (5 - b)) != 0 {
+                    write_coeffs(w, &coded[b], 1);
+                }
             }
-            // Reconstruction.
-            let mut block = coded[b];
-            self.dsp
-                .dequant8(&mut block, &MPEG_DEFAULT_INTRA, self.config.qscale, true);
-            block[0] = (dcs[b] * 8) as i16;
-            self.dsp.idct8(&mut block);
-            let (_, rplane, bx, by) = intra_recon_geometry(recon, mbx, mby, b);
-            store_block_clamped(rplane, bx, by, &block);
+        }
+        // Third pass: reconstruction.
+        {
+            let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
+            for b in 0..6 {
+                let mut block = coded[b];
+                self.dsp
+                    .dequant8(&mut block, &MPEG_DEFAULT_INTRA, self.config.qscale, true);
+                block[0] = (dcs[b] * 8) as i16;
+                self.dsp.idct8(&mut block);
+                let (_, rplane, bx, by) = intra_recon_geometry(recon, mbx, mby, b);
+                store_block_clamped(rplane, bx, by, &block);
+            }
         }
     }
 
@@ -566,6 +600,9 @@ impl Mpeg4Encoder {
         let mut dc = DcStores::new(self.mbs_x, self.mbs_y);
         for mby in 0..self.mbs_y {
             for mbx in 0..self.mbs_x {
+                // One motion-estimation zone spans the full-pel search,
+                // sub-pel refinement, four-MV trial and mode decision.
+                let me_zone = hdvb_trace::zone!(hdvb_trace::Stage::MotionEstimation);
                 let median = median_pred(qfield, mbx, mby);
                 // Full-pel EPZS.
                 let preds = Predictors::gather(mvs_full, &reference.mvs_fullpel, mbx, mby);
@@ -632,6 +669,7 @@ impl Mpeg4Encoder {
                 };
 
                 let intra_cost = self.mb_intra_activity(cur, mbx, mby);
+                drop(me_zone);
                 if intra_cost + 2048 < inter_cost {
                     w.put_bit(false);
                     w.put_bits(2, 2); // intra mode
@@ -664,30 +702,33 @@ impl Mpeg4Encoder {
                     qfield.set(mbx, mby, Mv::ZERO);
                     continue;
                 }
-                w.put_bit(false);
-                if four_mv {
-                    w.put_bits(1, 2);
-                    let mut pred = median;
-                    #[allow(clippy::needless_range_loop)]
-                    for k in 0..4 {
-                        w.put_se(i32::from(sel_mvs[k].x - pred.x));
-                        w.put_se(i32::from(sel_mvs[k].y - pred.y));
-                        pred = sel_mvs[k];
+                {
+                    let _z = hdvb_trace::zone!(hdvb_trace::Stage::EntropyCoding);
+                    w.put_bit(false);
+                    if four_mv {
+                        w.put_bits(1, 2);
+                        let mut pred = median;
+                        #[allow(clippy::needless_range_loop)]
+                        for k in 0..4 {
+                            w.put_se(i32::from(sel_mvs[k].x - pred.x));
+                            w.put_se(i32::from(sel_mvs[k].y - pred.y));
+                            pred = sel_mvs[k];
+                        }
+                        // Field entry: component-wise mean of the four.
+                        let ax = (sel_mvs.iter().map(|m| i32::from(m.x)).sum::<i32>() >> 2) as i16;
+                        let ay = (sel_mvs.iter().map(|m| i32::from(m.y)).sum::<i32>() >> 2) as i16;
+                        qfield.set(mbx, mby, Mv::new(ax, ay));
+                    } else {
+                        w.put_bits(0, 2);
+                        w.put_se(i32::from(sel_mvs[0].x - median.x));
+                        w.put_se(i32::from(sel_mvs[0].y - median.y));
+                        qfield.set(mbx, mby, sel_mvs[0]);
                     }
-                    // Field entry: component-wise mean of the four.
-                    let ax = (sel_mvs.iter().map(|m| i32::from(m.x)).sum::<i32>() >> 2) as i16;
-                    let ay = (sel_mvs.iter().map(|m| i32::from(m.y)).sum::<i32>() >> 2) as i16;
-                    qfield.set(mbx, mby, Mv::new(ax, ay));
-                } else {
-                    w.put_bits(0, 2);
-                    w.put_se(i32::from(sel_mvs[0].x - median.x));
-                    w.put_se(i32::from(sel_mvs[0].y - median.y));
-                    qfield.set(mbx, mby, sel_mvs[0]);
-                }
-                w.put_bits(u32::from(cbp), 6);
-                for (i, b) in blocks.iter().enumerate() {
-                    if cbp & (1 << (5 - i)) != 0 {
-                        write_coeffs(w, b, 0);
+                    w.put_bits(u32::from(cbp), 6);
+                    for (i, b) in blocks.iter().enumerate() {
+                        if cbp & (1 << (5 - i)) != 0 {
+                            write_coeffs(w, b, 0);
+                        }
                     }
                 }
                 reconstruct_inter(
@@ -722,6 +763,9 @@ impl Mpeg4Encoder {
         for mby in 0..self.mbs_y {
             let mut row = BRowState::new();
             for mbx in 0..self.mbs_x {
+                // Both directions' searches, the bi-prediction trial and
+                // the mode decision are one motion-estimation zone.
+                let me_zone = hdvb_trace::zone!(hdvb_trace::Stage::MotionEstimation);
                 let block16 = BlockRef {
                     plane: cur.y(),
                     x: mbx * 16,
@@ -797,6 +841,7 @@ impl Mpeg4Encoder {
                     .min_by_key(|&(_, c)| c)
                     .map(|(i, c)| (i as u8, c))
                     .unwrap_or((0, u32::MAX));
+                drop(me_zone);
                 if intra_cost + 2048 < best_cost {
                     w.put_bit(false);
                     w.put_bits(3, 2);
@@ -834,22 +879,25 @@ impl Mpeg4Encoder {
                     );
                     continue;
                 }
-                w.put_bit(false);
-                w.put_bits(u32::from(mode), 2);
-                if mode == 0 || mode == 2 {
-                    w.put_se(i32::from(mv_f.x - row.mv_pred.x));
-                    w.put_se(i32::from(mv_f.y - row.mv_pred.y));
-                    row.mv_pred = mv_f;
-                }
-                if mode == 1 || mode == 2 {
-                    w.put_se(i32::from(mv_b.x - row.mv_pred_bwd.x));
-                    w.put_se(i32::from(mv_b.y - row.mv_pred_bwd.y));
-                    row.mv_pred_bwd = mv_b;
-                }
-                w.put_bits(u32::from(cbp), 6);
-                for (i, bl) in blocks.iter().enumerate() {
-                    if cbp & (1 << (5 - i)) != 0 {
-                        write_coeffs(w, bl, 0);
+                {
+                    let _z = hdvb_trace::zone!(hdvb_trace::Stage::EntropyCoding);
+                    w.put_bit(false);
+                    w.put_bits(u32::from(mode), 2);
+                    if mode == 0 || mode == 2 {
+                        w.put_se(i32::from(mv_f.x - row.mv_pred.x));
+                        w.put_se(i32::from(mv_f.y - row.mv_pred.y));
+                        row.mv_pred = mv_f;
+                    }
+                    if mode == 1 || mode == 2 {
+                        w.put_se(i32::from(mv_b.x - row.mv_pred_bwd.x));
+                        w.put_se(i32::from(mv_b.y - row.mv_pred_bwd.y));
+                        row.mv_pred_bwd = mv_b;
+                    }
+                    w.put_bits(u32::from(cbp), 6);
+                    for (i, bl) in blocks.iter().enumerate() {
+                        if cbp & (1 << (5 - i)) != 0 {
+                            write_coeffs(w, bl, 0);
+                        }
                     }
                 }
                 reconstruct_inter(
@@ -884,6 +932,7 @@ impl Mpeg4Encoder {
         pred_qpel: Mv,
         lambda: u32,
     ) -> (Mv, u32) {
+        let _z = hdvb_trace::zone!(hdvb_trace::Stage::MotionEstimation);
         let (bx, by, bw, bh) = if sub == 0 {
             (mbx * 16, mby * 16, 16, 16)
         } else {
@@ -952,6 +1001,7 @@ impl Mpeg4Encoder {
         let mut blocks = [[0i16; 64]; 6];
         let mut cbp = 0u8;
         let aw = self.aw;
+        let _z = hdvb_trace::zone!(hdvb_trace::Stage::TransformQuant);
         for b in 0..6 {
             let (cur_slice, cur_stride, pred_slice, pred_stride): (&[u8], usize, &[u8], usize) =
                 match b {

@@ -35,10 +35,18 @@ struct Shared {
     busy_nanos: Vec<AtomicU64>,
     /// Per-worker completed-task counts.
     tasks_run: Vec<AtomicU64>,
+    /// Per-worker counts of tasks obtained from another worker's deque.
+    steals: Vec<AtomicU64>,
+    /// Per-worker counts of condvar parks.
+    parks: Vec<AtomicU64>,
+    /// Per-worker nanoseconds spent parked waiting for work.
+    idle_nanos: Vec<AtomicU64>,
     /// Busy nanoseconds contributed by scope-waiting caller threads.
     caller_busy_nanos: AtomicU64,
     /// Tasks run by scope-waiting caller threads.
     caller_tasks: AtomicU64,
+    /// Steals performed by scope-waiting caller threads.
+    caller_steals: AtomicU64,
 }
 
 impl Shared {
@@ -56,19 +64,20 @@ impl Shared {
     }
 
     /// Pops a task: own deque first (LIFO), then the injector, then
-    /// steals from the other workers (FIFO).
-    fn find_task(&self, me: Option<usize>) -> Option<Task> {
+    /// steals from the other workers (FIFO). The flag is `true` when the
+    /// task came from *another* worker's deque (a steal).
+    fn find_task(&self, me: Option<usize>) -> Option<(Task, bool)> {
         if let Some(i) = me {
             if let Some(t) = self.locals[i]
                 .lock()
                 .expect("local queue poisoned")
                 .pop_back()
             {
-                return Some(t);
+                return Some((t, false));
             }
         }
         if let Some(t) = self.injector.lock().expect("injector poisoned").pop_front() {
-            return Some(t);
+            return Some((t, false));
         }
         let n = self.locals.len();
         let start = me.map_or(0, |i| i + 1);
@@ -82,7 +91,7 @@ impl Shared {
                 .expect("local queue poisoned")
                 .pop_front()
             {
-                return Some(t);
+                return Some((t, true));
             }
         }
         None
@@ -90,7 +99,12 @@ impl Shared {
 
     /// Runs one task with panic isolation, attributing its busy time to
     /// worker `slot` (or to the caller counters when `None`).
-    fn run_task(&self, slot: Option<usize>, task: Task) {
+    fn run_task(&self, slot: Option<usize>, task: Task, stolen: bool) {
+        let _span = hdvb_trace::span!(hdvb_trace::Stage::Task);
+        hdvb_trace::counter_add(hdvb_trace::Counter::Executed, 1);
+        if stolen {
+            hdvb_trace::counter_add(hdvb_trace::Counter::Steal, 1);
+        }
         let t0 = Instant::now();
         // A panicking task must poison only its own job: scope/par_map
         // wrappers record the payload; this backstop keeps the worker
@@ -101,10 +115,16 @@ impl Shared {
             Some(i) => {
                 self.busy_nanos[i].fetch_add(nanos, Ordering::Relaxed);
                 self.tasks_run[i].fetch_add(1, Ordering::Relaxed);
+                if stolen {
+                    self.steals[i].fetch_add(1, Ordering::Relaxed);
+                }
             }
             None => {
                 self.caller_busy_nanos.fetch_add(nanos, Ordering::Relaxed);
                 self.caller_tasks.fetch_add(1, Ordering::Relaxed);
+                if stolen {
+                    self.caller_steals.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
     }
@@ -113,8 +133,8 @@ impl Shared {
 fn worker_loop(shared: Arc<Shared>, index: usize) {
     WORKER.set(Some((shared.identity(), index)));
     loop {
-        if let Some(task) = shared.find_task(Some(index)) {
-            shared.run_task(Some(index), task);
+        if let Some((task, stolen)) = shared.find_task(Some(index)) {
+            shared.run_task(Some(index), task, stolen);
             continue;
         }
         let guard = shared.shutdown.lock().expect("shutdown flag poisoned");
@@ -128,7 +148,12 @@ fn worker_loop(shared: Arc<Shared>, index: usize) {
         if *guard {
             break;
         }
+        shared.parks[index].fetch_add(1, Ordering::Relaxed);
+        hdvb_trace::counter_add(hdvb_trace::Counter::Park, 1);
+        let _idle_span = hdvb_trace::span!(hdvb_trace::Stage::WorkerIdle);
+        let t0 = Instant::now();
         drop(shared.wakeup.wait(guard).expect("worker park poisoned"));
+        shared.idle_nanos[index].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
 }
 
@@ -151,8 +176,12 @@ impl ThreadPool {
             wakeup: Condvar::new(),
             busy_nanos: (0..threads).map(|_| AtomicU64::new(0)).collect(),
             tasks_run: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+            steals: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+            parks: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+            idle_nanos: (0..threads).map(|_| AtomicU64::new(0)).collect(),
             caller_busy_nanos: AtomicU64::new(0),
             caller_tasks: AtomicU64::new(0),
+            caller_steals: AtomicU64::new(0),
         });
         let handles = (0..threads)
             .map(|i| {
@@ -265,8 +294,8 @@ impl ThreadPool {
             if *state.remaining.lock().expect("scope counter poisoned") == 0 {
                 return;
             }
-            if let Some(task) = self.shared.find_task(me) {
-                self.shared.run_task(me, task);
+            if let Some((task, stolen)) = self.shared.find_task(me) {
+                self.shared.run_task(me, task, stolen);
                 continue;
             }
             let remaining = state.remaining.lock().expect("scope counter poisoned");
@@ -349,6 +378,9 @@ impl ThreadPool {
             .map(|i| WorkerStats {
                 busy: Duration::from_nanos(self.shared.busy_nanos[i].load(Ordering::Relaxed)),
                 tasks: self.shared.tasks_run[i].load(Ordering::Relaxed),
+                steals: self.shared.steals[i].load(Ordering::Relaxed),
+                parks: self.shared.parks[i].load(Ordering::Relaxed),
+                idle: Duration::from_nanos(self.shared.idle_nanos[i].load(Ordering::Relaxed)),
             })
             .collect();
         PoolStats {
@@ -356,20 +388,29 @@ impl ThreadPool {
             caller: WorkerStats {
                 busy: Duration::from_nanos(self.shared.caller_busy_nanos.load(Ordering::Relaxed)),
                 tasks: self.shared.caller_tasks.load(Ordering::Relaxed),
+                steals: self.shared.caller_steals.load(Ordering::Relaxed),
+                parks: 0,
+                idle: Duration::ZERO,
             },
         }
     }
 
     /// Zeroes the statistics counters (e.g. between measurement phases).
     pub fn reset_stats(&self) {
-        for c in &self.shared.busy_nanos {
-            c.store(0, Ordering::Relaxed);
-        }
-        for c in &self.shared.tasks_run {
-            c.store(0, Ordering::Relaxed);
+        for counters in [
+            &self.shared.busy_nanos,
+            &self.shared.tasks_run,
+            &self.shared.steals,
+            &self.shared.parks,
+            &self.shared.idle_nanos,
+        ] {
+            for c in counters.iter() {
+                c.store(0, Ordering::Relaxed);
+            }
         }
         self.shared.caller_busy_nanos.store(0, Ordering::Relaxed);
         self.shared.caller_tasks.store(0, Ordering::Relaxed);
+        self.shared.caller_steals.store(0, Ordering::Relaxed);
     }
 }
 
@@ -478,6 +519,12 @@ pub struct WorkerStats {
     pub busy: Duration,
     /// Number of tasks the worker completed.
     pub tasks: u64,
+    /// Tasks obtained from another worker's deque.
+    pub steals: u64,
+    /// Times the worker parked on the wakeup condvar.
+    pub parks: u64,
+    /// Time spent parked waiting for work.
+    pub idle: Duration,
 }
 
 /// Snapshot of the whole pool's activity.
@@ -624,6 +671,64 @@ mod tests {
         assert_eq!(stats.workers.len(), 2);
         assert_eq!(stats.total_tasks(), 32);
         assert!(stats.total_busy() > Duration::ZERO);
+    }
+
+    #[test]
+    fn stats_track_steals_and_parks() {
+        let pool = ThreadPool::new(4);
+        pool.reset_stats();
+        // Tasks submitted from outside land in the injector, so a first
+        // round warms the workers; spawning from inside a worker fills
+        // that worker's own deque, which others must steal from.
+        pool.par_map((0..4u32).collect::<Vec<_>>(), |_| {
+            std::thread::sleep(Duration::from_millis(1));
+        })
+        .unwrap();
+        pool.scope(|s| {
+            s.spawn(|| {
+                // Runs on some worker; its children go to that worker's
+                // local deque where the three idle workers steal them.
+                std::thread::scope(|_| {});
+            });
+        });
+        // Let the pool go fully idle so park counts accumulate.
+        std::thread::sleep(Duration::from_millis(5));
+        let stats = pool.stats();
+        assert_eq!(stats.total_tasks(), 5);
+        let parks: u64 = stats.workers.iter().map(|w| w.parks).sum();
+        assert!(parks > 0, "workers never parked");
+        let idle: Duration = stats.workers.iter().map(|w| w.idle).sum();
+        assert!(idle > Duration::ZERO, "no idle time recorded");
+        // Steals never exceed executed tasks.
+        let steals: u64 = stats.workers.iter().map(|w| w.steals).sum::<u64>() + stats.caller.steals;
+        assert!(steals <= stats.total_tasks());
+    }
+
+    #[test]
+    fn tracing_records_task_spans_and_counters() {
+        let _gate = hdvb_trace_test_gate();
+        hdvb_trace::set_enabled(true);
+        hdvb_trace::reset();
+        {
+            let pool = ThreadPool::new(2);
+            pool.par_map((0..16u32).collect::<Vec<_>>(), |x| x * 2)
+                .unwrap();
+        }
+        hdvb_trace::set_enabled(false);
+        let report = hdvb_trace::collect();
+        // Sibling tests may run pool tasks concurrently while the flag
+        // is up, so assert a lower bound rather than exact equality.
+        assert!(
+            report.counter_total(hdvb_trace::Counter::Executed) >= 16,
+            "every task body produces one Executed count"
+        );
+        assert!(report.stage_count(hdvb_trace::Stage::Task) >= 16);
+    }
+
+    /// Serialises tests that toggle the process-global trace flag.
+    fn hdvb_trace_test_gate() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     #[test]

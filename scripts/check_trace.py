@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Validates an hdvb chrome-trace export (stdlib only, CI-friendly).
+
+Usage: python3 scripts/check_trace.py trace.json
+Checks the invariants the chrome://tracing / Perfetto importer relies
+on: a top-level object with a "traceEvents" array, every event carrying
+pid/tid/name and a known phase, complete ("X") events with non-negative
+microsecond timestamps that nest properly per thread, and at least one
+span recorded. Exits 0 and prints a one-line summary on success; exits
+1 with the first violation otherwise.
+"""
+
+import collections
+import json
+import pathlib
+import sys
+
+KNOWN_PHASES = {"X", "M", "C"}
+
+
+def fail(msg: str) -> None:
+    print(f"check_trace: FAIL: {msg}")
+    sys.exit(1)
+
+
+def check_event(i: int, ev: dict) -> None:
+    if not isinstance(ev, dict):
+        fail(f"event {i}: not an object")
+    for key in ("ph", "pid", "tid", "name"):
+        if key not in ev:
+            fail(f"event {i}: missing {key!r}")
+    ph = ev["ph"]
+    if ph not in KNOWN_PHASES:
+        fail(f"event {i}: unknown phase {ph!r}")
+    if ph == "X":
+        for key in ("ts", "dur"):
+            v = ev.get(key)
+            if not isinstance(v, (int, float)) or v < 0:
+                fail(f"event {i}: bad {key!r}: {v!r}")
+    if ph == "M" and ev["name"] != "thread_name":
+        fail(f"event {i}: unexpected metadata record {ev['name']!r}")
+    if ph == "C" and not isinstance(ev.get("args"), dict):
+        fail(f"event {i}: counter without args object")
+
+
+def check_nesting(events: list) -> None:
+    """Spans on one thread must nest: sorted by start, each span either
+    contains the next or ends before it starts (1 us slack for the
+    export's microsecond rounding)."""
+    per_tid = collections.defaultdict(list)
+    for ev in events:
+        if ev["ph"] == "X":
+            per_tid[ev["tid"]].append((ev["ts"], ev["ts"] + ev["dur"]))
+    for tid, spans in per_tid.items():
+        spans.sort()
+        stack = []
+        for start, end in spans:
+            while stack and stack[-1] <= start + 1:
+                stack.pop()
+            if stack and end > stack[-1] + 1:
+                fail(f"tid {tid}: span [{start}, {end}] crosses enclosing span end {stack[-1]}")
+            stack.append(end)
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        print(__doc__.strip())
+        sys.exit(2)
+    path = pathlib.Path(sys.argv[1])
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, ValueError) as e:
+        fail(f"cannot load {path}: {e}")
+    if not isinstance(doc, dict):
+        fail("top level is not an object")
+    if doc.get("displayTimeUnit") not in (None, "ms", "ns"):
+        fail(f"bad displayTimeUnit {doc.get('displayTimeUnit')!r}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("traceEvents missing or not an array")
+    for i, ev in enumerate(events):
+        check_event(i, ev)
+    spans = [ev for ev in events if ev["ph"] == "X"]
+    if not spans:
+        fail("no complete (ph=X) span events — nothing was traced")
+    check_nesting(events)
+    threads = {ev["tid"] for ev in spans}
+    names = collections.Counter(ev["name"] for ev in spans)
+    top = ", ".join(f"{n}×{c}" for n, c in names.most_common(4))
+    print(
+        f"check_trace: OK: {len(spans)} spans on {len(threads)} thread(s), "
+        f"{len(events)} events ({top})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -11,13 +11,29 @@ cargo fmt --check
 echo "==> cargo clippy (all targets, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --release (workspace, including the hdvb binary)"
+cargo build --release --workspace
 
 echo "==> cargo test (HDVB_SIMD=scalar)"
 HDVB_SIMD=scalar cargo test -q --workspace
 
 echo "==> cargo test (HDVB_SIMD=auto)"
 HDVB_SIMD=auto cargo test -q --workspace
+
+echo "==> traced smoke encode + chrome-trace check"
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+./target/release/hdvb encode --codec h264 --sequence rush_hour \
+    --resolution 96x80 --frames 4 --trace "$tmpdir/trace.json" \
+    -o "$tmpdir/out.hvb" 2> "$tmpdir/summary.txt"
+python3 scripts/check_trace.py "$tmpdir/trace.json"
+grep -q "stage coverage of encode_frame" "$tmpdir/summary.txt" || {
+    echo "traced encode printed no stage-coverage summary" >&2
+    cat "$tmpdir/summary.txt" >&2
+    exit 1
+}
+
+echo "==> disabled-path overhead guard (probe must stay one atomic load)"
+cargo test -q -p hdvb-trace disabled_probe_is_cheap
 
 echo "CI green."

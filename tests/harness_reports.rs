@@ -60,12 +60,14 @@ fn figure1_report_from_live_measurements() {
             decode: true,
             tier: simd,
             fps: dec,
+            stages: [[0; 6]; 3],
         });
         rows.push(Figure1Row {
             resolution,
             decode: false,
             tier: simd,
             fps: enc,
+            stages: [[0; 6]; 3],
         });
     }
     let md = figure1_markdown(&rows);
@@ -73,6 +75,352 @@ fn figure1_report_from_live_measurements() {
         assert!(md.contains(part), "missing subfigure {part}:\n{md}");
     }
     assert!(md.contains("SIMD speed-up"));
+}
+
+/// A strict JSON reader for validating the chrome-trace export: no
+/// trailing commas, exact literal/number/escape grammar, nothing after
+/// the top-level value. Any deviation the real chrome://tracing /
+/// Perfetto importer would reject is an `Err` here.
+mod strict_json {
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        Num(f64),
+        Str(String),
+        Arr(Vec<Value>),
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_num(&self) -> Option<f64> {
+            match self {
+                Value::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        /// Re-serialises the value; `parse(write(v)) == v` is the
+        /// round-trip property under test.
+        pub fn write(&self) -> String {
+            match self {
+                Value::Null => "null".to_string(),
+                Value::Bool(b) => b.to_string(),
+                Value::Num(n) => {
+                    if n.fract() == 0.0 && n.abs() < 1e15 {
+                        format!("{}", *n as i64)
+                    } else {
+                        format!("{n}")
+                    }
+                }
+                Value::Str(s) => {
+                    let mut out = String::from("\"");
+                    for c in s.chars() {
+                        match c {
+                            '"' => out.push_str("\\\""),
+                            '\\' => out.push_str("\\\\"),
+                            '\n' => out.push_str("\\n"),
+                            '\t' => out.push_str("\\t"),
+                            '\r' => out.push_str("\\r"),
+                            c if (c as u32) < 0x20 => {
+                                out.push_str(&format!("\\u{:04x}", c as u32));
+                            }
+                            c => out.push(c),
+                        }
+                    }
+                    out.push('"');
+                    out
+                }
+                Value::Arr(items) => {
+                    let inner: Vec<String> = items.iter().map(Value::write).collect();
+                    format!("[{}]", inner.join(","))
+                }
+                Value::Obj(pairs) => {
+                    let inner: Vec<String> = pairs
+                        .iter()
+                        .map(|(k, v)| format!("{}:{}", Value::Str(k.clone()).write(), v.write()))
+                        .collect();
+                    format!("{{{}}}", inner.join(","))
+                }
+            }
+        }
+    }
+
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let b = text.as_bytes();
+        let mut pos = 0;
+        let v = value(b, &mut pos)?;
+        ws(b, &mut pos);
+        if pos != b.len() {
+            return Err(format!("trailing bytes at offset {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        if *pos < b.len() && b[*pos] == c {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at offset {pos}", c as char))
+        }
+    }
+
+    fn value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        ws(b, pos);
+        match b.get(*pos) {
+            Some(b'{') => object(b, pos),
+            Some(b'[') => array(b, pos),
+            Some(b'"') => Ok(Value::Str(string(b, pos)?)),
+            Some(b't') => literal(b, pos, "true", Value::Bool(true)),
+            Some(b'f') => literal(b, pos, "false", Value::Bool(false)),
+            Some(b'n') => literal(b, pos, "null", Value::Null),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, pos),
+            other => Err(format!("unexpected {other:?} at offset {pos}")),
+        }
+    }
+
+    fn literal(b: &[u8], pos: &mut usize, word: &str, v: Value) -> Result<Value, String> {
+        if b[*pos..].starts_with(word.as_bytes()) {
+            *pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at offset {pos}"))
+        }
+    }
+
+    fn object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(b, pos, b'{')?;
+        let mut pairs = Vec::new();
+        ws(b, pos);
+        if b.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Obj(pairs));
+        }
+        loop {
+            ws(b, pos);
+            let key = string(b, pos)?;
+            ws(b, pos);
+            expect(b, pos, b':')?;
+            pairs.push((key, value(b, pos)?));
+            ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Obj(pairs));
+                }
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+
+    fn array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(b, pos, b'[')?;
+        let mut items = Vec::new();
+        ws(b, pos);
+        if b.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(value(b, pos)?);
+            ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                other => return Err(format!("expected ',' or ']', got {other:?}")),
+            }
+        }
+    }
+
+    fn string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(b, pos, b'"')?;
+        let mut out = Vec::new();
+        loop {
+            match b.get(*pos) {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    *pos += 1;
+                    return String::from_utf8(out).map_err(|e| e.to_string());
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match b.get(*pos) {
+                        Some(b'"') => out.push(b'"'),
+                        Some(b'\\') => out.push(b'\\'),
+                        Some(b'/') => out.push(b'/'),
+                        Some(b'b') => out.push(0x08),
+                        Some(b'f') => out.push(0x0c),
+                        Some(b'n') => out.push(b'\n'),
+                        Some(b'r') => out.push(b'\r'),
+                        Some(b't') => out.push(b'\t'),
+                        Some(b'u') => {
+                            let hex = b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| format!("bad \\u escape: {e}"))?;
+                            let c = char::from_u32(code).ok_or("surrogate in \\u escape")?;
+                            let mut buf = [0u8; 4];
+                            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                            *pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    *pos += 1;
+                }
+                Some(&c) if c < 0x20 => {
+                    return Err(format!("raw control byte {c:#x} in string"));
+                }
+                Some(&c) => {
+                    out.push(c);
+                    *pos += 1;
+                }
+            }
+        }
+    }
+
+    fn number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        if b.get(*pos) == Some(&b'-') {
+            *pos += 1;
+        }
+        // Integer part: "0" or nonzero-led digits (leading zeros are
+        // not valid JSON).
+        match b.get(*pos) {
+            Some(b'0') => *pos += 1,
+            Some(c) if c.is_ascii_digit() => {
+                while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+                    *pos += 1;
+                }
+            }
+            _ => return Err(format!("bad number at offset {start}")),
+        }
+        if b.get(*pos) == Some(&b'.') {
+            *pos += 1;
+            if !b.get(*pos).is_some_and(u8::is_ascii_digit) {
+                return Err(format!("bad fraction at offset {pos}"));
+            }
+            while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+                *pos += 1;
+            }
+        }
+        if matches!(b.get(*pos), Some(b'e' | b'E')) {
+            *pos += 1;
+            if matches!(b.get(*pos), Some(b'+' | b'-')) {
+                *pos += 1;
+            }
+            if !b.get(*pos).is_some_and(u8::is_ascii_digit) {
+                return Err(format!("bad exponent at offset {pos}"));
+            }
+            while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+                *pos += 1;
+            }
+        }
+        std::str::from_utf8(&b[start..*pos])
+            .map_err(|e| e.to_string())?
+            .parse::<f64>()
+            .map(Value::Num)
+            .map_err(|e| e.to_string())
+    }
+}
+
+/// The chrome-trace export from a real traced encode+decode parses
+/// under the strict grammar, has the Trace Event structure Perfetto
+/// needs, and survives a parse → write → parse round trip unchanged.
+#[test]
+fn chrome_trace_export_round_trips_as_strict_json() {
+    use hd_videobench::trace;
+
+    trace::reset();
+    trace::set_enabled(true);
+    let seq = Sequence::new(SequenceId::BlueSky, Resolution::new(96, 80));
+    measure_figure1_row(CodecId::Mpeg2, seq, 4, &CodingOptions::default()).unwrap();
+    trace::set_enabled(false);
+    let json = trace::collect().chrome_trace_json();
+
+    let doc = strict_json::parse(&json).expect("export must be strict JSON");
+    assert_eq!(
+        doc.get("displayTimeUnit").and_then(|v| v.as_str()),
+        Some("ms")
+    );
+    let strict_json::Value::Arr(events) = doc.get("traceEvents").expect("traceEvents") else {
+        panic!("traceEvents must be an array");
+    };
+    assert!(!events.is_empty(), "traced run must produce events");
+    let mut complete = 0;
+    for ev in events {
+        let ph = ev.get("ph").and_then(|v| v.as_str()).expect("ph");
+        assert!(
+            ["X", "M", "C"].contains(&ph),
+            "unexpected event phase {ph:?}"
+        );
+        assert!(ev.get("pid").and_then(|v| v.as_num()).is_some());
+        assert!(ev.get("tid").and_then(|v| v.as_num()).is_some());
+        assert!(ev.get("name").and_then(|v| v.as_str()).is_some());
+        if ph == "X" {
+            complete += 1;
+            let ts = ev.get("ts").and_then(|v| v.as_num()).expect("ts");
+            let dur = ev.get("dur").and_then(|v| v.as_num()).expect("dur");
+            assert!(ts >= 0.0 && dur >= 0.0, "negative timestamp");
+        }
+    }
+    assert!(complete > 0, "no complete (ph=X) span events");
+
+    let rewritten = doc.write();
+    let doc2 = strict_json::parse(&rewritten).expect("re-serialised JSON must parse");
+    assert_eq!(doc, doc2, "parse→write→parse must be lossless");
+}
+
+/// Traced Figure-1 rows render the per-stage attribution table.
+#[test]
+fn figure1_markdown_renders_stage_attribution() {
+    let row = Figure1Row {
+        resolution: Resolution::DVD_576,
+        decode: false,
+        tier: SimdLevel::Scalar,
+        fps: [10.0, 12.0, 6.0],
+        stages: [[50, 10, 15, 10, 15, 0]; 3],
+    };
+    assert!(row.has_stages());
+    let md = figure1_markdown(std::slice::from_ref(&row));
+    assert!(
+        md.contains("motion_estimation %"),
+        "missing stage column:\n{md}"
+    );
+    assert!(md.contains("50.0"), "missing stage percentage:\n{md}");
+
+    let untraced = Figure1Row {
+        stages: [[0; 6]; 3],
+        ..row
+    };
+    assert!(!untraced.has_stages());
+    assert!(!figure1_markdown(&[untraced]).contains("motion_estimation %"));
 }
 
 #[test]

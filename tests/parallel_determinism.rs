@@ -108,6 +108,65 @@ fn table5_rows_identical_at_any_thread_count() {
     }
 }
 
+/// Turning the tracing subsystem on must not change a single bit of
+/// the coded output: the probes only read clocks and write to
+/// thread-local buffers, never touching codec state. A traced parallel
+/// sweep is byte-identical to an untraced serial one, for every codec.
+#[test]
+fn traced_runs_are_bit_identical_to_untraced() {
+    use hd_videobench::trace;
+
+    let resolution = Resolution::new(RES.0, RES.1);
+    let options = CodingOptions::default();
+
+    let encode_all = || -> Vec<Vec<Vec<u8>>> {
+        CodecId::ALL
+            .iter()
+            .map(|&codec| {
+                let seq = Sequence::new(SequenceId::RushHour, resolution);
+                encode_sequence(codec, seq, FRAMES, &options)
+                    .expect("encode")
+                    .packets
+                    .into_iter()
+                    .map(|p| p.data)
+                    .collect()
+            })
+            .collect()
+    };
+
+    let untraced = encode_all();
+
+    trace::reset();
+    trace::set_enabled(true);
+    let traced = encode_all();
+    let pool = ThreadPool::new(4);
+    let traced_parallel: Vec<Vec<Vec<u8>>> = pool
+        .par_map(CodecId::ALL.to_vec(), |codec| {
+            let seq = Sequence::new(SequenceId::RushHour, resolution);
+            encode_sequence(codec, seq, FRAMES, &options)
+                .expect("traced parallel encode")
+                .packets
+                .into_iter()
+                .map(|p| p.data)
+                .collect()
+        })
+        .expect("no task panicked");
+    trace::set_enabled(false);
+    let report = trace::collect();
+
+    assert_eq!(untraced, traced, "tracing changed serial encoder output");
+    assert_eq!(
+        untraced, traced_parallel,
+        "tracing changed pooled encoder output"
+    );
+    // The traced window really recorded codec activity — otherwise this
+    // test would pass vacuously with the probes compiled out.
+    assert!(
+        report.stage_total(trace::Stage::EncodeFrame) > 0,
+        "no encode_frame spans recorded while tracing was enabled"
+    );
+}
+
 /// The rate-distortion measurement itself is a pure function of its
 /// inputs: running the same cell on a pool worker and on the main
 /// thread gives exactly equal PSNR/SSIM/bitrate.
