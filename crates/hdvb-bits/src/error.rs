@@ -29,6 +29,74 @@ impl fmt::Display for BitsError {
 
 impl std::error::Error for BitsError {}
 
+/// Classification of a bitstream corruption, shared by every codec's
+/// typed decode error and by the fuzzing/differential harness (which
+/// compares corruption kinds and offsets across SIMD tiers).
+///
+/// The enum lives in `hdvb-bits` because it is the one crate every codec
+/// already depends on; `hdvb-core` re-exports it alongside
+/// `BenchError::Corrupt`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum CorruptKind {
+    /// The stream ended before a complete syntax element was read.
+    Truncated,
+    /// A variable-length code did not match any table entry.
+    InvalidCode,
+    /// An Exp-Golomb code exceeded the supported length.
+    Overlong,
+    /// The packet does not start with the codec's start code / magic.
+    BadMagic,
+    /// A header field (frame type, qscale, qp, reference count, ...) is
+    /// outside its legal range.
+    BadHeaderField,
+    /// Picture dimensions are zero, oversized, or exceed the area cap.
+    BadDimensions,
+    /// A motion vector points outside the padded reference window.
+    BadMotionVector,
+    /// An inter picture arrived without a usable reference, or its
+    /// geometry does not match the reference it names.
+    MissingReference,
+    /// A macroblock mode/type field holds an undefined value.
+    BadMacroblockType,
+    /// Coefficient/residual data is malformed (bad escape, run overflow).
+    BadCoefficients,
+}
+
+impl CorruptKind {
+    /// Stable lower-case name, used in reports and corpus file names.
+    pub fn name(self) -> &'static str {
+        match self {
+            CorruptKind::Truncated => "truncated",
+            CorruptKind::InvalidCode => "invalid-code",
+            CorruptKind::Overlong => "overlong",
+            CorruptKind::BadMagic => "bad-magic",
+            CorruptKind::BadHeaderField => "bad-header-field",
+            CorruptKind::BadDimensions => "bad-dimensions",
+            CorruptKind::BadMotionVector => "bad-motion-vector",
+            CorruptKind::MissingReference => "missing-reference",
+            CorruptKind::BadMacroblockType => "bad-macroblock-type",
+            CorruptKind::BadCoefficients => "bad-coefficients",
+        }
+    }
+}
+
+impl fmt::Display for CorruptKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl From<&BitsError> for CorruptKind {
+    fn from(e: &BitsError) -> Self {
+        match e {
+            BitsError::Eof => CorruptKind::Truncated,
+            BitsError::InvalidCode { .. } => CorruptKind::InvalidCode,
+            BitsError::Overlong => CorruptKind::Overlong,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

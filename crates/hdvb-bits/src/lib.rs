@@ -30,7 +30,7 @@ mod reader;
 mod vlc;
 mod writer;
 
-pub use error::BitsError;
+pub use error::{BitsError, CorruptKind};
 pub use reader::BitReader;
 pub use vlc::{BuildVlcError, VlcEntry, VlcTable};
 pub use writer::BitWriter;
@@ -99,6 +99,91 @@ mod proptests {
                     0 => prop_assert_eq!(r.get_bits(n).unwrap(), v & ((1 << n) - 1)),
                     1 => prop_assert_eq!(r.get_ue().unwrap(), v),
                     _ => prop_assert_eq!(r.get_se().unwrap(), v as i32 - 500),
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------- byte-soup fuzz --
+    //
+    // Robustness properties: random bytes fed to the readers and to VLC
+    // tables must only ever produce Eof/InvalidCode/Overlong errors —
+    // never a panic — and must terminate within a decode-step budget
+    // (each successful step consumes at least one bit, so `8 * len + 1`
+    // steps is a hard upper bound on any loop-free decode).
+
+    fn soup_tables() -> Vec<VlcTable> {
+        // A sparse canonical table (leaves many prefixes unassigned, so
+        // InvalidCode is reachable) and a dense one (every prefix maps).
+        let sparse = VlcTable::from_lengths("soup-sparse", &[1, 3, 3, 5, 5, 8, 8, 12, 12, 16])
+            .expect("sparse soup table lengths satisfy Kraft");
+        let dense = VlcTable::from_lengths("soup-dense", &[1, 2, 3, 4, 5, 6, 7, 8, 8])
+            .expect("dense soup table lengths satisfy Kraft");
+        vec![sparse, dense]
+    }
+
+    proptest! {
+        #[test]
+        fn byte_soup_get_bits_never_panics(data in proptest::collection::vec(0u8..=255, 0..256),
+                                           widths in proptest::collection::vec(1u32..=32, 1..64)) {
+            let mut r = BitReader::new(&data);
+            let budget = 8 * data.len() + widths.len() + 1;
+            let mut steps = 0usize;
+            for &n in &widths {
+                steps += 1;
+                prop_assert!(steps <= budget, "decode-step budget exceeded");
+                if r.get_bits(n).is_err() {
+                    // After Eof the reader stays at the end; further reads
+                    // keep failing rather than looping or panicking.
+                    prop_assert!(r.get_bits(1).is_err());
+                    break;
+                }
+            }
+        }
+
+        #[test]
+        fn byte_soup_exp_golomb_never_panics(data in proptest::collection::vec(0u8..=255, 0..256)) {
+            let budget = 8 * data.len() + 2;
+            let mut r = BitReader::new(&data);
+            let mut steps = 0usize;
+            loop {
+                steps += 1;
+                prop_assert!(steps <= budget, "get_ue decode-step budget exceeded");
+                match r.get_ue() {
+                    Ok(_) => {}
+                    Err(BitsError::Eof) | Err(BitsError::Overlong) => break,
+                    Err(e) => prop_assert!(false, "unexpected error from get_ue: {e}"),
+                }
+            }
+            let mut r = BitReader::new(&data);
+            let mut steps = 0usize;
+            loop {
+                steps += 1;
+                prop_assert!(steps <= budget, "get_se decode-step budget exceeded");
+                match r.get_se() {
+                    Ok(_) => {}
+                    Err(BitsError::Eof) | Err(BitsError::Overlong) => break,
+                    Err(e) => prop_assert!(false, "unexpected error from get_se: {e}"),
+                }
+            }
+        }
+
+        #[test]
+        fn byte_soup_vlc_never_panics(data in proptest::collection::vec(0u8..=255, 0..256)) {
+            for table in soup_tables() {
+                let mut r = BitReader::new(&data);
+                let budget = 8 * data.len() + 2;
+                let mut steps = 0usize;
+                loop {
+                    steps += 1;
+                    prop_assert!(steps <= budget, "vlc decode-step budget exceeded");
+                    match table.decode(&mut r) {
+                        // Every successful decode consumes >= 1 bit.
+                        Ok(_) => {}
+                        Err(BitsError::Eof) => break,
+                        Err(BitsError::InvalidCode { .. }) => break,
+                        Err(e) => prop_assert!(false, "unexpected error from vlc: {e}"),
+                    }
                 }
             }
         }

@@ -133,6 +133,38 @@ impl Parsed {
         self.get("input")
     }
 
+    /// `--seconds <n>`: wall-clock budget for the `fuzz` mutation loop.
+    pub fn seconds(&self) -> Result<u64, String> {
+        match self.get("seconds") {
+            None => Ok(60),
+            Some(v) => v
+                .parse::<u64>()
+                .ok()
+                .filter(|&s| (1..=86_400).contains(&s))
+                .ok_or_else(|| format!("bad --seconds {v:?} (1..=86400)")),
+        }
+    }
+
+    /// `--seed <n>`: deterministic PRNG seed for the `fuzz` command.
+    pub fn seed(&self) -> Result<u64, String> {
+        match self.get("seed") {
+            None => Ok(1),
+            Some(v) => v.parse::<u64>().map_err(|_| format!("bad --seed {v:?}")),
+        }
+    }
+
+    /// `--corpus <dir>`: fuzz corpus directory (replayed, failures
+    /// persisted).
+    pub fn corpus(&self) -> Option<&str> {
+        self.get("corpus")
+    }
+
+    /// `--write-golden <dir>`: regenerate the checked-in golden vectors
+    /// into a directory and exit.
+    pub fn write_golden(&self) -> Option<&str> {
+        self.get("write-golden")
+    }
+
     /// `--trace <out.json>`: enable the profiling subsystem for the run
     /// and write a chrome://tracing / Perfetto-loadable trace there.
     pub fn trace(&self) -> Option<&str> {

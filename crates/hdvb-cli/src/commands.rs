@@ -534,6 +534,77 @@ pub fn profile(p: &Parsed) -> CmdResult {
     Ok(())
 }
 
+pub fn fuzz(p: &Parsed) -> CmdResult {
+    if let Some(dir) = p.write_golden() {
+        let dir = std::path::Path::new(dir);
+        let vectors = hdvb_fuzz::golden_vectors();
+        let count = vectors.len();
+        for g in vectors {
+            let stem = g.file_name();
+            let stem = stem.trim_end_matches(".hvb");
+            hdvb_fuzz::save_entry(dir, stem, &g.data)
+                .map_err(|e| format!("cannot write golden vector {stem}: {e}"))?;
+        }
+        println!("wrote {count} golden vectors to {}", dir.display());
+        return Ok(());
+    }
+    let threads = match p.threads()? {
+        0 => ThreadPool::default_threads(),
+        n => n,
+    };
+    let config = hdvb_fuzz::FuzzConfig {
+        seconds: p.seconds()?,
+        seed: p.seed()?,
+        corpus_dir: p.corpus().map(std::path::PathBuf::from),
+        threads,
+        max_execs: None,
+    };
+    println!(
+        "fuzzing: {}s budget, seed {}, differential over {:?} x serial/pool({threads})",
+        config.seconds,
+        config.seed,
+        SimdLevel::supported_tiers()
+    );
+    // The oracle catches decoder panics with catch_unwind; silence the
+    // default hook so an expected-caught panic does not spray backtraces
+    // over the progress output. Restored before reporting.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = hdvb_fuzz::run_fuzz(&config);
+    std::panic::set_hook(hook);
+    let report = result.map_err(|e| format!("fuzz run failed: {e}"))?;
+    println!(
+        "replayed {} entries, executed {} mutants in {:.1}s",
+        report.replayed,
+        report.executions,
+        report.elapsed.as_secs_f64()
+    );
+    println!(
+        "corpus grew to {} entries covering {} unique outcome signatures",
+        report.corpus_entries, report.unique_signatures
+    );
+    if report.failures.is_empty() {
+        println!("no panics, no cross-tier divergences");
+        return Ok(());
+    }
+    for f in &report.failures {
+        println!(
+            "FAILURE {} ({} bytes): {}{}",
+            f.name,
+            f.data.len(),
+            f.reason,
+            f.saved_to
+                .as_ref()
+                .map(|p| format!(" [saved to {}]", p.display()))
+                .unwrap_or_default()
+        );
+    }
+    Err(format!(
+        "{} failure(s) found — reproducers above",
+        report.failures.len()
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -27,6 +27,7 @@ COMMANDS:
     table5                          reproduce Table V (rate-distortion comparison)
     figure1                         reproduce Figure 1 (decode/encode fps, scalar+SIMD)
     profile                         traced encode+decode with per-stage attribution
+    fuzz                            structure-aware differential fuzzing of the decoders
 
 COMMON OPTIONS:
     --codec <mpeg2|mpeg4|h264>      codec under test
@@ -50,6 +51,12 @@ COMMON OPTIONS:
     --trace <out.json>              write a chrome://tracing trace (Perfetto-loadable)
                                     and print the per-stage summary on exit
                                     (encode, decode, bench, table5, figure1, profile)
+    --seconds <n>                   fuzz: mutation budget in seconds      [default: 60]
+    --seed <n>                      fuzz: deterministic PRNG seed         [default: 1]
+    --corpus <dir>                  fuzz: replay this corpus first and persist any
+                                    minimised failure reproducers into it
+    --write-golden <dir>            fuzz: regenerate the golden corruption vectors
+                                    into <dir> and exit
 
 EXAMPLES:
     hdvb encode --codec h264 --sequence blue_sky --resolution 720p25 -o out.hvb
@@ -58,6 +65,7 @@ EXAMPLES:
     hdvb table5 --frames 24 --scale 2 --threads 4
     hdvb figure1 --frames 24 --scale 2 --threads 4 --json
     hdvb kernels --json
+    hdvb fuzz --seconds 60 --seed 1 --corpus tests/corpus
     hdvb profile --codec h264 --sequence rush_hour --frames 8 --trace trace.json
 ";
 
@@ -90,6 +98,7 @@ fn main() -> ExitCode {
         "table5" => commands::table5(&parsed),
         "figure1" => commands::figure1(&parsed),
         "profile" => commands::profile(&parsed),
+        "fuzz" => commands::fuzz(&parsed),
         other => {
             eprintln!("error: unknown command {other:?}\n");
             eprint!("{USAGE}");

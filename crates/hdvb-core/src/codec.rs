@@ -184,7 +184,7 @@ pub fn create_decoder(codec: CodecId, simd: SimdLevel) -> Box<dyn VideoDecoder> 
 }
 
 macro_rules! impl_adapters {
-    ($enc:ident, $dec:ident, $enc_ty:ty, $dec_ty:ty, $ft:path) => {
+    ($enc:ident, $dec:ident, $enc_ty:ty, $dec_ty:ty, $corrupt:path, $ft:path, $cid:expr) => {
         struct $enc($enc_ty);
 
         impl VideoEncoder for $enc {
@@ -209,9 +209,19 @@ macro_rules! impl_adapters {
         impl VideoDecoder for $dec {
             fn decode_packet(&mut self, data: &[u8]) -> Result<Vec<Frame>, BenchError> {
                 let _span = hdvb_trace::span!(hdvb_trace::Stage::DecodeFrame);
-                self.0
-                    .decode(data)
-                    .map_err(|e| BenchError::Bitstream(e.to_string()))
+                self.0.decode(data).map_err(|e| match e {
+                    $corrupt {
+                        offset,
+                        kind,
+                        detail,
+                    } => BenchError::Corrupt {
+                        codec: $cid,
+                        offset,
+                        kind,
+                        detail,
+                    },
+                    other => BenchError::Bitstream(other.to_string()),
+                })
             }
 
             fn finish(&mut self) -> Vec<Frame> {
@@ -298,21 +308,27 @@ impl_adapters!(
     Mpeg2Dec,
     hdvb_mpeg2::Mpeg2Encoder,
     hdvb_mpeg2::Mpeg2Decoder,
-    hdvb_mpeg2::FrameType
+    hdvb_mpeg2::CodecError::Corrupt,
+    hdvb_mpeg2::FrameType,
+    CodecId::Mpeg2
 );
 impl_adapters!(
     Mpeg4Enc,
     Mpeg4Dec,
     hdvb_mpeg4::Mpeg4Encoder,
     hdvb_mpeg4::Mpeg4Decoder,
-    hdvb_mpeg4::FrameType
+    hdvb_mpeg4::CodecError::Corrupt,
+    hdvb_mpeg4::FrameType,
+    CodecId::Mpeg4
 );
 impl_adapters!(
     H264Enc,
     H264Dec,
     hdvb_h264::H264Encoder,
     hdvb_h264::H264Decoder,
-    hdvb_h264::FrameType
+    hdvb_h264::CodecError::Corrupt,
+    hdvb_h264::FrameType,
+    CodecId::H264
 );
 
 #[cfg(test)]

@@ -1,3 +1,5 @@
+use crate::CodecId;
+use hdvb_bits::CorruptKind;
 use std::fmt;
 
 /// Errors surfaced by the benchmark harness.
@@ -8,6 +10,22 @@ pub enum BenchError {
     Codec(String),
     /// The bitstream under measurement is invalid.
     Bitstream(String),
+    /// A decoder detected bitstream corruption, with typed attribution.
+    ///
+    /// The differential fuzzing harness compares `(codec, offset, kind)`
+    /// across SIMD tiers and thread counts: the parse path is
+    /// tier-independent, so a malformed packet must fail identically
+    /// everywhere.
+    Corrupt {
+        /// Which codec's decoder rejected the packet.
+        codec: CodecId,
+        /// Bit offset in the packet where the parse stopped.
+        offset: u64,
+        /// Classification of the corruption.
+        kind: CorruptKind,
+        /// Human-readable detail for diagnostics.
+        detail: String,
+    },
     /// The requested measurement is impossible (e.g. zero frames).
     BadRequest(&'static str),
 }
@@ -17,6 +35,15 @@ impl fmt::Display for BenchError {
         match self {
             BenchError::Codec(msg) => write!(f, "codec error: {msg}"),
             BenchError::Bitstream(msg) => write!(f, "bitstream error: {msg}"),
+            BenchError::Corrupt {
+                codec,
+                offset,
+                kind,
+                detail,
+            } => write!(
+                f,
+                "{codec}: corrupt bitstream at bit {offset} ({kind}): {detail}"
+            ),
             BenchError::BadRequest(msg) => write!(f, "bad benchmark request: {msg}"),
         }
     }

@@ -37,6 +37,7 @@ pub use codec::{
     create_decoder, create_encoder, CodecId, Packet, PacketKind, VideoDecoder, VideoEncoder,
 };
 pub use error::BenchError;
+pub use hdvb_bits::CorruptKind;
 pub use options::{h264_qp_for_mpeg_qscale, CodingOptions};
 pub use parallel::{
     encode_sequence_parallel, ExecutionReport, Figure1Part, ParallelEncodeStats, ParallelRunner,
@@ -45,7 +46,7 @@ pub use report::{
     cpu_model, figure1_markdown, machine_attribution, table5_markdown, Figure1Row, Table5Row,
 };
 pub use runner::{
-    decode_sequence, encode_sequence, measure_figure1_row, measure_rd_point, DecodeResult,
-    EncodeResult, RdPoint, Throughput,
+    decode_sequence, decode_sequence_resilient, encode_sequence, measure_figure1_row,
+    measure_rd_point, DecodeResult, EncodeResult, RdPoint, ResilientDecode, Throughput,
 };
 pub use stream::{read_stream, write_stream, StreamHeader};

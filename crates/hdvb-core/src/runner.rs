@@ -120,6 +120,40 @@ pub fn decode_sequence(
     Ok(DecodeResult { frames, elapsed })
 }
 
+/// Outcome of a [`decode_sequence_resilient`] run.
+#[derive(Debug)]
+pub struct ResilientDecode {
+    /// Frames recovered from the packets that decoded cleanly.
+    pub frames: Vec<Frame>,
+    /// Packets that were dropped: input index plus the typed error.
+    pub dropped: Vec<(usize, BenchError)>,
+}
+
+/// Decodes a packet stream, dropping malformed packets instead of
+/// aborting: one corrupt packet costs its frame(s), not the stream.
+///
+/// Every decoder guarantees that a failed packet leaves its reference
+/// state untouched, so decoding simply resumes at the next packet —
+/// the container-level equivalent of resynchronising on the next start
+/// code.
+pub fn decode_sequence_resilient(
+    codec: CodecId,
+    packets: &[Packet],
+    simd: SimdLevel,
+) -> ResilientDecode {
+    let mut dec = create_decoder(codec, simd);
+    let mut frames = Vec::new();
+    let mut dropped = Vec::new();
+    for (i, p) in packets.iter().enumerate() {
+        match dec.decode_packet(&p.data) {
+            Ok(out) => frames.extend(out),
+            Err(e) => dropped.push((i, e)),
+        }
+    }
+    frames.extend(dec.finish());
+    ResilientDecode { frames, dropped }
+}
+
 /// One rate-distortion point: the paper's Table V cell (plus a mean
 /// luma SSIM, an extended metric beyond the paper).
 #[derive(Clone, Copy, Debug)]
@@ -243,6 +277,34 @@ mod tests {
             assert!(enc.bits > 0);
             let dec = decode_sequence(codec, &enc.packets, options.simd).unwrap();
             assert_eq!(dec.frames.len(), 4, "{codec}");
+        }
+    }
+
+    #[test]
+    fn resilient_decode_drops_bad_packets_and_continues() {
+        let seq = small_seq(SequenceId::RushHour);
+        let options = CodingOptions::default();
+        for codec in CodecId::ALL {
+            let enc = encode_sequence(codec, seq, 4, &options).unwrap();
+            let mut packets = enc.packets;
+            // Corrupt the second packet's payload beyond recognition.
+            packets[1].data = vec![0xFF; 40];
+            let out = decode_sequence_resilient(codec, &packets, options.simd);
+            // The corrupted anchor is dropped; B packets that referenced
+            // it may cascade, but every drop carries typed attribution.
+            assert_eq!(out.dropped[0].0, 1, "{codec}");
+            for (i, e) in &out.dropped {
+                assert!(
+                    matches!(e, BenchError::Corrupt { codec: c, .. } if *c == codec),
+                    "{codec} packet {i}: {e:?}"
+                );
+            }
+            // The stream is not dead: the I picture still decodes.
+            assert!(!out.frames.is_empty(), "{codec}");
+            assert!(
+                out.dropped.len() < packets.len(),
+                "{codec}: every packet dropped"
+            );
         }
     }
 

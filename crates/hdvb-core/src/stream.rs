@@ -150,7 +150,10 @@ pub fn read_stream<R: Read>(mut reader: R) -> Result<(StreamHeader, Vec<Packet>)
         let kind = kind_from_byte(buf1[0]).ok_or_else(|| bad("bad packet kind"))?;
         let display_index = read_u32(&mut reader)?;
         let len = read_u32(&mut reader)? as usize;
-        if len > 1 << 30 {
+        // Cap matches MAX_DECODE_PIXELS: no legitimate packet outgrows
+        // an uncompressed 64-Mpixel picture, and a forged length field
+        // must not drive a giant allocation before read_exact fails.
+        if len > 1 << 26 {
             return Err(bad("implausible packet size"));
         }
         let mut data = vec![0u8; len];

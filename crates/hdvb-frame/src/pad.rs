@@ -118,6 +118,23 @@ impl PaddedPlane {
         &self.data[yi * self.stride + xi..]
     }
 
+    /// Returns `true` when a `w`×`h` read window whose top-left corner is
+    /// at picture coordinate `(x, y)` lies entirely inside the padded
+    /// buffer, i.e. [`row_from`](Self::row_from) followed by `h` strided
+    /// row reads of `w` bytes is in bounds.
+    ///
+    /// Decoders use this to validate motion vectors parsed from untrusted
+    /// bitstreams before handing them to the unchecked interpolation
+    /// kernels.
+    #[inline]
+    pub fn window_in_bounds(&self, x: isize, y: isize, w: usize, h: usize) -> bool {
+        let pad = self.pad as isize;
+        x >= -pad
+            && y >= -pad
+            && x + w as isize <= self.width as isize + pad
+            && y + h as isize <= self.height as isize + pad
+    }
+
     /// Copies a `bw`×`bh` block whose top-left corner is at picture
     /// coordinate `(x, y)` (may be negative / beyond the edge up to the
     /// padding) into `dst`.
@@ -162,6 +179,23 @@ mod tests {
         assert_eq!(pp.pixel(10, -1), p.get(7, 0));
         assert_eq!(pp.pixel(-1, 10), p.get(0, 7));
         assert_eq!(pp.pixel(10, 10), p.get(7, 7));
+    }
+
+    #[test]
+    fn window_bounds_match_padded_extent() {
+        let p = gradient_plane(16, 8);
+        let pp = PaddedPlane::from_plane(&p, 4);
+        // Fully interior and fully padded-corner windows are fine.
+        assert!(pp.window_in_bounds(0, 0, 16, 8));
+        assert!(pp.window_in_bounds(-4, -4, 24, 16));
+        // One pixel beyond the padding in any direction is rejected.
+        assert!(!pp.window_in_bounds(-5, 0, 8, 8));
+        assert!(!pp.window_in_bounds(0, -5, 8, 8));
+        assert!(!pp.window_in_bounds(13, 0, 8, 8));
+        assert!(!pp.window_in_bounds(0, 5, 8, 8));
+        // Wildly out-of-range vectors (the fuzzer's bread and butter).
+        assert!(!pp.window_in_bounds(-10_000, 0, 8, 8));
+        assert!(!pp.window_in_bounds(0, 10_000, 8, 8));
     }
 
     #[test]

@@ -1,0 +1,75 @@
+//! A tiny deterministic generator for the fuzzing loop.
+//!
+//! The harness needs *replayable* randomness — the same seed must produce
+//! the same mutation schedule on every machine — so it carries its own
+//! splitmix64 core (the same construction the `third_party/rand` stand-in
+//! uses) instead of depending on an external RNG.
+
+/// Deterministic splitmix64 generator.
+#[derive(Clone, Debug)]
+pub struct FuzzRng {
+    state: u64,
+}
+
+impl FuzzRng {
+    /// Creates a generator from a seed; equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        FuzzRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n`; `n` must be non-zero.
+    pub fn below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Returns `true` with probability `num`/`den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.next_u64() % den < num
+    }
+
+    /// One random byte.
+    pub fn byte(&mut self) -> u8 {
+        (self.next_u64() & 0xFF) as u8
+    }
+
+    /// Derives an independent stream (for splitting work deterministically).
+    pub fn fork(&mut self) -> FuzzRng {
+        FuzzRng::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_equal_streams() {
+        let mut a = FuzzRng::new(42);
+        let mut b = FuzzRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut r = FuzzRng::new(7);
+        let mut seen = [false; 8];
+        for _ in 0..200 {
+            seen[r.below(8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -52,7 +52,10 @@ pub(crate) fn read_coeffs4(r: &mut BitReader<'_>, block: &mut Block4) -> Result<
             let run = r.get_bits(4)?;
             let level = r.get_se()?;
             if level == 0 {
-                return Err(CodecError::InvalidBitstream("escape level of zero".into()));
+                return Err(CodecError::corrupt(
+                    hdvb_bits::CorruptKind::BadCoefficients,
+                    "escape level of zero",
+                ));
             }
             (last, run, level)
         } else {
@@ -62,8 +65,9 @@ pub(crate) fn read_coeffs4(r: &mut BitReader<'_>, block: &mut Block4) -> Result<
         };
         pos += run as usize;
         if pos >= 16 {
-            return Err(CodecError::InvalidBitstream(
-                "coefficient run overflows 4x4 block".into(),
+            return Err(CodecError::corrupt(
+                hdvb_bits::CorruptKind::BadCoefficients,
+                "coefficient run overflows 4x4 block",
             ));
         }
         block[ZIGZAG4[pos]] = level.clamp(-2047, 2047) as i16;

@@ -5,8 +5,8 @@ use crate::intra::{predict16, predict4, predict_chroma8, ChromaMode, Intra16Mode
 use crate::mc::{add4, copy4, crop_frame, Partitioning, RefPicture};
 use crate::quant4::dequant4;
 use crate::resid::{read_chroma_residual, read_luma_residual, recon_chroma_plane, recon_luma_mb};
-use crate::types::{CodecError, FrameType};
-use hdvb_bits::BitReader;
+use crate::types::{CodecError, FrameType, MAX_DECODE_PIXELS};
+use hdvb_bits::{BitReader, CorruptKind};
 use hdvb_dsp::{Dsp, SimdLevel};
 use hdvb_frame::{align_up, Frame};
 use hdvb_me::Mv;
@@ -44,30 +44,55 @@ impl H264Decoder {
     ///
     /// # Errors
     ///
-    /// [`CodecError::InvalidBitstream`] on malformed input.
+    /// [`CodecError::Corrupt`] on malformed input, carrying the bit
+    /// offset the parse stopped at and a [`CorruptKind`] classification.
+    /// A failed packet leaves the decoder's reference state untouched.
     pub fn decode(&mut self, data: &[u8]) -> Result<Vec<Frame>, CodecError> {
         let mut r = BitReader::new(data);
+        let result = self.decode_inner(&mut r);
+        let pos = r.bit_pos();
+        result.map_err(|e| e.at_bit(pos))
+    }
+
+    fn decode_inner(&mut self, r: &mut BitReader<'_>) -> Result<Vec<Frame>, CodecError> {
         if r.get_bits(16)? != MAGIC {
-            return Err(CodecError::InvalidBitstream("bad picture magic".into()));
+            return Err(CodecError::corrupt(
+                CorruptKind::BadMagic,
+                "bad picture magic",
+            ));
         }
         let frame_type = FrameType::from_bits(r.get_bits(2)?)
-            .ok_or_else(|| CodecError::InvalidBitstream("bad frame type".into()))?;
+            .ok_or_else(|| CodecError::corrupt(CorruptKind::BadHeaderField, "bad frame type"))?;
         let _display = r.get_bits(32)?;
         let width = r.get_ue()? as usize;
         let height = r.get_ue()? as usize;
         let qp = r.get_ue()?;
         let num_refs = r.get_ue()?;
         let deblock = r.get_bit()?;
-        if width < 16 || height < 16 || width > 16384 || height > 16384 {
-            return Err(CodecError::InvalidBitstream(format!(
-                "implausible dimensions {width}x{height}"
-            )));
+        if width < 16
+            || height < 16
+            || width > 16384
+            || height > 16384
+            || !width.is_multiple_of(2)
+            || !height.is_multiple_of(2)
+            || width.saturating_mul(height) > MAX_DECODE_PIXELS
+        {
+            return Err(CodecError::corrupt(
+                CorruptKind::BadDimensions,
+                format!("implausible dimensions {width}x{height}"),
+            ));
         }
         if qp > 51 {
-            return Err(CodecError::InvalidBitstream("qp out of range".into()));
+            return Err(CodecError::corrupt(
+                CorruptKind::BadHeaderField,
+                "qp out of range",
+            ));
         }
         if !(1..=4).contains(&num_refs) {
-            return Err(CodecError::InvalidBitstream("num_refs out of range".into()));
+            return Err(CodecError::corrupt(
+                CorruptKind::BadHeaderField,
+                "num_refs out of range",
+            ));
         }
         let qp = qp as u8;
         let aw = align_up(width, 16);
@@ -80,11 +105,9 @@ impl H264Decoder {
         };
         let mut ctx = PicCtx::new(mbs_x, mbs_y);
         match frame_type {
-            FrameType::I => self.decode_i(&mut r, &mut recon, &mut ctx, qp, mbs_x, mbs_y)?,
-            FrameType::P => {
-                self.decode_p(&mut r, &mut recon, &mut ctx, qp, num_refs, mbs_x, mbs_y)?
-            }
-            FrameType::B => self.decode_b(&mut r, &mut recon, &mut ctx, qp, mbs_x, mbs_y)?,
+            FrameType::I => self.decode_i(r, &mut recon, &mut ctx, qp, mbs_x, mbs_y)?,
+            FrameType::P => self.decode_p(r, &mut recon, &mut ctx, qp, num_refs, mbs_x, mbs_y)?,
+            FrameType::B => self.decode_b(r, &mut recon, &mut ctx, qp, mbs_x, mbs_y)?,
         }
         if deblock {
             deblock_frame(&self.dsp, &mut recon, qp);
@@ -125,9 +148,10 @@ impl H264Decoder {
                     0 => self.decode_intra4x4_mb(r, recon, ctx, qp, mbx, mby)?,
                     1 => self.decode_intra16_mb(r, recon, ctx, qp, mbx, mby)?,
                     t => {
-                        return Err(CodecError::InvalidBitstream(format!(
-                            "bad I macroblock type {t}"
-                        )))
+                        return Err(CodecError::corrupt(
+                            CorruptKind::BadMacroblockType,
+                            format!("bad I macroblock type {t}"),
+                        ))
                     }
                 }
             }
@@ -190,8 +214,9 @@ impl H264Decoder {
         mbx: usize,
         mby: usize,
     ) -> Result<(), CodecError> {
-        let mode = Intra16Mode::from_index(r.get_ue()?)
-            .ok_or_else(|| CodecError::InvalidBitstream("bad intra16 mode".into()))?;
+        let mode = Intra16Mode::from_index(r.get_ue()?).ok_or_else(|| {
+            CodecError::corrupt(CorruptKind::BadMacroblockType, "bad intra16 mode")
+        })?;
         ctx.clear_mb_modes(mbx, mby);
         let mut pred = [0u8; 256];
         {
@@ -220,8 +245,9 @@ impl H264Decoder {
         mbx: usize,
         mby: usize,
     ) -> Result<(), CodecError> {
-        let mode = ChromaMode::from_index(r.get_ue()?)
-            .ok_or_else(|| CodecError::InvalidBitstream("bad chroma mode".into()))?;
+        let mode = ChromaMode::from_index(r.get_ue()?).ok_or_else(|| {
+            CodecError::corrupt(CorruptKind::BadMacroblockType, "bad chroma mode")
+        })?;
         let mut pb = [0u8; 64];
         let mut pr = [0u8; 64];
         {
@@ -248,18 +274,21 @@ impl H264Decoder {
         mbs_y: usize,
     ) -> Result<(), CodecError> {
         if self.refs.is_empty() {
-            return Err(CodecError::InvalidBitstream(
-                "P picture without reference".into(),
+            return Err(CodecError::corrupt(
+                CorruptKind::MissingReference,
+                "P picture without reference",
             ));
         }
         // Move references out to decouple borrows.
         let refs: Vec<RefPicture> = self.refs.drain(..).collect();
         let result = (|| -> Result<(), CodecError> {
+            check_ref_geometry(&refs, mbs_x, mbs_y)?;
             for mby in 0..mbs_y {
                 for mbx in 0..mbs_x {
                     let median = median_pred(&ctx.qfield, mbx, mby);
                     if r.get_bit()? {
                         // Skip: 16x16, ref 0, median vector, no residual.
+                        check_window(&refs[0], mbx, mby, Partitioning::P16x16, &[median; 4])?;
                         let (py, pcb, pcr) = build_inter_pred_dec(
                             &self.dsp,
                             &refs[0],
@@ -321,9 +350,10 @@ impl H264Decoder {
                                 0
                             };
                             let rp = refs.get(ref_idx).ok_or_else(|| {
-                                CodecError::InvalidBitstream(format!(
-                                    "reference index {ref_idx} out of range"
-                                ))
+                                CodecError::corrupt(
+                                    CorruptKind::MissingReference,
+                                    format!("reference index {ref_idx} out of range"),
+                                )
                             })?;
                             let mut mvs = [Mv::ZERO; 4];
                             let mut pred_mv = median;
@@ -336,6 +366,7 @@ impl H264Decoder {
                                 mvs[pi] = mv;
                                 pred_mv = mv;
                             }
+                            check_window(rp, mbx, mby, part, &mvs)?;
                             let (py, pcb, pcr) =
                                 build_inter_pred_dec(&self.dsp, rp, mbx, mby, part, &mvs);
                             let (lb, lf) = read_luma_residual(r)?;
@@ -366,9 +397,10 @@ impl H264Decoder {
                             ctx.clear_mb_modes(mbx, mby);
                         }
                         t => {
-                            return Err(CodecError::InvalidBitstream(format!(
-                                "bad P macroblock type {t}"
-                            )))
+                            return Err(CodecError::corrupt(
+                                CorruptKind::BadMacroblockType,
+                                format!("bad P macroblock type {t}"),
+                            ))
                         }
                     }
                 }
@@ -390,12 +422,14 @@ impl H264Decoder {
         mbs_y: usize,
     ) -> Result<(), CodecError> {
         if self.refs.len() < 2 {
-            return Err(CodecError::InvalidBitstream(
-                "B picture without two anchors".into(),
+            return Err(CodecError::corrupt(
+                CorruptKind::MissingReference,
+                "B picture without two anchors",
             ));
         }
         let refs: Vec<RefPicture> = self.refs.drain(..).collect();
         let result = (|| -> Result<(), CodecError> {
+            check_ref_geometry(&refs, mbs_x, mbs_y)?;
             let bwd = &refs[0];
             let fwd = &refs[1];
             for mby in 0..mbs_y {
@@ -403,6 +437,7 @@ impl H264Decoder {
                 for mbx in 0..mbs_x {
                     if r.get_bit()? {
                         let (mode, mv_f, mv_b) = row.last_b;
+                        check_b_window(fwd, bwd, mbx, mby, mode, mv_f, mv_b)?;
                         let (py, pcb, pcr) =
                             build_b_pred_dec(&self.dsp, fwd, bwd, mbx, mby, mode, mv_f, mv_b);
                         recon_luma_mb(
@@ -467,6 +502,7 @@ impl H264Decoder {
                                 row.mv_pred_bwd = mv_b;
                             }
                             row.last_b = (m, mv_f, mv_b);
+                            check_b_window(fwd, bwd, mbx, mby, m, mv_f, mv_b)?;
                             let (py, pcb, pcr) =
                                 build_b_pred_dec(&self.dsp, fwd, bwd, mbx, mby, m, mv_f, mv_b);
                             let (lb, lf) = read_luma_residual(r)?;
@@ -496,9 +532,10 @@ impl H264Decoder {
                             ctx.clear_mb_modes(mbx, mby);
                         }
                         t => {
-                            return Err(CodecError::InvalidBitstream(format!(
-                                "bad B macroblock mode {t}"
-                            )))
+                            return Err(CodecError::corrupt(
+                                CorruptKind::BadMacroblockType,
+                                format!("bad B macroblock mode {t}"),
+                            ))
                         }
                     }
                 }
@@ -516,23 +553,105 @@ fn read_mv_component(r: &mut BitReader<'_>, pred: i16) -> Result<i16, CodecError
     if (-8192..=8191).contains(&v) {
         Ok(v as i16)
     } else {
-        Err(CodecError::InvalidBitstream(format!(
-            "motion vector component {v} out of range"
-        )))
+        Err(CodecError::corrupt(
+            CorruptKind::BadMotionVector,
+            format!("motion vector component {v} out of range"),
+        ))
     }
+}
+
+fn bad_mv(mbx: usize, mby: usize, mv: Mv) -> CodecError {
+    CodecError::corrupt(
+        CorruptKind::BadMotionVector,
+        format!(
+            "mv ({},{}) at mb ({mbx},{mby}) reads outside the padded reference",
+            mv.x, mv.y
+        ),
+    )
+}
+
+/// Rejects inter pictures whose coded geometry disagrees with any
+/// retained reference (a corrupt packet can otherwise drive motion
+/// compensation beyond a smaller reference's planes).
+fn check_ref_geometry(refs: &[RefPicture], mbs_x: usize, mbs_y: usize) -> Result<(), CodecError> {
+    for rp in refs {
+        if rp.y.width() != mbs_x * 16 || rp.y.height() != mbs_y * 16 {
+            return Err(CodecError::corrupt(
+                CorruptKind::MissingReference,
+                format!(
+                    "picture geometry {}x{} does not match reference {}x{}",
+                    mbs_x * 16,
+                    mbs_y * 16,
+                    rp.y.width(),
+                    rp.y.height()
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Validates the read windows of `predict_partition` for untrusted
+/// vectors: a `w`×`h` quarter-pel luma fetch reads `(w+5)`×`(h+5)` worst
+/// case, the derived chroma half-pel fetch `(w/2+1)`×`(h/2+1)`.
+fn check_window(
+    rp: &RefPicture,
+    mbx: usize,
+    mby: usize,
+    part: Partitioning,
+    mvs: &[Mv; 4],
+) -> Result<(), CodecError> {
+    for (pi, &(ox, oy, pw, ph)) in part.rects().iter().enumerate() {
+        let mv = mvs[pi];
+        let px = mbx * 16 + ox;
+        let py = mby * 16 + oy;
+        let ix = px as isize + isize::from(mv.x >> 2) - 2;
+        let iy = py as isize + isize::from(mv.y >> 2) - 2;
+        if !rp.y.window_in_bounds(ix, iy, pw + 5, ph + 5) {
+            return Err(bad_mv(mbx, mby, mv));
+        }
+        let (cmx, cmy) = (mv.x >> 2, mv.y >> 2);
+        let cx = (px / 2) as isize + isize::from(cmx >> 1);
+        let cy = (py / 2) as isize + isize::from(cmy >> 1);
+        if !rp.cb.window_in_bounds(cx, cy, pw / 2 + 1, ph / 2 + 1) {
+            return Err(bad_mv(mbx, mby, mv));
+        }
+    }
+    Ok(())
+}
+
+/// Window-checks the vectors a B macroblock will actually use: forward
+/// for modes 0/2, backward for modes 1/2.
+fn check_b_window(
+    fwd: &RefPicture,
+    bwd: &RefPicture,
+    mbx: usize,
+    mby: usize,
+    mode: u8,
+    mv_f: Mv,
+    mv_b: Mv,
+) -> Result<(), CodecError> {
+    if mode == 0 || mode == 2 {
+        check_window(fwd, mbx, mby, Partitioning::P16x16, &[mv_f; 4])?;
+    }
+    if mode == 1 || mode == 2 {
+        check_window(bwd, mbx, mby, Partitioning::P16x16, &[mv_b; 4])?;
+    }
+    Ok(())
 }
 
 fn read_intra4_mode(r: &mut BitReader<'_>, mpm: u8) -> Result<Intra4Mode, CodecError> {
     if r.get_bit()? {
-        Intra4Mode::from_index(u32::from(mpm))
-            .ok_or_else(|| CodecError::InvalidBitstream("bad most-probable mode".into()))
+        Intra4Mode::from_index(u32::from(mpm)).ok_or_else(|| {
+            CodecError::corrupt(CorruptKind::BadMacroblockType, "bad most-probable mode")
+        })
     } else {
         let mut idx = r.get_bits(2)?;
         if idx >= u32::from(mpm) {
             idx += 1;
         }
         Intra4Mode::from_index(idx)
-            .ok_or_else(|| CodecError::InvalidBitstream("bad intra4 mode".into()))
+            .ok_or_else(|| CodecError::corrupt(CorruptKind::BadMacroblockType, "bad intra4 mode"))
     }
 }
 
@@ -627,17 +746,17 @@ mod tests {
     fn roundtrip(qp: u8, frames: usize, b_frames: u8) -> (Vec<Frame>, Vec<Frame>) {
         let (w, h) = (64, 48);
         let config = EncoderConfig::new(w, h).with_qp(qp).with_b_frames(b_frames);
-        let mut enc = H264Encoder::new(config).unwrap();
+        let mut enc = H264Encoder::new(config).expect("h264 encoder: config rejected");
         let mut dec = H264Decoder::new();
         let originals: Vec<Frame> = (0..frames).map(|i| moving_frame(w, h, i as f64)).collect();
         let mut packets = Vec::new();
         for f in &originals {
-            packets.extend(enc.encode(f).unwrap());
+            packets.extend(enc.encode(f).expect("h264 encoder: encode failed"));
         }
-        packets.extend(enc.flush().unwrap());
+        packets.extend(enc.flush().expect("h264 encoder: flush failed"));
         let mut decoded = Vec::new();
         for p in &packets {
-            decoded.extend(dec.decode(&p.data).unwrap());
+            decoded.extend(dec.decode(&p.data).expect("h264 decoder: packet rejected"));
         }
         decoded.extend(dec.flush());
         (originals, decoded)
@@ -653,7 +772,8 @@ mod tests {
                 write_intra4_mode(&mut w, mode, mpm);
                 let bytes = w.finish();
                 let mut r = BitReader::new(&bytes);
-                let decoded = read_intra4_mode(&mut r, mpm).unwrap();
+                let decoded =
+                    read_intra4_mode(&mut r, mpm).expect("h264 decoder: intra4 mode rejected");
                 assert_eq!(decoded, mode, "mode {mode:?} mpm {mpm}");
             }
         }
@@ -686,17 +806,17 @@ mod tests {
             .with_qp(24)
             .with_b_frames(0)
             .with_num_refs(3);
-        let mut enc = H264Encoder::new(config).unwrap();
+        let mut enc = H264Encoder::new(config).expect("h264 encoder: config rejected");
         let mut dec = H264Decoder::new();
         let originals: Vec<Frame> = (0..6).map(|i| moving_frame(w, h, i as f64)).collect();
         let mut packets = Vec::new();
         for f in &originals {
-            packets.extend(enc.encode(f).unwrap());
+            packets.extend(enc.encode(f).expect("h264 encoder: encode failed"));
         }
-        packets.extend(enc.flush().unwrap());
+        packets.extend(enc.flush().expect("h264 encoder: flush failed"));
         let mut decoded = Vec::new();
         for p in &packets {
-            decoded.extend(dec.decode(&p.data).unwrap());
+            decoded.extend(dec.decode(&p.data).expect("h264 decoder: packet rejected"));
         }
         decoded.extend(dec.flush());
         assert_eq!(decoded.len(), 6);
@@ -728,15 +848,15 @@ mod tests {
                     .with_b_frames(0)
                     .with_num_refs(refs),
             )
-            .unwrap();
+            .expect("h264 encoder: config rejected");
             let mut total = 0;
             for t in 0..8 {
                 let f = scene(t % 2 == 1, t);
-                for p in enc.encode(&f).unwrap() {
+                for p in enc.encode(&f).expect("h264 encoder: encode failed") {
                     total += p.bits();
                 }
             }
-            for p in enc.flush().unwrap() {
+            for p in enc.flush().expect("h264 encoder: flush failed") {
                 total += p.bits();
             }
             total
@@ -765,19 +885,29 @@ mod tests {
     #[test]
     fn decode_is_simd_level_independent() {
         let (w, h) = (64, 48);
-        let mut enc = H264Encoder::new(EncoderConfig::new(w, h)).unwrap();
+        let mut enc =
+            H264Encoder::new(EncoderConfig::new(w, h)).expect("h264 encoder: config rejected");
         let mut packets = Vec::new();
         for i in 0..5 {
-            packets.extend(enc.encode(&moving_frame(w, h, i as f64)).unwrap());
+            packets.extend(
+                enc.encode(&moving_frame(w, h, i as f64))
+                    .expect("h264 encoder: encode failed"),
+            );
         }
-        packets.extend(enc.flush().unwrap());
+        packets.extend(enc.flush().expect("h264 encoder: flush failed"));
         let mut a = H264Decoder::with_simd(SimdLevel::Scalar);
         let mut b = H264Decoder::with_simd(SimdLevel::Sse2);
         let mut oa = Vec::new();
         let mut ob = Vec::new();
         for p in &packets {
-            oa.extend(a.decode(&p.data).unwrap());
-            ob.extend(b.decode(&p.data).unwrap());
+            oa.extend(
+                a.decode(&p.data)
+                    .expect("h264 decoder (scalar): packet rejected"),
+            );
+            ob.extend(
+                b.decode(&p.data)
+                    .expect("h264 decoder (sse2): packet rejected"),
+            );
         }
         oa.extend(a.flush());
         ob.extend(b.flush());
@@ -787,8 +917,11 @@ mod tests {
     #[test]
     fn corrupt_and_truncated_inputs_error_not_panic() {
         let (w, h) = (64, 48);
-        let mut enc = H264Encoder::new(EncoderConfig::new(w, h)).unwrap();
-        let packets = enc.encode(&moving_frame(w, h, 0.0)).unwrap();
+        let mut enc =
+            H264Encoder::new(EncoderConfig::new(w, h)).expect("h264 encoder: config rejected");
+        let packets = enc
+            .encode(&moving_frame(w, h, 0.0))
+            .expect("h264 encoder: encode failed");
         let data = &packets[0].data;
         for cut in [0, 2, 6, data.len() / 2] {
             let mut dec = H264Decoder::new();
@@ -797,9 +930,14 @@ mod tests {
         let mut dec = H264Decoder::new();
         assert!(dec.decode(&[0xABu8; 80]).is_err());
         // P without reference.
-        let mut enc2 = H264Encoder::new(EncoderConfig::new(w, h).with_b_frames(0)).unwrap();
-        let _ = enc2.encode(&moving_frame(w, h, 0.0)).unwrap();
-        let p = enc2.encode(&moving_frame(w, h, 1.0)).unwrap();
+        let mut enc2 = H264Encoder::new(EncoderConfig::new(w, h).with_b_frames(0))
+            .expect("h264 encoder: config rejected");
+        let _ = enc2
+            .encode(&moving_frame(w, h, 0.0))
+            .expect("h264 encoder: encode failed");
+        let p = enc2
+            .encode(&moving_frame(w, h, 1.0))
+            .expect("h264 encoder: encode failed");
         let mut dec2 = H264Decoder::new();
         assert!(dec2.decode(&p[0].data).is_err());
     }
@@ -807,17 +945,86 @@ mod tests {
     #[test]
     fn non_aligned_dimensions_roundtrip() {
         let (w, h) = (60, 44);
-        let mut enc = H264Encoder::new(EncoderConfig::new(w, h)).unwrap();
+        let mut enc =
+            H264Encoder::new(EncoderConfig::new(w, h)).expect("h264 encoder: config rejected");
         let mut dec = H264Decoder::new();
         let f = moving_frame(w, h, 0.0);
-        let mut packets = enc.encode(&f).unwrap();
-        packets.extend(enc.flush().unwrap());
+        let mut packets = enc.encode(&f).expect("h264 encoder: encode failed");
+        packets.extend(enc.flush().expect("h264 encoder: flush failed"));
         let mut out = Vec::new();
         for p in &packets {
-            out.extend(dec.decode(&p.data).unwrap());
+            out.extend(dec.decode(&p.data).expect("h264 decoder: packet rejected"));
         }
         out.extend(dec.flush());
         assert_eq!(out.len(), 1);
         assert_eq!((out[0].width(), out[0].height()), (w, h));
+    }
+
+    #[test]
+    fn out_of_window_motion_vector_is_corrupt_not_panic() {
+        let (w, h) = (16, 16);
+        let mut enc = H264Encoder::new(EncoderConfig::new(w, h).with_b_frames(0))
+            .expect("h264 encoder: config rejected");
+        let mut dec = H264Decoder::new();
+        let i_pkt = enc
+            .encode(&moving_frame(w, h, 0.0))
+            .expect("h264 encoder: encode failed");
+        dec.decode(&i_pkt[0].data)
+            .expect("h264 decoder: packet rejected");
+
+        // Hand-craft a P picture whose single macroblock carries a motion
+        // vector far outside the padded reference window.
+        let mut bw = BitWriter::new();
+        bw.put_bits(MAGIC, 16);
+        bw.put_bits(FrameType::P.to_bits(), 2);
+        bw.put_bits(1, 32); // display index
+        bw.put_ue(w as u32);
+        bw.put_ue(h as u32);
+        bw.put_ue(26); // qp
+        bw.put_ue(1); // num_refs
+        bw.put_bits(0, 1); // deblock off
+        bw.put_bits(0, 1); // not skipped
+        bw.put_ue(0); // mb_type: P16x16
+        bw.put_se(10_000); // mv.x delta, quarter-pel: 2500 px off-screen
+        bw.put_se(0); // mv.y delta
+        let crafted = bw.finish();
+
+        match dec.decode(&crafted) {
+            Err(CodecError::Corrupt { kind, .. }) => {
+                assert_eq!(kind, CorruptKind::BadMotionVector);
+            }
+            other => panic!("expected BadMotionVector, got {other:?}"),
+        }
+
+        // The failed packet must not poison the decoder: a real P picture
+        // decodes fine afterwards.
+        let p_pkt = enc
+            .encode(&moving_frame(w, h, 1.0))
+            .expect("h264 encoder: encode failed");
+        dec.decode(&p_pkt[0].data)
+            .expect("h264 decoder: recovery packet rejected");
+    }
+
+    #[test]
+    fn corrupt_errors_carry_bit_offsets() {
+        // Reserved frame type: detected right after the 18 header bits.
+        let mut bw = BitWriter::new();
+        bw.put_bits(MAGIC, 16);
+        bw.put_bits(3, 2);
+        let mut dec = H264Decoder::new();
+        match dec.decode(&bw.finish()) {
+            Err(CodecError::Corrupt { offset, kind, .. }) => {
+                assert_eq!(kind, CorruptKind::BadHeaderField);
+                assert!(offset >= 16, "offset {offset} should be past the magic");
+            }
+            other => panic!("expected BadHeaderField, got {other:?}"),
+        }
+        // Empty packet: truncation at offset 0 is legitimate.
+        match dec.decode(&[]) {
+            Err(CodecError::Corrupt { kind, .. }) => {
+                assert_eq!(kind, CorruptKind::Truncated);
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
     }
 }

@@ -176,4 +176,28 @@ mod tests {
         }
         assert_eq!(event_table4().len(), 25);
     }
+
+    proptest::proptest! {
+        // Robustness: the H.264 4x4 event table fed random bytes must only ever
+        // yield Eof/InvalidCode — never a panic — and must terminate
+        // within a decode-step budget (each successful decode consumes
+        // at least one bit).
+        #[test]
+        fn byte_soup_event_table4_never_panics(data in proptest::collection::vec(0u8..=255, 0..256)) {
+            use hdvb_bits::{BitReader, BitsError};
+            let table = event_table4();
+            let mut r = BitReader::new(&data);
+            let budget = 8 * data.len() + 2;
+            let mut steps = 0usize;
+            loop {
+                steps += 1;
+                proptest::prop_assert!(steps <= budget, "vlc decode-step budget exceeded");
+                match table.decode(&mut r) {
+                    Ok(sym) => proptest::prop_assert!((sym as usize) < table.len()),
+                    Err(BitsError::Eof) | Err(BitsError::InvalidCode { .. }) => break,
+                    Err(e) => proptest::prop_assert!(false, "unexpected error: {e}"),
+                }
+            }
+        }
+    }
 }

@@ -53,7 +53,10 @@ pub(crate) fn read_coeffs(
             let run = r.get_bits(6)?;
             let level = r.get_se()?;
             if level == 0 {
-                return Err(CodecError::InvalidBitstream("escape level of zero".into()));
+                return Err(CodecError::corrupt(
+                    hdvb_bits::CorruptKind::BadCoefficients,
+                    "escape level of zero",
+                ));
             }
             (run, level)
         } else {
@@ -63,9 +66,10 @@ pub(crate) fn read_coeffs(
         };
         pos += run as usize;
         if pos >= 64 {
-            return Err(CodecError::InvalidBitstream(format!(
-                "coefficient run overflows block ({pos})"
-            )));
+            return Err(CodecError::corrupt(
+                hdvb_bits::CorruptKind::BadCoefficients,
+                format!("coefficient run overflows block ({pos})"),
+            ));
         }
         block[ZIGZAG[pos]] = level.clamp(-2047, 2047) as i16;
         pos += 1;

@@ -3,8 +3,8 @@ use crate::encoder::{
     build_b_prediction, crop_frame, predict_mb, reconstruct_inter, store_block_clamped, RefPicture,
     RowState, MAGIC,
 };
-use crate::types::{CodecError, FrameType};
-use hdvb_bits::BitReader;
+use crate::types::{CodecError, FrameType, MAX_DECODE_PIXELS};
+use hdvb_bits::{BitReader, CorruptKind};
 use hdvb_dsp::{Dsp, SimdLevel, MPEG_DEFAULT_INTRA};
 use hdvb_frame::{align_up, Frame};
 use hdvb_me::{Mv, MvField};
@@ -50,25 +50,49 @@ impl Mpeg2Decoder {
     ///
     /// # Errors
     ///
-    /// [`CodecError::InvalidBitstream`] on malformed or truncated input.
+    /// [`CodecError::Corrupt`] on malformed or truncated input, carrying
+    /// the bit offset the parse stopped at and a [`CorruptKind`]
+    /// classification. A failed packet leaves the decoder's reference
+    /// state untouched, so subsequent packets can still decode (the
+    /// container-level resync in `hdvb-core` relies on this).
     pub fn decode(&mut self, data: &[u8]) -> Result<Vec<Frame>, CodecError> {
         let mut r = BitReader::new(data);
+        let result = self.decode_inner(&mut r);
+        let pos = r.bit_pos();
+        result.map_err(|e| e.at_bit(pos))
+    }
+
+    fn decode_inner(&mut self, r: &mut BitReader<'_>) -> Result<Vec<Frame>, CodecError> {
         if r.get_bits(16)? != MAGIC {
-            return Err(CodecError::InvalidBitstream("bad picture magic".into()));
+            return Err(CodecError::corrupt(
+                CorruptKind::BadMagic,
+                "bad picture magic",
+            ));
         }
         let frame_type = FrameType::from_bits(r.get_bits(2)?)
-            .ok_or_else(|| CodecError::InvalidBitstream("bad frame type".into()))?;
+            .ok_or_else(|| CodecError::corrupt(CorruptKind::BadHeaderField, "bad frame type"))?;
         let _display_index = r.get_bits(32)?;
         let width = r.get_ue()? as usize;
         let height = r.get_ue()? as usize;
         let qscale = r.get_ue()?;
-        if width < 16 || height < 16 || width > 16384 || height > 16384 {
-            return Err(CodecError::InvalidBitstream(format!(
-                "implausible dimensions {width}x{height}"
-            )));
+        if width < 16
+            || height < 16
+            || width > 16384
+            || height > 16384
+            || !width.is_multiple_of(2)
+            || !height.is_multiple_of(2)
+            || width.saturating_mul(height) > MAX_DECODE_PIXELS
+        {
+            return Err(CodecError::corrupt(
+                CorruptKind::BadDimensions,
+                format!("implausible dimensions {width}x{height}"),
+            ));
         }
         if !(1..=62).contains(&qscale) {
-            return Err(CodecError::InvalidBitstream("qscale out of range".into()));
+            return Err(CodecError::corrupt(
+                CorruptKind::BadHeaderField,
+                "qscale out of range",
+            ));
         }
         let qscale = qscale as u16;
         let aw = align_up(width, 16);
@@ -81,9 +105,9 @@ impl Mpeg2Decoder {
         };
         let mut mvs = MvField::new(mbs_x, mbs_y);
         match frame_type {
-            FrameType::I => self.decode_i(&mut r, &mut recon, qscale, mbs_x, mbs_y)?,
-            FrameType::P => self.decode_p(&mut r, &mut recon, &mut mvs, qscale, mbs_x, mbs_y)?,
-            FrameType::B => self.decode_b(&mut r, &mut recon, qscale, mbs_x, mbs_y)?,
+            FrameType::I => self.decode_i(r, &mut recon, qscale, mbs_x, mbs_y)?,
+            FrameType::P => self.decode_p(r, &mut recon, &mut mvs, qscale, mbs_x, mbs_y)?,
+            FrameType::B => self.decode_b(r, &mut recon, qscale, mbs_x, mbs_y)?,
         }
 
         let display = crop_frame(&recon, width, height);
@@ -182,11 +206,11 @@ impl Mpeg2Decoder {
         mbs_y: usize,
     ) -> Result<(), CodecError> {
         // Take the reference out to avoid aliasing self borrows.
-        let reference = self
-            .last_anchor
-            .take()
-            .ok_or_else(|| CodecError::InvalidBitstream("P picture without reference".into()))?;
+        let reference = self.last_anchor.take().ok_or_else(|| {
+            CodecError::corrupt(CorruptKind::MissingReference, "P picture without reference")
+        })?;
         let result = (|| -> Result<(), CodecError> {
+            check_ref_geometry(&reference, mbs_x, mbs_y)?;
             for mby in 0..mbs_y {
                 let mut row = RowState::new();
                 for mbx in 0..mbs_x {
@@ -233,6 +257,7 @@ impl Mpeg2Decoder {
                         clamp_mv(i32::from(row.mv_pred.y) + mvd_y)?,
                     );
                     row.mv_pred = mv;
+                    check_window(&reference, mbx, mby, mv)?;
                     mvs.set(mbx, mby, Mv::new(mv.x >> 1, mv.y >> 1));
                     let cbp = r.get_bits(6)? as u8;
                     let mut blocks = [[0i16; 64]; 6];
@@ -267,20 +292,22 @@ impl Mpeg2Decoder {
         mbs_x: usize,
         mbs_y: usize,
     ) -> Result<(), CodecError> {
-        let fwd = self
-            .prev_anchor
-            .take()
-            .ok_or_else(|| CodecError::InvalidBitstream("B picture without anchors".into()))?;
+        let fwd = self.prev_anchor.take().ok_or_else(|| {
+            CodecError::corrupt(CorruptKind::MissingReference, "B picture without anchors")
+        })?;
         let bwd = match self.last_anchor.take() {
             Some(b) => b,
             None => {
                 self.prev_anchor = Some(fwd);
-                return Err(CodecError::InvalidBitstream(
-                    "B picture without anchors".into(),
+                return Err(CodecError::corrupt(
+                    CorruptKind::MissingReference,
+                    "B picture without anchors",
                 ));
             }
         };
         let result = (|| -> Result<(), CodecError> {
+            check_ref_geometry(&fwd, mbs_x, mbs_y)?;
+            check_ref_geometry(&bwd, mbs_x, mbs_y)?;
             for mby in 0..mbs_y {
                 let mut row = RowState::new();
                 for mbx in 0..mbs_x {
@@ -288,6 +315,7 @@ impl Mpeg2Decoder {
                     let (mut py, mut pcb, mut pcr) = ([0u8; 256], [0u8; 64], [0u8; 64]);
                     if skip {
                         let (mode, mv_f, mv_b) = row.last_b;
+                        check_b_window(&fwd, &bwd, mbx, mby, mode, mv_f, mv_b)?;
                         build_b_prediction(
                             &self.dsp, &fwd, &bwd, mbx, mby, mode, mv_f, mv_b, &mut py, &mut pcb,
                             &mut pcr,
@@ -333,6 +361,7 @@ impl Mpeg2Decoder {
                         row.mv_pred_bwd = mv_b;
                     }
                     row.last_b = (mode, mv_f, mv_b);
+                    check_b_window(&fwd, &bwd, mbx, mby, mode, mv_f, mv_b)?;
                     let ec_zone = hdvb_trace::zone!(hdvb_trace::Stage::EntropyCoding);
                     let cbp = r.get_bits(6)? as u8;
                     let mut blocks = [[0i16; 64]; 6];
@@ -361,16 +390,80 @@ impl Mpeg2Decoder {
     }
 }
 
-/// Validates a decoded motion component against the padded reference
-/// bounds (half-pel units).
+/// Validates a decoded motion component fits in the i16 vector type
+/// (half-pel units); the positional window check happens per use site.
 fn clamp_mv(v: i32) -> Result<i16, CodecError> {
     if (-2048..=2047).contains(&v) {
         Ok(v as i16)
     } else {
-        Err(CodecError::InvalidBitstream(format!(
-            "motion vector component {v} out of range"
-        )))
+        Err(CodecError::corrupt(
+            CorruptKind::BadMotionVector,
+            format!("motion vector component {v} out of range"),
+        ))
     }
+}
+
+/// Rejects inter pictures whose coded geometry disagrees with the
+/// reference they predict from (a corrupt packet can otherwise drive
+/// motion compensation beyond the smaller reference's planes).
+fn check_ref_geometry(rp: &RefPicture, mbs_x: usize, mbs_y: usize) -> Result<(), CodecError> {
+    if rp.y.width() == mbs_x * 16 && rp.y.height() == mbs_y * 16 {
+        Ok(())
+    } else {
+        Err(CodecError::corrupt(
+            CorruptKind::MissingReference,
+            format!(
+                "picture geometry {}x{} does not match reference {}x{}",
+                mbs_x * 16,
+                mbs_y * 16,
+                rp.y.width(),
+                rp.y.height()
+            ),
+        ))
+    }
+}
+
+/// Validates that motion-compensating macroblock `(mbx, mby)` with `mv`
+/// (half-pel units) stays inside the padded reference planes. Mirrors the
+/// read windows of `predict_mb`: a 16×16 half-pel luma fetch (17×17
+/// worst case) and an 8×8 half-pel chroma fetch (9×9 worst case).
+fn check_window(rp: &RefPicture, mbx: usize, mby: usize, mv: Mv) -> Result<(), CodecError> {
+    let lx = (mbx * 16) as isize + isize::from(mv.x >> 1);
+    let ly = (mby * 16) as isize + isize::from(mv.y >> 1);
+    let (cmx, cmy) = (mv.x >> 1, mv.y >> 1);
+    let cx = (mbx * 8) as isize + isize::from(cmx >> 1);
+    let cy = (mby * 8) as isize + isize::from(cmy >> 1);
+    if rp.y.window_in_bounds(lx, ly, 17, 17) && rp.cb.window_in_bounds(cx, cy, 9, 9) {
+        Ok(())
+    } else {
+        Err(CodecError::corrupt(
+            CorruptKind::BadMotionVector,
+            format!(
+                "mv ({},{}) at mb ({mbx},{mby}) reads outside the padded reference",
+                mv.x, mv.y
+            ),
+        ))
+    }
+}
+
+/// Window-checks the vectors a B macroblock will actually use: forward
+/// for modes 0/2, backward for modes 1/2 (mode 3 is intra).
+fn check_b_window(
+    fwd: &RefPicture,
+    bwd: &RefPicture,
+    mbx: usize,
+    mby: usize,
+    mode: u8,
+    mv_f: Mv,
+    mv_b: Mv,
+) -> Result<(), CodecError> {
+    if mode == 0 || mode == 2 {
+        check_window(fwd, mbx, mby, mv_f)?;
+    }
+    if mode == 1 || mode == 2 {
+        check_window(bwd, mbx, mby, mv_b)?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -405,17 +498,17 @@ mod tests {
         let config = EncoderConfig::new(w, h)
             .with_qscale(qscale)
             .with_b_frames(b_frames);
-        let mut enc = Mpeg2Encoder::new(config).unwrap();
+        let mut enc = Mpeg2Encoder::new(config).expect("mpeg2 encoder: config rejected");
         let mut dec = Mpeg2Decoder::new();
         let originals: Vec<Frame> = (0..frames).map(|i| moving_frame(w, h, i as f64)).collect();
         let mut packets = Vec::new();
         for f in &originals {
-            packets.extend(enc.encode(f).unwrap());
+            packets.extend(enc.encode(f).expect("mpeg2 encoder: encode failed"));
         }
-        packets.extend(enc.flush().unwrap());
+        packets.extend(enc.flush().expect("mpeg2 encoder: flush failed"));
         let mut decoded = Vec::new();
         for p in &packets {
-            decoded.extend(dec.decode(&p.data).unwrap());
+            decoded.extend(dec.decode(&p.data).expect("mpeg2 decoder: packet rejected"));
         }
         decoded.extend(dec.flush());
         (originals, decoded)
@@ -474,14 +567,15 @@ mod tests {
     #[test]
     fn non_aligned_dimensions_roundtrip() {
         let (w, h) = (60, 44);
-        let mut enc = Mpeg2Encoder::new(EncoderConfig::new(w, h)).unwrap();
+        let mut enc =
+            Mpeg2Encoder::new(EncoderConfig::new(w, h)).expect("mpeg2 encoder: config rejected");
         let mut dec = Mpeg2Decoder::new();
         let f = moving_frame(w, h, 0.0);
-        let mut packets = enc.encode(&f).unwrap();
-        packets.extend(enc.flush().unwrap());
+        let mut packets = enc.encode(&f).expect("mpeg2 encoder: encode failed");
+        packets.extend(enc.flush().expect("mpeg2 encoder: flush failed"));
         let mut out = Vec::new();
         for p in &packets {
-            out.extend(dec.decode(&p.data).unwrap());
+            out.extend(dec.decode(&p.data).expect("mpeg2 decoder: packet rejected"));
         }
         out.extend(dec.flush());
         assert_eq!(out.len(), 1);
@@ -494,19 +588,31 @@ mod tests {
         // Encode once, decode with scalar and with SIMD: outputs must be
         // bit-identical (the property the Figure-1 harness relies on).
         let (w, h) = (64, 48);
-        let mut enc = Mpeg2Encoder::new(EncoderConfig::new(w, h)).unwrap();
+        let mut enc =
+            Mpeg2Encoder::new(EncoderConfig::new(w, h)).expect("mpeg2 encoder: config rejected");
         let mut packets = Vec::new();
         for i in 0..5 {
-            packets.extend(enc.encode(&moving_frame(w, h, i as f64)).unwrap());
+            packets.extend(
+                enc.encode(&moving_frame(w, h, i as f64))
+                    .expect("mpeg2 encoder: encode failed"),
+            );
         }
-        packets.extend(enc.flush().unwrap());
+        packets.extend(enc.flush().expect("mpeg2 encoder: flush failed"));
         let mut d_scalar = Mpeg2Decoder::with_simd(SimdLevel::Scalar);
         let mut d_simd = Mpeg2Decoder::with_simd(SimdLevel::Sse2);
         let mut out_a = Vec::new();
         let mut out_b = Vec::new();
         for p in &packets {
-            out_a.extend(d_scalar.decode(&p.data).unwrap());
-            out_b.extend(d_simd.decode(&p.data).unwrap());
+            out_a.extend(
+                d_scalar
+                    .decode(&p.data)
+                    .expect("mpeg2 decoder (scalar): packet rejected"),
+            );
+            out_b.extend(
+                d_simd
+                    .decode(&p.data)
+                    .expect("mpeg2 decoder (sse2): packet rejected"),
+            );
         }
         out_a.extend(d_scalar.flush());
         out_b.extend(d_simd.flush());
@@ -516,8 +622,11 @@ mod tests {
     #[test]
     fn truncated_and_corrupt_packets_error_not_panic() {
         let (w, h) = (64, 48);
-        let mut enc = Mpeg2Encoder::new(EncoderConfig::new(w, h)).unwrap();
-        let packets = enc.encode(&moving_frame(w, h, 0.0)).unwrap();
+        let mut enc =
+            Mpeg2Encoder::new(EncoderConfig::new(w, h)).expect("mpeg2 encoder: config rejected");
+        let packets = enc
+            .encode(&moving_frame(w, h, 0.0))
+            .expect("mpeg2 encoder: encode failed");
         let data = &packets[0].data;
         for cut in [0, 1, 2, 5, data.len() / 2] {
             let mut dec = Mpeg2Decoder::new();
@@ -536,9 +645,14 @@ mod tests {
     fn p_without_reference_is_an_error() {
         // Build a stream then feed the P packet to a fresh decoder.
         let (w, h) = (64, 48);
-        let mut enc = Mpeg2Encoder::new(EncoderConfig::new(w, h).with_b_frames(0)).unwrap();
-        let _ = enc.encode(&moving_frame(w, h, 0.0)).unwrap();
-        let p = enc.encode(&moving_frame(w, h, 1.0)).unwrap();
+        let mut enc = Mpeg2Encoder::new(EncoderConfig::new(w, h).with_b_frames(0))
+            .expect("mpeg2 encoder: config rejected");
+        let _ = enc
+            .encode(&moving_frame(w, h, 0.0))
+            .expect("mpeg2 encoder: encode failed");
+        let p = enc
+            .encode(&moving_frame(w, h, 1.0))
+            .expect("mpeg2 encoder: encode failed");
         let mut dec = Mpeg2Decoder::new();
         assert!(dec.decode(&p[0].data).is_err());
     }
@@ -548,5 +662,80 @@ mod tests {
         let mut dec = Mpeg2Decoder::new();
         assert!(dec.decode(&[0xFF; 100]).is_err());
         assert!(dec.decode(&[]).is_err());
+    }
+
+    #[test]
+    fn out_of_window_motion_vector_is_corrupt_not_panic() {
+        // Decode a real I picture, then hand-craft a P packet whose first
+        // macroblock carries a vector far outside the padded reference.
+        let (w, h) = (16, 16);
+        let mut enc = Mpeg2Encoder::new(EncoderConfig::new(w, h).with_b_frames(0))
+            .expect("mpeg2 encoder: config rejected");
+        let i_packets = enc
+            .encode(&moving_frame(w, h, 0.0))
+            .expect("mpeg2 encoder: encode failed");
+        let mut dec = Mpeg2Decoder::new();
+        for p in &i_packets {
+            dec.decode(&p.data)
+                .expect("mpeg2 decoder: I packet rejected");
+        }
+        let mut bw = hdvb_bits::BitWriter::new();
+        bw.put_bits(MAGIC, 16);
+        bw.put_bits(FrameType::P.to_bits(), 2);
+        bw.put_bits(1, 32); // display index
+        bw.put_ue(w as u32);
+        bw.put_ue(h as u32);
+        bw.put_ue(5); // qscale
+        bw.put_bits(0, 1); // not skipped
+        bw.put_bits(0, 1); // not intra
+        bw.put_se(1000); // mvd_x: within clamp range, far outside window
+        bw.put_se(0);
+        let err = dec
+            .decode(&bw.finish())
+            .expect_err("huge mv must be rejected");
+        assert!(
+            matches!(
+                err,
+                CodecError::Corrupt {
+                    kind: CorruptKind::BadMotionVector,
+                    ..
+                }
+            ),
+            "unexpected error: {err}"
+        );
+        // The decoder survives: the next valid P packet still decodes.
+        let p_packets = enc
+            .encode(&moving_frame(w, h, 1.0))
+            .expect("mpeg2 encoder: encode failed");
+        for p in &p_packets {
+            dec.decode(&p.data)
+                .expect("mpeg2 decoder: recovery packet rejected");
+        }
+    }
+
+    #[test]
+    fn corrupt_errors_carry_bit_offsets() {
+        let mut dec = Mpeg2Decoder::new();
+        // Valid magic, then garbage: the error offset must be past the
+        // 16-bit magic, and truncation must map to Truncated.
+        let mut bw = hdvb_bits::BitWriter::new();
+        bw.put_bits(MAGIC, 16);
+        bw.put_bits(3, 2); // reserved frame type
+        let err = dec.decode(&bw.finish()).expect_err("bad frame type");
+        match err {
+            CodecError::Corrupt { offset, kind, .. } => {
+                assert_eq!(kind, CorruptKind::BadHeaderField);
+                assert!(offset >= 16, "offset {offset} should be past the magic");
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+        let err = dec.decode(&[]).expect_err("empty packet");
+        assert!(matches!(
+            err,
+            CodecError::Corrupt {
+                kind: CorruptKind::Truncated,
+                ..
+            }
+        ));
     }
 }

@@ -98,4 +98,28 @@ mod tests {
         assert_eq!(t.code_len(pair_symbol(0, 1)), 2);
         assert_eq!(t.code_len(SYM_ESCAPE), 6);
     }
+
+    proptest::proptest! {
+        // Robustness: the MPEG-2 run/level table fed random bytes must only ever
+        // yield Eof/InvalidCode — never a panic — and must terminate
+        // within a decode-step budget (each successful decode consumes
+        // at least one bit).
+        #[test]
+        fn byte_soup_coef_table_never_panics(data in proptest::collection::vec(0u8..=255, 0..256)) {
+            use hdvb_bits::{BitReader, BitsError};
+            let table = coef_table();
+            let mut r = BitReader::new(&data);
+            let budget = 8 * data.len() + 2;
+            let mut steps = 0usize;
+            loop {
+                steps += 1;
+                proptest::prop_assert!(steps <= budget, "vlc decode-step budget exceeded");
+                match table.decode(&mut r) {
+                    Ok(sym) => proptest::prop_assert!((sym as usize) < table.len()),
+                    Err(BitsError::Eof) | Err(BitsError::InvalidCode { .. }) => break,
+                    Err(e) => proptest::prop_assert!(false, "unexpected error: {e}"),
+                }
+            }
+        }
+    }
 }

@@ -1,6 +1,13 @@
 use hdvb_dsp::SimdLevel;
 use std::fmt;
 
+/// Upper bound on decoded picture area in pixels (64 Mpixel).
+///
+/// Both the encoder configuration and the decoder's header parser enforce
+/// it, so a corrupt packet cannot make the decoder allocate an unbounded
+/// reconstruction frame from attacker-controlled dimension fields.
+pub(crate) const MAX_DECODE_PIXELS: usize = 1 << 26;
+
 /// Picture coding type.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum FrameType {
@@ -141,6 +148,11 @@ impl EncoderConfig {
                 "dimensions must be even, between 16 and 16384",
             ));
         }
+        if self.width * self.height > MAX_DECODE_PIXELS {
+            return Err(CodecError::BadConfig(
+                "picture area exceeds the supported maximum",
+            ));
+        }
         if self.qscale == 0 || self.qscale > 62 {
             return Err(CodecError::BadConfig("qscale must be in 1..=62"));
         }
@@ -164,8 +176,40 @@ pub enum CodecError {
         /// Received dimensions.
         actual: (usize, usize),
     },
-    /// The bitstream is malformed or truncated.
-    InvalidBitstream(String),
+    /// The bitstream is malformed; decoding stopped at bit `offset`.
+    Corrupt {
+        /// Bit offset in the packet where the corruption was detected
+        /// (the parse position the decoder stopped at).
+        offset: u64,
+        /// Classification of the corruption.
+        kind: hdvb_bits::CorruptKind,
+        /// Human-readable detail for diagnostics.
+        detail: String,
+    },
+}
+
+impl CodecError {
+    /// Builds a [`CodecError::Corrupt`] with an unset (0) offset; the
+    /// outermost decode loop stamps the reader's bit position via
+    /// [`at_bit`](Self::at_bit).
+    pub(crate) fn corrupt(kind: hdvb_bits::CorruptKind, detail: impl Into<String>) -> Self {
+        CodecError::Corrupt {
+            offset: 0,
+            kind,
+            detail: detail.into(),
+        }
+    }
+
+    /// Stamps `offset` on a [`CodecError::Corrupt`] whose offset is still
+    /// unset; other variants and already-stamped errors pass through.
+    pub(crate) fn at_bit(mut self, offset: u64) -> Self {
+        if let CodecError::Corrupt { offset: o, .. } = &mut self {
+            if *o == 0 {
+                *o = offset;
+            }
+        }
+        self
+    }
 }
 
 impl fmt::Display for CodecError {
@@ -177,7 +221,11 @@ impl fmt::Display for CodecError {
                 "frame is {}x{} but encoder is configured for {}x{}",
                 actual.0, actual.1, expected.0, expected.1
             ),
-            CodecError::InvalidBitstream(msg) => write!(f, "invalid bitstream: {msg}"),
+            CodecError::Corrupt {
+                offset,
+                kind,
+                detail,
+            } => write!(f, "corrupt bitstream at bit {offset} ({kind}): {detail}"),
         }
     }
 }
@@ -186,7 +234,7 @@ impl std::error::Error for CodecError {}
 
 impl From<hdvb_bits::BitsError> for CodecError {
     fn from(e: hdvb_bits::BitsError) -> Self {
-        CodecError::InvalidBitstream(e.to_string())
+        CodecError::corrupt((&e).into(), e.to_string())
     }
 }
 

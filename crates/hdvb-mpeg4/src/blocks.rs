@@ -87,8 +87,9 @@ pub(crate) fn read_coeffs(
                 // Type 1: level offset by LMAX.
                 let inner = table.decode(r)?;
                 if inner == SYM_ESCAPE {
-                    return Err(CodecError::InvalidBitstream(
-                        "nested escape in type-1 event".into(),
+                    return Err(CodecError::corrupt(
+                        hdvb_bits::CorruptKind::BadCoefficients,
+                        "nested escape in type-1 event",
                     ));
                 }
                 let (last, run, abs) = symbol_event(inner);
@@ -99,8 +100,9 @@ pub(crate) fn read_coeffs(
                 // Type 2: run offset by RMAX+1.
                 let inner = table.decode(r)?;
                 if inner == SYM_ESCAPE {
-                    return Err(CodecError::InvalidBitstream(
-                        "nested escape in type-2 event".into(),
+                    return Err(CodecError::corrupt(
+                        hdvb_bits::CorruptKind::BadCoefficients,
+                        "nested escape in type-2 event",
                     ));
                 }
                 let (last, run, abs) = symbol_event(inner);
@@ -116,7 +118,10 @@ pub(crate) fn read_coeffs(
                 let run = r.get_bits(6)?;
                 let level = r.get_se()?;
                 if level == 0 {
-                    return Err(CodecError::InvalidBitstream("escape level of zero".into()));
+                    return Err(CodecError::corrupt(
+                        hdvb_bits::CorruptKind::BadCoefficients,
+                        "escape level of zero",
+                    ));
                 }
                 (last, run, level)
             }
@@ -127,9 +132,10 @@ pub(crate) fn read_coeffs(
         };
         pos += run as usize;
         if pos >= 64 {
-            return Err(CodecError::InvalidBitstream(format!(
-                "coefficient run overflows block ({pos})"
-            )));
+            return Err(CodecError::corrupt(
+                hdvb_bits::CorruptKind::BadCoefficients,
+                format!("coefficient run overflows block ({pos})"),
+            ));
         }
         block[ZIGZAG[pos]] = level.clamp(-2047, 2047) as i16;
         pos += 1;

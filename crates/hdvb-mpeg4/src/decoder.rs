@@ -3,8 +3,8 @@ use crate::encoder::{
     build_b_prediction, crop_frame, dc_coords, direct_mvs, median_pred, predict_mb,
     reconstruct_inter, store_block_clamped, BRowState, DcStores, RefPicture, MAGIC,
 };
-use crate::types::{CodecError, FrameType};
-use hdvb_bits::BitReader;
+use crate::types::{CodecError, FrameType, MAX_DECODE_PIXELS};
+use hdvb_bits::{BitReader, CorruptKind};
 use hdvb_dsp::{Dsp, SimdLevel, MPEG_DEFAULT_INTRA};
 use hdvb_frame::{align_up, Frame};
 use hdvb_me::{Mv, MvField};
@@ -44,25 +44,47 @@ impl Mpeg4Decoder {
     ///
     /// # Errors
     ///
-    /// [`CodecError::InvalidBitstream`] on malformed input.
+    /// [`CodecError::Corrupt`] on malformed input, carrying the bit
+    /// offset the parse stopped at and a [`CorruptKind`] classification.
+    /// A failed packet leaves the decoder's reference state untouched.
     pub fn decode(&mut self, data: &[u8]) -> Result<Vec<Frame>, CodecError> {
         let mut r = BitReader::new(data);
+        let result = self.decode_inner(&mut r);
+        let pos = r.bit_pos();
+        result.map_err(|e| e.at_bit(pos))
+    }
+
+    fn decode_inner(&mut self, r: &mut BitReader<'_>) -> Result<Vec<Frame>, CodecError> {
         if r.get_bits(16)? != MAGIC {
-            return Err(CodecError::InvalidBitstream("bad picture magic".into()));
+            return Err(CodecError::corrupt(
+                CorruptKind::BadMagic,
+                "bad picture magic",
+            ));
         }
         let frame_type = FrameType::from_bits(r.get_bits(2)?)
-            .ok_or_else(|| CodecError::InvalidBitstream("bad frame type".into()))?;
+            .ok_or_else(|| CodecError::corrupt(CorruptKind::BadHeaderField, "bad frame type"))?;
         let display_index = r.get_bits(32)?;
         let width = r.get_ue()? as usize;
         let height = r.get_ue()? as usize;
         let qscale = r.get_ue()?;
-        if width < 16 || height < 16 || width > 16384 || height > 16384 {
-            return Err(CodecError::InvalidBitstream(format!(
-                "implausible dimensions {width}x{height}"
-            )));
+        if width < 16
+            || height < 16
+            || width > 16384
+            || height > 16384
+            || !width.is_multiple_of(2)
+            || !height.is_multiple_of(2)
+            || width.saturating_mul(height) > MAX_DECODE_PIXELS
+        {
+            return Err(CodecError::corrupt(
+                CorruptKind::BadDimensions,
+                format!("implausible dimensions {width}x{height}"),
+            ));
         }
         if !(1..=62).contains(&qscale) {
-            return Err(CodecError::InvalidBitstream("qscale out of range".into()));
+            return Err(CodecError::corrupt(
+                CorruptKind::BadHeaderField,
+                "qscale out of range",
+            ));
         }
         let qscale = qscale as u16;
         let aw = align_up(width, 16);
@@ -76,9 +98,9 @@ impl Mpeg4Decoder {
         let mut mvs_full = MvField::new(mbs_x, mbs_y);
         let mut mvs_qpel = MvField::new(mbs_x, mbs_y);
         match frame_type {
-            FrameType::I => self.decode_i(&mut r, &mut recon, qscale, mbs_x, mbs_y)?,
+            FrameType::I => self.decode_i(r, &mut recon, qscale, mbs_x, mbs_y)?,
             FrameType::P => self.decode_p(
-                &mut r,
+                r,
                 &mut recon,
                 &mut mvs_full,
                 &mut mvs_qpel,
@@ -86,9 +108,7 @@ impl Mpeg4Decoder {
                 mbs_x,
                 mbs_y,
             )?,
-            FrameType::B => {
-                self.decode_b(&mut r, &mut recon, display_index, qscale, mbs_x, mbs_y)?
-            }
+            FrameType::B => self.decode_b(r, &mut recon, display_index, qscale, mbs_x, mbs_y)?,
         }
 
         let display = crop_frame(&recon, width, height);
@@ -195,12 +215,12 @@ impl Mpeg4Decoder {
         mbs_x: usize,
         mbs_y: usize,
     ) -> Result<(), CodecError> {
-        let reference = self
-            .last_anchor
-            .take()
-            .ok_or_else(|| CodecError::InvalidBitstream("P picture without reference".into()))?;
+        let reference = self.last_anchor.take().ok_or_else(|| {
+            CodecError::corrupt(CorruptKind::MissingReference, "P picture without reference")
+        })?;
         let mut dc = DcStores::new(mbs_x, mbs_y);
         let result = (|| -> Result<(), CodecError> {
+            check_ref_geometry(&reference, mbs_x, mbs_y)?;
             for mby in 0..mbs_y {
                 for mbx in 0..mbs_x {
                     let skip = r.get_bit()?;
@@ -270,8 +290,9 @@ impl Mpeg4Decoder {
                             )?;
                         }
                         _ => {
-                            return Err(CodecError::InvalidBitstream(
-                                "reserved P macroblock mode".into(),
+                            return Err(CodecError::corrupt(
+                                CorruptKind::BadMacroblockType,
+                                "reserved P macroblock mode",
                             ))
                         }
                     }
@@ -296,6 +317,7 @@ impl Mpeg4Decoder {
         four_mv: bool,
         qscale: u16,
     ) -> Result<(), CodecError> {
+        check_window(reference, mbx, mby, mvs, four_mv)?;
         let mut blocks = [[0i16; 64]; 6];
         let cbp = {
             let _z = hdvb_trace::zone!(hdvb_trace::Stage::EntropyCoding);
@@ -326,21 +348,23 @@ impl Mpeg4Decoder {
         mbs_x: usize,
         mbs_y: usize,
     ) -> Result<(), CodecError> {
-        let fwd = self
-            .prev_anchor
-            .take()
-            .ok_or_else(|| CodecError::InvalidBitstream("B picture without anchors".into()))?;
+        let fwd = self.prev_anchor.take().ok_or_else(|| {
+            CodecError::corrupt(CorruptKind::MissingReference, "B picture without anchors")
+        })?;
         let bwd = match self.last_anchor.take() {
             Some(b) => b,
             None => {
                 self.prev_anchor = Some(fwd);
-                return Err(CodecError::InvalidBitstream(
-                    "B picture without anchors".into(),
+                return Err(CodecError::corrupt(
+                    CorruptKind::MissingReference,
+                    "B picture without anchors",
                 ));
             }
         };
         let mut dc = DcStores::new(mbs_x, mbs_y);
         let result = (|| -> Result<(), CodecError> {
+            check_ref_geometry(&fwd, mbs_x, mbs_y)?;
+            check_ref_geometry(&bwd, mbs_x, mbs_y)?;
             for mby in 0..mbs_y {
                 let mut row = BRowState::new();
                 for mbx in 0..mbs_x {
@@ -350,6 +374,7 @@ impl Mpeg4Decoder {
                         // Direct-mode skip: vectors from the collocated
                         // anchor motion, bidirectional prediction.
                         let (mv_f, mv_b) = direct_mvs(&fwd, &bwd, display_index, mbx, mby);
+                        check_b_window(&fwd, &bwd, mbx, mby, 2, mv_f, mv_b)?;
                         build_b_prediction(
                             &self.dsp, &fwd, &bwd, mbx, mby, 2, mv_f, mv_b, &mut py, &mut pcb,
                             &mut pcr,
@@ -391,6 +416,7 @@ impl Mpeg4Decoder {
                         row.mv_pred_bwd = mv_b;
                     }
                     row.last_b = (mode, mv_f, mv_b);
+                    check_b_window(&fwd, &bwd, mbx, mby, mode, mv_f, mv_b)?;
                     let mut blocks = [[0i16; 64]; 6];
                     let cbp = {
                         let _z = hdvb_trace::zone!(hdvb_trace::Stage::EntropyCoding);
@@ -425,10 +451,99 @@ fn read_mv_component(r: &mut BitReader<'_>, pred: i16) -> Result<i16, CodecError
     if (-4096..=4095).contains(&v) {
         Ok(v as i16)
     } else {
-        Err(CodecError::InvalidBitstream(format!(
-            "motion vector component {v} out of range"
-        )))
+        Err(CodecError::corrupt(
+            CorruptKind::BadMotionVector,
+            format!("motion vector component {v} out of range"),
+        ))
     }
+}
+
+fn bad_mv(mbx: usize, mby: usize, mv: Mv) -> CodecError {
+    CodecError::corrupt(
+        CorruptKind::BadMotionVector,
+        format!(
+            "mv ({},{}) at mb ({mbx},{mby}) reads outside the padded reference",
+            mv.x, mv.y
+        ),
+    )
+}
+
+/// Rejects inter pictures whose coded geometry disagrees with the
+/// reference they predict from (a corrupt packet can otherwise drive
+/// motion compensation beyond the smaller reference's planes).
+fn check_ref_geometry(rp: &RefPicture, mbs_x: usize, mbs_y: usize) -> Result<(), CodecError> {
+    if rp.y.width() == mbs_x * 16 && rp.y.height() == mbs_y * 16 {
+        Ok(())
+    } else {
+        Err(CodecError::corrupt(
+            CorruptKind::MissingReference,
+            format!(
+                "picture geometry {}x{} does not match reference {}x{}",
+                mbs_x * 16,
+                mbs_y * 16,
+                rp.y.width(),
+                rp.y.height()
+            ),
+        ))
+    }
+}
+
+/// Validates the read windows of `predict_mb` for untrusted vectors:
+/// quarter-pel luma fetches (16-wide: 21×21 worst case, 8-wide: 13×13)
+/// plus the derived chroma half-pel fetch (9×9 worst case).
+fn check_window(
+    rp: &RefPicture,
+    mbx: usize,
+    mby: usize,
+    mvs: &[Mv; 4],
+    four_mv: bool,
+) -> Result<(), CodecError> {
+    if four_mv {
+        for (k, mv) in mvs.iter().enumerate() {
+            let bx = (mbx * 16 + (k % 2) * 8) as isize;
+            let by = (mby * 16 + (k / 2) * 8) as isize;
+            let ix = bx + isize::from(mv.x >> 2) - 2;
+            let iy = by + isize::from(mv.y >> 2) - 2;
+            if !rp.y.window_in_bounds(ix, iy, 13, 13) {
+                return Err(bad_mv(mbx, mby, *mv));
+            }
+        }
+    } else {
+        let mv = mvs[0];
+        let ix = (mbx * 16) as isize + isize::from(mv.x >> 2) - 2;
+        let iy = (mby * 16) as isize + isize::from(mv.y >> 2) - 2;
+        if !rp.y.window_in_bounds(ix, iy, 21, 21) {
+            return Err(bad_mv(mbx, mby, mv));
+        }
+    }
+    let sx = mvs.iter().map(|m| i32::from(m.x)).sum::<i32>() >> 4;
+    let sy = mvs.iter().map(|m| i32::from(m.y)).sum::<i32>() >> 4;
+    let cx = (mbx * 8) as isize + (sx >> 1) as isize;
+    let cy = (mby * 8) as isize + (sy >> 1) as isize;
+    if !rp.cb.window_in_bounds(cx, cy, 9, 9) {
+        return Err(bad_mv(mbx, mby, mvs[0]));
+    }
+    Ok(())
+}
+
+/// Window-checks the vectors a B macroblock will actually use: forward
+/// for modes 0/2, backward for modes 1/2 (mode 3 is intra).
+fn check_b_window(
+    fwd: &RefPicture,
+    bwd: &RefPicture,
+    mbx: usize,
+    mby: usize,
+    mode: u8,
+    mv_f: Mv,
+    mv_b: Mv,
+) -> Result<(), CodecError> {
+    if mode == 0 || mode == 2 {
+        check_window(fwd, mbx, mby, &[mv_f; 4], false)?;
+    }
+    if mode == 1 || mode == 2 {
+        check_window(bwd, mbx, mby, &[mv_b; 4], false)?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -463,17 +578,17 @@ mod tests {
         let config = EncoderConfig::new(w, h)
             .with_qscale(qscale)
             .with_b_frames(b_frames);
-        let mut enc = Mpeg4Encoder::new(config).unwrap();
+        let mut enc = Mpeg4Encoder::new(config).expect("mpeg4 encoder: config rejected");
         let mut dec = Mpeg4Decoder::new();
         let originals: Vec<Frame> = (0..frames).map(|i| moving_frame(w, h, i as f64)).collect();
         let mut packets = Vec::new();
         for f in &originals {
-            packets.extend(enc.encode(f).unwrap());
+            packets.extend(enc.encode(f).expect("mpeg4 encoder: encode failed"));
         }
-        packets.extend(enc.flush().unwrap());
+        packets.extend(enc.flush().expect("mpeg4 encoder: flush failed"));
         let mut decoded = Vec::new();
         for p in &packets {
-            decoded.extend(dec.decode(&p.data).unwrap());
+            decoded.extend(dec.decode(&p.data).expect("mpeg4 decoder: packet rejected"));
         }
         decoded.extend(dec.flush());
         (originals, decoded)
@@ -516,7 +631,8 @@ mod tests {
         // frames well (bidirectional averaging + direct-mode skips), so
         // B pictures must be clearly cheaper than P pictures.
         let (w, h) = (96, 80);
-        let mut enc = Mpeg4Encoder::new(EncoderConfig::new(w, h)).unwrap();
+        let mut enc =
+            Mpeg4Encoder::new(EncoderConfig::new(w, h)).expect("mpeg4 encoder: config rejected");
         let mut p_bits = 0u64;
         let mut p_count = 0u64;
         let mut b_bits = 0u64;
@@ -537,9 +653,12 @@ mod tests {
             }
         };
         for t in 0..13 {
-            tally(enc.encode(&moving_frame(w, h, t as f64)).unwrap());
+            tally(
+                enc.encode(&moving_frame(w, h, t as f64))
+                    .expect("mpeg4 encoder: encode failed"),
+            );
         }
-        tally(enc.flush().unwrap());
+        tally(enc.flush().expect("mpeg4 encoder: flush failed"));
         assert!(p_count >= 3 && b_count >= 6);
         let p_avg = p_bits / p_count;
         let b_avg = b_bits / b_count;
@@ -552,19 +671,29 @@ mod tests {
     #[test]
     fn decode_is_simd_level_independent() {
         let (w, h) = (64, 48);
-        let mut enc = Mpeg4Encoder::new(EncoderConfig::new(w, h)).unwrap();
+        let mut enc =
+            Mpeg4Encoder::new(EncoderConfig::new(w, h)).expect("mpeg4 encoder: config rejected");
         let mut packets = Vec::new();
         for i in 0..5 {
-            packets.extend(enc.encode(&moving_frame(w, h, i as f64)).unwrap());
+            packets.extend(
+                enc.encode(&moving_frame(w, h, i as f64))
+                    .expect("mpeg4 encoder: encode failed"),
+            );
         }
-        packets.extend(enc.flush().unwrap());
+        packets.extend(enc.flush().expect("mpeg4 encoder: flush failed"));
         let mut a = Mpeg4Decoder::with_simd(SimdLevel::Scalar);
         let mut b = Mpeg4Decoder::with_simd(SimdLevel::Sse2);
         let mut oa = Vec::new();
         let mut ob = Vec::new();
         for p in &packets {
-            oa.extend(a.decode(&p.data).unwrap());
-            ob.extend(b.decode(&p.data).unwrap());
+            oa.extend(
+                a.decode(&p.data)
+                    .expect("mpeg4 decoder (scalar): packet rejected"),
+            );
+            ob.extend(
+                b.decode(&p.data)
+                    .expect("mpeg4 decoder (sse2): packet rejected"),
+            );
         }
         oa.extend(a.flush());
         ob.extend(b.flush());
@@ -574,8 +703,11 @@ mod tests {
     #[test]
     fn corrupt_and_truncated_inputs_error_not_panic() {
         let (w, h) = (64, 48);
-        let mut enc = Mpeg4Encoder::new(EncoderConfig::new(w, h)).unwrap();
-        let packets = enc.encode(&moving_frame(w, h, 0.0)).unwrap();
+        let mut enc =
+            Mpeg4Encoder::new(EncoderConfig::new(w, h)).expect("mpeg4 encoder: config rejected");
+        let packets = enc
+            .encode(&moving_frame(w, h, 0.0))
+            .expect("mpeg4 encoder: encode failed");
         let data = &packets[0].data;
         for cut in [0, 3, 7, data.len() / 3, data.len() - 1] {
             let mut dec = Mpeg4Decoder::new();
@@ -588,16 +720,20 @@ mod tests {
     #[test]
     fn b_without_anchors_is_error() {
         let (w, h) = (64, 48);
-        let mut enc = Mpeg4Encoder::new(EncoderConfig::new(w, h)).unwrap();
+        let mut enc =
+            Mpeg4Encoder::new(EncoderConfig::new(w, h)).expect("mpeg4 encoder: config rejected");
         let mut packets = Vec::new();
         for i in 0..4 {
-            packets.extend(enc.encode(&moving_frame(w, h, i as f64)).unwrap());
+            packets.extend(
+                enc.encode(&moving_frame(w, h, i as f64))
+                    .expect("mpeg4 encoder: encode failed"),
+            );
         }
-        packets.extend(enc.flush().unwrap());
+        packets.extend(enc.flush().expect("mpeg4 encoder: flush failed"));
         let b_packet = packets
             .iter()
             .find(|p| p.frame_type == FrameType::B)
-            .unwrap();
+            .expect("mpeg4 encoder: stream contains no B packet");
         let mut dec = Mpeg4Decoder::new();
         assert!(dec.decode(&b_packet.data).is_err());
     }

@@ -36,4 +36,7 @@ grep -q "stage coverage of encode_frame" "$tmpdir/summary.txt" || {
 echo "==> disabled-path overhead guard (probe must stay one atomic load)"
 cargo test -q -p hdvb-trace disabled_probe_is_cheap
 
+echo "==> deterministic fuzz smoke (replays tests/corpus, then 20s of mutation)"
+./target/release/hdvb fuzz --seconds 20 --seed 7 --corpus tests/corpus
+
 echo "CI green."

@@ -20,6 +20,7 @@ pub use hdvb_bits as bits;
 pub use hdvb_core as bench;
 pub use hdvb_dsp as dsp;
 pub use hdvb_frame as frame;
+pub use hdvb_fuzz as fuzz;
 pub use hdvb_h264 as h264;
 pub use hdvb_me as me;
 pub use hdvb_mj2k as mj2k;

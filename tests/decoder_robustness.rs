@@ -1,0 +1,128 @@
+//! Table-driven robustness tests over the checked-in corruption corpus.
+//!
+//! Every `tests/corpus/*.hvb` vector is replayed through the decoders
+//! under the scalar tier, every detected SIMD tier, and a 4-thread pool,
+//! asserting:
+//!
+//! * nothing ever panics (`catch_unwind` guards every decode),
+//! * vectors tagged `corrupt--` are rejected with a typed
+//!   `BenchError::Corrupt { .. }`,
+//! * vectors tagged `container--` never reach a codec at all,
+//! * all execution configurations agree on the exact outcome.
+//!
+//! The corpus itself is regenerated deterministically by
+//! `hdvb fuzz --write-golden tests/corpus`; a test below asserts the
+//! checked-in bytes still match the generator, so the vectors cannot
+//! silently drift from the code that documents them.
+
+use hd_videobench::bench::{create_decoder, read_stream, BenchError};
+use hd_videobench::dsp::SimdLevel;
+use hd_videobench::fuzz::{differential_check, golden_vectors, Expectation};
+use hd_videobench::par::ThreadPool;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+fn load_vectors() -> Vec<(String, Expectation, Vec<u8>)> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(corpus_dir()).expect("tests/corpus exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().is_none_or(|e| e != "hvb") {
+            continue;
+        }
+        let stem = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .expect("utf-8 corpus file name")
+            .to_string();
+        let (tag, _name) = stem
+            .split_once("--")
+            .unwrap_or_else(|| panic!("corpus file {stem} lacks an expectation tag"));
+        let expect = Expectation::from_tag(tag)
+            .unwrap_or_else(|| panic!("corpus file {stem} has unknown tag {tag}"));
+        out.push((stem, expect, std::fs::read(&path).expect("readable vector")));
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    assert!(out.len() >= 25, "corpus shrank to {} vectors", out.len());
+    out
+}
+
+/// Decodes one vector under one tier; panics inside the decoder are the
+/// failure being tested for, so each packet is unwind-guarded.
+fn decode_vector(data: &[u8], simd: SimdLevel) -> Result<(), String> {
+    let (header, packets) = match read_stream(data) {
+        Ok(x) => x,
+        Err(_) => return Ok(()), // container-level rejection is fine
+    };
+    let mut dec = create_decoder(header.codec, simd);
+    for (i, p) in packets.iter().enumerate() {
+        let result = catch_unwind(AssertUnwindSafe(|| dec.decode_packet(&p.data)));
+        match result {
+            Ok(_) => {}
+            Err(_) => return Err(format!("packet {i} panicked under {simd:?}")),
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn no_vector_panics_under_any_tier() {
+    for (name, _expect, data) in load_vectors() {
+        for simd in SimdLevel::supported_tiers() {
+            decode_vector(&data, simd).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn corrupt_vectors_fail_with_typed_errors() {
+    for (name, expect, data) in load_vectors() {
+        match expect {
+            Expectation::ContainerError => {
+                assert!(read_stream(&data[..]).is_err(), "{name}: container parsed");
+            }
+            Expectation::MustCorrupt => {
+                let (header, packets) =
+                    read_stream(&data[..]).unwrap_or_else(|e| panic!("{name}: {e}"));
+                let mut dec = create_decoder(header.codec, SimdLevel::Scalar);
+                let saw_corrupt = packets
+                    .iter()
+                    .any(|p| matches!(dec.decode_packet(&p.data), Err(BenchError::Corrupt { .. })));
+                assert!(saw_corrupt, "{name}: no packet raised Corrupt");
+            }
+            Expectation::NoPanic => {} // covered by the panic sweep above
+        }
+    }
+}
+
+#[test]
+fn all_tiers_and_a_thread_pool_agree_on_every_vector() {
+    let pool = ThreadPool::new(4);
+    for (name, _expect, data) in load_vectors() {
+        let outcome = differential_check(&data, Some(&pool))
+            .unwrap_or_else(|d| panic!("{name}: divergence {d:?}"));
+        assert!(!outcome.has_panic(), "{name}: decoder panicked");
+    }
+}
+
+#[test]
+fn checked_in_corpus_matches_the_generator() {
+    let vectors = golden_vectors();
+    let on_disk = load_vectors();
+    // Every generated vector must exist on disk with identical bytes
+    // (extra on-disk entries — fuzz-found reproducers — are allowed).
+    for g in &vectors {
+        let stem = g.file_name();
+        let stem = stem.trim_end_matches(".hvb");
+        let found = on_disk
+            .iter()
+            .find(|(name, _, _)| name == stem)
+            .unwrap_or_else(|| {
+                panic!("golden vector {stem} missing from tests/corpus — run `hdvb fuzz --write-golden tests/corpus`")
+            });
+        assert_eq!(found.2, g.data, "{stem}: bytes drifted from generator");
+    }
+}
