@@ -14,7 +14,7 @@ pub struct Parsed {
 
 impl Parsed {
     /// Options that take no value (presence means `true`).
-    const FLAGS: [&'static str; 1] = ["json"];
+    const FLAGS: [&'static str; 2] = ["json", "resume"];
 
     pub fn parse(args: &[String]) -> Result<Parsed, String> {
         let mut values = HashMap::new();
@@ -175,6 +175,60 @@ impl Parsed {
         self.get("output")
     }
 
+    /// `--cell-timeout <secs>`: per-cell wall-clock budget for the
+    /// fault-tolerant sweeps. `auto` (the default) derives the budget
+    /// from resolution and frame count; `0` or `off` disables it.
+    pub fn cell_timeout(&self) -> Result<hdvb_core::CellTimeout, String> {
+        match self.get("cell-timeout") {
+            None | Some("auto") => Ok(hdvb_core::CellTimeout::Auto),
+            Some("0") | Some("off") => Ok(hdvb_core::CellTimeout::Off),
+            Some(v) => v
+                .parse::<u64>()
+                .ok()
+                .filter(|&s| s >= 1)
+                .map(|s| hdvb_core::CellTimeout::Fixed(std::time::Duration::from_secs(s)))
+                .ok_or_else(|| format!("bad --cell-timeout {v:?} (seconds, off or auto)")),
+        }
+    }
+
+    /// `--max-retries <n>`: extra attempts for a failed or panicked
+    /// sweep cell (timeouts are never retried within a run).
+    pub fn max_retries(&self) -> Result<u32, String> {
+        match self.get("max-retries") {
+            None => Ok(2),
+            Some(v) => v
+                .parse::<u32>()
+                .ok()
+                .filter(|&n| n <= 10)
+                .ok_or_else(|| format!("bad --max-retries {v:?} (0..=10)")),
+        }
+    }
+
+    /// `--journal <path>`: append-only sweep journal for
+    /// checkpoint/resume of `table5` and `figure1` runs.
+    pub fn journal(&self) -> Option<&str> {
+        self.get("journal")
+    }
+
+    /// `--resume`: load the `--journal` file before running and skip
+    /// every cell it already records as completed.
+    pub fn resume(&self) -> bool {
+        self.get("resume") == Some("true")
+    }
+
+    /// `--roundtrips <n>`: encoder round-trip cases for the `fuzz`
+    /// command's encoder-side oracle (`0` disables it).
+    pub fn roundtrips(&self) -> Result<u64, String> {
+        match self.get("roundtrips") {
+            None => Ok(16),
+            Some(v) => v
+                .parse::<u64>()
+                .ok()
+                .filter(|&n| n <= 1_000_000)
+                .ok_or_else(|| format!("bad --roundtrips {v:?} (0..=1000000)")),
+        }
+    }
+
     pub fn part(&self) -> Result<&str, String> {
         let p = self.get("part").unwrap_or("all");
         if ["a", "b", "c", "d", "all"].contains(&p) {
@@ -284,6 +338,43 @@ mod tests {
         let p = parsed(&["--json", "--frames", "3"]);
         assert!(p.json());
         assert_eq!(p.frames().unwrap(), 3);
+    }
+
+    #[test]
+    fn fault_tolerance_options() {
+        let p = parsed(&[]);
+        assert_eq!(p.cell_timeout().unwrap(), hdvb_core::CellTimeout::Auto);
+        assert_eq!(p.max_retries().unwrap(), 2);
+        assert_eq!(p.journal(), None);
+        assert!(!p.resume());
+        assert_eq!(p.roundtrips().unwrap(), 16);
+
+        let p = parsed(&[
+            "--cell-timeout",
+            "90",
+            "--max-retries",
+            "0",
+            "--journal",
+            "sweep.journal",
+            "--resume",
+            "--roundtrips",
+            "5",
+        ]);
+        assert_eq!(
+            p.cell_timeout().unwrap(),
+            hdvb_core::CellTimeout::Fixed(std::time::Duration::from_secs(90))
+        );
+        assert_eq!(p.max_retries().unwrap(), 0);
+        assert_eq!(p.journal(), Some("sweep.journal"));
+        assert!(p.resume());
+        assert_eq!(p.roundtrips().unwrap(), 5);
+
+        assert_eq!(
+            parsed(&["--cell-timeout", "off"]).cell_timeout().unwrap(),
+            hdvb_core::CellTimeout::Off
+        );
+        assert!(parsed(&["--cell-timeout", "soon"]).cell_timeout().is_err());
+        assert!(parsed(&["--max-retries", "99"]).max_retries().is_err());
     }
 
     #[test]

@@ -5,8 +5,8 @@ use hdvb_bench::kernelbench;
 use hdvb_core::{
     cpu_model, create_encoder, decode_sequence, encode_sequence, encode_sequence_parallel,
     figure1_markdown, machine_attribution, measure_figure1_row, measure_rd_point, read_stream,
-    table5_markdown, write_stream, CodecId, CodingOptions, Figure1Part, Figure1Row, Packet,
-    ParallelRunner, StreamHeader,
+    table5_markdown, write_stream, CodecId, CodingOptions, FaultPlan, Figure1Part, Figure1Row,
+    FtSweepReport, Packet, ParallelRunner, StreamHeader, SweepPolicy,
 };
 use hdvb_dsp::SimdLevel;
 use hdvb_frame::{Frame, Resolution, SequencePsnr, VideoFormat, Y4mReader, Y4mWriter};
@@ -411,14 +411,20 @@ fn figure1_json(rows: &[Figure1Row], frames: u32) -> String {
         for (ci, codec) in CodecId::ALL.iter().enumerate() {
             i += 1;
             let comma = if i == total { "" } else { "," };
+            // Failed/timed-out cells carry NaN; JSON has no NaN, so
+            // they serialise as null.
+            let fps = if r.fps[ci].is_finite() {
+                format!("{:.3}", r.fps[ci])
+            } else {
+                "null".to_string()
+            };
             out.push_str(&format!(
                 "    {{\"resolution\": \"{}\", \"direction\": \"{}\", \"tier\": \"{}\", \
-                 \"codec\": \"{}\", \"fps\": {:.3}}}{comma}\n",
+                 \"codec\": \"{}\", \"fps\": {fps}}}{comma}\n",
                 r.resolution.label(),
                 if r.decode { "decode" } else { "encode" },
                 r.tier.tier_name(),
                 codec.name(),
-                r.fps[ci],
             ));
         }
     }
@@ -433,6 +439,37 @@ fn benchmark_resolutions(scale: u32) -> Vec<Resolution> {
         .collect()
 }
 
+/// Builds the fault-tolerance policy shared by `table5` and `figure1`
+/// from the CLI flags plus the `HDVB_FAULTS` injection env var, and
+/// resolves the journal/resume paths (`--resume` implies `--journal`).
+fn ft_setup(p: &Parsed) -> Result<(SweepPolicy, Option<&std::path::Path>, bool), String> {
+    let faults = FaultPlan::from_env().map_err(|e| format!("bad HDVB_FAULTS: {e}"))?;
+    let policy = SweepPolicy {
+        max_retries: p.max_retries()?,
+        cell_timeout: p.cell_timeout()?,
+        seed: p.seed()?,
+        faults,
+        ..SweepPolicy::default()
+    };
+    let journal = p.journal().map(std::path::Path::new);
+    let resume = p.resume();
+    if resume && journal.is_none() {
+        return Err("--resume requires --journal <path>".to_string());
+    }
+    Ok((policy, journal, resume))
+}
+
+/// Prints the fault-tolerance outcome of a sweep: the per-cell failure
+/// table (stdout, it is part of the result) when anything went wrong,
+/// and the execution summary (stderr).
+fn report_ft(report: &FtSweepReport) {
+    if !report.all_ok() || report.restored() > 0 || report.journal_bad_lines > 0 {
+        println!();
+        print!("{}", report.failure_summary());
+    }
+    eprintln!("{}", report.execution.summary());
+}
+
 pub fn table5(p: &Parsed) -> CmdResult {
     let _trace = TraceSession::start(p);
     let options = options_from(p)?;
@@ -440,13 +477,21 @@ pub fn table5(p: &Parsed) -> CmdResult {
     let scale = p.scale()?;
     let runner = ParallelRunner::new(p.threads()?);
     let resolutions = benchmark_resolutions(scale);
+    let (policy, journal, resume) = ft_setup(p)?;
     eprintln!(
         "measuring {} rate-distortion cells on {} thread(s) ...",
         resolutions.len() * SequenceId::ALL.len() * CodecId::ALL.len(),
         runner.threads()
     );
     let (rows, report) = runner
-        .table5_rows(&resolutions, frames, &options)
+        .table5_rows_ft(
+            &resolutions,
+            frames,
+            &options,
+            &policy,
+            journal,
+            resume.then_some(journal).flatten(),
+        )
         .map_err(|e| e.to_string())?;
     println!(
         "# Table V — rate-distortion comparison ({frames} frames, qscale {}, scale 1/{scale})",
@@ -454,7 +499,7 @@ pub fn table5(p: &Parsed) -> CmdResult {
     );
     println!();
     print!("{}", table5_markdown(&rows));
-    eprintln!("{}", report.summary());
+    report_ft(&report);
     Ok(())
 }
 
@@ -477,14 +522,23 @@ pub fn figure1(p: &Parsed) -> CmdResult {
              use --threads 1 for reference timings"
         );
     }
+    let (policy, journal, resume) = ft_setup(p)?;
     let (rows, report) = runner
-        .figure1_rows(&resolutions, frames, &options, part)
+        .figure1_rows_ft(
+            &resolutions,
+            frames,
+            &options,
+            part,
+            &policy,
+            journal,
+            resume.then_some(journal).flatten(),
+        )
         .map_err(|e| e.to_string())?;
     println!("# Figure 1 — HD-VideoBench performance ({frames} frames, scale 1/{scale})");
     println!();
     print!("{}", figure1_markdown(&rows));
     println!("{}", machine_attribution());
-    eprintln!("{}", report.summary());
+    report_ft(&report);
     if p.json() {
         write_bench_file("BENCH_figure1.json", &figure1_json(&rows, frames))?;
     }
@@ -558,6 +612,7 @@ pub fn fuzz(p: &Parsed) -> CmdResult {
         corpus_dir: p.corpus().map(std::path::PathBuf::from),
         threads,
         max_execs: None,
+        roundtrips: p.roundtrips()?,
     };
     println!(
         "fuzzing: {}s budget, seed {}, differential over {:?} x serial/pool({threads})",
@@ -574,7 +629,8 @@ pub fn fuzz(p: &Parsed) -> CmdResult {
     std::panic::set_hook(hook);
     let report = result.map_err(|e| format!("fuzz run failed: {e}"))?;
     println!(
-        "replayed {} entries, executed {} mutants in {:.1}s",
+        "ran {} encoder round trips, replayed {} entries, executed {} mutants in {:.1}s",
+        report.roundtrips,
         report.replayed,
         report.executions,
         report.elapsed.as_secs_f64()

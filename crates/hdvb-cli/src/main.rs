@@ -51,18 +51,37 @@ COMMON OPTIONS:
     --trace <out.json>              write a chrome://tracing trace (Perfetto-loadable)
                                     and print the per-stage summary on exit
                                     (encode, decode, bench, table5, figure1, profile)
+    --cell-timeout <secs|off|auto>  table5/figure1: per-cell wall-clock budget;
+                                    overruns report as timed-out instead of
+                                    stalling the sweep (auto derives the budget
+                                    from resolution and frames)  [default: auto]
+    --max-retries <n>               table5/figure1: extra attempts for a failed
+                                    or panicked cell                      [default: 2]
+    --journal <path>                table5/figure1: append every finished cell to
+                                    this checkpoint journal as the sweep runs
+    --resume                        table5/figure1: load --journal first and skip
+                                    cells it already records as completed
     --seconds <n>                   fuzz: mutation budget in seconds      [default: 60]
-    --seed <n>                      fuzz: deterministic PRNG seed         [default: 1]
+    --seed <n>                      fuzz: PRNG seed (also salts sweep retry
+                                    backoff jitter)                       [default: 1]
+    --roundtrips <n>                fuzz: encoder round-trip oracle cases [default: 16]
     --corpus <dir>                  fuzz: replay this corpus first and persist any
                                     minimised failure reproducers into it
     --write-golden <dir>            fuzz: regenerate the golden corruption vectors
                                     into <dir> and exit
+
+ENVIRONMENT:
+    HDVB_SIMD                       force a kernel tier (scalar|sse2|avx2|auto)
+    HDVB_FAULTS                     deterministic fault injection for sweeps, e.g.
+                                    \"panic@2x1,stall@4:2000x1,seed=7\" (see DESIGN.md)
 
 EXAMPLES:
     hdvb encode --codec h264 --sequence blue_sky --resolution 720p25 -o out.hvb
     hdvb decode -i out.hvb --simd scalar -o out.y4m
     hdvb psnr -i out.y4m --sequence blue_sky
     hdvb table5 --frames 24 --scale 2 --threads 4
+    hdvb table5 --frames 24 --journal sweep.journal     # checkpoint as it runs
+    hdvb table5 --frames 24 --journal sweep.journal --resume   # heal a killed run
     hdvb figure1 --frames 24 --scale 2 --threads 4 --json
     hdvb kernels --json
     hdvb fuzz --seconds 60 --seed 1 --corpus tests/corpus

@@ -4,6 +4,7 @@
 use crate::{BenchError, CodingOptions};
 use hdvb_dsp::SimdLevel;
 use hdvb_frame::{Frame, Resolution};
+use hdvb_par::CancelToken;
 use std::fmt;
 
 /// The video standards covered by HD-VideoBench (paper Table II).
@@ -115,6 +116,12 @@ pub trait VideoEncoder {
     ///
     /// Codec-specific errors.
     fn finish(&mut self) -> Result<Vec<Packet>, BenchError>;
+
+    /// Installs a cooperative cancellation token, checked at picture
+    /// boundaries; once it fires, encoding stops with
+    /// [`BenchError::Cancelled`]. Implementations that cannot cancel
+    /// may ignore the token (the default).
+    fn set_cancel(&mut self, _cancel: CancelToken) {}
 }
 
 /// An object-safe decoder: coding-order packets in, display-order frames
@@ -129,6 +136,12 @@ pub trait VideoDecoder {
 
     /// Returns the final buffered frames at end of stream.
     fn finish(&mut self) -> Vec<Frame>;
+
+    /// Installs a cooperative cancellation token, checked at packet
+    /// boundaries; once it fires, decoding stops with
+    /// [`BenchError::Cancelled`]. Implementations that cannot cancel
+    /// may ignore the token (the default).
+    fn set_cancel(&mut self, _cancel: CancelToken) {}
 }
 
 /// Creates an encoder for `codec` at the benchmark's coding options.
@@ -184,7 +197,7 @@ pub fn create_decoder(codec: CodecId, simd: SimdLevel) -> Box<dyn VideoDecoder> 
 }
 
 macro_rules! impl_adapters {
-    ($enc:ident, $dec:ident, $enc_ty:ty, $dec_ty:ty, $corrupt:path, $ft:path, $cid:expr) => {
+    ($enc:ident, $dec:ident, $enc_ty:ty, $dec_ty:ty, $corrupt:path, $cancelled:path, $ft:path, $cid:expr) => {
         struct $enc($enc_ty);
 
         impl VideoEncoder for $enc {
@@ -201,6 +214,10 @@ macro_rules! impl_adapters {
             fn finish(&mut self) -> Result<Vec<Packet>, BenchError> {
                 let _span = hdvb_trace::span!(hdvb_trace::Stage::EncodeFrame);
                 Ok(self.0.flush()?.into_iter().map(convert_packet).collect())
+            }
+
+            fn set_cancel(&mut self, cancel: CancelToken) {
+                self.0.set_cancel(cancel);
             }
         }
 
@@ -220,12 +237,17 @@ macro_rules! impl_adapters {
                         kind,
                         detail,
                     },
+                    $cancelled => BenchError::Cancelled,
                     other => BenchError::Bitstream(other.to_string()),
                 })
             }
 
             fn finish(&mut self) -> Vec<Frame> {
                 self.0.flush()
+            }
+
+            fn set_cancel(&mut self, cancel: CancelToken) {
+                self.0.set_cancel(cancel);
             }
         }
     };
@@ -309,6 +331,7 @@ impl_adapters!(
     hdvb_mpeg2::Mpeg2Encoder,
     hdvb_mpeg2::Mpeg2Decoder,
     hdvb_mpeg2::CodecError::Corrupt,
+    hdvb_mpeg2::CodecError::Cancelled,
     hdvb_mpeg2::FrameType,
     CodecId::Mpeg2
 );
@@ -318,6 +341,7 @@ impl_adapters!(
     hdvb_mpeg4::Mpeg4Encoder,
     hdvb_mpeg4::Mpeg4Decoder,
     hdvb_mpeg4::CodecError::Corrupt,
+    hdvb_mpeg4::CodecError::Cancelled,
     hdvb_mpeg4::FrameType,
     CodecId::Mpeg4
 );
@@ -327,6 +351,7 @@ impl_adapters!(
     hdvb_h264::H264Encoder,
     hdvb_h264::H264Decoder,
     hdvb_h264::CodecError::Corrupt,
+    hdvb_h264::CodecError::Cancelled,
     hdvb_h264::FrameType,
     CodecId::H264
 );

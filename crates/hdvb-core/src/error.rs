@@ -28,6 +28,14 @@ pub enum BenchError {
     },
     /// The requested measurement is impossible (e.g. zero frames).
     BadRequest(&'static str),
+    /// Reading or writing a sweep journal failed (I/O, not content:
+    /// torn or garbled *records* are skipped and counted, not errors).
+    Journal(String),
+    /// The operation was cancelled cooperatively (cell deadline or
+    /// shutdown) at a frame/GOP boundary. Work up to the checkpoint is
+    /// intact; the fault-tolerant sweep runner maps this to
+    /// `CellOutcome::TimedOut` rather than a failure.
+    Cancelled,
 }
 
 impl fmt::Display for BenchError {
@@ -45,6 +53,8 @@ impl fmt::Display for BenchError {
                 "{codec}: corrupt bitstream at bit {offset} ({kind}): {detail}"
             ),
             BenchError::BadRequest(msg) => write!(f, "bad benchmark request: {msg}"),
+            BenchError::Journal(msg) => write!(f, "sweep journal error: {msg}"),
+            BenchError::Cancelled => f.write_str("cancelled at a frame/GOP boundary"),
         }
     }
 }
@@ -53,19 +63,28 @@ impl std::error::Error for BenchError {}
 
 impl From<hdvb_mpeg2::CodecError> for BenchError {
     fn from(e: hdvb_mpeg2::CodecError) -> Self {
-        BenchError::Codec(e.to_string())
+        match e {
+            hdvb_mpeg2::CodecError::Cancelled => BenchError::Cancelled,
+            other => BenchError::Codec(other.to_string()),
+        }
     }
 }
 
 impl From<hdvb_mpeg4::CodecError> for BenchError {
     fn from(e: hdvb_mpeg4::CodecError) -> Self {
-        BenchError::Codec(e.to_string())
+        match e {
+            hdvb_mpeg4::CodecError::Cancelled => BenchError::Cancelled,
+            other => BenchError::Codec(other.to_string()),
+        }
     }
 }
 
 impl From<hdvb_h264::CodecError> for BenchError {
     fn from(e: hdvb_h264::CodecError) -> Self {
-        BenchError::Codec(e.to_string())
+        match e {
+            hdvb_h264::CodecError::Cancelled => BenchError::Cancelled,
+            other => BenchError::Codec(other.to_string()),
+        }
     }
 }
 

@@ -1,0 +1,284 @@
+//! Deterministic fault injection for exercising the fault-tolerant
+//! sweep runner ([`crate::sweep`]).
+//!
+//! A [`FaultPlan`] is parsed from a compact spec string (the CLI and CI
+//! pass it through the `HDVB_FAULTS` environment variable) and injected
+//! at the per-cell entry point of the sweep engine. Faults are
+//! *deterministic*: indexed rules fire at an exact `(cell, attempt)`
+//! count, and the probabilistic rule is driven by a splitmix64 stream
+//! keyed on `(seed, cell, attempt)`, so a given spec reproduces the
+//! same failures on every run — the same philosophy as `hdvb-fuzz`'s
+//! seeded corpus.
+//!
+//! Spec grammar (comma-separated tokens):
+//!
+//! * `panic@<cell>[x<times>]` — panic when cell `<cell>` starts, for
+//!   its first `<times>` attempts (default 1). With `x2` the first
+//!   retry panics too and the second retry succeeds.
+//! * `stall@<cell>:<ms>[x<times>]` — sleep `<ms>` milliseconds before
+//!   cell `<cell>` runs. The stall counts against the cell's deadline
+//!   budget, so a stall longer than the budget produces a timeout.
+//! * `panic~<permille>` — seeded probabilistic panic: each `(cell,
+//!   attempt)` panics with probability `<permille>/1000`.
+//! * `truncate-journal@<bytes>` — after the sweep, truncate the journal
+//!   file to `<bytes>` bytes (simulates a torn write / mid-run kill).
+//! * `seed=<n>` — seed for the probabilistic rule (default 0).
+//!
+//! Example: `panic@2,stall@5:2000,seed=7`.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Duration;
+
+/// The splitmix64 mixing function: a high-quality 64-bit permutation
+/// used for deterministic jitter and probabilistic fault decisions.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[derive(Debug)]
+enum RuleKind {
+    Panic,
+    Stall(Duration),
+}
+
+#[derive(Debug)]
+struct Rule {
+    cell: usize,
+    kind: RuleKind,
+    /// How many attempts of this cell the rule fires for.
+    times: u32,
+    /// How many times it has fired so far.
+    fired: AtomicU32,
+}
+
+/// A parsed, deterministic fault-injection plan.
+///
+/// The empty plan ([`FaultPlan::none`]) injects nothing and is the
+/// default everywhere; tests and the CI chaos smoke build plans from
+/// spec strings.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    rules: Vec<Rule>,
+    /// Permille probability of a seeded panic per (cell, attempt).
+    panic_permille: u32,
+    truncate_journal: Option<u64>,
+    seed: u64,
+}
+
+impl FaultPlan {
+    /// The empty plan: injects nothing.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True when the plan has no rules at all.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty() && self.panic_permille == 0 && self.truncate_journal.is_none()
+    }
+
+    /// Parses a spec string (see the module docs for the grammar).
+    ///
+    /// # Errors
+    ///
+    /// A description of the first malformed token.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::default();
+        for token in spec.split(',') {
+            let token = token.trim();
+            if token.is_empty() {
+                continue;
+            }
+            if let Some(v) = token.strip_prefix("seed=") {
+                plan.seed = v
+                    .parse()
+                    .map_err(|_| format!("bad seed in fault spec: {token:?}"))?;
+            } else if let Some(v) = token.strip_prefix("panic~") {
+                plan.panic_permille = v
+                    .parse()
+                    .map_err(|_| format!("bad permille in fault spec: {token:?}"))?;
+            } else if let Some(v) = token.strip_prefix("panic@") {
+                let (cell, times) = parse_indexed(v)?;
+                plan.rules.push(Rule {
+                    cell,
+                    kind: RuleKind::Panic,
+                    times,
+                    fired: AtomicU32::new(0),
+                });
+            } else if let Some(v) = token.strip_prefix("stall@") {
+                let (head, times) = split_times(v)?;
+                let (cell, ms) = head
+                    .split_once(':')
+                    .ok_or_else(|| format!("stall needs <cell>:<ms>: {token:?}"))?;
+                let cell = cell
+                    .parse()
+                    .map_err(|_| format!("bad cell index in fault spec: {token:?}"))?;
+                let ms: u64 = ms
+                    .parse()
+                    .map_err(|_| format!("bad stall duration in fault spec: {token:?}"))?;
+                plan.rules.push(Rule {
+                    cell,
+                    kind: RuleKind::Stall(Duration::from_millis(ms)),
+                    times,
+                    fired: AtomicU32::new(0),
+                });
+            } else if let Some(v) = token.strip_prefix("truncate-journal@") {
+                plan.truncate_journal = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad byte count in fault spec: {token:?}"))?,
+                );
+            } else {
+                return Err(format!("unknown fault spec token: {token:?}"));
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Builds a plan from the `HDVB_FAULTS` environment variable, or
+    /// the empty plan when unset.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first malformed token.
+    pub fn from_env() -> Result<Self, String> {
+        match std::env::var("HDVB_FAULTS") {
+            Ok(spec) => FaultPlan::parse(&spec),
+            Err(_) => Ok(FaultPlan::none()),
+        }
+    }
+
+    /// The seed driving the probabilistic rule.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The journal-truncation fault, if the plan has one.
+    pub fn journal_truncate_bytes(&self) -> Option<u64> {
+        self.truncate_journal
+    }
+
+    /// The injection point: called by the sweep engine as cell `cell`
+    /// begins attempt `attempt` (1-based). May sleep (stall rules) and
+    /// may panic (panic rules) — the sweep engine is expected to absorb
+    /// the panic like any real cell failure.
+    ///
+    /// # Panics
+    ///
+    /// When a panic rule matches; this is the injected fault itself.
+    pub fn before_cell(&self, cell: usize, attempt: u32) {
+        for rule in &self.rules {
+            if rule.cell != cell {
+                continue;
+            }
+            // `fetch_update` keeps the fire-count honest if two
+            // attempts of the same cell ever raced (they cannot today:
+            // a cell is retried only after its previous attempt
+            // resolved, but the plan should not rely on that).
+            let fired = rule
+                .fired
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                    (n < rule.times).then_some(n + 1)
+                });
+            if fired.is_err() {
+                continue; // rule exhausted
+            }
+            match rule.kind {
+                RuleKind::Panic => {
+                    panic!("injected fault: panic at cell {cell} attempt {attempt}")
+                }
+                RuleKind::Stall(d) => std::thread::sleep(d),
+            }
+        }
+        if self.panic_permille > 0 {
+            let roll = splitmix64(
+                self.seed ^ (cell as u64).wrapping_mul(0x9e37_79b9) ^ u64::from(attempt) << 32,
+            ) % 1000;
+            if (roll as u32) < self.panic_permille {
+                panic!("injected fault: seeded panic at cell {cell} attempt {attempt}");
+            }
+        }
+    }
+}
+
+/// Parses `<cell>[x<times>]`.
+fn parse_indexed(v: &str) -> Result<(usize, u32), String> {
+    let (head, times) = split_times(v)?;
+    let cell = head
+        .parse()
+        .map_err(|_| format!("bad cell index in fault spec: {v:?}"))?;
+    Ok((cell, times))
+}
+
+/// Splits a trailing `x<times>` repeat count off a token (default 1).
+fn split_times(v: &str) -> Result<(&str, u32), String> {
+    match v.rsplit_once('x') {
+        Some((head, t)) if !head.is_empty() => {
+            let times = t
+                .parse()
+                .map_err(|_| format!("bad repeat count in fault spec: {v:?}"))?;
+            Ok((head, times))
+        }
+        _ => Ok((v, 1)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::time::Instant;
+
+    #[test]
+    fn parse_round_trip() {
+        let p = FaultPlan::parse("panic@2x3, stall@5:40, truncate-journal@128, seed=9").unwrap();
+        assert_eq!(p.rules.len(), 2);
+        assert_eq!(p.journal_truncate_bytes(), Some(128));
+        assert_eq!(p.seed(), 9);
+        assert!(!p.is_empty());
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+        assert!(FaultPlan::parse("nonsense@4").is_err());
+        assert!(FaultPlan::parse("stall@4").is_err());
+    }
+
+    #[test]
+    fn panic_rule_fires_exactly_times() {
+        let p = FaultPlan::parse("panic@1x2").unwrap();
+        // Other cells untouched.
+        p.before_cell(0, 1);
+        // First two attempts of cell 1 panic, the third succeeds.
+        for attempt in 1..=2 {
+            let r = catch_unwind(AssertUnwindSafe(|| p.before_cell(1, attempt)));
+            assert!(r.is_err(), "attempt {attempt} should panic");
+        }
+        p.before_cell(1, 3);
+    }
+
+    #[test]
+    fn stall_rule_sleeps() {
+        let p = FaultPlan::parse("stall@0:30").unwrap();
+        let t = Instant::now();
+        p.before_cell(0, 1);
+        assert!(t.elapsed() >= Duration::from_millis(30));
+        // Exhausted after one firing.
+        let t = Instant::now();
+        p.before_cell(0, 2);
+        assert!(t.elapsed() < Duration::from_millis(30));
+    }
+
+    #[test]
+    fn probabilistic_rule_is_deterministic() {
+        let fire_set = |seed: u64| {
+            let p = FaultPlan::parse(&format!("panic~200,seed={seed}")).unwrap();
+            (0..200)
+                .filter(|&c| catch_unwind(AssertUnwindSafe(|| p.before_cell(c, 1))).is_err())
+                .collect::<Vec<_>>()
+        };
+        let a = fire_set(7);
+        let b = fire_set(7);
+        assert_eq!(a, b, "same seed must fire the same cells");
+        assert!(!a.is_empty(), "permille 200 over 200 cells should fire");
+        assert!(a.len() < 200, "and should not fire everywhere");
+    }
+}

@@ -27,17 +27,25 @@
 
 mod codec;
 mod error;
+mod faults;
+mod journal;
 mod options;
 mod parallel;
 mod report;
 mod runner;
 mod stream;
+mod sweep;
 
 pub use codec::{
     create_decoder, create_encoder, CodecId, Packet, PacketKind, VideoDecoder, VideoEncoder,
 };
 pub use error::BenchError;
+pub use faults::{splitmix64, FaultPlan};
 pub use hdvb_bits::CorruptKind;
+pub use journal::{
+    fnv1a64, load_journal, truncate_journal, JournalLoad, JournalOutcome, JournalRecord,
+    JournalWriter,
+};
 pub use options::{h264_qp_for_mpeg_qscale, CodingOptions};
 pub use parallel::{
     encode_sequence_parallel, ExecutionReport, Figure1Part, ParallelEncodeStats, ParallelRunner,
@@ -46,7 +54,10 @@ pub use report::{
     cpu_model, figure1_markdown, machine_attribution, table5_markdown, Figure1Row, Table5Row,
 };
 pub use runner::{
-    decode_sequence, decode_sequence_resilient, encode_sequence, measure_figure1_row,
-    measure_rd_point, DecodeResult, EncodeResult, RdPoint, ResilientDecode, Throughput,
+    decode_sequence, decode_sequence_cancellable, decode_sequence_resilient, encode_sequence,
+    encode_sequence_cancellable, measure_figure1_row, measure_figure1_row_cancellable,
+    measure_rd_point, measure_rd_point_cancellable, DecodeResult, EncodeResult, RdPoint,
+    ResilientDecode, Throughput,
 };
 pub use stream::{read_stream, write_stream, StreamHeader};
+pub use sweep::{CellOutcome, CellReport, CellTimeout, CellValue, FtSweepReport, SweepPolicy};

@@ -19,6 +19,16 @@ pub struct Table5Row {
     pub points: [(f64, f64); 3],
 }
 
+/// Formats `v` to `prec` decimals, or `n/a` for non-finite values — a
+/// cell the fault-tolerant sweep could not measure.
+fn fmt_or_na(v: f64, prec: usize) -> String {
+    if v.is_finite() {
+        format!("{v:.prec$}")
+    } else {
+        "n/a".to_string()
+    }
+}
+
 /// Renders Table V in the paper's layout.
 pub fn table5_markdown(rows: &[Table5Row]) -> String {
     let mut out = String::new();
@@ -30,24 +40,25 @@ pub fn table5_markdown(rows: &[Table5Row]) -> String {
     for row in rows {
         let _ = writeln!(
             out,
-            "| {} | {} | {:.2} | {:.0} | {:.2} | {:.0} | {:.2} | {:.0} |",
+            "| {} | {} | {} | {} | {} | {} | {} | {} |",
             row.resolution.label(),
             row.sequence.name(),
-            row.points[0].0,
-            row.points[0].1,
-            row.points[1].0,
-            row.points[1].1,
-            row.points[2].0,
-            row.points[2].1,
+            fmt_or_na(row.points[0].0, 2),
+            fmt_or_na(row.points[0].1, 0),
+            fmt_or_na(row.points[1].0, 2),
+            fmt_or_na(row.points[1].1, 0),
+            fmt_or_na(row.points[2].0, 2),
+            fmt_or_na(row.points[2].1, 0),
         );
     }
     // Compression-gain summary (the paper quotes these percentages in
-    // Section VI).
+    // Section VI). Rows with an unmeasured cell (`NaN` from a failed
+    // fault-tolerant sweep cell) are left out of the averages.
     if !rows.is_empty() {
         let gain = |target: usize, base: usize| -> f64 {
             let ratios: Vec<f64> = rows
                 .iter()
-                .filter(|r| r.points[base].1 > 0.0)
+                .filter(|r| r.points[base].1 > 0.0 && r.points[target].1.is_finite())
                 .map(|r| 1.0 - r.points[target].1 / r.points[base].1)
                 .collect();
             100.0 * ratios.iter().sum::<f64>() / ratios.len().max(1) as f64
@@ -127,16 +138,24 @@ pub fn figure1_markdown(rows: &[Figure1Row]) -> String {
             let rt: Vec<&str> = r
                 .fps
                 .iter()
-                .map(|&f| if f >= 25.0 { "yes" } else { "no" })
+                .map(|&f| {
+                    if !f.is_finite() {
+                        "n/a"
+                    } else if f >= 25.0 {
+                        "yes"
+                    } else {
+                        "no"
+                    }
+                })
                 .collect();
             let _ = writeln!(
                 out,
-                "| {} | {} | {:.2} | {:.2} | {:.2} | {} |",
+                "| {} | {} | {} | {} | {} | {} |",
                 r.resolution.label(),
                 r.tier.tier_name(),
-                r.fps[0],
-                r.fps[1],
-                r.fps[2],
+                fmt_or_na(r.fps[0], 2),
+                fmt_or_na(r.fps[1], 2),
+                fmt_or_na(r.fps[2], 2),
                 rt.join("/"),
             );
         }
@@ -197,12 +216,19 @@ pub fn figure1_markdown(rows: &[Figure1Row]) -> String {
                 if scalar.is_empty() || scalar.len() != simd.len() {
                     continue;
                 }
-                let ratio: f64 = simd
+                // Skip pairs with an unmeasured side (`NaN` from a
+                // failed fault-tolerant sweep cell).
+                let pairs: Vec<(f64, f64)> = simd
                     .iter()
                     .zip(&scalar)
-                    .map(|(s, c)| s / c.max(1e-9))
-                    .sum::<f64>()
-                    / scalar.len() as f64;
+                    .filter(|(s, c)| s.is_finite() && c.is_finite())
+                    .map(|(&s, &c)| (s, c))
+                    .collect();
+                if pairs.is_empty() {
+                    continue;
+                }
+                let ratio: f64 =
+                    pairs.iter().map(|(s, c)| s / c.max(1e-9)).sum::<f64>() / pairs.len() as f64;
                 let dir = if decode { "decode" } else { "encode" };
                 let _ = writeln!(
                     speedups,
@@ -326,6 +352,47 @@ mod tests {
         assert!(md.contains("| avx2 |"));
         assert!(md.contains("mpeg2 decode sse2 speed-up: 2.00x"));
         assert!(md.contains("mpeg2 decode avx2 speed-up: 3.00x"));
+    }
+
+    #[test]
+    fn failed_cells_render_as_na() {
+        let mut rows = sample_rows();
+        rows.push(Table5Row {
+            resolution: Resolution::DVD_576,
+            sequence: SequenceId::Riverbed,
+            points: [(39.8, 3504.0), (f64::NAN, f64::NAN), (39.2, 1095.0)],
+        });
+        let md = table5_markdown(&rows);
+        assert!(md.contains("n/a"), "{md}");
+        assert!(!md.contains("NaN"), "{md}");
+        // The gain summary still averages over the healthy rows only.
+        assert!(md.contains("67.3%"), "{md}");
+
+        let f1 = vec![
+            Figure1Row {
+                resolution: Resolution::DVD_576,
+                decode: true,
+                tier: SimdLevel::Scalar,
+                fps: [88.0, f64::NAN, 30.0],
+                stages: [[0; 6]; 3],
+            },
+            Figure1Row {
+                resolution: Resolution::DVD_576,
+                decode: true,
+                tier: SimdLevel::Sse2,
+                fps: [176.0, 80.0, f64::NAN],
+                stages: [[0; 6]; 3],
+            },
+        ];
+        let md = figure1_markdown(&f1);
+        assert!(md.contains("n/a"), "{md}");
+        assert!(!md.contains("NaN"), "{md}");
+        assert!(md.contains("yes/n/a/yes"), "{md}");
+        // mpeg2 has both sides measured; mpeg4 and h264 each lose
+        // their pair and are skipped rather than reported as NaN.
+        assert!(md.contains("mpeg2 decode sse2 speed-up: 2.00x"), "{md}");
+        assert!(!md.contains("mpeg4 decode sse2"), "{md}");
+        assert!(!md.contains("h264 decode sse2"), "{md}");
     }
 
     #[test]

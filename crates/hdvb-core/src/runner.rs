@@ -8,6 +8,7 @@
 use crate::{create_decoder, create_encoder, BenchError, CodecId, CodingOptions, Packet};
 use hdvb_dsp::SimdLevel;
 use hdvb_frame::{Frame, SequencePsnr, Ssim};
+use hdvb_par::CancelToken;
 use hdvb_seq::Sequence;
 use std::time::{Duration, Instant};
 
@@ -67,13 +68,36 @@ pub fn encode_sequence(
     frames: u32,
     options: &CodingOptions,
 ) -> Result<EncodeResult, BenchError> {
+    encode_sequence_cancellable(codec, seq, frames, options, &CancelToken::never())
+}
+
+/// [`encode_sequence`] with a cooperative cancellation token: the token
+/// is installed on the encoder (checked at picture boundaries) and also
+/// checked here before each frame, so an expired cell deadline stops the
+/// encode with [`BenchError::Cancelled`] within one frame's work.
+///
+/// # Errors
+///
+/// Propagates codec errors; [`BenchError::Cancelled`] once the token
+/// fires.
+pub fn encode_sequence_cancellable(
+    codec: CodecId,
+    seq: Sequence,
+    frames: u32,
+    options: &CodingOptions,
+    cancel: &CancelToken,
+) -> Result<EncodeResult, BenchError> {
     if frames == 0 {
         return Err(BenchError::BadRequest("cannot encode zero frames"));
     }
     let mut enc = create_encoder(codec, seq.resolution(), options)?;
+    enc.set_cancel(cancel.clone());
     let mut packets = Vec::new();
     let mut elapsed = Duration::ZERO;
     for i in 0..frames {
+        if cancel.is_cancelled() {
+            return Err(BenchError::Cancelled);
+        }
         let frame = seq.frame(i); // untimed: input generation
         let t0 = Instant::now();
         let out = enc.encode_frame(&frame)?;
@@ -104,7 +128,24 @@ pub fn decode_sequence(
     packets: &[Packet],
     simd: SimdLevel,
 ) -> Result<DecodeResult, BenchError> {
+    decode_sequence_cancellable(codec, packets, simd, &CancelToken::never())
+}
+
+/// [`decode_sequence`] with a cooperative cancellation token, checked
+/// at every packet boundary.
+///
+/// # Errors
+///
+/// [`BenchError::Bitstream`] on malformed packets;
+/// [`BenchError::Cancelled`] once the token fires.
+pub fn decode_sequence_cancellable(
+    codec: CodecId,
+    packets: &[Packet],
+    simd: SimdLevel,
+    cancel: &CancelToken,
+) -> Result<DecodeResult, BenchError> {
     let mut dec = create_decoder(codec, simd);
+    dec.set_cancel(cancel.clone());
     let mut frames = Vec::new();
     let mut elapsed = Duration::ZERO;
     for p in packets {
@@ -181,8 +222,25 @@ pub fn measure_rd_point(
     frames: u32,
     options: &CodingOptions,
 ) -> Result<RdPoint, BenchError> {
-    let encoded = encode_sequence(codec, seq, frames, options)?;
-    let decoded = decode_sequence(codec, &encoded.packets, options.simd)?;
+    measure_rd_point_cancellable(codec, seq, frames, options, &CancelToken::never())
+}
+
+/// [`measure_rd_point`] with a cooperative cancellation token threaded
+/// through the encode, the decode, and the PSNR comparison loop.
+///
+/// # Errors
+///
+/// Propagates codec errors; [`BenchError::Cancelled`] once the token
+/// fires.
+pub fn measure_rd_point_cancellable(
+    codec: CodecId,
+    seq: Sequence,
+    frames: u32,
+    options: &CodingOptions,
+    cancel: &CancelToken,
+) -> Result<RdPoint, BenchError> {
+    let encoded = encode_sequence_cancellable(codec, seq, frames, options, cancel)?;
+    let decoded = decode_sequence_cancellable(codec, &encoded.packets, options.simd, cancel)?;
     if decoded.frames.len() != frames as usize {
         return Err(BenchError::Bitstream(format!(
             "decoder returned {} of {} frames",
@@ -193,6 +251,9 @@ pub fn measure_rd_point(
     let mut acc = SequencePsnr::new();
     let mut ssim_sum = 0.0;
     for (i, d) in decoded.frames.iter().enumerate() {
+        if cancel.is_cancelled() {
+            return Err(BenchError::Cancelled);
+        }
         let original = seq.frame(i as u32);
         acc.add(&original, d);
         ssim_sum += Ssim::measure(&original, d).value;
@@ -244,10 +305,31 @@ pub fn measure_figure1_row(
     frames: u32,
     options: &CodingOptions,
 ) -> Result<Throughput, BenchError> {
+    measure_figure1_row_cancellable(codec, seq, frames, options, &CancelToken::never())
+}
+
+/// [`measure_figure1_row`] with a cooperative cancellation token.
+///
+/// On cancellation the error carries no stage attribution; the caller
+/// can diff [`hdvb_trace::codec_stage_totals_local`] around the call to
+/// attribute the partial work (that is what the fault-tolerant sweep
+/// runner reports for `CellOutcome::TimedOut`).
+///
+/// # Errors
+///
+/// Propagates codec errors; [`BenchError::Cancelled`] once the token
+/// fires.
+pub fn measure_figure1_row_cancellable(
+    codec: CodecId,
+    seq: Sequence,
+    frames: u32,
+    options: &CodingOptions,
+    cancel: &CancelToken,
+) -> Result<Throughput, BenchError> {
     let s0 = hdvb_trace::codec_stage_totals_local();
-    let encoded = encode_sequence(codec, seq, frames, options)?;
+    let encoded = encode_sequence_cancellable(codec, seq, frames, options, cancel)?;
     let s1 = hdvb_trace::codec_stage_totals_local();
-    let decoded = decode_sequence(codec, &encoded.packets, options.simd)?;
+    let decoded = decode_sequence_cancellable(codec, &encoded.packets, options.simd, cancel)?;
     let s2 = hdvb_trace::codec_stage_totals_local();
     Ok(Throughput {
         encode_fps: encoded.encode_fps(),
@@ -334,6 +416,41 @@ mod tests {
                 rd.ssim_y
             );
             assert!(rd.bitrate_kbps > 0.0);
+        }
+    }
+
+    #[test]
+    fn cancelled_token_stops_encode_and_decode() {
+        let seq = small_seq(SequenceId::RushHour);
+        let options = CodingOptions::default();
+        let cancel = hdvb_par::CancelToken::new();
+        cancel.cancel();
+        for codec in CodecId::ALL {
+            assert!(
+                matches!(
+                    encode_sequence_cancellable(codec, seq, 4, &options, &cancel),
+                    Err(BenchError::Cancelled)
+                ),
+                "{codec}: pre-cancelled encode must stop at the first checkpoint"
+            );
+            let encoded = encode_sequence(codec, seq, 4, &options).unwrap();
+            assert!(
+                matches!(
+                    decode_sequence_cancellable(codec, &encoded.packets, options.simd, &cancel),
+                    Err(BenchError::Cancelled)
+                ),
+                "{codec}: pre-cancelled decode must stop at the first packet"
+            );
+            // A live token leaves the measurement untouched.
+            let live = hdvb_par::CancelToken::new();
+            let a = measure_rd_point(codec, seq, 4, &options).unwrap();
+            let b = measure_rd_point_cancellable(codec, seq, 4, &options, &live).unwrap();
+            assert_eq!(a.psnr_y.to_bits(), b.psnr_y.to_bits(), "{codec}");
+            assert_eq!(
+                a.bitrate_kbps.to_bits(),
+                b.bitrate_kbps.to_bits(),
+                "{codec}"
+            );
         }
     }
 

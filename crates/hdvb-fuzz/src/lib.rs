@@ -15,6 +15,11 @@
 //!   keyed on decoder-reported parse positions grows a live corpus from
 //!   deterministic seeds, minimises any reproducer it finds and persists
 //!   it for check-in as a golden vector ([`golden_vectors`]).
+//! * **Round trips** ([`roundtrip_check`]) — the encoder-side oracle:
+//!   random frame content, resolutions and coding options are pushed
+//!   through the full encode→decode round trip, asserting byte-identical
+//!   streams and bit-identical reconstructions across every SIMD tier
+//!   and across worker threads.
 //!
 //! # Example
 //!
@@ -27,6 +32,7 @@
 //!     max_execs: Some(5),
 //!     threads: 0,
 //!     corpus_dir: None,
+//!     roundtrips: 2,
 //! })?;
 //! assert!(report.failures.is_empty());
 //! # Ok::<(), std::io::Error>(())
@@ -39,6 +45,7 @@ mod corpus;
 mod mutate;
 mod oracle;
 mod rng;
+mod roundtrip;
 mod run;
 
 pub use corpus::{
@@ -47,4 +54,16 @@ pub use corpus::{
 pub use mutate::{mutate, Mutator};
 pub use oracle::{decode_entry, differential_check, Divergence, EntryOutcome, PacketOutcome};
 pub use rng::FuzzRng;
+pub use roundtrip::{generate_case, roundtrip_check, RoundtripCase};
 pub use run::{minimize, run_fuzz, Failure, FuzzConfig, FuzzReport};
+
+/// Renders a caught panic payload as text (shared by the oracles).
+pub(crate) fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

@@ -26,6 +26,9 @@ pub struct FuzzConfig {
     /// Optional hard cap on mutation executions (useful for exactly
     /// reproducible runs regardless of machine speed).
     pub max_execs: Option<u64>,
+    /// Encoder round-trip cases to run before the mutation loop
+    /// ([`crate::roundtrip_check`]); `0` disables the encoder oracle.
+    pub roundtrips: u64,
 }
 
 impl Default for FuzzConfig {
@@ -36,6 +39,7 @@ impl Default for FuzzConfig {
             corpus_dir: None,
             threads: 4,
             max_execs: None,
+            roundtrips: 16,
         }
     }
 }
@@ -58,6 +62,8 @@ pub struct Failure {
 pub struct FuzzReport {
     /// Mutants executed through the differential oracle.
     pub executions: u64,
+    /// Encoder round-trip cases executed through the encoder oracle.
+    pub roundtrips: u64,
     /// Entries replayed before mutation (seeds + golden + on-disk corpus).
     pub replayed: usize,
     /// Live corpus size at the end of the run.
@@ -176,6 +182,21 @@ pub fn run_fuzz(config: &FuzzConfig) -> std::io::Result<FuzzReport> {
     let mut failures: Vec<Failure> = Vec::new();
     let replayed = replay.len();
 
+    // Encoder-side oracle: seeded round-trip cases through every codec,
+    // SIMD tier and the pool. A failure here has no byte-level
+    // reproducer to minimise — the `(seed, index)` pair in the reason
+    // regenerates the case exactly.
+    for index in 0..config.roundtrips {
+        if let Err(reason) = crate::roundtrip::roundtrip_check(config.seed, index, pool_ref) {
+            failures.push(Failure {
+                name: format!("roundtrip--{}-{}", config.seed, index),
+                data: Vec::new(),
+                reason,
+                saved_to: None,
+            });
+        }
+    }
+
     let mut record_failure = |data: Vec<u8>, reason: String, origin: &str| {
         let minimized = minimize(&data, |candidate| classify(candidate, pool_ref).is_err());
         let name = format!("failure--{:016x}", fnv64(&minimized));
@@ -236,6 +257,7 @@ pub fn run_fuzz(config: &FuzzConfig) -> std::io::Result<FuzzReport> {
 
     Ok(FuzzReport {
         executions,
+        roundtrips: config.roundtrips,
         replayed,
         corpus_entries: corpus.len(),
         unique_signatures: signatures.len(),
@@ -265,6 +287,7 @@ mod tests {
             corpus_dir: None,
             threads: 0,
             max_execs: Some(40),
+            roundtrips: 3,
         };
         let a = run_fuzz(&config).expect("fuzz run performs no I/O here");
         let b = run_fuzz(&config).expect("fuzz run performs no I/O here");

@@ -10,6 +10,7 @@ use hdvb_bits::{BitReader, CorruptKind};
 use hdvb_dsp::{Dsp, SimdLevel};
 use hdvb_frame::{align_up, Frame};
 use hdvb_me::Mv;
+use hdvb_par::CancelToken;
 use std::collections::VecDeque;
 
 /// The H.264-class decoder (mirror of [`H264Encoder`](crate::H264Encoder)).
@@ -17,6 +18,8 @@ pub struct H264Decoder {
     dsp: Dsp,
     refs: VecDeque<RefPicture>,
     pending: Option<Frame>,
+    /// Cooperative cancellation, checkpointed at each packet boundary.
+    cancel: CancelToken,
 }
 
 impl Default for H264Decoder {
@@ -37,7 +40,15 @@ impl H264Decoder {
             dsp: Dsp::new(simd),
             refs: VecDeque::new(),
             pending: None,
+            cancel: CancelToken::never(),
         }
+    }
+
+    /// Installs a cancellation token checked at each packet boundary,
+    /// so a deadline or shutdown stops the decoder before the next
+    /// packet with [`CodecError::Cancelled`].
+    pub fn set_cancel(&mut self, cancel: CancelToken) {
+        self.cancel = cancel;
     }
 
     /// Decodes one packet; returns display-order frames.
@@ -48,6 +59,9 @@ impl H264Decoder {
     /// offset the parse stopped at and a [`CorruptKind`] classification.
     /// A failed packet leaves the decoder's reference state untouched.
     pub fn decode(&mut self, data: &[u8]) -> Result<Vec<Frame>, CodecError> {
+        if self.cancel.is_cancelled() {
+            return Err(CodecError::Cancelled);
+        }
         let mut r = BitReader::new(data);
         let result = self.decode_inner(&mut r);
         let pos = r.bit_pos();

@@ -17,6 +17,7 @@ use hdvb_me::{
     hexagon_search, median3, mv_bits, subpel_refine, BlockRef, Mv, MvField, SearchParams,
     SubpelStep,
 };
+use hdvb_par::CancelToken;
 use std::collections::VecDeque;
 
 /// Magic number opening every coded picture.
@@ -93,6 +94,8 @@ pub struct H264Encoder {
     /// Reference pictures, newest first.
     refs: VecDeque<RefPicture>,
     lambda: u32,
+    /// Cooperative cancellation, checkpointed before each coded picture.
+    cancel: CancelToken,
 }
 
 impl H264Encoder {
@@ -115,12 +118,20 @@ impl H264Encoder {
             mbs_y: ah / 16,
             refs: VecDeque::new(),
             lambda: lambda(config.qp),
+            cancel: CancelToken::never(),
         })
     }
 
     /// The active configuration.
     pub fn config(&self) -> &EncoderConfig {
         &self.config
+    }
+
+    /// Installs a cancellation token checked before each coded picture,
+    /// so a deadline or shutdown stops the encoder at the next picture
+    /// boundary with [`CodecError::Cancelled`].
+    pub fn set_cancel(&mut self, cancel: CancelToken) {
+        self.cancel = cancel;
     }
 
     /// Submits the next display-order frame.
@@ -155,7 +166,12 @@ impl H264Encoder {
     fn encode_scheduled(&mut self, scheduled: Vec<Scheduled>) -> Result<Vec<Packet>, CodecError> {
         scheduled
             .into_iter()
-            .map(|s| self.encode_picture(&s.frame, s.frame_type, s.display_index))
+            .map(|s| {
+                if self.cancel.is_cancelled() {
+                    return Err(CodecError::Cancelled);
+                }
+                self.encode_picture(&s.frame, s.frame_type, s.display_index)
+            })
             .collect()
     }
 

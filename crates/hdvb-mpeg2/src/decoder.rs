@@ -8,6 +8,7 @@ use hdvb_bits::{BitReader, CorruptKind};
 use hdvb_dsp::{Dsp, SimdLevel, MPEG_DEFAULT_INTRA};
 use hdvb_frame::{align_up, Frame};
 use hdvb_me::{Mv, MvField};
+use hdvb_par::CancelToken;
 
 /// The MPEG-2-class decoder.
 ///
@@ -22,6 +23,8 @@ pub struct Mpeg2Decoder {
     /// The newest anchor's displayable frame, held until the next anchor
     /// arrives (display reordering).
     pending: Option<Frame>,
+    /// Cooperative cancellation, checkpointed at each packet boundary.
+    cancel: CancelToken,
 }
 
 impl Default for Mpeg2Decoder {
@@ -43,7 +46,15 @@ impl Mpeg2Decoder {
             prev_anchor: None,
             last_anchor: None,
             pending: None,
+            cancel: CancelToken::never(),
         }
+    }
+
+    /// Installs a cancellation token checked at each packet boundary,
+    /// so a deadline or shutdown stops the decoder before the next
+    /// packet with [`CodecError::Cancelled`].
+    pub fn set_cancel(&mut self, cancel: CancelToken) {
+        self.cancel = cancel;
     }
 
     /// Decodes one packet; returns zero or more display-order frames.
@@ -56,6 +67,9 @@ impl Mpeg2Decoder {
     /// state untouched, so subsequent packets can still decode (the
     /// container-level resync in `hdvb-core` relies on this).
     pub fn decode(&mut self, data: &[u8]) -> Result<Vec<Frame>, CodecError> {
+        if self.cancel.is_cancelled() {
+            return Err(CodecError::Cancelled);
+        }
         let mut r = BitReader::new(data);
         let result = self.decode_inner(&mut r);
         let pos = r.bit_pos();

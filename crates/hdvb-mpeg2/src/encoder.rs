@@ -8,6 +8,7 @@ use hdvb_me::{
     epzs_search, mv_bits, subpel_refine, BlockRef, EpzsThresholds, Mv, MvField, Predictors,
     SearchParams, SubpelStep,
 };
+use hdvb_par::CancelToken;
 
 /// Magic number opening every coded picture.
 pub(crate) const MAGIC: u32 = 0x4D32; // "M2"
@@ -151,6 +152,8 @@ pub struct Mpeg2Encoder {
     prev_anchor: Option<RefPicture>,
     /// Newest anchor (reference for P; backward reference for B).
     last_anchor: Option<RefPicture>,
+    /// Cooperative cancellation, checkpointed before each coded picture.
+    cancel: CancelToken,
 }
 
 impl Mpeg2Encoder {
@@ -173,12 +176,20 @@ impl Mpeg2Encoder {
             mbs_y: ah / 16,
             prev_anchor: None,
             last_anchor: None,
+            cancel: CancelToken::never(),
         })
     }
 
     /// The active configuration.
     pub fn config(&self) -> &EncoderConfig {
         &self.config
+    }
+
+    /// Installs a cancellation token checked before each coded picture,
+    /// so a deadline or shutdown stops the encoder at the next picture
+    /// boundary with [`CodecError::Cancelled`].
+    pub fn set_cancel(&mut self, cancel: CancelToken) {
+        self.cancel = cancel;
     }
 
     /// Submits the next display-order frame; returns zero or more coded
@@ -216,7 +227,12 @@ impl Mpeg2Encoder {
     fn encode_scheduled(&mut self, scheduled: Vec<Scheduled>) -> Result<Vec<Packet>, CodecError> {
         scheduled
             .into_iter()
-            .map(|s| self.encode_picture(&s.frame, s.frame_type, s.display_index))
+            .map(|s| {
+                if self.cancel.is_cancelled() {
+                    return Err(CodecError::Cancelled);
+                }
+                self.encode_picture(&s.frame, s.frame_type, s.display_index)
+            })
             .collect()
     }
 

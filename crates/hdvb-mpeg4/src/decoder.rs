@@ -8,6 +8,7 @@ use hdvb_bits::{BitReader, CorruptKind};
 use hdvb_dsp::{Dsp, SimdLevel, MPEG_DEFAULT_INTRA};
 use hdvb_frame::{align_up, Frame};
 use hdvb_me::{Mv, MvField};
+use hdvb_par::CancelToken;
 
 /// The MPEG-4-ASP-class decoder (mirror of
 /// [`Mpeg4Encoder`](crate::Mpeg4Encoder)).
@@ -16,6 +17,8 @@ pub struct Mpeg4Decoder {
     prev_anchor: Option<RefPicture>,
     last_anchor: Option<RefPicture>,
     pending: Option<Frame>,
+    /// Cooperative cancellation, checkpointed at each packet boundary.
+    cancel: CancelToken,
 }
 
 impl Default for Mpeg4Decoder {
@@ -37,7 +40,15 @@ impl Mpeg4Decoder {
             prev_anchor: None,
             last_anchor: None,
             pending: None,
+            cancel: CancelToken::never(),
         }
+    }
+
+    /// Installs a cancellation token checked at each packet boundary,
+    /// so a deadline or shutdown stops the decoder before the next
+    /// packet with [`CodecError::Cancelled`].
+    pub fn set_cancel(&mut self, cancel: CancelToken) {
+        self.cancel = cancel;
     }
 
     /// Decodes one packet; returns display-order frames.
@@ -48,6 +59,9 @@ impl Mpeg4Decoder {
     /// offset the parse stopped at and a [`CorruptKind`] classification.
     /// A failed packet leaves the decoder's reference state untouched.
     pub fn decode(&mut self, data: &[u8]) -> Result<Vec<Frame>, CodecError> {
+        if self.cancel.is_cancelled() {
+            return Err(CodecError::Cancelled);
+        }
         let mut r = BitReader::new(data);
         let result = self.decode_inner(&mut r);
         let pos = r.bit_pos();

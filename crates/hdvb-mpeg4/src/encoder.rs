@@ -8,6 +8,7 @@ use hdvb_me::{
     diamond_search, epzs_search, median3, mv_bits, subpel_refine, BlockRef, EpzsThresholds, Mv,
     MvField, Predictors, SearchParams, SubpelStep,
 };
+use hdvb_par::CancelToken;
 
 /// Magic number opening every coded picture.
 pub(crate) const MAGIC: u32 = 0x4D34; // "M4"
@@ -395,6 +396,8 @@ pub struct Mpeg4Encoder {
     mbs_y: usize,
     prev_anchor: Option<RefPicture>,
     last_anchor: Option<RefPicture>,
+    /// Cooperative cancellation, checkpointed before each coded picture.
+    cancel: CancelToken,
 }
 
 impl Mpeg4Encoder {
@@ -417,12 +420,20 @@ impl Mpeg4Encoder {
             mbs_y: ah / 16,
             prev_anchor: None,
             last_anchor: None,
+            cancel: CancelToken::never(),
         })
     }
 
     /// The active configuration.
     pub fn config(&self) -> &EncoderConfig {
         &self.config
+    }
+
+    /// Installs a cancellation token checked before each coded picture,
+    /// so a deadline or shutdown stops the encoder at the next picture
+    /// boundary with [`CodecError::Cancelled`].
+    pub fn set_cancel(&mut self, cancel: CancelToken) {
+        self.cancel = cancel;
     }
 
     /// Submits the next display-order frame.
@@ -457,7 +468,12 @@ impl Mpeg4Encoder {
     fn encode_scheduled(&mut self, scheduled: Vec<Scheduled>) -> Result<Vec<Packet>, CodecError> {
         scheduled
             .into_iter()
-            .map(|s| self.encode_picture(&s.frame, s.frame_type, s.display_index))
+            .map(|s| {
+                if self.cancel.is_cancelled() {
+                    return Err(CodecError::Cancelled);
+                }
+                self.encode_picture(&s.frame, s.frame_type, s.display_index)
+            })
             .collect()
     }
 

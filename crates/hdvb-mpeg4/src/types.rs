@@ -186,6 +186,10 @@ pub enum CodecError {
         /// Human-readable detail for diagnostics.
         detail: String,
     },
+    /// The operation was cancelled via a [`hdvb_par::CancelToken`]
+    /// (cooperative deadline or shutdown) at a picture boundary. The
+    /// codec state is unchanged since the last completed picture.
+    Cancelled,
 }
 
 impl CodecError {
@@ -226,6 +230,7 @@ impl fmt::Display for CodecError {
                 kind,
                 detail,
             } => write!(f, "corrupt bitstream at bit {offset} ({kind}): {detail}"),
+            CodecError::Cancelled => f.write_str("cancelled at a picture boundary"),
         }
     }
 }

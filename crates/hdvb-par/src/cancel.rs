@@ -1,0 +1,156 @@
+//! Cooperative cancellation.
+//!
+//! A [`CancelToken`] is a cheap, cloneable handle that long-running work
+//! polls at natural checkpoints (frame boundaries, picture boundaries,
+//! packet boundaries). It carries an explicit cancellation flag and an
+//! optional wall-clock deadline, so the same primitive serves both
+//! "stop now" requests and soft per-task time budgets.
+//!
+//! The default token ([`CancelToken::never`]) allocates nothing and its
+//! checks compile down to a `None` test, so threading a token through
+//! hot paths costs nothing when cancellation is unused.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Inner {
+    flag: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A cloneable cancellation handle checked cooperatively by workers.
+///
+/// Cancellation is sticky: once [`cancel`](Self::cancel) has been called
+/// or the deadline has passed, every clone reports cancelled forever.
+#[derive(Clone, Default)]
+pub struct CancelToken(Option<Arc<Inner>>);
+
+impl CancelToken {
+    /// A token that can never be cancelled (no allocation; all checks
+    /// are a single `Option` test).
+    pub fn never() -> Self {
+        CancelToken(None)
+    }
+
+    /// A manually cancellable token (no deadline).
+    pub fn new() -> Self {
+        CancelToken(Some(Arc::new(Inner {
+            flag: AtomicBool::new(false),
+            deadline: None,
+        })))
+    }
+
+    /// A token that auto-cancels once `budget` of wall-clock time has
+    /// elapsed from the moment of construction.
+    pub fn with_budget(budget: Duration) -> Self {
+        CancelToken(Some(Arc::new(Inner {
+            flag: AtomicBool::new(false),
+            deadline: Some(Instant::now() + budget),
+        })))
+    }
+
+    /// Requests cancellation. A no-op on [`never`](Self::never) tokens.
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.0 {
+            inner.flag.store(true, Ordering::Release);
+        }
+    }
+
+    /// Whether the token has been cancelled or its deadline has passed.
+    pub fn is_cancelled(&self) -> bool {
+        match &self.0 {
+            None => false,
+            Some(inner) => {
+                if inner.flag.load(Ordering::Acquire) {
+                    return true;
+                }
+                match inner.deadline {
+                    Some(d) if Instant::now() >= d => {
+                        // Latch so later checks skip the clock read.
+                        inner.flag.store(true, Ordering::Release);
+                        true
+                    }
+                    _ => false,
+                }
+            }
+        }
+    }
+
+    /// Checkpoint form: `Err(Cancelled)` once the token has fired.
+    ///
+    /// # Errors
+    ///
+    /// [`Cancelled`] when the token is cancelled or past its deadline.
+    pub fn check(&self) -> Result<(), Cancelled> {
+        if self.is_cancelled() {
+            Err(Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Time left before the deadline fires, if one was set. `None` for
+    /// flag-only and never-tokens; `Some(ZERO)` once expired.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.0
+            .as_ref()
+            .and_then(|inner| inner.deadline)
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+}
+
+impl fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("cancellable", &self.0.is_some())
+            .field("cancelled", &self.is_cancelled())
+            .finish()
+    }
+}
+
+/// The unit error produced by [`CancelToken::check`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("operation cancelled")
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_token_never_cancels() {
+        let t = CancelToken::never();
+        t.cancel();
+        assert!(!t.is_cancelled());
+        assert!(t.check().is_ok());
+        assert!(t.remaining().is_none());
+    }
+
+    #[test]
+    fn manual_cancel_is_sticky_across_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(c.check().is_ok());
+        t.cancel();
+        assert!(c.is_cancelled());
+        assert_eq!(c.check(), Err(Cancelled));
+    }
+
+    #[test]
+    fn deadline_token_fires_after_budget() {
+        let t = CancelToken::with_budget(Duration::from_millis(10));
+        assert!(!t.is_cancelled());
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(t.is_cancelled());
+        assert_eq!(t.remaining(), Some(Duration::ZERO));
+    }
+}

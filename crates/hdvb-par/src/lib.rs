@@ -24,6 +24,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod cancel;
 mod pool;
 
+pub use cancel::{CancelToken, Cancelled};
 pub use pool::{PoolStats, Scope, TaskPanic, ThreadPool, WorkerStats};

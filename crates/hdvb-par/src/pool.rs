@@ -7,12 +7,24 @@ use std::fmt;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// A type-erased unit of work.
 type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Locks a mutex, recovering from poisoning.
+///
+/// No pool invariant spans a lock region half-applied (queues are plain
+/// `VecDeque` pushes/pops, flags are whole-word writes), so a panic
+/// between lock and unlock leaves the data consistent and the guard can
+/// be taken over safely. Without this, one panicking task could poison
+/// a queue mutex and cascade `.expect()` panics through every worker
+/// that touches it afterwards, silently shrinking the pool.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 thread_local! {
     /// `(pool identity, worker index)` of the pool worker running on
@@ -55,12 +67,10 @@ impl Shared {
     }
 
     fn has_work(&self) -> bool {
-        if !self.injector.lock().expect("injector poisoned").is_empty() {
+        if !lock(&self.injector).is_empty() {
             return true;
         }
-        self.locals
-            .iter()
-            .any(|q| !q.lock().expect("local queue poisoned").is_empty())
+        self.locals.iter().any(|q| !lock(q).is_empty())
     }
 
     /// Pops a task: own deque first (LIFO), then the injector, then
@@ -68,15 +78,11 @@ impl Shared {
     /// task came from *another* worker's deque (a steal).
     fn find_task(&self, me: Option<usize>) -> Option<(Task, bool)> {
         if let Some(i) = me {
-            if let Some(t) = self.locals[i]
-                .lock()
-                .expect("local queue poisoned")
-                .pop_back()
-            {
+            if let Some(t) = lock(&self.locals[i]).pop_back() {
                 return Some((t, false));
             }
         }
-        if let Some(t) = self.injector.lock().expect("injector poisoned").pop_front() {
+        if let Some(t) = lock(&self.injector).pop_front() {
             return Some((t, false));
         }
         let n = self.locals.len();
@@ -86,11 +92,7 @@ impl Shared {
             if Some(j) == me {
                 continue;
             }
-            if let Some(t) = self.locals[j]
-                .lock()
-                .expect("local queue poisoned")
-                .pop_front()
-            {
+            if let Some(t) = lock(&self.locals[j]).pop_front() {
                 return Some((t, true));
             }
         }
@@ -108,8 +110,12 @@ impl Shared {
         let t0 = Instant::now();
         // A panicking task must poison only its own job: scope/par_map
         // wrappers record the payload; this backstop keeps the worker
-        // thread itself alive either way.
-        let _ = catch_unwind(AssertUnwindSafe(task));
+        // thread itself alive either way. The payload's own Drop may
+        // panic too (a fresh panic, since unwinding already finished),
+        // so containing it needs a second catch.
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
+            let _ = catch_unwind(AssertUnwindSafe(move || drop(payload)));
+        }
         let nanos = t0.elapsed().as_nanos() as u64;
         match slot {
             Some(i) => {
@@ -132,12 +138,29 @@ impl Shared {
 
 fn worker_loop(shared: Arc<Shared>, index: usize) {
     WORKER.set(Some((shared.identity(), index)));
+    // Respawn guard: the body only unwinds if something escapes the
+    // per-task panic isolation (e.g. tracing or queue bookkeeping
+    // panicking outside `run_task`'s catch). Restarting the loop in
+    // place keeps the worker slot alive, so a pool that absorbed a
+    // panic retains its full lane count instead of quietly running
+    // one thread short for the rest of the process.
+    loop {
+        match catch_unwind(AssertUnwindSafe(|| worker_body(&shared, index))) {
+            Ok(()) => break,
+            Err(payload) => {
+                let _ = catch_unwind(AssertUnwindSafe(move || drop(payload)));
+            }
+        }
+    }
+}
+
+fn worker_body(shared: &Shared, index: usize) {
     loop {
         if let Some((task, stolen)) = shared.find_task(Some(index)) {
             shared.run_task(Some(index), task, stolen);
             continue;
         }
-        let guard = shared.shutdown.lock().expect("shutdown flag poisoned");
+        let guard = lock(&shared.shutdown);
         // Re-check under the park lock: every submitter pushes first and
         // only then takes this lock to notify, so a task pushed before
         // this check is visible, and one pushed after will find us
@@ -152,7 +175,7 @@ fn worker_loop(shared: Arc<Shared>, index: usize) {
         hdvb_trace::counter_add(hdvb_trace::Counter::Park, 1);
         let _idle_span = hdvb_trace::span!(hdvb_trace::Stage::WorkerIdle);
         let t0 = Instant::now();
-        drop(shared.wakeup.wait(guard).expect("worker park poisoned"));
+        drop(shared.wakeup.wait(guard).unwrap_or_else(|e| e.into_inner()));
         shared.idle_nanos[index].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
 }
@@ -221,20 +244,13 @@ impl ThreadPool {
             // Tasks spawned from inside a worker go to its own deque
             // (LIFO for locality); thieves take them oldest-first.
             Some((pool, index)) if pool == id => {
-                self.shared.locals[index]
-                    .lock()
-                    .expect("local queue poisoned")
-                    .push_back(task);
+                lock(&self.shared.locals[index]).push_back(task);
             }
             _ => {
-                self.shared
-                    .injector
-                    .lock()
-                    .expect("injector poisoned")
-                    .push_back(task);
+                lock(&self.shared.injector).push_back(task);
             }
         }
-        let _guard = self.shared.shutdown.lock().expect("shutdown flag poisoned");
+        let _guard = lock(&self.shared.shutdown);
         self.shared.wakeup.notify_all();
     }
 
@@ -270,12 +286,7 @@ impl ThreadPool {
         match result {
             Err(payload) => resume_unwind(payload),
             Ok(value) => {
-                if let Some(payload) = state
-                    .panic
-                    .lock()
-                    .expect("scope panic slot poisoned")
-                    .take()
-                {
+                if let Some(payload) = lock(&state.panic).take() {
                     resume_unwind(payload);
                 }
                 value
@@ -291,14 +302,14 @@ impl ThreadPool {
             _ => None,
         };
         loop {
-            if *state.remaining.lock().expect("scope counter poisoned") == 0 {
+            if *lock(&state.remaining) == 0 {
                 return;
             }
             if let Some((task, stolen)) = self.shared.find_task(me) {
                 self.shared.run_task(me, task, stolen);
                 continue;
             }
-            let remaining = state.remaining.lock().expect("scope counter poisoned");
+            let remaining = lock(&state.remaining);
             if *remaining == 0 {
                 return;
             }
@@ -308,7 +319,7 @@ impl ThreadPool {
                 state
                     .done
                     .wait_timeout(remaining, Duration::from_millis(50))
-                    .expect("scope wait poisoned"),
+                    .unwrap_or_else(|e| e.into_inner()),
             );
         }
     }
@@ -326,6 +337,24 @@ impl ThreadPool {
         R: Send,
         F: Fn(T) -> R + Sync,
     {
+        let mut out = Vec::with_capacity(items.len());
+        for r in self.par_map_catch(items, f) {
+            out.push(r?);
+        }
+        Ok(out)
+    }
+
+    /// Like [`par_map`](Self::par_map), but returns *every* slot: each
+    /// element is `Ok(result)` or the [`TaskPanic`] of that invocation,
+    /// in input order, so one panicking item no longer discards its
+    /// siblings' completed work. This is the primitive fault-tolerant
+    /// sweep runners build on.
+    pub fn par_map_catch<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<Result<R, TaskPanic>>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
         let n = items.len();
         let slots: Vec<Mutex<Option<std::thread::Result<R>>>> =
             (0..n).map(|_| Mutex::new(None)).collect();
@@ -335,19 +364,26 @@ impl ThreadPool {
                 let f = &f;
                 s.spawn(move || {
                     let r = catch_unwind(AssertUnwindSafe(|| f(item)));
-                    *slot.lock().expect("result slot poisoned") = Some(r);
+                    *lock(slot) = Some(r);
                 });
             }
         });
-        let mut out = Vec::with_capacity(n);
-        for (i, slot) in slots.into_iter().enumerate() {
-            match slot.into_inner().expect("result slot poisoned") {
-                Some(Ok(v)) => out.push(v),
-                Some(Err(payload)) => return Err(TaskPanic::new(i, payload.as_ref())),
-                None => unreachable!("scope returned with task {i} never run"),
-            }
-        }
-        Ok(out)
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                match slot.into_inner().unwrap_or_else(|e| e.into_inner()) {
+                    Some(Ok(v)) => Ok(v),
+                    Some(Err(payload)) => {
+                        let err = TaskPanic::new(i, payload.as_ref());
+                        // Contain a panicking payload Drop (fresh panic).
+                        let _ = catch_unwind(AssertUnwindSafe(move || drop(payload)));
+                        Err(err)
+                    }
+                    None => unreachable!("scope returned with task {i} never run"),
+                }
+            })
+            .collect()
     }
 
     /// Applies `f` to consecutive chunks of `items` (the last chunk may
@@ -416,7 +452,7 @@ impl ThreadPool {
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
-        *self.shared.shutdown.lock().expect("shutdown flag poisoned") = true;
+        *lock(&self.shared.shutdown) = true;
         self.shared.wakeup.notify_all();
         for handle in self.handles.drain(..) {
             let _ = handle.join();
@@ -456,14 +492,14 @@ impl<'scope, 'env> Scope<'scope, 'env> {
     where
         F: FnOnce() + Send + 'env,
     {
-        *self.state.remaining.lock().expect("scope counter poisoned") += 1;
+        *lock(&self.state.remaining) += 1;
         let state = Arc::clone(&self.state);
         let task: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
             if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
-                let mut slot = state.panic.lock().expect("scope panic slot poisoned");
+                let mut slot = lock(&state.panic);
                 slot.get_or_insert(payload);
             }
-            let mut remaining = state.remaining.lock().expect("scope counter poisoned");
+            let mut remaining = lock(&state.remaining);
             *remaining -= 1;
             if *remaining == 0 {
                 state.done.notify_all();
@@ -622,6 +658,61 @@ mod tests {
         // The pool must stay fully usable afterwards.
         let ok = pool.par_map(vec![1u32, 2, 3], |x| x + 1).unwrap();
         assert_eq!(ok, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn par_map_catch_preserves_sibling_results() {
+        let pool = ThreadPool::new(2);
+        let out = pool.par_map_catch(vec![0u32, 1, 2, 3, 4], |x| {
+            if x % 2 == 1 {
+                panic!("odd {x}");
+            }
+            x * 10
+        });
+        assert_eq!(out.len(), 5);
+        assert_eq!(out[0], Ok(0));
+        assert_eq!(out[2], Ok(20));
+        assert_eq!(out[4], Ok(40));
+        for i in [1usize, 3] {
+            let err = out[i].as_ref().unwrap_err();
+            assert_eq!(err.index, i);
+            assert!(err.message.contains("odd"), "message: {}", err.message);
+        }
+    }
+
+    #[test]
+    fn pool_keeps_full_lane_count_after_panics() {
+        struct DropBomb;
+        impl Drop for DropBomb {
+            fn drop(&mut self) {
+                if !std::thread::panicking() {
+                    panic!("payload drop bomb");
+                }
+            }
+        }
+        let threads = 4;
+        let pool = ThreadPool::new(threads);
+        // Absorb a burst of panics, including payloads whose own Drop
+        // panics — historically that second panic escaped the per-task
+        // catch and killed the worker thread.
+        let out = pool.par_map_catch((0..2 * threads as u32).collect::<Vec<_>>(), |x| {
+            if x % 2 == 0 {
+                std::panic::panic_any(DropBomb);
+            }
+        });
+        assert_eq!(out.iter().filter(|r| r.is_err()).count(), threads);
+        // Every worker lane must still be alive and executing: flood the
+        // pool with short sleeps and require each worker to have run at
+        // least one. A dead lane shows up as a zero-task worker.
+        pool.reset_stats();
+        pool.par_map((0..64u32 * threads as u32).collect::<Vec<_>>(), |_| {
+            std::thread::sleep(Duration::from_millis(1));
+        })
+        .unwrap();
+        let stats = pool.stats();
+        for (i, w) in stats.workers.iter().enumerate() {
+            assert!(w.tasks > 0, "worker {i} lane lost after panic absorption");
+        }
     }
 
     #[test]

@@ -36,7 +36,7 @@ use std::time::Instant;
 pub mod json;
 mod report;
 
-pub use report::{StageRow, ThreadTrace, TraceReport};
+pub use report::{stage_breakdown, StageRow, ThreadTrace, TraceReport};
 
 /// Instrumented pipeline stages, shared by all three codecs and the
 /// execution engine.

@@ -309,6 +309,50 @@ impl TraceReport {
     }
 }
 
+/// Renders a per-stage total array (in [`crate::CODEC_STAGES`] order,
+/// as returned by [`crate::codec_stage_totals_local`]) as a one-line
+/// percentage breakdown, largest stage first — the timeout-attribution
+/// line of the fault-tolerant sweep's failure table.
+///
+/// All-zero totals (the sweep ran untraced, or the cell was cancelled
+/// before any codec work) render as a note instead of percentages.
+///
+/// # Example
+///
+/// ```
+/// let mut totals = [0u64; 6];
+/// totals[0] = 750; // motion_estimation
+/// totals[3] = 250; // entropy_coding
+/// let s = hdvb_trace::stage_breakdown(&totals);
+/// assert_eq!(s, "motion_estimation 75% (750ns), entropy_coding 25% (250ns)");
+/// assert!(hdvb_trace::stage_breakdown(&[0; 6]).contains("no stage attribution"));
+/// ```
+pub fn stage_breakdown(totals: &[u64; crate::CODEC_STAGES.len()]) -> String {
+    let sum: u64 = totals.iter().sum();
+    if sum == 0 {
+        return "no stage attribution (untraced)".to_string();
+    }
+    let mut stages: Vec<(Stage, u64)> = crate::CODEC_STAGES
+        .iter()
+        .zip(totals)
+        .filter(|(_, &ns)| ns > 0)
+        .map(|(&s, &ns)| (s, ns))
+        .collect();
+    stages.sort_by_key(|&(_, ns)| std::cmp::Reverse(ns));
+    let parts: Vec<String> = stages
+        .iter()
+        .map(|&(stage, ns)| {
+            format!(
+                "{} {:.0}% ({})",
+                stage.name(),
+                100.0 * ns as f64 / sum as f64,
+                fmt_ns(ns)
+            )
+        })
+        .collect();
+    parts.join(", ")
+}
+
 /// Human-readable nanoseconds: `412ns`, `3.21us`, `45.0ms`, `1.204s`.
 fn fmt_ns(ns: u64) -> String {
     let v = ns as f64;

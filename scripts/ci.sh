@@ -39,4 +39,30 @@ cargo test -q -p hdvb-trace disabled_probe_is_cheap
 echo "==> deterministic fuzz smoke (replays tests/corpus, then 20s of mutation)"
 ./target/release/hdvb fuzz --seconds 20 --seed 7 --corpus tests/corpus
 
+echo "==> chaos smoke (seeded panic + stall injection, then clean resume)"
+# Cell 2 panics on all three attempts (exhausts the default 2 retries),
+# cell 4 stalls past its 2 s budget. The sweep must finish anyway,
+# report both cells, and a clean --resume must heal the table.
+HDVB_FAULTS="panic@2x3,stall@4:4000x1,seed=7" ./target/release/hdvb figure1 \
+    --frames 2 --scale 8 --threads 2 --simd scalar --part a --cell-timeout 2 \
+    --journal "$tmpdir/sweep.journal" > "$tmpdir/chaos.txt" 2>&1
+grep -q "1 failed, 1 timed out" "$tmpdir/chaos.txt" || {
+    echo "chaos sweep did not report the injected failures" >&2
+    cat "$tmpdir/chaos.txt" >&2
+    exit 1
+}
+./target/release/hdvb figure1 \
+    --frames 2 --scale 8 --threads 2 --simd scalar --part a --cell-timeout 2 \
+    --journal "$tmpdir/sweep.journal" --resume > "$tmpdir/resume.txt" 2>&1
+grep -q "0 failed, 0 timed out" "$tmpdir/resume.txt" || {
+    echo "resume did not heal the chaos sweep" >&2
+    cat "$tmpdir/resume.txt" >&2
+    exit 1
+}
+if grep -q "n/a" "$tmpdir/resume.txt"; then
+    echo "resumed figure1 table still has unmeasured cells" >&2
+    cat "$tmpdir/resume.txt" >&2
+    exit 1
+fi
+
 echo "CI green."
