@@ -14,7 +14,7 @@ pub struct Parsed {
 
 impl Parsed {
     /// Options that take no value (presence means `true`).
-    const FLAGS: [&'static str; 2] = ["json", "resume"];
+    const FLAGS: [&'static str; 3] = ["json", "resume", "resilient"];
 
     pub fn parse(args: &[String]) -> Result<Parsed, String> {
         let mut values = HashMap::new();
@@ -54,6 +54,12 @@ impl Parsed {
 
     pub fn resolution(&self) -> Result<Resolution, String> {
         parse_resolution(self.get("resolution").unwrap_or("576p25"))
+    }
+
+    /// `--resolution` when explicitly given (commands with a
+    /// command-specific default, like `serve-bench`).
+    pub fn resolution_opt(&self) -> Result<Option<Resolution>, String> {
+        self.get("resolution").map(parse_resolution).transpose()
     }
 
     pub fn frames(&self) -> Result<u32, String> {
@@ -229,6 +235,93 @@ impl Parsed {
         }
     }
 
+    /// `--resilient`: decode/serve keep going past corrupt packets,
+    /// dropping them with a warning instead of aborting.
+    pub fn resilient(&self) -> bool {
+        self.get("resilient") == Some("true")
+    }
+
+    /// `--codec` when explicitly given (`serve-bench` runs all three
+    /// codecs when it is absent).
+    pub fn codec_opt(&self) -> Result<Option<CodecId>, String> {
+        match self.get("codec") {
+            None => Ok(None),
+            Some(name) => CodecId::from_name(name)
+                .map(Some)
+                .ok_or_else(|| format!("unknown codec {name:?}")),
+        }
+    }
+
+    /// `--sessions <n>`: concurrent serve-bench sessions.
+    pub fn sessions(&self) -> Result<u32, String> {
+        match self.get("sessions") {
+            None => Ok(8),
+            Some(v) => v
+                .parse::<u32>()
+                .ok()
+                .filter(|&n| (1..=4096).contains(&n))
+                .ok_or_else(|| format!("bad --sessions {v:?} (1..=4096)")),
+        }
+    }
+
+    /// `--fps <n>`: offered per-session input rate for `serve-bench`.
+    pub fn fps(&self) -> Result<u32, String> {
+        match self.get("fps") {
+            None => Ok(30),
+            Some(v) => v
+                .parse::<u32>()
+                .ok()
+                .filter(|&n| (1..=100_000).contains(&n))
+                .ok_or_else(|| format!("bad --fps {v:?} (1..=100000)")),
+        }
+    }
+
+    /// `--duration <secs>`: serve-bench schedule length (fractional
+    /// seconds allowed).
+    pub fn duration(&self) -> Result<std::time::Duration, String> {
+        match self.get("duration") {
+            None => Ok(std::time::Duration::from_secs(5)),
+            Some(v) => v
+                .parse::<f64>()
+                .ok()
+                .filter(|&s| s > 0.0 && s <= 86_400.0)
+                .map(std::time::Duration::from_secs_f64)
+                .ok_or_else(|| format!("bad --duration {v:?} (seconds, 0 < s <= 86400)")),
+        }
+    }
+
+    /// `--queue-cap <n>`: per-session input queue capacity.
+    pub fn queue_cap(&self) -> Result<usize, String> {
+        match self.get("queue-cap") {
+            None => Ok(8),
+            Some(v) => v
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| (1..=65_536).contains(&n))
+                .ok_or_else(|| format!("bad --queue-cap {v:?} (1..=65536)")),
+        }
+    }
+
+    /// `--queue-policy <block|drop-oldest>`: session backpressure
+    /// policy.
+    pub fn queue_policy(&self) -> Result<hdvb_serve::OverflowPolicy, String> {
+        match self.get("queue-policy") {
+            None => Ok(hdvb_serve::OverflowPolicy::Block),
+            Some(v) => hdvb_serve::OverflowPolicy::parse(v)
+                .ok_or_else(|| format!("bad --queue-policy {v:?} (block|drop-oldest)")),
+        }
+    }
+
+    /// `--mode <encode|decode|transcode>`: serve-bench workload
+    /// direction.
+    pub fn serve_mode(&self) -> Result<hdvb_serve::ServeMode, String> {
+        match self.get("mode") {
+            None => Ok(hdvb_serve::ServeMode::Encode),
+            Some(v) => hdvb_serve::ServeMode::parse(v)
+                .ok_or_else(|| format!("bad --mode {v:?} (encode|decode|transcode)")),
+        }
+    }
+
     pub fn part(&self) -> Result<&str, String> {
         let p = self.get("part").unwrap_or("all");
         if ["a", "b", "c", "d", "all"].contains(&p) {
@@ -375,6 +468,56 @@ mod tests {
         );
         assert!(parsed(&["--cell-timeout", "soon"]).cell_timeout().is_err());
         assert!(parsed(&["--max-retries", "99"]).max_retries().is_err());
+    }
+
+    #[test]
+    fn serve_options() {
+        let p = parsed(&[]);
+        assert_eq!(p.sessions().unwrap(), 8);
+        assert_eq!(p.fps().unwrap(), 30);
+        assert_eq!(p.duration().unwrap(), std::time::Duration::from_secs(5));
+        assert_eq!(p.queue_cap().unwrap(), 8);
+        assert_eq!(p.queue_policy().unwrap(), hdvb_serve::OverflowPolicy::Block);
+        assert_eq!(p.serve_mode().unwrap(), hdvb_serve::ServeMode::Encode);
+        assert_eq!(p.codec_opt().unwrap(), None);
+        assert_eq!(p.resolution_opt().unwrap(), None);
+        assert!(!p.resilient());
+
+        let p = parsed(&[
+            "--sessions",
+            "64",
+            "--fps",
+            "25",
+            "--duration",
+            "0.5",
+            "--queue-cap",
+            "4",
+            "--queue-policy",
+            "drop-oldest",
+            "--mode",
+            "transcode",
+            "--codec",
+            "h264",
+            "--resilient",
+        ]);
+        assert_eq!(p.sessions().unwrap(), 64);
+        assert_eq!(p.fps().unwrap(), 25);
+        assert_eq!(p.duration().unwrap(), std::time::Duration::from_millis(500));
+        assert_eq!(p.queue_cap().unwrap(), 4);
+        assert_eq!(
+            p.queue_policy().unwrap(),
+            hdvb_serve::OverflowPolicy::DropOldest
+        );
+        assert_eq!(p.serve_mode().unwrap(), hdvb_serve::ServeMode::Transcode);
+        assert_eq!(p.codec_opt().unwrap(), Some(CodecId::H264));
+        assert!(p.resilient());
+
+        assert!(parsed(&["--sessions", "0"]).sessions().is_err());
+        assert!(parsed(&["--duration", "-1"]).duration().is_err());
+        assert!(parsed(&["--queue-policy", "tail-drop"])
+            .queue_policy()
+            .is_err());
+        assert!(parsed(&["--mode", "replay"]).serve_mode().is_err());
     }
 
     #[test]

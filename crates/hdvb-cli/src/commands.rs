@@ -180,7 +180,30 @@ pub fn decode(p: &Parsed) -> CmdResult {
     let file = File::open(in_path).map_err(|e| format!("cannot open {in_path}: {e}"))?;
     let (header, packets) = read_stream(BufReader::new(file)).map_err(|e| e.to_string())?;
     let simd = p.simd()?;
-    let result = decode_sequence(header.codec, &packets, simd).map_err(|e| e.to_string())?;
+    let result = if p.resilient() {
+        // Drop-and-continue: a corrupt packet costs its frame(s) and a
+        // warning, not the stream.
+        let t0 = Instant::now();
+        let resilient = hdvb_core::decode_sequence_resilient(header.codec, &packets, simd);
+        let elapsed = t0.elapsed();
+        for (index, err) in &resilient.dropped {
+            eprintln!("warning: dropped corrupt packet #{index}: {err}");
+        }
+        if !resilient.dropped.is_empty() {
+            eprintln!(
+                "warning: {} of {} packets dropped, {} frames recovered",
+                resilient.dropped.len(),
+                packets.len(),
+                resilient.frames.len()
+            );
+        }
+        hdvb_core::DecodeResult {
+            frames: resilient.frames,
+            elapsed,
+        }
+    } else {
+        decode_sequence(header.codec, &packets, simd).map_err(|e| e.to_string())?
+    };
     println!(
         "{}: decoded {} frames in {:.3}s ({:.2} fps, {})",
         header.codec,
@@ -659,6 +682,166 @@ pub fn fuzz(p: &Parsed) -> CmdResult {
         "{} failure(s) found — reproducers above",
         report.failures.len()
     ))
+}
+
+/// Formats ns as a human latency figure.
+fn fmt_latency(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.1}us", ns as f64 / 1e3)
+    }
+}
+
+/// `serve`: run one streaming session through the service layer. With
+/// no `--input`, encodes a synthetic sequence (bit-identical to
+/// `encode --threads 1`); with `--input <in.hvb>`, transcodes the
+/// stream to `--codec` (`--resilient` drops corrupt source packets).
+pub fn serve(p: &Parsed) -> CmdResult {
+    use hdvb_core::{CodecSession, SessionInput};
+    use hdvb_serve::{Server, ServerConfig};
+
+    let _trace = TraceSession::start(p);
+    let options = options_from(p)?;
+    let out_path = p.output().ok_or("missing --output for serve")?;
+    let server = Server::new(ServerConfig {
+        threads: p.threads()?,
+        queue_capacity: p.queue_cap()?,
+        policy: p.queue_policy()?,
+    });
+
+    let (header, result, submitted) = if let Some(in_path) = p.input() {
+        // Transcode: decode the container's codec, re-encode to the
+        // target codec.
+        let target = p.codec()?;
+        let file = File::open(in_path).map_err(|e| format!("cannot open {in_path}: {e}"))?;
+        let (header, packets) = read_stream(BufReader::new(file)).map_err(|e| e.to_string())?;
+        let mut session =
+            CodecSession::transcoder(header.codec, target, header.format.resolution, &options)
+                .map_err(|e| e.to_string())?;
+        if p.resilient() {
+            session = session.with_resilience();
+        }
+        let handle = server.open(session, true);
+        let submitted = packets.len() as u64;
+        for packet in packets {
+            if handle.submit(SessionInput::Packet(packet.data)).is_err() {
+                break;
+            }
+        }
+        handle.finish();
+        let result = handle.wait();
+        let header = StreamHeader {
+            codec: target,
+            format: header.format,
+        };
+        (header, result, submitted)
+    } else {
+        // Encode a synthetic sequence, one frame at a time.
+        let codec = p.codec()?;
+        let seq = Sequence::new(p.sequence()?, p.resolution()?);
+        let frames = p.frames()?;
+        let session =
+            CodecSession::encoder(codec, seq.resolution(), &options).map_err(|e| e.to_string())?;
+        let handle = server.open(session, true);
+        for i in 0..frames {
+            if handle.submit(SessionInput::Frame(seq.frame(i))).is_err() {
+                break;
+            }
+        }
+        handle.finish();
+        let result = handle.wait();
+        let header = StreamHeader {
+            codec,
+            format: seq.format(),
+        };
+        (header, result, u64::from(frames))
+    };
+    server.drain();
+
+    if let Some(e) = &result.error {
+        return Err(format!(
+            "session failed after {} inputs: {e}",
+            result.completed
+        ));
+    }
+    if result.corrupt_dropped > 0 {
+        eprintln!(
+            "warning: dropped {} corrupt packets (--resilient)",
+            result.corrupt_dropped
+        );
+    }
+    let file = File::create(out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?;
+    write_stream(BufWriter::new(file), &header, &result.packets).map_err(|e| e.to_string())?;
+    println!(
+        "{}: served {} of {submitted} inputs, {} packets out, p50 {} p99 {} -> {out_path}",
+        header.codec,
+        result.completed,
+        result.packets.len(),
+        fmt_latency(result.metrics.latency.percentile(0.50)),
+        fmt_latency(result.metrics.latency.percentile(0.99)),
+    );
+    Ok(())
+}
+
+/// `serve-bench`: open-loop load generation against the service layer,
+/// reporting fleet-wide latency SLOs and writing `BENCH_serve.json`.
+pub fn serve_bench(p: &Parsed) -> CmdResult {
+    use hdvb_serve::{run_serve_bench, serve_json, serve_markdown, LoadSpec};
+
+    let codecs: Vec<CodecId> = match p.codec_opt()? {
+        Some(c) => vec![c],
+        None => CodecId::ALL.to_vec(),
+    };
+    // Load tests default to a small frame so the offered rate, not the
+    // per-frame cost, is the variable under study; pass --resolution to
+    // stress full-size frames.
+    let resolution = p
+        .resolution_opt()?
+        .unwrap_or_else(|| Resolution::new(288, 160));
+    let mut runs = Vec::new();
+    for codec in codecs {
+        let spec = LoadSpec {
+            codec,
+            mode: p.serve_mode()?,
+            sessions: p.sessions()?,
+            fps: p.fps()?,
+            duration: p.duration()?,
+            resolution,
+            options: options_from(p)?,
+            queue_capacity: p.queue_cap()?,
+            policy: p.queue_policy()?,
+            seed: p.seed()?,
+            threads: p.threads()?,
+        };
+        eprintln!(
+            "serve-bench: {codec} {} x{} sessions @ {} fps for {:.1}s ({}x{}, {} policy, queue {})",
+            spec.mode.name(),
+            spec.sessions,
+            spec.fps,
+            spec.duration.as_secs_f64(),
+            resolution.width(),
+            resolution.height(),
+            spec.policy.name(),
+            spec.queue_capacity,
+        );
+        let report = run_serve_bench(&spec)?;
+        eprintln!(
+            "  completed {}/{} inputs in {:.2}s, dropped {}, {} session errors, clean shutdown",
+            report.completed,
+            report.offered,
+            report.wall.as_secs_f64(),
+            report.discarded,
+            report.errors,
+        );
+        runs.push(report);
+    }
+    println!();
+    print!("{}", serve_markdown(&runs));
+    write_bench_file("BENCH_serve.json", &serve_json(&runs))?;
+    Ok(())
 }
 
 #[cfg(test)]

@@ -28,6 +28,8 @@ COMMANDS:
     figure1                         reproduce Figure 1 (decode/encode fps, scalar+SIMD)
     profile                         traced encode+decode with per-stage attribution
     fuzz                            structure-aware differential fuzzing of the decoders
+    serve                           run one streaming encode/transcode session
+    serve-bench                     open-loop serving load test with latency SLO report
 
 COMMON OPTIONS:
     --codec <mpeg2|mpeg4|h264>      codec under test
@@ -69,6 +71,19 @@ COMMON OPTIONS:
                                     minimised failure reproducers into it
     --write-golden <dir>            fuzz: regenerate the golden corruption vectors
                                     into <dir> and exit
+    --resilient                     decode/serve: drop corrupt packets with a warning
+                                    instead of aborting the stream
+    --sessions <n>                  serve-bench: concurrent sessions      [default: 8]
+    --fps <n>                       serve-bench: offered per-session rate [default: 30]
+    --duration <secs>               serve-bench: schedule length          [default: 5]
+    --mode <m>                      serve-bench: encode|decode|transcode  [default: encode]
+    --queue-cap <n>                 serve/serve-bench: per-session input queue
+                                    capacity                              [default: 8]
+    --queue-policy <p>              serve/serve-bench: block | drop-oldest (what a
+                                    full session queue does)              [default: block]
+                                    (serve-bench --seed also seeds arrival jitter;
+                                    same seed, same admission order; serve-bench
+                                    --resolution defaults to 288x160)
 
 ENVIRONMENT:
     HDVB_SIMD                       force a kernel tier (scalar|sse2|avx2|auto)
@@ -86,6 +101,10 @@ EXAMPLES:
     hdvb kernels --json
     hdvb fuzz --seconds 60 --seed 1 --corpus tests/corpus
     hdvb profile --codec h264 --sequence rush_hour --frames 8 --trace trace.json
+    hdvb serve --codec h264 --sequence rush_hour --frames 24 -o out.hvb
+    hdvb serve -i out.hvb --codec mpeg2 --resilient -o transcoded.hvb
+    hdvb serve-bench --sessions 64 --fps 30 --duration 5
+    hdvb serve-bench --codec h264 --queue-policy drop-oldest --seed 7
 ";
 
 fn main() -> ExitCode {
@@ -118,6 +137,8 @@ fn main() -> ExitCode {
         "figure1" => commands::figure1(&parsed),
         "profile" => commands::profile(&parsed),
         "fuzz" => commands::fuzz(&parsed),
+        "serve" => commands::serve(&parsed),
+        "serve-bench" => commands::serve_bench(&parsed),
         other => {
             eprintln!("error: unknown command {other:?}\n");
             eprint!("{USAGE}");

@@ -174,3 +174,157 @@ fn decode_rejects_garbage() {
     assert!(!out.status.success());
     let _ = std::fs::remove_file(bad);
 }
+
+/// Writes a tiny stream with packet #1's payload replaced by garbage.
+fn corrupt_stream(path: &std::path::Path) {
+    use hdvb_core::{encode_sequence, write_stream, CodecId, CodingOptions, StreamHeader};
+    use hdvb_frame::Resolution;
+    use hdvb_seq::{Sequence, SequenceId};
+    let seq = Sequence::new(SequenceId::RushHour, Resolution::new(64, 48));
+    let mut encoded = encode_sequence(CodecId::Mpeg2, seq, 4, &CodingOptions::default()).unwrap();
+    encoded.packets[1].data = vec![0xFF; 40];
+    let header = StreamHeader {
+        codec: CodecId::Mpeg2,
+        format: seq.format(),
+    };
+    let file = std::fs::File::create(path).unwrap();
+    write_stream(std::io::BufWriter::new(file), &header, &encoded.packets).unwrap();
+}
+
+#[test]
+fn resilient_decode_warns_and_continues_where_strict_aborts() {
+    let stream = tmp("corrupt.hvb");
+    corrupt_stream(&stream);
+
+    let strict = hdvb().args(["decode", "-i"]).arg(&stream).output().unwrap();
+    assert!(!strict.status.success(), "strict decode must abort");
+
+    let resilient = hdvb()
+        .args(["decode", "--resilient", "-i"])
+        .arg(&stream)
+        .output()
+        .unwrap();
+    assert!(
+        resilient.status.success(),
+        "{}",
+        String::from_utf8_lossy(&resilient.stderr)
+    );
+    let err = String::from_utf8_lossy(&resilient.stderr);
+    assert!(err.contains("dropped corrupt packet"), "{err}");
+    let _ = std::fs::remove_file(stream);
+}
+
+#[test]
+fn serve_single_session_is_bit_identical_to_encode() {
+    let batch = tmp("batch.hvb");
+    let served = tmp("served.hvb");
+    let common = [
+        "--codec",
+        "h264",
+        "--sequence",
+        "rush_hour",
+        "--resolution",
+        "96x80",
+        "--frames",
+        "6",
+    ];
+    let out = hdvb()
+        .args(["encode"])
+        .args(common)
+        .args(["--threads", "1", "-o"])
+        .arg(&batch)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = hdvb()
+        .args(["serve"])
+        .args(common)
+        .args(["-o"])
+        .arg(&served)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        std::fs::read(&batch).unwrap(),
+        std::fs::read(&served).unwrap(),
+        "served stream differs from batch encode"
+    );
+
+    // And the served stream transcodes through a serve session.
+    let transcoded = tmp("transcoded.hvb");
+    let out = hdvb()
+        .args(["serve", "--codec", "mpeg2", "-i"])
+        .arg(&served)
+        .args(["-o"])
+        .arg(&transcoded)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = hdvb()
+        .args(["decode", "-i"])
+        .arg(&transcoded)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    for f in [batch, served, transcoded] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+#[test]
+fn serve_bench_reports_slos_and_writes_json() {
+    // BENCH_serve.json lands in the working directory, so run in a
+    // scratch dir.
+    let dir = tmp("serve-bench-dir");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = hdvb()
+        .current_dir(&dir)
+        .args([
+            "serve-bench",
+            "--codec",
+            "mpeg2",
+            "--sessions",
+            "2",
+            "--fps",
+            "60",
+            "--duration",
+            "0.2",
+            "--resolution",
+            "64x48",
+            "--seed",
+            "3",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let table = String::from_utf8_lossy(&out.stdout);
+    for col in ["p50", "p95", "p99", "q-depth", "mpeg2"] {
+        assert!(table.contains(col), "missing {col} in:\n{table}");
+    }
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("clean shutdown"), "{err}");
+    let json = std::fs::read_to_string(dir.join("BENCH_serve.json")).unwrap();
+    assert!(json.contains("\"schema\":\"hdvb-serve-bench/v1\""));
+    assert!(json.contains("\"p99\":"));
+    let _ = std::fs::remove_dir_all(dir);
+}

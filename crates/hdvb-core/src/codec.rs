@@ -153,7 +153,7 @@ pub fn create_encoder(
     codec: CodecId,
     resolution: Resolution,
     options: &CodingOptions,
-) -> Result<Box<dyn VideoEncoder>, BenchError> {
+) -> Result<Box<dyn VideoEncoder + Send>, BenchError> {
     let (w, h) = (resolution.width(), resolution.height());
     match codec {
         CodecId::Mpeg2 => {
@@ -188,7 +188,7 @@ pub fn create_encoder(
 }
 
 /// Creates a decoder for `codec` at the given SIMD level.
-pub fn create_decoder(codec: CodecId, simd: SimdLevel) -> Box<dyn VideoDecoder> {
+pub fn create_decoder(codec: CodecId, simd: SimdLevel) -> Box<dyn VideoDecoder + Send> {
     match codec {
         CodecId::Mpeg2 => Box::new(Mpeg2Dec(hdvb_mpeg2::Mpeg2Decoder::with_simd(simd))),
         CodecId::Mpeg4 => Box::new(Mpeg4Dec(hdvb_mpeg4::Mpeg4Decoder::with_simd(simd))),

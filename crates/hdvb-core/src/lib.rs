@@ -33,6 +33,7 @@ mod options;
 mod parallel;
 mod report;
 mod runner;
+mod session;
 mod stream;
 mod sweep;
 
@@ -59,5 +60,6 @@ pub use runner::{
     measure_rd_point, measure_rd_point_cancellable, DecodeResult, EncodeResult, RdPoint,
     ResilientDecode, Throughput,
 };
+pub use session::{CodecSession, SessionInput, SessionOutput};
 pub use stream::{read_stream, write_stream, StreamHeader};
 pub use sweep::{CellOutcome, CellReport, CellTimeout, CellValue, FtSweepReport, SweepPolicy};

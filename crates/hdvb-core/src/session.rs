@@ -1,0 +1,438 @@
+//! The session-facing incremental codec API.
+//!
+//! The batch runners ([`crate::encode_sequence`] and friends) own the
+//! whole input and drive a codec to completion in one call. A serving
+//! front end cannot: frames and packets arrive one at a time over the
+//! lifetime of a long-running session, interleaved with hundreds of
+//! other sessions. [`CodecSession`] is that incremental surface — one
+//! state machine per session that accepts inputs as they arrive,
+//! returns whatever outputs the codec can emit so far, and flushes the
+//! rest on [`finish`](CodecSession::finish).
+//!
+//! The session calls exactly the same [`VideoEncoder`]/[`VideoDecoder`]
+//! trait objects in exactly the same order as the batch path, so a
+//! single-session serve run is bit-identical to `encode`/`decode` on
+//! the same input and options (enforced by tests here and in
+//! `hdvb-serve`).
+
+use crate::{
+    create_decoder, create_encoder, BenchError, CodecId, CodingOptions, Packet, VideoDecoder,
+    VideoEncoder,
+};
+use hdvb_dsp::SimdLevel;
+use hdvb_frame::{Frame, Resolution};
+use hdvb_par::CancelToken;
+
+/// One unit of session input: a raw frame (encode, transcode) or a
+/// coded packet (decode).
+#[derive(Clone, Debug)]
+pub enum SessionInput {
+    /// A display-order frame for an encode or transcode session.
+    Frame(Frame),
+    /// A coding-order packet for a decode session.
+    Packet(Vec<u8>),
+}
+
+/// Outputs produced by one [`CodecSession::push`] or
+/// [`CodecSession::finish`] call. Either side may be empty: codecs
+/// buffer B-frame lookahead and emit bursts at anchor boundaries.
+#[derive(Clone, Debug, Default)]
+pub struct SessionOutput {
+    /// Coded packets (encode and transcode sessions).
+    pub packets: Vec<Packet>,
+    /// Decoded frames (decode sessions).
+    pub frames: Vec<Frame>,
+}
+
+impl SessionOutput {
+    fn packets(packets: Vec<Packet>) -> SessionOutput {
+        SessionOutput {
+            packets,
+            frames: Vec::new(),
+        }
+    }
+
+    fn frames(frames: Vec<Frame>) -> SessionOutput {
+        SessionOutput {
+            packets: Vec::new(),
+            frames,
+        }
+    }
+
+    /// True when this step emitted nothing.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty() && self.frames.is_empty()
+    }
+
+    /// Number of output items (packets plus frames).
+    pub fn len(&self) -> usize {
+        self.packets.len() + self.frames.len()
+    }
+}
+
+enum Engine {
+    Encode(Box<dyn VideoEncoder + Send>),
+    Decode(Box<dyn VideoDecoder + Send>),
+    Transcode {
+        decoder: Box<dyn VideoDecoder + Send>,
+        encoder: Box<dyn VideoEncoder + Send>,
+    },
+}
+
+/// An incremental encode, decode or transcode state machine.
+///
+/// Inputs go in one at a time with [`push`](Self::push); buffered
+/// lookahead is flushed by [`finish`](Self::finish), after which the
+/// session accepts no more input. Sessions are `Send` so a serving
+/// front end can migrate them between pool workers (one worker at a
+/// time — the codec state is serial).
+pub struct CodecSession {
+    engine: Engine,
+    /// Drop corrupt packets (counted) instead of failing the session.
+    resilient: bool,
+    /// Checked at every push/finish in addition to the codec's own
+    /// picture-boundary checks, so cancellation fires even while the
+    /// codec is only buffering lookahead (mirrors
+    /// [`crate::encode_sequence_cancellable`]).
+    cancel: CancelToken,
+    dropped: u64,
+    finished: bool,
+}
+
+impl CodecSession {
+    /// An encode session: display-order frames in, packets out.
+    ///
+    /// # Errors
+    ///
+    /// [`BenchError::Codec`] if the options are invalid for the codec.
+    pub fn encoder(
+        codec: CodecId,
+        resolution: Resolution,
+        options: &CodingOptions,
+    ) -> Result<CodecSession, BenchError> {
+        Ok(CodecSession {
+            engine: Engine::Encode(create_encoder(codec, resolution, options)?),
+            resilient: false,
+            cancel: CancelToken::never(),
+            dropped: 0,
+            finished: false,
+        })
+    }
+
+    /// A decode session: coding-order packets in, display-order frames
+    /// out.
+    pub fn decoder(codec: CodecId, simd: SimdLevel) -> CodecSession {
+        CodecSession {
+            engine: Engine::Decode(create_decoder(codec, simd)),
+            resilient: false,
+            cancel: CancelToken::never(),
+            dropped: 0,
+            finished: false,
+        }
+    }
+
+    /// A transcode session: `from`-codec packets in, `to`-codec packets
+    /// out, decoding and re-encoding frame by frame.
+    ///
+    /// # Errors
+    ///
+    /// [`BenchError::Codec`] if the options are invalid for the target
+    /// codec.
+    pub fn transcoder(
+        from: CodecId,
+        to: CodecId,
+        resolution: Resolution,
+        options: &CodingOptions,
+    ) -> Result<CodecSession, BenchError> {
+        Ok(CodecSession {
+            engine: Engine::Transcode {
+                decoder: create_decoder(from, options.simd),
+                encoder: create_encoder(to, resolution, options)?,
+            },
+            resilient: false,
+            cancel: CancelToken::never(),
+            dropped: 0,
+            finished: false,
+        })
+    }
+
+    /// Enables drop-and-continue decoding: a corrupt packet costs its
+    /// frame(s) and bumps [`dropped`](Self::dropped) instead of killing
+    /// the session (the per-session form of
+    /// [`crate::decode_sequence_resilient`]). Cancellation still
+    /// propagates.
+    pub fn with_resilience(mut self) -> CodecSession {
+        self.resilient = true;
+        self
+    }
+
+    /// Installs a cooperative cancellation token on the underlying
+    /// codec(s), checked at picture/packet boundaries.
+    pub fn set_cancel(&mut self, cancel: CancelToken) {
+        self.cancel = cancel.clone();
+        match &mut self.engine {
+            Engine::Encode(enc) => enc.set_cancel(cancel),
+            Engine::Decode(dec) => dec.set_cancel(cancel),
+            Engine::Transcode { decoder, encoder } => {
+                decoder.set_cancel(cancel.clone());
+                encoder.set_cancel(cancel);
+            }
+        }
+    }
+
+    /// Packets dropped so far by a resilient session.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Whether [`finish`](Self::finish) has run.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Feeds one input and returns whatever the codec emits for it.
+    ///
+    /// # Errors
+    ///
+    /// [`BenchError::BadRequest`] on an input of the wrong kind for the
+    /// session or after [`finish`](Self::finish); codec errors
+    /// otherwise ([`BenchError::Corrupt`] is swallowed and counted by
+    /// resilient sessions).
+    pub fn push(&mut self, input: SessionInput) -> Result<SessionOutput, BenchError> {
+        if self.finished {
+            return Err(BenchError::BadRequest("push after session finish"));
+        }
+        if self.cancel.is_cancelled() {
+            return Err(BenchError::Cancelled);
+        }
+        match (&mut self.engine, input) {
+            (Engine::Encode(enc), SessionInput::Frame(frame)) => {
+                Ok(SessionOutput::packets(enc.encode_frame(&frame)?))
+            }
+            (Engine::Decode(dec), SessionInput::Packet(data)) => {
+                match Self::decode_step(dec, &data, self.resilient, &mut self.dropped)? {
+                    Some(frames) => Ok(SessionOutput::frames(frames)),
+                    None => Ok(SessionOutput::default()),
+                }
+            }
+            (Engine::Transcode { decoder, encoder }, SessionInput::Packet(data)) => {
+                match Self::decode_step(decoder, &data, self.resilient, &mut self.dropped)? {
+                    Some(frames) => Self::encode_all(encoder, &frames),
+                    None => Ok(SessionOutput::default()),
+                }
+            }
+            (Engine::Encode(_), SessionInput::Packet(_)) => Err(BenchError::BadRequest(
+                "encode session expects frames, got a packet",
+            )),
+            (_, SessionInput::Frame(_)) => Err(BenchError::BadRequest(
+                "decode/transcode session expects packets, got a frame",
+            )),
+        }
+    }
+
+    /// Flushes buffered lookahead at end of stream. The session accepts
+    /// no further input afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Codec errors; [`BenchError::BadRequest`] on a second call.
+    pub fn finish(&mut self) -> Result<SessionOutput, BenchError> {
+        if self.finished {
+            return Err(BenchError::BadRequest("session already finished"));
+        }
+        if self.cancel.is_cancelled() {
+            return Err(BenchError::Cancelled);
+        }
+        self.finished = true;
+        match &mut self.engine {
+            Engine::Encode(enc) => Ok(SessionOutput::packets(enc.finish()?)),
+            Engine::Decode(dec) => Ok(SessionOutput::frames(dec.finish())),
+            Engine::Transcode { decoder, encoder } => {
+                let tail = decoder.finish();
+                let mut out = Self::encode_all(encoder, &tail)?;
+                out.packets.extend(encoder.finish()?);
+                Ok(out)
+            }
+        }
+    }
+
+    /// One decode step honouring the resilience policy: `Ok(None)`
+    /// means the packet was dropped and counted.
+    fn decode_step(
+        dec: &mut Box<dyn VideoDecoder + Send>,
+        data: &[u8],
+        resilient: bool,
+        dropped: &mut u64,
+    ) -> Result<Option<Vec<Frame>>, BenchError> {
+        match dec.decode_packet(data) {
+            Ok(frames) => Ok(Some(frames)),
+            // Cancellation is a session-level event, never a drop.
+            Err(BenchError::Cancelled) => Err(BenchError::Cancelled),
+            Err(e) if resilient => {
+                let _ = e;
+                *dropped += 1;
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn encode_all(
+        enc: &mut Box<dyn VideoEncoder + Send>,
+        frames: &[Frame],
+    ) -> Result<SessionOutput, BenchError> {
+        let mut packets = Vec::new();
+        for f in frames {
+            packets.extend(enc.encode_frame(f)?);
+        }
+        Ok(SessionOutput::packets(packets))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{decode_sequence, encode_sequence};
+    use hdvb_seq::{Sequence, SequenceId};
+
+    fn small_seq() -> Sequence {
+        Sequence::new(SequenceId::RushHour, Resolution::new(64, 48))
+    }
+
+    #[test]
+    fn incremental_encode_is_bit_identical_to_batch() {
+        let seq = small_seq();
+        let options = CodingOptions::default();
+        for codec in CodecId::ALL {
+            let batch = encode_sequence(codec, seq, 6, &options).unwrap();
+            let mut session = CodecSession::encoder(codec, seq.resolution(), &options).unwrap();
+            let mut packets = Vec::new();
+            for i in 0..6 {
+                let out = session.push(SessionInput::Frame(seq.frame(i))).unwrap();
+                assert!(out.frames.is_empty(), "{codec}: encoder emitted frames");
+                packets.extend(out.packets);
+            }
+            packets.extend(session.finish().unwrap().packets);
+            assert_eq!(packets, batch.packets, "{codec}");
+        }
+    }
+
+    #[test]
+    fn incremental_decode_is_bit_identical_to_batch() {
+        let seq = small_seq();
+        let options = CodingOptions::default();
+        for codec in CodecId::ALL {
+            let encoded = encode_sequence(codec, seq, 6, &options).unwrap();
+            let batch = decode_sequence(codec, &encoded.packets, options.simd).unwrap();
+            let mut session = CodecSession::decoder(codec, options.simd);
+            let mut frames = Vec::new();
+            for p in &encoded.packets {
+                frames.extend(
+                    session
+                        .push(SessionInput::Packet(p.data.clone()))
+                        .unwrap()
+                        .frames,
+                );
+            }
+            frames.extend(session.finish().unwrap().frames);
+            assert_eq!(frames, batch.frames, "{codec}");
+        }
+    }
+
+    #[test]
+    fn transcode_session_produces_a_decodable_stream() {
+        let seq = small_seq();
+        let options = CodingOptions::default();
+        let encoded = encode_sequence(CodecId::Mpeg2, seq, 6, &options).unwrap();
+        let mut session =
+            CodecSession::transcoder(CodecId::Mpeg2, CodecId::H264, seq.resolution(), &options)
+                .unwrap();
+        let mut packets = Vec::new();
+        for p in &encoded.packets {
+            packets.extend(
+                session
+                    .push(SessionInput::Packet(p.data.clone()))
+                    .unwrap()
+                    .packets,
+            );
+        }
+        packets.extend(session.finish().unwrap().packets);
+        let decoded = decode_sequence(CodecId::H264, &packets, options.simd).unwrap();
+        assert_eq!(decoded.frames.len(), 6);
+    }
+
+    #[test]
+    fn resilient_session_drops_corrupt_packets_and_continues() {
+        let seq = small_seq();
+        let options = CodingOptions::default();
+        for codec in CodecId::ALL {
+            let encoded = encode_sequence(codec, seq, 4, &options).unwrap();
+            let mut session = CodecSession::decoder(codec, options.simd).with_resilience();
+            let mut frames = Vec::new();
+            for (i, p) in encoded.packets.iter().enumerate() {
+                let data = if i == 1 {
+                    vec![0xFF; 40]
+                } else {
+                    p.data.clone()
+                };
+                frames.extend(session.push(SessionInput::Packet(data)).unwrap().frames);
+            }
+            frames.extend(session.finish().unwrap().frames);
+            assert!(session.dropped() >= 1, "{codec}");
+            assert!(!frames.is_empty(), "{codec}: stream died");
+        }
+    }
+
+    #[test]
+    fn strict_session_fails_on_corrupt_packet() {
+        let mut session = CodecSession::decoder(CodecId::H264, SimdLevel::Scalar);
+        assert!(matches!(
+            session.push(SessionInput::Packet(vec![0xFF; 40])),
+            Err(BenchError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_input_kind_and_push_after_finish_are_rejected() {
+        let seq = small_seq();
+        let options = CodingOptions::default();
+        let mut enc = CodecSession::encoder(CodecId::Mpeg2, seq.resolution(), &options).unwrap();
+        assert!(matches!(
+            enc.push(SessionInput::Packet(vec![0; 4])),
+            Err(BenchError::BadRequest(_))
+        ));
+        enc.finish().unwrap();
+        assert!(matches!(
+            enc.push(SessionInput::Frame(seq.frame(0))),
+            Err(BenchError::BadRequest(_))
+        ));
+        assert!(matches!(enc.finish(), Err(BenchError::BadRequest(_))));
+
+        let mut dec = CodecSession::decoder(CodecId::Mpeg2, options.simd);
+        assert!(matches!(
+            dec.push(SessionInput::Frame(seq.frame(0))),
+            Err(BenchError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn cancelled_session_stops_with_cancelled() {
+        let seq = small_seq();
+        let options = CodingOptions::default();
+        let cancel = CancelToken::new();
+        let mut session = CodecSession::encoder(CodecId::H264, seq.resolution(), &options).unwrap();
+        session.set_cancel(cancel.clone());
+        session.push(SessionInput::Frame(seq.frame(0))).unwrap();
+        cancel.cancel();
+        assert!(matches!(
+            session.push(SessionInput::Frame(seq.frame(1))),
+            Err(BenchError::Cancelled)
+        ));
+    }
+
+    #[test]
+    fn sessions_are_send() {
+        fn check<T: Send>() {}
+        check::<CodecSession>();
+    }
+}

@@ -1,0 +1,136 @@
+//! Per-session latency accounting.
+//!
+//! Frame latency here is *admission to completion*: the clock starts
+//! when an input is accepted into the session queue and stops when the
+//! codec pump has finished processing it. It therefore includes
+//! queueing delay — which is the point: under overload, queueing is
+//! where the latency goes, and a serve benchmark that only timed the
+//! codec call would report a healthy p99 while frames aged in the
+//! queue.
+
+use hdvb_trace::LatencyHistogram;
+use std::time::{Duration, Instant};
+
+/// Latency, jitter and throughput counters for one session. Merge into
+/// fleet-wide aggregates with [`merge`](Self::merge).
+#[derive(Clone, Debug, Default)]
+pub struct SessionMetrics {
+    /// Log2 histogram of per-input admission-to-completion latencies.
+    pub latency: LatencyHistogram,
+    /// Sum of |latency - previous latency| in ns (RFC 3550-style
+    /// inter-arrival jitter numerator, without the smoothing filter).
+    jitter_sum_ns: u64,
+    /// Number of consecutive-latency pairs in `jitter_sum_ns`.
+    jitter_pairs: u64,
+    last_latency_ns: Option<u64>,
+    first_completion: Option<Instant>,
+    last_completion: Option<Instant>,
+}
+
+impl SessionMetrics {
+    /// An empty accumulator.
+    pub fn new() -> SessionMetrics {
+        SessionMetrics::default()
+    }
+
+    /// Records one completed input.
+    pub fn record(&mut self, latency: Duration, completed_at: Instant) {
+        let ns = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.latency.record(ns);
+        if let Some(prev) = self.last_latency_ns {
+            self.jitter_sum_ns += prev.abs_diff(ns);
+            self.jitter_pairs += 1;
+        }
+        self.last_latency_ns = Some(ns);
+        if self.first_completion.is_none() {
+            self.first_completion = Some(completed_at);
+        }
+        self.last_completion = Some(completed_at);
+    }
+
+    /// Completed inputs.
+    pub fn completed(&self) -> u64 {
+        self.latency.count()
+    }
+
+    /// Mean |latency - previous latency| in ns; the spread a viewer
+    /// would perceive as stutter even when the mean latency is fine.
+    pub fn jitter_mean_ns(&self) -> u64 {
+        self.jitter_sum_ns
+            .checked_div(self.jitter_pairs)
+            .unwrap_or(0)
+    }
+
+    /// Completions per second over the first-to-last completion window
+    /// (the *sustained* rate, which sags below the offered rate exactly
+    /// when the fleet cannot keep up).
+    pub fn sustained_fps(&self) -> f64 {
+        match (self.first_completion, self.last_completion) {
+            (Some(first), Some(last)) if last > first => {
+                // n completions span n-1 inter-completion intervals.
+                (self.completed().saturating_sub(1)) as f64 / (last - first).as_secs_f64()
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Folds `other` into `self` (fleet aggregation). Jitter merges as
+    /// a weighted mean of per-session jitter; cross-session latency
+    /// deltas are meaningless and are not synthesised.
+    pub fn merge(&mut self, other: &SessionMetrics) {
+        self.latency.merge(&other.latency);
+        self.jitter_sum_ns += other.jitter_sum_ns;
+        self.jitter_pairs += other.jitter_pairs;
+        self.last_latency_ns = None;
+        self.first_completion = match (self.first_completion, other.first_completion) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.last_completion = match (self.last_completion, other.last_completion) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jitter_is_mean_absolute_latency_delta() {
+        let mut m = SessionMetrics::new();
+        let t = Instant::now();
+        for ns in [1_000u64, 3_000, 2_000] {
+            m.record(Duration::from_nanos(ns), t);
+        }
+        // |3000-1000| = 2000, |2000-3000| = 1000 -> mean 1500.
+        assert_eq!(m.jitter_mean_ns(), 1_500);
+        assert_eq!(m.completed(), 3);
+    }
+
+    #[test]
+    fn sustained_fps_spans_first_to_last_completion() {
+        let mut m = SessionMetrics::new();
+        let t0 = Instant::now();
+        m.record(Duration::from_millis(1), t0);
+        m.record(Duration::from_millis(1), t0 + Duration::from_millis(500));
+        m.record(Duration::from_millis(1), t0 + Duration::from_secs(1));
+        // 2 intervals over 1 s.
+        assert!((m.sustained_fps() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_pools_latency_and_weights_jitter() {
+        let t = Instant::now();
+        let mut a = SessionMetrics::new();
+        a.record(Duration::from_nanos(100), t);
+        a.record(Duration::from_nanos(300), t + Duration::from_secs(1));
+        let mut b = SessionMetrics::new();
+        b.record(Duration::from_nanos(500), t + Duration::from_secs(2));
+        a.merge(&b);
+        assert_eq!(a.completed(), 3);
+        assert_eq!(a.jitter_mean_ns(), 200);
+        assert!((a.sustained_fps() - 1.0).abs() < 1e-9);
+    }
+}

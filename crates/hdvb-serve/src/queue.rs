@@ -1,0 +1,300 @@
+//! Bounded MPSC queues with explicit overflow policies.
+//!
+//! Every serve session owns one [`BoundedQueue`] between the admission
+//! side (the load generator or an RPC front end) and the codec pump.
+//! The capacity bound is the backpressure mechanism: when a session
+//! falls behind, the queue either blocks the producer
+//! ([`OverflowPolicy::Block`], lossless, latency grows) or evicts the
+//! oldest queued item ([`OverflowPolicy::DropOldest`], lossy, latency
+//! bounded). Which one is right depends on the workload — an archival
+//! transcode must not lose frames, a live preview must not fall behind
+//! — so the policy is a per-queue parameter, not a global.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// What a full queue does with the next push.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OverflowPolicy {
+    /// Block the producer until the consumer makes room (lossless
+    /// backpressure; admission latency absorbs the overload).
+    Block,
+    /// Evict the oldest queued item to admit the new one (lossy
+    /// backpressure; queueing delay stays bounded by the capacity).
+    DropOldest,
+}
+
+impl OverflowPolicy {
+    /// Parses `"block"` or `"drop-oldest"`.
+    pub fn parse(s: &str) -> Option<OverflowPolicy> {
+        match s {
+            "block" => Some(OverflowPolicy::Block),
+            "drop-oldest" | "drop_oldest" => Some(OverflowPolicy::DropOldest),
+            _ => None,
+        }
+    }
+
+    /// The canonical CLI/report spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            OverflowPolicy::Block => "block",
+            OverflowPolicy::DropOldest => "drop-oldest",
+        }
+    }
+}
+
+/// Occupancy and loss counters, snapshotted by [`BoundedQueue::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Successful pushes (including ones that evicted an older item).
+    pub pushed: u64,
+    /// Items evicted by [`OverflowPolicy::DropOldest`].
+    pub dropped: u64,
+    /// Pushes refused because the queue was already closed.
+    pub rejected: u64,
+    /// Highest depth observed immediately after a push.
+    pub max_depth: usize,
+    /// Sum of post-push depths (divide by `pushed` for the mean depth
+    /// seen by arriving items).
+    pub depth_sum: u64,
+}
+
+impl QueueStats {
+    /// Mean queue depth observed by arriving items.
+    pub fn mean_depth(&self) -> f64 {
+        if self.pushed == 0 {
+            0.0
+        } else {
+            self.depth_sum as f64 / self.pushed as f64
+        }
+    }
+}
+
+/// The error returned when pushing to a closed queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Closed;
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    stats: QueueStats,
+}
+
+/// A bounded FIFO with a per-queue [`OverflowPolicy`], safe for any
+/// number of producers and consumers (serve uses it single-consumer).
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    /// Signalled on push and on close (wakes poppers).
+    not_empty: Condvar,
+    /// Signalled on pop and on close (wakes blocked pushers).
+    not_full: Condvar,
+    capacity: usize,
+    policy: OverflowPolicy,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize, policy: OverflowPolicy) -> BoundedQueue<T> {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+                stats: QueueStats::default(),
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+            policy,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        // Queue state is a plain VecDeque plus whole-word counters, so a
+        // panicked holder leaves it consistent (same reasoning as the
+        // pool's lock helper).
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The queue's capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The queue's overflow policy.
+    pub fn policy(&self) -> OverflowPolicy {
+        self.policy
+    }
+
+    /// Pushes an item, applying the overflow policy when full: `Block`
+    /// waits for room, `DropOldest` evicts and returns the evicted
+    /// item.
+    ///
+    /// # Errors
+    ///
+    /// [`Closed`] when the queue was closed before the item was
+    /// admitted (the item is returned alongside).
+    pub fn push(&self, item: T) -> Result<Option<T>, (T, Closed)> {
+        let mut g = self.lock();
+        let mut evicted = None;
+        loop {
+            if g.closed {
+                g.stats.rejected += 1;
+                return Err((item, Closed));
+            }
+            if g.items.len() < self.capacity {
+                break;
+            }
+            match self.policy {
+                OverflowPolicy::Block => {
+                    g = self.not_full.wait(g).unwrap_or_else(|e| e.into_inner());
+                }
+                OverflowPolicy::DropOldest => {
+                    evicted = g.items.pop_front();
+                    g.stats.dropped += 1;
+                    break;
+                }
+            }
+        }
+        g.items.push_back(item);
+        g.stats.pushed += 1;
+        g.stats.max_depth = g.stats.max_depth.max(g.items.len());
+        g.stats.depth_sum += g.items.len() as u64;
+        drop(g);
+        self.not_empty.notify_one();
+        Ok(evicted)
+    }
+
+    /// Pops the oldest item without blocking; `None` when empty.
+    pub fn try_pop(&self) -> Option<T> {
+        let mut g = self.lock();
+        let item = g.items.pop_front();
+        drop(g);
+        if item.is_some() {
+            self.not_full.notify_one();
+        }
+        item
+    }
+
+    /// Pops the oldest item, blocking while the queue is empty and
+    /// open; `None` once the queue is closed and drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut g = self.lock();
+        loop {
+            if let Some(item) = g.items.pop_front() {
+                drop(g);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if g.closed {
+                return None;
+            }
+            g = self.not_empty.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Whether the queue currently holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.lock().items.is_empty()
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Closes the queue: pending items stay poppable, every subsequent
+    /// or blocked push fails with [`Closed`], and blocked poppers wake.
+    pub fn close(&self) {
+        let mut g = self.lock();
+        g.closed = true;
+        drop(g);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Whether [`close`](Self::close) has run.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    /// Snapshot of the occupancy/loss counters.
+    pub fn stats(&self) -> QueueStats {
+        self.lock().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_and_stats() {
+        let q = BoundedQueue::new(4, OverflowPolicy::Block);
+        for i in 0..4 {
+            assert_eq!(q.push(i).unwrap(), None);
+        }
+        assert_eq!(q.len(), 4);
+        assert_eq!((q.try_pop(), q.try_pop()), (Some(0), Some(1)));
+        let s = q.stats();
+        assert_eq!((s.pushed, s.dropped, s.max_depth), (4, 0, 4));
+        assert_eq!(s.depth_sum, 1 + 2 + 3 + 4);
+    }
+
+    #[test]
+    fn drop_oldest_evicts_front_and_counts() {
+        let q = BoundedQueue::new(2, OverflowPolicy::DropOldest);
+        assert_eq!(q.push(1).unwrap(), None);
+        assert_eq!(q.push(2).unwrap(), None);
+        assert_eq!(q.push(3).unwrap(), Some(1));
+        assert_eq!(q.push(4).unwrap(), Some(2));
+        assert_eq!(
+            (q.try_pop(), q.try_pop(), q.try_pop()),
+            (Some(3), Some(4), None)
+        );
+        assert_eq!(q.stats().dropped, 2);
+    }
+
+    #[test]
+    fn block_policy_waits_for_room() {
+        let q = Arc::new(BoundedQueue::new(1, OverflowPolicy::Block));
+        q.push(0u32).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(1).unwrap())
+        };
+        // The producer must be blocked: the queue stays at capacity.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some(0));
+        producer.join().unwrap();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.stats().dropped, 0);
+    }
+
+    #[test]
+    fn close_wakes_blocked_pusher_and_popper() {
+        let q = Arc::new(BoundedQueue::new(1, OverflowPolicy::Block));
+        q.push(7u32).unwrap();
+        let pusher = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(8))
+        };
+        let popper = {
+            let q = Arc::new(BoundedQueue::<u32>::new(1, OverflowPolicy::Block));
+            let q2 = Arc::clone(&q);
+            let h = std::thread::spawn(move || q2.pop());
+            q.close();
+            h
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert!(pusher.join().unwrap().is_err());
+        assert_eq!(popper.join().unwrap(), None);
+        // Pending items survive close; new pushes are rejected.
+        assert_eq!(q.pop(), Some(7));
+        assert!(q.push(9).is_err());
+        assert_eq!(q.stats().rejected, 2);
+    }
+}

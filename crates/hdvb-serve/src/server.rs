@@ -1,0 +1,392 @@
+//! The session multiplexer.
+//!
+//! A [`Server`] runs many concurrent [`CodecSession`]s over one
+//! work-stealing [`ThreadPool`]. Sessions do not own threads: each one
+//! is a *pump* — a short-lived pool task that drains the session's
+//! bounded input queue, feeds the codec, and exits when the queue runs
+//! dry. A session that receives input while no pump is running spawns
+//! one; a session with a running pump just enqueues. Hundreds of mostly
+//! idle sessions therefore cost nothing but their queue memory, while a
+//! handful of busy ones saturate the pool.
+//!
+//! The pump handoff uses a claim flag (`pumping`): the submitter spawns
+//! a pump only if it flips the flag from false to true, and a retiring
+//! pump re-checks the queue *after* clearing the flag, re-claiming it
+//! if work raced in. Exactly one pump runs per session at any time, so
+//! the codec state machine needs no further synchronisation.
+
+use crate::metrics::SessionMetrics;
+use crate::queue::{BoundedQueue, OverflowPolicy, QueueStats};
+use hdvb_core::{BenchError, CodecSession, Packet, SessionInput};
+use hdvb_frame::Frame;
+use hdvb_par::{CancelToken, ThreadPool};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Server-wide knobs, applied to every session it opens.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Pool worker threads; `0` means the machine's parallelism.
+    pub threads: usize,
+    /// Per-session input queue capacity.
+    pub queue_capacity: usize,
+    /// What a full session queue does with the next input.
+    pub policy: OverflowPolicy,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            threads: 0,
+            queue_capacity: 8,
+            policy: OverflowPolicy::Block,
+        }
+    }
+}
+
+/// Why a submission was not admitted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The session already finished, failed or was cancelled.
+    SessionClosed,
+}
+
+/// The terminal state of a session, returned by [`SessionHandle::wait`].
+#[derive(Debug, Default)]
+pub struct SessionResult {
+    /// Coded packets, in emission order (empty unless the session was
+    /// opened with `keep_output`).
+    pub packets: Vec<Packet>,
+    /// Decoded frames, in display order (empty unless `keep_output`).
+    pub frames: Vec<Frame>,
+    /// The error that terminated the session early, if any.
+    pub error: Option<BenchError>,
+    /// Inputs whose processing completed.
+    pub completed: u64,
+    /// Inputs discarded unprocessed (evicted by `DropOldest`, or
+    /// drained after the session terminated early).
+    pub discarded: u64,
+    /// Corrupt packets dropped by a resilient session.
+    pub corrupt_dropped: u64,
+    /// Latency/jitter/throughput counters.
+    pub metrics: SessionMetrics,
+    /// Input queue occupancy and loss counters.
+    pub queue: QueueStats,
+}
+
+/// One queued unit of work.
+enum Work {
+    Input(SessionInput, Instant),
+    /// End of stream: flush lookahead and retire the session.
+    Finish,
+}
+
+/// Mutable per-session state, touched only under its mutex (by the
+/// single pump, or by `wait`/`cancel` at the edges).
+struct SessionState {
+    session: CodecSession,
+    keep_output: bool,
+    packets: Vec<Packet>,
+    frames: Vec<Frame>,
+    metrics: SessionMetrics,
+    completed: u64,
+    discarded: u64,
+    error: Option<BenchError>,
+    done: bool,
+    /// Set once `wait` has consumed the result.
+    taken: bool,
+}
+
+struct SessionShared {
+    queue: BoundedQueue<Work>,
+    state: Mutex<SessionState>,
+    done_cv: Condvar,
+    /// Pump claim flag; see the module docs.
+    pumping: AtomicBool,
+    cancel: CancelToken,
+}
+
+/// Fleet-wide bookkeeping for [`Server::drain`].
+struct ServerInner {
+    active: Mutex<usize>,
+    drained: Condvar,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A multiplexing front end running codec sessions on a shared pool.
+pub struct Server {
+    pool: Arc<ThreadPool>,
+    inner: Arc<ServerInner>,
+    config: ServerConfig,
+}
+
+impl Server {
+    /// A server with its own pool, per `config`.
+    pub fn new(config: ServerConfig) -> Server {
+        let threads = if config.threads == 0 {
+            ThreadPool::default_threads()
+        } else {
+            config.threads
+        };
+        Server {
+            pool: Arc::new(ThreadPool::new(threads)),
+            inner: Arc::new(ServerInner {
+                active: Mutex::new(0),
+                drained: Condvar::new(),
+            }),
+            config,
+        }
+    }
+
+    /// Pool worker threads serving the sessions.
+    pub fn threads(&self) -> usize {
+        self.pool.thread_count()
+    }
+
+    /// Admits a session. `keep_output` retains decoded frames and coded
+    /// packets for [`SessionHandle::wait`]; benchmarks pass `false` so
+    /// a long run does not accumulate every output in memory.
+    pub fn open(&self, mut session: CodecSession, keep_output: bool) -> SessionHandle {
+        let cancel = CancelToken::new();
+        session.set_cancel(cancel.clone());
+        let shared = Arc::new(SessionShared {
+            queue: BoundedQueue::new(self.config.queue_capacity, self.config.policy),
+            state: Mutex::new(SessionState {
+                session,
+                keep_output,
+                packets: Vec::new(),
+                frames: Vec::new(),
+                metrics: SessionMetrics::new(),
+                completed: 0,
+                discarded: 0,
+                error: None,
+                done: false,
+                taken: false,
+            }),
+            done_cv: Condvar::new(),
+            pumping: AtomicBool::new(false),
+            cancel,
+        });
+        *lock(&self.inner.active) += 1;
+        SessionHandle {
+            shared,
+            pool: Arc::clone(&self.pool),
+            server: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Sessions opened but not yet retired.
+    pub fn active_sessions(&self) -> usize {
+        *lock(&self.inner.active)
+    }
+
+    /// Blocks until every opened session has retired (finished, failed
+    /// or been cancelled). Graceful shutdown is `finish()` on every
+    /// handle, then `drain()`: all in-flight and queued inputs complete
+    /// before this returns.
+    pub fn drain(&self) {
+        let mut g = lock(&self.inner.active);
+        while *g > 0 {
+            g = self
+                .inner
+                .drained
+                .wait(g)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// The caller's handle to one open session.
+pub struct SessionHandle {
+    shared: Arc<SessionShared>,
+    pool: Arc<ThreadPool>,
+    server: Arc<ServerInner>,
+}
+
+impl SessionHandle {
+    /// Submits one input, applying the queue's overflow policy (may
+    /// block under [`OverflowPolicy::Block`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::SessionClosed`] once the session has finished,
+    /// failed or been cancelled.
+    pub fn submit(&self, input: SessionInput) -> Result<(), SubmitError> {
+        match self.shared.queue.push(Work::Input(input, Instant::now())) {
+            Ok(evicted) => {
+                if evicted.is_some() {
+                    // An eviction is a discard the pump never sees.
+                    lock(&self.shared.state).discarded += 1;
+                }
+                self.spawn_pump_if_idle();
+                Ok(())
+            }
+            Err(_) => Err(SubmitError::SessionClosed),
+        }
+    }
+
+    /// Signals end of stream. The pump flushes buffered lookahead and
+    /// retires the session once everything queued ahead has completed.
+    pub fn finish(&self) {
+        if let Ok(evicted) = self.shared.queue.push(Work::Finish) {
+            // Under DropOldest the end-of-stream marker can itself
+            // evict a queued input.
+            if evicted.is_some() {
+                lock(&self.shared.state).discarded += 1;
+            }
+            self.spawn_pump_if_idle();
+        }
+    }
+
+    /// Requests cooperative cancellation: the codec stops at its next
+    /// picture boundary and the session retires with
+    /// [`BenchError::Cancelled`], discarding whatever is still queued.
+    pub fn cancel(&self) {
+        self.shared.cancel.cancel();
+        // The pump may be idle (empty queue) with no submission coming,
+        // so retire the session directly rather than waiting for one.
+        let mut st = lock(&self.shared.state);
+        if !st.done {
+            st.error = Some(BenchError::Cancelled);
+            retire(&self.shared, &self.server, &mut st);
+        }
+        // Count whatever was still queued as discarded (the pump, if
+        // one is running, discards anything it pops instead).
+        while self.shared.queue.try_pop().is_some() {
+            st.discarded += 1;
+        }
+    }
+
+    /// Blocks until the session retires and returns its result. The
+    /// first call consumes the outputs and the error; later calls see
+    /// them empty.
+    pub fn wait(&self) -> SessionResult {
+        let mut st = lock(&self.shared.state);
+        while !st.done {
+            st = self
+                .shared
+                .done_cv
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        let first = !st.taken;
+        st.taken = true;
+        SessionResult {
+            packets: if first {
+                std::mem::take(&mut st.packets)
+            } else {
+                Vec::new()
+            },
+            frames: if first {
+                std::mem::take(&mut st.frames)
+            } else {
+                Vec::new()
+            },
+            error: if first { st.error.take() } else { None },
+            completed: st.completed,
+            // Evictions already land in `st.discarded` at submit time,
+            // so the queue's own drop counter is reported only via
+            // `queue`, never added here.
+            discarded: st.discarded,
+            corrupt_dropped: st.session.dropped(),
+            metrics: st.metrics.clone(),
+            queue: self.shared.queue.stats(),
+        }
+    }
+
+    /// Whether the session has retired.
+    pub fn is_done(&self) -> bool {
+        lock(&self.shared.state).done
+    }
+
+    /// Current input queue depth (frames waiting for the codec).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Claims the pump flag and spawns a pump task if nobody holds it.
+    fn spawn_pump_if_idle(&self) {
+        if !self.shared.pumping.swap(true, Ordering::AcqRel) {
+            let shared = Arc::clone(&self.shared);
+            let server = Arc::clone(&self.server);
+            self.pool.execute(move || pump(&shared, &server));
+        }
+    }
+}
+
+/// Drains the session queue on a pool worker. Holds the pump claim; on
+/// empty, releases it and re-checks for racing submissions.
+fn pump(shared: &Arc<SessionShared>, server: &Arc<ServerInner>) {
+    loop {
+        match shared.queue.try_pop() {
+            Some(work) => process(shared, server, work),
+            None => {
+                shared.pumping.store(false, Ordering::Release);
+                if shared.queue.is_empty() {
+                    return;
+                }
+                // Work raced in between the pop and the release. Re-claim
+                // unless the submitter's own check already spawned a
+                // successor pump.
+                if shared.pumping.swap(true, Ordering::AcqRel) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn process(shared: &Arc<SessionShared>, server: &Arc<ServerInner>, work: Work) {
+    let mut st = lock(&shared.state);
+    if st.done {
+        // Late items behind a terminal event drain without processing.
+        st.discarded += 1;
+        return;
+    }
+    match work {
+        Work::Input(input, arrival) => match st.session.push(input) {
+            Ok(out) => {
+                let now = Instant::now();
+                st.metrics.record(now - arrival, now);
+                st.completed += 1;
+                if st.keep_output {
+                    st.packets.extend(out.packets);
+                    st.frames.extend(out.frames);
+                }
+            }
+            Err(e) => {
+                st.error = Some(e);
+                retire(shared, server, &mut st);
+            }
+        },
+        Work::Finish => {
+            match st.session.finish() {
+                Ok(out) => {
+                    if st.keep_output {
+                        st.packets.extend(out.packets);
+                        st.frames.extend(out.frames);
+                    }
+                }
+                Err(e) => st.error = Some(e),
+            }
+            retire(shared, server, &mut st);
+        }
+    }
+}
+
+/// Marks the session terminal: closes the queue (waking blocked
+/// producers), wakes waiters, and releases the server's drain count.
+fn retire(shared: &SessionShared, server: &ServerInner, st: &mut SessionState) {
+    debug_assert!(!st.done);
+    st.done = true;
+    shared.queue.close();
+    shared.done_cv.notify_all();
+    let mut active = lock(&server.active);
+    *active = active.saturating_sub(1);
+    drop(active);
+    server.drained.notify_all();
+}

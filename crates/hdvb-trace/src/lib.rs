@@ -33,9 +33,11 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize,
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
+mod hist;
 pub mod json;
 mod report;
 
+pub use hist::LatencyHistogram;
 pub use report::{stage_breakdown, StageRow, ThreadTrace, TraceReport};
 
 /// Instrumented pipeline stages, shared by all three codecs and the

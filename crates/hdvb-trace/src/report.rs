@@ -130,21 +130,7 @@ impl TraceReport {
     /// Approximate p99 duration for `stage` from its log2 histogram: the
     /// upper bound of the bucket containing the 99th percentile.
     pub fn p99_ns(&self, stage: Stage) -> u64 {
-        let h = &self.hist[stage as usize];
-        let count: u64 = h.iter().sum();
-        if count == 0 {
-            return 0;
-        }
-        let threshold = (count * 99).div_ceil(100);
-        let mut seen = 0u64;
-        for (i, &c) in h.iter().enumerate() {
-            seen += c;
-            if seen >= threshold {
-                // Bucket i holds durations < 2^i (bucket 0 is 0 ns).
-                return if i == 0 { 0 } else { 1u64 << i };
-            }
-        }
-        u64::MAX
+        crate::LatencyHistogram::from_buckets(&self.hist[stage as usize]).percentile(0.99)
     }
 
     /// All non-empty `(stage, parent)` rows, parents first, children

@@ -65,4 +65,28 @@ if grep -q "n/a" "$tmpdir/resume.txt"; then
     exit 1
 fi
 
+echo "==> serve smoke (8 sessions x 30 fps x 5 s, block policy: lossless, finite p99)"
+(cd "$tmpdir" && "$OLDPWD/target/release/hdvb" serve-bench --codec mpeg2 \
+    --sessions 8 --fps 30 --duration 5 --resolution 96x80 --seed 7 \
+    > serve.txt 2> serve.log)
+grep -q "clean shutdown" "$tmpdir/serve.log" || {
+    echo "serve-bench did not report a clean shutdown" >&2
+    cat "$tmpdir/serve.log" >&2
+    exit 1
+}
+python3 - "$tmpdir/BENCH_serve.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "hdvb-serve-bench/v1", doc.get("schema")
+(run,) = doc["runs"]
+assert run["policy"] == "block"
+# Block policy is lossless: every offered frame admitted and completed.
+assert run["offered"] == run["admitted"] == run["completed"], run
+assert run["discarded"] == 0 and run["rejected"] == 0 and run["errors"] == 0, run
+p99 = run["latency_ns"]["p99"]
+assert 0 < p99 < 2**40, p99
+assert run["queue_depth"]["max"] >= 1
+print(f"serve smoke ok: {run['completed']} frames, p99 {p99/1e6:.2f} ms")
+EOF
+
 echo "CI green."

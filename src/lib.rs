@@ -28,4 +28,5 @@ pub use hdvb_mpeg2 as mpeg2;
 pub use hdvb_mpeg4 as mpeg4;
 pub use hdvb_par as par;
 pub use hdvb_seq as seq;
+pub use hdvb_serve as serve;
 pub use hdvb_trace as trace;
