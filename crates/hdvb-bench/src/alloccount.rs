@@ -1,0 +1,76 @@
+//! A counting global allocator for allocation-regression tests.
+//!
+//! The zero-copy hot path (DESIGN.md §14) promises that steady-state
+//! session traffic allocates nothing: every frame and bitstream buffer
+//! cycles through the global pools. That claim is only worth having if
+//! a regression trips CI, so the `alloc_gate` integration test installs
+//! [`CountingAlloc`] as its `#[global_allocator]` and asserts a hard
+//! zero per post-warm-up step.
+//!
+//! Counters are thread-local (`const`-initialised, so reading them does
+//! not itself allocate on any tier-1 platform) and monotone; callers
+//! measure a region by differencing [`thread_allocs`] around it. Only
+//! `alloc`/`realloc` count — frees are irrelevant to a "no new memory"
+//! gate, and `realloc` counts because a growing pooled buffer is
+//! exactly the kind of hidden allocation the gate exists to catch.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+    static BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Heap allocations performed by the current thread since it started
+/// (counting `alloc`, `alloc_zeroed` and `realloc` calls).
+pub fn thread_allocs() -> u64 {
+    ALLOCS.with(Cell::get)
+}
+
+/// Bytes requested by the current thread's counted allocations.
+pub fn thread_alloc_bytes() -> u64 {
+    BYTES.with(Cell::get)
+}
+
+/// A [`System`]-backed allocator that counts per-thread allocations.
+///
+/// Install in a test binary with:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: hdvb_bench::alloccount::CountingAlloc =
+///     hdvb_bench::alloccount::CountingAlloc;
+/// ```
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    #[inline]
+    fn count(size: usize) {
+        // try_with: an allocation during TLS teardown must not abort
+        // the process; an uncounted alloc at thread exit is harmless.
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        let _ = BYTES.try_with(|c| c.set(c.get() + size as u64));
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        Self::count(layout.size());
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        Self::count(layout.size());
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        Self::count(new_size);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}

@@ -21,6 +21,7 @@ use hdvb_core::{encode_sequence, CodecId, CodingOptions, Packet};
 use hdvb_frame::Resolution;
 use hdvb_seq::{Sequence, SequenceId};
 
+pub mod alloccount;
 pub mod kernelbench;
 
 /// Resolution divisor applied to the paper's three resolutions for the

@@ -1,0 +1,157 @@
+//! Bit-identity of the pooled hot path (DESIGN.md §14).
+//!
+//! Pooled buffers are handed out dirty — a recycled frame still holds
+//! the previous user's pixels, a recycled bitstream buffer is merely
+//! cleared. The zero-copy refactor is only sound if none of that stale
+//! state leaks into outputs: every codec must overwrite every sample it
+//! emits. These tests run each codec twice — once against cold pools
+//! (everything freshly allocated) and once against pools deliberately
+//! polluted by the first run — and require byte-for-byte identical
+//! packets and sample-identical frames.
+
+use hdvb_core::{CodecId, CodecSession, CodingOptions, Packet, SessionInput, SessionOutput};
+use hdvb_frame::{Frame, FramePool, Resolution};
+use hdvb_seq::{Sequence, SequenceId};
+
+const FRAMES: u32 = 12;
+
+fn res() -> Resolution {
+    Resolution::new(96, 80)
+}
+
+/// Encodes `FRAMES` frames of the test clip through the pooled session
+/// API and returns the packets.
+fn encode_run(codec: CodecId, options: &CodingOptions) -> Vec<Packet> {
+    let seq = Sequence::new(SequenceId::RushHour, res());
+    let mut session = CodecSession::encoder(codec, res(), options).unwrap();
+    let mut out = SessionOutput::new();
+    for i in 0..FRAMES {
+        let src = seq.frame(i);
+        let mut f = FramePool::global().take(src.width(), src.height());
+        f.copy_from(&src);
+        session.push_into(SessionInput::Frame(f), &mut out).unwrap();
+    }
+    session.finish_into(&mut out).unwrap();
+    out.packets
+}
+
+/// Decodes `packets` through the pooled session API and returns the
+/// frames.
+fn decode_run(codec: CodecId, packets: &[Packet], options: &CodingOptions) -> Vec<Frame> {
+    let mut session = CodecSession::decoder(codec, options.simd);
+    let mut out = SessionOutput::new();
+    for p in packets {
+        session
+            .push_into(SessionInput::Packet(p.data.clone()), &mut out)
+            .unwrap();
+    }
+    session.finish_into(&mut out).unwrap();
+    out.frames
+}
+
+/// Returns a run's outputs to the pools, leaving them full of stale
+/// frame pixels and bitstream bytes for the next taker.
+fn pollute_pools(packets: Vec<Packet>, frames: Vec<Frame>) {
+    let mut out = SessionOutput::new();
+    out.packets = packets;
+    out.frames = frames;
+    out.recycle();
+}
+
+/// Fills the frame pool with frames of foreign content — saturated
+/// 0xAA in every plane, a pattern no codec run ever produces. Polluting
+/// with a run's *own* outputs (as `pollute_pools` does) can mask stale
+/// reads: if a consumer re-reads a sample the previous identical run
+/// left behind, the bytes happen to match and the diff is invisible.
+/// Foreign poison makes any stale read change the output.
+fn poison_frame_pool(count: usize) {
+    let r = res();
+    for _ in 0..count {
+        let mut f = Frame::new(r.width(), r.height());
+        f.y_mut().fill(0xAA);
+        f.cb_mut().fill(0xAA);
+        f.cr_mut().fill(0xAA);
+        FramePool::global().put(f);
+    }
+}
+
+#[test]
+fn warm_pools_are_bit_identical_to_cold_for_every_codec() {
+    let options = CodingOptions::default();
+    for codec in CodecId::ALL {
+        // Cold run: pools may be empty or warm from a previous codec —
+        // either way this run's outputs define the reference.
+        let cold_packets = encode_run(codec, &options);
+        let cold_frames = decode_run(codec, &cold_packets, &options);
+
+        // Pollute the pools with this run's own buffers, then run
+        // again: every take now hands back a dirty buffer.
+        let before = FramePool::global().stats();
+        pollute_pools(cold_packets.clone(), cold_frames.clone());
+        let warm_packets = encode_run(codec, &options);
+        assert_eq!(
+            warm_packets, cold_packets,
+            "{codec}: encode not bit-identical"
+        );
+
+        let warm_frames = decode_run(codec, &warm_packets, &options);
+        assert_eq!(
+            warm_frames, cold_frames,
+            "{codec}: decode not sample-identical"
+        );
+
+        // Foreign poison: refill the pool with 0xAA-saturated frames
+        // no run ever produced, so a stale read cannot hide behind
+        // bytes that happen to match the previous run's.
+        poison_frame_pool(16);
+        let poisoned_packets = encode_run(codec, &options);
+        assert_eq!(
+            poisoned_packets, cold_packets,
+            "{codec}: encode leaks poisoned pool content"
+        );
+        poison_frame_pool(16);
+        let poisoned_frames = decode_run(codec, &poisoned_packets, &options);
+        assert_eq!(
+            poisoned_frames, cold_frames,
+            "{codec}: decode leaks poisoned pool content"
+        );
+
+        // Recycling proof: the warm runs must actually have reused
+        // pooled frames, not silently fallen back to the allocator.
+        let after = FramePool::global().stats();
+        assert!(
+            after.hits > before.hits,
+            "{codec}: warm run never hit the frame pool (hits {} -> {})",
+            before.hits,
+            after.hits
+        );
+    }
+}
+
+#[test]
+fn transcode_is_identical_across_pool_reuse() {
+    let options = CodingOptions::default();
+    let source = encode_run(CodecId::Mpeg2, &options);
+    let run = |out_pollute: bool| -> Vec<Packet> {
+        let mut session =
+            CodecSession::transcoder(CodecId::Mpeg2, CodecId::H264, res(), &options).unwrap();
+        let mut out = SessionOutput::new();
+        for p in &source {
+            session
+                .push_into(SessionInput::Packet(p.data.clone()), &mut out)
+                .unwrap();
+        }
+        session.finish_into(&mut out).unwrap();
+        let packets = out.packets.clone();
+        if out_pollute {
+            out.recycle();
+        }
+        packets
+    };
+    let first = run(true);
+    let second = run(true);
+    assert_eq!(
+        first, second,
+        "transcode not bit-identical across pool reuse"
+    );
+}

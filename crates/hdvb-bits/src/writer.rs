@@ -39,6 +39,18 @@ impl BitWriter {
         }
     }
 
+    /// Creates an empty writer on top of an existing (e.g. pooled)
+    /// buffer, clearing its contents but keeping its capacity — the
+    /// allocation-free counterpart of [`with_capacity`](Self::with_capacity).
+    pub fn from_vec(mut bytes: Vec<u8>) -> Self {
+        bytes.clear();
+        BitWriter {
+            bytes,
+            pending: 0,
+            acc: 0,
+        }
+    }
+
     /// Number of bits written so far.
     pub fn bit_len(&self) -> u64 {
         self.bytes.len() as u64 * 8 + u64::from(self.pending)

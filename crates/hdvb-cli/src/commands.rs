@@ -127,17 +127,34 @@ pub fn encode(p: &Parsed) -> CmdResult {
     let out_path = p.output().ok_or("missing --output for encode")?;
 
     let (format, packets, frames, elapsed) = if let Some(input) = p.input() {
-        // Encode an external .y4m file.
-        let (format, frames_in) = read_y4m(input)?;
+        // Encode an external .y4m file, streaming: one reused frame
+        // buffer and write-into-caller packet emission, so memory stays
+        // flat no matter how long the clip is (the reported fps
+        // includes read I/O, which is the honest number for a file
+        // transcode).
+        let file = File::open(input).map_err(|e| format!("cannot open {input}: {e}"))?;
+        let mut reader =
+            Y4mReader::new(BufReader::new(file)).map_err(|e| format!("bad y4m {input}: {e}"))?;
+        let format = VideoFormat {
+            resolution: reader.resolution(),
+            frame_rate: reader.frame_rate(),
+        };
         let mut enc =
             create_encoder(codec, format.resolution, &options).map_err(|e| e.to_string())?;
         let mut packets: Vec<Packet> = Vec::new();
+        let mut frame = Frame::new(format.resolution.width(), format.resolution.height());
+        let mut frames_in = 0u32;
         let t0 = Instant::now();
-        for f in &frames_in {
-            packets.extend(enc.encode_frame(f).map_err(|e| e.to_string())?);
+        while reader
+            .read_frame_into(&mut frame)
+            .map_err(|e| format!("read failed: {e}"))?
+        {
+            enc.encode_frame_into(&frame, &mut packets)
+                .map_err(|e| e.to_string())?;
+            frames_in += 1;
         }
-        packets.extend(enc.finish().map_err(|e| e.to_string())?);
-        (format, packets, frames_in.len() as u32, t0.elapsed())
+        enc.finish_into(&mut packets).map_err(|e| e.to_string())?;
+        (format, packets, frames_in, t0.elapsed())
     } else {
         // Encode a synthetic benchmark sequence, GOP-parallel when more
         // than one thread is requested.

@@ -117,6 +117,34 @@ pub trait VideoEncoder {
     /// Codec-specific errors.
     fn finish(&mut self) -> Result<Vec<Packet>, BenchError>;
 
+    /// Write-into-caller form of [`encode_frame`](Self::encode_frame):
+    /// appends coded packets to `out` instead of allocating a fresh
+    /// vector. The built-in codecs route this through their pooled
+    /// zero-allocation paths; the default just delegates.
+    ///
+    /// # Errors
+    ///
+    /// As [`encode_frame`](Self::encode_frame); packets appended before
+    /// an error stay in `out`.
+    fn encode_frame_into(
+        &mut self,
+        frame: &Frame,
+        out: &mut Vec<Packet>,
+    ) -> Result<(), BenchError> {
+        out.extend(self.encode_frame(frame)?);
+        Ok(())
+    }
+
+    /// Write-into-caller form of [`finish`](Self::finish).
+    ///
+    /// # Errors
+    ///
+    /// As [`finish`](Self::finish).
+    fn finish_into(&mut self, out: &mut Vec<Packet>) -> Result<(), BenchError> {
+        out.extend(self.finish()?);
+        Ok(())
+    }
+
     /// Installs a cooperative cancellation token, checked at picture
     /// boundaries; once it fires, encoding stops with
     /// [`BenchError::Cancelled`]. Implementations that cannot cancel
@@ -136,6 +164,25 @@ pub trait VideoDecoder {
 
     /// Returns the final buffered frames at end of stream.
     fn finish(&mut self) -> Vec<Frame>;
+
+    /// Write-into-caller form of [`decode_packet`](Self::decode_packet):
+    /// appends display-order frames to `out`. The built-in codecs route
+    /// this through their pooled zero-allocation paths (output frames
+    /// come from the global frame pool and can be returned to it); the
+    /// default just delegates.
+    ///
+    /// # Errors
+    ///
+    /// As [`decode_packet`](Self::decode_packet).
+    fn decode_packet_into(&mut self, data: &[u8], out: &mut Vec<Frame>) -> Result<(), BenchError> {
+        out.extend(self.decode_packet(data)?);
+        Ok(())
+    }
+
+    /// Write-into-caller form of [`finish`](Self::finish).
+    fn finish_into(&mut self, out: &mut Vec<Frame>) {
+        out.extend(self.finish());
+    }
 
     /// Installs a cooperative cancellation token, checked at packet
     /// boundaries; once it fires, decoding stops with
@@ -163,7 +210,9 @@ pub fn create_encoder(
                 .with_search_range(options.search_range)
                 .with_intra_period(options.intra_period)
                 .with_simd(options.simd);
-            Ok(Box::new(Mpeg2Enc(hdvb_mpeg2::Mpeg2Encoder::new(config)?)))
+            Ok(Box::new(Mpeg2Enc::new(hdvb_mpeg2::Mpeg2Encoder::new(
+                config,
+            )?)))
         }
         CodecId::Mpeg4 => {
             let config = hdvb_mpeg4::EncoderConfig::new(w, h)
@@ -172,7 +221,9 @@ pub fn create_encoder(
                 .with_search_range(options.search_range)
                 .with_intra_period(options.intra_period)
                 .with_simd(options.simd);
-            Ok(Box::new(Mpeg4Enc(hdvb_mpeg4::Mpeg4Encoder::new(config)?)))
+            Ok(Box::new(Mpeg4Enc::new(hdvb_mpeg4::Mpeg4Encoder::new(
+                config,
+            )?)))
         }
         CodecId::H264 => {
             let config = hdvb_h264::EncoderConfig::new(w, h)
@@ -182,7 +233,7 @@ pub fn create_encoder(
                 .with_intra_period(options.intra_period)
                 .with_num_refs(options.h264_refs)
                 .with_simd(options.simd);
-            Ok(Box::new(H264Enc(hdvb_h264::H264Encoder::new(config)?)))
+            Ok(Box::new(H264Enc::new(hdvb_h264::H264Encoder::new(config)?)))
         }
     }
 }
@@ -197,27 +248,58 @@ pub fn create_decoder(codec: CodecId, simd: SimdLevel) -> Box<dyn VideoDecoder +
 }
 
 macro_rules! impl_adapters {
-    ($enc:ident, $dec:ident, $enc_ty:ty, $dec_ty:ty, $corrupt:path, $cancelled:path, $ft:path, $cid:expr) => {
-        struct $enc($enc_ty);
+    ($enc:ident, $dec:ident, $enc_ty:ty, $dec_ty:ty, $pkt_ty:ty, $corrupt:path, $cancelled:path, $ft:path, $cid:expr) => {
+        struct $enc {
+            inner: $enc_ty,
+            /// Native-packet staging buffer, drained (moving each
+            /// payload, not copying it) into the unified packet type.
+            scratch: Vec<$pkt_ty>,
+        }
+
+        impl $enc {
+            fn new(inner: $enc_ty) -> Self {
+                $enc {
+                    inner,
+                    scratch: Vec::new(),
+                }
+            }
+        }
 
         impl VideoEncoder for $enc {
             fn encode_frame(&mut self, frame: &Frame) -> Result<Vec<Packet>, BenchError> {
-                let _span = hdvb_trace::span!(hdvb_trace::Stage::EncodeFrame);
-                Ok(self
-                    .0
-                    .encode(frame)?
-                    .into_iter()
-                    .map(convert_packet)
-                    .collect())
+                let mut out = Vec::new();
+                self.encode_frame_into(frame, &mut out)?;
+                Ok(out)
             }
 
             fn finish(&mut self) -> Result<Vec<Packet>, BenchError> {
+                let mut out = Vec::new();
+                self.finish_into(&mut out)?;
+                Ok(out)
+            }
+
+            fn encode_frame_into(
+                &mut self,
+                frame: &Frame,
+                out: &mut Vec<Packet>,
+            ) -> Result<(), BenchError> {
                 let _span = hdvb_trace::span!(hdvb_trace::Stage::EncodeFrame);
-                Ok(self.0.flush()?.into_iter().map(convert_packet).collect())
+                let result = self.inner.encode_into(frame, &mut self.scratch);
+                out.extend(self.scratch.drain(..).map(convert_packet));
+                result?;
+                Ok(())
+            }
+
+            fn finish_into(&mut self, out: &mut Vec<Packet>) -> Result<(), BenchError> {
+                let _span = hdvb_trace::span!(hdvb_trace::Stage::EncodeFrame);
+                let result = self.inner.flush_into(&mut self.scratch);
+                out.extend(self.scratch.drain(..).map(convert_packet));
+                result?;
+                Ok(())
             }
 
             fn set_cancel(&mut self, cancel: CancelToken) {
-                self.0.set_cancel(cancel);
+                self.inner.set_cancel(cancel);
             }
         }
 
@@ -225,8 +307,22 @@ macro_rules! impl_adapters {
 
         impl VideoDecoder for $dec {
             fn decode_packet(&mut self, data: &[u8]) -> Result<Vec<Frame>, BenchError> {
+                let mut out = Vec::new();
+                self.decode_packet_into(data, &mut out)?;
+                Ok(out)
+            }
+
+            fn finish(&mut self) -> Vec<Frame> {
+                self.0.flush()
+            }
+
+            fn decode_packet_into(
+                &mut self,
+                data: &[u8],
+                out: &mut Vec<Frame>,
+            ) -> Result<(), BenchError> {
                 let _span = hdvb_trace::span!(hdvb_trace::Stage::DecodeFrame);
-                self.0.decode(data).map_err(|e| match e {
+                self.0.decode_into(data, out).map_err(|e| match e {
                     $corrupt {
                         offset,
                         kind,
@@ -242,8 +338,8 @@ macro_rules! impl_adapters {
                 })
             }
 
-            fn finish(&mut self) -> Vec<Frame> {
-                self.0.flush()
+            fn finish_into(&mut self, out: &mut Vec<Frame>) {
+                self.0.flush_into(out);
             }
 
             fn set_cancel(&mut self, cancel: CancelToken) {
@@ -330,6 +426,7 @@ impl_adapters!(
     Mpeg2Dec,
     hdvb_mpeg2::Mpeg2Encoder,
     hdvb_mpeg2::Mpeg2Decoder,
+    hdvb_mpeg2::Packet,
     hdvb_mpeg2::CodecError::Corrupt,
     hdvb_mpeg2::CodecError::Cancelled,
     hdvb_mpeg2::FrameType,
@@ -340,6 +437,7 @@ impl_adapters!(
     Mpeg4Dec,
     hdvb_mpeg4::Mpeg4Encoder,
     hdvb_mpeg4::Mpeg4Decoder,
+    hdvb_mpeg4::Packet,
     hdvb_mpeg4::CodecError::Corrupt,
     hdvb_mpeg4::CodecError::Cancelled,
     hdvb_mpeg4::FrameType,
@@ -350,6 +448,7 @@ impl_adapters!(
     H264Dec,
     hdvb_h264::H264Encoder,
     hdvb_h264::H264Decoder,
+    hdvb_h264::Packet,
     hdvb_h264::CodecError::Corrupt,
     hdvb_h264::CodecError::Cancelled,
     hdvb_h264::FrameType,

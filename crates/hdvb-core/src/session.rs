@@ -20,7 +20,7 @@ use crate::{
     VideoEncoder,
 };
 use hdvb_dsp::SimdLevel;
-use hdvb_frame::{Frame, Resolution};
+use hdvb_frame::{BufferPool, Frame, FramePool, Resolution};
 use hdvb_par::CancelToken;
 
 /// One unit of session input: a raw frame (encode, transcode) or a
@@ -45,18 +45,10 @@ pub struct SessionOutput {
 }
 
 impl SessionOutput {
-    fn packets(packets: Vec<Packet>) -> SessionOutput {
-        SessionOutput {
-            packets,
-            frames: Vec::new(),
-        }
-    }
-
-    fn frames(frames: Vec<Frame>) -> SessionOutput {
-        SessionOutput {
-            packets: Vec::new(),
-            frames,
-        }
+    /// An empty output, ready to be passed to
+    /// [`CodecSession::push_into`].
+    pub fn new() -> SessionOutput {
+        SessionOutput::default()
     }
 
     /// True when this step emitted nothing.
@@ -67,6 +59,21 @@ impl SessionOutput {
     /// Number of output items (packets plus frames).
     pub fn len(&self) -> usize {
         self.packets.len() + self.frames.len()
+    }
+
+    /// Returns every buffer held by this output to the global pools and
+    /// clears both lists. A long-running caller that consumes (copies
+    /// out, hashes, discards) each step's outputs can reuse one
+    /// `SessionOutput` and recycle it between steps, closing the
+    /// producer→consumer loop so steady-state traffic allocates
+    /// nothing.
+    pub fn recycle(&mut self) {
+        for p in self.packets.drain(..) {
+            BufferPool::global().put(p.data);
+        }
+        for f in self.frames.drain(..) {
+            FramePool::global().put(f);
+        }
     }
 }
 
@@ -97,6 +104,11 @@ pub struct CodecSession {
     cancel: CancelToken,
     dropped: u64,
     finished: bool,
+    /// Transcode staging: decoded frames on their way to the encoder.
+    /// Persistent so the decode→encode hop reuses one buffer instead of
+    /// allocating a `Vec` per packet; the frames themselves cycle
+    /// through the global [`FramePool`].
+    frame_buf: Vec<Frame>,
 }
 
 impl CodecSession {
@@ -116,6 +128,7 @@ impl CodecSession {
             cancel: CancelToken::never(),
             dropped: 0,
             finished: false,
+            frame_buf: Vec::new(),
         })
     }
 
@@ -128,6 +141,7 @@ impl CodecSession {
             cancel: CancelToken::never(),
             dropped: 0,
             finished: false,
+            frame_buf: Vec::new(),
         }
     }
 
@@ -153,6 +167,7 @@ impl CodecSession {
             cancel: CancelToken::never(),
             dropped: 0,
             finished: false,
+            frame_buf: Vec::new(),
         })
     }
 
@@ -199,6 +214,29 @@ impl CodecSession {
     /// otherwise ([`BenchError::Corrupt`] is swallowed and counted by
     /// resilient sessions).
     pub fn push(&mut self, input: SessionInput) -> Result<SessionOutput, BenchError> {
+        let mut out = SessionOutput::default();
+        self.push_into(input, &mut out)?;
+        Ok(out)
+    }
+
+    /// Feeds one input, appending whatever the codec emits to `out`.
+    ///
+    /// This is the allocation-free form of [`push`](Self::push): input
+    /// buffers are returned to the global pools once consumed, output
+    /// packets and frames carry pooled buffers, and the caller closes
+    /// the loop with [`SessionOutput::recycle`] after consuming them.
+    /// In steady state (warm pools, reused `out`) a push allocates
+    /// nothing.
+    ///
+    /// # Errors
+    ///
+    /// As [`push`](Self::push). `out` keeps anything appended before
+    /// the failure.
+    pub fn push_into(
+        &mut self,
+        input: SessionInput,
+        out: &mut SessionOutput,
+    ) -> Result<(), BenchError> {
         if self.finished {
             return Err(BenchError::BadRequest("push after session finish"));
         }
@@ -207,19 +245,36 @@ impl CodecSession {
         }
         match (&mut self.engine, input) {
             (Engine::Encode(enc), SessionInput::Frame(frame)) => {
-                Ok(SessionOutput::packets(enc.encode_frame(&frame)?))
+                // The encoder copies the frame into its own pooled
+                // lookahead slot, so the input can be recycled at once.
+                let result = enc.encode_frame_into(&frame, &mut out.packets);
+                FramePool::global().put(frame);
+                result
             }
             (Engine::Decode(dec), SessionInput::Packet(data)) => {
-                match Self::decode_step(dec, &data, self.resilient, &mut self.dropped)? {
-                    Some(frames) => Ok(SessionOutput::frames(frames)),
-                    None => Ok(SessionOutput::default()),
-                }
+                let result = Self::decode_step(
+                    dec,
+                    &data,
+                    self.resilient,
+                    &mut self.dropped,
+                    &mut out.frames,
+                );
+                BufferPool::global().put(data);
+                result.map(|_| ())
             }
             (Engine::Transcode { decoder, encoder }, SessionInput::Packet(data)) => {
-                match Self::decode_step(decoder, &data, self.resilient, &mut self.dropped)? {
-                    Some(frames) => Self::encode_all(encoder, &frames),
-                    None => Ok(SessionOutput::default()),
+                let decoded = Self::decode_step(
+                    decoder,
+                    &data,
+                    self.resilient,
+                    &mut self.dropped,
+                    &mut self.frame_buf,
+                );
+                BufferPool::global().put(data);
+                if decoded? {
+                    Self::encode_all(encoder, &mut self.frame_buf, &mut out.packets)?;
                 }
+                Ok(())
             }
             (Engine::Encode(_), SessionInput::Packet(_)) => Err(BenchError::BadRequest(
                 "encode session expects frames, got a packet",
@@ -237,6 +292,18 @@ impl CodecSession {
     ///
     /// Codec errors; [`BenchError::BadRequest`] on a second call.
     pub fn finish(&mut self) -> Result<SessionOutput, BenchError> {
+        let mut out = SessionOutput::default();
+        self.finish_into(&mut out)?;
+        Ok(out)
+    }
+
+    /// Flushes buffered lookahead into `out`; the allocation-free form
+    /// of [`finish`](Self::finish).
+    ///
+    /// # Errors
+    ///
+    /// Codec errors; [`BenchError::BadRequest`] on a second call.
+    pub fn finish_into(&mut self, out: &mut SessionOutput) -> Result<(), BenchError> {
         if self.finished {
             return Err(BenchError::BadRequest("session already finished"));
         }
@@ -245,47 +312,61 @@ impl CodecSession {
         }
         self.finished = true;
         match &mut self.engine {
-            Engine::Encode(enc) => Ok(SessionOutput::packets(enc.finish()?)),
-            Engine::Decode(dec) => Ok(SessionOutput::frames(dec.finish())),
+            Engine::Encode(enc) => enc.finish_into(&mut out.packets),
+            Engine::Decode(dec) => {
+                dec.finish_into(&mut out.frames);
+                Ok(())
+            }
             Engine::Transcode { decoder, encoder } => {
-                let tail = decoder.finish();
-                let mut out = Self::encode_all(encoder, &tail)?;
-                out.packets.extend(encoder.finish()?);
-                Ok(out)
+                decoder.finish_into(&mut self.frame_buf);
+                Self::encode_all(encoder, &mut self.frame_buf, &mut out.packets)?;
+                encoder.finish_into(&mut out.packets)
             }
         }
     }
 
-    /// One decode step honouring the resilience policy: `Ok(None)`
-    /// means the packet was dropped and counted.
+    /// One decode step honouring the resilience policy: `Ok(false)`
+    /// means the packet was dropped and counted, with any partial
+    /// output recycled so `out` is untouched.
     fn decode_step(
         dec: &mut Box<dyn VideoDecoder + Send>,
         data: &[u8],
         resilient: bool,
         dropped: &mut u64,
-    ) -> Result<Option<Vec<Frame>>, BenchError> {
-        match dec.decode_packet(data) {
-            Ok(frames) => Ok(Some(frames)),
+        out: &mut Vec<Frame>,
+    ) -> Result<bool, BenchError> {
+        let mark = out.len();
+        match dec.decode_packet_into(data, out) {
+            Ok(()) => Ok(true),
             // Cancellation is a session-level event, never a drop.
             Err(BenchError::Cancelled) => Err(BenchError::Cancelled),
             Err(e) if resilient => {
                 let _ = e;
                 *dropped += 1;
-                Ok(None)
+                for f in out.drain(mark..) {
+                    FramePool::global().put(f);
+                }
+                Ok(false)
             }
             Err(e) => Err(e),
         }
     }
 
+    /// Encodes and recycles every staged frame, draining `frames` even
+    /// on error so no pooled frame leaks.
     fn encode_all(
         enc: &mut Box<dyn VideoEncoder + Send>,
-        frames: &[Frame],
-    ) -> Result<SessionOutput, BenchError> {
-        let mut packets = Vec::new();
-        for f in frames {
-            packets.extend(enc.encode_frame(f)?);
+        frames: &mut Vec<Frame>,
+        out: &mut Vec<Packet>,
+    ) -> Result<(), BenchError> {
+        let mut result = Ok(());
+        for f in frames.drain(..) {
+            if result.is_ok() {
+                result = enc.encode_frame_into(&f, out);
+            }
+            FramePool::global().put(f);
         }
-        Ok(SessionOutput::packets(packets))
+        result
     }
 }
 

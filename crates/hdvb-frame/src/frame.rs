@@ -131,6 +131,45 @@ impl Frame {
         (&mut self.y, &mut self.cb, &mut self.cr)
     }
 
+    /// Overwrites this frame with the contents of `src` (no allocation —
+    /// the pooled replacement for `src.clone()`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn copy_from(&mut self, src: &Frame) {
+        self.y.copy_from(&src.y);
+        self.cb.copy_from(&src.cb);
+        self.cr.copy_from(&src.cr);
+    }
+
+    /// Overwrites this frame with the top-left window of a same-size-or-
+    /// larger `src` (crop to display size). Every sample is written, so
+    /// a recycled pool frame is fully refreshed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is smaller in either dimension.
+    pub fn crop_from(&mut self, src: &Frame) {
+        self.y.crop_from(&src.y);
+        self.cb.crop_from(&src.cb);
+        self.cr.crop_from(&src.cr);
+    }
+
+    /// Overwrites this frame with `src` extended to `self`'s (equal or
+    /// larger) dimensions by edge replication (macroblock alignment).
+    /// Every sample is written, so a recycled pool frame is fully
+    /// refreshed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is larger in either dimension.
+    pub fn replicate_from(&mut self, src: &Frame) {
+        self.y.replicate_from(&src.y);
+        self.cb.replicate_from(&src.cb);
+        self.cr.replicate_from(&src.cr);
+    }
+
     /// Total number of samples across all three planes (the figure used to
     /// convert throughput to "pixels per second").
     pub fn sample_count(&self) -> usize {

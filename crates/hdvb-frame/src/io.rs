@@ -44,6 +44,29 @@ pub fn read_i420<R: Read>(
     Ok(Some(frame))
 }
 
+/// Reads one I420 frame directly into `frame`'s existing planes —
+/// the zero-allocation variant of [`read_i420`] for per-frame loops.
+///
+/// Returns `Ok(false)` on a clean end-of-stream (zero bytes available;
+/// `frame` then holds its previous contents) and `Ok(true)` when every
+/// plane was filled.
+///
+/// # Errors
+///
+/// [`FrameError::UnexpectedEof`] on a truncated frame, or
+/// [`FrameError::Io`] for transport errors.
+pub fn read_i420_into<R: Read>(mut reader: R, frame: &mut Frame) -> Result<bool, FrameError> {
+    let (y, cb, cr) = frame.planes_mut();
+    match read_exact_or_eof(&mut reader, y.data_mut())? {
+        ReadOutcome::Eof => return Ok(false),
+        ReadOutcome::Full => {}
+        ReadOutcome::Partial => return Err(FrameError::UnexpectedEof),
+    }
+    reader.read_exact(cb.data_mut()).map_err(map_eof)?;
+    reader.read_exact(cr.data_mut()).map_err(map_eof)?;
+    Ok(true)
+}
+
 /// Writes one frame as raw I420 bytes.
 ///
 /// # Errors
@@ -232,6 +255,39 @@ impl<R: Read> Y4mReader<R> {
             None => Err(FrameError::UnexpectedEof),
         }
     }
+
+    /// Reads the next frame into an existing frame's planes (the
+    /// zero-allocation variant of [`read_frame`](Self::read_frame)).
+    /// Returns `Ok(false)` at end of stream.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::BadDimensions`] if `frame` does not match the
+    /// stream geometry, [`FrameError::BadHeader`] on a malformed FRAME
+    /// marker, [`FrameError::UnexpectedEof`] on truncation.
+    pub fn read_frame_into(&mut self, frame: &mut Frame) -> Result<bool, FrameError> {
+        if frame.width() != self.resolution.width() || frame.height() != self.resolution.height() {
+            return Err(FrameError::BadDimensions {
+                width: frame.width(),
+                height: frame.height(),
+                constraint: "frame size must match the y4m stream header",
+            });
+        }
+        let line = match read_line_or_eof(&mut self.inner)? {
+            None => return Ok(false),
+            Some(l) => l,
+        };
+        if !line.starts_with("FRAME") {
+            return Err(FrameError::BadHeader(format!(
+                "expected FRAME marker, found {line:?}"
+            )));
+        }
+        if read_i420_into(&mut self.inner, frame)? {
+            Ok(true)
+        } else {
+            Err(FrameError::UnexpectedEof)
+        }
+    }
 }
 
 fn parse_u32(s: &str) -> Result<u32, FrameError> {
@@ -306,6 +362,45 @@ mod tests {
             read_i420(&half[..], r),
             Err(FrameError::UnexpectedEof)
         ));
+    }
+
+    #[test]
+    fn read_into_matches_allocating_read() {
+        let f = test_frame(42);
+        let mut buf = Vec::new();
+        write_i420(&mut buf, &f).unwrap();
+        let mut reused = test_frame(99); // stale contents, fully overwritten
+        assert!(read_i420_into(&buf[..], &mut reused).unwrap());
+        assert_eq!(reused, f);
+        // Clean EOF leaves the frame untouched and reports false.
+        assert!(!read_i420_into(&[][..], &mut reused).unwrap());
+        assert_eq!(reused, f);
+        // Truncation errors.
+        assert!(matches!(
+            read_i420_into(&buf[..100], &mut reused),
+            Err(FrameError::UnexpectedEof)
+        ));
+    }
+
+    #[test]
+    fn y4m_read_frame_into_reuses_one_frame() {
+        let f1 = test_frame(1);
+        let f2 = test_frame(200);
+        let mut w = Y4mWriter::new(Vec::new(), Resolution::new(32, 16), FrameRate::FPS_25);
+        w.write_frame(&f1).unwrap();
+        w.write_frame(&f2).unwrap();
+        let bytes = w.into_inner().unwrap();
+        let mut r = Y4mReader::new(&bytes[..]).unwrap();
+        let mut frame = Frame::new(32, 16);
+        assert!(r.read_frame_into(&mut frame).unwrap());
+        assert_eq!(frame, f1);
+        assert!(r.read_frame_into(&mut frame).unwrap());
+        assert_eq!(frame, f2);
+        assert!(!r.read_frame_into(&mut frame).unwrap());
+        // Geometry mismatch is rejected up front.
+        let mut wrong = Frame::new(16, 16);
+        let mut r2 = Y4mReader::new(&bytes[..]).unwrap();
+        assert!(r2.read_frame_into(&mut wrong).is_err());
     }
 
     #[test]

@@ -27,14 +27,16 @@ mod io;
 mod metrics;
 mod pad;
 mod plane;
+mod pool;
 mod region;
 mod video;
 
 pub use error::FrameError;
 pub use frame::Frame;
-pub use io::{read_i420, write_i420, Y4mReader, Y4mWriter};
+pub use io::{read_i420, read_i420_into, write_i420, Y4mReader, Y4mWriter};
 pub use metrics::{psnr_from_mse, FramePsnr, PlanePsnr, SequencePsnr, Ssim};
 pub use pad::PaddedPlane;
 pub use plane::Plane;
+pub use pool::{BufferPool, FramePool, PoolStats, PooledBuf, PooledFrame};
 pub use region::{align_up, mb_count, Rect};
 pub use video::{FrameRate, Resolution, VideoFormat};

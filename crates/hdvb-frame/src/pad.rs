@@ -36,7 +36,39 @@ impl PaddedPlane {
         let height = plane.height();
         let stride = width + 2 * pad;
         let padded_h = height + 2 * pad;
-        let mut data = vec![0u8; stride * padded_h];
+        let mut pp = PaddedPlane {
+            width,
+            height,
+            pad,
+            stride,
+            data: vec![0u8; stride * padded_h],
+        };
+        pp.fill_from(plane);
+        pp
+    }
+
+    /// Re-extends this padded plane from a new source picture without
+    /// reallocating — the pool-recycling path for reference pictures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plane`'s dimensions differ from the geometry this
+    /// padded plane was built with.
+    pub fn refill(&mut self, plane: &Plane) {
+        assert_eq!(
+            (self.width, self.height),
+            (plane.width(), plane.height()),
+            "padded plane geometry mismatch"
+        );
+        self.fill_from(plane);
+    }
+
+    /// Writes every byte of `self.data` from `plane` (interior rows with
+    /// horizontal extension, then vertical replication). Allocation-free.
+    fn fill_from(&mut self, plane: &Plane) {
+        let (width, height, pad, stride) = (self.width, self.height, self.pad, self.stride);
+        let padded_h = height + 2 * pad;
+        let data = &mut self.data;
         // Interior rows with horizontal extension.
         for y in 0..height {
             let src = plane.row(y);
@@ -46,22 +78,13 @@ impl PaddedPlane {
             dst[pad + width..].fill(src[width - 1]);
         }
         // Vertical extension: replicate first/last interior rows.
-        let (top, rest) = data.split_at_mut(pad * stride);
-        let first_row = rest[..stride].to_vec();
-        for r in top.chunks_mut(stride) {
-            r.copy_from_slice(&first_row);
+        let first_interior = pad * stride;
+        for y in 0..pad {
+            data.copy_within(first_interior..first_interior + stride, y * stride);
         }
-        let last_interior_start = (pad + height - 1) * stride;
-        let last_row = data[last_interior_start..last_interior_start + stride].to_vec();
+        let last_interior = (pad + height - 1) * stride;
         for y in pad + height..padded_h {
-            data[y * stride..(y + 1) * stride].copy_from_slice(&last_row);
-        }
-        PaddedPlane {
-            width,
-            height,
-            pad,
-            stride,
-            data,
+            data.copy_within(last_interior..last_interior + stride, y * stride);
         }
     }
 
@@ -196,6 +219,21 @@ mod tests {
         // Wildly out-of-range vectors (the fuzzer's bread and butter).
         assert!(!pp.window_in_bounds(-10_000, 0, 8, 8));
         assert!(!pp.window_in_bounds(0, 10_000, 8, 8));
+    }
+
+    #[test]
+    fn refill_is_bit_identical_to_from_plane() {
+        let a = gradient_plane(12, 10);
+        let mut b = Plane::new(12, 10);
+        for y in 0..10 {
+            for x in 0..12 {
+                b.set(x, y, (x * 5 + y * 11 + 3) as u8);
+            }
+        }
+        let fresh = PaddedPlane::from_plane(&b, 4);
+        let mut recycled = PaddedPlane::from_plane(&a, 4);
+        recycled.refill(&b);
+        assert_eq!(recycled.data, fresh.data);
     }
 
     #[test]

@@ -131,6 +131,68 @@ impl Plane {
         self.data.fill(v);
     }
 
+    /// Overwrites this plane with the contents of `src` (no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn copy_from(&mut self, src: &Plane) {
+        assert_eq!(
+            (self.width, self.height),
+            (src.width, src.height),
+            "plane size mismatch"
+        );
+        self.data.copy_from_slice(&src.data);
+    }
+
+    /// Overwrites this plane with the top-left window of a same-size-or-
+    /// larger `src` (a crop; equal dimensions degenerate to a full
+    /// copy). Every sample of `self` is written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is smaller than `self` in either dimension.
+    pub fn crop_from(&mut self, src: &Plane) {
+        assert!(
+            self.width <= src.width && self.height <= src.height,
+            "crop source smaller than destination"
+        );
+        if self.width == src.width && self.height == src.height {
+            self.data.copy_from_slice(&src.data);
+            return;
+        }
+        for y in 0..self.height {
+            let dst = &mut self.data[y * self.width..(y + 1) * self.width];
+            dst.copy_from_slice(&src.data[y * src.width..y * src.width + self.width]);
+        }
+    }
+
+    /// Overwrites this plane with `src` extended to `self`'s (equal or
+    /// larger) dimensions by replicating the right column and bottom row
+    /// — the alignment step every codec applies before coding. Every
+    /// sample of `self` is written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is larger than `self` in either dimension.
+    pub fn replicate_from(&mut self, src: &Plane) {
+        assert!(
+            src.width <= self.width && src.height <= self.height,
+            "replicate source larger than destination"
+        );
+        for y in 0..src.height {
+            let dst = &mut self.data[y * self.width..(y + 1) * self.width];
+            dst[..src.width].copy_from_slice(src.row(y));
+            let last = dst[src.width - 1];
+            dst[src.width..].fill(last);
+        }
+        for y in src.height..self.height {
+            let from = (src.height - 1) * self.width;
+            self.data
+                .copy_within(from..from + self.width, y * self.width);
+        }
+    }
+
     /// Copies a `bw`×`bh` block with top-left corner `(x, y)` into `dst`
     /// (row-major, length `bw * bh`).
     ///

@@ -2,22 +2,37 @@ use crate::blocks4::read_coeffs4;
 use crate::deblock::deblock_frame;
 use crate::encoder::{median_pred, BState, PicCtx, MAGIC};
 use crate::intra::{predict16, predict4, predict_chroma8, ChromaMode, Intra16Mode, Intra4Mode};
-use crate::mc::{add4, copy4, crop_frame, Partitioning, RefPicture};
+use crate::mc::{add4, copy4, Partitioning, RefPicture};
 use crate::quant4::dequant4;
 use crate::resid::{read_chroma_residual, read_luma_residual, recon_chroma_plane, recon_luma_mb};
 use crate::types::{CodecError, FrameType, MAX_DECODE_PIXELS};
 use hdvb_bits::{BitReader, CorruptKind};
 use hdvb_dsp::{Dsp, SimdLevel};
-use hdvb_frame::{align_up, Frame};
+use hdvb_frame::{align_up, Frame, FramePool};
 use hdvb_me::Mv;
 use hdvb_par::CancelToken;
 use std::collections::VecDeque;
+
+/// Per-packet working storage, reused while the coded geometry stays
+/// the same so steady-state decoding performs no heap allocation.
+struct DecScratch {
+    recon: Frame,
+    ctx: PicCtx,
+}
 
 /// The H.264-class decoder (mirror of [`H264Encoder`](crate::H264Encoder)).
 pub struct H264Decoder {
     dsp: Dsp,
     refs: VecDeque<RefPicture>,
+    /// Retired references kept for recycling (padded-plane storage is
+    /// refilled in place instead of reallocated).
+    retired: Vec<RefPicture>,
+    /// Spare list backing the borrow-decoupling move in P/B decoding,
+    /// kept as a field so the move is allocation-free.
+    refs_buf: Vec<RefPicture>,
     pending: Option<Frame>,
+    /// Reusable per-packet working storage.
+    scratch: Option<DecScratch>,
     /// Cooperative cancellation, checkpointed at each packet boundary.
     cancel: CancelToken,
 }
@@ -39,7 +54,10 @@ impl H264Decoder {
         H264Decoder {
             dsp: Dsp::new(simd),
             refs: VecDeque::new(),
+            retired: Vec::new(),
+            refs_buf: Vec::new(),
             pending: None,
+            scratch: None,
             cancel: CancelToken::never(),
         }
     }
@@ -59,16 +77,35 @@ impl H264Decoder {
     /// offset the parse stopped at and a [`CorruptKind`] classification.
     /// A failed packet leaves the decoder's reference state untouched.
     pub fn decode(&mut self, data: &[u8]) -> Result<Vec<Frame>, CodecError> {
+        let mut out = Vec::new();
+        self.decode_into(data, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free form of [`decode`](Self::decode): appends
+    /// display-order frames to `out`. Output frames come from the
+    /// global [`FramePool`]; return them with `FramePool::global().put`
+    /// to make steady-state decoding allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`decode`](Self::decode); on error nothing is
+    /// appended to `out`.
+    pub fn decode_into(&mut self, data: &[u8], out: &mut Vec<Frame>) -> Result<(), CodecError> {
         if self.cancel.is_cancelled() {
             return Err(CodecError::Cancelled);
         }
         let mut r = BitReader::new(data);
-        let result = self.decode_inner(&mut r);
+        let result = self.decode_inner(&mut r, out);
         let pos = r.bit_pos();
         result.map_err(|e| e.at_bit(pos))
     }
 
-    fn decode_inner(&mut self, r: &mut BitReader<'_>) -> Result<Vec<Frame>, CodecError> {
+    fn decode_inner(
+        &mut self,
+        r: &mut BitReader<'_>,
+        out: &mut Vec<Frame>,
+    ) -> Result<(), CodecError> {
         if r.get_bits(16)? != MAGIC {
             return Err(CodecError::corrupt(
                 CorruptKind::BadMagic,
@@ -113,22 +150,77 @@ impl H264Decoder {
         let ah = align_up(height, 16);
         let (mbs_x, mbs_y) = (aw / 16, ah / 16);
 
-        let mut recon = {
-            let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
-            Frame::new(aw, ah)
+        let mut scratch = match self.scratch.take() {
+            Some(s) if s.recon.width() == aw && s.recon.height() == ah => s,
+            other => {
+                let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
+                if let Some(s) = other {
+                    FramePool::global().put(s.recon);
+                }
+                DecScratch {
+                    recon: FramePool::global().take(aw, ah),
+                    ctx: PicCtx::new(mbs_x, mbs_y),
+                }
+            }
         };
-        let mut ctx = PicCtx::new(mbs_x, mbs_y);
+        let result = self.decode_picture(
+            r,
+            frame_type,
+            qp,
+            num_refs,
+            deblock,
+            width,
+            height,
+            &mut scratch,
+            out,
+        );
+        self.scratch = Some(scratch);
+        result
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn decode_picture(
+        &mut self,
+        r: &mut BitReader<'_>,
+        frame_type: FrameType,
+        qp: u8,
+        num_refs: u32,
+        deblock: bool,
+        width: usize,
+        height: usize,
+        scratch: &mut DecScratch,
+        out: &mut Vec<Frame>,
+    ) -> Result<(), CodecError> {
+        let DecScratch { recon, ctx } = scratch;
+        let aw = recon.width();
+        let ah = recon.height();
+        let (mbs_x, mbs_y) = (aw / 16, ah / 16);
+        // The reconstruction MUST start each picture at the mid-grey
+        // (128) state a fresh `Frame::new` has: intra prediction reads
+        // top-right neighbour positions that raster order has not
+        // reconstructed yet, and the encoder's closed loop pins those
+        // samples to its own freshly initialised reconstruction. A
+        // dirty pooled frame here would silently desynchronise decode
+        // from the encoder.
+        recon.y_mut().fill(128);
+        recon.cb_mut().fill(128);
+        recon.cr_mut().fill(128);
+        ctx.reset();
         match frame_type {
-            FrameType::I => self.decode_i(r, &mut recon, &mut ctx, qp, mbs_x, mbs_y)?,
-            FrameType::P => self.decode_p(r, &mut recon, &mut ctx, qp, num_refs, mbs_x, mbs_y)?,
-            FrameType::B => self.decode_b(r, &mut recon, &mut ctx, qp, mbs_x, mbs_y)?,
+            FrameType::I => self.decode_i(r, recon, ctx, qp, mbs_x, mbs_y)?,
+            FrameType::P => self.decode_p(r, recon, ctx, qp, num_refs, mbs_x, mbs_y)?,
+            FrameType::B => self.decode_b(r, recon, ctx, qp, mbs_x, mbs_y)?,
         }
         if deblock {
-            deblock_frame(&self.dsp, &mut recon, qp);
+            deblock_frame(&self.dsp, recon, qp);
         }
 
-        let display = crop_frame(&recon, width, height);
-        let mut out = Vec::new();
+        let display = {
+            let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
+            let mut d = FramePool::global().take(width, height);
+            d.crop_from(recon);
+            d
+        };
         if frame_type == FrameType::B {
             out.push(display);
         } else {
@@ -136,15 +228,37 @@ impl H264Decoder {
                 out.push(prev);
             }
             self.pending = Some(display);
-            self.refs.push_front(RefPicture::from_frame(&recon));
-            self.refs.truncate((num_refs as usize).max(2));
+            let keep = (num_refs as usize).max(2);
+            while self.refs.len() + 1 > keep {
+                match self.refs.pop_back() {
+                    Some(old) => self.retired.push(old),
+                    None => break,
+                }
+            }
+            let new_ref = match self.retired.pop() {
+                Some(mut rp) if rp.matches(aw, ah) => {
+                    rp.refill_from(recon);
+                    rp
+                }
+                _ => RefPicture::from_frame(recon),
+            };
+            self.refs.push_front(new_ref);
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Returns the final buffered anchor at end of stream.
     pub fn flush(&mut self) -> Vec<Frame> {
-        self.pending.take().into_iter().collect()
+        let mut out = Vec::new();
+        self.flush_into(&mut out);
+        out
+    }
+
+    /// Allocation-free form of [`flush`](Self::flush).
+    pub fn flush_into(&mut self, out: &mut Vec<Frame>) {
+        if let Some(prev) = self.pending.take() {
+            out.push(prev);
+        }
     }
 
     fn decode_i(
@@ -293,8 +407,10 @@ impl H264Decoder {
                 "P picture without reference",
             ));
         }
-        // Move references out to decouple borrows.
-        let refs: Vec<RefPicture> = self.refs.drain(..).collect();
+        // Move references out to decouple borrows (via the spare list,
+        // so the move performs no allocation at steady state).
+        let mut refs = std::mem::take(&mut self.refs_buf);
+        refs.extend(self.refs.drain(..));
         let result = (|| -> Result<(), CodecError> {
             check_ref_geometry(&refs, mbs_x, mbs_y)?;
             for mby in 0..mbs_y {
@@ -422,7 +538,8 @@ impl H264Decoder {
             }
             Ok(())
         })();
-        self.refs = refs.into();
+        self.refs.extend(refs.drain(..));
+        self.refs_buf = refs;
         result
     }
 
@@ -441,7 +558,8 @@ impl H264Decoder {
                 "B picture without two anchors",
             ));
         }
-        let refs: Vec<RefPicture> = self.refs.drain(..).collect();
+        let mut refs = std::mem::take(&mut self.refs_buf);
+        refs.extend(self.refs.drain(..));
         let result = (|| -> Result<(), CodecError> {
             check_ref_geometry(&refs, mbs_x, mbs_y)?;
             let bwd = &refs[0];
@@ -557,7 +675,8 @@ impl H264Decoder {
             }
             Ok(())
         })();
-        self.refs = refs.into();
+        self.refs.extend(refs.drain(..));
+        self.refs_buf = refs;
         result
     }
 }

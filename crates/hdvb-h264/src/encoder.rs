@@ -2,7 +2,7 @@ use crate::blocks4::write_coeffs4;
 use crate::deblock::deblock_frame;
 use crate::gop::{GopScheduler, Scheduled};
 use crate::intra::{predict16, predict4, predict_chroma8, ChromaMode, Intra16Mode, Intra4Mode};
-use crate::mc::{align_frame, predict_partition, Partitioning, RefPicture};
+use crate::mc::{predict_partition, Partitioning, RefPicture};
 use crate::quant4::{dequant4, quant4};
 use crate::resid::{
     recon_chroma_plane, recon_luma_mb, transform_chroma_plane, transform_luma_mb,
@@ -12,7 +12,7 @@ use crate::tables::lambda;
 use crate::types::{CodecError, EncoderConfig, FrameType, Packet};
 use hdvb_bits::BitWriter;
 use hdvb_dsp::Dsp;
-use hdvb_frame::{align_up, Frame};
+use hdvb_frame::{align_up, BufferPool, Frame, FramePool};
 use hdvb_me::{
     hexagon_search, median3, mv_bits, subpel_refine, BlockRef, Mv, MvField, SearchParams,
     SubpelStep,
@@ -70,6 +70,13 @@ impl PicCtx {
             }
         }
     }
+
+    /// Restores the freshly-constructed state so the context can be
+    /// reused across pictures without reallocating.
+    pub(crate) fn reset(&mut self) {
+        self.qfield.clear();
+        self.mode4.fill(2);
+    }
 }
 
 /// Median MV predictor from the left, top and top-right macroblocks.
@@ -80,6 +87,20 @@ pub(crate) fn median_pred(qfield: &MvField, mbx: usize, mby: usize) -> Mv {
         qfield.get(x, y - 1),
         qfield.get(x + 1, y - 1),
     )
+}
+
+/// Per-picture working storage, reused across the whole encode so the
+/// steady-state hot path performs no heap allocation. Taken out of the
+/// encoder (`Option` dance) while a picture is being coded to keep the
+/// borrow checker happy around `&self` helper calls.
+struct EncScratch {
+    /// Reconstruction target, `aw`×`ah`; fully overwritten per picture.
+    recon: Frame,
+    /// Edge-replicated copy of unaligned input (unused when the source
+    /// frame is already macroblock-aligned).
+    aligned: Frame,
+    /// Per-picture coding context, reset before each picture.
+    ctx: PicCtx,
 }
 
 /// The H.264-class encoder. See the crate docs for the toolset.
@@ -93,7 +114,14 @@ pub struct H264Encoder {
     mbs_y: usize,
     /// Reference pictures, newest first.
     refs: VecDeque<RefPicture>,
+    /// Retired references kept for recycling (padded-plane storage is
+    /// refilled in place instead of reallocated).
+    retired: Vec<RefPicture>,
     lambda: u32,
+    /// Reusable per-picture working storage.
+    scratch: Option<EncScratch>,
+    /// Reusable coding-order buffer handed to the GOP scheduler.
+    sched: Vec<Scheduled>,
     /// Cooperative cancellation, checkpointed before each coded picture.
     cancel: CancelToken,
 }
@@ -117,7 +145,14 @@ impl H264Encoder {
             mbs_x: aw / 16,
             mbs_y: ah / 16,
             refs: VecDeque::new(),
+            retired: Vec::new(),
             lambda: lambda(config.qp),
+            scratch: Some(EncScratch {
+                recon: Frame::new(aw, ah),
+                aligned: Frame::new(aw, ah),
+                ctx: PicCtx::new(aw / 16, ah / 16),
+            }),
+            sched: Vec::new(),
             cancel: CancelToken::never(),
         })
     }
@@ -140,17 +175,9 @@ impl H264Encoder {
     ///
     /// [`CodecError::FrameMismatch`] on geometry mismatch.
     pub fn encode(&mut self, frame: &Frame) -> Result<Vec<Packet>, CodecError> {
-        if frame.width() != self.config.width || frame.height() != self.config.height {
-            return Err(CodecError::FrameMismatch {
-                expected: (self.config.width, self.config.height),
-                actual: (frame.width(), frame.height()),
-            });
-        }
-        let scheduled = {
-            let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
-            self.gop.push(frame.clone())
-        };
-        self.encode_scheduled(scheduled)
+        let mut out = Vec::new();
+        self.encode_into(frame, &mut out)?;
+        Ok(out)
     }
 
     /// Flushes buffered frames.
@@ -159,20 +186,74 @@ impl H264Encoder {
     ///
     /// Propagates encoding errors (none in normal operation).
     pub fn flush(&mut self) -> Result<Vec<Packet>, CodecError> {
-        let scheduled = self.gop.finish();
-        self.encode_scheduled(scheduled)
+        let mut out = Vec::new();
+        self.flush_into(&mut out)?;
+        Ok(out)
     }
 
-    fn encode_scheduled(&mut self, scheduled: Vec<Scheduled>) -> Result<Vec<Packet>, CodecError> {
-        scheduled
-            .into_iter()
-            .map(|s| {
+    /// Allocation-free form of [`encode`](Self::encode): appends coded
+    /// packets to `out`. The input frame is copied into a pooled frame
+    /// (recycled after coding), packet payloads come from the global
+    /// [`BufferPool`], and all per-picture working state is reused — at
+    /// steady state a submitted frame performs zero heap allocations.
+    ///
+    /// # Errors
+    ///
+    /// As [`encode`](Self::encode); packets appended before an error
+    /// stay in `out`.
+    pub fn encode_into(&mut self, frame: &Frame, out: &mut Vec<Packet>) -> Result<(), CodecError> {
+        if frame.width() != self.config.width || frame.height() != self.config.height {
+            return Err(CodecError::FrameMismatch {
+                expected: (self.config.width, self.config.height),
+                actual: (frame.width(), frame.height()),
+            });
+        }
+        let pooled = {
+            let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
+            let mut f = FramePool::global().take(frame.width(), frame.height());
+            f.copy_from(frame);
+            f
+        };
+        let mut sched = std::mem::take(&mut self.sched);
+        self.gop.push_into(pooled, &mut sched);
+        let result = self.encode_scheduled(&mut sched, out);
+        self.sched = sched;
+        result
+    }
+
+    /// Allocation-free form of [`flush`](Self::flush): appends the
+    /// remaining coded packets to `out`.
+    ///
+    /// # Errors
+    ///
+    /// As [`flush`](Self::flush).
+    pub fn flush_into(&mut self, out: &mut Vec<Packet>) -> Result<(), CodecError> {
+        let mut sched = std::mem::take(&mut self.sched);
+        self.gop.finish_into(&mut sched);
+        let result = self.encode_scheduled(&mut sched, out);
+        self.sched = sched;
+        result
+    }
+
+    /// Codes every scheduled picture, recycling each input frame to the
+    /// global pool afterwards (also on error/cancellation).
+    fn encode_scheduled(
+        &mut self,
+        sched: &mut Vec<Scheduled>,
+        out: &mut Vec<Packet>,
+    ) -> Result<(), CodecError> {
+        let mut result = Ok(());
+        for s in sched.drain(..) {
+            if result.is_ok() {
                 if self.cancel.is_cancelled() {
-                    return Err(CodecError::Cancelled);
+                    result = Err(CodecError::Cancelled);
+                } else {
+                    out.push(self.encode_picture(&s.frame, s.frame_type, s.display_index));
                 }
-                self.encode_picture(&s.frame, s.frame_type, s.display_index)
-            })
-            .collect()
+            }
+            FramePool::global().put(s.frame);
+        }
+        result
     }
 
     fn encode_picture(
@@ -180,11 +261,35 @@ impl H264Encoder {
         frame: &Frame,
         frame_type: FrameType,
         display_index: u32,
-    ) -> Result<Packet, CodecError> {
-        let cur = align_frame(frame, self.aw, self.ah);
+    ) -> Packet {
+        let mut scratch = self.scratch.take().expect("encoder scratch in use");
+        let packet = self.encode_picture_inner(frame, frame_type, display_index, &mut scratch);
+        self.scratch = Some(scratch);
+        packet
+    }
+
+    fn encode_picture_inner(
+        &mut self,
+        frame: &Frame,
+        frame_type: FrameType,
+        display_index: u32,
+        scratch: &mut EncScratch,
+    ) -> Packet {
+        let EncScratch {
+            recon,
+            aligned,
+            ctx,
+        } = scratch;
+        let cur: &Frame = if frame.width() == self.aw && frame.height() == self.ah {
+            frame
+        } else {
+            let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
+            aligned.replicate_from(frame);
+            aligned
+        };
         let mut w = {
             let _z = hdvb_trace::zone!(hdvb_trace::Stage::EntropyCoding);
-            let mut w = BitWriter::with_capacity(self.aw * self.ah / 6);
+            let mut w = BitWriter::from_vec(BufferPool::global().take(self.aw * self.ah / 6));
             w.put_bits(MAGIC, 16);
             w.put_bits(frame_type.to_bits(), 2);
             w.put_bits(display_index, 32);
@@ -196,33 +301,52 @@ impl H264Encoder {
             w
         };
 
-        let mut recon = {
-            let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
-            Frame::new(self.aw, self.ah)
-        };
-        let mut ctx = PicCtx::new(self.mbs_x, self.mbs_y);
+        // The reconstruction MUST start each picture at the mid-grey
+        // (128) state a fresh `Frame::new` has: intra prediction reads
+        // top-right neighbour positions that raster order has not
+        // reconstructed yet, and the bitstream contract pins those
+        // samples to the same freshly initialised reconstruction the
+        // decoder starts from. A memset keeps the reused scratch
+        // bit-identical to the allocated frame it replaces without
+        // touching the heap.
+        recon.y_mut().fill(128);
+        recon.cb_mut().fill(128);
+        recon.cr_mut().fill(128);
+        ctx.reset();
         match frame_type {
-            FrameType::I => self.encode_i(&mut w, &cur, &mut recon, &mut ctx),
-            FrameType::P => self.encode_p(&mut w, &cur, &mut recon, &mut ctx),
-            FrameType::B => self.encode_b(&mut w, &cur, &mut recon, &mut ctx),
+            FrameType::I => self.encode_i(&mut w, cur, recon, ctx),
+            FrameType::P => self.encode_p(&mut w, cur, recon, ctx),
+            FrameType::B => self.encode_b(&mut w, cur, recon, ctx),
         }
         if self.config.deblock {
-            deblock_frame(&self.dsp, &mut recon, self.config.qp);
+            deblock_frame(&self.dsp, recon, self.config.qp);
         }
         if frame_type != FrameType::B {
-            self.refs.push_front(RefPicture::from_frame(&recon));
             let keep = usize::from(self.config.num_refs).max(2);
-            self.refs.truncate(keep);
+            while self.refs.len() + 1 > keep {
+                match self.refs.pop_back() {
+                    Some(old) => self.retired.push(old),
+                    None => break,
+                }
+            }
+            let new_ref = match self.retired.pop() {
+                Some(mut rp) if rp.matches(self.aw, self.ah) => {
+                    rp.refill_from(recon);
+                    rp
+                }
+                _ => RefPicture::from_frame(recon),
+            };
+            self.refs.push_front(new_ref);
         }
         let data = {
             let _z = hdvb_trace::zone!(hdvb_trace::Stage::EntropyCoding);
             w.finish()
         };
-        Ok(Packet {
+        Packet {
             data,
             frame_type,
             display_index,
-        })
+        }
     }
 
     // ------------------------------------------------------------ intra --

@@ -98,19 +98,26 @@ impl ChromaMode {
 /// Gathers up to `2n` top neighbours (with edge replication to the
 /// right), `n` left neighbours and the top-left sample for a block of
 /// size `n` at `(bx, by)`; unavailable positions read 128.
-fn neighbours(plane: &Plane, bx: usize, by: usize, n: usize) -> (Vec<u8>, Vec<u8>, u8) {
+///
+/// Returned as fixed stack arrays sized for the largest block (n = 16):
+/// this runs per prediction trial in the encoder's mode search, so a
+/// heap allocation here would dominate the whole hot path (it used to —
+/// the allocation gate now keeps it out). Only the first `2n` / `n`
+/// entries are meaningful; callers must slice accordingly.
+fn neighbours(plane: &Plane, bx: usize, by: usize, n: usize) -> ([u8; 32], [u8; 16], u8) {
+    debug_assert!(n <= 16);
     let top_avail = by > 0;
     let left_avail = bx > 0;
-    let mut top = vec![128u8; 2 * n];
+    let mut top = [128u8; 32];
     if top_avail {
-        for (i, t) in top.iter_mut().enumerate() {
+        for (i, t) in top[..2 * n].iter_mut().enumerate() {
             let x = (bx + i).min(plane.width() - 1);
             *t = plane.get(x, by - 1);
         }
     }
-    let mut left = vec![128u8; n];
+    let mut left = [128u8; 16];
     if left_avail {
-        for (j, l) in left.iter_mut().enumerate() {
+        for (j, l) in left[..n].iter_mut().enumerate() {
             *l = plane.get(bx - 1, by + j);
         }
     }
@@ -150,7 +157,7 @@ pub(crate) fn predict4(plane: &Plane, bx: usize, by: usize, mode: Intra4Mode, ds
             }
         }
         Intra4Mode::Dc => {
-            let v = dc_value(&top, &left, by > 0, bx > 0, 4);
+            let v = dc_value(&top, &left[..4], by > 0, bx > 0, 4);
             dst.fill(v);
         }
         Intra4Mode::DiagonalDownLeft => {
@@ -213,7 +220,7 @@ pub(crate) fn predict16(
             }
         }
         Intra16Mode::Dc => {
-            let v = dc_value(&top, &left, by > 0, bx > 0, 16);
+            let v = dc_value(&top, &left[..16], by > 0, bx > 0, 16);
             dst.fill(v);
         }
         Intra16Mode::Plane => {
@@ -264,7 +271,7 @@ pub(crate) fn predict_chroma8(
     let (top, left, _) = neighbours(plane, bx, by, 8);
     match mode {
         ChromaMode::Dc => {
-            let v = dc_value(&top, &left, by > 0, bx > 0, 8);
+            let v = dc_value(&top, &left[..8], by > 0, bx > 0, 8);
             dst.fill(v);
         }
         ChromaMode::Vertical => {

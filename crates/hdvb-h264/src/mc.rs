@@ -2,7 +2,7 @@
 //! codec.
 
 use hdvb_dsp::{Block4, Dsp};
-use hdvb_frame::{Frame, PaddedPlane, Plane};
+use hdvb_frame::{Frame, PaddedPlane};
 use hdvb_me::Mv;
 
 /// Luma padding of reference pictures.
@@ -26,6 +26,22 @@ impl RefPicture {
             cb: PaddedPlane::from_plane(frame.cb(), CHROMA_PAD),
             cr: PaddedPlane::from_plane(frame.cr(), CHROMA_PAD),
         }
+    }
+
+    /// Refills a retired reference in place from a new reconstruction of
+    /// the same geometry, avoiding the padded-plane allocations of
+    /// [`from_frame`](Self::from_frame).
+    pub(crate) fn refill_from(&mut self, frame: &Frame) {
+        let _z = hdvb_trace::zone!(hdvb_trace::Stage::MotionComp);
+        self.y.refill(frame.y());
+        self.cb.refill(frame.cb());
+        self.cr.refill(frame.cr());
+    }
+
+    /// Whether this reference matches a `w`×`h` luma geometry, i.e. can
+    /// be recycled via [`refill_from`](Self::refill_from).
+    pub(crate) fn matches(&self, w: usize, h: usize) -> bool {
+        self.y.width() == w && self.y.height() == h
     }
 }
 
@@ -174,43 +190,6 @@ pub(crate) fn copy4(dst: &mut [u8], dst_stride: usize, src: &[u8], src_stride: u
         dst[y * dst_stride..y * dst_stride + 4]
             .copy_from_slice(&src[y * src_stride..y * src_stride + 4]);
     }
-}
-
-fn replicate_into(src: &Plane, dst: &mut Plane) {
-    for y in 0..dst.height() {
-        let sy = y.min(src.height() - 1);
-        for x in 0..dst.width() {
-            let sx = x.min(src.width() - 1);
-            dst.set(x, y, src.get(sx, sy));
-        }
-    }
-}
-
-/// Expands a frame to MB-aligned dimensions with edge replication.
-pub(crate) fn align_frame(frame: &Frame, aw: usize, ah: usize) -> Frame {
-    // Sample bookkeeping (copies/padding) counts as reconstruction.
-    let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
-    if frame.width() == aw && frame.height() == ah {
-        return frame.clone();
-    }
-    let mut out = Frame::new(aw, ah);
-    replicate_into(frame.y(), out.y_mut());
-    replicate_into(frame.cb(), out.cb_mut());
-    replicate_into(frame.cr(), out.cr_mut());
-    out
-}
-
-/// Crops an aligned frame back to picture dimensions.
-pub(crate) fn crop_frame(frame: &Frame, w: usize, h: usize) -> Frame {
-    let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
-    if frame.width() == w && frame.height() == h {
-        return frame.clone();
-    }
-    let mut out = Frame::new(w, h);
-    replicate_into(frame.y(), out.y_mut());
-    replicate_into(frame.cb(), out.cb_mut());
-    replicate_into(frame.cr(), out.cr_mut());
-    out
 }
 
 #[cfg(test)]

@@ -1,14 +1,22 @@
 use crate::blocks::read_coeffs;
 use crate::encoder::{
-    build_b_prediction, crop_frame, predict_mb, reconstruct_inter, store_block_clamped, RefPicture,
-    RowState, MAGIC,
+    build_b_prediction, predict_mb, reconstruct_inter, store_block_clamped, RefPicture, RowState,
+    MAGIC,
 };
 use crate::types::{CodecError, FrameType, MAX_DECODE_PIXELS};
 use hdvb_bits::{BitReader, CorruptKind};
 use hdvb_dsp::{Dsp, SimdLevel, MPEG_DEFAULT_INTRA};
-use hdvb_frame::{align_up, Frame};
+use hdvb_frame::{align_up, Frame, FramePool};
 use hdvb_me::{Mv, MvField};
 use hdvb_par::CancelToken;
+
+/// Per-packet working storage, reused while the coded geometry stays the
+/// same so steady-state decoding performs no heap allocation. Both
+/// buffers are fully overwritten (or cleared) per picture.
+struct DecScratch {
+    recon: Frame,
+    mvs: MvField,
+}
 
 /// The MPEG-2-class decoder.
 ///
@@ -23,6 +31,8 @@ pub struct Mpeg2Decoder {
     /// The newest anchor's displayable frame, held until the next anchor
     /// arrives (display reordering).
     pending: Option<Frame>,
+    /// Reusable per-packet working storage.
+    scratch: Option<DecScratch>,
     /// Cooperative cancellation, checkpointed at each packet boundary.
     cancel: CancelToken,
 }
@@ -46,6 +56,7 @@ impl Mpeg2Decoder {
             prev_anchor: None,
             last_anchor: None,
             pending: None,
+            scratch: None,
             cancel: CancelToken::never(),
         }
     }
@@ -67,16 +78,36 @@ impl Mpeg2Decoder {
     /// state untouched, so subsequent packets can still decode (the
     /// container-level resync in `hdvb-core` relies on this).
     pub fn decode(&mut self, data: &[u8]) -> Result<Vec<Frame>, CodecError> {
+        let mut out = Vec::new();
+        self.decode_into(data, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free form of [`decode`](Self::decode): appends decoded
+    /// display-order frames to `out`. Output frames come from the global
+    /// [`FramePool`] (return them with `FramePool::global().put(..)` to
+    /// close the recycling loop), and per-packet working state is reused
+    /// while the coded geometry stays constant — at steady state a
+    /// decoded packet performs zero heap allocations.
+    ///
+    /// # Errors
+    ///
+    /// As [`decode`](Self::decode); nothing is appended on error.
+    pub fn decode_into(&mut self, data: &[u8], out: &mut Vec<Frame>) -> Result<(), CodecError> {
         if self.cancel.is_cancelled() {
             return Err(CodecError::Cancelled);
         }
         let mut r = BitReader::new(data);
-        let result = self.decode_inner(&mut r);
+        let result = self.decode_inner(&mut r, out);
         let pos = r.bit_pos();
         result.map_err(|e| e.at_bit(pos))
     }
 
-    fn decode_inner(&mut self, r: &mut BitReader<'_>) -> Result<Vec<Frame>, CodecError> {
+    fn decode_inner(
+        &mut self,
+        r: &mut BitReader<'_>,
+        out: &mut Vec<Frame>,
+    ) -> Result<(), CodecError> {
         if r.get_bits(16)? != MAGIC {
             return Err(CodecError::corrupt(
                 CorruptKind::BadMagic,
@@ -113,19 +144,58 @@ impl Mpeg2Decoder {
         let ah = align_up(height, 16);
         let (mbs_x, mbs_y) = (aw / 16, ah / 16);
 
-        let mut recon = {
-            let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
-            Frame::new(aw, ah)
+        let mut scratch = match self.scratch.take() {
+            Some(s) if s.recon.width() == aw && s.recon.height() == ah => s,
+            other => {
+                let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
+                if let Some(s) = other {
+                    FramePool::global().put(s.recon);
+                }
+                DecScratch {
+                    recon: FramePool::global().take(aw, ah),
+                    mvs: MvField::new(mbs_x, mbs_y),
+                }
+            }
         };
-        let mut mvs = MvField::new(mbs_x, mbs_y);
+        let result = self.decode_picture(r, frame_type, qscale, width, height, &mut scratch, out);
+        self.scratch = Some(scratch);
+        result
+    }
+
+    /// Decodes the picture body into `scratch.recon` and performs display
+    /// reordering and anchor rotation. `out` is only appended to after
+    /// the whole picture decoded successfully, so a failed packet leaves
+    /// the decoder state untouched.
+    #[allow(clippy::too_many_arguments)]
+    fn decode_picture(
+        &mut self,
+        r: &mut BitReader<'_>,
+        frame_type: FrameType,
+        qscale: u16,
+        width: usize,
+        height: usize,
+        scratch: &mut DecScratch,
+        out: &mut Vec<Frame>,
+    ) -> Result<(), CodecError> {
+        let DecScratch { recon, mvs } = scratch;
+        let (aw, ah) = (recon.width(), recon.height());
+        let (mbs_x, mbs_y) = (aw / 16, ah / 16);
+        // Recycled storage: `recon` is fully overwritten by every picture
+        // type and the motion field is cleared, matching fresh buffers
+        // bit for bit.
+        mvs.clear();
         match frame_type {
-            FrameType::I => self.decode_i(r, &mut recon, qscale, mbs_x, mbs_y)?,
-            FrameType::P => self.decode_p(r, &mut recon, &mut mvs, qscale, mbs_x, mbs_y)?,
-            FrameType::B => self.decode_b(r, &mut recon, qscale, mbs_x, mbs_y)?,
+            FrameType::I => self.decode_i(r, recon, qscale, mbs_x, mbs_y)?,
+            FrameType::P => self.decode_p(r, recon, mvs, qscale, mbs_x, mbs_y)?,
+            FrameType::B => self.decode_b(r, recon, qscale, mbs_x, mbs_y)?,
         }
 
-        let display = crop_frame(&recon, width, height);
-        let mut out = Vec::new();
+        let display = {
+            let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
+            let mut d = FramePool::global().take(width, height);
+            d.crop_from(recon);
+            d
+        };
         if frame_type == FrameType::B {
             out.push(display);
         } else {
@@ -133,15 +203,34 @@ impl Mpeg2Decoder {
                 out.push(prev);
             }
             self.pending = Some(display);
+            let recycled = self.prev_anchor.take();
             self.prev_anchor = self.last_anchor.take();
-            self.last_anchor = Some(RefPicture::from_frame(&recon, mvs));
+            self.last_anchor = Some(match recycled {
+                Some(mut rp) if rp.matches(aw, ah) => {
+                    rp.refill_from(recon, mvs);
+                    rp
+                }
+                _ => RefPicture::from_frame(
+                    recon,
+                    std::mem::replace(mvs, MvField::new(mbs_x, mbs_y)),
+                ),
+            });
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Returns the final buffered anchor at end of stream.
     pub fn flush(&mut self) -> Vec<Frame> {
-        self.pending.take().into_iter().collect()
+        let mut out = Vec::new();
+        self.flush_into(&mut out);
+        out
+    }
+
+    /// Allocation-free form of [`flush`](Self::flush).
+    pub fn flush_into(&mut self, out: &mut Vec<Frame>) {
+        if let Some(p) = self.pending.take() {
+            out.push(p);
+        }
     }
 
     fn decode_i(

@@ -3,7 +3,7 @@ use crate::gop::{GopScheduler, Scheduled};
 use crate::types::{CodecError, EncoderConfig, FrameType, Packet};
 use hdvb_bits::BitWriter;
 use hdvb_dsp::{Block8, Dsp, MPEG_DEFAULT_INTRA, MPEG_DEFAULT_NONINTRA};
-use hdvb_frame::{align_up, Frame, PaddedPlane, Plane};
+use hdvb_frame::{align_up, BufferPool, Frame, FramePool, PaddedPlane, Plane};
 use hdvb_me::{
     epzs_search, mv_bits, subpel_refine, BlockRef, EpzsThresholds, Mv, MvField, Predictors,
     SearchParams, SubpelStep,
@@ -38,6 +38,24 @@ impl RefPicture {
             mvs,
         }
     }
+
+    /// Re-extends a retired reference picture from a new reconstruction
+    /// without reallocating its padded planes, and swaps the freshly
+    /// coded motion field in (leaving the stale one in `mvs` for the
+    /// caller to clear and reuse). Bit-identical to
+    /// [`from_frame`](Self::from_frame) on matching geometry.
+    pub(crate) fn refill_from(&mut self, frame: &Frame, mvs: &mut MvField) {
+        let _z = hdvb_trace::zone!(hdvb_trace::Stage::MotionComp);
+        self.y.refill(frame.y());
+        self.cb.refill(frame.cb());
+        self.cr.refill(frame.cr());
+        std::mem::swap(&mut self.mvs, mvs);
+    }
+
+    /// Whether this reference was built for a `w`×`h` picture.
+    pub(crate) fn matches(&self, w: usize, h: usize) -> bool {
+        self.y.width() == w && self.y.height() == h
+    }
 }
 
 /// Motion-compensates one macroblock (luma 16×16 + two chroma 8×8) from
@@ -71,41 +89,21 @@ pub(crate) fn predict_mb(
     dsp.hpel_interp(cr, 8, r.cr.row_from(cx, cy), r.cr.stride(), cfx, cfy, 8, 8);
 }
 
-fn replicate_into(src: &Plane, dst: &mut Plane) {
-    for y in 0..dst.height() {
-        let sy = y.min(src.height() - 1);
-        for x in 0..dst.width() {
-            let sx = x.min(src.width() - 1);
-            dst.set(x, y, src.get(sx, sy));
-        }
-    }
-}
-
 /// Expands `frame` to macroblock-aligned dimensions with edge
-/// replication. The copy is sample bookkeeping around reconstruction,
-/// so it bills to that stage.
+/// replication (test reference for [`Frame::replicate_from`]).
+#[cfg(test)]
 pub(crate) fn align_frame(frame: &Frame, aw: usize, ah: usize) -> Frame {
-    let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
-    if frame.width() == aw && frame.height() == ah {
-        return frame.clone();
-    }
     let mut out = Frame::new(aw, ah);
-    replicate_into(frame.y(), out.y_mut());
-    replicate_into(frame.cb(), out.cb_mut());
-    replicate_into(frame.cr(), out.cr_mut());
+    out.replicate_from(frame);
     out
 }
 
-/// Crops an aligned frame back to picture dimensions.
+/// Crops an aligned frame back to picture dimensions (test reference
+/// for [`Frame::crop_from`]).
+#[cfg(test)]
 pub(crate) fn crop_frame(frame: &Frame, w: usize, h: usize) -> Frame {
-    let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
-    if frame.width() == w && frame.height() == h {
-        return frame.clone();
-    }
     let mut out = Frame::new(w, h);
-    replicate_into(frame.y(), out.y_mut());
-    replicate_into(frame.cb(), out.cb_mut());
-    replicate_into(frame.cr(), out.cr_mut());
+    out.crop_from(frame);
     out
 }
 
@@ -135,6 +133,23 @@ impl RowState {
     }
 }
 
+/// Per-picture working storage, reused across the whole encode so the
+/// steady-state hot path performs no heap allocation. Taken out of the
+/// encoder (`Option` dance) while a picture is being coded to keep the
+/// borrow checker happy around `&self` helper calls.
+struct EncScratch {
+    /// Reconstruction target, `aw`×`ah`; fully overwritten per picture.
+    recon: Frame,
+    /// Edge-replicated copy of unaligned input (unused when the source
+    /// frame is already macroblock-aligned).
+    aligned: Frame,
+    /// Motion field of the picture being coded (anchors swap it into
+    /// their [`RefPicture`] for EPZS temporal prediction).
+    mvs: MvField,
+    /// B-picture forward field (separate so anchors' fields survive).
+    b_mvs: MvField,
+}
+
 /// The MPEG-2-class encoder.
 ///
 /// Frames are submitted in display order via [`encode`](Self::encode);
@@ -152,6 +167,10 @@ pub struct Mpeg2Encoder {
     prev_anchor: Option<RefPicture>,
     /// Newest anchor (reference for P; backward reference for B).
     last_anchor: Option<RefPicture>,
+    /// Reusable per-picture working storage.
+    scratch: Option<EncScratch>,
+    /// Reusable coding-order buffer handed to the GOP scheduler.
+    sched: Vec<Scheduled>,
     /// Cooperative cancellation, checkpointed before each coded picture.
     cancel: CancelToken,
 }
@@ -176,6 +195,13 @@ impl Mpeg2Encoder {
             mbs_y: ah / 16,
             prev_anchor: None,
             last_anchor: None,
+            scratch: Some(EncScratch {
+                recon: Frame::new(aw, ah),
+                aligned: Frame::new(aw, ah),
+                mvs: MvField::new(aw / 16, ah / 16),
+                b_mvs: MvField::new(aw / 16, ah / 16),
+            }),
+            sched: Vec::new(),
             cancel: CancelToken::never(),
         })
     }
@@ -200,18 +226,9 @@ impl Mpeg2Encoder {
     /// [`CodecError::FrameMismatch`] if the frame geometry differs from
     /// the configuration.
     pub fn encode(&mut self, frame: &Frame) -> Result<Vec<Packet>, CodecError> {
-        if frame.width() != self.config.width || frame.height() != self.config.height {
-            return Err(CodecError::FrameMismatch {
-                expected: (self.config.width, self.config.height),
-                actual: (frame.width(), frame.height()),
-            });
-        }
-        let cloned = {
-            let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
-            frame.clone()
-        };
-        let scheduled = self.gop.push(cloned);
-        self.encode_scheduled(scheduled)
+        let mut out = Vec::new();
+        self.encode_into(frame, &mut out)?;
+        Ok(out)
     }
 
     /// Flushes buffered frames at end of stream.
@@ -220,20 +237,74 @@ impl Mpeg2Encoder {
     ///
     /// Propagates encoding errors (none in normal operation).
     pub fn flush(&mut self) -> Result<Vec<Packet>, CodecError> {
-        let scheduled = self.gop.finish();
-        self.encode_scheduled(scheduled)
+        let mut out = Vec::new();
+        self.flush_into(&mut out)?;
+        Ok(out)
     }
 
-    fn encode_scheduled(&mut self, scheduled: Vec<Scheduled>) -> Result<Vec<Packet>, CodecError> {
-        scheduled
-            .into_iter()
-            .map(|s| {
+    /// Allocation-free form of [`encode`](Self::encode): appends coded
+    /// packets to `out`. The input frame is copied into a pooled frame
+    /// (recycled after coding), packet payloads come from the global
+    /// [`BufferPool`], and all per-picture working state is reused — at
+    /// steady state a submitted frame performs zero heap allocations.
+    ///
+    /// # Errors
+    ///
+    /// As [`encode`](Self::encode); packets appended before an error
+    /// stay in `out`.
+    pub fn encode_into(&mut self, frame: &Frame, out: &mut Vec<Packet>) -> Result<(), CodecError> {
+        if frame.width() != self.config.width || frame.height() != self.config.height {
+            return Err(CodecError::FrameMismatch {
+                expected: (self.config.width, self.config.height),
+                actual: (frame.width(), frame.height()),
+            });
+        }
+        let pooled = {
+            let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
+            let mut f = FramePool::global().take(frame.width(), frame.height());
+            f.copy_from(frame);
+            f
+        };
+        let mut sched = std::mem::take(&mut self.sched);
+        self.gop.push_into(pooled, &mut sched);
+        let result = self.encode_scheduled(&mut sched, out);
+        self.sched = sched;
+        result
+    }
+
+    /// Allocation-free form of [`flush`](Self::flush): appends the
+    /// remaining coded packets to `out`.
+    ///
+    /// # Errors
+    ///
+    /// As [`flush`](Self::flush).
+    pub fn flush_into(&mut self, out: &mut Vec<Packet>) -> Result<(), CodecError> {
+        let mut sched = std::mem::take(&mut self.sched);
+        self.gop.finish_into(&mut sched);
+        let result = self.encode_scheduled(&mut sched, out);
+        self.sched = sched;
+        result
+    }
+
+    /// Codes every scheduled picture, recycling each input frame to the
+    /// global pool afterwards (also on error/cancellation).
+    fn encode_scheduled(
+        &mut self,
+        sched: &mut Vec<Scheduled>,
+        out: &mut Vec<Packet>,
+    ) -> Result<(), CodecError> {
+        let mut result = Ok(());
+        for s in sched.drain(..) {
+            if result.is_ok() {
                 if self.cancel.is_cancelled() {
-                    return Err(CodecError::Cancelled);
+                    result = Err(CodecError::Cancelled);
+                } else {
+                    out.push(self.encode_picture(&s.frame, s.frame_type, s.display_index));
                 }
-                self.encode_picture(&s.frame, s.frame_type, s.display_index)
-            })
-            .collect()
+            }
+            FramePool::global().put(s.frame);
+        }
+        result
     }
 
     fn encode_picture(
@@ -241,11 +312,36 @@ impl Mpeg2Encoder {
         frame: &Frame,
         frame_type: FrameType,
         display_index: u32,
-    ) -> Result<Packet, CodecError> {
-        let cur = align_frame(frame, self.aw, self.ah);
+    ) -> Packet {
+        let mut scratch = self.scratch.take().expect("encoder scratch in use");
+        let packet = self.encode_picture_inner(frame, frame_type, display_index, &mut scratch);
+        self.scratch = Some(scratch);
+        packet
+    }
+
+    fn encode_picture_inner(
+        &mut self,
+        frame: &Frame,
+        frame_type: FrameType,
+        display_index: u32,
+        scratch: &mut EncScratch,
+    ) -> Packet {
+        let EncScratch {
+            recon,
+            aligned,
+            mvs,
+            b_mvs,
+        } = scratch;
+        let cur: &Frame = if frame.width() == self.aw && frame.height() == self.ah {
+            frame
+        } else {
+            let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
+            aligned.replicate_from(frame);
+            aligned
+        };
         let mut w = {
             let _z = hdvb_trace::zone!(hdvb_trace::Stage::EntropyCoding);
-            let mut w = BitWriter::with_capacity(self.aw * self.ah / 4);
+            let mut w = BitWriter::from_vec(BufferPool::global().take(self.aw * self.ah / 4));
             w.put_bits(MAGIC, 16);
             w.put_bits(frame_type.to_bits(), 2);
             w.put_bits(display_index, 32);
@@ -255,31 +351,42 @@ impl Mpeg2Encoder {
             w
         };
 
-        let mut recon = {
-            let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
-            Frame::new(self.aw, self.ah)
-        };
-        let mut mvs = MvField::new(self.mbs_x, self.mbs_y);
+        // `recon` is fully overwritten by every picture type, and the
+        // motion fields are cleared, so the recycled storage is
+        // bit-identical to freshly allocated buffers.
+        mvs.clear();
         match frame_type {
-            FrameType::I => self.encode_i(&mut w, &cur, &mut recon),
-            FrameType::P => self.encode_p(&mut w, &cur, &mut recon, &mut mvs),
-            FrameType::B => self.encode_b(&mut w, &cur, &mut recon),
+            FrameType::I => self.encode_i(&mut w, cur, recon),
+            FrameType::P => self.encode_p(&mut w, cur, recon, mvs),
+            FrameType::B => {
+                b_mvs.clear();
+                self.encode_b(&mut w, cur, recon, b_mvs);
+            }
         }
 
         if frame_type != FrameType::B {
-            let reference = RefPicture::from_frame(&recon, mvs);
+            let recycled = self.prev_anchor.take();
             self.prev_anchor = self.last_anchor.take();
-            self.last_anchor = Some(reference);
+            self.last_anchor = Some(match recycled {
+                Some(mut rp) if rp.matches(self.aw, self.ah) => {
+                    rp.refill_from(recon, mvs);
+                    rp
+                }
+                _ => RefPicture::from_frame(
+                    recon,
+                    std::mem::replace(mvs, MvField::new(self.mbs_x, self.mbs_y)),
+                ),
+            });
         }
         let data = {
             let _z = hdvb_trace::zone!(hdvb_trace::Stage::EntropyCoding);
             w.finish()
         };
-        Ok(Packet {
+        Packet {
             data,
             frame_type,
             display_index,
-        })
+        }
     }
 
     // ----------------------------------------------------------- intra --
@@ -459,7 +566,7 @@ impl Mpeg2Encoder {
         }
     }
 
-    fn encode_b(&self, w: &mut BitWriter, cur: &Frame, recon: &mut Frame) {
+    fn encode_b(&self, w: &mut BitWriter, cur: &Frame, recon: &mut Frame, cur_mvs: &mut MvField) {
         let fwd = self
             .prev_anchor
             .as_ref()
@@ -469,7 +576,6 @@ impl Mpeg2Encoder {
             .as_ref()
             .expect("B picture requires two anchors");
         let lambda = u32::from(self.config.qscale).max(1);
-        let mut cur_mvs = MvField::new(self.mbs_x, self.mbs_y);
         for mby in 0..self.mbs_y {
             let mut row = RowState::new();
             for mbx in 0..self.mbs_x {
@@ -486,7 +592,7 @@ impl Mpeg2Encoder {
                 // Forward and backward searches (EPZS, spatial predictors
                 // from this frame's forward field plus collocated from the
                 // backward anchor's field).
-                let preds = Predictors::gather(&cur_mvs, &bwd.mvs, mbx, mby);
+                let preds = Predictors::gather(cur_mvs, &bwd.mvs, mbx, mby);
                 let params = SearchParams::new(self.config.search_range, lambda)
                     .with_pred(Mv::new(row.mv_pred.x >> 1, row.mv_pred.y >> 1));
                 let f = epzs_search(

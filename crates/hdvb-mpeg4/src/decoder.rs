@@ -1,14 +1,24 @@
 use crate::blocks::read_coeffs;
 use crate::encoder::{
-    build_b_prediction, crop_frame, dc_coords, direct_mvs, median_pred, predict_mb,
-    reconstruct_inter, store_block_clamped, BRowState, DcStores, RefPicture, MAGIC,
+    build_b_prediction, dc_coords, direct_mvs, median_pred, predict_mb, reconstruct_inter,
+    store_block_clamped, BRowState, DcStores, RefPicture, MAGIC,
 };
 use crate::types::{CodecError, FrameType, MAX_DECODE_PIXELS};
 use hdvb_bits::{BitReader, CorruptKind};
 use hdvb_dsp::{Dsp, SimdLevel, MPEG_DEFAULT_INTRA};
-use hdvb_frame::{align_up, Frame};
+use hdvb_frame::{align_up, Frame, FramePool};
 use hdvb_me::{Mv, MvField};
 use hdvb_par::CancelToken;
+
+/// Per-packet working storage, reused while the coded geometry stays the
+/// same so steady-state decoding performs no heap allocation. All
+/// buffers are fully overwritten (or cleared) per picture.
+struct DecScratch {
+    recon: Frame,
+    mvs_full: MvField,
+    mvs_qpel: MvField,
+    dc: DcStores,
+}
 
 /// The MPEG-4-ASP-class decoder (mirror of
 /// [`Mpeg4Encoder`](crate::Mpeg4Encoder)).
@@ -17,6 +27,8 @@ pub struct Mpeg4Decoder {
     prev_anchor: Option<RefPicture>,
     last_anchor: Option<RefPicture>,
     pending: Option<Frame>,
+    /// Reusable per-packet working storage.
+    scratch: Option<DecScratch>,
     /// Cooperative cancellation, checkpointed at each packet boundary.
     cancel: CancelToken,
 }
@@ -40,6 +52,7 @@ impl Mpeg4Decoder {
             prev_anchor: None,
             last_anchor: None,
             pending: None,
+            scratch: None,
             cancel: CancelToken::never(),
         }
     }
@@ -59,16 +72,35 @@ impl Mpeg4Decoder {
     /// offset the parse stopped at and a [`CorruptKind`] classification.
     /// A failed packet leaves the decoder's reference state untouched.
     pub fn decode(&mut self, data: &[u8]) -> Result<Vec<Frame>, CodecError> {
+        let mut out = Vec::new();
+        self.decode_into(data, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free form of [`decode`](Self::decode): appends
+    /// display-order frames to `out`. Output frames come from the
+    /// global [`FramePool`]; return them with `FramePool::global().put`
+    /// to make steady-state decoding allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`decode`](Self::decode); on error nothing is
+    /// appended to `out`.
+    pub fn decode_into(&mut self, data: &[u8], out: &mut Vec<Frame>) -> Result<(), CodecError> {
         if self.cancel.is_cancelled() {
             return Err(CodecError::Cancelled);
         }
         let mut r = BitReader::new(data);
-        let result = self.decode_inner(&mut r);
+        let result = self.decode_inner(&mut r, out);
         let pos = r.bit_pos();
         result.map_err(|e| e.at_bit(pos))
     }
 
-    fn decode_inner(&mut self, r: &mut BitReader<'_>) -> Result<Vec<Frame>, CodecError> {
+    fn decode_inner(
+        &mut self,
+        r: &mut BitReader<'_>,
+        out: &mut Vec<Frame>,
+    ) -> Result<(), CodecError> {
         if r.get_bits(16)? != MAGIC {
             return Err(CodecError::corrupt(
                 CorruptKind::BadMagic,
@@ -105,28 +137,77 @@ impl Mpeg4Decoder {
         let ah = align_up(height, 16);
         let (mbs_x, mbs_y) = (aw / 16, ah / 16);
 
-        let mut recon = {
-            let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
-            Frame::new(aw, ah)
+        let mut scratch = match self.scratch.take() {
+            Some(s) if s.recon.width() == aw && s.recon.height() == ah => s,
+            other => {
+                let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
+                if let Some(s) = other {
+                    FramePool::global().put(s.recon);
+                }
+                DecScratch {
+                    recon: FramePool::global().take(aw, ah),
+                    mvs_full: MvField::new(mbs_x, mbs_y),
+                    mvs_qpel: MvField::new(mbs_x, mbs_y),
+                    dc: DcStores::new(mbs_x, mbs_y),
+                }
+            }
         };
-        let mut mvs_full = MvField::new(mbs_x, mbs_y);
-        let mut mvs_qpel = MvField::new(mbs_x, mbs_y);
+        let result = self.decode_picture(
+            r,
+            frame_type,
+            display_index,
+            qscale,
+            width,
+            height,
+            &mut scratch,
+            out,
+        );
+        self.scratch = Some(scratch);
+        result
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn decode_picture(
+        &mut self,
+        r: &mut BitReader<'_>,
+        frame_type: FrameType,
+        display_index: u32,
+        qscale: u16,
+        width: usize,
+        height: usize,
+        scratch: &mut DecScratch,
+        out: &mut Vec<Frame>,
+    ) -> Result<(), CodecError> {
+        let DecScratch {
+            recon,
+            mvs_full,
+            mvs_qpel,
+            dc,
+        } = scratch;
+        let aw = recon.width();
+        let ah = recon.height();
+        let (mbs_x, mbs_y) = (aw / 16, ah / 16);
+        // Recycled scratch carries the previous picture's state; the
+        // decode paths only write the entries they code, so clear the
+        // motion fields and DC predictors per picture. `recon` needs no
+        // clearing: every macroblock path overwrites its samples.
+        mvs_full.clear();
+        mvs_qpel.clear();
+        dc.reset();
         match frame_type {
-            FrameType::I => self.decode_i(r, &mut recon, qscale, mbs_x, mbs_y)?,
-            FrameType::P => self.decode_p(
-                r,
-                &mut recon,
-                &mut mvs_full,
-                &mut mvs_qpel,
-                qscale,
-                mbs_x,
-                mbs_y,
-            )?,
-            FrameType::B => self.decode_b(r, &mut recon, display_index, qscale, mbs_x, mbs_y)?,
+            FrameType::I => self.decode_i(r, recon, qscale, mbs_x, mbs_y, dc)?,
+            FrameType::P => {
+                self.decode_p(r, recon, mvs_full, mvs_qpel, qscale, mbs_x, mbs_y, dc)?
+            }
+            FrameType::B => self.decode_b(r, recon, display_index, qscale, mbs_x, mbs_y, dc)?,
         }
 
-        let display = crop_frame(&recon, width, height);
-        let mut out = Vec::new();
+        let display = {
+            let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
+            let mut d = FramePool::global().take(width, height);
+            d.crop_from(recon);
+            d
+        };
         if frame_type == FrameType::B {
             out.push(display);
         } else {
@@ -134,20 +215,36 @@ impl Mpeg4Decoder {
                 out.push(prev);
             }
             self.pending = Some(display);
+            let recycled = self.prev_anchor.take();
             self.prev_anchor = self.last_anchor.take();
-            self.last_anchor = Some(RefPicture::from_frame(
-                &recon,
-                mvs_full,
-                mvs_qpel,
-                display_index,
-            ));
+            self.last_anchor = Some(match recycled {
+                Some(mut rp) if rp.matches(aw, ah) => {
+                    rp.refill_from(recon, mvs_full, mvs_qpel, display_index);
+                    rp
+                }
+                _ => RefPicture::from_frame(
+                    recon,
+                    std::mem::replace(mvs_full, MvField::new(mbs_x, mbs_y)),
+                    std::mem::replace(mvs_qpel, MvField::new(mbs_x, mbs_y)),
+                    display_index,
+                ),
+            });
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Returns the final buffered anchor at end of stream.
     pub fn flush(&mut self) -> Vec<Frame> {
-        self.pending.take().into_iter().collect()
+        let mut out = Vec::new();
+        self.flush_into(&mut out);
+        out
+    }
+
+    /// Allocation-free form of [`flush`](Self::flush).
+    pub fn flush_into(&mut self, out: &mut Vec<Frame>) {
+        if let Some(prev) = self.pending.take() {
+            out.push(prev);
+        }
     }
 
     fn decode_i(
@@ -157,11 +254,11 @@ impl Mpeg4Decoder {
         qscale: u16,
         mbs_x: usize,
         mbs_y: usize,
+        dc: &mut DcStores,
     ) -> Result<(), CodecError> {
-        let mut dc = DcStores::new(mbs_x, mbs_y);
         for mby in 0..mbs_y {
             for mbx in 0..mbs_x {
-                self.decode_intra_mb(r, recon, qscale, mbx, mby, &mut dc)?;
+                self.decode_intra_mb(r, recon, qscale, mbx, mby, dc)?;
             }
             r.byte_align();
         }
@@ -228,11 +325,11 @@ impl Mpeg4Decoder {
         qscale: u16,
         mbs_x: usize,
         mbs_y: usize,
+        dc: &mut DcStores,
     ) -> Result<(), CodecError> {
         let reference = self.last_anchor.take().ok_or_else(|| {
             CodecError::corrupt(CorruptKind::MissingReference, "P picture without reference")
         })?;
-        let mut dc = DcStores::new(mbs_x, mbs_y);
         let result = (|| -> Result<(), CodecError> {
             check_ref_geometry(&reference, mbs_x, mbs_y)?;
             for mby in 0..mbs_y {
@@ -269,7 +366,7 @@ impl Mpeg4Decoder {
                     let mode = r.get_bits(2)?;
                     match mode {
                         2 => {
-                            self.decode_intra_mb(r, recon, qscale, mbx, mby, &mut dc)?;
+                            self.decode_intra_mb(r, recon, qscale, mbx, mby, dc)?;
                             qfield.set(mbx, mby, Mv::ZERO);
                         }
                         0 => {
@@ -353,6 +450,7 @@ impl Mpeg4Decoder {
         Ok(())
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn decode_b(
         &mut self,
         r: &mut BitReader<'_>,
@@ -361,6 +459,7 @@ impl Mpeg4Decoder {
         qscale: u16,
         mbs_x: usize,
         mbs_y: usize,
+        dc: &mut DcStores,
     ) -> Result<(), CodecError> {
         let fwd = self.prev_anchor.take().ok_or_else(|| {
             CodecError::corrupt(CorruptKind::MissingReference, "B picture without anchors")
@@ -375,7 +474,6 @@ impl Mpeg4Decoder {
                 ));
             }
         };
-        let mut dc = DcStores::new(mbs_x, mbs_y);
         let result = (|| -> Result<(), CodecError> {
             check_ref_geometry(&fwd, mbs_x, mbs_y)?;
             check_ref_geometry(&bwd, mbs_x, mbs_y)?;
@@ -409,7 +507,7 @@ impl Mpeg4Decoder {
                     }
                     let mode = r.get_bits(2)? as u8;
                     if mode == 3 {
-                        self.decode_intra_mb(r, recon, qscale, mbx, mby, &mut dc)?;
+                        self.decode_intra_mb(r, recon, qscale, mbx, mby, dc)?;
                         row.reset_mv();
                         continue;
                     }

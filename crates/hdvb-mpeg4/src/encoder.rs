@@ -3,7 +3,7 @@ use crate::gop::{GopScheduler, Scheduled};
 use crate::types::{CodecError, EncoderConfig, FrameType, Packet};
 use hdvb_bits::BitWriter;
 use hdvb_dsp::{Block8, Dsp, MPEG_DEFAULT_INTRA, MPEG_DEFAULT_NONINTRA};
-use hdvb_frame::{align_up, Frame, PaddedPlane, Plane};
+use hdvb_frame::{align_up, BufferPool, Frame, FramePool, PaddedPlane, Plane};
 use hdvb_me::{
     diamond_search, epzs_search, median3, mv_bits, subpel_refine, BlockRef, EpzsThresholds, Mv,
     MvField, Predictors, SearchParams, SubpelStep,
@@ -48,6 +48,32 @@ impl RefPicture {
             display_index,
         }
     }
+
+    /// Re-extends a retired reference picture from a new reconstruction
+    /// without reallocating its padded planes, swapping the freshly
+    /// coded motion fields in (the stale ones are left in the arguments
+    /// for the caller to clear and reuse). Bit-identical to
+    /// [`from_frame`](Self::from_frame) on matching geometry.
+    pub(crate) fn refill_from(
+        &mut self,
+        frame: &Frame,
+        mvs_fullpel: &mut MvField,
+        mvs_qpel: &mut MvField,
+        display_index: u32,
+    ) {
+        let _z = hdvb_trace::zone!(hdvb_trace::Stage::MotionComp);
+        self.y.refill(frame.y());
+        self.cb.refill(frame.cb());
+        self.cr.refill(frame.cr());
+        std::mem::swap(&mut self.mvs_fullpel, mvs_fullpel);
+        std::mem::swap(&mut self.mvs_qpel, mvs_qpel);
+        self.display_index = display_index;
+    }
+
+    /// Whether this reference was built for a `w`×`h` picture.
+    pub(crate) fn matches(&self, w: usize, h: usize) -> bool {
+        self.y.width() == w && self.y.height() == h
+    }
 }
 
 /// MPEG-4 temporal direct-mode vectors for one macroblock of a B picture
@@ -91,6 +117,13 @@ impl DcStore {
             vals: vec![0; w * h],
             avail: vec![false; w * h],
         }
+    }
+
+    /// Returns the store to its freshly constructed state (no block
+    /// available), keeping the allocations for the next picture.
+    fn reset(&mut self) {
+        self.vals.fill(0);
+        self.avail.fill(false);
     }
 
     fn get(&self, x: isize, y: isize) -> i32 {
@@ -140,6 +173,14 @@ impl DcStores {
             cb: DcStore::new(mbs_x, mbs_y),
             cr: DcStore::new(mbs_x, mbs_y),
         }
+    }
+
+    /// Resets all three component stores for a new picture without
+    /// releasing their storage.
+    pub(crate) fn reset(&mut self) {
+        self.y.reset();
+        self.cb.reset();
+        self.cr.reset();
     }
 }
 
@@ -202,44 +243,6 @@ pub(crate) fn predict_mb(
     let (cfx, cfy) = ((sx & 1) as u8, (sy & 1) as u8);
     dsp.hpel_interp(cb, 8, r.cb.row_from(cx, cy), r.cb.stride(), cfx, cfy, 8, 8);
     dsp.hpel_interp(cr, 8, r.cr.row_from(cx, cy), r.cr.stride(), cfx, cfy, 8, 8);
-}
-
-fn replicate_into(src: &Plane, dst: &mut Plane) {
-    for y in 0..dst.height() {
-        let sy = y.min(src.height() - 1);
-        for x in 0..dst.width() {
-            let sx = x.min(src.width() - 1);
-            dst.set(x, y, src.get(sx, sy));
-        }
-    }
-}
-
-/// Expands a frame to macroblock-aligned dimensions with edge
-/// replication.
-pub(crate) fn align_frame(frame: &Frame, aw: usize, ah: usize) -> Frame {
-    // Sample bookkeeping (copies/padding) counts as reconstruction.
-    let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
-    if frame.width() == aw && frame.height() == ah {
-        return frame.clone();
-    }
-    let mut out = Frame::new(aw, ah);
-    replicate_into(frame.y(), out.y_mut());
-    replicate_into(frame.cb(), out.cb_mut());
-    replicate_into(frame.cr(), out.cr_mut());
-    out
-}
-
-/// Crops an aligned frame back to picture dimensions.
-pub(crate) fn crop_frame(frame: &Frame, w: usize, h: usize) -> Frame {
-    let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
-    if frame.width() == w && frame.height() == h {
-        return frame.clone();
-    }
-    let mut out = Frame::new(w, h);
-    replicate_into(frame.y(), out.y_mut());
-    replicate_into(frame.cb(), out.cb_mut());
-    replicate_into(frame.cr(), out.cr_mut());
-    out
 }
 
 /// Loads an 8×8 pixel block as i16.
@@ -385,6 +388,25 @@ pub(crate) fn dc_coords(mbx: usize, mby: usize, b: usize) -> (usize, usize) {
     }
 }
 
+/// Per-picture working storage, reused across the whole encode so the
+/// steady-state hot path performs no heap allocation.
+struct EncScratch {
+    /// Reconstruction target, `aw`×`ah`; fully overwritten per picture.
+    recon: Frame,
+    /// Edge-replicated copy of unaligned input.
+    aligned: Frame,
+    /// Full-pel field of the picture being coded (EPZS temporal
+    /// predictors; anchors swap it into their [`RefPicture`]).
+    mvs_full: MvField,
+    /// Quarter-pel field of the picture being coded (B direct mode).
+    mvs_qpel: MvField,
+    /// B-picture forward full-pel field (separate so anchors' fields
+    /// survive).
+    b_full: MvField,
+    /// Adaptive DC-prediction stores, reset per picture.
+    dc: DcStores,
+}
+
 /// The MPEG-4-ASP-class encoder. See the crate docs for the toolset.
 pub struct Mpeg4Encoder {
     config: EncoderConfig,
@@ -396,6 +418,10 @@ pub struct Mpeg4Encoder {
     mbs_y: usize,
     prev_anchor: Option<RefPicture>,
     last_anchor: Option<RefPicture>,
+    /// Reusable per-picture working storage.
+    scratch: Option<EncScratch>,
+    /// Reusable coding-order buffer handed to the GOP scheduler.
+    sched: Vec<Scheduled>,
     /// Cooperative cancellation, checkpointed before each coded picture.
     cancel: CancelToken,
 }
@@ -420,6 +446,15 @@ impl Mpeg4Encoder {
             mbs_y: ah / 16,
             prev_anchor: None,
             last_anchor: None,
+            scratch: Some(EncScratch {
+                recon: Frame::new(aw, ah),
+                aligned: Frame::new(aw, ah),
+                mvs_full: MvField::new(aw / 16, ah / 16),
+                mvs_qpel: MvField::new(aw / 16, ah / 16),
+                b_full: MvField::new(aw / 16, ah / 16),
+                dc: DcStores::new(aw / 16, ah / 16),
+            }),
+            sched: Vec::new(),
             cancel: CancelToken::never(),
         })
     }
@@ -442,17 +477,9 @@ impl Mpeg4Encoder {
     ///
     /// [`CodecError::FrameMismatch`] on geometry mismatch.
     pub fn encode(&mut self, frame: &Frame) -> Result<Vec<Packet>, CodecError> {
-        if frame.width() != self.config.width || frame.height() != self.config.height {
-            return Err(CodecError::FrameMismatch {
-                expected: (self.config.width, self.config.height),
-                actual: (frame.width(), frame.height()),
-            });
-        }
-        let scheduled = {
-            let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
-            self.gop.push(frame.clone())
-        };
-        self.encode_scheduled(scheduled)
+        let mut out = Vec::new();
+        self.encode_into(frame, &mut out)?;
+        Ok(out)
     }
 
     /// Flushes buffered frames.
@@ -461,20 +488,74 @@ impl Mpeg4Encoder {
     ///
     /// Propagates encoding errors (none in normal operation).
     pub fn flush(&mut self) -> Result<Vec<Packet>, CodecError> {
-        let scheduled = self.gop.finish();
-        self.encode_scheduled(scheduled)
+        let mut out = Vec::new();
+        self.flush_into(&mut out)?;
+        Ok(out)
     }
 
-    fn encode_scheduled(&mut self, scheduled: Vec<Scheduled>) -> Result<Vec<Packet>, CodecError> {
-        scheduled
-            .into_iter()
-            .map(|s| {
+    /// Allocation-free form of [`encode`](Self::encode): appends coded
+    /// packets to `out`. The input frame is copied into a pooled frame
+    /// (recycled after coding), packet payloads come from the global
+    /// [`BufferPool`], and all per-picture working state is reused — at
+    /// steady state a submitted frame performs zero heap allocations.
+    ///
+    /// # Errors
+    ///
+    /// As [`encode`](Self::encode); packets appended before an error
+    /// stay in `out`.
+    pub fn encode_into(&mut self, frame: &Frame, out: &mut Vec<Packet>) -> Result<(), CodecError> {
+        if frame.width() != self.config.width || frame.height() != self.config.height {
+            return Err(CodecError::FrameMismatch {
+                expected: (self.config.width, self.config.height),
+                actual: (frame.width(), frame.height()),
+            });
+        }
+        let pooled = {
+            let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
+            let mut f = FramePool::global().take(frame.width(), frame.height());
+            f.copy_from(frame);
+            f
+        };
+        let mut sched = std::mem::take(&mut self.sched);
+        self.gop.push_into(pooled, &mut sched);
+        let result = self.encode_scheduled(&mut sched, out);
+        self.sched = sched;
+        result
+    }
+
+    /// Allocation-free form of [`flush`](Self::flush): appends the
+    /// remaining coded packets to `out`.
+    ///
+    /// # Errors
+    ///
+    /// As [`flush`](Self::flush).
+    pub fn flush_into(&mut self, out: &mut Vec<Packet>) -> Result<(), CodecError> {
+        let mut sched = std::mem::take(&mut self.sched);
+        self.gop.finish_into(&mut sched);
+        let result = self.encode_scheduled(&mut sched, out);
+        self.sched = sched;
+        result
+    }
+
+    /// Codes every scheduled picture, recycling each input frame to the
+    /// global pool afterwards (also on error/cancellation).
+    fn encode_scheduled(
+        &mut self,
+        sched: &mut Vec<Scheduled>,
+        out: &mut Vec<Packet>,
+    ) -> Result<(), CodecError> {
+        let mut result = Ok(());
+        for s in sched.drain(..) {
+            if result.is_ok() {
                 if self.cancel.is_cancelled() {
-                    return Err(CodecError::Cancelled);
+                    result = Err(CodecError::Cancelled);
+                } else {
+                    out.push(self.encode_picture(&s.frame, s.frame_type, s.display_index));
                 }
-                self.encode_picture(&s.frame, s.frame_type, s.display_index)
-            })
-            .collect()
+            }
+            FramePool::global().put(s.frame);
+        }
+        result
     }
 
     fn encode_picture(
@@ -482,11 +563,38 @@ impl Mpeg4Encoder {
         frame: &Frame,
         frame_type: FrameType,
         display_index: u32,
-    ) -> Result<Packet, CodecError> {
-        let cur = align_frame(frame, self.aw, self.ah);
+    ) -> Packet {
+        let mut scratch = self.scratch.take().expect("encoder scratch in use");
+        let packet = self.encode_picture_inner(frame, frame_type, display_index, &mut scratch);
+        self.scratch = Some(scratch);
+        packet
+    }
+
+    fn encode_picture_inner(
+        &mut self,
+        frame: &Frame,
+        frame_type: FrameType,
+        display_index: u32,
+        scratch: &mut EncScratch,
+    ) -> Packet {
+        let EncScratch {
+            recon,
+            aligned,
+            mvs_full,
+            mvs_qpel,
+            b_full,
+            dc,
+        } = scratch;
+        let cur: &Frame = if frame.width() == self.aw && frame.height() == self.ah {
+            frame
+        } else {
+            let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
+            aligned.replicate_from(frame);
+            aligned
+        };
         let mut w = {
             let _z = hdvb_trace::zone!(hdvb_trace::Stage::EntropyCoding);
-            let mut w = BitWriter::with_capacity(self.aw * self.ah / 4);
+            let mut w = BitWriter::from_vec(BufferPool::global().take(self.aw * self.ah / 4));
             w.put_bits(MAGIC, 16);
             w.put_bits(frame_type.to_bits(), 2);
             w.put_bits(display_index, 32);
@@ -496,39 +604,52 @@ impl Mpeg4Encoder {
             w
         };
 
-        let mut recon = {
-            let _z = hdvb_trace::zone!(hdvb_trace::Stage::Reconstruct);
-            Frame::new(self.aw, self.ah)
-        };
-        let mut mvs_full = MvField::new(self.mbs_x, self.mbs_y);
-        let mut mvs_qpel = MvField::new(self.mbs_x, self.mbs_y);
+        // `recon` is fully overwritten by every picture type; the motion
+        // fields and DC stores are cleared, so the recycled storage is
+        // bit-identical to freshly allocated buffers.
+        mvs_full.clear();
+        mvs_qpel.clear();
+        dc.reset();
         match frame_type {
-            FrameType::I => self.encode_i(&mut w, &cur, &mut recon),
-            FrameType::P => self.encode_p(&mut w, &cur, &mut recon, &mut mvs_full, &mut mvs_qpel),
-            FrameType::B => self.encode_b(&mut w, &cur, &mut recon, display_index),
+            FrameType::I => self.encode_i(&mut w, cur, recon, dc),
+            FrameType::P => self.encode_p(&mut w, cur, recon, mvs_full, mvs_qpel, dc),
+            FrameType::B => {
+                b_full.clear();
+                self.encode_b(&mut w, cur, recon, display_index, b_full, dc);
+            }
         }
 
         if frame_type != FrameType::B {
-            let reference = RefPicture::from_frame(&recon, mvs_full, mvs_qpel, display_index);
+            let recycled = self.prev_anchor.take();
             self.prev_anchor = self.last_anchor.take();
-            self.last_anchor = Some(reference);
+            self.last_anchor = Some(match recycled {
+                Some(mut rp) if rp.matches(self.aw, self.ah) => {
+                    rp.refill_from(recon, mvs_full, mvs_qpel, display_index);
+                    rp
+                }
+                _ => RefPicture::from_frame(
+                    recon,
+                    std::mem::replace(mvs_full, MvField::new(self.mbs_x, self.mbs_y)),
+                    std::mem::replace(mvs_qpel, MvField::new(self.mbs_x, self.mbs_y)),
+                    display_index,
+                ),
+            });
         }
         let data = {
             let _z = hdvb_trace::zone!(hdvb_trace::Stage::EntropyCoding);
             w.finish()
         };
-        Ok(Packet {
+        Packet {
             data,
             frame_type,
             display_index,
-        })
+        }
     }
 
-    fn encode_i(&self, w: &mut BitWriter, cur: &Frame, recon: &mut Frame) {
-        let mut dc = DcStores::new(self.mbs_x, self.mbs_y);
+    fn encode_i(&self, w: &mut BitWriter, cur: &Frame, recon: &mut Frame, dc: &mut DcStores) {
         for mby in 0..self.mbs_y {
             for mbx in 0..self.mbs_x {
-                self.code_intra_mb(w, cur, recon, mbx, mby, &mut dc);
+                self.code_intra_mb(w, cur, recon, mbx, mby, dc);
             }
             w.byte_align();
         }
@@ -607,13 +728,13 @@ impl Mpeg4Encoder {
         recon: &mut Frame,
         mvs_full: &mut MvField,
         qfield: &mut MvField,
+        dc: &mut DcStores,
     ) {
         let reference = self
             .last_anchor
             .as_ref()
             .expect("P picture requires a previous anchor");
         let lambda = u32::from(self.config.qscale).max(1);
-        let mut dc = DcStores::new(self.mbs_x, self.mbs_y);
         for mby in 0..self.mbs_y {
             for mbx in 0..self.mbs_x {
                 // One motion-estimation zone spans the full-pel search,
@@ -689,7 +810,7 @@ impl Mpeg4Encoder {
                 if intra_cost + 2048 < inter_cost {
                     w.put_bit(false);
                     w.put_bits(2, 2); // intra mode
-                    self.code_intra_mb(w, cur, recon, mbx, mby, &mut dc);
+                    self.code_intra_mb(w, cur, recon, mbx, mby, dc);
                     qfield.set(mbx, mby, Mv::ZERO);
                     mvs_full.set(mbx, mby, Mv::ZERO);
                     continue;
@@ -764,7 +885,16 @@ impl Mpeg4Encoder {
         }
     }
 
-    fn encode_b(&self, w: &mut BitWriter, cur: &Frame, recon: &mut Frame, display_index: u32) {
+    #[allow(clippy::too_many_arguments)]
+    fn encode_b(
+        &self,
+        w: &mut BitWriter,
+        cur: &Frame,
+        recon: &mut Frame,
+        display_index: u32,
+        cur_full: &mut MvField,
+        dc: &mut DcStores,
+    ) {
         let fwd = self
             .prev_anchor
             .as_ref()
@@ -774,8 +904,6 @@ impl Mpeg4Encoder {
             .as_ref()
             .expect("B picture requires two anchors");
         let lambda = u32::from(self.config.qscale).max(1);
-        let mut dc = DcStores::new(self.mbs_x, self.mbs_y);
-        let mut cur_full = MvField::new(self.mbs_x, self.mbs_y);
         for mby in 0..self.mbs_y {
             let mut row = BRowState::new();
             for mbx in 0..self.mbs_x {
@@ -789,7 +917,7 @@ impl Mpeg4Encoder {
                     w: 16,
                     h: 16,
                 };
-                let preds = Predictors::gather(&cur_full, &bwd.mvs_fullpel, mbx, mby);
+                let preds = Predictors::gather(cur_full, &bwd.mvs_fullpel, mbx, mby);
                 let pf = SearchParams::new(self.config.search_range, lambda)
                     .with_pred(Mv::new(row.mv_pred.x >> 2, row.mv_pred.y >> 2));
                 let f = epzs_search(
@@ -861,7 +989,7 @@ impl Mpeg4Encoder {
                 if intra_cost + 2048 < best_cost {
                     w.put_bit(false);
                     w.put_bits(3, 2);
-                    self.code_intra_mb(w, cur, recon, mbx, mby, &mut dc);
+                    self.code_intra_mb(w, cur, recon, mbx, mby, dc);
                     row.reset_mv();
                     continue;
                 }

@@ -52,52 +52,70 @@ impl GopScheduler {
 
     /// Accepts the next display-order frame; returns the frames that can
     /// now be coded, in coding order.
+    #[cfg(test)]
     pub(crate) fn push(&mut self, frame: Frame) -> Vec<Scheduled> {
-        let idx = self.next_display;
-        self.next_display += 1;
-        // The very first frame is always an immediate anchor.
-        if idx == 0 {
-            return vec![Scheduled {
-                frame,
-                frame_type: self.anchor_type(),
-                display_index: 0,
-            }];
-        }
-        self.pending.push((frame, idx));
-        if self.pending.len() == self.b_frames + 1 {
-            self.release(true)
-        } else {
-            Vec::new()
-        }
+        let mut out = Vec::new();
+        self.push_into(frame, &mut out);
+        out
     }
 
     /// Flushes remaining buffered frames (end of stream): the last
     /// pending frame becomes a P anchor and the rest are coded as B.
+    #[cfg(test)]
     pub(crate) fn finish(&mut self) -> Vec<Scheduled> {
-        if self.pending.is_empty() {
-            Vec::new()
-        } else {
-            self.release(false)
+        let mut out = Vec::new();
+        self.finish_into(&mut out);
+        out
+    }
+
+    /// Allocation-free form of [`push`](Self::push): appends the frames
+    /// that can now be coded (coding order) to `out`. Once `out` and the
+    /// internal pending buffer have grown to the GOP size, submitting a
+    /// frame performs no heap allocation.
+    pub(crate) fn push_into(&mut self, frame: Frame, out: &mut Vec<Scheduled>) {
+        let idx = self.next_display;
+        self.next_display += 1;
+        // The very first frame is always an immediate anchor.
+        if idx == 0 {
+            out.push(Scheduled {
+                frame,
+                frame_type: self.anchor_type(),
+                display_index: 0,
+            });
+            return;
+        }
+        self.pending.push((frame, idx));
+        if self.pending.len() == self.b_frames + 1 {
+            self.release_into(out);
         }
     }
 
-    fn release(&mut self, _full: bool) -> Vec<Scheduled> {
-        let mut group: Vec<(Frame, u32)> = self.pending.drain(..).collect();
-        let (anchor, anchor_idx) = group.pop().expect("release called with pending frames");
-        let mut out = Vec::with_capacity(group.len() + 1);
+    /// Allocation-free form of [`finish`](Self::finish).
+    pub(crate) fn finish_into(&mut self, out: &mut Vec<Scheduled>) {
+        if !self.pending.is_empty() {
+            self.release_into(out);
+        }
+    }
+
+    fn release_into(&mut self, out: &mut Vec<Scheduled>) {
+        // The newest pending frame becomes the anchor; the older ones
+        // are coded as B pictures after it, in display order.
+        let (anchor, anchor_idx) = self
+            .pending
+            .pop()
+            .expect("release called with pending frames");
         out.push(Scheduled {
             frame: anchor,
             frame_type: self.anchor_type(),
             display_index: anchor_idx,
         });
-        for (frame, idx) in group {
+        for (frame, idx) in self.pending.drain(..) {
             out.push(Scheduled {
                 frame,
                 frame_type: FrameType::B,
                 display_index: idx,
             });
         }
-        out
     }
 }
 

@@ -15,7 +15,7 @@ use crate::queue::OverflowPolicy;
 use crate::report::{ServeBenchReport, SessionSummary};
 use crate::server::{Server, ServerConfig, SessionHandle};
 use hdvb_core::{encode_sequence, splitmix64, CodecId, CodecSession, CodingOptions, SessionInput};
-use hdvb_frame::{Frame, Resolution};
+use hdvb_frame::{BufferPool, Frame, FramePool, Resolution};
 use hdvb_seq::{Sequence, SequenceId};
 use hdvb_trace::LatencyHistogram;
 use std::time::{Duration, Instant};
@@ -126,7 +126,7 @@ pub fn build_schedule(spec: &LoadSpec, items_per_session: &[u32]) -> Vec<Arrival
 }
 
 /// Per-session input material, prepared before the clock starts so the
-/// generator thread only clones and submits.
+/// generator thread only copies into pooled buffers and submits.
 enum SessionFeed {
     Frames(std::sync::Arc<Vec<Frame>>),
     Packets(std::sync::Arc<Vec<Vec<u8>>>),
@@ -140,10 +140,23 @@ impl SessionFeed {
         }
     }
 
+    /// Materialises input `i` into a pool-backed buffer. The session
+    /// recycles it after consumption, so in steady state the submit
+    /// path allocates nothing.
     fn input(&self, i: u32) -> SessionInput {
         match self {
-            SessionFeed::Frames(f) => SessionInput::Frame(f[i as usize].clone()),
-            SessionFeed::Packets(p) => SessionInput::Packet(p[i as usize].clone()),
+            SessionFeed::Frames(f) => {
+                let src = &f[i as usize];
+                let mut frame = FramePool::global().take(src.width(), src.height());
+                frame.copy_from(src);
+                SessionInput::Frame(frame)
+            }
+            SessionFeed::Packets(p) => {
+                let src = &p[i as usize];
+                let mut data = BufferPool::global().take(src.len());
+                data.extend_from_slice(src);
+                SessionInput::Packet(data)
+            }
         }
     }
 }

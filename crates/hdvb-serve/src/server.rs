@@ -17,7 +17,7 @@
 
 use crate::metrics::SessionMetrics;
 use crate::queue::{BoundedQueue, OverflowPolicy, QueueStats};
-use hdvb_core::{BenchError, CodecSession, Packet, SessionInput};
+use hdvb_core::{BenchError, CodecSession, Packet, SessionInput, SessionOutput};
 use hdvb_frame::Frame;
 use hdvb_par::{CancelToken, ThreadPool};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -87,6 +87,11 @@ enum Work {
 struct SessionState {
     session: CodecSession,
     keep_output: bool,
+    /// Per-step output staging, reused across every push so a
+    /// steady-state pump allocates nothing: outputs land here, are
+    /// either moved to `packets`/`frames` (`keep_output`) or recycled
+    /// straight back to the global pools.
+    scratch: SessionOutput,
     packets: Vec<Packet>,
     frames: Vec<Frame>,
     metrics: SessionMetrics,
@@ -158,6 +163,7 @@ impl Server {
             state: Mutex::new(SessionState {
                 session,
                 keep_output,
+                scratch: SessionOutput::new(),
                 packets: Vec::new(),
                 frames: Vec::new(),
                 metrics: SessionMetrics::new(),
@@ -347,34 +353,46 @@ fn process(shared: &Arc<SessionShared>, server: &Arc<ServerInner>, work: Work) {
         st.discarded += 1;
         return;
     }
+    // Split borrows: the session writes into the state's own scratch.
+    let SessionState {
+        session, scratch, ..
+    } = &mut *st;
     match work {
-        Work::Input(input, arrival) => match st.session.push(input) {
-            Ok(out) => {
+        Work::Input(input, arrival) => match session.push_into(input, scratch) {
+            Ok(()) => {
                 let now = Instant::now();
                 st.metrics.record(now - arrival, now);
                 st.completed += 1;
-                if st.keep_output {
-                    st.packets.extend(out.packets);
-                    st.frames.extend(out.frames);
-                }
+                keep_or_recycle(&mut st);
             }
             Err(e) => {
+                st.scratch.recycle();
                 st.error = Some(e);
                 retire(shared, server, &mut st);
             }
         },
         Work::Finish => {
-            match st.session.finish() {
-                Ok(out) => {
-                    if st.keep_output {
-                        st.packets.extend(out.packets);
-                        st.frames.extend(out.frames);
-                    }
+            match session.finish_into(scratch) {
+                Ok(()) => keep_or_recycle(&mut st),
+                Err(e) => {
+                    st.scratch.recycle();
+                    st.error = Some(e);
                 }
-                Err(e) => st.error = Some(e),
             }
             retire(shared, server, &mut st);
         }
+    }
+}
+
+/// Moves the step's outputs to the retained result (`keep_output`) or
+/// returns their buffers to the global pools, leaving the scratch empty
+/// either way.
+fn keep_or_recycle(st: &mut SessionState) {
+    if st.keep_output {
+        st.packets.append(&mut st.scratch.packets);
+        st.frames.append(&mut st.scratch.frames);
+    } else {
+        st.scratch.recycle();
     }
 }
 

@@ -272,3 +272,58 @@ fn server_shutdown_leaks_no_worker_threads() {
     }
     assert_eq!(thread_count(), baseline, "worker threads leaked");
 }
+
+#[test]
+fn serve_traffic_recycles_through_the_global_pools() {
+    // A fleet of encode sessions without keep_output: every output
+    // packet is recycled by the pump, every pooled input frame is
+    // recycled by the session, so pool hits and returns must both grow
+    // by far more than the fleet's first-GOP warm-up. The counters are
+    // process-global and monotone, so parallel tests can only add to
+    // them — the deltas below are a lower bound on this test's own
+    // traffic.
+    let seq = small_seq();
+    let options = CodingOptions::default();
+    let frames = 24u32;
+    let before_frames = hdvb_frame::FramePool::global().stats();
+    let before_bufs = hdvb_frame::BufferPool::global().stats();
+    let server = Server::new(ServerConfig {
+        threads: 2,
+        ..ServerConfig::default()
+    });
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let s = CodecSession::encoder(CodecId::Mpeg2, seq.resolution(), &options).unwrap();
+            server.open(s, false)
+        })
+        .collect();
+    for i in 0..frames {
+        for h in &handles {
+            let src = seq.frame(i);
+            let mut f = hdvb_frame::FramePool::global().take(src.width(), src.height());
+            f.copy_from(&src);
+            h.submit(SessionInput::Frame(f)).unwrap();
+        }
+    }
+    for h in &handles {
+        h.finish();
+        let r = h.wait();
+        assert!(r.error.is_none(), "{:?}", r.error);
+        assert_eq!(r.completed, u64::from(frames));
+    }
+    server.drain();
+    let after_frames = hdvb_frame::FramePool::global().stats();
+    let after_bufs = hdvb_frame::BufferPool::global().stats();
+    assert!(
+        after_frames.hits > before_frames.hits,
+        "frame pool never hit: {before_frames:?} -> {after_frames:?}"
+    );
+    assert!(
+        after_frames.returns > before_frames.returns,
+        "frames never recycled: {before_frames:?} -> {after_frames:?}"
+    );
+    assert!(
+        after_bufs.returns > before_bufs.returns,
+        "bitstream buffers never recycled: {before_bufs:?} -> {after_bufs:?}"
+    );
+}

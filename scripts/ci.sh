@@ -36,6 +36,13 @@ grep -q "stage coverage of encode_frame" "$tmpdir/summary.txt" || {
 echo "==> disabled-path overhead guard (probe must stay one atomic load)"
 cargo test -q -p hdvb-trace disabled_probe_is_cheap
 
+echo "==> allocation-regression gate (steady-state sessions: 0 heap allocs/frame)"
+# Every codec x {encode, decode, transcode} through the pooled session
+# API: after the warm-up window, a single step that allocates fails the
+# build (see DESIGN.md section 14). --nocapture prints the per-stage
+# table.
+cargo test --release -q -p hdvb-bench --test alloc_gate -- --nocapture
+
 echo "==> deterministic fuzz smoke (replays tests/corpus, then 20s of mutation)"
 ./target/release/hdvb fuzz --seconds 20 --seed 7 --corpus tests/corpus
 
