@@ -322,6 +322,95 @@ impl Parsed {
         }
     }
 
+    /// `--bind <addr>`: `serve` listens for TCP sessions here instead
+    /// of running one local session.
+    pub fn bind(&self) -> Option<&str> {
+        self.get("bind")
+    }
+
+    /// `--addr <host:port>`: the server a `connect` client dials.
+    pub fn addr(&self) -> Result<&str, String> {
+        self.get("addr").ok_or_else(|| "missing --addr".to_string())
+    }
+
+    /// `--priority <live|batch>`: scheduling class for `connect`.
+    pub fn priority(&self) -> Result<hdvb_core::Priority, String> {
+        match self.get("priority") {
+            None => Ok(hdvb_core::Priority::Batch),
+            Some(v) => hdvb_core::Priority::from_name(v)
+                .ok_or_else(|| format!("bad --priority {v:?} (live|batch)")),
+        }
+    }
+
+    /// `--slo-p99 <ms>`: enables SLO admission control on a TCP serve.
+    pub fn slo_p99(&self) -> Result<Option<std::time::Duration>, String> {
+        match self.get("slo-p99") {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<f64>()
+                .ok()
+                .filter(|&ms| ms > 0.0 && ms <= 600_000.0)
+                .map(|ms| Some(std::time::Duration::from_secs_f64(ms / 1e3)))
+                .ok_or_else(|| format!("bad --slo-p99 {v:?} (milliseconds)")),
+        }
+    }
+
+    /// `--slo-min-samples <n>`: rolling-window warm-up grace.
+    pub fn slo_min_samples(&self) -> Result<u64, String> {
+        match self.get("slo-min-samples") {
+            None => Ok(50),
+            Some(v) => v
+                .parse::<u64>()
+                .map_err(|_| format!("bad --slo-min-samples {v:?}")),
+        }
+    }
+
+    /// `--batch-headroom <f>`: batch admission threshold as a fraction
+    /// of the SLO, in `(0, 1]`.
+    pub fn batch_headroom(&self) -> Result<f64, String> {
+        match self.get("batch-headroom") {
+            None => Ok(0.7),
+            Some(v) => v
+                .parse::<f64>()
+                .ok()
+                .filter(|&f| f > 0.0 && f <= 1.0)
+                .ok_or_else(|| format!("bad --batch-headroom {v:?} (0 < f <= 1)")),
+        }
+    }
+
+    /// `--rate <n>`: per-connection token-bucket shaping, inputs/s.
+    pub fn rate(&self) -> Result<Option<u32>, String> {
+        match self.get("rate") {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<u32>()
+                .ok()
+                .filter(|&n| (1..=1_000_000).contains(&n))
+                .map(Some)
+                .ok_or_else(|| format!("bad --rate {v:?} (1..=1000000)")),
+        }
+    }
+
+    /// `--sessions <a,b,c>`: the serve-load sweep axis (comma-separated
+    /// session counts).
+    pub fn sessions_list(&self) -> Result<Vec<u32>, String> {
+        match self.get("sessions") {
+            None => Ok(vec![1, 2, 4, 8]),
+            Some(v) => v
+                .split(',')
+                .map(|t| {
+                    t.trim()
+                        .parse::<u32>()
+                        .ok()
+                        .filter(|&n| (1..=4096).contains(&n))
+                        .ok_or_else(|| {
+                            format!("bad --sessions {v:?} (comma-separated, each 1..=4096)")
+                        })
+                })
+                .collect(),
+        }
+    }
+
     pub fn part(&self) -> Result<&str, String> {
         let p = self.get("part").unwrap_or("all");
         if ["a", "b", "c", "d", "all"].contains(&p) {

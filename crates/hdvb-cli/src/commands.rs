@@ -720,6 +720,9 @@ pub fn serve(p: &Parsed) -> CmdResult {
     use hdvb_core::{CodecSession, SessionInput};
     use hdvb_serve::{Server, ServerConfig};
 
+    if let Some(bind) = p.bind() {
+        return serve_tcp(p, bind);
+    }
     let _trace = TraceSession::start(p);
     let options = options_from(p)?;
     let out_path = p.output().ok_or("missing --output for serve")?;
@@ -727,6 +730,7 @@ pub fn serve(p: &Parsed) -> CmdResult {
         threads: p.threads()?,
         queue_capacity: p.queue_cap()?,
         policy: p.queue_policy()?,
+        ..ServerConfig::default()
     });
 
     let (header, result, submitted) = if let Some(in_path) = p.input() {
@@ -800,6 +804,278 @@ pub fn serve(p: &Parsed) -> CmdResult {
         fmt_latency(result.metrics.latency.percentile(0.50)),
         fmt_latency(result.metrics.latency.percentile(0.99)),
     );
+    Ok(())
+}
+
+/// `serve --bind`: the TCP front end. Listens for wire-protocol
+/// sessions for `--seconds`, then prints the fleet summary and shuts
+/// down. `--slo-p99` arms admission control; `--rate` arms
+/// per-connection token-bucket shaping.
+fn serve_tcp(p: &Parsed, bind: &str) -> CmdResult {
+    use hdvb_net::{NetConfig, NetServer, SloPolicy};
+    use hdvb_serve::{PoolsReport, ServerConfig};
+    use std::io::Write as _;
+
+    let slo = p.slo_p99()?.map(|p99| {
+        Ok::<_, String>(SloPolicy {
+            p99,
+            min_samples: p.slo_min_samples()?,
+            batch_headroom: p.batch_headroom()?,
+        })
+    });
+    let slo = match slo {
+        Some(r) => Some(r?),
+        None => None,
+    };
+    let pools_before = PoolsReport::snapshot();
+    let server = NetServer::bind(
+        bind,
+        NetConfig {
+            server: ServerConfig {
+                threads: p.threads()?,
+                queue_capacity: p.queue_cap()?,
+                policy: p.queue_policy()?,
+                ..ServerConfig::default()
+            },
+            slo,
+            rate_limit: p.rate()?,
+            simd: p.simd()?,
+        },
+    )
+    .map_err(|e| format!("cannot bind {bind}: {e}"))?;
+    println!("hdvb-net: listening on {}", server.local_addr());
+    std::io::stdout().flush().ok();
+    std::thread::sleep(std::time::Duration::from_secs(p.seconds()?));
+    let stats = server.stats();
+    server.shutdown();
+    let pools = PoolsReport::snapshot().delta_since(&pools_before);
+    println!(
+        "hdvb-net: {} connections, {} disconnects, {} wire errors",
+        stats.connections, stats.disconnects, stats.wire_errors,
+    );
+    for pr in hdvb_core::Priority::ALL {
+        let i = pr.index();
+        println!(
+            "  {:<5} admitted {} rejected {} completed {} p50 {} p99 {}",
+            pr.name(),
+            stats.admitted[i],
+            stats.rejected[i],
+            stats.completed[i],
+            fmt_latency(stats.latency[i].percentile(0.50)),
+            fmt_latency(stats.latency[i].percentile(0.99)),
+        );
+    }
+    println!(
+        "  pools: frame hit {:.0}% ({}/{} takes), buffer hit {:.0}% ({}/{} takes)",
+        pools.frame.hit_rate() * 100.0,
+        pools.frame.hits,
+        pools.frame.takes,
+        pools.buffer.hit_rate() * 100.0,
+        pools.buffer.hits,
+        pools.buffer.takes,
+    );
+    Ok(())
+}
+
+/// `connect`: a TCP client for a `serve --bind` server. Without
+/// `--input`, encodes a synthetic sequence remotely; with
+/// `--input <in.hvb>`, transcodes the stream to `--codec`. The output
+/// container is byte-identical to the same session served in-process.
+pub fn connect(p: &Parsed) -> CmdResult {
+    use hdvb_core::{SessionInput, SessionSpec};
+    use hdvb_net::NetClient;
+
+    let addr = p.addr()?;
+    let priority = p.priority()?;
+    let out_path = p.output();
+    let mut client =
+        NetClient::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+
+    let (header, result, submitted) = if let Some(in_path) = p.input() {
+        let target = p.codec()?;
+        let file = File::open(in_path).map_err(|e| format!("cannot open {in_path}: {e}"))?;
+        let (header, packets) = read_stream(BufReader::new(file)).map_err(|e| e.to_string())?;
+        let mut spec = SessionSpec::transcode(header.codec, target, header.format.resolution)
+            .with_qscale(p.qscale()?)
+            .with_b_frames(p.b_frames()?);
+        if p.resilient() {
+            spec = spec.with_resilience();
+        }
+        client
+            .open(spec, priority)
+            .map_err(|e| format!("open refused: {e}"))?;
+        let submitted = packets.len() as u64;
+        for packet in packets {
+            client
+                .send_packet(packet)
+                .map_err(|e| format!("send failed: {e}"))?;
+        }
+        let result = client
+            .finish()
+            .map_err(|e| format!("session failed: {e}"))?;
+        let header = StreamHeader {
+            codec: target,
+            format: header.format,
+        };
+        (header, result, submitted)
+    } else {
+        let codec = p.codec()?;
+        let seq = Sequence::new(p.sequence()?, p.resolution()?);
+        let frames = p.frames()?;
+        let spec = SessionSpec::encode(codec, seq.resolution())
+            .with_qscale(p.qscale()?)
+            .with_b_frames(p.b_frames()?);
+        client
+            .open(spec, priority)
+            .map_err(|e| format!("open refused: {e}"))?;
+        for i in 0..frames {
+            client
+                .send(SessionInput::Frame(seq.frame(i)))
+                .map_err(|e| format!("send failed: {e}"))?;
+        }
+        let result = client
+            .finish()
+            .map_err(|e| format!("session failed: {e}"))?;
+        let header = StreamHeader {
+            codec,
+            format: seq.format(),
+        };
+        (header, result, u64::from(frames))
+    };
+
+    if let Some(out_path) = out_path {
+        let file = File::create(out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?;
+        write_stream(BufWriter::new(file), &header, &result.packets).map_err(|e| e.to_string())?;
+    }
+    println!(
+        "{}: {} served {} of {submitted} inputs, {} packets back, p50 {} p99 {}{}",
+        header.codec,
+        priority.name(),
+        result.stats.completed,
+        result.packets.len(),
+        fmt_latency(result.stats.p50_ns),
+        fmt_latency(result.stats.p99_ns),
+        out_path.map(|o| format!(" -> {o}")).unwrap_or_default(),
+    );
+    Ok(())
+}
+
+/// `serve-load`: sweeps TCP client fleets against loopback servers with
+/// SLO admission on, printing the latency-vs-load saturation table and
+/// writing `BENCH_loadcurve.json`.
+pub fn serve_load(p: &Parsed) -> CmdResult {
+    use hdvb_net::{loadcurve_json, loadcurve_markdown, run_load_curve, LoadCurveSpec, SloPolicy};
+
+    let defaults = LoadCurveSpec::default();
+    let slo = SloPolicy {
+        p99: p.slo_p99()?.unwrap_or(defaults.slo.p99),
+        min_samples: p.slo_min_samples()?,
+        batch_headroom: p.batch_headroom()?,
+    };
+    let spec = LoadCurveSpec {
+        codec: p.codec_opt()?.unwrap_or(CodecId::Mpeg2),
+        mode: p.serve_mode()?,
+        session_counts: p.sessions_list()?,
+        fps: p.fps()?,
+        duration: p.duration()?,
+        resolution: p
+            .resolution_opt()?
+            .unwrap_or_else(|| Resolution::new(288, 160)),
+        qscale: p.qscale()?,
+        b_frames: p.b_frames()?,
+        queue_capacity: p.queue_cap()?,
+        threads: p.threads()?,
+        slo,
+        rate_limit: p.rate()?,
+        seed: p.seed()?,
+    };
+    eprintln!(
+        "serve-load: {} {} sweeping sessions {:?} @ {} fps for {:.1}s/cell, SLO p99 {:.0}ms",
+        spec.codec,
+        spec.mode.name(),
+        spec.session_counts,
+        spec.fps,
+        spec.duration.as_secs_f64(),
+        spec.slo.p99.as_secs_f64() * 1e3,
+    );
+    let report = run_load_curve(&spec)?;
+    println!();
+    print!("{}", loadcurve_markdown(&report));
+    write_bench_file("BENCH_loadcurve.json", &loadcurve_json(&report))?;
+    Ok(())
+}
+
+/// `pools`: a pool-efficiency diagnostic. Serves the same small encode
+/// workload twice against the global frame/bitstream pools and reports
+/// each pass's take/hit/return counters — the cold pass misses while
+/// the pools fill, the warm pass should run near 100% hits. A warm hit
+/// rate that drifts down is a buffer leaking out of the recycle loop.
+pub fn pools(p: &Parsed) -> CmdResult {
+    use hdvb_core::{CodecSession, SessionInput};
+    use hdvb_serve::{json_pools, PoolsReport, Server, ServerConfig};
+
+    let codec = p.codec_opt()?.unwrap_or(CodecId::Mpeg2);
+    let resolution = p
+        .resolution_opt()?
+        .unwrap_or_else(|| Resolution::new(288, 160));
+    let options = options_from(p)?;
+    let seq = Sequence::new(SequenceId::BlueSky, resolution);
+    let frames = 24u32;
+
+    let mut passes = Vec::new();
+    for _pass in 0..2 {
+        let before = PoolsReport::snapshot();
+        let server = Server::new(ServerConfig {
+            threads: p.threads()?,
+            ..ServerConfig::default()
+        });
+        let session =
+            CodecSession::encoder(codec, resolution, &options).map_err(|e| e.to_string())?;
+        let handle = server.open(session, false);
+        for i in 0..frames {
+            let mut frame =
+                hdvb_frame::FramePool::global().take(resolution.width(), resolution.height());
+            frame.copy_from(&seq.frame(i));
+            if handle.submit(SessionInput::Frame(frame)).is_err() {
+                break;
+            }
+        }
+        handle.finish();
+        let result = handle.wait();
+        server.drain();
+        if let Some(e) = &result.error {
+            return Err(format!("pool-check session failed: {e}"));
+        }
+        passes.push(PoolsReport::snapshot().delta_since(&before));
+    }
+
+    println!(
+        "pool efficiency — {codec} encode, {} frames of {}x{} per pass",
+        frames,
+        resolution.width(),
+        resolution.height(),
+    );
+    println!("| pass | frame takes | frame hits | frame hit% | buffer takes | buffer hits | buffer hit% |");
+    println!("|------|------------:|-----------:|-----------:|-------------:|------------:|------------:|");
+    for (i, d) in passes.iter().enumerate() {
+        println!(
+            "| {} | {} | {} | {:.0} | {} | {} | {:.0} |",
+            if i == 0 { "cold" } else { "warm" },
+            d.frame.takes,
+            d.frame.hits,
+            d.frame.hit_rate() * 100.0,
+            d.buffer.takes,
+            d.buffer.hits,
+            d.buffer.hit_rate() * 100.0,
+        );
+    }
+    if p.json() {
+        println!(
+            "{{\"schema\":\"hdvb-pools/v1\",\"cold\":{},\"warm\":{}}}",
+            json_pools(&passes[0]),
+            json_pools(&passes[1]),
+        );
+    }
     Ok(())
 }
 

@@ -29,7 +29,12 @@ COMMANDS:
     profile                         traced encode+decode with per-stage attribution
     fuzz                            structure-aware differential fuzzing of the decoders
     serve                           run one streaming encode/transcode session
+                                    (--bind <addr> serves sessions over TCP instead)
+    connect                         TCP client for a serve --bind server
     serve-bench                     open-loop serving load test with latency SLO report
+    serve-load                      TCP latency-vs-load sweep with SLO admission
+                                    (writes BENCH_loadcurve.json)
+    pools                           frame/bitstream pool efficiency diagnostic
 
 COMMON OPTIONS:
     --codec <mpeg2|mpeg4|h264>      codec under test
@@ -84,11 +89,27 @@ COMMON OPTIONS:
                                     (serve-bench --seed also seeds arrival jitter;
                                     same seed, same admission order; serve-bench
                                     --resolution defaults to 288x160)
+    --bind <addr>                   serve: listen for TCP wire-protocol sessions on
+                                    this address (e.g. 127.0.0.1:4800) for --seconds,
+                                    then print fleet stats and exit
+    --addr <host:port>              connect: the serve --bind server to dial
+    --priority <live|batch>         connect: scheduling class        [default: batch]
+    --slo-p99 <ms>                  serve --bind / serve-load: reject OPENs when the
+                                    fleet rolling p99 exceeds this SLO
+    --slo-min-samples <n>           admission warm-up grace           [default: 50]
+    --batch-headroom <f>            batch admission threshold as a fraction of the
+                                    SLO; batch sheds first            [default: 0.7]
+    --rate <n>                      serve --bind / serve-load: per-connection token
+                                    bucket, inputs/second (burst = one second)
+                                    (serve-load --sessions takes a comma list,
+                                    e.g. 1,2,4,8 — the sweep axis)
 
 ENVIRONMENT:
     HDVB_SIMD                       force a kernel tier (scalar|sse2|avx2|auto)
     HDVB_FAULTS                     deterministic fault injection for sweeps, e.g.
                                     \"panic@2x1,stall@4:2000x1,seed=7\" (see DESIGN.md)
+    HDVB_NET_DEBUG                  serve --bind / serve-load: log every admission
+                                    decision (fleet p99 vs class threshold) to stderr
 
 EXAMPLES:
     hdvb encode --codec h264 --sequence blue_sky --resolution 720p25 -o out.hvb
@@ -105,6 +126,11 @@ EXAMPLES:
     hdvb serve -i out.hvb --codec mpeg2 --resilient -o transcoded.hvb
     hdvb serve-bench --sessions 64 --fps 30 --duration 5
     hdvb serve-bench --codec h264 --queue-policy drop-oldest --seed 7
+    hdvb serve --bind 127.0.0.1:4800 --seconds 30 --slo-p99 250 &
+    hdvb connect --addr 127.0.0.1:4800 --codec mpeg2 --sequence blue_sky \\
+         --frames 24 --priority live -o out.hvb
+    hdvb serve-load --sessions 1,2,4,8 --fps 30 --duration 2 --slo-p99 50
+    hdvb pools --codec h264
 ";
 
 fn main() -> ExitCode {
@@ -138,7 +164,10 @@ fn main() -> ExitCode {
         "profile" => commands::profile(&parsed),
         "fuzz" => commands::fuzz(&parsed),
         "serve" => commands::serve(&parsed),
+        "connect" => commands::connect(&parsed),
         "serve-bench" => commands::serve_bench(&parsed),
+        "serve-load" => commands::serve_load(&parsed),
+        "pools" => commands::pools(&parsed),
         other => {
             eprintln!("error: unknown command {other:?}\n");
             eprint!("{USAGE}");

@@ -34,6 +34,7 @@ mod parallel;
 mod report;
 mod runner;
 mod session;
+mod spec;
 mod stream;
 mod sweep;
 
@@ -61,5 +62,6 @@ pub use runner::{
     ResilientDecode, Throughput,
 };
 pub use session::{CodecSession, SessionInput, SessionOutput};
+pub use spec::{Priority, SessionKind, SessionSpec};
 pub use stream::{read_stream, write_stream, StreamHeader};
 pub use sweep::{CellOutcome, CellReport, CellTimeout, CellValue, FtSweepReport, SweepPolicy};

@@ -56,6 +56,31 @@ pub struct PoolStats {
     pub dropped: u64,
 }
 
+impl PoolStats {
+    /// The traffic between an `earlier` snapshot and this one — how a
+    /// benchmark isolates its own pool usage from whatever warmed the
+    /// global pools before it started.
+    pub fn delta_since(&self, earlier: &PoolStats) -> PoolStats {
+        PoolStats {
+            takes: self.takes.saturating_sub(earlier.takes),
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            returns: self.returns.saturating_sub(earlier.returns),
+            dropped: self.dropped.saturating_sub(earlier.dropped),
+        }
+    }
+
+    /// Fraction of `take` calls served without touching the allocator
+    /// (1.0 when there was no traffic — nothing missed).
+    pub fn hit_rate(&self) -> f64 {
+        if self.takes == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.takes as f64
+        }
+    }
+}
+
 #[derive(Default)]
 struct Counters {
     takes: AtomicU64,

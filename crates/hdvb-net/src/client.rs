@@ -1,0 +1,252 @@
+//! The blocking TCP client.
+//!
+//! Outputs stream back while inputs are still being sent, so the
+//! client spawns a reader thread at [`NetClient::open`] — without it a
+//! server blocked writing outputs into a full TCP buffer would
+//! deadlock against a client blocked writing inputs into its own.
+//! [`NetClient::finish`] sends FLUSH and joins the reader, which runs
+//! until DONE or ERROR.
+
+use crate::wire::{self, DoneStats, ErrorCode, Header, Msg, WireError, HEADER_LEN};
+use hdvb_core::{Packet, Priority, SessionInput, SessionSpec};
+use hdvb_frame::Frame;
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::thread::JoinHandle;
+
+/// Anything that can go wrong on the client side.
+#[derive(Debug)]
+pub enum NetError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The peer sent bytes that don't decode.
+    Wire(WireError),
+    /// The server sent an ERROR message (rejection, codec failure, …).
+    Remote {
+        /// The wire error code.
+        code: ErrorCode,
+        /// Human-readable detail from the server.
+        detail: String,
+    },
+    /// The peer sent a well-formed message we didn't expect here.
+    Protocol(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "i/o: {e}"),
+            NetError::Wire(e) => write!(f, "wire: {e}"),
+            NetError::Remote { code, detail } => {
+                write!(f, "server error ({}): {detail}", code.name())
+            }
+            NetError::Protocol(d) => write!(f, "protocol: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        NetError::Wire(e)
+    }
+}
+
+/// What a finished session produced.
+#[derive(Debug, Default)]
+pub struct ClientResult {
+    /// Streamed coded packets, in arrival order.
+    pub packets: Vec<Packet>,
+    /// Streamed decoded frames, in arrival order.
+    pub frames: Vec<Frame>,
+    /// The server's end-of-session accounting.
+    pub stats: DoneStats,
+}
+
+impl ClientResult {
+    /// Returns every received frame and packet buffer to the global
+    /// pools. Call this when the outputs have been consumed (or were
+    /// only wanted for their stats) so a long-lived client recirculates
+    /// its receive buffers instead of growing the heap.
+    pub fn recycle(mut self) {
+        for p in self.packets.drain(..) {
+            hdvb_frame::BufferPool::global().put(p.data);
+        }
+        for f in self.frames.drain(..) {
+            hdvb_frame::FramePool::global().put(f);
+        }
+    }
+}
+
+struct Reader {
+    handle: JoinHandle<Result<ClientResult, NetError>>,
+}
+
+/// One connection = one session against a [`NetServer`](crate::NetServer).
+pub struct NetClient {
+    stream: TcpStream,
+    seq: u32,
+    reader: Option<Reader>,
+    buf: Vec<u8>,
+}
+
+fn read_one(stream: &mut TcpStream) -> Result<Msg, NetError> {
+    let mut header = [0u8; HEADER_LEN];
+    stream.read_exact(&mut header)?;
+    let Header { msg_type, len, .. } = wire::parse_header(&header)?;
+    let mut payload = vec![0u8; len as usize];
+    stream.read_exact(&mut payload)?;
+    Ok(wire::decode_payload(msg_type, &payload)?)
+}
+
+impl NetClient {
+    /// Connects and completes the HELLO exchange.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure, or a malformed/unexpected greeting.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<NetClient, NetError> {
+        let mut stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let mut client = NetClient {
+            stream: stream.try_clone()?,
+            seq: 0,
+            reader: None,
+            buf: Vec::new(),
+        };
+        client.send_msg(&Msg::Hello { server: false })?;
+        match read_one(&mut stream)? {
+            Msg::Hello { server: true } => Ok(client),
+            Msg::Error { code, detail } => Err(NetError::Remote { code, detail }),
+            other => Err(NetError::Protocol(format!(
+                "expected server HELLO, got {:?}",
+                other.msg_type()
+            ))),
+        }
+    }
+
+    fn send_msg(&mut self, msg: &Msg) -> Result<(), NetError> {
+        self.buf.clear();
+        wire::encode(msg, self.seq, &mut self.buf);
+        self.seq = self.seq.wrapping_add(1);
+        self.stream.write_all(&self.buf)?;
+        Ok(())
+    }
+
+    /// Opens a session: sends OPEN, waits for OPEN_OK (or the server's
+    /// rejection), then starts the output reader thread.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Remote`] with [`ErrorCode::Rejected`] when admission
+    /// control refuses the class; any I/O or protocol failure.
+    pub fn open(&mut self, spec: SessionSpec, priority: Priority) -> Result<u32, NetError> {
+        self.send_msg(&Msg::Open { spec, priority })?;
+        let mut read_half = self.stream.try_clone()?;
+        let session_id = match read_one(&mut read_half)? {
+            Msg::OpenOk { session_id } => session_id,
+            Msg::Error { code, detail } => return Err(NetError::Remote { code, detail }),
+            other => {
+                return Err(NetError::Protocol(format!(
+                    "expected OPEN_OK, got {:?}",
+                    other.msg_type()
+                )))
+            }
+        };
+        let handle = std::thread::spawn(move || collect_outputs(&mut read_half));
+        self.reader = Some(Reader { handle });
+        Ok(session_id)
+    }
+
+    /// Sends one input (a frame for encode/transcode, a packet for
+    /// decode).
+    ///
+    /// # Errors
+    ///
+    /// I/O failure — including the server closing the connection after
+    /// an ERROR; call [`finish`](Self::finish) to learn which.
+    pub fn send(&mut self, input: SessionInput) -> Result<(), NetError> {
+        let msg = match input {
+            SessionInput::Frame(f) => Msg::Frame(f),
+            SessionInput::Packet(data) => Msg::Packet(Packet {
+                data,
+                kind: hdvb_core::PacketKind::I,
+                display_index: 0,
+            }),
+        };
+        self.send_msg(&msg)?;
+        wire::recycle_msg(msg);
+        Ok(())
+    }
+
+    /// Sends a raw coding-order packet for a decode session, preserving
+    /// its kind and display index on the wire.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure.
+    pub fn send_packet(&mut self, packet: Packet) -> Result<(), NetError> {
+        let msg = Msg::Packet(packet);
+        self.send_msg(&msg)?;
+        wire::recycle_msg(msg);
+        Ok(())
+    }
+
+    /// Flushes the session and collects everything it produced.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the reader thread hit: a server ERROR, an early
+    /// disconnect, or malformed bytes.
+    pub fn finish(mut self) -> Result<ClientResult, NetError> {
+        self.send_msg(&Msg::Flush)?;
+        let reader = self
+            .reader
+            .take()
+            .ok_or_else(|| NetError::Protocol("finish before open".into()))?;
+        let result = reader
+            .handle
+            .join()
+            .map_err(|_| NetError::Protocol("reader thread panicked".into()))?;
+        let _ = self.stream.shutdown(Shutdown::Both);
+        result
+    }
+
+    /// Drops the connection on the floor — no FLUSH, no CLOSE — to
+    /// simulate a client crash. The server must tear down only this
+    /// session.
+    pub fn abort(mut self) {
+        let _ = self.stream.shutdown(Shutdown::Both);
+        if let Some(reader) = self.reader.take() {
+            let _ = reader.handle.join();
+        }
+    }
+}
+
+fn collect_outputs(stream: &mut TcpStream) -> Result<ClientResult, NetError> {
+    let mut result = ClientResult::default();
+    loop {
+        match read_one(stream)? {
+            Msg::Packet(p) => result.packets.push(p),
+            Msg::Frame(f) => result.frames.push(f),
+            Msg::Done(stats) => {
+                result.stats = stats;
+                return Ok(result);
+            }
+            Msg::Error { code, detail } => return Err(NetError::Remote { code, detail }),
+            other => {
+                return Err(NetError::Protocol(format!(
+                    "unexpected {:?} while streaming outputs",
+                    other.msg_type()
+                )))
+            }
+        }
+    }
+}

@@ -1,0 +1,468 @@
+//! The blocking TCP front end.
+//!
+//! One accepted connection is one codec session: the connection thread
+//! reads wire messages and feeds the session's queue, while the codec
+//! work itself runs on the `hdvb-serve` pool — the session's output
+//! sink streams packets/frames back over the socket from whichever pool
+//! worker pumps the session. A write-half mutex keeps the sink's output
+//! messages and the reader's control replies from interleaving.
+//!
+//! A client that disconnects mid-stream (EOF, reset, or a wire error)
+//! tears down only its own session: the reader cancels via the
+//! session's `CancelToken` path (`SessionHandle::cancel`), queued
+//! inputs are recycled to the global pools, and neighbour sessions and
+//! the pool never notice.
+
+use crate::admission::{SloPolicy, TokenBucket};
+use crate::wire::{self, DoneStats, ErrorCode, Header, Msg, WireError, HEADER_LEN};
+use hdvb_core::SessionInput;
+use hdvb_dsp::SimdLevel;
+use hdvb_serve::{OpenOptions, Server, ServerConfig, SessionHandle};
+use hdvb_trace::LatencyHistogram;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Everything a [`NetServer`] needs to know.
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// The serve-layer knobs (pool threads, queue capacity, policy,
+    /// rolling latency window).
+    pub server: ServerConfig,
+    /// SLO admission control; `None` admits every OPEN.
+    pub slo: Option<SloPolicy>,
+    /// Per-session token-bucket rate limit in inputs/second (burst =
+    /// one second's worth); `None` disables shaping.
+    pub rate_limit: Option<u32>,
+    /// Kernel dispatch tier for sessions built from OPEN specs.
+    pub simd: SimdLevel,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            server: ServerConfig::default(),
+            slo: None,
+            rate_limit: None,
+            simd: SimdLevel::preferred(),
+        }
+    }
+}
+
+/// Fleet counters, indexed by [`Priority::index`] where per-class.
+#[derive(Clone, Debug, Default)]
+pub struct NetStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// OPENs admitted, per class.
+    pub admitted: [u64; 2],
+    /// OPENs rejected by admission control, per class.
+    pub rejected: [u64; 2],
+    /// Inputs completed by retired sessions, per class.
+    pub completed: [u64; 2],
+    /// Inputs discarded by retired sessions, per class.
+    pub discarded: [u64; 2],
+    /// Connections that vanished mid-session (EOF/reset before FLUSH).
+    pub disconnects: u64,
+    /// Messages that failed wire decoding.
+    pub wire_errors: u64,
+    /// Latency histograms of retired sessions, per class.
+    pub latency: [LatencyHistogram; 2],
+}
+
+struct NetShared {
+    server: Server,
+    config: NetConfig,
+    stats: Mutex<NetStats>,
+    shutdown: AtomicBool,
+    next_session: AtomicU32,
+}
+
+/// A running TCP front end. Dropping it without
+/// [`shutdown`](Self::shutdown) leaves the accept thread running until
+/// the process exits.
+pub struct NetServer {
+    shared: Arc<NetShared>,
+    local_addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0`) and starts accepting.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from binding.
+    pub fn bind<A: ToSocketAddrs>(addr: A, config: NetConfig) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        // Non-blocking accept polled against the shutdown flag, so
+        // `shutdown` never hangs on a listener with no final client.
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(NetShared {
+            server: Server::new(config.server),
+            config,
+            stats: Mutex::new(NetStats::default()),
+            shutdown: AtomicBool::new(false),
+            next_session: AtomicU32::new(1),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::spawn(move || accept_loop(listener, &accept_shared));
+        Ok(NetServer {
+            shared,
+            local_addr,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (with the real port when bound to `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Snapshot of the fleet counters.
+    pub fn stats(&self) -> NetStats {
+        self.shared
+            .stats
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Sessions opened but not yet retired.
+    pub fn active_sessions(&self) -> usize {
+        self.shared.server.active_sessions()
+    }
+
+    /// The serve pool's worker count.
+    pub fn threads(&self) -> usize {
+        self.shared.server.threads()
+    }
+
+    /// Stops accepting, waits for connection threads to finish their
+    /// sessions, and joins the accept thread.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        self.shared.server.drain();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<NetShared>) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared
+                    .stats
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .connections += 1;
+                let conn_shared = Arc::clone(shared);
+                conns.push(std::thread::spawn(move || {
+                    handle_connection(stream, &conn_shared);
+                }));
+                conns.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    for h in conns {
+        let _ = h.join();
+    }
+}
+
+/// The socket write half, shared between the connection reader (control
+/// replies) and the session's output sink (streamed outputs).
+struct WriteHalf {
+    stream: Mutex<(TcpStream, u32)>,
+    /// Set on the first write failure; the session is cancelled rather
+    /// than blocked on a dead socket.
+    broken: AtomicBool,
+}
+
+impl WriteHalf {
+    fn send(&self, msg: &Msg) {
+        if self.broken.load(Ordering::Acquire) {
+            return;
+        }
+        let mut g = self.stream.lock().unwrap_or_else(|e| e.into_inner());
+        let (stream, seq) = &mut *g;
+        let mut buf = Vec::new();
+        wire::encode(msg, *seq, &mut buf);
+        *seq = seq.wrapping_add(1);
+        if stream.write_all(&buf).is_err() {
+            self.broken.store(true, Ordering::Release);
+        }
+    }
+}
+
+/// Reads exactly one message off the socket.
+enum ReadOutcome {
+    Msg(Msg),
+    /// Clean or abrupt connection end (EOF / reset / timeout).
+    Gone,
+    /// The bytes were not a valid message.
+    Malformed(WireError),
+}
+
+fn read_msg(stream: &mut TcpStream) -> ReadOutcome {
+    let mut header = [0u8; HEADER_LEN];
+    if let Err(e) = stream.read_exact(&mut header) {
+        let _ = e;
+        return ReadOutcome::Gone;
+    }
+    let Header { msg_type, len, .. } = match wire::parse_header(&header) {
+        Ok(h) => h,
+        Err(e) => return ReadOutcome::Malformed(e),
+    };
+    let mut payload = vec![0u8; len as usize];
+    if stream.read_exact(&mut payload).is_err() {
+        return ReadOutcome::Gone;
+    }
+    match wire::decode_payload(msg_type, &payload) {
+        Ok(msg) => ReadOutcome::Msg(msg),
+        Err(e) => ReadOutcome::Malformed(e),
+    }
+}
+
+fn bump(stats: &Mutex<NetStats>, f: impl FnOnce(&mut NetStats)) {
+    f(&mut stats.lock().unwrap_or_else(|e| e.into_inner()));
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Arc<NetShared>) {
+    let _ = stream.set_nodelay(true);
+    // HELLO ↔ HELLO.
+    match read_msg(&mut stream) {
+        ReadOutcome::Msg(Msg::Hello { server: false }) => {}
+        ReadOutcome::Gone => return,
+        other => {
+            if let ReadOutcome::Malformed(e) = &other {
+                bump(&shared.stats, |s| s.wire_errors += 1);
+                reply_error(&stream, ErrorCode::Protocol, &e.to_string());
+            } else {
+                reply_error(&stream, ErrorCode::Protocol, "expected HELLO");
+            }
+            return;
+        }
+    }
+    let write = Arc::new(WriteHalf {
+        stream: Mutex::new((
+            match stream.try_clone() {
+                Ok(s) => s,
+                Err(_) => return,
+            },
+            0,
+        )),
+        broken: AtomicBool::new(false),
+    });
+    write.send(&Msg::Hello { server: true });
+
+    // OPEN → admission → OPEN_OK | ERROR.
+    let (spec, priority) = match read_msg(&mut stream) {
+        ReadOutcome::Msg(Msg::Open { spec, priority }) => (spec, priority),
+        ReadOutcome::Gone => return,
+        ReadOutcome::Malformed(e) => {
+            bump(&shared.stats, |s| s.wire_errors += 1);
+            write.send(&Msg::Error {
+                code: ErrorCode::Protocol,
+                detail: e.to_string(),
+            });
+            return;
+        }
+        ReadOutcome::Msg(_) => {
+            write.send(&Msg::Error {
+                code: ErrorCode::Protocol,
+                detail: "expected OPEN".into(),
+            });
+            return;
+        }
+    };
+    if let Some(slo) = &shared.config.slo {
+        let fleet = shared.server.fleet_latency();
+        // HDVB_NET_DEBUG logs every admission decision — the signal to
+        // watch when tuning an SLO against a new machine's capacity.
+        if std::env::var_os("HDVB_NET_DEBUG").is_some() {
+            eprintln!(
+                "[admit] {priority:?} fleet count={} p99={:.1}ms thr={:.1}ms",
+                fleet.count(),
+                fleet.percentile(0.99) as f64 / 1e6,
+                slo.threshold_ns(priority) as f64 / 1e6,
+            );
+        }
+        if let Err(rejection) = slo.admit(&fleet, priority) {
+            bump(&shared.stats, |s| s.rejected[priority.index()] += 1);
+            write.send(&Msg::Error {
+                code: ErrorCode::Rejected,
+                detail: rejection.detail(priority),
+            });
+            return;
+        }
+    }
+    let session = match spec.build(shared.config.simd) {
+        Ok(s) => s,
+        Err(e) => {
+            write.send(&Msg::Error {
+                code: ErrorCode::Codec,
+                detail: e.to_string(),
+            });
+            return;
+        }
+    };
+    bump(&shared.stats, |s| s.admitted[priority.index()] += 1);
+
+    let sink_write = Arc::clone(&write);
+    let handle = shared.server.open_with(
+        session,
+        OpenOptions {
+            keep_output: false,
+            priority,
+            sink: Some(Box::new(move |out| {
+                for p in out.packets.drain(..) {
+                    let msg = Msg::Packet(p);
+                    sink_write.send(&msg);
+                    wire::recycle_msg(msg);
+                }
+                for f in out.frames.drain(..) {
+                    let msg = Msg::Frame(f);
+                    sink_write.send(&msg);
+                    wire::recycle_msg(msg);
+                }
+            })),
+        },
+    );
+    let session_id = shared.next_session.fetch_add(1, Ordering::Relaxed);
+    write.send(&Msg::OpenOk { session_id });
+
+    let outcome = pump_inputs(&mut stream, shared, &write, &handle);
+    // Whatever ended the stream, the session is fully retired here;
+    // fold its result into the fleet counters.
+    let result = handle.wait();
+    bump(&shared.stats, |s| {
+        s.completed[priority.index()] += result.completed;
+        s.discarded[priority.index()] += result.discarded;
+        s.latency[priority.index()].merge(&result.metrics.latency);
+    });
+    if outcome == StreamEnd::Flushed {
+        write.send(&Msg::Done(DoneStats {
+            completed: result.completed,
+            discarded: result.discarded,
+            corrupt_dropped: result.corrupt_dropped,
+            p50_ns: result.metrics.latency.percentile(0.50),
+            p99_ns: result.metrics.latency.percentile(0.99),
+        }));
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+#[derive(PartialEq, Eq)]
+enum StreamEnd {
+    /// Client flushed; DONE follows.
+    Flushed,
+    /// Disconnect, CLOSE, protocol violation or session failure.
+    Aborted,
+}
+
+/// Reads inputs until FLUSH/CLOSE/disconnect. Returns how the stream
+/// ended; the session is finished or cancelled accordingly but not yet
+/// waited on.
+fn pump_inputs(
+    stream: &mut TcpStream,
+    shared: &Arc<NetShared>,
+    write: &WriteHalf,
+    handle: &SessionHandle,
+) -> StreamEnd {
+    let mut bucket = shared
+        .config
+        .rate_limit
+        .map(|rate| TokenBucket::new(f64::from(rate), f64::from(rate)));
+    loop {
+        if write.broken.load(Ordering::Acquire) {
+            // The client stopped reading its outputs; treat as gone.
+            bump(&shared.stats, |s| s.disconnects += 1);
+            handle.cancel();
+            return StreamEnd::Aborted;
+        }
+        match read_msg(stream) {
+            ReadOutcome::Msg(msg @ (Msg::Frame(_) | Msg::Packet(_))) => {
+                if let Some(b) = bucket.as_mut() {
+                    let wait = b.acquire();
+                    if !wait.is_zero() {
+                        std::thread::sleep(wait);
+                    }
+                }
+                let input = match msg {
+                    Msg::Frame(f) => SessionInput::Frame(f),
+                    Msg::Packet(p) => SessionInput::Packet(p.data),
+                    _ => unreachable!(),
+                };
+                if handle.submit(input).is_err() {
+                    // The session already retired (codec error or
+                    // cancellation); report and stop reading.
+                    let detail = "session closed".to_string();
+                    write.send(&Msg::Error {
+                        code: ErrorCode::Codec,
+                        detail,
+                    });
+                    return StreamEnd::Aborted;
+                }
+            }
+            ReadOutcome::Msg(Msg::Flush) => {
+                handle.finish();
+                return StreamEnd::Flushed;
+            }
+            ReadOutcome::Msg(Msg::Close) => {
+                handle.cancel();
+                return StreamEnd::Aborted;
+            }
+            ReadOutcome::Msg(_) => {
+                write.send(&Msg::Error {
+                    code: ErrorCode::Protocol,
+                    detail: "unexpected message mid-stream".into(),
+                });
+                handle.cancel();
+                return StreamEnd::Aborted;
+            }
+            ReadOutcome::Gone => {
+                // EOF or reset mid-stream: cancel this session only;
+                // queued inputs are recycled by `cancel`.
+                bump(&shared.stats, |s| s.disconnects += 1);
+                handle.cancel();
+                return StreamEnd::Aborted;
+            }
+            ReadOutcome::Malformed(e) => {
+                bump(&shared.stats, |s| s.wire_errors += 1);
+                write.send(&Msg::Error {
+                    code: ErrorCode::Protocol,
+                    detail: e.to_string(),
+                });
+                handle.cancel();
+                return StreamEnd::Aborted;
+            }
+        }
+    }
+}
+
+/// Best-effort error reply on a connection that has no [`WriteHalf`]
+/// yet (pre-handshake failures).
+fn reply_error(stream: &TcpStream, code: ErrorCode, detail: &str) {
+    let mut buf = Vec::new();
+    wire::encode(
+        &Msg::Error {
+            code,
+            detail: detail.to_string(),
+        },
+        0,
+        &mut buf,
+    );
+    let mut s = stream;
+    let _ = s.write_all(&buf);
+}

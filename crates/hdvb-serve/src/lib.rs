@@ -36,5 +36,9 @@ mod server;
 pub use loadgen::{build_schedule, run_serve_bench, Arrival, LoadSpec, ServeMode};
 pub use metrics::SessionMetrics;
 pub use queue::{BoundedQueue, Closed, OverflowPolicy, QueueStats};
-pub use report::{serve_json, serve_markdown, ServeBenchReport, SessionSummary};
-pub use server::{Server, ServerConfig, SessionHandle, SessionResult, SubmitError};
+pub use report::{
+    json_pools, serve_json, serve_markdown, PoolsReport, ServeBenchReport, SessionSummary,
+};
+pub use server::{
+    OpenOptions, OutputSink, Server, ServerConfig, SessionHandle, SessionResult, SubmitError,
+};

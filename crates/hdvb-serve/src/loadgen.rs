@@ -12,7 +12,7 @@
 
 use crate::metrics::SessionMetrics;
 use crate::queue::OverflowPolicy;
-use crate::report::{ServeBenchReport, SessionSummary};
+use crate::report::{PoolsReport, ServeBenchReport, SessionSummary};
 use crate::server::{Server, ServerConfig, SessionHandle};
 use hdvb_core::{encode_sequence, splitmix64, CodecId, CodecSession, CodingOptions, SessionInput};
 use hdvb_frame::{BufferPool, Frame, FramePool, Resolution};
@@ -217,6 +217,7 @@ fn open_session(spec: &LoadSpec, server: &Server) -> Result<SessionHandle, Strin
 /// Propagates session-construction and feed-preparation failures;
 /// per-session runtime errors are reported, not fatal.
 pub fn run_serve_bench(spec: &LoadSpec) -> Result<ServeBenchReport, String> {
+    let pools_before = PoolsReport::snapshot();
     let items = spec.items_per_session();
     let feeds = build_feeds(spec, items)?;
     let items_per_session: Vec<u32> = feeds.iter().map(SessionFeed::len).collect();
@@ -226,6 +227,7 @@ pub fn run_serve_bench(spec: &LoadSpec) -> Result<ServeBenchReport, String> {
         threads: spec.threads,
         queue_capacity: spec.queue_capacity,
         policy: spec.policy,
+        ..ServerConfig::default()
     });
     let handles: Vec<SessionHandle> = (0..spec.sessions)
         .map(|_| open_session(spec, &server))
@@ -321,5 +323,6 @@ pub fn run_serve_bench(spec: &LoadSpec) -> Result<ServeBenchReport, String> {
         },
         per_session,
         admission_log,
+        pools: PoolsReport::snapshot().delta_since(&pools_before),
     })
 }

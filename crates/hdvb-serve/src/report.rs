@@ -4,9 +4,63 @@
 use crate::loadgen::ServeMode;
 use crate::queue::OverflowPolicy;
 use hdvb_core::CodecId;
-use hdvb_frame::Resolution;
+use hdvb_frame::{BufferPool, FramePool, PoolStats, Resolution};
 use hdvb_trace::LatencyHistogram;
 use std::time::Duration;
+
+/// Global pool traffic attributable to one run: the [`FramePool`] and
+/// [`BufferPool`] counter deltas between the run's start and end. A
+/// falling hit rate here is a pool-efficiency regression — frames or
+/// bitstream buffers leaking out of the recycle loop.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolsReport {
+    /// Frame-pool traffic.
+    pub frame: PoolStats,
+    /// Bitstream-buffer-pool traffic.
+    pub buffer: PoolStats,
+}
+
+impl PoolsReport {
+    /// The global pools' counters right now.
+    pub fn snapshot() -> PoolsReport {
+        PoolsReport {
+            frame: FramePool::global().stats(),
+            buffer: BufferPool::global().stats(),
+        }
+    }
+
+    /// Traffic between `earlier` and this snapshot.
+    pub fn delta_since(&self, earlier: &PoolsReport) -> PoolsReport {
+        PoolsReport {
+            frame: self.frame.delta_since(&earlier.frame),
+            buffer: self.buffer.delta_since(&earlier.buffer),
+        }
+    }
+}
+
+fn json_pool(s: &PoolStats) -> String {
+    format!(
+        concat!(
+            "{{\"takes\":{},\"hits\":{},\"misses\":{},",
+            "\"returns\":{},\"dropped\":{},\"hit_rate\":{:.4}}}"
+        ),
+        s.takes,
+        s.hits,
+        s.misses,
+        s.returns,
+        s.dropped,
+        s.hit_rate()
+    )
+}
+
+/// The `pools` JSON object shared by the serve and serve-load reports.
+pub fn json_pools(p: &PoolsReport) -> String {
+    format!(
+        "{{\"frame\":{},\"buffer\":{}}}",
+        json_pool(&p.frame),
+        json_pool(&p.buffer)
+    )
+}
 
 /// Per-session tail summary carried inside a [`ServeBenchReport`].
 #[derive(Clone, Debug)]
@@ -83,6 +137,8 @@ pub struct ServeBenchReport {
     /// Admission order actually executed, as `(session, item)` pairs —
     /// deterministic for a fixed seed.
     pub admission_log: Vec<(u32, u32)>,
+    /// Global pool traffic over the run.
+    pub pools: PoolsReport,
 }
 
 impl ServeBenchReport {
@@ -115,14 +171,14 @@ fn fmt_ns(ns: u64) -> String {
 pub fn serve_markdown(runs: &[ServeBenchReport]) -> String {
     let mut out = String::new();
     out.push_str(
-        "| codec | mode  | sessions | offered fps | sustained fps | p50 | p95 | p99 | max | jitter | q-depth max/mean | dropped |\n",
+        "| codec | mode  | sessions | offered fps | sustained fps | p50 | p95 | p99 | max | jitter | q-depth max/mean | dropped | pool hit% F/B |\n",
     );
     out.push_str(
-        "|-------|-------|---------:|------------:|--------------:|----:|----:|----:|----:|-------:|-----------------:|--------:|\n",
+        "|-------|-------|---------:|------------:|--------------:|----:|----:|----:|----:|-------:|-----------------:|--------:|--------------:|\n",
     );
     for r in runs {
         out.push_str(&format!(
-            "| {} | {} | {} | {:.0} | {:.1} | {} | {} | {} | {} | {} | {}/{:.2} | {} |\n",
+            "| {} | {} | {} | {:.0} | {:.1} | {} | {} | {} | {} | {} | {}/{:.2} | {} | {:.0}/{:.0} |\n",
             r.codec.name(),
             r.mode.name(),
             r.sessions,
@@ -136,6 +192,8 @@ pub fn serve_markdown(runs: &[ServeBenchReport]) -> String {
             r.max_queue_depth,
             r.mean_queue_depth,
             r.discarded,
+            r.pools.frame.hit_rate() * 100.0,
+            r.pools.buffer.hit_rate() * 100.0,
         ));
     }
     out
@@ -176,6 +234,7 @@ fn json_run(r: &ServeBenchReport) -> String {
             "\"latency_ns\":{{\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{},\"mean\":{}}},",
             "\"jitter_mean_ns\":{},\"sustained_fps\":{:.3},",
             "\"queue_depth\":{{\"max\":{},\"mean\":{:.3}}},",
+            "\"pools\":{},",
             "\"per_session\":[{}]}}"
         ),
         r.codec.name(),
@@ -206,6 +265,7 @@ fn json_run(r: &ServeBenchReport) -> String {
         r.sustained_fps,
         r.max_queue_depth,
         r.mean_queue_depth,
+        json_pools(&r.pools),
         sessions.join(",")
     )
 }
@@ -263,6 +323,7 @@ mod tests {
                 error: None,
             }],
             admission_log: vec![(0, 0), (1, 0)],
+            pools: PoolsReport::default(),
         }
     }
 
@@ -286,5 +347,32 @@ mod tests {
         let lat = runs[0].get("latency_ns").unwrap();
         assert!(lat.get("p99").and_then(|p| p.as_f64()).unwrap() > 0.0);
         assert!(runs[0].get("queue_depth").is_some());
+        let pools = runs[0].get("pools").expect("pools object");
+        assert!(pools.get("frame").and_then(|f| f.get("hit_rate")).is_some());
+        assert!(pools.get("buffer").and_then(|b| b.get("takes")).is_some());
+    }
+
+    #[test]
+    fn pool_deltas_subtract_and_rate() {
+        let a = PoolStats {
+            takes: 10,
+            hits: 8,
+            misses: 2,
+            returns: 9,
+            dropped: 1,
+        };
+        let b = PoolStats {
+            takes: 30,
+            hits: 26,
+            misses: 4,
+            returns: 29,
+            dropped: 1,
+        };
+        let d = b.delta_since(&a);
+        assert_eq!(d.takes, 20);
+        assert_eq!(d.hits, 18);
+        assert_eq!(d.dropped, 0);
+        assert!((d.hit_rate() - 0.9).abs() < 1e-9);
+        assert_eq!(PoolStats::default().hit_rate(), 1.0);
     }
 }

@@ -14,15 +14,24 @@
 //! pump re-checks the queue *after* clearing the flag, re-claiming it
 //! if work raced in. Exactly one pump runs per session at any time, so
 //! the codec state machine needs no further synchronisation.
+//!
+//! Priority is applied at *claim* time: a freshly claimed session is
+//! pushed into a per-class ready set, and the spawned pool task pops the
+//! highest-priority ready session — not necessarily the one whose
+//! submission spawned it. Ready entries and spawned tasks are always 1:1
+//! so no claimed session is stranded; when the pool is saturated, every
+//! freed worker picks up live traffic before batch.
 
 use crate::metrics::SessionMetrics;
 use crate::queue::{BoundedQueue, OverflowPolicy, QueueStats};
-use hdvb_core::{BenchError, CodecSession, Packet, SessionInput, SessionOutput};
-use hdvb_frame::Frame;
+use hdvb_core::{BenchError, CodecSession, Packet, Priority, SessionInput, SessionOutput};
+use hdvb_frame::{BufferPool, Frame, FramePool};
 use hdvb_par::{CancelToken, ThreadPool};
+use hdvb_trace::{LatencyHistogram, RollingHistogram};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Server-wide knobs, applied to every session it opens.
 #[derive(Clone, Copy, Debug)]
@@ -33,6 +42,9 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// What a full session queue does with the next input.
     pub policy: OverflowPolicy,
+    /// Width of the fleet's rolling latency window (feeds
+    /// [`Server::fleet_latency`], which admission control reads).
+    pub rolling_window: Duration,
 }
 
 impl Default for ServerConfig {
@@ -41,9 +53,27 @@ impl Default for ServerConfig {
             threads: 0,
             queue_capacity: 8,
             policy: OverflowPolicy::Block,
+            rolling_window: Duration::from_secs(5),
         }
     }
 }
+
+/// Per-open knobs (the server-wide ones live in [`ServerConfig`]).
+#[derive(Default)]
+pub struct OpenOptions {
+    /// Retain decoded frames and coded packets for
+    /// [`SessionHandle::wait`]. Ignored when a `sink` is set.
+    pub keep_output: bool,
+    /// Scheduling class; see [`Priority`].
+    pub priority: Priority,
+    /// Streaming consumer: called by the pump (outside the session
+    /// lock) with each step's outputs. Anything it leaves behind is
+    /// recycled to the global pools.
+    pub sink: Option<OutputSink>,
+}
+
+/// A streaming output consumer; see [`OpenOptions::sink`].
+pub type OutputSink = Box<dyn FnMut(&mut SessionOutput) + Send>;
 
 /// Why a submission was not admitted.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -101,6 +131,8 @@ struct SessionState {
     done: bool,
     /// Set once `wait` has consumed the result.
     taken: bool,
+    /// Streaming consumer; taken out while it runs unlocked.
+    sink: Option<OutputSink>,
 }
 
 struct SessionShared {
@@ -110,12 +142,20 @@ struct SessionShared {
     /// Pump claim flag; see the module docs.
     pumping: AtomicBool,
     cancel: CancelToken,
+    priority: Priority,
 }
 
-/// Fleet-wide bookkeeping for [`Server::drain`].
+/// Fleet-wide bookkeeping: the drain count, the priority ready set the
+/// pool tasks claim from, and the rolling latency window admission
+/// control reads.
 struct ServerInner {
     active: Mutex<usize>,
     drained: Condvar,
+    /// Claimed-but-unpumped sessions, one deque per class (index =
+    /// [`Priority::index`]). Always exactly one entry per spawned
+    /// claim task.
+    ready: Mutex<[VecDeque<Arc<SessionShared>>; 2]>,
+    rolling: Mutex<RollingHistogram>,
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -142,9 +182,19 @@ impl Server {
             inner: Arc::new(ServerInner {
                 active: Mutex::new(0),
                 drained: Condvar::new(),
+                ready: Mutex::new([VecDeque::new(), VecDeque::new()]),
+                rolling: Mutex::new(RollingHistogram::new(config.rolling_window, 10)),
             }),
             config,
         }
+    }
+
+    /// The fleet's frame latencies over the last
+    /// [`rolling_window`](ServerConfig::rolling_window) — the signal an
+    /// admission controller compares against its SLO. Recent samples
+    /// only: a load burst ages out one window after it ends.
+    pub fn fleet_latency(&self) -> LatencyHistogram {
+        lock(&self.inner.rolling).snapshot()
     }
 
     /// Pool worker threads serving the sessions.
@@ -155,14 +205,26 @@ impl Server {
     /// Admits a session. `keep_output` retains decoded frames and coded
     /// packets for [`SessionHandle::wait`]; benchmarks pass `false` so
     /// a long run does not accumulate every output in memory.
-    pub fn open(&self, mut session: CodecSession, keep_output: bool) -> SessionHandle {
+    pub fn open(&self, session: CodecSession, keep_output: bool) -> SessionHandle {
+        self.open_with(
+            session,
+            OpenOptions {
+                keep_output,
+                ..OpenOptions::default()
+            },
+        )
+    }
+
+    /// Admits a session with explicit scheduling class and output
+    /// delivery; see [`OpenOptions`].
+    pub fn open_with(&self, mut session: CodecSession, opts: OpenOptions) -> SessionHandle {
         let cancel = CancelToken::new();
         session.set_cancel(cancel.clone());
         let shared = Arc::new(SessionShared {
             queue: BoundedQueue::new(self.config.queue_capacity, self.config.policy),
             state: Mutex::new(SessionState {
                 session,
-                keep_output,
+                keep_output: opts.keep_output && opts.sink.is_none(),
                 scratch: SessionOutput::new(),
                 packets: Vec::new(),
                 frames: Vec::new(),
@@ -172,10 +234,12 @@ impl Server {
                 error: None,
                 done: false,
                 taken: false,
+                sink: opts.sink,
             }),
             done_cv: Condvar::new(),
             pumping: AtomicBool::new(false),
             cancel,
+            priority: opts.priority,
         });
         *lock(&self.inner.active) += 1;
         SessionHandle {
@@ -224,14 +288,19 @@ impl SessionHandle {
     pub fn submit(&self, input: SessionInput) -> Result<(), SubmitError> {
         match self.shared.queue.push(Work::Input(input, Instant::now())) {
             Ok(evicted) => {
-                if evicted.is_some() {
-                    // An eviction is a discard the pump never sees.
+                if let Some(work) = evicted {
+                    // An eviction is a discard the pump never sees; its
+                    // buffers go straight back to the pools.
                     lock(&self.shared.state).discarded += 1;
+                    recycle_work(work);
                 }
                 self.spawn_pump_if_idle();
                 Ok(())
             }
-            Err(_) => Err(SubmitError::SessionClosed),
+            Err((work, _)) => {
+                recycle_work(work);
+                Err(SubmitError::SessionClosed)
+            }
         }
     }
 
@@ -241,8 +310,9 @@ impl SessionHandle {
         if let Ok(evicted) = self.shared.queue.push(Work::Finish) {
             // Under DropOldest the end-of-stream marker can itself
             // evict a queued input.
-            if evicted.is_some() {
+            if let Some(work) = evicted {
                 lock(&self.shared.state).discarded += 1;
+                recycle_work(work);
             }
             self.spawn_pump_if_idle();
         }
@@ -261,9 +331,12 @@ impl SessionHandle {
             retire(&self.shared, &self.server, &mut st);
         }
         // Count whatever was still queued as discarded (the pump, if
-        // one is running, discards anything it pops instead).
-        while self.shared.queue.try_pop().is_some() {
+        // one is running, discards anything it pops instead), and
+        // return the dead inputs' buffers to the pools — a disconnect
+        // must not leak its queue.
+        while let Some(work) = self.shared.queue.try_pop() {
             st.discarded += 1;
+            recycle_work(work);
         }
     }
 
@@ -314,13 +387,29 @@ impl SessionHandle {
         self.shared.queue.len()
     }
 
-    /// Claims the pump flag and spawns a pump task if nobody holds it.
+    /// Claims the pump flag; if nobody held it, registers the session
+    /// in the server's ready set and spawns one claim task, which pops
+    /// the highest-priority ready session (not necessarily this one).
     fn spawn_pump_if_idle(&self) {
         if !self.shared.pumping.swap(true, Ordering::AcqRel) {
-            let shared = Arc::clone(&self.shared);
             let server = Arc::clone(&self.server);
-            self.pool.execute(move || pump(&shared, &server));
+            lock(&server.ready)[self.shared.priority.index()].push_back(Arc::clone(&self.shared));
+            self.pool.execute(move || claim_and_pump(&server));
         }
+    }
+}
+
+/// Pops the highest-priority ready session and pumps it dry. Ready
+/// entries and claim tasks are 1:1, so the pop always succeeds and
+/// every claimed session gets exactly one pump.
+fn claim_and_pump(server: &Arc<ServerInner>) {
+    let next = {
+        let mut ready = lock(&server.ready);
+        let live = ready[Priority::Live.index()].pop_front();
+        live.or_else(|| ready[Priority::Batch.index()].pop_front())
+    };
+    if let Some(shared) = next {
+        pump(&shared, server);
     }
 }
 
@@ -349,8 +438,10 @@ fn pump(shared: &Arc<SessionShared>, server: &Arc<ServerInner>) {
 fn process(shared: &Arc<SessionShared>, server: &Arc<ServerInner>, work: Work) {
     let mut st = lock(&shared.state);
     if st.done {
-        // Late items behind a terminal event drain without processing.
+        // Late items behind a terminal event drain without processing;
+        // their buffers still go back to the pools.
         st.discarded += 1;
+        recycle_work(work);
         return;
     }
     // Split borrows: the session writes into the state's own scratch.
@@ -361,9 +452,11 @@ fn process(shared: &Arc<SessionShared>, server: &Arc<ServerInner>, work: Work) {
         Work::Input(input, arrival) => match session.push_into(input, scratch) {
             Ok(()) => {
                 let now = Instant::now();
-                st.metrics.record(now - arrival, now);
+                let latency = now - arrival;
+                st.metrics.record(latency, now);
                 st.completed += 1;
-                keep_or_recycle(&mut st);
+                lock(&server.rolling).record(latency.as_nanos().min(u128::from(u64::MAX)) as u64);
+                drop(deliver(shared, st));
             }
             Err(e) => {
                 st.scratch.recycle();
@@ -373,7 +466,15 @@ fn process(shared: &Arc<SessionShared>, server: &Arc<ServerInner>, work: Work) {
         },
         Work::Finish => {
             match session.finish_into(scratch) {
-                Ok(()) => keep_or_recycle(&mut st),
+                Ok(()) => {
+                    let mut st = deliver(shared, st);
+                    // A concurrent `cancel` may have retired the
+                    // session while the sink ran unlocked.
+                    if !st.done {
+                        retire(shared, server, &mut st);
+                    }
+                    return;
+                }
                 Err(e) => {
                     st.scratch.recycle();
                     st.error = Some(e);
@@ -384,15 +485,49 @@ fn process(shared: &Arc<SessionShared>, server: &Arc<ServerInner>, work: Work) {
     }
 }
 
-/// Moves the step's outputs to the retained result (`keep_output`) or
-/// returns their buffers to the global pools, leaving the scratch empty
-/// either way.
-fn keep_or_recycle(st: &mut SessionState) {
-    if st.keep_output {
-        st.packets.append(&mut st.scratch.packets);
-        st.frames.append(&mut st.scratch.frames);
+/// Delivers the step's outputs: streamed through the session's sink
+/// (run *outside* the state lock so a slow consumer never blocks
+/// `cancel`/`wait`), retained for `wait` (`keep_output`), or recycled
+/// straight back to the global pools. Returns the (re-acquired) guard.
+fn deliver<'a>(
+    shared: &'a Arc<SessionShared>,
+    mut st: MutexGuard<'a, SessionState>,
+) -> MutexGuard<'a, SessionState> {
+    if let Some(mut sink) = st.sink.take() {
+        let mut out = std::mem::take(&mut st.scratch);
+        drop(st);
+        sink(&mut out);
+        out.recycle();
+        let mut st = lock(&shared.state);
+        // Hand the drained scratch back so its buffers keep their
+        // capacity across steps.
+        st.scratch = out;
+        st.sink = Some(sink);
+        st
     } else {
-        st.scratch.recycle();
+        if st.keep_output {
+            let SessionState {
+                scratch,
+                packets,
+                frames,
+                ..
+            } = &mut *st;
+            packets.append(&mut scratch.packets);
+            frames.append(&mut scratch.frames);
+        } else {
+            st.scratch.recycle();
+        }
+        st
+    }
+}
+
+/// Returns a dead work item's buffers to the global pools.
+fn recycle_work(work: Work) {
+    if let Work::Input(input, _) = work {
+        match input {
+            SessionInput::Frame(frame) => FramePool::global().put(frame),
+            SessionInput::Packet(data) => BufferPool::global().put(data),
+        }
     }
 }
 

@@ -64,6 +64,7 @@ fn block_policy_under_slow_consumer_loses_nothing() {
         threads: 1,
         queue_capacity: 2,
         policy: OverflowPolicy::Block,
+        ..ServerConfig::default()
     });
     let session = CodecSession::encoder(CodecId::H264, seq.resolution(), &options).unwrap();
     let handle = server.open(session, false);
@@ -91,6 +92,7 @@ fn drop_oldest_sheds_load_but_every_input_is_accounted() {
         threads: 1,
         queue_capacity: 2,
         policy: OverflowPolicy::DropOldest,
+        ..ServerConfig::default()
     });
     let session = CodecSession::encoder(CodecId::H264, seq.resolution(), &options).unwrap();
     let handle = server.open(session, false);
@@ -326,4 +328,137 @@ fn serve_traffic_recycles_through_the_global_pools() {
         after_bufs.returns > before_bufs.returns,
         "bitstream buffers never recycled: {before_bufs:?} -> {after_bufs:?}"
     );
+}
+
+#[test]
+fn live_sessions_are_claimed_before_batch_under_saturation() {
+    use hdvb_core::Priority;
+    use hdvb_serve::OpenOptions;
+    use std::sync::{Arc, Mutex};
+
+    let seq = small_seq();
+    let options = CodingOptions::default();
+    let server = Server::new(ServerConfig {
+        threads: 1,
+        ..ServerConfig::default()
+    });
+    let mk = || CodecSession::encoder(CodecId::Mpeg2, seq.resolution(), &options).unwrap();
+
+    // A blocker session whose sink parks the only pool worker long
+    // enough for the two contenders to queue up behind it.
+    let blocker = server.open_with(
+        mk(),
+        OpenOptions {
+            priority: Priority::Batch,
+            sink: Some(Box::new(|_out| {
+                std::thread::sleep(Duration::from_millis(500));
+            })),
+            ..OpenOptions::default()
+        },
+    );
+    blocker.submit(SessionInput::Frame(seq.frame(0))).unwrap();
+    std::thread::sleep(Duration::from_millis(100)); // let the pump start
+
+    let order: Arc<Mutex<Vec<&'static str>>> = Arc::new(Mutex::new(Vec::new()));
+    let log = |tag: &'static str| -> hdvb_serve::OutputSink {
+        let order = Arc::clone(&order);
+        Box::new(move |_out| order.lock().unwrap().push(tag))
+    };
+    // Batch contender first, live second: claim-time priority must
+    // still run the live session's work first.
+    let batch = server.open_with(
+        mk(),
+        OpenOptions {
+            priority: Priority::Batch,
+            sink: Some(log("batch")),
+            ..OpenOptions::default()
+        },
+    );
+    batch.submit(SessionInput::Frame(seq.frame(0))).unwrap();
+    batch.finish();
+    let live = server.open_with(
+        mk(),
+        OpenOptions {
+            priority: Priority::Live,
+            sink: Some(log("live")),
+            ..OpenOptions::default()
+        },
+    );
+    live.submit(SessionInput::Frame(seq.frame(0))).unwrap();
+    live.finish();
+
+    blocker.finish();
+    live.wait();
+    batch.wait();
+    server.drain();
+    let order = order.lock().unwrap();
+    assert_eq!(order.first().copied(), Some("live"), "order {order:?}");
+    assert!(order.contains(&"batch"));
+}
+
+#[test]
+fn fleet_latency_sees_recent_completions() {
+    let seq = small_seq();
+    let options = CodingOptions::default();
+    let server = Server::new(ServerConfig {
+        threads: 2,
+        ..ServerConfig::default()
+    });
+    assert_eq!(server.fleet_latency().count(), 0);
+    let session = CodecSession::encoder(CodecId::Mpeg2, seq.resolution(), &options).unwrap();
+    let handle = server.open(session, false);
+    for i in 0..6 {
+        handle
+            .submit(SessionInput::Frame(seq.frame(i)))
+            .expect("submit");
+    }
+    handle.finish();
+    handle.wait();
+    let fleet = server.fleet_latency();
+    assert_eq!(fleet.count(), 6);
+    assert!(fleet.percentile(0.99) > 0);
+}
+
+#[test]
+fn sink_streams_the_same_packets_wait_would_return() {
+    use hdvb_serve::OpenOptions;
+    use std::sync::{Arc, Mutex};
+
+    let seq = small_seq();
+    let options = CodingOptions::default();
+    let batch = encode_sequence(CodecId::Mpeg2, seq, 8, &options).unwrap();
+
+    let server = Server::new(ServerConfig {
+        threads: 2,
+        ..ServerConfig::default()
+    });
+    let streamed: Arc<Mutex<Vec<Vec<u8>>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink_store = Arc::clone(&streamed);
+    let session = CodecSession::encoder(CodecId::Mpeg2, seq.resolution(), &options).unwrap();
+    let handle = server.open_with(
+        session,
+        OpenOptions {
+            sink: Some(Box::new(move |out| {
+                let mut store = sink_store.lock().unwrap();
+                for p in &out.packets {
+                    store.push(p.data.clone());
+                }
+            })),
+            ..OpenOptions::default()
+        },
+    );
+    for i in 0..8 {
+        handle
+            .submit(SessionInput::Frame(seq.frame(i)))
+            .expect("submit");
+    }
+    handle.finish();
+    let result = handle.wait();
+    assert!(result.error.is_none());
+    assert!(result.packets.is_empty(), "sink sessions retain nothing");
+    let streamed = streamed.lock().unwrap();
+    assert_eq!(streamed.len(), batch.packets.len());
+    for (s, b) in streamed.iter().zip(&batch.packets) {
+        assert_eq!(s, &b.data);
+    }
 }

@@ -36,9 +36,11 @@ use std::time::Instant;
 mod hist;
 pub mod json;
 mod report;
+mod rolling;
 
 pub use hist::LatencyHistogram;
 pub use report::{stage_breakdown, StageRow, ThreadTrace, TraceReport};
+pub use rolling::RollingHistogram;
 
 /// Instrumented pipeline stages, shared by all three codecs and the
 /// execution engine.

@@ -1,0 +1,204 @@
+//! Rolling-window latency percentiles for admission control.
+//!
+//! A [`RollingHistogram`] is a ring of [`LatencyHistogram`] time slices:
+//! the window (say 5 s) is split into N slices (say 500 ms each), every
+//! record lands in the slice covering its timestamp, and reading a
+//! percentile merges the slices still inside the window. Old slices are
+//! cleared lazily as time advances, so the view an admission controller
+//! sees is "the last ~window of traffic", not the whole run — a burst of
+//! slow frames ages out after one window instead of poisoning the p99
+//! forever.
+//!
+//! All mutating operations take an explicit nanosecond timestamp
+//! (`*_at`), measured from an arbitrary origin the caller picks; the
+//! convenience methods without `_at` use a wall clock anchored at
+//! construction. Tests drive the explicit API so rotation behaviour is
+//! deterministic.
+
+use crate::hist::LatencyHistogram;
+use std::time::{Duration, Instant};
+
+/// Time-sliced rolling histogram with bucket-upper-bound percentiles
+/// over the last `window` of recorded samples.
+#[derive(Clone, Debug)]
+pub struct RollingHistogram {
+    slices: Vec<LatencyHistogram>,
+    slice_ns: u64,
+    /// Absolute index (time / slice_ns) of the newest slice written.
+    head: u64,
+    origin: Instant,
+}
+
+impl RollingHistogram {
+    /// A rolling histogram covering `window`, split into `slices` ring
+    /// slots. Granularity of expiry is one slice (`window / slices`).
+    pub fn new(window: Duration, slices: usize) -> Self {
+        let slices = slices.max(1);
+        let window_ns = window.as_nanos().clamp(1, u128::from(u64::MAX)) as u64;
+        RollingHistogram {
+            slices: vec![LatencyHistogram::new(); slices],
+            slice_ns: (window_ns / slices as u64).max(1),
+            head: 0,
+            origin: Instant::now(),
+        }
+    }
+
+    /// The covered window (slice width × slice count).
+    pub fn window(&self) -> Duration {
+        Duration::from_nanos(self.slice_ns.saturating_mul(self.slices.len() as u64))
+    }
+
+    /// Advances the ring to the slice containing `at_ns`, clearing every
+    /// slice that fell out of the window on the way.
+    fn advance(&mut self, at_ns: u64) {
+        let idx = at_ns / self.slice_ns;
+        if idx <= self.head {
+            return; // Same slice, or a slightly stale timestamp.
+        }
+        let n = self.slices.len() as u64;
+        // Jumping more than a full window clears everything once.
+        let steps = (idx - self.head).min(n);
+        for i in 1..=steps {
+            let slot = ((self.head + i) % n) as usize;
+            self.slices[slot] = LatencyHistogram::new();
+        }
+        self.head = idx;
+    }
+
+    /// Records one latency observed at `at_ns` (nanoseconds from the
+    /// caller's origin). Timestamps older than the newest seen land in
+    /// the newest slice — expiry granularity is one slice anyway.
+    pub fn record_at(&mut self, at_ns: u64, latency_ns: u64) {
+        self.advance(at_ns);
+        let slot = (self.head % self.slices.len() as u64) as usize;
+        self.slices[slot].record(latency_ns);
+    }
+
+    /// Records one latency observed now.
+    pub fn record(&mut self, latency_ns: u64) {
+        self.record_at(self.now_ns(), latency_ns);
+    }
+
+    /// Merged view of the samples still inside the window at `at_ns`.
+    pub fn snapshot_at(&mut self, at_ns: u64) -> LatencyHistogram {
+        self.advance(at_ns);
+        let mut merged = LatencyHistogram::new();
+        for s in &self.slices {
+            merged.merge(s);
+        }
+        merged
+    }
+
+    /// Merged view of the samples still inside the window now.
+    pub fn snapshot(&mut self) -> LatencyHistogram {
+        self.snapshot_at(self.now_ns())
+    }
+
+    /// Number of samples inside the window at `at_ns`.
+    pub fn count_at(&mut self, at_ns: u64) -> u64 {
+        self.snapshot_at(at_ns).count()
+    }
+
+    /// Quantile `p` over the samples inside the window at `at_ns`
+    /// (bucket upper bound, same contract as [`LatencyHistogram`]).
+    pub fn percentile_at(&mut self, at_ns: u64, p: f64) -> u64 {
+        self.snapshot_at(at_ns).percentile(p)
+    }
+
+    /// Quantile `p` over the samples inside the window now.
+    pub fn percentile(&mut self, p: f64) -> u64 {
+        self.percentile_at(self.now_ns(), p)
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: u64 = 1_000_000;
+
+    fn rolling() -> RollingHistogram {
+        // 10 slices of 100 ms => 1 s window.
+        RollingHistogram::new(Duration::from_secs(1), 10)
+    }
+
+    #[test]
+    fn window_is_slice_width_times_count() {
+        assert_eq!(rolling().window(), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn samples_inside_the_window_are_visible() {
+        let mut r = rolling();
+        for i in 0..100 {
+            r.record_at(i * MS, 2_000);
+        }
+        assert_eq!(r.count_at(100 * MS), 100);
+        assert!(r.percentile_at(100 * MS, 0.99) <= 2_048);
+    }
+
+    #[test]
+    fn old_samples_age_out_after_one_window() {
+        let mut r = rolling();
+        // A burst of 1 s latencies early in the run...
+        for i in 0..50 {
+            r.record_at(i * MS, 1_000 * MS);
+        }
+        assert!(r.percentile_at(50 * MS, 0.99) >= 1_000 * MS);
+        // ...followed by fast traffic. One full window later the burst
+        // is gone and the p99 reflects only the recent samples.
+        for i in 0..200 {
+            r.record_at((1_100 + i * 10) * MS, MS);
+        }
+        let p99 = r.percentile_at(3_100 * MS, 0.99);
+        assert!(p99 <= 2 * MS, "stale burst leaked into p99: {p99}");
+        let visible = r.count_at(3_100 * MS);
+        assert!((1..=110).contains(&visible), "visible {visible}");
+    }
+
+    #[test]
+    fn an_idle_gap_longer_than_the_window_empties_the_view() {
+        let mut r = rolling();
+        for i in 0..30 {
+            r.record_at(i * MS, 5_000);
+        }
+        assert_eq!(r.count_at(30 * MS), 30);
+        // Reading far in the future — every slice expired.
+        assert_eq!(r.count_at(10_000 * MS), 0);
+        assert_eq!(r.percentile_at(10_000 * MS, 0.99), 0);
+    }
+
+    #[test]
+    fn stale_timestamps_still_record() {
+        let mut r = rolling();
+        r.record_at(500 * MS, 1_000);
+        // Arrival timestamped slightly before the newest slice (thread
+        // race): must not be lost.
+        r.record_at(450 * MS, 1_000);
+        assert_eq!(r.count_at(500 * MS), 2);
+    }
+
+    #[test]
+    fn wall_clock_convenience_api_records() {
+        let mut r = RollingHistogram::new(Duration::from_secs(5), 10);
+        r.record(1_000);
+        r.record(2_000);
+        assert_eq!(r.snapshot().count(), 2);
+        assert!(r.percentile(1.0) >= 2_000);
+    }
+
+    #[test]
+    fn partial_expiry_keeps_recent_slices() {
+        let mut r = rolling();
+        r.record_at(50 * MS, 10 * MS); // slice 0
+        r.record_at(950 * MS, MS); // slice 9
+                                   // At t=1.05s slice 0 has expired, slice 9 has not.
+        let snap = r.snapshot_at(1_050 * MS);
+        assert_eq!(snap.count(), 1);
+        assert!(snap.percentile(1.0) <= 2 * MS);
+    }
+}

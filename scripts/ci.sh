@@ -96,4 +96,56 @@ assert run["queue_depth"]["max"] >= 1
 print(f"serve smoke ok: {run['completed']} frames, p99 {p99/1e6:.2f} ms")
 EOF
 
+echo "==> loopback TCP smoke (serve --bind + connect transcode, byte-identical to in-process serve)"
+# Build a small MPEG-2 source, transcode it to H.264 twice — once
+# through the in-process serve path, once over a real TCP connection —
+# and require the output containers to be byte-identical: the wire
+# moves bytes, never changes them.
+./target/release/hdvb encode --codec mpeg2 --sequence blue_sky \
+    --resolution 96x80 --frames 8 -o "$tmpdir/src.hvb" > /dev/null
+./target/release/hdvb serve -i "$tmpdir/src.hvb" --codec h264 --threads 1 \
+    -o "$tmpdir/local.hvb" > /dev/null
+./target/release/hdvb serve --bind 127.0.0.1:0 --seconds 20 \
+    > "$tmpdir/net.log" 2>&1 &
+net_pid=$!
+for _ in $(seq 1 100); do
+    grep -q "listening on" "$tmpdir/net.log" 2>/dev/null && break
+    sleep 0.1
+done
+net_addr=$(sed -n 's/.*listening on //p' "$tmpdir/net.log" | head -1)
+[ -n "$net_addr" ] || { echo "serve --bind never came up" >&2; cat "$tmpdir/net.log" >&2; exit 1; }
+./target/release/hdvb connect --addr "$net_addr" -i "$tmpdir/src.hvb" \
+    --codec h264 --priority live -o "$tmpdir/remote.hvb" > "$tmpdir/connect.txt"
+wait "$net_pid"
+cmp "$tmpdir/local.hvb" "$tmpdir/remote.hvb" || {
+    echo "TCP transcode diverged from in-process serve" >&2
+    exit 1
+}
+grep -Eq "live +admitted 1" "$tmpdir/net.log" || {
+    echo "server stats did not count the live session" >&2
+    cat "$tmpdir/net.log" >&2
+    exit 1
+}
+echo "loopback smoke ok: remote.hvb == local.hvb"
+
+echo "==> serve-load smoke (TCP saturation sweep, loadcurve schema check)"
+(cd "$tmpdir" && "$OLDPWD/target/release/hdvb" serve-load --codec mpeg2 \
+    --sessions 1,2 --fps 20 --duration 1 --resolution 96x80 \
+    --slo-p99 250 --seed 7 > loadcurve.txt 2> loadcurve.log)
+python3 - "$tmpdir/BENCH_loadcurve.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "hdvb-loadcurve/v1", doc.get("schema")
+assert [c["sessions"] for c in doc["cells"]] == [1, 2], doc["cells"]
+for cell in doc["cells"]:
+    for cls in ("live", "batch"):
+        c = cell[cls]
+        assert c["admitted"] + c["rejected"] >= 0
+        assert 0.0 <= c["rejection_rate"] <= 1.0, c
+    assert cell["goodput_fps"] > 0, cell
+    assert cell["client_errors"] == 0, cell
+assert "frame" in doc["pools"] and "buffer" in doc["pools"]
+print(f"serve-load smoke ok: {len(doc['cells'])} cells, schema {doc['schema']}")
+EOF
+
 echo "CI green."

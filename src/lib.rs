@@ -26,6 +26,7 @@ pub use hdvb_me as me;
 pub use hdvb_mj2k as mj2k;
 pub use hdvb_mpeg2 as mpeg2;
 pub use hdvb_mpeg4 as mpeg4;
+pub use hdvb_net as net;
 pub use hdvb_par as par;
 pub use hdvb_seq as seq;
 pub use hdvb_serve as serve;
