@@ -52,6 +52,12 @@ impl Parsed {
         SequenceId::from_name(name).ok_or_else(|| format!("unknown sequence {name:?}"))
     }
 
+    /// The raw `--sequence` value, for commands that accept generators
+    /// beyond the four catalog clips (e.g. `ladder`'s `screen` source).
+    pub fn sequence_name(&self) -> Option<&str> {
+        self.get("sequence")
+    }
+
     pub fn resolution(&self) -> Result<Resolution, String> {
         parse_resolution(self.get("resolution").unwrap_or("576p25"))
     }
@@ -156,6 +162,40 @@ impl Parsed {
         match self.get("seed") {
             None => Ok(1),
             Some(v) => v.parse::<u64>().map_err(|_| format!("bad --seed {v:?}")),
+        }
+    }
+
+    /// `--rungs WxH,WxH,...`: explicit ladder rung resolutions, highest
+    /// first by convention. `None` means derive the standard ladder
+    /// from the source geometry.
+    pub fn rungs(&self) -> Result<Option<Vec<Resolution>>, String> {
+        match self.get("rungs") {
+            None => Ok(None),
+            Some(v) => {
+                let rungs: Vec<Resolution> = v
+                    .split(',')
+                    .map(|t| parse_resolution(t.trim()))
+                    .collect::<Result<_, _>>()?;
+                if rungs.is_empty() || rungs.len() > 8 {
+                    return Err(format!("bad --rungs {v:?} (1..=8 resolutions)"));
+                }
+                Ok(Some(rungs))
+            }
+        }
+    }
+
+    /// `--switch N`: ladder segment length in frames (the switching
+    /// granularity; must be a multiple of the GOP length). `None`
+    /// means the command's GOP-derived default.
+    pub fn switch_interval(&self) -> Result<Option<u32>, String> {
+        match self.get("switch") {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<u32>()
+                .ok()
+                .filter(|&n| (1..=100_000).contains(&n))
+                .map(Some)
+                .ok_or_else(|| format!("bad --switch {v:?}")),
         }
     }
 

@@ -1137,6 +1137,272 @@ pub fn serve_bench(p: &Parsed) -> CmdResult {
     Ok(())
 }
 
+/// Synthesizes a mezzanine from raw frames: encode near-lossless
+/// (qscale 2), then decode **once** — the decoded frames are what the
+/// ladder fans out, and the decode is the "decode once" half of the
+/// transcode workload.
+fn mezzanine(
+    codec: CodecId,
+    raw: &[Frame],
+    options: &CodingOptions,
+) -> Result<(Vec<Frame>, std::time::Duration), String> {
+    let res = Resolution::new(raw[0].width() as u32, raw[0].height() as u32);
+    let mezz_opts = options.with_qscale(2);
+    let mut enc = create_encoder(codec, res, &mezz_opts).map_err(|e| e.to_string())?;
+    let mut packets: Vec<Packet> = Vec::new();
+    for f in raw {
+        packets.extend(enc.encode_frame(f).map_err(|e| e.to_string())?);
+    }
+    packets.extend(enc.finish().map_err(|e| e.to_string())?);
+    let t0 = Instant::now();
+    let decoded = decode_sequence(codec, &packets, options.simd).map_err(|e| e.to_string())?;
+    Ok((decoded.frames, t0.elapsed()))
+}
+
+/// `ladder`: the ABR transcode workload — decode a mezzanine once,
+/// then scale + encode one GOP-aligned stream per rung. Writes
+/// `BENCH_ladder.json` (schema `hdvb-ladder/v1`).
+pub fn ladder(p: &Parsed) -> CmdResult {
+    use hdvb_core::{run_ladder, LadderSpec};
+
+    let _trace = TraceSession::start(p);
+    let codec = p.codec_opt()?.unwrap_or(CodecId::H264);
+    let options = options_from(p)?;
+    let frames = p.frames()?;
+    let seed = p.seed()?;
+    let threads = resolve_threads(p)?;
+
+    // Source mezzanine: an encoded `.hvb` stream (-i), or a synthetic
+    // one built from a generator (`--sequence screen` selects the
+    // seeded screen-content family).
+    let (source_name, fps, source, decode_time) = if let Some(input) = p.input() {
+        let file = File::open(input).map_err(|e| format!("cannot open {input}: {e}"))?;
+        let (header, packets) = read_stream(BufReader::new(file)).map_err(|e| e.to_string())?;
+        let t0 = Instant::now();
+        let decoded =
+            decode_sequence(header.codec, &packets, options.simd).map_err(|e| e.to_string())?;
+        let mut frames_vec = decoded.frames;
+        frames_vec.truncate(frames as usize);
+        (
+            input.to_string(),
+            header.format.frame_rate.as_f64(),
+            frames_vec,
+            t0.elapsed(),
+        )
+    } else {
+        let resolution = p.resolution()?;
+        let (name, raw): (String, Vec<Frame>) = match p.sequence_name() {
+            Some("screen") => {
+                let screen = hdvb_seq::ScreenContent::new(resolution, seed);
+                (
+                    "screen".into(),
+                    (0..frames).map(|i| screen.frame(i)).collect(),
+                )
+            }
+            _ => {
+                let id = match p.sequence_name() {
+                    None => SequenceId::BlueSky,
+                    Some(_) => p.sequence()?,
+                };
+                let seq = Sequence::new(id, resolution);
+                (
+                    id.name().into(),
+                    (0..frames).map(|i| seq.frame(i)).collect(),
+                )
+            }
+        };
+        let (decoded, decode_time) = mezzanine(codec, &raw, &options)?;
+        (name, 25.0, decoded, decode_time)
+    };
+    if source.is_empty() {
+        return Err("source stream has no frames".into());
+    }
+    let src_res = Resolution::new(source[0].width() as u32, source[0].height() as u32);
+
+    let gop = u32::from(options.b_frames) + 1;
+    let spec = LadderSpec {
+        rungs: match p.rungs()? {
+            Some(r) => r,
+            None => LadderSpec::standard(codec, src_res, options).rungs,
+        },
+        switch_interval: p.switch_interval()?.unwrap_or(4 * gop),
+        codec,
+        options,
+    };
+    eprintln!(
+        "ladder: {codec}, source {source_name} {src_res}, {} frames, {} rungs, switch every {} frames, {threads} threads",
+        source.len(),
+        spec.rungs.len(),
+        spec.switch_interval,
+    );
+
+    let runner = ParallelRunner::new(threads);
+    let result = run_ladder(&source, &spec, runner.pool()).map_err(|e| e.to_string())?;
+
+    println!(
+        "ABR ladder — {codec}, {} source frames, {} segments, decode-once {:.1} ms, fan-out wall {:.1} ms",
+        result.frames,
+        result.segments.len(),
+        decode_time.as_secs_f64() * 1e3,
+        result.wall.as_secs_f64() * 1e3,
+    );
+    println!("| rung | packets | kbit/s | PSNR-Y (dB) | encode ms | scale ms |");
+    println!("|------|--------:|-------:|------------:|----------:|---------:|");
+    for rung in &result.rungs {
+        println!(
+            "| {} | {} | {:.0} | {:.2} | {:.1} | {:.1} |",
+            rung.resolution,
+            rung.packets.len(),
+            rung.bitrate_kbps(fps, result.frames),
+            rung.psnr_y,
+            rung.encode_time.as_secs_f64() * 1e3,
+            rung.scale_time.as_secs_f64() * 1e3,
+        );
+    }
+
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"hdvb-ladder/v1\",\n");
+    out.push_str(&format!("  \"codec\": \"{}\",\n", codec.name()));
+    out.push_str(&format!("  \"source\": \"{source_name}\",\n"));
+    out.push_str(&format!("  \"source_resolution\": \"{src_res}\",\n"));
+    out.push_str(&format!("  \"frames\": {},\n", result.frames));
+    out.push_str(&format!("  \"fps\": {fps},\n"));
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!(
+        "  \"switch_interval\": {},\n",
+        spec.switch_interval
+    ));
+    out.push_str(&format!("  \"segments\": {},\n", result.segments.len()));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!("  \"simd\": \"{}\",\n", options.simd.tier_name()));
+    out.push_str(&format!("  \"qscale\": {},\n", options.mpeg_qscale));
+    out.push_str(&format!("  \"b_frames\": {},\n", options.b_frames));
+    out.push_str(&format!(
+        "  \"decode_ms\": {:.3},\n  \"wall_ms\": {:.3},\n",
+        decode_time.as_secs_f64() * 1e3,
+        result.wall.as_secs_f64() * 1e3
+    ));
+    out.push_str("  \"rungs\": [\n");
+    for (i, rung) in result.rungs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"resolution\": \"{}\", \"packets\": {}, \"bits\": {}, \"kbps\": {:.3}, \"psnr_y\": {:.4}, \"encode_ms\": {:.3}, \"scale_ms\": {:.3}, \"segment_starts\": {:?}}}{}\n",
+            rung.resolution,
+            rung.packets.len(),
+            rung.bits,
+            rung.bitrate_kbps(fps, result.frames),
+            rung.psnr_y,
+            rung.encode_time.as_secs_f64() * 1e3,
+            rung.scale_time.as_secs_f64() * 1e3,
+            rung.segment_starts,
+            if i + 1 == result.rungs.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    write_bench_file("BENCH_ladder.json", &out)
+}
+
+/// `screen`: the screen-content workload family — encode, decode and
+/// measure the seeded desktop clip per codec. Writes
+/// `BENCH_screen.json` (schema `hdvb-screen/v1`).
+pub fn screen(p: &Parsed) -> CmdResult {
+    use hdvb_seq::ScreenContent;
+
+    let _trace = TraceSession::start(p);
+    let resolution = p.resolution()?;
+    let frames = p.frames()?;
+    let seed = p.seed()?;
+    let options = options_from(p)?;
+    let codecs: Vec<CodecId> = match p.codec_opt()? {
+        Some(c) => vec![c],
+        None => CodecId::ALL.to_vec(),
+    };
+
+    let screen = ScreenContent::new(resolution, seed);
+    let source: Vec<Frame> = (0..frames).map(|i| screen.frame(i)).collect();
+    let fps = screen.format().frame_rate.as_f64();
+    eprintln!(
+        "screen: {} codec(s), {resolution}, {frames} frames, seed {seed}",
+        codecs.len()
+    );
+
+    struct Row {
+        codec: CodecId,
+        bits: u64,
+        encode_fps: f64,
+        decode_fps: f64,
+        psnr_y: f64,
+    }
+    let mut rows = Vec::new();
+    for &codec in &codecs {
+        let mut enc = create_encoder(codec, resolution, &options).map_err(|e| e.to_string())?;
+        let mut packets: Vec<Packet> = Vec::new();
+        let t0 = Instant::now();
+        for f in &source {
+            packets.extend(enc.encode_frame(f).map_err(|e| e.to_string())?);
+        }
+        packets.extend(enc.finish().map_err(|e| e.to_string())?);
+        let encode_time = t0.elapsed();
+        let decoded = decode_sequence(codec, &packets, options.simd).map_err(|e| e.to_string())?;
+        if decoded.frames.len() != source.len() {
+            return Err(format!(
+                "{codec}: decoded {} of {} frames",
+                decoded.frames.len(),
+                source.len()
+            ));
+        }
+        let mut acc = SequencePsnr::new();
+        for (s, d) in source.iter().zip(&decoded.frames) {
+            acc.add(s, d);
+        }
+        rows.push(Row {
+            codec,
+            bits: packets.iter().map(Packet::bits).sum(),
+            encode_fps: f64::from(frames) / encode_time.as_secs_f64().max(1e-9),
+            decode_fps: f64::from(frames) / decoded.elapsed.as_secs_f64().max(1e-9),
+            psnr_y: acc.y_psnr(),
+        });
+    }
+
+    println!("screen content — {resolution}, {frames} frames, seed {seed}");
+    println!("| codec | kbit/s | PSNR-Y (dB) | encode fps | decode fps |");
+    println!("|-------|-------:|------------:|-----------:|-----------:|");
+    for r in &rows {
+        println!(
+            "| {} | {:.0} | {:.2} | {:.1} | {:.1} |",
+            r.codec.name(),
+            r.bits as f64 * fps / f64::from(frames) / 1000.0,
+            r.psnr_y,
+            r.encode_fps,
+            r.decode_fps,
+        );
+    }
+
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"hdvb-screen/v1\",\n");
+    out.push_str(&format!("  \"resolution\": \"{resolution}\",\n"));
+    out.push_str(&format!("  \"frames\": {frames},\n"));
+    out.push_str(&format!("  \"fps\": {fps},\n"));
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"simd\": \"{}\",\n", options.simd.tier_name()));
+    out.push_str(&format!("  \"qscale\": {},\n", options.mpeg_qscale));
+    out.push_str(&format!("  \"b_frames\": {},\n", options.b_frames));
+    out.push_str("  \"codecs\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"codec\": \"{}\", \"bits\": {}, \"kbps\": {:.3}, \"psnr_y\": {:.4}, \"encode_fps\": {:.3}, \"decode_fps\": {:.3}}}{}\n",
+            r.codec.name(),
+            r.bits,
+            r.bits as f64 * fps / f64::from(frames) / 1000.0,
+            r.psnr_y,
+            r.encode_fps,
+            r.decode_fps,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    write_bench_file("BENCH_screen.json", &out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

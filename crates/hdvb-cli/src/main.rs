@@ -35,6 +35,10 @@ COMMANDS:
     serve-load                      TCP latency-vs-load sweep with SLO admission
                                     (writes BENCH_loadcurve.json)
     pools                           frame/bitstream pool efficiency diagnostic
+    ladder                          ABR transcode ladder: decode once, encode per rung
+                                    (writes BENCH_ladder.json)
+    screen                          screen-content workload per codec
+                                    (writes BENCH_screen.json)
 
 COMMON OPTIONS:
     --codec <mpeg2|mpeg4|h264>      codec under test
@@ -103,6 +107,13 @@ COMMON OPTIONS:
                                     bucket, inputs/second (burst = one second)
                                     (serve-load --sessions takes a comma list,
                                     e.g. 1,2,4,8 — the sweep axis)
+    --rungs <WxH,...>               ladder: explicit rung resolutions (default:
+                                    full, 2/3, 1/2 and 1/4 of the source)
+    --switch <n>                    ladder: segment length in frames — the rung
+                                    switching granularity; must be a multiple of
+                                    the GOP length                    [default: 4 GOPs]
+                                    (ladder --sequence also accepts \"screen\";
+                                    ladder/screen --seed seeds the screen content)
 
 ENVIRONMENT:
     HDVB_SIMD                       force a kernel tier (scalar|sse2|avx2|auto)
@@ -131,6 +142,9 @@ EXAMPLES:
          --frames 24 --priority live -o out.hvb
     hdvb serve-load --sessions 1,2,4,8 --fps 30 --duration 2 --slo-p99 50
     hdvb pools --codec h264
+    hdvb ladder --codec h264 --sequence screen --resolution 288x160 --frames 24
+    hdvb ladder -i out.hvb --rungs 720x576,360x288 --switch 12
+    hdvb screen --resolution 288x160 --frames 24 --seed 7
 ";
 
 fn main() -> ExitCode {
@@ -168,6 +182,8 @@ fn main() -> ExitCode {
         "serve-bench" => commands::serve_bench(&parsed),
         "serve-load" => commands::serve_load(&parsed),
         "pools" => commands::pools(&parsed),
+        "ladder" => commands::ladder(&parsed),
+        "screen" => commands::screen(&parsed),
         other => {
             eprintln!("error: unknown command {other:?}\n");
             eprint!("{USAGE}");

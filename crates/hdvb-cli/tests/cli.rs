@@ -328,3 +328,152 @@ fn serve_bench_reports_slos_and_writes_json() {
     assert!(json.contains("\"p99\":"));
     let _ = std::fs::remove_dir_all(dir);
 }
+
+#[test]
+fn ladder_writes_report_and_json() {
+    // BENCH_ladder.json lands in the working directory, so run in a
+    // scratch dir.
+    let dir = tmp("ladder-dir");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = hdvb()
+        .current_dir(&dir)
+        .args([
+            "ladder",
+            "--codec",
+            "mpeg2",
+            "--sequence",
+            "screen",
+            "--resolution",
+            "96x64",
+            "--frames",
+            "12",
+            "--switch",
+            "6",
+            "--seed",
+            "7",
+            "--threads",
+            "1",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let table = String::from_utf8_lossy(&out.stdout);
+    for col in ["rung", "kbit/s", "PSNR-Y", "96x64", "48x32"] {
+        assert!(table.contains(col), "missing {col} in:\n{table}");
+    }
+    let json = std::fs::read_to_string(dir.join("BENCH_ladder.json")).unwrap();
+    for field in [
+        "\"schema\": \"hdvb-ladder/v1\"",
+        "\"switch_interval\": 6",
+        "\"segment_starts\": [0, 6]",
+        "\"psnr_y\":",
+    ] {
+        assert!(json.contains(field), "missing {field} in:\n{json}");
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn ladder_rejects_bad_switch_interval() {
+    // 5 is not a multiple of the default GOP length (b_frames 2 -> 3).
+    let dir = tmp("ladder-bad-dir");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = hdvb()
+        .current_dir(&dir)
+        .args([
+            "ladder",
+            "--codec",
+            "mpeg2",
+            "--resolution",
+            "96x64",
+            "--frames",
+            "6",
+            "--switch",
+            "5",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("multiple of the GOP"), "{err}");
+    assert!(
+        !dir.join("BENCH_ladder.json").exists(),
+        "failed run must not leave a BENCH file"
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn ladder_accepts_explicit_rungs() {
+    let dir = tmp("ladder-rungs-dir");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = hdvb()
+        .current_dir(&dir)
+        .args([
+            "ladder",
+            "--codec",
+            "mpeg2",
+            "--resolution",
+            "96x64",
+            "--frames",
+            "6",
+            "--switch",
+            "6",
+            "--rungs",
+            "96x64,48x32",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(dir.join("BENCH_ladder.json")).unwrap();
+    assert!(json.contains("\"resolution\": \"96x64\""), "{json}");
+    assert!(json.contains("\"resolution\": \"48x32\""), "{json}");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn screen_writes_report_and_json_for_all_codecs() {
+    let dir = tmp("screen-dir");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = hdvb()
+        .current_dir(&dir)
+        .args([
+            "screen",
+            "--resolution",
+            "96x64",
+            "--frames",
+            "6",
+            "--seed",
+            "7",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let table = String::from_utf8_lossy(&out.stdout);
+    for col in ["codec", "kbit/s", "PSNR-Y", "mpeg2", "mpeg4", "h264"] {
+        assert!(table.contains(col), "missing {col} in:\n{table}");
+    }
+    let json = std::fs::read_to_string(dir.join("BENCH_screen.json")).unwrap();
+    for field in [
+        "\"schema\": \"hdvb-screen/v1\"",
+        "\"seed\": 7",
+        "\"codec\": \"mpeg2\"",
+        "\"codec\": \"h264\"",
+        "\"decode_fps\":",
+    ] {
+        assert!(json.contains(field), "missing {field} in:\n{json}");
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -29,6 +29,7 @@ mod codec;
 mod error;
 mod faults;
 mod journal;
+mod ladder;
 mod options;
 mod parallel;
 mod report;
@@ -48,6 +49,7 @@ pub use journal::{
     fnv1a64, load_journal, truncate_journal, JournalLoad, JournalOutcome, JournalRecord,
     JournalWriter,
 };
+pub use ladder::{run_ladder, FrameScaler, LadderResult, LadderSpec, RungResult};
 pub use options::{h264_qp_for_mpeg_qscale, CodingOptions};
 pub use parallel::{
     encode_sequence_parallel, ExecutionReport, Figure1Part, ParallelEncodeStats, ParallelRunner,

@@ -1148,6 +1148,127 @@ fn deblock_horiz_edge_entry(
     unsafe { deblock_horiz_edge_avx2(data, stride, q0_off, width, alpha, beta, tc) }
 }
 
+// -------------------------------------------------------------- scale --
+
+/// # Safety
+/// Requires AVX2 plus the geometry contract of the scalar kernel: every
+/// `offsets[i] + 4 <= src.len()` and `dst`/`taps` sized for `offsets`.
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn scale_row_h_avx2(dst: &mut [u8], src: &[u8], offsets: &[u32], taps: &[i16]) {
+    debug_assert_eq!(offsets.len() * 4, taps.len());
+    debug_assert!(dst.len() >= offsets.len());
+    let n = offsets.len();
+    let round = _mm256_set1_epi32(64);
+    let zero = _mm256_setzero_si256();
+    let mut i = 0;
+    while i + 8 <= n {
+        // Eight output pixels, one 4-byte source window each.
+        let win = |k: usize| {
+            u32::from_le_bytes(src[offsets[i + k] as usize..][..4].try_into().unwrap()) as i32
+        };
+        let px = _mm256_set_epi32(
+            win(7),
+            win(6),
+            win(5),
+            win(4),
+            win(3),
+            win(2),
+            win(1),
+            win(0),
+        );
+        // Per 128-bit lane: lo = windows {0,1 | 4,5}, hi = {2,3 | 6,7}.
+        let lo = _mm256_unpacklo_epi8(px, zero);
+        let hi = _mm256_unpackhi_epi8(px, zero);
+        // taps[4i..4i+32] is 8 windows × 4 coefficients; regroup so the
+        // coefficient lanes line up with the unpacked pixel lanes.
+        let cl = _mm256_loadu_si256(taps.as_ptr().add(4 * i).cast()); // w0..w3
+        let ch = _mm256_loadu_si256(taps.as_ptr().add(4 * i + 16).cast()); // w4..w7
+        let c_lo = _mm256_permute2x128_si256::<0x20>(cl, ch); // {w0,w1 | w4,w5}
+        let c_hi = _mm256_permute2x128_si256::<0x31>(cl, ch); // {w2,w3 | w6,w7}
+        let m0 = _mm256_madd_epi16(lo, c_lo);
+        let m1 = _mm256_madd_epi16(hi, c_hi);
+        // Fold partial pairs, then gather all eight sums in lane order.
+        let s0 = _mm256_add_epi32(m0, _mm256_shuffle_epi32::<0b10_11_00_01>(m0));
+        let s1 = _mm256_add_epi32(m1, _mm256_shuffle_epi32::<0b10_11_00_01>(m1));
+        let a02 = _mm256_shuffle_epi32::<0b10_00_10_00>(s0);
+        let b02 = _mm256_shuffle_epi32::<0b10_00_10_00>(s1);
+        let eight = _mm256_unpacklo_epi64(a02, b02); // {p0..p3 | p4..p7}
+        let r = _mm256_srai_epi32::<7>(_mm256_add_epi32(eight, round));
+        let p16 = _mm256_packs_epi32(r, r);
+        let p8 = _mm256_packus_epi16(p16, p16);
+        let lo4 = _mm_cvtsi128_si32(_mm256_castsi256_si128(p8)) as u32;
+        let hi4 = _mm_cvtsi128_si32(_mm256_extracti128_si256::<1>(p8)) as u32;
+        dst[i..i + 4].copy_from_slice(&lo4.to_le_bytes());
+        dst[i + 4..i + 8].copy_from_slice(&hi4.to_le_bytes());
+        i += 8;
+    }
+    if i < n {
+        crate::scale::scale_row_h_scalar(&mut dst[i..n], src, &offsets[i..], &taps[4 * i..]);
+    }
+}
+
+/// # Safety
+/// Requires AVX2 and rows at least as long as `dst`.
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn scale_row_v_avx2(
+    dst: &mut [u8],
+    r0: &[u8],
+    r1: &[u8],
+    r2: &[u8],
+    r3: &[u8],
+    c: &[i16; 4],
+) {
+    let w = dst.len();
+    debug_assert!(r0.len() >= w && r1.len() >= w && r2.len() >= w && r3.len() >= w);
+    let c01 = _mm256_set1_epi32((c[0] as u16 as i32) | ((c[1] as i32) << 16));
+    let c23 = _mm256_set1_epi32((c[2] as u16 as i32) | ((c[3] as i32) << 16));
+    let round = _mm256_set1_epi32(64);
+    let zero = _mm256_setzero_si256();
+    let mut x = 0;
+    while x + 32 <= w {
+        let v0 = _mm256_loadu_si256(r0.as_ptr().add(x).cast());
+        let v1 = _mm256_loadu_si256(r1.as_ptr().add(x).cast());
+        let v2 = _mm256_loadu_si256(r2.as_ptr().add(x).cast());
+        let v3 = _mm256_loadu_si256(r3.as_ptr().add(x).cast());
+        // Per-lane interleave keeps unpack/pack symmetric, so the final
+        // pack restores pixel order without a cross-lane permute.
+        let i01 = _mm256_unpacklo_epi8(v0, v1);
+        let i01h = _mm256_unpackhi_epi8(v0, v1);
+        let i23 = _mm256_unpacklo_epi8(v2, v3);
+        let i23h = _mm256_unpackhi_epi8(v2, v3);
+        let a0 = _mm256_madd_epi16(_mm256_unpacklo_epi8(i01, zero), c01);
+        let a1 = _mm256_madd_epi16(_mm256_unpackhi_epi8(i01, zero), c01);
+        let a2 = _mm256_madd_epi16(_mm256_unpacklo_epi8(i01h, zero), c01);
+        let a3 = _mm256_madd_epi16(_mm256_unpackhi_epi8(i01h, zero), c01);
+        let b0 = _mm256_madd_epi16(_mm256_unpacklo_epi8(i23, zero), c23);
+        let b1 = _mm256_madd_epi16(_mm256_unpackhi_epi8(i23, zero), c23);
+        let b2 = _mm256_madd_epi16(_mm256_unpacklo_epi8(i23h, zero), c23);
+        let b3 = _mm256_madd_epi16(_mm256_unpackhi_epi8(i23h, zero), c23);
+        let s0 = _mm256_srai_epi32::<7>(_mm256_add_epi32(_mm256_add_epi32(a0, b0), round));
+        let s1 = _mm256_srai_epi32::<7>(_mm256_add_epi32(_mm256_add_epi32(a1, b1), round));
+        let s2 = _mm256_srai_epi32::<7>(_mm256_add_epi32(_mm256_add_epi32(a2, b2), round));
+        let s3 = _mm256_srai_epi32::<7>(_mm256_add_epi32(_mm256_add_epi32(a3, b3), round));
+        let lo16 = _mm256_packs_epi32(s0, s1);
+        let hi16 = _mm256_packs_epi32(s2, s3);
+        let out = _mm256_packus_epi16(lo16, hi16);
+        _mm256_storeu_si256(dst.as_mut_ptr().add(x).cast(), out);
+        x += 32;
+    }
+    if x < w {
+        crate::scale::scale_row_v_scalar(&mut dst[x..], &r0[x..], &r1[x..], &r2[x..], &r3[x..], c);
+    }
+}
+
+fn scale_h_entry(dst: &mut [u8], src: &[u8], offsets: &[u32], taps: &[i16]) {
+    assert_avx2();
+    unsafe { scale_row_h_avx2(dst, src, offsets, taps) }
+}
+
+fn scale_v_entry(dst: &mut [u8], r0: &[u8], r1: &[u8], r2: &[u8], r3: &[u8], c: &[i16; 4]) {
+    assert_avx2();
+    unsafe { scale_row_v_avx2(dst, r0, r1, r2, r3, c) }
+}
+
 /// The AVX2 tier's resolved kernel table.
 pub(crate) static AVX2_KERNELS: KernelTable = KernelTable {
     sad: sad_entry,
@@ -1168,4 +1289,6 @@ pub(crate) static AVX2_KERNELS: KernelTable = KernelTable {
     add_residual8: add_residual8_entry,
     diff_block8: diff_block8_entry,
     deblock_horiz_edge: deblock_horiz_edge_entry,
+    scale_h: scale_h_entry,
+    scale_v: scale_v_entry,
 };

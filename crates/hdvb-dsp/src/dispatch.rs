@@ -176,6 +176,14 @@ pub type AddResidual8Fn = fn(&mut [u8], usize, &[u8], usize, &Block8);
 pub type DiffBlock8Fn = fn(&mut Block8, &[u8], usize, &[u8], usize);
 /// Horizontal deblocking edge filter.
 pub type DeblockHorizFn = fn(&mut [u8], usize, usize, usize, i32, i32, i32);
+/// Horizontal polyphase resample of one row:
+/// `(dst, src, offsets, taps)` — output `i` is the 4-tap dot product of
+/// `src[offsets[i]..offsets[i]+4]` with `taps[4i..4i+4]` (weights sum to
+/// 128; see `ScaleFilter`).
+pub type ScaleHFn = fn(&mut [u8], &[u8], &[u32], &[i16]);
+/// Vertical polyphase blend of four rows into one output row with a
+/// single 4-tap weight set: `(dst, r0, r1, r2, r3, taps)`.
+pub type ScaleVFn = fn(&mut [u8], &[u8], &[u8], &[u8], &[u8], &[i16; 4]);
 
 /// The full set of kernel entry points for one tier.
 ///
@@ -203,6 +211,8 @@ pub(crate) struct KernelTable {
     pub(crate) add_residual8: AddResidual8Fn,
     pub(crate) diff_block8: DiffBlock8Fn,
     pub(crate) deblock_horiz_edge: DeblockHorizFn,
+    pub(crate) scale_h: ScaleHFn,
+    pub(crate) scale_v: ScaleVFn,
 }
 
 /// The scalar tier: the portable reference implementation of every
@@ -227,6 +237,8 @@ pub(crate) static SCALAR_KERNELS: KernelTable = KernelTable {
     add_residual8: crate::pixel::add_residual8_scalar,
     diff_block8: crate::pixel::diff_block8,
     deblock_horiz_edge: crate::deblock::deblock_horiz_edge_scalar,
+    scale_h: crate::scale::scale_row_h_scalar,
+    scale_v: crate::scale::scale_row_v_scalar,
 };
 
 /// Dispatch table for all DSP kernels at a chosen [`SimdLevel`].

@@ -36,6 +36,7 @@ mod pixel;
 mod qpel;
 mod quant;
 mod satd;
+mod scale;
 
 #[cfg(target_arch = "x86_64")]
 mod avx2;
@@ -43,8 +44,9 @@ mod avx2;
 mod sse2;
 
 pub use dct4::{chroma_dc_hadamard_2x2, chroma_dc_ihadamard_2x2};
-pub use dispatch::{Dsp, SadFn, SatdFn, SimdLevel, SsdFn};
+pub use dispatch::{Dsp, SadFn, SatdFn, ScaleHFn, ScaleVFn, SimdLevel, SsdFn};
 pub use quant::{QuantMatrix, MPEG_DEFAULT_INTRA, MPEG_DEFAULT_NONINTRA, QUANT_FLAT_16};
+pub use scale::{ScaleFilter, Scaler, SCALE_FILTER_BITS, SCALE_TAPS};
 
 /// An 8×8 block of transform coefficients or residuals, row-major.
 pub type Block8 = [i16; 64];

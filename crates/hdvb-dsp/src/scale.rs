@@ -1,0 +1,416 @@
+//! Polyphase plane scaling — the resampler behind ABR transcode
+//! ladders (decode once, re-encode at several resolutions).
+//!
+//! The scaler is separable: a horizontal pass resamples every source row
+//! to the destination width, then a vertical pass resamples the columns
+//! of that intermediate to the destination height. Both passes use the
+//! same 4-tap polyphase structure: for every output position a
+//! [`ScaleFilter`] precomputes the first of four **contiguous** source
+//! samples plus four 7-bit fixed-point weights (a Catmull-Rom kernel
+//! evaluated at the exact output phase, quantised so the taps always sum
+//! to 128). Out-of-range taps at the plane edges are folded into the
+//! nearest in-range sample at filter-build time, so the hot kernels are
+//! branch-free windowed dot products.
+//!
+//! All arithmetic is integer (`acc = Σ tap·sample`, then
+//! `(acc + 64) >> 7`, clamped to `[0, 255]`), so every SIMD tier is
+//! bit-exact with the scalar reference — the same invariant the codec
+//! kernels uphold, asserted by the property tests in
+//! `tests/simd_equivalence.rs` and the workspace `simd_invariance`
+//! suite.
+//!
+//! The 4-tap kernel is used for upscaling and downscaling alike; a
+//! production scaler would widen its support when downsampling to
+//! band-limit first (see DESIGN.md §16 for the trade-off).
+
+use crate::dispatch::Dsp;
+
+/// Number of filter taps per output sample.
+pub const SCALE_TAPS: usize = 4;
+
+/// Fixed-point fraction bits of the filter weights (weights sum to
+/// `1 << SCALE_FILTER_BITS` = 128).
+pub const SCALE_FILTER_BITS: u32 = 7;
+
+const FILTER_SCALE: i64 = 1 << SCALE_FILTER_BITS;
+
+/// A precomputed 1-D polyphase resampling filter from `src_len` samples
+/// to `dst_len` samples.
+///
+/// For output index `i`, `offsets()[i]` is the first of
+/// [`SCALE_TAPS`] contiguous source samples and
+/// `taps()[4*i..4*i + 4]` their signed 7-bit weights. Offsets are
+/// guaranteed to satisfy `offset + 4 <= src_len`, so kernels may read a
+/// full 4-sample window unconditionally.
+#[derive(Clone, Debug)]
+pub struct ScaleFilter {
+    offsets: Vec<u32>,
+    taps: Vec<i16>,
+    src_len: usize,
+    dst_len: usize,
+}
+
+impl ScaleFilter {
+    /// Builds the filter for one axis.
+    ///
+    /// Output sample `i` is centred at source position
+    /// `(i + 0.5) · src_len / dst_len − 0.5` (the standard
+    /// centre-aligned mapping, computed in 16.16 fixed point so the
+    /// phases are exact). When `src_len == dst_len` every phase is zero
+    /// and the filter degenerates to the identity copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src_len < 4` (the window would not fit) or
+    /// `dst_len == 0`.
+    pub fn new(src_len: usize, dst_len: usize) -> ScaleFilter {
+        assert!(src_len >= SCALE_TAPS, "scale source too small: {src_len}");
+        assert!(dst_len > 0, "scale destination is empty");
+        let mut offsets = Vec::with_capacity(dst_len);
+        let mut taps = Vec::with_capacity(dst_len * SCALE_TAPS);
+        for i in 0..dst_len {
+            // 16.16 source position of this output sample's centre.
+            let pos =
+                ((2 * i as i64 + 1) * src_len as i64 * 65536) / (2 * dst_len as i64) - (1 << 15);
+            let base = pos >> 16; // floor, also for negative positions
+            let frac = pos - (base << 16); // 0..65536
+            let ideal = catmull_rom_taps(frac);
+            // Fold out-of-range taps into the clamped edge samples so the
+            // window stays contiguous and fully in bounds.
+            let lo = base - 1;
+            let o = lo.clamp(0, src_len as i64 - SCALE_TAPS as i64);
+            let mut folded = [0i16; SCALE_TAPS];
+            for (k, &c) in ideal.iter().enumerate() {
+                let idx = (lo + k as i64).clamp(0, src_len as i64 - 1);
+                folded[(idx - o) as usize] += c;
+            }
+            offsets.push(o as u32);
+            taps.extend_from_slice(&folded);
+        }
+        ScaleFilter {
+            offsets,
+            taps,
+            src_len,
+            dst_len,
+        }
+    }
+
+    /// Source length this filter reads from.
+    pub fn src_len(&self) -> usize {
+        self.src_len
+    }
+
+    /// Destination length this filter produces.
+    pub fn dst_len(&self) -> usize {
+        self.dst_len
+    }
+
+    /// First source index of each output sample's 4-tap window.
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The 7-bit weights, [`SCALE_TAPS`] per output sample, each group
+    /// summing to 128.
+    pub fn taps(&self) -> &[i16] {
+        &self.taps
+    }
+
+    /// The weight quadruple for output index `i`.
+    pub fn taps_for(&self, i: usize) -> [i16; SCALE_TAPS] {
+        self.taps[i * SCALE_TAPS..(i + 1) * SCALE_TAPS]
+            .try_into()
+            .unwrap()
+    }
+}
+
+/// Catmull-Rom weights at phase `frac` (16.16 fraction in `[0, 65536)`),
+/// quantised to signed 7-bit fixed point that sums to exactly 128.
+fn catmull_rom_taps(frac: i64) -> [i16; SCALE_TAPS] {
+    let t = frac; // units of 1/65536
+    let u = 1i64 << 16;
+    let t2 = (t * t) >> 16;
+    let t3 = (t2 * t) >> 16;
+    // Catmull-Rom: w0 = (−t³+2t²−t)/2, w1 = (3t³−5t²+2)/2,
+    //              w2 = (−3t³+4t²+t)/2, w3 = (t³−t²)/2.
+    let w = [
+        (2 * t2 - t3 - t) / 2,
+        (3 * t3 - 5 * t2 + 2 * u) / 2,
+        (t + 4 * t2 - 3 * t3) / 2,
+        (t3 - t2) / 2,
+    ];
+    let mut q = [0i16; SCALE_TAPS];
+    let mut sum = 0i64;
+    for (qk, &wk) in q.iter_mut().zip(&w) {
+        let v = (wk * FILTER_SCALE + (1 << 15)) >> 16;
+        *qk = v as i16;
+        sum += v;
+    }
+    // Rounding drift goes to the nearest-sample tap so the weights sum
+    // to exactly 128 (keeps flat areas exactly flat).
+    let nearest = if frac < (1 << 15) { 1 } else { 2 };
+    q[nearest] += (FILTER_SCALE - sum) as i16;
+    q
+}
+
+// ------------------------------------------------------ scalar kernels --
+
+/// Horizontal polyphase resample of one row (scalar reference).
+///
+/// `offsets[i]` is the first of four contiguous source samples for
+/// output `i`; `taps[4i..4i+4]` their weights.
+pub(crate) fn scale_row_h_scalar(dst: &mut [u8], src: &[u8], offsets: &[u32], taps: &[i16]) {
+    debug_assert_eq!(offsets.len() * SCALE_TAPS, taps.len());
+    debug_assert!(dst.len() >= offsets.len());
+    for (i, (&o, t)) in offsets
+        .iter()
+        .zip(taps.chunks_exact(SCALE_TAPS))
+        .enumerate()
+    {
+        let s = &src[o as usize..o as usize + SCALE_TAPS];
+        let acc = i32::from(t[0]) * i32::from(s[0])
+            + i32::from(t[1]) * i32::from(s[1])
+            + i32::from(t[2]) * i32::from(s[2])
+            + i32::from(t[3]) * i32::from(s[3]);
+        dst[i] = ((acc + (1 << (SCALE_FILTER_BITS - 1))) >> SCALE_FILTER_BITS).clamp(0, 255) as u8;
+    }
+}
+
+/// Vertical polyphase blend of four source rows with one weight
+/// quadruple (scalar reference).
+pub(crate) fn scale_row_v_scalar(
+    dst: &mut [u8],
+    r0: &[u8],
+    r1: &[u8],
+    r2: &[u8],
+    r3: &[u8],
+    c: &[i16; SCALE_TAPS],
+) {
+    let (c0, c1) = (i32::from(c[0]), i32::from(c[1]));
+    let (c2, c3) = (i32::from(c[2]), i32::from(c[3]));
+    for x in 0..dst.len() {
+        let acc = c0 * i32::from(r0[x])
+            + c1 * i32::from(r1[x])
+            + c2 * i32::from(r2[x])
+            + c3 * i32::from(r3[x]);
+        dst[x] = ((acc + (1 << (SCALE_FILTER_BITS - 1))) >> SCALE_FILTER_BITS).clamp(0, 255) as u8;
+    }
+}
+
+impl Dsp {
+    /// Horizontally resamples one row through the tier's kernel: output
+    /// `i` is the 4-tap dot product at `offsets[i]` (see
+    /// [`ScaleFilter`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `dst` is shorter than `offsets`, if
+    /// `taps` is not exactly four per output, or if a window exceeds
+    /// `src`.
+    #[inline]
+    pub fn scale_row_h(&self, dst: &mut [u8], src: &[u8], offsets: &[u32], taps: &[i16]) {
+        (self.kernels().scale_h)(dst, src, offsets, taps)
+    }
+
+    /// Vertically blends four equally long rows into `dst` with one
+    /// 4-tap weight set (one output row of a vertical resample).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if any row is shorter than `dst`.
+    #[inline]
+    pub fn scale_row_v(
+        &self,
+        dst: &mut [u8],
+        r0: &[u8],
+        r1: &[u8],
+        r2: &[u8],
+        r3: &[u8],
+        c: &[i16; SCALE_TAPS],
+    ) {
+        (self.kernels().scale_v)(dst, r0, r1, r2, r3, c)
+    }
+}
+
+// -------------------------------------------------------- plane scaler --
+
+/// A separable polyphase plane scaler with cached filters.
+///
+/// Owns the horizontal and vertical [`ScaleFilter`]s for one fixed
+/// geometry plus the intermediate buffer, so repeated
+/// [`scale`](Self::scale) calls allocate nothing — the shape a ladder
+/// runner wants when pushing every decoded frame through 3–5 rungs.
+///
+/// Planes are tightly packed (stride == width), matching
+/// `hdvb_frame::Plane`.
+#[derive(Clone, Debug)]
+pub struct Scaler {
+    dsp: Dsp,
+    h: ScaleFilter,
+    v: ScaleFilter,
+    src_w: usize,
+    src_h: usize,
+    /// Horizontal-pass output: `dst_w` × `src_h`.
+    tmp: Vec<u8>,
+}
+
+impl Scaler {
+    /// Creates a scaler from `src_w`×`src_h` planes to `dst_w`×`dst_h`
+    /// planes using `dsp`'s kernel tier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either source dimension is below 4 or either
+    /// destination dimension is zero (see [`ScaleFilter::new`]).
+    pub fn new(dsp: Dsp, src_w: usize, src_h: usize, dst_w: usize, dst_h: usize) -> Scaler {
+        let h = ScaleFilter::new(src_w, dst_w);
+        let v = ScaleFilter::new(src_h, dst_h);
+        Scaler {
+            dsp,
+            h,
+            v,
+            src_w,
+            src_h,
+            tmp: vec![0; dst_w * src_h],
+        }
+    }
+
+    /// Source geometry `(width, height)`.
+    pub fn src_size(&self) -> (usize, usize) {
+        (self.src_w, self.src_h)
+    }
+
+    /// Destination geometry `(width, height)`.
+    pub fn dst_size(&self) -> (usize, usize) {
+        (self.h.dst_len(), self.v.dst_len())
+    }
+
+    /// Resamples one tightly packed plane. `src` must hold
+    /// `src_w * src_h` samples and `dst` at least `dst_w * dst_h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices are too short for the geometry.
+    pub fn scale(&mut self, src: &[u8], dst: &mut [u8]) {
+        let dw = self.h.dst_len();
+        let dh = self.v.dst_len();
+        assert!(
+            src.len() >= self.src_w * self.src_h,
+            "source plane too short"
+        );
+        assert!(dst.len() >= dw * dh, "destination plane too short");
+        for y in 0..self.src_h {
+            self.dsp.scale_row_h(
+                &mut self.tmp[y * dw..(y + 1) * dw],
+                &src[y * self.src_w..(y + 1) * self.src_w],
+                self.h.offsets(),
+                self.h.taps(),
+            );
+        }
+        for oy in 0..dh {
+            let o = self.v.offsets()[oy] as usize;
+            let c = self.v.taps_for(oy);
+            let rows = &self.tmp[o * dw..(o + SCALE_TAPS) * dw];
+            let (r0, rest) = rows.split_at(dw);
+            let (r1, rest) = rest.split_at(dw);
+            let (r2, r3) = rest.split_at(dw);
+            // dst and tmp are disjoint buffers, so the row borrow is safe.
+            let drow = &mut dst[oy * dw..(oy + 1) * dw];
+            self.dsp.scale_row_v(drow, r0, r1, r2, r3, &c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimdLevel;
+
+    #[test]
+    fn filter_taps_sum_to_128_and_windows_fit() {
+        for (s, d) in [(64, 64), (64, 20), (20, 64), (1088, 160), (7, 5), (4, 9)] {
+            let f = ScaleFilter::new(s, d);
+            assert_eq!(f.offsets().len(), d);
+            assert_eq!(f.taps().len(), d * SCALE_TAPS);
+            for i in 0..d {
+                let t = f.taps_for(i);
+                let sum: i32 = t.iter().map(|&c| i32::from(c)).sum();
+                assert_eq!(sum, 128, "{s}->{d} output {i}: {t:?}");
+                let o = f.offsets()[i] as usize;
+                assert!(o + SCALE_TAPS <= s, "{s}->{d} output {i}: offset {o}");
+            }
+            // Offsets are monotone: the window only moves forward.
+            for w in f.offsets().windows(2) {
+                assert!(w[0] <= w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn identity_geometry_is_a_copy() {
+        let mut sc = Scaler::new(Dsp::new(SimdLevel::Scalar), 16, 8, 16, 8);
+        let src: Vec<u8> = (0..16 * 8).map(|i| (i * 7 % 251) as u8).collect();
+        let mut dst = vec![0u8; 16 * 8];
+        sc.scale(&src, &mut dst);
+        assert_eq!(src, dst);
+    }
+
+    #[test]
+    fn flat_planes_stay_flat_at_any_ratio() {
+        // Taps summing to exactly 128 mean constant input produces the
+        // same constant output — no ringing at edges either.
+        for &(sw, sh, dw, dh) in &[(32, 32, 12, 20), (12, 20, 32, 32), (64, 48, 10, 6)] {
+            let mut sc = Scaler::new(Dsp::new(SimdLevel::Scalar), sw, sh, dw, dh);
+            for v in [0u8, 17, 128, 255] {
+                let src = vec![v; sw * sh];
+                let mut dst = vec![!v; dw * dh];
+                sc.scale(&src, &mut dst);
+                assert!(
+                    dst.iter().all(|&o| o == v),
+                    "{sw}x{sh}->{dw}x{dh} at {v}: {:?}",
+                    &dst[..dw.min(8)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn downscale_preserves_a_step_edge_position() {
+        // A vertical step edge at the middle must stay in the middle.
+        let (sw, sh, dw, dh) = (64usize, 16usize, 16usize, 8usize);
+        let mut src = vec![0u8; sw * sh];
+        for y in 0..sh {
+            for x in sw / 2..sw {
+                src[y * sw + x] = 200;
+            }
+        }
+        let mut dst = vec![0u8; dw * dh];
+        Scaler::new(Dsp::new(SimdLevel::Scalar), sw, sh, dw, dh).scale(&src, &mut dst);
+        assert!(dst[0] < 20, "left side went {}", dst[0]);
+        assert!(dst[dw - 1] > 180, "right side went {}", dst[dw - 1]);
+        let mid_lo = dst[dw / 2 - 2];
+        let mid_hi = dst[dw / 2 + 1];
+        assert!(mid_lo < mid_hi, "edge inverted: {mid_lo} vs {mid_hi}");
+    }
+
+    #[test]
+    fn all_tiers_are_bit_exact() {
+        let (sw, sh, dw, dh) = (37usize, 23usize, 21usize, 30usize);
+        let src: Vec<u8> = (0..sw * sh)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
+        let mut reference = vec![0u8; dw * dh];
+        Scaler::new(Dsp::new(SimdLevel::Scalar), sw, sh, dw, dh).scale(&src, &mut reference);
+        for level in SimdLevel::supported_tiers() {
+            let mut out = vec![0u8; dw * dh];
+            Scaler::new(Dsp::new(level), sw, sh, dw, dh).scale(&src, &mut out);
+            assert_eq!(out, reference, "{} diverges", level.tier_name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scale source too small")]
+    fn tiny_source_is_rejected() {
+        let _ = ScaleFilter::new(3, 8);
+    }
+}

@@ -1178,6 +1178,112 @@ fn deblock_horiz_edge_entry(
     unsafe { deblock_horiz_edge_sse2(data, stride, q0_off, width, alpha, beta, tc) }
 }
 
+// -------------------------------------------------------------- scale --
+
+/// # Safety
+/// Requires SSE2 plus the geometry contract of the scalar kernel: every
+/// `offsets[i] + 4 <= src.len()` and `dst`/`taps` sized for `offsets`.
+#[target_feature(enable = "sse2")]
+pub(crate) unsafe fn scale_row_h_sse2(dst: &mut [u8], src: &[u8], offsets: &[u32], taps: &[i16]) {
+    debug_assert_eq!(offsets.len() * 4, taps.len());
+    debug_assert!(dst.len() >= offsets.len());
+    let n = offsets.len();
+    let round = _mm_set1_epi32(64);
+    let mut i = 0;
+    while i + 4 <= n {
+        // Four output pixels: each window is 4 contiguous source bytes.
+        let w0 = u32::from_le_bytes(src[offsets[i] as usize..][..4].try_into().unwrap());
+        let w1 = u32::from_le_bytes(src[offsets[i + 1] as usize..][..4].try_into().unwrap());
+        let w2 = u32::from_le_bytes(src[offsets[i + 2] as usize..][..4].try_into().unwrap());
+        let w3 = u32::from_le_bytes(src[offsets[i + 3] as usize..][..4].try_into().unwrap());
+        let px = _mm_set_epi32(w3 as i32, w2 as i32, w1 as i32, w0 as i32);
+        let zero = _mm_setzero_si128();
+        let lo = _mm_unpacklo_epi8(px, zero); // windows 0,1 as i16
+        let hi = _mm_unpackhi_epi8(px, zero); // windows 2,3 as i16
+        let c01 = _mm_loadu_si128(taps.as_ptr().add(4 * i).cast());
+        let c23 = _mm_loadu_si128(taps.as_ptr().add(4 * i + 8).cast());
+        // madd -> per-window partial pairs [p0a,p0b,p1a,p1b].
+        let m0 = _mm_madd_epi16(lo, c01);
+        let m1 = _mm_madd_epi16(hi, c23);
+        // Fold pairs: lane0 += lane1, lane2 += lane3.
+        let s0 = _mm_add_epi32(m0, _mm_shuffle_epi32::<0b10_11_00_01>(m0));
+        let s1 = _mm_add_epi32(m1, _mm_shuffle_epi32::<0b10_11_00_01>(m1));
+        // Gather the four sums into one register: [p0, p1, p2, p3].
+        let a02 = _mm_shuffle_epi32::<0b10_00_10_00>(s0);
+        let b02 = _mm_shuffle_epi32::<0b10_00_10_00>(s1);
+        let four = _mm_unpacklo_epi64(a02, b02);
+        let r = _mm_srai_epi32::<7>(_mm_add_epi32(four, round));
+        let p16 = _mm_packs_epi32(r, r);
+        let p8 = _mm_packus_epi16(p16, p16);
+        let out = _mm_cvtsi128_si32(p8) as u32;
+        dst[i..i + 4].copy_from_slice(&out.to_le_bytes());
+        i += 4;
+    }
+    if i < n {
+        crate::scale::scale_row_h_scalar(&mut dst[i..n], src, &offsets[i..], &taps[4 * i..]);
+    }
+}
+
+/// # Safety
+/// Requires SSE2 and rows at least as long as `dst`.
+#[target_feature(enable = "sse2")]
+pub(crate) unsafe fn scale_row_v_sse2(
+    dst: &mut [u8],
+    r0: &[u8],
+    r1: &[u8],
+    r2: &[u8],
+    r3: &[u8],
+    c: &[i16; 4],
+) {
+    let w = dst.len();
+    debug_assert!(r0.len() >= w && r1.len() >= w && r2.len() >= w && r3.len() >= w);
+    let c01 = _mm_set1_epi32((c[0] as u16 as i32) | ((c[1] as i32) << 16));
+    let c23 = _mm_set1_epi32((c[2] as u16 as i32) | ((c[3] as i32) << 16));
+    let round = _mm_set1_epi32(64);
+    let zero = _mm_setzero_si128();
+    let mut x = 0;
+    while x + 16 <= w {
+        let v0 = _mm_loadu_si128(r0.as_ptr().add(x).cast());
+        let v1 = _mm_loadu_si128(r1.as_ptr().add(x).cast());
+        let v2 = _mm_loadu_si128(r2.as_ptr().add(x).cast());
+        let v3 = _mm_loadu_si128(r3.as_ptr().add(x).cast());
+        // Interleave row pairs so each i32 lane of madd sees
+        // [r0[x], r1[x]] (resp. [r2[x], r3[x]]) as an i16 pair.
+        let i01 = _mm_unpacklo_epi8(v0, v1);
+        let i01h = _mm_unpackhi_epi8(v0, v1);
+        let i23 = _mm_unpacklo_epi8(v2, v3);
+        let i23h = _mm_unpackhi_epi8(v2, v3);
+        let a0 = _mm_madd_epi16(_mm_unpacklo_epi8(i01, zero), c01);
+        let a1 = _mm_madd_epi16(_mm_unpackhi_epi8(i01, zero), c01);
+        let a2 = _mm_madd_epi16(_mm_unpacklo_epi8(i01h, zero), c01);
+        let a3 = _mm_madd_epi16(_mm_unpackhi_epi8(i01h, zero), c01);
+        let b0 = _mm_madd_epi16(_mm_unpacklo_epi8(i23, zero), c23);
+        let b1 = _mm_madd_epi16(_mm_unpackhi_epi8(i23, zero), c23);
+        let b2 = _mm_madd_epi16(_mm_unpacklo_epi8(i23h, zero), c23);
+        let b3 = _mm_madd_epi16(_mm_unpackhi_epi8(i23h, zero), c23);
+        let s0 = _mm_srai_epi32::<7>(_mm_add_epi32(_mm_add_epi32(a0, b0), round));
+        let s1 = _mm_srai_epi32::<7>(_mm_add_epi32(_mm_add_epi32(a1, b1), round));
+        let s2 = _mm_srai_epi32::<7>(_mm_add_epi32(_mm_add_epi32(a2, b2), round));
+        let s3 = _mm_srai_epi32::<7>(_mm_add_epi32(_mm_add_epi32(a3, b3), round));
+        let lo16 = _mm_packs_epi32(s0, s1);
+        let hi16 = _mm_packs_epi32(s2, s3);
+        let out = _mm_packus_epi16(lo16, hi16);
+        _mm_storeu_si128(dst.as_mut_ptr().add(x).cast(), out);
+        x += 16;
+    }
+    if x < w {
+        crate::scale::scale_row_v_scalar(&mut dst[x..], &r0[x..], &r1[x..], &r2[x..], &r3[x..], c);
+    }
+}
+
+fn scale_h_entry(dst: &mut [u8], src: &[u8], offsets: &[u32], taps: &[i16]) {
+    unsafe { scale_row_h_sse2(dst, src, offsets, taps) }
+}
+
+fn scale_v_entry(dst: &mut [u8], r0: &[u8], r1: &[u8], r2: &[u8], r3: &[u8], c: &[i16; 4]) {
+    unsafe { scale_row_v_sse2(dst, r0, r1, r2, r3, c) }
+}
+
 /// The SSE2 tier's resolved kernel table.
 pub(crate) static SSE2_KERNELS: KernelTable = KernelTable {
     sad: sad_entry,
@@ -1198,4 +1304,6 @@ pub(crate) static SSE2_KERNELS: KernelTable = KernelTable {
     add_residual8: add_residual8_entry,
     diff_block8: diff_block8_entry,
     deblock_horiz_edge: deblock_horiz_edge_entry,
+    scale_h: scale_h_entry,
+    scale_v: scale_v_entry,
 };

@@ -206,6 +206,18 @@ impl H264Decoder {
         recon.cb_mut().fill(128);
         recon.cr_mut().fill(128);
         ctx.reset();
+        if frame_type == FrameType::I {
+            // A geometry change can only enter a stream at an intra
+            // picture (an ABR splice / rung switch). References at the
+            // old geometry can never be legally used again — retire
+            // them now instead of failing the next inter picture's
+            // reference-geometry check.
+            while let Some(pos) = self.refs.iter().position(|rp| !rp.matches(aw, ah)) {
+                if let Some(old) = self.refs.remove(pos) {
+                    self.retired.push(old);
+                }
+            }
+        }
         match frame_type {
             FrameType::I => self.decode_i(r, recon, ctx, qp, mbs_x, mbs_y)?,
             FrameType::P => self.decode_p(r, recon, ctx, qp, num_refs, mbs_x, mbs_y)?,

@@ -41,7 +41,9 @@ mod pedestrian;
 mod prng;
 mod riverbed;
 mod rush_hour;
+mod screen;
 
 pub use catalog::{Sequence, SequenceId, FRAME_COUNT};
 pub use noise::ValueNoise;
 pub use prng::SplitMix;
+pub use screen::ScreenContent;

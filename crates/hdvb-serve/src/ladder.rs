@@ -1,0 +1,156 @@
+//! Serving an ABR ladder: one [`CodecSession`] per rung, sharing the
+//! decoded source frames through the global pools.
+//!
+//! The core runner ([`hdvb_core::run_ladder`]) is the batch shape: it
+//! owns the whole fan-out loop. This module is the *service* shape of
+//! the same workload — each rung of each segment is an encoder session
+//! opened on a [`Server`], input frames are scaled into pool-recycled
+//! buffers and submitted through the bounded session queues, and the
+//! pump threads drive the encodes concurrently. The submitted frames
+//! come from [`FramePool::global`] and every encode session recycles
+//! its input back to that pool after coding, so a steady-state ladder
+//! allocates nothing per frame.
+//!
+//! Sessions are opened fresh per (rung × segment), exactly mirroring
+//! the core runner's closed-segment construction, so for a given spec
+//! the spliced rung streams here are **bit-identical** to
+//! [`hdvb_core::run_ladder`]'s — asserted by `tests/ladder_conformance.rs`.
+//! That equivalence is what lets capacity numbers measured through the
+//! serve layer be compared with the batch transcode numbers.
+
+use crate::server::{Server, SessionResult};
+use hdvb_core::{BenchError, CodecSession, FrameScaler, LadderSpec, Packet, SessionInput};
+use hdvb_dsp::Dsp;
+use hdvb_frame::{Frame, FramePool, Resolution};
+use std::time::{Duration, Instant};
+
+/// One rung stream produced by [`run_ladder_serve`].
+#[derive(Clone, Debug)]
+pub struct ServeRung {
+    /// The rung's output geometry.
+    pub resolution: Resolution,
+    /// Spliced packets, display indices in sequence order.
+    pub packets: Vec<Packet>,
+    /// Packet index where each segment begins (intra entry points,
+    /// aligned across rungs).
+    pub segment_starts: Vec<usize>,
+    /// Total coded bits.
+    pub bits: u64,
+}
+
+/// Outcome of [`run_ladder_serve`].
+#[derive(Clone, Debug)]
+pub struct ServeLadder {
+    /// Per-rung streams, in spec order.
+    pub rungs: Vec<ServeRung>,
+    /// Source frames transcoded into every rung.
+    pub frames: u32,
+    /// Wall-clock time of the whole fan-out.
+    pub wall: Duration,
+    /// Inputs completed across all rung sessions.
+    pub completed: u64,
+}
+
+/// Fans `source` out to one encoder session per rung on `server`,
+/// segment by segment.
+///
+/// Within a segment all rung sessions are open at once: the submitter
+/// scales frame `i` once per rung (into frames taken from the global
+/// pool) and submits to every rung before moving to `i + 1`, so the
+/// pump threads see concurrent per-rung work while submission order —
+/// and therefore output — stays deterministic.
+///
+/// # Errors
+///
+/// Propagates spec validation errors exactly as
+/// [`hdvb_core::run_ladder`] does, and any codec error raised inside a
+/// rung session (first rung in spec order wins).
+pub fn run_ladder_serve(
+    server: &Server,
+    source: &[Frame],
+    spec: &LadderSpec,
+) -> Result<ServeLadder, BenchError> {
+    if source.is_empty() {
+        return Err(BenchError::BadRequest(
+            "ladder needs at least one source frame",
+        ));
+    }
+    if spec.rungs.is_empty() {
+        return Err(BenchError::BadRequest("ladder needs at least one rung"));
+    }
+    let gop = u32::from(spec.options.b_frames) + 1;
+    if spec.switch_interval == 0 || !spec.switch_interval.is_multiple_of(gop) {
+        return Err(BenchError::BadRequest(
+            "switch interval must be a positive multiple of the GOP length",
+        ));
+    }
+    let src_res = Resolution::new(source[0].width() as u32, source[0].height() as u32);
+    let dsp = Dsp::new(spec.options.simd);
+    let mut scalers: Vec<FrameScaler> = spec
+        .rungs
+        .iter()
+        .map(|&r| FrameScaler::new(dsp, src_res, r))
+        .collect::<Result<_, _>>()?;
+
+    let frames = source.len() as u32;
+    let mut rungs: Vec<ServeRung> = spec
+        .rungs
+        .iter()
+        .map(|&r| ServeRung {
+            resolution: r,
+            packets: Vec::new(),
+            segment_starts: Vec::new(),
+            bits: 0,
+        })
+        .collect();
+
+    let t0 = Instant::now();
+    let mut completed = 0u64;
+    let mut start = 0u32;
+    while start < frames {
+        let end = frames.min(start + spec.switch_interval);
+        // One fresh encoder session per rung: closed segment streams,
+        // exactly like the core runner's cells.
+        let handles: Vec<_> = spec
+            .rungs
+            .iter()
+            .map(|&rung| {
+                CodecSession::encoder(spec.codec, rung, &spec.options).map(|s| server.open(s, true))
+            })
+            .collect::<Result<_, _>>()?;
+        for i in start..end {
+            for (scaler, handle) in scalers.iter_mut().zip(&handles) {
+                let rung = scaler.dst();
+                let mut scaled = FramePool::global().take(rung.width(), rung.height());
+                scaler.scale_into(&source[i as usize], &mut scaled);
+                // A closed session means it already failed; surface the
+                // error through wait() below rather than here.
+                let _ = handle.submit(SessionInput::Frame(scaled));
+            }
+        }
+        for handle in &handles {
+            handle.finish();
+        }
+        for (rung, handle) in rungs.iter_mut().zip(&handles) {
+            let mut result: SessionResult = handle.wait();
+            if let Some(err) = result.error.take() {
+                return Err(err);
+            }
+            completed += result.completed;
+            rung.segment_starts.push(rung.packets.len());
+            for mut p in result.packets {
+                p.display_index += start;
+                rung.bits += p.bits();
+                rung.packets.push(p);
+            }
+        }
+        start = end;
+    }
+
+    Ok(ServeLadder {
+        rungs,
+        frames,
+        wall: t0.elapsed(),
+        completed,
+    })
+}

@@ -27,12 +27,14 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod ladder;
 mod loadgen;
 mod metrics;
 mod queue;
 mod report;
 mod server;
 
+pub use ladder::{run_ladder_serve, ServeLadder, ServeRung};
 pub use loadgen::{build_schedule, run_serve_bench, Arrival, LoadSpec, ServeMode};
 pub use metrics::SessionMetrics;
 pub use queue::{BoundedQueue, Closed, OverflowPolicy, QueueStats};

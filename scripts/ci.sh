@@ -2,6 +2,9 @@
 # CI gate for the HD-VideoBench workspace: formatting, lints, release
 # build and the full test suite. Run from the repository root.
 set -eu
+# A failure must not be masked by a downstream pipe stage (POSIX sh
+# guard: dash < 0.5.12 has no pipefail).
+(set -o pipefail) 2>/dev/null && set -o pipefail
 
 cd "$(dirname "$0")/.."
 
@@ -146,6 +149,38 @@ for cell in doc["cells"]:
     assert cell["client_errors"] == 0, cell
 assert "frame" in doc["pools"] and "buffer" in doc["pools"]
 print(f"serve-load smoke ok: {len(doc['cells'])} cells, schema {doc['schema']}")
+EOF
+
+echo "==> ladder + screen smoke (ABR rung conformance, schema checks)"
+(cd "$tmpdir" && "$OLDPWD/target/release/hdvb" ladder --codec mpeg2 \
+    --sequence screen --resolution 96x64 --frames 12 --switch 6 --seed 7 \
+    --threads 1 > ladder.txt 2> ladder.log)
+python3 - "$tmpdir/BENCH_ladder.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "hdvb-ladder/v1", doc.get("schema")
+assert doc["frames"] == 12 and doc["switch_interval"] == 6, doc
+assert doc["segments"] == 2, doc["segments"]
+assert len(doc["rungs"]) >= 2, doc["rungs"]
+for rung in doc["rungs"]:
+    assert rung["packets"] == 12, rung
+    assert rung["bits"] > 0 and rung["kbps"] > 0, rung
+    assert rung["psnr_y"] > 20, rung
+    assert rung["segment_starts"][0] == 0, rung
+print(f"ladder smoke ok: {len(doc['rungs'])} rungs, schema {doc['schema']}")
+EOF
+(cd "$tmpdir" && "$OLDPWD/target/release/hdvb" screen --resolution 96x64 \
+    --frames 8 --seed 7 > screen.txt 2> screen.log)
+python3 - "$tmpdir/BENCH_screen.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "hdvb-screen/v1", doc.get("schema")
+assert doc["frames"] == 8 and doc["seed"] == 7, doc
+assert len(doc["codecs"]) == 3, doc["codecs"]
+for c in doc["codecs"]:
+    assert c["bits"] > 0 and c["psnr_y"] > 20, c
+    assert c["encode_fps"] > 0 and c["decode_fps"] > 0, c
+print(f"screen smoke ok: {len(doc['codecs'])} codecs, schema {doc['schema']}")
 EOF
 
 echo "CI green."

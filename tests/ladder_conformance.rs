@@ -1,0 +1,191 @@
+//! Conformance layer for the ABR transcode ladder.
+//!
+//! An ABR ladder is only usable if the rung streams honour the
+//! switching contract: every rung decodes cleanly on its own, segment
+//! entry points are intra pictures at *identical display indices*
+//! across rungs (so a player can jump rungs at any boundary), and a
+//! stream spliced across rungs mid-sequence still decodes. On top of
+//! that, the runner itself must be deterministic — pooled execution
+//! and the serve-layer mapping must both reproduce the serial runner's
+//! streams bit for bit.
+
+use hd_videobench::bench::{
+    decode_sequence, run_ladder, CodecId, CodingOptions, LadderSpec, Packet, PacketKind,
+};
+use hd_videobench::dsp::SimdLevel;
+use hd_videobench::frame::{Frame, Resolution};
+use hd_videobench::par::ThreadPool;
+use hd_videobench::seq::{ScreenContent, Sequence, SequenceId};
+use hd_videobench::serve::{run_ladder_serve, Server, ServerConfig};
+
+const FRAMES: u32 = 12;
+const SWITCH: u32 = 6; // two segments at the default GOP of 3
+
+fn source_frames() -> Vec<Frame> {
+    let seq = Sequence::new(SequenceId::BlueSky, Resolution::new(96, 64));
+    (0..FRAMES).map(|i| seq.frame(i)).collect()
+}
+
+fn spec(codec: CodecId) -> LadderSpec {
+    let mut s = LadderSpec::standard(codec, Resolution::new(96, 64), CodingOptions::default());
+    s.switch_interval = SWITCH;
+    s
+}
+
+#[test]
+fn every_rung_decodes_cleanly_for_every_codec() {
+    let source = source_frames();
+    for codec in CodecId::ALL {
+        let result = run_ladder(&source, &spec(codec), None).unwrap();
+        assert!(
+            result.rungs.len() >= 2,
+            "{codec}: ladder collapsed to one rung"
+        );
+        for rung in &result.rungs {
+            let decoded = decode_sequence(codec, &rung.packets, SimdLevel::detect()).unwrap();
+            assert_eq!(
+                decoded.frames.len(),
+                source.len(),
+                "{codec}/{}: rung lost frames",
+                rung.resolution
+            );
+            for f in &decoded.frames {
+                assert_eq!(f.width(), rung.resolution.width(), "{codec}");
+                assert_eq!(f.height(), rung.resolution.height(), "{codec}");
+            }
+            assert!(
+                rung.psnr_y > 20.0,
+                "{codec}/{}: rung quality implausibly low ({:.2} dB)",
+                rung.resolution,
+                rung.psnr_y
+            );
+        }
+    }
+}
+
+#[test]
+fn segment_entries_are_intra_at_identical_display_indices() {
+    let source = source_frames();
+    let result = run_ladder(&source, &spec(CodecId::Mpeg2), None).unwrap();
+    assert_eq!(result.segments, vec![(0, SWITCH), (SWITCH, FRAMES)]);
+    for rung in &result.rungs {
+        assert_eq!(
+            rung.segment_starts.len(),
+            result.segments.len(),
+            "{}: wrong segment count",
+            rung.resolution
+        );
+        for (k, &pi) in rung.segment_starts.iter().enumerate() {
+            let p = &rung.packets[pi];
+            assert_eq!(
+                p.kind,
+                PacketKind::I,
+                "{}: segment {k} entry not intra",
+                rung.resolution
+            );
+            assert_eq!(
+                p.display_index, result.segments[k].0,
+                "{}: segment {k} entry misaligned",
+                rung.resolution
+            );
+        }
+    }
+    // Display-order coverage is identical across rungs: each rung codes
+    // exactly frames 0..FRAMES, once each.
+    for rung in &result.rungs {
+        let mut seen: Vec<u32> = rung.packets.iter().map(|p| p.display_index).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..FRAMES).collect::<Vec<_>>(), "{}", rung.resolution);
+    }
+}
+
+#[test]
+fn mid_stream_rung_switch_is_decodable() {
+    // A player downswitching at the segment boundary: segment 0 from
+    // the top rung, segment 1 from a lower rung. Each segment is a
+    // closed intra-led stream, so the splice decodes to the full frame
+    // count with the rung geometry changing exactly at the boundary.
+    let source = source_frames();
+    for codec in CodecId::ALL {
+        let result = run_ladder(&source, &spec(codec), None).unwrap();
+        let (hi, lo) = (&result.rungs[0], &result.rungs[1]);
+        let splice: Vec<Packet> = hi.packets[..hi.segment_starts[1]]
+            .iter()
+            .chain(&lo.packets[lo.segment_starts[1]..])
+            .cloned()
+            .collect();
+        let decoded = decode_sequence(codec, &splice, SimdLevel::detect()).unwrap();
+        assert_eq!(
+            decoded.frames.len(),
+            source.len(),
+            "{codec}: splice lost frames"
+        );
+        for (i, f) in decoded.frames.iter().enumerate() {
+            let expect = if (i as u32) < SWITCH {
+                hi.resolution
+            } else {
+                lo.resolution
+            };
+            assert_eq!(f.width(), expect.width(), "{codec}: frame {i} geometry");
+            assert_eq!(f.height(), expect.height(), "{codec}: frame {i} geometry");
+        }
+    }
+}
+
+#[test]
+fn pooled_ladder_is_bit_identical_to_serial() {
+    let source = source_frames();
+    let spec = spec(CodecId::H264);
+    let serial = run_ladder(&source, &spec, None).unwrap();
+    let pool = ThreadPool::new(3);
+    let pooled = run_ladder(&source, &spec, Some(&pool)).unwrap();
+    assert_eq!(serial.rungs.len(), pooled.rungs.len());
+    for (a, b) in serial.rungs.iter().zip(&pooled.rungs) {
+        assert_eq!(a.resolution, b.resolution);
+        assert_eq!(a.segment_starts, b.segment_starts, "{}", a.resolution);
+        assert_eq!(
+            a.packets, b.packets,
+            "{}: pooled stream drifted",
+            a.resolution
+        );
+        assert_eq!(a.bits, b.bits);
+    }
+}
+
+#[test]
+fn serve_ladder_is_bit_identical_to_core() {
+    // Screen content through the serve mapping: one session per
+    // (rung x segment) on a two-thread server must reproduce the batch
+    // runner's spliced streams exactly.
+    let screen = ScreenContent::new(Resolution::new(96, 64), 7);
+    let source: Vec<Frame> = (0..FRAMES).map(|i| screen.frame(i)).collect();
+    let spec = spec(CodecId::Mpeg2);
+    let core = run_ladder(&source, &spec, None).unwrap();
+    let server = Server::new(ServerConfig {
+        threads: 2,
+        ..ServerConfig::default()
+    });
+    let served = run_ladder_serve(&server, &source, &spec).unwrap();
+    assert_eq!(served.frames, FRAMES);
+    assert_eq!(core.rungs.len(), served.rungs.len());
+    for (a, b) in core.rungs.iter().zip(&served.rungs) {
+        assert_eq!(a.resolution, b.resolution);
+        assert_eq!(a.segment_starts, b.segment_starts, "{}", a.resolution);
+        assert_eq!(
+            a.packets, b.packets,
+            "{}: served stream drifted",
+            a.resolution
+        );
+        assert_eq!(a.bits, b.bits);
+    }
+}
+
+#[test]
+fn bad_switch_interval_is_rejected() {
+    let source = source_frames();
+    let mut s = spec(CodecId::Mpeg2);
+    s.switch_interval = 5; // not a multiple of the GOP (3)
+    assert!(run_ladder(&source, &s, None).is_err());
+    s.switch_interval = 0;
+    assert!(run_ladder(&source, &s, None).is_err());
+}

@@ -1,0 +1,108 @@
+//! Golden frame hashes for the screen-content generator.
+//!
+//! The ladder and screen workloads are only reproducible across
+//! machines if [`ScreenContent`] renders bit-identical frames
+//! everywhere — it is all integer math, so any drift is a bug. The
+//! vectors under `tests/corpus/screen/` record an FNV-1a hash per
+//! frame for a grid of (resolution, seed) configurations; regenerate
+//! with `HDVB_WRITE_GOLDEN=1 cargo test --test screen_golden` after an
+//! *intentional* generator change.
+
+use hd_videobench::bench::fnv1a64;
+use hd_videobench::frame::Resolution;
+use hd_videobench::seq::ScreenContent;
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus/screen")
+}
+
+/// The golden grid: small geometries render fast, the seeds cover the
+/// layout-randomising paths, and the frame indices sample the start,
+/// a scroll step, a clock flip (index 25) and a late frame.
+const GEOMETRIES: [(u32, u32); 3] = [(96, 64), (160, 96), (288, 160)];
+const SEEDS: [u64; 2] = [1, 7];
+const FRAME_INDICES: [u32; 5] = [0, 1, 5, 25, 80];
+
+struct Golden {
+    name: String,
+    lines: String,
+}
+
+/// One vector per (geometry, seed): a text file of `index hash` lines
+/// covering [`FRAME_INDICES`], where each hash folds all three planes.
+fn golden_vectors() -> Vec<Golden> {
+    let mut out = Vec::new();
+    for &(w, h) in &GEOMETRIES {
+        for &seed in &SEEDS {
+            let screen = ScreenContent::new(Resolution::new(w, h), seed);
+            let mut lines = String::new();
+            for &i in &FRAME_INDICES {
+                let f = screen.frame(i);
+                let mut hash = fnv1a64(f.y().data());
+                hash ^= fnv1a64(f.cb().data()).rotate_left(1);
+                hash ^= fnv1a64(f.cr().data()).rotate_left(2);
+                lines.push_str(&format!("{i} {hash:016x}\n"));
+            }
+            out.push(Golden {
+                name: format!("screen--{w}x{h}--seed{seed}"),
+                lines,
+            });
+        }
+    }
+    out
+}
+
+#[test]
+fn checked_in_hashes_match_the_generator() {
+    let dir = corpus_dir();
+    if std::env::var("HDVB_WRITE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(&dir).expect("create corpus dir");
+        for g in golden_vectors() {
+            std::fs::write(dir.join(format!("{}.txt", g.name)), &g.lines)
+                .expect("write golden hashes");
+        }
+    }
+    let vectors = golden_vectors();
+    for g in &vectors {
+        let path = dir.join(format!("{}.txt", g.name));
+        let on_disk = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "{} missing ({e}); regenerate with HDVB_WRITE_GOLDEN=1",
+                g.name
+            )
+        });
+        assert_eq!(
+            on_disk, g.lines,
+            "{} drifted from the generator; regenerate with HDVB_WRITE_GOLDEN=1",
+            g.name
+        );
+    }
+    // No stray files — the corpus is exactly the generator's grid.
+    let mut stems: Vec<String> = std::fs::read_dir(&dir)
+        .expect("corpus dir readable")
+        .filter_map(|e| {
+            let p = e.expect("dir entry").path();
+            (p.extension().is_some_and(|x| x == "txt"))
+                .then(|| p.file_stem().unwrap().to_string_lossy().into_owned())
+        })
+        .collect();
+    stems.sort();
+    let mut expected: Vec<String> = vectors.iter().map(|g| g.name.clone()).collect();
+    expected.sort();
+    assert_eq!(stems, expected);
+}
+
+#[test]
+fn hashes_are_stable_within_a_process() {
+    // The generator is a pure function of (resolution, seed, index):
+    // rendering the same frame twice must hash identically.
+    let screen = ScreenContent::new(Resolution::new(96, 64), 3);
+    for i in [0u32, 4, 31] {
+        assert_eq!(
+            fnv1a64(screen.frame(i).y().data()),
+            fnv1a64(screen.frame(i).y().data()),
+            "frame {i} is not pure"
+        );
+    }
+}

@@ -87,3 +87,125 @@ fn encoding_is_deterministic_across_runs() {
         assert_eq!(one, two, "{codec}: encoder is nondeterministic");
     }
 }
+
+// --- Polyphase scaler invariance -----------------------------------------
+//
+// The ladder runner leans on the same guarantee the codecs do: the
+// scaler's SSE2/AVX2 kernels must be bit-exact with the scalar
+// reference, or rung streams would differ between machines. Exercised
+// here at the geometries production ladders actually hit — odd widths,
+// extreme downscale ratios, and half-size chroma planes.
+
+use hd_videobench::dsp::{Dsp, Scaler};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random plane: positional splitmix-style hash so
+/// the fixed-geometry tests need no RNG.
+fn hashed_plane(w: usize, h: usize, seed: u64) -> Vec<u8> {
+    (0..w * h)
+        .map(|i| {
+            let mut z = seed ^ ((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            (z >> 56) as u8
+        })
+        .collect()
+}
+
+/// Scales `src` at every supported tier and asserts each output is
+/// byte-identical to the scalar reference.
+fn assert_scale_tier_exact(sw: usize, sh: usize, dw: usize, dh: usize, src: &[u8], what: &str) {
+    let mut reference = vec![0u8; dw * dh];
+    Scaler::new(Dsp::new(SimdLevel::Scalar), sw, sh, dw, dh).scale(src, &mut reference);
+    for level in SimdLevel::supported_tiers() {
+        if level == SimdLevel::Scalar {
+            continue;
+        }
+        let mut out = vec![0u8; dw * dh];
+        Scaler::new(Dsp::new(level), sw, sh, dw, dh).scale(src, &mut out);
+        assert_eq!(
+            reference,
+            out,
+            "{what}: {sw}x{sh} -> {dw}x{dh} differs at {}",
+            level.tier_name()
+        );
+    }
+}
+
+#[test]
+fn scaler_handles_extreme_ratio_1088p_to_160p() {
+    // The ISSUE's stress case: full HD mezzanine down to a thumbnail
+    // rung (1920x1088 -> 288x160), plus the matching 4:2:0 chroma
+    // geometry (960x544 -> 144x80).
+    let luma = hashed_plane(1920, 1088, 0xA1);
+    assert_scale_tier_exact(1920, 1088, 288, 160, &luma, "luma");
+    let chroma = hashed_plane(960, 544, 0xA2);
+    assert_scale_tier_exact(960, 544, 144, 80, &chroma, "chroma");
+}
+
+#[test]
+fn scaler_handles_upscale_back_to_1088p() {
+    let src = hashed_plane(288, 160, 0xB1);
+    assert_scale_tier_exact(288, 160, 1920, 1088, &src, "upscale luma");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Odd geometries in both directions, down- and up-scale, with
+    /// random pixel data: every tier matches the scalar reference.
+    #[test]
+    fn scaler_is_tier_exact_at_odd_geometries(
+        sw in (5usize..=96).prop_map(|v| v | 1),
+        sh in (5usize..=64).prop_map(|v| v | 1),
+        dw in (5usize..=96).prop_map(|v| v | 1),
+        dh in (5usize..=64).prop_map(|v| v | 1),
+        seed in any::<u64>(),
+    ) {
+        let src: Vec<u8> = hashed_plane(sw, sh, seed);
+        let mut reference = vec![0u8; dw * dh];
+        Scaler::new(Dsp::new(SimdLevel::Scalar), sw, sh, dw, dh).scale(&src, &mut reference);
+        for level in SimdLevel::supported_tiers() {
+            if level == SimdLevel::Scalar {
+                continue;
+            }
+            let mut out = vec![0u8; dw * dh];
+            Scaler::new(Dsp::new(level), sw, sh, dw, dh).scale(&src, &mut out);
+            prop_assert_eq!(
+                &reference, &out,
+                "{}x{} -> {}x{} differs at {}", sw, sh, dw, dh, level.tier_name()
+            );
+        }
+    }
+
+    /// Chroma-subsampled planes: scaling the half-size plane with the
+    /// half-size geometry is tier-exact too (the FrameScaler path).
+    #[test]
+    fn scaler_is_tier_exact_on_chroma_planes(
+        sw in 4usize..=48,
+        sh in 4usize..=32,
+        dw in 4usize..=48,
+        dh in 4usize..=32,
+        seed in any::<u64>(),
+    ) {
+        let (sw, sh, dw, dh) = (sw * 2, sh * 2, dw * 2, dh * 2);
+        let luma = hashed_plane(sw, sh, seed);
+        let chroma = hashed_plane(sw / 2, sh / 2, seed ^ 0xC0);
+        let mut reference = vec![0u8; dw * dh];
+        Scaler::new(Dsp::new(SimdLevel::Scalar), sw, sh, dw, dh).scale(&luma, &mut reference);
+        let mut c_reference = vec![0u8; (dw / 2) * (dh / 2)];
+        Scaler::new(Dsp::new(SimdLevel::Scalar), sw / 2, sh / 2, dw / 2, dh / 2)
+            .scale(&chroma, &mut c_reference);
+        for level in SimdLevel::supported_tiers() {
+            if level == SimdLevel::Scalar {
+                continue;
+            }
+            let mut out = vec![0u8; dw * dh];
+            Scaler::new(Dsp::new(level), sw, sh, dw, dh).scale(&luma, &mut out);
+            prop_assert_eq!(&reference, &out, "luma {}", level.tier_name());
+            let mut c_out = vec![0u8; (dw / 2) * (dh / 2)];
+            Scaler::new(Dsp::new(level), sw / 2, sh / 2, dw / 2, dh / 2)
+                .scale(&chroma, &mut c_out);
+            prop_assert_eq!(&c_reference, &c_out, "chroma {}", level.tier_name());
+        }
+    }
+}
