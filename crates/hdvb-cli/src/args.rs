@@ -431,6 +431,57 @@ impl Parsed {
         }
     }
 
+    /// `--heartbeat-ms <ms>`: PING/PONG interval for TCP serves and
+    /// chaos campaigns. `0` disables heartbeats and liveness reaping.
+    pub fn heartbeat_ms(&self, default_ms: u64) -> Result<std::time::Duration, String> {
+        match self.get("heartbeat-ms") {
+            None => Ok(std::time::Duration::from_millis(default_ms)),
+            Some(v) => v
+                .parse::<u64>()
+                .ok()
+                .filter(|&ms| ms <= 600_000)
+                .map(std::time::Duration::from_millis)
+                .ok_or_else(|| format!("bad --heartbeat-ms {v:?} (0..=600000)")),
+        }
+    }
+
+    /// `--faults <plan>`: a seeded wire fault plan in the
+    /// `HDVB_NET_FAULTS` grammar
+    /// (`drop@i,truncate@i:b,stall@i:ms,garble@i:bit,seed=n`).
+    /// Validated here so a typo fails before any socket opens.
+    pub fn faults_spec(&self) -> Result<Option<&str>, String> {
+        match self.get("faults") {
+            None => Ok(None),
+            Some(v) => hdvb_net::NetFaultPlan::parse(v)
+                .map(|_| Some(v))
+                .map_err(|e| format!("bad --faults {v:?}: {e}")),
+        }
+    }
+
+    /// `--retries <n>`: reconnect budget for the chaos client.
+    pub fn retries(&self) -> Result<u32, String> {
+        match self.get("retries") {
+            None => Ok(16),
+            Some(v) => v
+                .parse::<u32>()
+                .ok()
+                .filter(|&n| n <= 10_000)
+                .ok_or_else(|| format!("bad --retries {v:?} (0..=10000)")),
+        }
+    }
+
+    /// `--trials <n>`: how many faulted runs a chaos campaign executes.
+    pub fn trials(&self) -> Result<u32, String> {
+        match self.get("trials") {
+            None => Ok(1),
+            Some(v) => v
+                .parse::<u32>()
+                .ok()
+                .filter(|&n| (1..=64).contains(&n))
+                .ok_or_else(|| format!("bad --trials {v:?} (1..=64)")),
+        }
+    }
+
     /// `--sessions <a,b,c>`: the serve-load sweep axis (comma-separated
     /// session counts).
     pub fn sessions_list(&self) -> Result<Vec<u32>, String> {

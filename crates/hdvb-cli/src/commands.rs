@@ -840,6 +840,10 @@ fn serve_tcp(p: &Parsed, bind: &str) -> CmdResult {
             slo,
             rate_limit: p.rate()?,
             simd: p.simd()?,
+            heartbeat: p.heartbeat_ms(30_000)?,
+            faults: hdvb_net::NetFaultPlan::from_env()
+                .map_err(|e| format!("bad HDVB_NET_FAULTS: {e}"))?,
+            ..NetConfig::default()
         },
     )
     .map_err(|e| format!("cannot bind {bind}: {e}"))?;
@@ -881,17 +885,27 @@ fn serve_tcp(p: &Parsed, bind: &str) -> CmdResult {
 /// `--input`, encodes a synthetic sequence remotely; with
 /// `--input <in.hvb>`, transcodes the stream to `--codec`. The output
 /// container is byte-identical to the same session served in-process.
+///
+/// The client is retry-enabled: sessions open resumable, disconnects
+/// reconnect with capped seeded backoff (`--retries` bounds the
+/// budget), and recovery is byte-identical to an uninterrupted run —
+/// including under an `HDVB_NET_FAULTS` plan.
 pub fn connect(p: &Parsed) -> CmdResult {
     use hdvb_core::{SessionInput, SessionSpec};
-    use hdvb_net::NetClient;
+    use hdvb_net::{RetryClient, RetryPolicy};
 
     let addr = p.addr()?;
     let priority = p.priority()?;
     let out_path = p.output();
+    let policy = RetryPolicy {
+        max_reconnects: p.retries()?,
+        seed: p.seed()?,
+        ..RetryPolicy::default()
+    };
     let mut client =
-        NetClient::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        RetryClient::new(addr, policy).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
 
-    let (header, result, submitted) = if let Some(in_path) = p.input() {
+    let (header, result, retry, submitted) = if let Some(in_path) = p.input() {
         let target = p.codec()?;
         let file = File::open(in_path).map_err(|e| format!("cannot open {in_path}: {e}"))?;
         let (header, packets) = read_stream(BufReader::new(file)).map_err(|e| e.to_string())?;
@@ -910,14 +924,14 @@ pub fn connect(p: &Parsed) -> CmdResult {
                 .send_packet(packet)
                 .map_err(|e| format!("send failed: {e}"))?;
         }
-        let result = client
+        let (result, retry) = client
             .finish()
             .map_err(|e| format!("session failed: {e}"))?;
         let header = StreamHeader {
             codec: target,
             format: header.format,
         };
-        (header, result, submitted)
+        (header, result, retry, submitted)
     } else {
         let codec = p.codec()?;
         let seq = Sequence::new(p.sequence()?, p.resolution()?);
@@ -933,22 +947,30 @@ pub fn connect(p: &Parsed) -> CmdResult {
                 .send(SessionInput::Frame(seq.frame(i)))
                 .map_err(|e| format!("send failed: {e}"))?;
         }
-        let result = client
+        let (result, retry) = client
             .finish()
             .map_err(|e| format!("session failed: {e}"))?;
         let header = StreamHeader {
             codec,
             format: seq.format(),
         };
-        (header, result, u64::from(frames))
+        (header, result, retry, u64::from(frames))
     };
 
     if let Some(out_path) = out_path {
         let file = File::create(out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?;
         write_stream(BufWriter::new(file), &header, &result.packets).map_err(|e| e.to_string())?;
     }
+    let recovered = if retry.reconnects > 0 {
+        format!(
+            ", recovered from {} disconnects ({} inputs replayed)",
+            retry.reconnects, retry.replayed_inputs,
+        )
+    } else {
+        String::new()
+    };
     println!(
-        "{}: {} served {} of {submitted} inputs, {} packets back, p50 {} p99 {}{}",
+        "{}: {} served {} of {submitted} inputs, {} packets back, p50 {} p99 {}{recovered}{}",
         header.codec,
         priority.name(),
         result.stats.completed,
@@ -1401,6 +1423,89 @@ pub fn screen(p: &Parsed) -> CmdResult {
     }
     out.push_str("  ]\n}\n");
     write_bench_file("BENCH_screen.json", &out)
+}
+
+/// `chaos`: a seeded fault campaign against a live loopback server.
+/// Runs one fault-free reference session, then `--trials` faulted runs
+/// through the auto-reconnecting client, verifies each is byte-identical
+/// to the reference, and writes recovery metrics to `BENCH_chaos.json`.
+/// Exits nonzero if any trial's output diverges.
+pub fn chaos(p: &Parsed) -> CmdResult {
+    use hdvb_net::{run_campaign, ChaosConfig, RetryPolicy};
+
+    let plan = p
+        .faults_spec()?
+        .ok_or("chaos needs --faults <plan>, e.g. --faults \"drop@4,truncate@12:13,seed=7\"")?;
+    let sequence = match p.sequence_name() {
+        None => SequenceId::BlueSky,
+        Some(name) => {
+            SequenceId::from_name(name).ok_or_else(|| format!("unknown sequence {name:?}"))?
+        }
+    };
+    let cfg = ChaosConfig {
+        codec: p.codec_opt()?.unwrap_or(CodecId::Mpeg2),
+        sequence,
+        resolution: p
+            .resolution_opt()?
+            .unwrap_or_else(|| Resolution::new(176, 144)),
+        frames: p.frames()?,
+        priority: p.priority()?,
+        plan: plan.to_string(),
+        policy: RetryPolicy {
+            max_reconnects: p.retries()?,
+            seed: p.seed()?,
+            ..RetryPolicy::default()
+        },
+        heartbeat: p.heartbeat_ms(200)?,
+        trials: p.trials()?,
+    };
+    eprintln!(
+        "chaos: {} {} {}x{}, {} frames, plan {:?}, {} trial(s), heartbeat {}ms",
+        cfg.codec.name(),
+        cfg.sequence.name(),
+        cfg.resolution.width(),
+        cfg.resolution.height(),
+        cfg.frames,
+        cfg.plan,
+        cfg.trials,
+        cfg.heartbeat.as_millis(),
+    );
+
+    let report = run_campaign(&cfg).map_err(|e| format!("chaos campaign failed: {e}"))?;
+    for (i, t) in report.trials.iter().enumerate() {
+        println!(
+            "  trial {i}: {} — {} reconnects, {} dials, {} inputs replayed, {}/{} faults fired{}",
+            if t.identical {
+                "byte-identical"
+            } else {
+                "DIVERGED"
+            },
+            t.retry.reconnects,
+            t.retry.attempts,
+            t.retry.replayed_inputs,
+            t.faults_fired,
+            t.faults_total,
+            match &t.error {
+                Some(e) => format!(" — error: {e}"),
+                None => String::new(),
+            },
+        );
+    }
+    let s = &report.server;
+    println!(
+        "  server: {} connections, {} disconnects, {} resumes, {} outputs replayed, {} parked, {} reaped dead",
+        s.connections, s.disconnects, s.resumes, s.replayed, s.parked, s.timeouts,
+    );
+    write_bench_file("BENCH_chaos.json", &report.json())?;
+    if report.all_identical() {
+        println!(
+            "chaos: all {} trial(s) byte-identical to the fault-free reference",
+            report.trials.len()
+        );
+        Ok(())
+    } else {
+        Err("chaos: at least one faulted trial diverged from the fault-free reference".into())
+    }
 }
 
 #[cfg(test)]

@@ -39,6 +39,9 @@ COMMANDS:
                                     (writes BENCH_ladder.json)
     screen                          screen-content workload per codec
                                     (writes BENCH_screen.json)
+    chaos                           seeded fault campaign: inject disconnects,
+                                    truncations, stalls and bit flips, verify
+                                    byte-identical recovery, write BENCH_chaos.json
 
 COMMON OPTIONS:
     --codec <mpeg2|mpeg4|h264>      codec under test
@@ -107,6 +110,16 @@ COMMON OPTIONS:
                                     bucket, inputs/second (burst = one second)
                                     (serve-load --sessions takes a comma list,
                                     e.g. 1,2,4,8 — the sweep axis)
+    --faults <plan>                 chaos: the fault plan (HDVB_NET_FAULTS grammar),
+                                    e.g. \"drop@4,truncate@12:13,garble@16,seed=7\"
+    --trials <n>                    chaos: faulted runs to execute      [default: 1]
+    --retries <n>                   connect/chaos: reconnect budget     [default: 16]
+                                    (connect opens resumable sessions and recovers
+                                    from disconnects byte-identically; --seed salts
+                                    the backoff jitter)
+    --heartbeat-ms <ms>             serve --bind / chaos: PING interval; silent peers
+                                    are reaped at twice this; 0 disables
+                                    (serve default 30000, chaos default 200)
     --rungs <WxH,...>               ladder: explicit rung resolutions (default:
                                     full, 2/3, 1/2 and 1/4 of the source)
     --switch <n>                    ladder: segment length in frames — the rung
@@ -121,6 +134,10 @@ ENVIRONMENT:
                                     \"panic@2x1,stall@4:2000x1,seed=7\" (see DESIGN.md)
     HDVB_NET_DEBUG                  serve --bind / serve-load: log every admission
                                     decision (fleet p99 vs class threshold) to stderr
+    HDVB_NET_FAULTS                 deterministic wire fault injection for TCP
+                                    clients and serve --bind, e.g.
+                                    \"drop@4,truncate@9:11,garble@13,stall@17:40,seed=7\"
+                                    (indices count outgoing data messages; see DESIGN.md)
 
 EXAMPLES:
     hdvb encode --codec h264 --sequence blue_sky --resolution 720p25 -o out.hvb
@@ -145,6 +162,8 @@ EXAMPLES:
     hdvb ladder --codec h264 --sequence screen --resolution 288x160 --frames 24
     hdvb ladder -i out.hvb --rungs 720x576,360x288 --switch 12
     hdvb screen --resolution 288x160 --frames 24 --seed 7
+    hdvb chaos --faults \"drop@4,truncate@12:13,garble@16,drop@20,seed=7\" \\
+         --frames 24 --trials 2 --heartbeat-ms 200
 ";
 
 fn main() -> ExitCode {
@@ -184,6 +203,7 @@ fn main() -> ExitCode {
         "pools" => commands::pools(&parsed),
         "ladder" => commands::ladder(&parsed),
         "screen" => commands::screen(&parsed),
+        "chaos" => commands::chaos(&parsed),
         other => {
             eprintln!("error: unknown command {other:?}\n");
             eprint!("{USAGE}");

@@ -7,7 +7,7 @@
 //! [`NetClient::finish`] sends FLUSH and joins the reader, which runs
 //! until DONE or ERROR.
 
-use crate::wire::{self, DoneStats, ErrorCode, Header, Msg, WireError, HEADER_LEN};
+use crate::wire::{self, DoneStats, ErrorCode, Msg, WireError, HEADER_LEN};
 use hdvb_core::{Packet, Priority, SessionInput, SessionSpec};
 use hdvb_frame::Frame;
 use std::io::{Read, Write};
@@ -100,10 +100,12 @@ pub struct NetClient {
 fn read_one(stream: &mut TcpStream) -> Result<Msg, NetError> {
     let mut header = [0u8; HEADER_LEN];
     stream.read_exact(&mut header)?;
-    let Header { msg_type, len, .. } = wire::parse_header(&header)?;
-    let mut payload = vec![0u8; len as usize];
-    stream.read_exact(&mut payload)?;
-    Ok(wire::decode_payload(msg_type, &payload)?)
+    let parsed = wire::parse_header(&header)?;
+    let mut rest = vec![0u8; wire::frame_len(&parsed) - HEADER_LEN];
+    stream.read_exact(&mut rest)?;
+    let payload_len = parsed.len as usize;
+    wire::check_trailer(&rest[..payload_len], &rest[payload_len..])?;
+    Ok(wire::decode_payload(parsed.msg_type, &rest[..payload_len])?)
 }
 
 impl NetClient {
@@ -148,10 +150,14 @@ impl NetClient {
     /// [`NetError::Remote`] with [`ErrorCode::Rejected`] when admission
     /// control refuses the class; any I/O or protocol failure.
     pub fn open(&mut self, spec: SessionSpec, priority: Priority) -> Result<u32, NetError> {
-        self.send_msg(&Msg::Open { spec, priority })?;
+        self.send_msg(&Msg::Open {
+            spec,
+            priority,
+            resume: false,
+        })?;
         let mut read_half = self.stream.try_clone()?;
         let session_id = match read_one(&mut read_half)? {
-            Msg::OpenOk { session_id } => session_id,
+            Msg::OpenOk { session_id, .. } => session_id,
             Msg::Error { code, detail } => return Err(NetError::Remote { code, detail }),
             other => {
                 return Err(NetError::Protocol(format!(
@@ -241,6 +247,9 @@ fn collect_outputs(stream: &mut TcpStream) -> Result<ClientResult, NetError> {
                 return Ok(result);
             }
             Msg::Error { code, detail } => return Err(NetError::Remote { code, detail }),
+            // Control traffic from a resilience-aware server (input
+            // acks, heartbeat replies) is harmless to a plain client.
+            Msg::AckIn { .. } | Msg::Ping | Msg::Pong => {}
             other => {
                 return Err(NetError::Protocol(format!(
                     "unexpected {:?} while streaming outputs",

@@ -35,6 +35,15 @@ fn restamp(frame: &mut [u8]) {
     frame[12..16].copy_from_slice(&sum.to_le_bytes());
 }
 
+/// Restamps the payload trailer after deliberate payload tampering, so
+/// the tampered field itself (not the payload checksum) is what the
+/// decoder rejects.
+fn restamp_payload(frame: &mut [u8]) {
+    let payload_end = frame.len() - wire::TRAILER_LEN;
+    let sum = fnv1a(&frame[HEADER_LEN..payload_end]);
+    frame[payload_end..].copy_from_slice(&sum.to_le_bytes());
+}
+
 fn sample_frame() -> Frame {
     let mut f = Frame::new(16, 16);
     for (i, b) in f.y_mut().data_mut().iter_mut().enumerate() {
@@ -76,6 +85,19 @@ pub fn golden_vectors() -> Vec<GoldenWire> {
             &Msg::Open {
                 spec,
                 priority: Priority::Live,
+                resume: false,
+            },
+            1,
+        ),
+    });
+    v.push(GoldenWire {
+        name: "ok--open-resumable",
+        valid: true,
+        bytes: enc(
+            &Msg::Open {
+                spec,
+                priority: Priority::Batch,
+                resume: true,
             },
             1,
         ),
@@ -111,6 +133,7 @@ pub fn golden_vectors() -> Vec<GoldenWire> {
         &Msg::Open {
             spec,
             priority: Priority::Batch,
+            resume: false,
         },
         1,
     ));
@@ -121,6 +144,47 @@ pub fn golden_vectors() -> Vec<GoldenWire> {
         name: "ok--session-transcript",
         valid: true,
         bytes: stream,
+    });
+    // The resilience-layer message set: heartbeats, cumulative acks,
+    // and the resume handshake, back to back.
+    let mut resil = enc(&Msg::Ping, 0);
+    resil.extend(enc(&Msg::Pong, 1));
+    resil.extend(enc(
+        &Msg::Resume {
+            session_id: 42,
+            outputs_received: 117,
+        },
+        2,
+    ));
+    resil.extend(enc(
+        &Msg::ResumeOk {
+            inputs_received: 98,
+        },
+        3,
+    ));
+    resil.extend(enc(
+        &Msg::AckOut {
+            outputs_received: 120,
+        },
+        4,
+    ));
+    resil.extend(enc(
+        &Msg::AckIn {
+            inputs_received: 104,
+        },
+        5,
+    ));
+    resil.extend(enc(
+        &Msg::OpenOk {
+            session_id: 42,
+            heartbeat_ms: 30_000,
+        },
+        6,
+    ));
+    v.push(GoldenWire {
+        name: "ok--resilience-control",
+        valid: true,
+        bytes: resil,
     });
 
     let mut bad_magic = enc(&Msg::Flush, 9);
@@ -174,31 +238,46 @@ pub fn golden_vectors() -> Vec<GoldenWire> {
         bytes: truncated,
     });
 
-    // OPEN whose codec byte is not a registered codec: header is
-    // pristine, the payload is what the decoder must reject.
+    // OPEN whose codec byte is not a registered codec: header and
+    // payload trailer are pristine, the codec byte is what the decoder
+    // must reject.
     let mut bad_codec = enc(
         &Msg::Open {
             spec,
             priority: Priority::Live,
+            resume: false,
         },
         9,
     );
     bad_codec[HEADER_LEN + 1] = 9;
+    restamp_payload(&mut bad_codec);
     v.push(GoldenWire {
         name: "err--open-unknown-codec",
         valid: false,
         bytes: bad_codec,
     });
 
+    // A flipped payload bit with an unrepaired trailer: the payload
+    // checksum is what fires.
+    let mut corrupt_payload = enc(&Msg::Packet(sample_packet()), 9);
+    corrupt_payload[HEADER_LEN + 7] ^= 0x01;
+    v.push(GoldenWire {
+        name: "err--payload-bit-flip",
+        valid: false,
+        bytes: corrupt_payload,
+    });
+
     // FRAME declaring 16x16 but carrying too few plane bytes. The
-    // header length is rewritten to match the short payload (and
-    // restamped) so the *dimension check*, not truncation, fires.
+    // header length is rewritten to match the short payload, and both
+    // checksums are restamped, so the *dimension check* fires.
     let short_payload: Vec<u8> = {
         let full = enc(&Msg::Frame(sample_frame()), 9);
         full[HEADER_LEN..HEADER_LEN + 8 + 10].to_vec()
     };
     let mut dim_mismatch = encode_header(MsgType::Frame, short_payload.len() as u32, 9).to_vec();
+    let trailer = fnv1a(&short_payload);
     dim_mismatch.extend(short_payload);
+    dim_mismatch.extend(trailer.to_le_bytes());
     v.push(GoldenWire {
         name: "err--frame-dim-mismatch",
         valid: false,
@@ -210,10 +289,12 @@ pub fn golden_vectors() -> Vec<GoldenWire> {
         &Msg::Open {
             spec,
             priority: Priority::Live,
+            resume: false,
         },
         9,
     );
     bad_priority[HEADER_LEN + 3] = 7;
+    restamp_payload(&mut bad_priority);
     v.push(GoldenWire {
         name: "err--open-bad-priority",
         valid: false,

@@ -29,17 +29,25 @@
 #![warn(rust_2018_idioms)]
 
 mod admission;
+pub mod chaos;
 mod client;
+pub mod faults;
 pub mod golden;
 mod loadcurve;
+mod reader;
+mod resume;
+mod retry;
 mod server;
 pub mod wire;
 
 pub use admission::{Rejection, SloPolicy, TokenBucket};
+pub use chaos::{run_campaign, ChaosConfig, ChaosReport, ChaosTrial};
 pub use client::{ClientResult, NetClient, NetError};
+pub use faults::{FaultyStream, NetFaultKind, NetFaultPlan};
 pub use loadcurve::{
     loadcurve_json, loadcurve_markdown, run_load_curve, ClassCell, LoadCurveCell, LoadCurveReport,
     LoadCurveSpec,
 };
+pub use retry::{RetryClient, RetryPolicy, RetryStats};
 pub use server::{NetConfig, NetServer, NetStats};
 pub use wire::{DoneStats, ErrorCode, Msg, MsgType, WireError};

@@ -7,24 +7,45 @@
 //! worker pumps the session. A write-half mutex keeps the sink's output
 //! messages and the reader's control replies from interleaving.
 //!
-//! A client that disconnects mid-stream (EOF, reset, or a wire error)
-//! tears down only its own session: the reader cancels via the
-//! session's `CancelToken` path (`SessionHandle::cancel`), queued
-//! inputs are recycled to the global pools, and neighbour sessions and
-//! the pool never notice.
+//! Every accepted socket runs with a short read timeout (the poll
+//! quantum) feeding a [`MsgReader`], so connection threads interleave
+//! reads with liveness checks: a peer that goes silent for twice the
+//! heartbeat interval — no data, no PING — is declared dead and reaped,
+//! whether it FIN'd or simply vanished. Writes carry a deadline too, so
+//! a peer that stops draining its receive window cannot pin a pool
+//! worker in `send` forever.
+//!
+//! Disconnect handling depends on how the session was opened:
+//!
+//! * A plain session (OPEN without the resume flag) is torn down — the
+//!   reader cancels via `SessionHandle::cancel`, queued inputs are
+//!   recycled, neighbour sessions never notice. This is the historical
+//!   behaviour.
+//! * A resumable session *parks* instead (see [`crate::resume`]): the
+//!   codec keeps running, outputs accumulate in the journal, and a
+//!   client reconnecting with RESUME gets the unacked tail replayed.
+//!   Parked sessions that nobody resumes within the resume window are
+//!   reaped by the accept loop.
 
 use crate::admission::{SloPolicy, TokenBucket};
-use crate::wire::{self, DoneStats, ErrorCode, Header, Msg, WireError, HEADER_LEN};
-use hdvb_core::SessionInput;
+use crate::faults::{FaultyStream, NetFaultPlan};
+use crate::reader::{MsgReader, ReadEvent};
+use crate::resume::{AttachError, Registry, SessionEntry};
+use crate::wire::{self, DoneStats, ErrorCode, Msg, WireError};
+use hdvb_core::{Priority, SessionInput, SessionSpec};
 use hdvb_dsp::SimdLevel;
-use hdvb_serve::{OpenOptions, Server, ServerConfig, SessionHandle};
+use hdvb_serve::{OpenOptions, Server, ServerConfig, SessionHandle, SessionResult};
 use hdvb_trace::LatencyHistogram;
-use std::io::{ErrorKind, Read, Write};
+use std::io::{ErrorKind, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Cumulative-input acks are sent to resumable clients every this many
+/// inputs, bounding how much a client must keep in its replay buffer.
+const ACK_IN_EVERY: u64 = 8;
 
 /// Everything a [`NetServer`] needs to know.
 #[derive(Clone, Debug)]
@@ -39,6 +60,20 @@ pub struct NetConfig {
     pub rate_limit: Option<u32>,
     /// Kernel dispatch tier for sessions built from OPEN specs.
     pub simd: SimdLevel,
+    /// Heartbeat interval advertised to clients in OPEN_OK. A peer
+    /// silent for twice this is reaped as dead. `Duration::ZERO`
+    /// disables liveness enforcement (reads still time out on the poll
+    /// quantum so threads stay responsive).
+    pub heartbeat: Duration,
+    /// How long a parked resumable session waits for a RESUME before
+    /// the accept loop reaps it.
+    pub resume_window: Duration,
+    /// Max unacked output messages journaled per resumable session;
+    /// overflowing makes the session non-resumable.
+    pub journal_cap: usize,
+    /// Server-side wire fault injection, applied to every accepted
+    /// socket (tests and chaos campaigns; normal servers leave `None`).
+    pub faults: Option<Arc<NetFaultPlan>>,
 }
 
 impl Default for NetConfig {
@@ -48,6 +83,10 @@ impl Default for NetConfig {
             slo: None,
             rate_limit: None,
             simd: SimdLevel::preferred(),
+            heartbeat: Duration::from_secs(30),
+            resume_window: Duration::from_secs(10),
+            journal_cap: 256,
+            faults: None,
         }
     }
 }
@@ -69,6 +108,18 @@ pub struct NetStats {
     pub disconnects: u64,
     /// Messages that failed wire decoding.
     pub wire_errors: u64,
+    /// Connections reaped by the liveness deadline (silent dead peers).
+    pub timeouts: u64,
+    /// PINGs answered.
+    pub pings: u64,
+    /// Successful RESUME attaches.
+    pub resumes: u64,
+    /// Journal entries replayed across all resumes.
+    pub replayed: u64,
+    /// Times a resumable session parked on disconnect.
+    pub parked: u64,
+    /// Parked sessions reaped after the resume window elapsed.
+    pub expired: u64,
     /// Latency histograms of retired sessions, per class.
     pub latency: [LatencyHistogram; 2],
 }
@@ -79,6 +130,7 @@ struct NetShared {
     stats: Mutex<NetStats>,
     shutdown: AtomicBool,
     next_session: AtomicU32,
+    registry: Registry,
 }
 
 /// A running TCP front end. Dropping it without
@@ -108,6 +160,7 @@ impl NetServer {
             stats: Mutex::new(NetStats::default()),
             shutdown: AtomicBool::new(false),
             next_session: AtomicU32::new(1),
+            registry: Registry::new(),
         });
         let accept_shared = Arc::clone(&shared);
         let accept = std::thread::spawn(move || accept_loop(listener, &accept_shared));
@@ -137,13 +190,19 @@ impl NetServer {
         self.shared.server.active_sessions()
     }
 
+    /// Resumable sessions currently registered (attached or parked).
+    pub fn resumable_sessions(&self) -> usize {
+        self.shared.registry.len()
+    }
+
     /// The serve pool's worker count.
     pub fn threads(&self) -> usize {
         self.shared.server.threads()
     }
 
     /// Stops accepting, waits for connection threads to finish their
-    /// sessions, and joins the accept thread.
+    /// sessions, reaps any still-parked sessions, and joins the accept
+    /// thread.
     pub fn shutdown(mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
         if let Some(h) = self.accept.take() {
@@ -158,40 +217,86 @@ fn accept_loop(listener: TcpListener, shared: &Arc<NetShared>) {
     while !shared.shutdown.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                shared
-                    .stats
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .connections += 1;
+                bump(&shared.stats, |s| s.connections += 1);
                 let conn_shared = Arc::clone(shared);
                 conns.push(std::thread::spawn(move || {
                     handle_connection(stream, &conn_shared);
                 }));
-                conns.retain(|h| !h.is_finished());
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(5));
             }
             Err(_) => std::thread::sleep(Duration::from_millis(5)),
         }
+        reap_finished(&mut conns);
+        sweep_expired(shared, &mut conns);
     }
-    for h in conns {
+    for h in conns.drain(..) {
         let _ = h.join();
+    }
+    // Final sweep: every connection thread has exited, so anything left
+    // in the registry is parked. Tear it down here so `Server::drain`
+    // cannot hang on a session nobody will ever resume.
+    for entry in shared.registry.expire(Duration::ZERO) {
+        expire_entry(shared, &entry);
     }
 }
 
+/// Joins connection threads that have finished, so a long-lived server
+/// does not accumulate dead `JoinHandle`s (and their OS threads' exit
+/// status) until shutdown.
+fn reap_finished(conns: &mut Vec<JoinHandle<()>>) {
+    let mut i = 0;
+    while i < conns.len() {
+        if conns[i].is_finished() {
+            let h = conns.swap_remove(i);
+            let _ = h.join();
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Reaps resumable sessions parked longer than the resume window. The
+/// teardown (cancel + wait) can block on the pool, so it runs on a
+/// short-lived thread tracked like a connection.
+fn sweep_expired(shared: &Arc<NetShared>, conns: &mut Vec<JoinHandle<()>>) {
+    for entry in shared.registry.expire(shared.config.resume_window) {
+        let s = Arc::clone(shared);
+        conns.push(std::thread::spawn(move || expire_entry(&s, &entry)));
+    }
+}
+
+fn expire_entry(shared: &Arc<NetShared>, entry: &SessionEntry) {
+    entry.handle().cancel();
+    if entry.claim_wait() {
+        let result = entry.handle().wait();
+        merge_result(shared, entry.priority, &result);
+    }
+    entry.recycle();
+    bump(&shared.stats, |s| s.expired += 1);
+}
+
 /// The socket write half, shared between the connection reader (control
-/// replies) and the session's output sink (streamed outputs).
-struct WriteHalf {
-    stream: Mutex<(TcpStream, u32)>,
-    /// Set on the first write failure; the session is cancelled rather
-    /// than blocked on a dead socket.
+/// replies), the session's output sink (streamed outputs), and — for
+/// resumable sessions — the journal's replay path.
+pub(crate) struct WriteHalf {
+    stream: Mutex<(FaultyStream, u32)>,
+    /// Set on the first write failure; the session is parked or
+    /// cancelled rather than blocked on a dead socket.
     broken: AtomicBool,
 }
 
 impl WriteHalf {
-    fn send(&self, msg: &Msg) {
-        if self.broken.load(Ordering::Acquire) {
+    fn new(stream: FaultyStream) -> WriteHalf {
+        WriteHalf {
+            stream: Mutex::new((stream, 0)),
+            broken: AtomicBool::new(false),
+        }
+    }
+
+    pub(crate) fn send(&self, msg: &Msg) {
+        if self.is_broken() {
             return;
         }
         let mut g = self.stream.lock().unwrap_or_else(|e| e.into_inner());
@@ -203,89 +308,221 @@ impl WriteHalf {
             self.broken.store(true, Ordering::Release);
         }
     }
+
+    /// Writes pre-encoded wire bytes (journaled outputs and replays,
+    /// which carry their journal sequence instead of the connection
+    /// sequence). Returns whether the socket still works.
+    pub(crate) fn send_raw(&self, bytes: &[u8]) -> bool {
+        if self.is_broken() {
+            return false;
+        }
+        let mut g = self.stream.lock().unwrap_or_else(|e| e.into_inner());
+        if g.0.write_all(bytes).is_err() {
+            self.broken.store(true, Ordering::Release);
+            return false;
+        }
+        true
+    }
+
+    pub(crate) fn is_broken(&self) -> bool {
+        self.broken.load(Ordering::Acquire)
+    }
+
+    fn shutdown(&self) {
+        let g = self.stream.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = g.0.shutdown(Shutdown::Both);
+    }
 }
 
-/// Reads exactly one message off the socket.
-enum ReadOutcome {
-    Msg(Msg),
-    /// Clean or abrupt connection end (EOF / reset / timeout).
-    Gone,
-    /// The bytes were not a valid message.
-    Malformed(WireError),
+/// How long a read may block before the connection thread gets control
+/// back to check liveness, session completion, and the write half.
+fn poll_quantum(heartbeat: Duration) -> Duration {
+    if heartbeat.is_zero() {
+        Duration::from_millis(100)
+    } else {
+        (heartbeat / 4).clamp(Duration::from_millis(5), Duration::from_millis(250))
+    }
 }
 
-fn read_msg(stream: &mut TcpStream) -> ReadOutcome {
-    let mut header = [0u8; HEADER_LEN];
-    if let Err(e) = stream.read_exact(&mut header) {
-        let _ = e;
-        return ReadOutcome::Gone;
+/// Write deadline: generous relative to the heartbeat so a slow-but-
+/// alive client never trips it, but bounded so a wedged peer cannot pin
+/// a pool worker.
+fn write_timeout(heartbeat: Duration) -> Duration {
+    if heartbeat.is_zero() {
+        Duration::from_secs(30)
+    } else {
+        (heartbeat * 4).max(Duration::from_secs(1))
     }
-    let Header { msg_type, len, .. } = match wire::parse_header(&header) {
-        Ok(h) => h,
-        Err(e) => return ReadOutcome::Malformed(e),
-    };
-    let mut payload = vec![0u8; len as usize];
-    if stream.read_exact(&mut payload).is_err() {
-        return ReadOutcome::Gone;
-    }
-    match wire::decode_payload(msg_type, &payload) {
-        Ok(msg) => ReadOutcome::Msg(msg),
-        Err(e) => ReadOutcome::Malformed(e),
-    }
+}
+
+fn liveness(heartbeat: Duration) -> Option<Duration> {
+    (!heartbeat.is_zero()).then(|| heartbeat * 2)
 }
 
 fn bump(stats: &Mutex<NetStats>, f: impl FnOnce(&mut NetStats)) {
     f(&mut stats.lock().unwrap_or_else(|e| e.into_inner()));
 }
 
-fn handle_connection(mut stream: TcpStream, shared: &Arc<NetShared>) {
-    let _ = stream.set_nodelay(true);
-    // HELLO ↔ HELLO.
-    match read_msg(&mut stream) {
-        ReadOutcome::Msg(Msg::Hello { server: false }) => {}
-        ReadOutcome::Gone => return,
-        other => {
-            if let ReadOutcome::Malformed(e) = &other {
-                bump(&shared.stats, |s| s.wire_errors += 1);
-                reply_error(&stream, ErrorCode::Protocol, &e.to_string());
-            } else {
-                reply_error(&stream, ErrorCode::Protocol, "expected HELLO");
+fn merge_result(shared: &NetShared, priority: Priority, result: &SessionResult) {
+    bump(&shared.stats, |s| {
+        s.completed[priority.index()] += result.completed;
+        s.discarded[priority.index()] += result.discarded;
+        s.latency[priority.index()].merge(&result.metrics.latency);
+    });
+}
+
+fn done_stats(result: &SessionResult) -> DoneStats {
+    DoneStats {
+        completed: result.completed,
+        discarded: result.discarded,
+        corrupt_dropped: result.corrupt_dropped,
+        p50_ns: result.metrics.latency.percentile(0.50),
+        p99_ns: result.metrics.latency.percentile(0.99),
+    }
+}
+
+/// One non-control event off the wire.
+enum Ctl {
+    Msg(Msg),
+    /// EOF, reset, or unreadable socket.
+    Gone,
+    /// Liveness deadline exceeded: the peer is silently dead.
+    Dead,
+    Malformed(WireError),
+}
+
+/// Per-connection state threaded through the handshake and session
+/// phases. Control messages (PING/PONG/ACK) are absorbed here so every
+/// phase gets heartbeat handling for free.
+struct Conn {
+    reader: MsgReader<FaultyStream>,
+    write: Arc<WriteHalf>,
+    shared: Arc<NetShared>,
+    /// The resumable session attached to this connection, if any.
+    entry: Option<Arc<SessionEntry>>,
+    liveness: Option<Duration>,
+    last_traffic: Instant,
+}
+
+impl Conn {
+    /// One reader poll. `None` means the quantum elapsed with nothing
+    /// to do (and the peer is not yet past its liveness deadline when
+    /// `enforce` is set).
+    fn tick(&mut self, enforce: bool) -> Option<Ctl> {
+        match self.reader.poll() {
+            ReadEvent::Msg(msg, _seq) => {
+                self.last_traffic = Instant::now();
+                match msg {
+                    Msg::Ping => {
+                        bump(&self.shared.stats, |s| s.pings += 1);
+                        self.write.send(&Msg::Pong);
+                        None
+                    }
+                    Msg::Pong => None,
+                    Msg::AckOut { outputs_received } => {
+                        if let Some(entry) = &self.entry {
+                            entry.ack_outputs(outputs_received);
+                        }
+                        None
+                    }
+                    // ACK_IN is server→client; ignore echoes.
+                    Msg::AckIn { .. } => None,
+                    other => Some(Ctl::Msg(other)),
+                }
             }
+            ReadEvent::Idle => match self.liveness {
+                Some(limit) if enforce && self.last_traffic.elapsed() >= limit => Some(Ctl::Dead),
+                _ => None,
+            },
+            ReadEvent::Gone => Some(Ctl::Gone),
+            ReadEvent::Malformed(e) => Some(Ctl::Malformed(e)),
+        }
+    }
+
+    /// Blocks (in quantum steps) until a non-control event.
+    fn next(&mut self) -> Ctl {
+        loop {
+            if let Some(ctl) = self.tick(true) {
+                return ctl;
+            }
+        }
+    }
+
+    fn send_error(&self, code: ErrorCode, detail: impl Into<String>) {
+        self.write.send(&Msg::Error {
+            code,
+            detail: detail.into(),
+        });
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<NetShared>) {
+    let hb = shared.config.heartbeat;
+    let stream = FaultyStream::wrap(stream, shared.config.faults.clone());
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(poll_quantum(hb)));
+    let _ = stream.set_write_timeout(Some(write_timeout(hb)));
+    let read_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut conn = Conn {
+        reader: MsgReader::new(read_half),
+        write: Arc::new(WriteHalf::new(stream)),
+        shared: Arc::clone(shared),
+        entry: None,
+        liveness: liveness(hb),
+        last_traffic: Instant::now(),
+    };
+
+    // HELLO ↔ HELLO. The liveness deadline applies from the first byte,
+    // so a peer that connects and says nothing is reaped.
+    match conn.next() {
+        Ctl::Msg(Msg::Hello { server: false }) => {}
+        Ctl::Gone => return,
+        Ctl::Dead => {
+            bump(&shared.stats, |s| s.timeouts += 1);
+            conn.write.shutdown();
+            return;
+        }
+        Ctl::Malformed(e) => {
+            bump(&shared.stats, |s| s.wire_errors += 1);
+            conn.send_error(ErrorCode::Protocol, e.to_string());
+            conn.write.shutdown();
+            return;
+        }
+        Ctl::Msg(_) => {
+            conn.send_error(ErrorCode::Protocol, "expected HELLO");
+            conn.write.shutdown();
             return;
         }
     }
-    let write = Arc::new(WriteHalf {
-        stream: Mutex::new((
-            match stream.try_clone() {
-                Ok(s) => s,
-                Err(_) => return,
-            },
-            0,
-        )),
-        broken: AtomicBool::new(false),
-    });
-    write.send(&Msg::Hello { server: true });
+    conn.write.send(&Msg::Hello { server: true });
 
-    // OPEN → admission → OPEN_OK | ERROR.
-    let (spec, priority) = match read_msg(&mut stream) {
-        ReadOutcome::Msg(Msg::Open { spec, priority }) => (spec, priority),
-        ReadOutcome::Gone => return,
-        ReadOutcome::Malformed(e) => {
+    // OPEN or RESUME.
+    match conn.next() {
+        Ctl::Msg(Msg::Open {
+            spec,
+            priority,
+            resume,
+        }) => open_session(&mut conn, spec, priority, resume),
+        Ctl::Msg(Msg::Resume {
+            session_id,
+            outputs_received,
+        }) => resume_session(&mut conn, session_id, outputs_received),
+        Ctl::Gone => {}
+        Ctl::Dead => bump(&shared.stats, |s| s.timeouts += 1),
+        Ctl::Malformed(e) => {
             bump(&shared.stats, |s| s.wire_errors += 1);
-            write.send(&Msg::Error {
-                code: ErrorCode::Protocol,
-                detail: e.to_string(),
-            });
-            return;
+            conn.send_error(ErrorCode::Protocol, e.to_string());
         }
-        ReadOutcome::Msg(_) => {
-            write.send(&Msg::Error {
-                code: ErrorCode::Protocol,
-                detail: "expected OPEN".into(),
-            });
-            return;
-        }
-    };
+        Ctl::Msg(_) => conn.send_error(ErrorCode::Protocol, "expected OPEN or RESUME"),
+    }
+    conn.write.shutdown();
+}
+
+fn open_session(conn: &mut Conn, spec: SessionSpec, priority: Priority, resume: bool) {
+    let shared = Arc::clone(&conn.shared);
     if let Some(slo) = &shared.config.slo {
         let fleet = shared.server.fleet_latency();
         // HDVB_NET_DEBUG logs every admission decision — the signal to
@@ -300,103 +537,186 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<NetShared>) {
         }
         if let Err(rejection) = slo.admit(&fleet, priority) {
             bump(&shared.stats, |s| s.rejected[priority.index()] += 1);
-            write.send(&Msg::Error {
-                code: ErrorCode::Rejected,
-                detail: rejection.detail(priority),
-            });
+            conn.send_error(ErrorCode::Rejected, rejection.detail(priority));
             return;
         }
     }
     let session = match spec.build(shared.config.simd) {
         Ok(s) => s,
         Err(e) => {
-            write.send(&Msg::Error {
-                code: ErrorCode::Codec,
-                detail: e.to_string(),
-            });
+            conn.send_error(ErrorCode::Codec, e.to_string());
             return;
         }
     };
     bump(&shared.stats, |s| s.admitted[priority.index()] += 1);
-
-    let sink_write = Arc::clone(&write);
-    let handle = shared.server.open_with(
-        session,
-        OpenOptions {
-            keep_output: false,
-            priority,
-            sink: Some(Box::new(move |out| {
-                for p in out.packets.drain(..) {
-                    let msg = Msg::Packet(p);
-                    sink_write.send(&msg);
-                    wire::recycle_msg(msg);
-                }
-                for f in out.frames.drain(..) {
-                    let msg = Msg::Frame(f);
-                    sink_write.send(&msg);
-                    wire::recycle_msg(msg);
-                }
-            })),
-        },
-    );
     let session_id = shared.next_session.fetch_add(1, Ordering::Relaxed);
-    write.send(&Msg::OpenOk { session_id });
+    let heartbeat_ms = u32::try_from(shared.config.heartbeat.as_millis()).unwrap_or(u32::MAX);
 
-    let outcome = pump_inputs(&mut stream, shared, &write, &handle);
-    // Whatever ended the stream, the session is fully retired here;
-    // fold its result into the fleet counters.
-    let result = handle.wait();
-    bump(&shared.stats, |s| {
-        s.completed[priority.index()] += result.completed;
-        s.discarded[priority.index()] += result.discarded;
-        s.latency[priority.index()].merge(&result.metrics.latency);
-    });
-    if outcome == StreamEnd::Flushed {
-        write.send(&Msg::Done(DoneStats {
-            completed: result.completed,
-            discarded: result.discarded,
-            corrupt_dropped: result.corrupt_dropped,
-            p50_ns: result.metrics.latency.percentile(0.50),
-            p99_ns: result.metrics.latency.percentile(0.99),
-        }));
+    if resume {
+        let entry = Arc::new(SessionEntry::new(
+            session_id,
+            priority,
+            shared.config.journal_cap,
+            Arc::clone(&conn.write),
+        ));
+        // The sink holds the entry weakly: the entry owns the session
+        // handle, the handle keeps the session state (and this very
+        // closure) alive, so a strong reference here would be a cycle
+        // that leaks the session — and the pool it pins — forever.
+        let sink_entry = Arc::downgrade(&entry);
+        let handle = shared.server.open_with(
+            session,
+            OpenOptions {
+                keep_output: false,
+                priority,
+                sink: Some(Box::new(move |out| {
+                    let Some(entry) = sink_entry.upgrade() else {
+                        for p in out.packets.drain(..) {
+                            wire::recycle_msg(Msg::Packet(p));
+                        }
+                        for f in out.frames.drain(..) {
+                            wire::recycle_msg(Msg::Frame(f));
+                        }
+                        return;
+                    };
+                    for p in out.packets.drain(..) {
+                        entry.emit(Msg::Packet(p));
+                    }
+                    for f in out.frames.drain(..) {
+                        entry.emit(Msg::Frame(f));
+                    }
+                })),
+            },
+        );
+        entry.set_handle(handle);
+        shared.registry.insert(Arc::clone(&entry));
+        conn.entry = Some(Arc::clone(&entry));
+        conn.write.send(&Msg::OpenOk {
+            session_id,
+            heartbeat_ms,
+        });
+        run_session(conn, entry.handle(), priority, 0);
+    } else {
+        let sink_write = Arc::clone(&conn.write);
+        let handle = shared.server.open_with(
+            session,
+            OpenOptions {
+                keep_output: false,
+                priority,
+                sink: Some(Box::new(move |out| {
+                    for p in out.packets.drain(..) {
+                        let msg = Msg::Packet(p);
+                        sink_write.send(&msg);
+                        wire::recycle_msg(msg);
+                    }
+                    for f in out.frames.drain(..) {
+                        let msg = Msg::Frame(f);
+                        sink_write.send(&msg);
+                        wire::recycle_msg(msg);
+                    }
+                })),
+            },
+        );
+        conn.write.send(&Msg::OpenOk {
+            session_id,
+            heartbeat_ms,
+        });
+        run_session(conn, &handle, priority, 0);
     }
-    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn resume_session(conn: &mut Conn, session_id: u32, outputs_received: u64) {
+    let shared = Arc::clone(&conn.shared);
+    let Some(entry) = shared.registry.get(session_id) else {
+        conn.send_error(ErrorCode::NoSession, "unknown or expired session");
+        return;
+    };
+    match entry.attach(Arc::clone(&conn.write), outputs_received) {
+        Err(AttachError::Live) => {
+            // The old connection has not been declared dead yet; the
+            // client backs off and retries — Protocol is retryable.
+            conn.send_error(
+                ErrorCode::Protocol,
+                "session busy: previous connection still attached",
+            );
+        }
+        Err(AttachError::OutOfRange) => {
+            conn.send_error(
+                ErrorCode::NoSession,
+                "resume point no longer in journal (overflowed)",
+            );
+        }
+        Ok((generation, replayed)) => {
+            bump(&shared.stats, |s| {
+                s.resumes += 1;
+                s.replayed += replayed;
+            });
+            conn.entry = Some(Arc::clone(&entry));
+            run_session(conn, entry.handle(), entry.priority, generation);
+        }
+    }
 }
 
 #[derive(PartialEq, Eq)]
 enum StreamEnd {
-    /// Client flushed; DONE follows.
+    /// Client flushed; the drain phase follows.
     Flushed,
-    /// Disconnect, CLOSE, protocol violation or session failure.
+    /// CLOSE, protocol violation, or session failure: torn down.
     Aborted,
+    /// Resumable session detached; a later connection may pick it up.
+    Parked,
 }
 
-/// Reads inputs until FLUSH/CLOSE/disconnect. Returns how the stream
-/// ended; the session is finished or cancelled accordingly but not yet
-/// waited on.
-fn pump_inputs(
-    stream: &mut TcpStream,
-    shared: &Arc<NetShared>,
-    write: &WriteHalf,
-    handle: &SessionHandle,
-) -> StreamEnd {
+/// Drives one attached connection through its remaining phases:
+/// streaming (unless FLUSH already happened before a resume), drain,
+/// and — for resumable sessions — the ack drain.
+fn run_session(conn: &mut Conn, handle: &SessionHandle, priority: Priority, generation: u64) {
+    let entry = conn.entry.clone();
+    let end = if entry.as_ref().is_some_and(|e| e.is_flushed()) {
+        StreamEnd::Flushed
+    } else {
+        run_streaming(conn, handle, generation)
+    };
+    match end {
+        StreamEnd::Parked => {}
+        StreamEnd::Aborted => {
+            // The session is cancelled (or retired on its own); fold
+            // its result into the fleet counters and forget it.
+            finalize(conn, handle, priority);
+            if let Some(entry) = &entry {
+                conn.shared.registry.remove(entry.id);
+                entry.recycle();
+            }
+        }
+        StreamEnd::Flushed => drain_session(conn, handle, priority, generation),
+    }
+}
+
+/// Reads inputs until FLUSH/CLOSE/disconnect.
+fn run_streaming(conn: &mut Conn, handle: &SessionHandle, generation: u64) -> StreamEnd {
+    let shared = Arc::clone(&conn.shared);
     let mut bucket = shared
         .config
         .rate_limit
         .map(|rate| TokenBucket::new(f64::from(rate), f64::from(rate)));
     loop {
-        if write.broken.load(Ordering::Acquire) {
+        if conn.write.is_broken() {
             // The client stopped reading its outputs; treat as gone.
-            bump(&shared.stats, |s| s.disconnects += 1);
-            handle.cancel();
-            return StreamEnd::Aborted;
+            return disconnect(conn, handle, generation, false);
         }
-        match read_msg(stream) {
-            ReadOutcome::Msg(msg @ (Msg::Frame(_) | Msg::Packet(_))) => {
+        let Some(ctl) = conn.tick(true) else { continue };
+        match ctl {
+            Ctl::Msg(msg @ (Msg::Frame(_) | Msg::Packet(_))) => {
                 if let Some(b) = bucket.as_mut() {
                     let wait = b.acquire();
                     if !wait.is_zero() {
                         std::thread::sleep(wait);
+                    }
+                }
+                if let Some(entry) = &conn.entry {
+                    let n = entry.input_received();
+                    if n % ACK_IN_EVERY == 0 {
+                        conn.write.send(&Msg::AckIn { inputs_received: n });
                     }
                 }
                 let input = match msg {
@@ -407,43 +727,37 @@ fn pump_inputs(
                 if handle.submit(input).is_err() {
                     // The session already retired (codec error or
                     // cancellation); report and stop reading.
-                    let detail = "session closed".to_string();
-                    write.send(&Msg::Error {
-                        code: ErrorCode::Codec,
-                        detail,
-                    });
+                    conn.send_error(ErrorCode::Codec, "session closed");
                     return StreamEnd::Aborted;
                 }
             }
-            ReadOutcome::Msg(Msg::Flush) => {
+            Ctl::Msg(Msg::Flush) => {
+                if let Some(entry) = &conn.entry {
+                    entry.set_flushed();
+                }
                 handle.finish();
                 return StreamEnd::Flushed;
             }
-            ReadOutcome::Msg(Msg::Close) => {
+            Ctl::Msg(Msg::Close) => {
                 handle.cancel();
                 return StreamEnd::Aborted;
             }
-            ReadOutcome::Msg(_) => {
-                write.send(&Msg::Error {
-                    code: ErrorCode::Protocol,
-                    detail: "unexpected message mid-stream".into(),
-                });
+            Ctl::Msg(_) => {
+                conn.send_error(ErrorCode::Protocol, "unexpected message mid-stream");
                 handle.cancel();
                 return StreamEnd::Aborted;
             }
-            ReadOutcome::Gone => {
-                // EOF or reset mid-stream: cancel this session only;
-                // queued inputs are recycled by `cancel`.
-                bump(&shared.stats, |s| s.disconnects += 1);
-                handle.cancel();
-                return StreamEnd::Aborted;
-            }
-            ReadOutcome::Malformed(e) => {
+            Ctl::Gone => return disconnect(conn, handle, generation, false),
+            Ctl::Dead => return disconnect(conn, handle, generation, true),
+            Ctl::Malformed(e) => {
                 bump(&shared.stats, |s| s.wire_errors += 1);
-                write.send(&Msg::Error {
-                    code: ErrorCode::Protocol,
-                    detail: e.to_string(),
-                });
+                conn.send_error(ErrorCode::Protocol, e.to_string());
+                if conn.entry.is_some() {
+                    // A corrupted message severed framing, but the
+                    // input was never submitted — the client's replay
+                    // buffer still holds it, so a resume loses nothing.
+                    return park(conn, generation, false);
+                }
                 handle.cancel();
                 return StreamEnd::Aborted;
             }
@@ -451,18 +765,122 @@ fn pump_inputs(
     }
 }
 
-/// Best-effort error reply on a connection that has no [`WriteHalf`]
-/// yet (pre-handshake failures).
-fn reply_error(stream: &TcpStream, code: ErrorCode, detail: &str) {
-    let mut buf = Vec::new();
-    wire::encode(
-        &Msg::Error {
-            code,
-            detail: detail.to_string(),
-        },
-        0,
-        &mut buf,
-    );
-    let mut s = stream;
-    let _ = s.write_all(&buf);
+/// EOF/reset/liveness-expiry mid-stream: park resumable sessions,
+/// cancel plain ones.
+fn disconnect(conn: &Conn, handle: &SessionHandle, generation: u64, timed_out: bool) -> StreamEnd {
+    bump(&conn.shared.stats, |s| {
+        s.disconnects += 1;
+        if timed_out {
+            s.timeouts += 1;
+        }
+    });
+    if conn.entry.is_some() {
+        park(conn, generation, false)
+    } else {
+        handle.cancel();
+        StreamEnd::Aborted
+    }
+}
+
+fn park(conn: &Conn, generation: u64, timed_out: bool) -> StreamEnd {
+    if timed_out {
+        bump(&conn.shared.stats, |s| s.timeouts += 1);
+    }
+    if let Some(entry) = &conn.entry {
+        if entry.park(generation) {
+            bump(&conn.shared.stats, |s| s.parked += 1);
+        }
+    }
+    StreamEnd::Parked
+}
+
+/// After FLUSH: poll the session to completion while answering
+/// heartbeats and acks, emit DONE, then (resumable only) wait for the
+/// final acks so the journal can be retired.
+fn drain_session(conn: &mut Conn, handle: &SessionHandle, priority: Priority, generation: u64) {
+    let entry = conn.entry.clone();
+    let quantum = poll_quantum(conn.shared.config.heartbeat);
+    // A plain client that disconnects during the drain no longer gets
+    // its DONE, but the session still finishes and counts.
+    let mut reader_gone = false;
+    while !handle.is_done() {
+        if entry.is_some() && conn.write.is_broken() {
+            park(conn, generation, false);
+            return;
+        }
+        if reader_gone {
+            std::thread::sleep(quantum);
+            continue;
+        }
+        // Liveness is only enforced for resumable sessions here: a
+        // plain client waits silently for its outputs, and that must
+        // keep working. Resumable clients heartbeat while they wait.
+        match conn.tick(entry.is_some()) {
+            None => {}
+            // Stray messages (duplicate FLUSH after a resume) are fine.
+            Some(Ctl::Msg(_)) => {}
+            Some(Ctl::Gone) | Some(Ctl::Malformed(_)) => {
+                if entry.is_some() {
+                    bump(&conn.shared.stats, |s| s.disconnects += 1);
+                    park(conn, generation, false);
+                    return;
+                }
+                reader_gone = true;
+            }
+            Some(Ctl::Dead) => {
+                if entry.is_some() {
+                    bump(&conn.shared.stats, |s| s.disconnects += 1);
+                    park(conn, generation, true);
+                    return;
+                }
+                reader_gone = true;
+            }
+        }
+    }
+    let stats = finalize(conn, handle, priority);
+    let Some(entry) = entry else {
+        conn.write.send(&Msg::Done(stats));
+        return;
+    };
+    if !entry.done_appended() {
+        entry.emit(Msg::Done(stats));
+    }
+    // Ack drain: the journal empties as ACK_OUTs arrive; once DONE is
+    // acked the session has nothing left to deliver and retires. A
+    // disconnect here parks — the tail is replayed on resume.
+    loop {
+        if entry.delivered() {
+            conn.shared.registry.remove(entry.id);
+            return;
+        }
+        if conn.write.is_broken() {
+            park(conn, generation, false);
+            return;
+        }
+        match conn.tick(true) {
+            None => {}
+            Some(Ctl::Msg(_)) => {}
+            Some(ctl @ (Ctl::Gone | Ctl::Dead | Ctl::Malformed(_))) => {
+                // A FIN right after the final ack is the normal end.
+                if entry.delivered() {
+                    conn.shared.registry.remove(entry.id);
+                    return;
+                }
+                park(conn, generation, matches!(ctl, Ctl::Dead));
+                return;
+            }
+        }
+    }
+}
+
+/// Waits out the retired session and folds its result into the fleet
+/// counters exactly once (connection threads and the expiry reaper can
+/// race for a resumable session).
+fn finalize(conn: &Conn, handle: &SessionHandle, priority: Priority) -> DoneStats {
+    let result = handle.wait();
+    let merge = conn.entry.as_ref().is_none_or(|e| e.claim_wait());
+    if merge {
+        merge_result(&conn.shared, priority, &result);
+    }
+    done_stats(&result)
 }

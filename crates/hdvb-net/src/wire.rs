@@ -1,22 +1,31 @@
 //! The versioned, length-prefixed binary wire protocol.
 //!
-//! Every message is a 16-byte header followed by a payload:
+//! Every message is a 16-byte header followed by a payload and — when
+//! the payload is non-empty — a 4-byte payload checksum trailer:
 //!
 //! ```text
 //! offset  size  field
 //!      0     2  magic "HV"
-//!      2     1  protocol version (1)
+//!      2     1  protocol version (2)
 //!      3     1  message type
 //!      4     4  payload length, u32 LE (capped at 64 MiB)
 //!      8     4  sender sequence number, u32 LE (diagnostic)
 //!     12     4  FNV-1a-32 checksum over bytes 0..12, u32 LE
+//!     16   len  payload
+//!  16+len     4  FNV-1a-32 checksum over the payload, u32 LE
+//!               (present only when len > 0)
 //! ```
 //!
-//! All integers are little-endian. The checksum covers the *header*
-//! only: it is there to catch desynchronised framing (a reader that
-//! lost its place decodes garbage lengths) cheaply, not to
-//! integrity-protect payloads — corrupted codec payloads already
-//! surface as typed `Corrupt` errors from the hardened decoders.
+//! All integers are little-endian. The header checksum catches
+//! desynchronised framing (a reader that lost its place decodes garbage
+//! lengths) before any length is trusted; the payload trailer gives
+//! end-to-end integrity for the body, so a single flipped bit anywhere
+//! in a message — header or payload — is detected by the receiver
+//! (FNV-1a absorbs each byte through a bijective step, so any
+//! single-byte change is guaranteed to change the hash). That is what
+//! lets the chaos layer's `garble` fault be injected anywhere and still
+//! keep sessions bit-identical: a corrupted message is dropped with the
+//! connection and replayed from the resume journal, never consumed.
 //!
 //! Decoding never panics. Every malformed input — wrong magic, unknown
 //! version or type, checksum mismatch, oversized or truncated frame,
@@ -45,9 +54,12 @@ pub(crate) fn recycle_msg(msg: Msg) {
 /// First two bytes of every message.
 pub const MAGIC: [u8; 2] = *b"HV";
 /// Current protocol version.
-pub const VERSION: u8 = 1;
+pub const VERSION: u8 = 2;
 /// Header size in bytes.
 pub const HEADER_LEN: usize = 16;
+/// Payload checksum trailer size (present when the payload is
+/// non-empty).
+pub const TRAILER_LEN: usize = 4;
 /// Largest accepted payload (64 MiB — an 8K I420 frame is ~48 MiB).
 pub const MAX_PAYLOAD: u32 = 1 << 26;
 /// Largest accepted frame dimension on the wire.
@@ -75,10 +87,22 @@ pub enum MsgType {
     Close = 8,
     /// Typed failure; terminal for the session.
     Error = 9,
+    /// Heartbeat probe; either side may send it at any time.
+    Ping = 10,
+    /// Heartbeat reply to a PING.
+    Pong = 11,
+    /// Client re-attaches to a parked session after a disconnect.
+    Resume = 12,
+    /// Server accepted a RESUME; journal replay follows.
+    ResumeOk = 13,
+    /// Client's cumulative count of outputs received (journal trim).
+    AckOut = 14,
+    /// Server's cumulative count of inputs received (replay-buffer trim).
+    AckIn = 15,
 }
 
 impl MsgType {
-    fn from_u8(b: u8) -> Option<MsgType> {
+    pub(crate) fn from_u8(b: u8) -> Option<MsgType> {
         Some(match b {
             1 => MsgType::Hello,
             2 => MsgType::Open,
@@ -89,8 +113,25 @@ impl MsgType {
             7 => MsgType::Done,
             8 => MsgType::Close,
             9 => MsgType::Error,
+            10 => MsgType::Ping,
+            11 => MsgType::Pong,
+            12 => MsgType::Resume,
+            13 => MsgType::ResumeOk,
+            14 => MsgType::AckOut,
+            15 => MsgType::AckIn,
             _ => return None,
         })
+    }
+
+    /// True for the heartbeat/acknowledgement messages that carry no
+    /// session data. The fault injector skips these when counting
+    /// messages so that fault positions stay deterministic regardless
+    /// of heartbeat timing.
+    pub fn is_control(self) -> bool {
+        matches!(
+            self,
+            MsgType::Ping | MsgType::Pong | MsgType::AckOut | MsgType::AckIn
+        )
     }
 }
 
@@ -110,6 +151,9 @@ pub enum ErrorCode {
     Protocol = 5,
     /// Server-side failure unrelated to the request.
     Internal = 6,
+    /// A RESUME named a session the server no longer holds (expired,
+    /// journal overflow, or never existed).
+    NoSession = 7,
 }
 
 impl ErrorCode {
@@ -121,6 +165,7 @@ impl ErrorCode {
             4 => ErrorCode::Codec,
             5 => ErrorCode::Protocol,
             6 => ErrorCode::Internal,
+            7 => ErrorCode::NoSession,
             _ => return None,
         })
     }
@@ -134,6 +179,7 @@ impl ErrorCode {
             ErrorCode::Codec => "codec",
             ErrorCode::Protocol => "protocol",
             ErrorCode::Internal => "internal",
+            ErrorCode::NoSession => "no-session",
         }
     }
 }
@@ -153,6 +199,13 @@ pub enum WireError {
         /// Checksum recomputed over the received header.
         expected: u32,
         /// Checksum carried by the received header.
+        found: u32,
+    },
+    /// Payload checksum trailer mismatch (bytes corrupted in flight).
+    BadPayloadChecksum {
+        /// Checksum recomputed over the received payload.
+        expected: u32,
+        /// Checksum carried by the trailer.
         found: u32,
     },
     /// Declared payload length exceeds [`MAX_PAYLOAD`].
@@ -186,6 +239,12 @@ impl fmt::Display for WireError {
                 write!(
                     f,
                     "header checksum {found:#010x}, expected {expected:#010x}"
+                )
+            }
+            WireError::BadPayloadChecksum { expected, found } => {
+                write!(
+                    f,
+                    "payload checksum {found:#010x}, expected {expected:#010x}"
                 )
             }
             WireError::Oversized { len } => {
@@ -230,11 +289,17 @@ pub enum Msg {
         spec: SessionSpec,
         /// Scheduling class.
         priority: Priority,
+        /// Client asks the server to journal outputs so the session can
+        /// be resumed after a disconnect.
+        resume: bool,
     },
     /// Session admitted.
     OpenOk {
         /// Server-assigned session id.
         session_id: u32,
+        /// Heartbeat interval the server enforces, in milliseconds.
+        /// Zero disables liveness deadlines for this session.
+        heartbeat_ms: u32,
     },
     /// One raw frame.
     Frame(Frame),
@@ -253,6 +318,34 @@ pub enum Msg {
         /// Human-readable detail.
         detail: String,
     },
+    /// Heartbeat probe.
+    Ping,
+    /// Heartbeat reply.
+    Pong,
+    /// Re-attach to a parked session.
+    Resume {
+        /// The id handed out by OPEN_OK.
+        session_id: u32,
+        /// Outputs (journal entries) the client already holds; the
+        /// server replays everything after this point.
+        outputs_received: u64,
+    },
+    /// RESUME accepted.
+    ResumeOk {
+        /// Inputs the server has already consumed; the client resends
+        /// everything after this point.
+        inputs_received: u64,
+    },
+    /// Client → server: cumulative outputs received.
+    AckOut {
+        /// Count of journal entries the client now holds.
+        outputs_received: u64,
+    },
+    /// Server → client: cumulative inputs received.
+    AckIn {
+        /// Count of inputs the server has consumed.
+        inputs_received: u64,
+    },
 }
 
 impl Msg {
@@ -268,11 +361,17 @@ impl Msg {
             Msg::Done(_) => MsgType::Done,
             Msg::Close => MsgType::Close,
             Msg::Error { .. } => MsgType::Error,
+            Msg::Ping => MsgType::Ping,
+            Msg::Pong => MsgType::Pong,
+            Msg::Resume { .. } => MsgType::Resume,
+            Msg::ResumeOk { .. } => MsgType::ResumeOk,
+            Msg::AckOut { .. } => MsgType::AckOut,
+            Msg::AckIn { .. } => MsgType::AckIn,
         }
     }
 }
 
-/// FNV-1a 32-bit over `bytes` (the header checksum).
+/// FNV-1a 32-bit over `bytes` (the header and payload checksums).
 pub fn fnv1a(bytes: &[u8]) -> u32 {
     let mut h: u32 = 0x811c_9dc5;
     for &b in bytes {
@@ -291,6 +390,27 @@ pub struct Header {
     pub len: u32,
     /// Sender sequence number.
     pub seq: u32,
+}
+
+/// Total on-wire size of the message this header announces, including
+/// the payload trailer when one is present.
+pub fn frame_len(header: &Header) -> usize {
+    let len = header.len as usize;
+    HEADER_LEN + len + if len > 0 { TRAILER_LEN } else { 0 }
+}
+
+/// Validates a payload against its 4-byte trailer.
+///
+/// # Errors
+///
+/// [`WireError::BadPayloadChecksum`] on mismatch.
+pub fn check_trailer(payload: &[u8], trailer: &[u8]) -> Result<(), WireError> {
+    let expected = fnv1a(payload);
+    let found = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+    if expected != found {
+        return Err(WireError::BadPayloadChecksum { expected, found });
+    }
+    Ok(())
 }
 
 /// Serialises a header.
@@ -370,14 +490,18 @@ fn kind_from_byte(b: u8) -> Option<PacketKind> {
     }
 }
 
-/// Appends `msg` (header + payload) to `out`.
+/// Appends `msg` (header + payload + payload trailer) to `out`.
 pub fn encode(msg: &Msg, seq: u32, out: &mut Vec<u8>) {
     let start = out.len();
     // Reserve header space; patched once the payload length is known.
     out.extend_from_slice(&[0u8; HEADER_LEN]);
     match msg {
         Msg::Hello { server } => out.push(u8::from(*server)),
-        Msg::Open { spec, priority } => {
+        Msg::Open {
+            spec,
+            priority,
+            resume,
+        } => {
             out.push(spec.kind.as_u8());
             out.push(codec_byte(spec.codec));
             out.push(codec_byte(spec.source));
@@ -387,8 +511,15 @@ pub fn encode(msg: &Msg, seq: u32, out: &mut Vec<u8>) {
             out.extend_from_slice(&spec.qscale.to_le_bytes());
             out.extend_from_slice(&(spec.resolution.width() as u32).to_le_bytes());
             out.extend_from_slice(&(spec.resolution.height() as u32).to_le_bytes());
+            out.push(u8::from(*resume));
         }
-        Msg::OpenOk { session_id } => out.extend_from_slice(&session_id.to_le_bytes()),
+        Msg::OpenOk {
+            session_id,
+            heartbeat_ms,
+        } => {
+            out.extend_from_slice(&session_id.to_le_bytes());
+            out.extend_from_slice(&heartbeat_ms.to_le_bytes());
+        }
         Msg::Frame(frame) => {
             out.extend_from_slice(&(frame.width() as u32).to_le_bytes());
             out.extend_from_slice(&(frame.height() as u32).to_le_bytes());
@@ -401,7 +532,7 @@ pub fn encode(msg: &Msg, seq: u32, out: &mut Vec<u8>) {
             out.extend_from_slice(&p.display_index.to_le_bytes());
             out.extend_from_slice(&p.data);
         }
-        Msg::Flush | Msg::Close => {}
+        Msg::Flush | Msg::Close | Msg::Ping | Msg::Pong => {}
         Msg::Done(s) => {
             out.extend_from_slice(&s.completed.to_le_bytes());
             out.extend_from_slice(&s.discarded.to_le_bytes());
@@ -413,10 +544,30 @@ pub fn encode(msg: &Msg, seq: u32, out: &mut Vec<u8>) {
             out.push(*code as u8);
             out.extend_from_slice(detail.as_bytes());
         }
+        Msg::Resume {
+            session_id,
+            outputs_received,
+        } => {
+            out.extend_from_slice(&session_id.to_le_bytes());
+            out.extend_from_slice(&outputs_received.to_le_bytes());
+        }
+        Msg::ResumeOk { inputs_received } => {
+            out.extend_from_slice(&inputs_received.to_le_bytes());
+        }
+        Msg::AckOut { outputs_received } => {
+            out.extend_from_slice(&outputs_received.to_le_bytes());
+        }
+        Msg::AckIn { inputs_received } => {
+            out.extend_from_slice(&inputs_received.to_le_bytes());
+        }
     }
     let len = (out.len() - start - HEADER_LEN) as u32;
     let header = encode_header(msg.msg_type(), len, seq);
     out[start..start + HEADER_LEN].copy_from_slice(&header);
+    if len > 0 {
+        let sum = fnv1a(&out[start + HEADER_LEN..]);
+        out.extend_from_slice(&sum.to_le_bytes());
+    }
 }
 
 fn le_u16(b: &[u8]) -> u16 {
@@ -431,7 +582,8 @@ fn le_u64(b: &[u8]) -> u64 {
     u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
 }
 
-/// Decodes one payload for a validated header.
+/// Decodes one payload for a validated header. The caller has already
+/// verified the payload trailer (see [`check_trailer`]).
 ///
 /// # Errors
 ///
@@ -449,6 +601,12 @@ pub fn decode_payload(msg_type: MsgType, payload: &[u8]) -> Result<Msg, WireErro
             MsgType::Done => "done",
             MsgType::Close => "close",
             MsgType::Error => "error",
+            MsgType::Ping => "ping",
+            MsgType::Pong => "pong",
+            MsgType::Resume => "resume",
+            MsgType::ResumeOk => "resume-ok",
+            MsgType::AckOut => "ack-out",
+            MsgType::AckIn => "ack-in",
         },
         detail,
     };
@@ -459,8 +617,8 @@ pub fn decode_payload(msg_type: MsgType, payload: &[u8]) -> Result<Msg, WireErro
             _ => Err(bad("expected exactly one role byte")),
         },
         MsgType::Open => {
-            if payload.len() != 16 {
-                return Err(bad("expected 16 bytes"));
+            if payload.len() != 17 {
+                return Err(bad("expected 17 bytes"));
             }
             let kind = SessionKind::from_u8(payload[0]).ok_or_else(|| bad("unknown kind"))?;
             let codec = codec_from_byte(payload[1]).ok_or_else(|| bad("unknown codec"))?;
@@ -468,6 +626,9 @@ pub fn decode_payload(msg_type: MsgType, payload: &[u8]) -> Result<Msg, WireErro
             let priority = Priority::from_u8(payload[3]).ok_or_else(|| bad("unknown priority"))?;
             if payload[4] > 1 {
                 return Err(bad("resilient flag out of range"));
+            }
+            if payload[16] > 1 {
+                return Err(bad("resume flag out of range"));
             }
             let (w, h) = (le_u32(&payload[8..12]), le_u32(&payload[12..16]));
             let resolution = parse_resolution(w, h).ok_or_else(|| bad("invalid resolution"))?;
@@ -482,13 +643,15 @@ pub fn decode_payload(msg_type: MsgType, payload: &[u8]) -> Result<Msg, WireErro
                     resilient: payload[4] == 1,
                 },
                 priority,
+                resume: payload[16] == 1,
             })
         }
         MsgType::OpenOk => match payload.len() {
-            4 => Ok(Msg::OpenOk {
-                session_id: le_u32(payload),
+            8 => Ok(Msg::OpenOk {
+                session_id: le_u32(&payload[0..4]),
+                heartbeat_ms: le_u32(&payload[4..8]),
             }),
-            _ => Err(bad("expected 4 bytes")),
+            _ => Err(bad("expected 8 bytes")),
         },
         MsgType::Frame => {
             if payload.len() < 8 {
@@ -555,6 +718,39 @@ pub fn decode_payload(msg_type: MsgType, payload: &[u8]) -> Result<Msg, WireErro
                 .to_string();
             Ok(Msg::Error { code, detail })
         }
+        MsgType::Ping => match payload.len() {
+            0 => Ok(Msg::Ping),
+            _ => Err(bad("expected empty payload")),
+        },
+        MsgType::Pong => match payload.len() {
+            0 => Ok(Msg::Pong),
+            _ => Err(bad("expected empty payload")),
+        },
+        MsgType::Resume => match payload.len() {
+            12 => Ok(Msg::Resume {
+                session_id: le_u32(&payload[0..4]),
+                outputs_received: le_u64(&payload[4..12]),
+            }),
+            _ => Err(bad("expected 12 bytes")),
+        },
+        MsgType::ResumeOk => match payload.len() {
+            8 => Ok(Msg::ResumeOk {
+                inputs_received: le_u64(payload),
+            }),
+            _ => Err(bad("expected 8 bytes")),
+        },
+        MsgType::AckOut => match payload.len() {
+            8 => Ok(Msg::AckOut {
+                outputs_received: le_u64(payload),
+            }),
+            _ => Err(bad("expected 8 bytes")),
+        },
+        MsgType::AckIn => match payload.len() {
+            8 => Ok(Msg::AckIn {
+                inputs_received: le_u64(payload),
+            }),
+            _ => Err(bad("expected 8 bytes")),
+        },
     }
 }
 
@@ -568,9 +764,9 @@ fn parse_resolution(w: u32, h: u32) -> Option<Resolution> {
 }
 
 /// Decodes one complete message from the front of `buf`, returning it
-/// with its sequence number and the bytes consumed. This is the
-/// slice-oriented entry the fuzz harness drives; socket readers use
-/// [`parse_header`] + [`decode_payload`] with exact reads instead.
+/// with its sequence number and the bytes consumed (header + payload +
+/// trailer). This is the slice-oriented entry the fuzz harness drives;
+/// socket readers use [`MsgReader`](crate::reader) instead.
 ///
 /// # Errors
 ///
@@ -585,14 +781,18 @@ pub fn decode(buf: &[u8]) -> Result<(Msg, u32, usize), WireError> {
     let mut h = [0u8; HEADER_LEN];
     h.copy_from_slice(&buf[..HEADER_LEN]);
     let header = parse_header(&h)?;
-    let total = HEADER_LEN + header.len as usize;
+    let total = frame_len(&header);
     if buf.len() < total {
         return Err(WireError::Truncated {
             need: total,
             have: buf.len(),
         });
     }
-    let msg = decode_payload(header.msg_type, &buf[HEADER_LEN..total])?;
+    let payload_end = HEADER_LEN + header.len as usize;
+    if header.len > 0 {
+        check_trailer(&buf[HEADER_LEN..payload_end], &buf[payload_end..total])?;
+    }
+    let msg = decode_payload(header.msg_type, &buf[HEADER_LEN..payload_end])?;
     Ok((msg, header.seq, total))
 }
 
@@ -621,15 +821,23 @@ mod tests {
         match round_trip(&Msg::Open {
             spec,
             priority: Priority::Live,
+            resume: true,
         }) {
             Msg::Open {
                 spec: s,
                 priority: Priority::Live,
+                resume: true,
             } => assert_eq!(s, spec),
             other => panic!("{other:?}"),
         }
-        match round_trip(&Msg::OpenOk { session_id: 42 }) {
-            Msg::OpenOk { session_id: 42 } => {}
+        match round_trip(&Msg::OpenOk {
+            session_id: 42,
+            heartbeat_ms: 1_000,
+        }) {
+            Msg::OpenOk {
+                session_id: 42,
+                heartbeat_ms: 1_000,
+            } => {}
             other => panic!("{other:?}"),
         }
         let mut frame = Frame::new(32, 16);
@@ -655,6 +863,8 @@ mod tests {
         }
         assert!(matches!(round_trip(&Msg::Flush), Msg::Flush));
         assert!(matches!(round_trip(&Msg::Close), Msg::Close));
+        assert!(matches!(round_trip(&Msg::Ping), Msg::Ping));
+        assert!(matches!(round_trip(&Msg::Pong), Msg::Pong));
         let stats = DoneStats {
             completed: 10,
             discarded: 1,
@@ -674,6 +884,36 @@ mod tests {
                 code: ErrorCode::Rejected,
                 detail,
             } => assert!(detail.contains("p99")),
+            other => panic!("{other:?}"),
+        }
+        match round_trip(&Msg::Resume {
+            session_id: 9,
+            outputs_received: 1 << 40,
+        }) {
+            Msg::Resume {
+                session_id: 9,
+                outputs_received,
+            } => assert_eq!(outputs_received, 1 << 40),
+            other => panic!("{other:?}"),
+        }
+        match round_trip(&Msg::ResumeOk {
+            inputs_received: 77,
+        }) {
+            Msg::ResumeOk {
+                inputs_received: 77,
+            } => {}
+            other => panic!("{other:?}"),
+        }
+        match round_trip(&Msg::AckOut {
+            outputs_received: 5,
+        }) {
+            Msg::AckOut {
+                outputs_received: 5,
+            } => {}
+            other => panic!("{other:?}"),
+        }
+        match round_trip(&Msg::AckIn { inputs_received: 6 }) {
+            Msg::AckIn { inputs_received: 6 } => {}
             other => panic!("{other:?}"),
         }
     }
@@ -716,14 +956,71 @@ mod tests {
     }
 
     #[test]
+    fn any_single_bit_garble_is_detected() {
+        // The chaos layer's `garble` fault flips exactly one bit at an
+        // arbitrary offset. Between the header checksum and the payload
+        // trailer, every such flip must surface as a typed error (or, if
+        // it lands in the diagnostic seq field, still fail the header
+        // checksum) — never as a silently different message.
+        let pkt = Packet {
+            kind: PacketKind::P,
+            display_index: 11,
+            data: (0..64u8).collect(),
+        };
+        let mut clean = Vec::new();
+        encode(&Msg::Packet(pkt), 3, &mut clean);
+        for bit in 0..clean.len() * 8 {
+            let mut garbled = clean.clone();
+            garbled[bit / 8] ^= 1 << (bit % 8);
+            assert!(
+                decode(&garbled).is_err(),
+                "flip of bit {bit} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn payload_trailer_guards_body_corruption() {
+        let mut buf = Vec::new();
+        encode(
+            &Msg::OpenOk {
+                session_id: 1,
+                heartbeat_ms: 250,
+            },
+            0,
+            &mut buf,
+        );
+        assert_eq!(buf.len(), HEADER_LEN + 8 + TRAILER_LEN);
+        // Corrupt one payload byte: header still parses, trailer trips.
+        buf[HEADER_LEN] ^= 0x10;
+        assert!(matches!(
+            decode(&buf),
+            Err(WireError::BadPayloadChecksum { .. })
+        ));
+        // Empty-payload messages carry no trailer.
+        let mut ping = Vec::new();
+        encode(&Msg::Ping, 0, &mut ping);
+        assert_eq!(ping.len(), HEADER_LEN);
+    }
+
+    #[test]
     fn frame_payload_must_match_its_dimensions() {
         let mut buf = Vec::new();
         encode(&Msg::Frame(Frame::new(32, 16)), 0, &mut buf);
-        // Flip a dimension without fixing the payload size.
+        let restamp = |buf: &mut Vec<u8>| {
+            let end = buf.len() - TRAILER_LEN;
+            let sum = fnv1a(&buf[HEADER_LEN..end]);
+            let at = buf.len() - TRAILER_LEN;
+            buf[at..].copy_from_slice(&sum.to_le_bytes());
+        };
+        // Flip a dimension without fixing the payload size (re-stamping
+        // the trailer to isolate the dimension check).
         buf[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&64u32.to_le_bytes());
+        restamp(&mut buf);
         assert!(matches!(decode(&buf), Err(WireError::BadPayload { .. })));
         // Odd dimensions are rejected before any Frame is constructed.
         buf[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&33u32.to_le_bytes());
+        restamp(&mut buf);
         assert!(matches!(decode(&buf), Err(WireError::BadPayload { .. })));
     }
 

@@ -44,3 +44,15 @@ pub use report::{
 pub use server::{
     OpenOptions, OutputSink, Server, ServerConfig, SessionHandle, SessionResult, SubmitError,
 };
+
+/// The number of OS threads in this process, from `/proc/self/status`
+/// (`None` where /proc is unavailable). Thread-leak tests compare this
+/// before and after a server's lifetime: a clean shutdown must return
+/// the process to its baseline thread count.
+pub fn os_thread_count() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+}

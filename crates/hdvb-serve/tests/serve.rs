@@ -245,12 +245,7 @@ fn decode_and_transcode_modes_complete() {
 #[test]
 fn server_shutdown_leaks_no_worker_threads() {
     fn thread_count() -> usize {
-        let status = std::fs::read_to_string("/proc/self/status").unwrap();
-        status
-            .lines()
-            .find_map(|l| l.strip_prefix("Threads:"))
-            .and_then(|v| v.trim().parse().ok())
-            .unwrap()
+        hdvb_serve::os_thread_count().expect("/proc/self/status")
     }
     let baseline = thread_count();
     {

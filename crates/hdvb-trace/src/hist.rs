@@ -126,6 +126,21 @@ impl LatencyHistogram {
         self.max_ns
     }
 
+    /// Renders the standard JSON summary object every `BENCH_*.json`
+    /// emitter uses for a latency distribution:
+    /// `{"count":…,"mean_ns":…,"p50_ns":…,"p90_ns":…,"p99_ns":…,"max_ns":…}`.
+    pub fn json_summary(&self) -> String {
+        format!(
+            "{{\"count\":{},\"mean_ns\":{},\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
+            self.count(),
+            self.mean_ns(),
+            self.percentile(0.50),
+            self.percentile(0.90),
+            self.percentile(0.99),
+            self.max_ns(),
+        )
+    }
+
     /// Builds a histogram over pre-counted buckets (the collector's
     /// per-stage rows). The exact sum and max are unknown there, so the
     /// nominal last-bucket bound stands in for the max and only count
@@ -204,6 +219,20 @@ mod tests {
         let mut h = LatencyHistogram::new();
         h.record(u64::MAX / 2);
         assert_eq!(h.percentile(1.0), u64::MAX / 2);
+    }
+
+    #[test]
+    fn json_summary_is_strict_json_with_all_fields() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=100u64 {
+            h.record(i * 1_000);
+        }
+        let doc = crate::json::parse(&h.json_summary()).expect("strict json");
+        for key in ["count", "mean_ns", "p50_ns", "p90_ns", "p99_ns", "max_ns"] {
+            assert!(doc.get(key).and_then(|v| v.as_f64()).is_some(), "{key}");
+        }
+        assert_eq!(doc.get("count").unwrap().as_f64(), Some(100.0));
+        assert_eq!(doc.get("max_ns").unwrap().as_f64(), Some(100_000.0));
     }
 
     #[test]

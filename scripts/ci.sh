@@ -151,6 +151,36 @@ assert "frame" in doc["pools"] and "buffer" in doc["pools"]
 print(f"serve-load smoke ok: {len(doc['cells'])} cells, schema {doc['schema']}")
 EOF
 
+echo "==> network chaos smoke (seeded wire faults, byte-identical recovery)"
+# Two severed connections, a stall, a mid-message truncation (which
+# also severs) and a payload bit flip, all at fixed message indices.
+# Gates are counts and byte-identity only — never wall-clock.
+(cd "$tmpdir" && "$OLDPWD/target/release/hdvb" chaos \
+    --faults "drop@4,stall@6:20,truncate@12:13,garble@16,drop@20,seed=7" \
+    --codec mpeg2 --sequence blue_sky --resolution 96x80 --frames 12 \
+    --trials 2 --heartbeat-ms 150 --seed 7 > netchaos.txt 2> netchaos.log)
+python3 - "$tmpdir/BENCH_chaos.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "hdvb-chaos/v1", doc.get("schema")
+assert doc["identical"] is True, doc
+assert doc["reference"]["completed"] == doc["frames"] == 12, doc["reference"]
+assert len(doc["runs"]) == 2, doc["runs"]
+for run in doc["runs"]:
+    assert run["identical"] is True, run
+    assert run["digest"] == doc["reference"]["digest"], run
+    assert run["faults_fired"] == run["faults_total"] == 5, run
+    # Three severing rules (two drops + the truncation), spaced wider
+    # than a recovery's handshake traffic: three distinct outages.
+    assert run["reconnects"] >= 3, run
+    assert run["error"] is None, run
+srv = doc["server"]
+assert srv["resumes"] >= 6, srv
+assert srv["disconnects"] >= 6, srv
+print(f"network chaos smoke ok: {len(doc['runs'])} trials byte-identical, "
+      f"{srv['resumes']} resumes, schema {doc['schema']}")
+EOF
+
 echo "==> ladder + screen smoke (ABR rung conformance, schema checks)"
 (cd "$tmpdir" && "$OLDPWD/target/release/hdvb" ladder --codec mpeg2 \
     --sequence screen --resolution 96x64 --frames 12 --switch 6 --seed 7 \
